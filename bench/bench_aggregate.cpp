@@ -1,0 +1,123 @@
+// Ablation A1 — maintaining aggregate views: incremental group folding
+// (the AggregateViewManager) vs periodic full refresh of the same
+// aggregate contents.
+//
+// The paper's Section 1.2 motivates per-view algorithm selection with
+// aggregates; this ablation quantifies the choice. Workload: orders
+// stream into a GROUP BY region SUM/COUNT view; the incremental manager
+// emits old-row/new-row pairs per affected group, the periodic manager
+// replaces the whole view every period. (The periodic variant refreshes
+// the *SPJ core*; for a fair consistency comparison both must land in a
+// warehouse view of the same shape, so the periodic row uses the core
+// view directly with the aggregate computed by the reader — we report
+// its AL volume on the core contents.)
+
+#include "bench_util.h"
+#include "query/aggregate.h"
+
+namespace mvc {
+namespace {
+
+SystemConfig Scenario(bool incremental, int txns, TimeMicros rate,
+                      int64_t regions) {
+  SystemConfig config;
+  config.sources["orders-db"] = {"orders"};
+  config.schemas["orders"] =
+      Schema::AllInt64({"region", "product", "amount"});
+
+  ViewDefinition core;
+  core.name = "revenue";
+  core.relations = {"orders"};
+  if (incremental) {
+    AggregateSpec spec;
+    spec.group_by = {"region"};
+    spec.aggregates = {AggregateColumn{AggregateFn::kCount, "", "orders"},
+                       AggregateColumn{AggregateFn::kSum, "amount", "rev"}};
+    config.aggregates["revenue"] = spec;
+  } else {
+    config.manager_kinds["revenue"] = ManagerKind::kPeriodic;
+    config.periodic_options.period = 5000;
+  }
+  config.views = {core};
+  config.latency = LatencyModel::Uniform(200, 300);
+  config.vm_options.delta_cost = 200;
+  config.seed = 67;
+
+  Rng rng(67);
+  TimeMicros at = 0;
+  std::vector<Tuple> live;
+  for (int i = 0; i < txns; ++i) {
+    at += static_cast<TimeMicros>(
+        rng.Exponential(static_cast<double>(rate)));
+    Injection inj;
+    inj.at = at;
+    inj.source = "orders-db";
+    if (rng.Bernoulli(0.25) && !live.empty()) {
+      size_t idx = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      inj.updates = {Update::Delete("orders-db", "orders", live[idx])};
+      live.erase(live.begin() + static_cast<ptrdiff_t>(idx));
+    } else {
+      Tuple t{rng.UniformInt(0, regions - 1), rng.UniformInt(0, 50),
+              rng.UniformInt(1, 100)};
+      live.push_back(t);
+      inj.updates = {Update::Insert("orders-db", "orders", t)};
+    }
+    config.workload.push_back(std::move(inj));
+  }
+  return config;
+}
+
+/// Total delta rows shipped to the warehouse across all commits.
+int64_t ShippedRows(const ConsistencyRecorder& recorder) {
+  int64_t rows = 0;
+  for (const auto& commit : recorder.commits()) {
+    for (const auto& al : commit.txn.actions) {
+      rows += static_cast<int64_t>(al.delta.rows.size());
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+}  // namespace mvc
+
+int main() {
+  using namespace mvc;
+  std::cout << "A1. Aggregate maintenance ablation: incremental group "
+               "folding vs periodic full refresh\n"
+            << "    orders stream -> GROUP BY region COUNT/SUM view; "
+               "lag in us\n\n";
+  bench::TablePrinter table({"txns", "regions", "maintenance", "commits",
+                             "rows_shipped", "mean_lag", "verdict"});
+  for (int txns : {100, 300}) {
+    for (int64_t regions : {4, 64}) {
+      for (bool incremental : {true, false}) {
+        auto system = WarehouseSystem::Build(
+            Scenario(incremental, txns, 600, regions));
+        MVC_CHECK(system.ok()) << system.status().ToString();
+        (*system)->Run();
+        ConsistencyChecker checker = (*system)->MakeChecker();
+        const ConsistencyRecorder& recorder = (*system)->recorder();
+        const char* verdict =
+            checker.CheckComplete(recorder).ok()   ? "complete"
+            : checker.CheckStrong(recorder).ok()   ? "strong"
+            : checker.CheckConvergent(recorder).ok() ? "convergent"
+                                                     : "VIOLATED";
+        table.AddRow(txns, regions,
+                     incremental ? "incremental-agg" : "periodic-refresh",
+                     recorder.commits().size(), ShippedRows(recorder),
+                     recorder.ComputeFreshness().mean_lag_micros, verdict);
+      }
+    }
+  }
+  table.Print();
+  std::cout << "\nReading: the incremental aggregate manager ships two "
+               "delta rows per affected group per batch; the periodic "
+               "refresher ships the whole view image every period, so its "
+               "shipped volume scales with the view size (here, the live "
+               "order count) instead of the change rate, and its freshness "
+               "is bounded below by the refresh period. Both satisfy "
+               "strong MVC.\n";
+  return 0;
+}

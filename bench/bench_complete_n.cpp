@@ -1,0 +1,65 @@
+// Ablation A3 — complete-N view managers (Section 6.3): "process N
+// source updates at a time and maintain the view consistently after
+// every N updates". Sweeps N and reports the consistency granularity /
+// freshness trade-off.
+
+#include "bench_util.h"
+
+namespace mvc {
+namespace {
+
+SystemConfig Scenario(size_t n) {
+  WorkloadSpec spec;
+  spec.seed = 71;
+  spec.num_sources = 2;
+  spec.relations_per_source = 2;
+  spec.num_views = 4;
+  spec.max_view_width = 2;
+  spec.num_transactions = 120;
+  spec.mean_interarrival = 600;
+  auto config = GenerateScenario(spec);
+  MVC_CHECK(config.ok());
+  config->latency = LatencyModel::Uniform(200, 400);
+  config->vm_options.delta_cost = 150;
+  config->vm_options.per_al_cost = 1200;  // batching pays this off
+  if (n > 1) {
+    for (const auto& def : config->views) {
+      config->manager_kinds[def.name] = ManagerKind::kCompleteN;
+    }
+    config->complete_n = n;
+    config->strong_options.flush_timeout = 30000;
+  }
+  return std::move(*config);
+}
+
+}  // namespace
+}  // namespace mvc
+
+int main() {
+  using namespace mvc;
+  std::cout << "A3. Complete-N managers (Section 6.3): consistency "
+               "granularity vs freshness/cost\n"
+            << "    120 txns, per-AL overhead 1200us; N=1 is the plain "
+               "complete manager; lag in us\n\n";
+  bench::TablePrinter table({"N", "action_lists", "commits",
+                             "rows_per_commit", "mean_lag", "max_lag",
+                             "verdict"});
+  for (size_t n : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    bench::RunMetrics m = bench::RunScenario(Scenario(n));
+    double rows_per_commit =
+        m.commits == 0 ? 0.0
+                       : static_cast<double>(m.updates) /
+                             static_cast<double>(m.commits);
+    table.AddRow(n, m.action_lists, m.commits, rows_per_commit,
+                 m.mean_lag_us, m.max_lag_us, bench::Verdict(m));
+  }
+  table.Print();
+  std::cout << "\nReading: N=1 walks the warehouse through every source "
+               "state (complete) but pays the per-AL overhead per update; "
+               "larger N amortizes it — fewer ALs and commits — while the "
+               "warehouse advances N states at a time (strong, complete-N "
+               "granularity). Freshness is the tension between that "
+               "amortization and the wait-for-N delay: here N=2 roughly "
+               "breaks even and larger N trades staleness for cost.\n";
+  return 0;
+}

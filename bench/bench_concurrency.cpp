@@ -1,0 +1,67 @@
+// Experiment P3 — concurrent view managers vs the sequential strawman
+// (the Section 1.1 argument for the architecture).
+//
+// Delta computation dominates maintenance cost. The sequential
+// integrator performs every view's computation one after another and
+// waits for each warehouse commit; the Figure 1 architecture computes
+// per view in parallel. Makespan (virtual time to drain the workload)
+// and mean lag quantify the win as the view count and per-view delta
+// cost grow.
+
+#include "bench_util.h"
+
+namespace mvc {
+namespace {
+
+SystemConfig Scenario(int num_views, TimeMicros delta_cost,
+                      bool sequential) {
+  WorkloadSpec spec;
+  spec.seed = 31;
+  spec.num_sources = 2;
+  spec.relations_per_source = 2;
+  spec.num_views = num_views;
+  spec.max_view_width = 2;
+  spec.num_transactions = 60;
+  spec.mean_interarrival = 1500;
+  auto config = GenerateScenario(spec);
+  MVC_CHECK(config.ok());
+  config->latency = LatencyModel::Uniform(200, 300);
+  if (sequential) {
+    config->sequential_baseline = true;
+    config->sequential.delta_cost = delta_cost;
+  } else {
+    config->vm_options.delta_cost = delta_cost;
+  }
+  return std::move(*config);
+}
+
+}  // namespace
+}  // namespace mvc
+
+int main() {
+  using namespace mvc;
+  std::cout << "P3. Concurrent view managers + SPA vs sequential "
+               "integrator strawman\n"
+            << "    60 txns at 1.5ms mean inter-arrival; time in us\n\n";
+  bench::TablePrinter table({"views", "delta_cost", "architecture",
+                             "makespan", "mean_lag", "max_lag", "verdict"});
+  for (int views : {2, 4, 8, 16}) {
+    for (TimeMicros cost : {500, 2000}) {
+      for (bool sequential : {false, true}) {
+        bench::RunMetrics m =
+            bench::RunScenario(Scenario(views, cost, sequential));
+        table.AddRow(views, cost, sequential ? "sequential" : "concurrent",
+                     m.makespan_us, m.mean_lag_us, m.max_lag_us,
+                     bench::Verdict(m));
+      }
+    }
+  }
+  table.Print();
+  std::cout << "\nReading: the sequential integrator serializes "
+               "(#relevant views x delta cost) per update, so its lag and "
+               "makespan grow with the view count while the concurrent "
+               "architecture's stay nearly flat — the core scalability "
+               "claim of the paper's architecture. Both remain MVC "
+               "complete.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Experiment F3 — distributed merge (Section 6.1, Figure 3).
+//
+// Views that share no base relations can be coordinated by independent
+// merge processes. This harness prints the partition the planner
+// derives for the Figure 3 layout and then sweeps the number of merge
+// processes on a workload of disjoint view families, reporting per-
+// process pressure.
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "merge/partition.h"
+
+namespace mvc {
+namespace {
+
+void Figure3Partition() {
+  std::map<std::string, Schema> schemas = {
+      {"R", Schema::AllInt64({"A", "B"})},
+      {"S", Schema::AllInt64({"B", "C"})},
+      {"T", Schema::AllInt64({"C", "D"})},
+      {"Q", Schema::AllInt64({"D", "E"})}};
+  // Figure 3: V1 = R, V2 = S |><| T, V3 = Q.
+  ViewDefinition v1;
+  v1.name = "V1";
+  v1.relations = {"R"};
+  ViewDefinition v2;
+  v2.name = "V2";
+  v2.relations = {"S", "T"};
+  v2.predicate = Predicate::ColEqCol(ColumnRef{"S", "C"}, ColumnRef{"T", "C"});
+  ViewDefinition v3;
+  v3.name = "V3";
+  v3.relations = {"Q"};
+
+  auto b1 = std::move(BoundView::Bind(v1, schemas)).value();
+  auto b2 = std::move(BoundView::Bind(v2, schemas)).value();
+  auto b3 = std::move(BoundView::Bind(v3, schemas)).value();
+  auto groups = PartitionViews({&b1, &b2, &b3});
+
+  bench::TablePrinter table({"merge_process", "views", "base_relations"});
+  for (size_t g = 0; g < groups.size(); ++g) {
+    table.AddRow(StrCat("MP", g + 1), JoinToString(groups[g].views, ","),
+                 JoinToString(groups[g].relations, ","));
+  }
+  table.Print();
+}
+
+SystemConfig Scenario(size_t merge_processes) {
+  WorkloadSpec spec;
+  spec.seed = 61;
+  spec.num_sources = 3;
+  spec.relations_per_source = 3;
+  spec.num_views = 9;
+  spec.max_view_width = 1;  // disjoint single-relation views
+  spec.selection_probability = 0;
+  spec.num_transactions = 200;
+  spec.mean_interarrival = 400;
+  auto config = GenerateScenario(spec);
+  MVC_CHECK(config.ok());
+  config->latency = LatencyModel::Uniform(200, 200);
+  config->vm_options.delta_cost = 100;
+  config->merge.process_delay = 300;
+  config->num_merge_processes = merge_processes;
+  return std::move(*config);
+}
+
+}  // namespace
+}  // namespace mvc
+
+int main() {
+  using namespace mvc;
+  std::cout << "F3. Distributed merge (Section 6.1)\n\n"
+            << "Partition derived for the Figure 3 layout (V1 = R, "
+               "V2 = S|><|T, V3 = Q):\n\n";
+  Figure3Partition();
+
+  std::cout << "\nScaling the merge tier on 9 disjoint views, 200 txns at "
+               "400us, merge CPU 300us/message:\n\n";
+  bench::TablePrinter table({"merge_procs", "peak_backlog", "mean_lag",
+                             "max_lag", "verdict"});
+  for (size_t mps : {size_t{1}, size_t{2}, size_t{3}, size_t{6},
+                     size_t{9}}) {
+    bench::RunMetrics m = bench::RunScenario(Scenario(mps));
+    table.AddRow(mps, m.peak_backlog, m.mean_lag_us, m.max_lag_us,
+                 bench::Verdict(m));
+  }
+  table.Print();
+  std::cout << "\nReading: one merge process saturates (backlog grows, "
+               "freshness degrades); spreading disjoint view groups over "
+               "more merge processes divides the arrival rate per process "
+               "and restores freshness without giving up MVC.\n";
+  return 0;
+}

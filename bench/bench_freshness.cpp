@@ -1,0 +1,76 @@
+// Experiment P1 — the merge process's effect on view freshness
+// (the study Section 7 proposes).
+//
+// Sweep the update rate and compare propagation lag (update numbered ->
+// first reflected at the warehouse) across architectures:
+//   spa          complete managers + SPA             (MVC complete)
+//   pa           strong managers + PA                (MVC strong)
+//   sequential   Section 1.1 strawman                (MVC complete)
+//   no-mvc       pass-through, no coordination       (convergent only)
+//
+// Expected shape: no-mvc has the lowest lag (it never holds an action
+// list) but violates MVC; SPA/PA pay a modest holding cost; the
+// sequential strawman's lag explodes as the update rate approaches its
+// serial service rate.
+
+#include "bench_util.h"
+
+namespace mvc {
+namespace {
+
+SystemConfig BaseScenario(TimeMicros interarrival, uint64_t seed) {
+  WorkloadSpec spec;
+  spec.seed = seed;
+  spec.num_sources = 2;
+  spec.relations_per_source = 2;
+  spec.num_views = 6;
+  spec.max_view_width = 3;
+  spec.num_transactions = 120;
+  spec.mean_interarrival = interarrival;
+  auto config = GenerateScenario(spec);
+  MVC_CHECK(config.ok());
+  config->latency = LatencyModel::Uniform(300, 400);
+  config->vm_options.delta_cost = 800;
+  config->warehouse.apply_delay = 100;
+  config->warehouse.apply_jitter = 200;
+  return std::move(*config);
+}
+
+}  // namespace
+}  // namespace mvc
+
+int main() {
+  using namespace mvc;
+  std::cout << "P1. View freshness vs update rate (Section 7 proposed "
+               "study)\n"
+            << "    120 txns, 6 views, delta cost 800us, latency "
+               "300-700us; lag in us\n\n";
+  bench::TablePrinter table({"interarrival_us", "architecture", "mean_lag",
+                             "max_lag", "commits", "verdict"});
+  for (TimeMicros rate : {5000, 2000, 1000, 500, 250}) {
+    for (const std::string arch : {"spa", "pa", "sequential", "no-mvc"}) {
+      SystemConfig config = BaseScenario(rate, 17);
+      if (arch == "pa") {
+        for (const auto& def : config.views) {
+          config.manager_kinds[def.name] = ManagerKind::kStrong;
+        }
+        config.strong_options.max_batch = 8;
+      } else if (arch == "sequential") {
+        config.sequential_baseline = true;
+        config.sequential.delta_cost = 800;
+      } else if (arch == "no-mvc") {
+        config.auto_algorithm = false;
+        config.merge.algorithm = MergeAlgorithm::kPassThrough;
+      }
+      bench::RunMetrics m = bench::RunScenario(std::move(config));
+      table.AddRow(rate, arch, m.mean_lag_us, m.max_lag_us, m.commits,
+                   bench::Verdict(m));
+    }
+  }
+  table.Print();
+  std::cout << "\nReading: the sequential strawman's lag explodes once the "
+               "inter-arrival time drops below its serial per-update service "
+               "time; SPA/PA track the uncoordinated lower bound closely "
+               "while preserving MVC.\n";
+  return 0;
+}

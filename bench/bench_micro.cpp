@@ -1,0 +1,166 @@
+// Experiment M1 — microbenchmarks (google-benchmark) for the hot paths:
+// bag-table mutation, hash-join evaluation, incremental delta
+// propagation, VUT operations, and raw merge-engine event throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "merge/merge_engine.h"
+#include "query/evaluator.h"
+#include "workload/paper_examples.h"
+
+namespace mvc {
+namespace {
+
+void BM_TableInsertDelete(benchmark::State& state) {
+  Table table("R", Schema::AllInt64({"A", "B"}));
+  Rng rng(1);
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 1024; ++i) {
+    tuples.push_back(Tuple{rng.UniformInt(0, 1 << 20), i});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const Tuple& t = tuples[i++ & 1023];
+    benchmark::DoNotOptimize(table.Insert(t));
+    benchmark::DoNotOptimize(table.Delete(t));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_TableInsertDelete);
+
+Catalog MakeJoinCatalog(int64_t rows, int64_t domain, uint64_t seed) {
+  Catalog catalog;
+  MVC_CHECK(catalog.CreateTable("R", Schema::AllInt64({"A", "B"})).ok());
+  MVC_CHECK(catalog.CreateTable("S", Schema::AllInt64({"B", "C"})).ok());
+  MVC_CHECK(catalog.CreateTable("T", Schema::AllInt64({"C", "D"})).ok());
+  MVC_CHECK(catalog.CreateTable("Q", Schema::AllInt64({"D", "E"})).ok());
+  Rng rng(seed);
+  for (const char* name : {"R", "S", "T", "Q"}) {
+    Table* table = *catalog.GetTable(name);
+    for (int64_t i = 0; i < rows; ++i) {
+      MVC_CHECK(table
+                    ->Insert(Tuple{rng.UniformInt(0, domain - 1),
+                                   rng.UniformInt(0, domain - 1)})
+                    .ok());
+    }
+  }
+  return catalog;
+}
+
+void BM_HashJoinEvaluate(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  Catalog catalog = MakeJoinCatalog(rows, rows / 4 + 1, 2);
+  auto view = std::move(BoundView::Bind(
+                            PaperV2WithQ(),
+                            {{"R", Schema::AllInt64({"A", "B"})},
+                             {"S", Schema::AllInt64({"B", "C"})},
+                             {"T", Schema::AllInt64({"C", "D"})},
+                             {"Q", Schema::AllInt64({"D", "E"})}}))
+                  .value();
+  TableProviderFn provider = CatalogProvider(&catalog);
+  for (auto _ : state) {
+    auto result = ViewEvaluator::Evaluate(view, provider);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * rows * 3);
+}
+BENCHMARK(BM_HashJoinEvaluate)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_DeltaPropagation(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  Catalog catalog = MakeJoinCatalog(rows, rows / 4 + 1, 3);
+  auto view = std::move(BoundView::Bind(
+                            PaperV2WithQ(),
+                            {{"R", Schema::AllInt64({"A", "B"})},
+                             {"S", Schema::AllInt64({"B", "C"})},
+                             {"T", Schema::AllInt64({"C", "D"})},
+                             {"Q", Schema::AllInt64({"D", "E"})}}))
+                  .value();
+  TableProviderFn provider = CatalogProvider(&catalog);
+  TableDelta base;
+  base.target = "S";
+  base.Add(Tuple{1, 1}, 1);
+  for (auto _ : state) {
+    auto delta = ViewEvaluator::EvaluateDelta(view, "S", base, provider);
+    benchmark::DoNotOptimize(delta);
+  }
+}
+BENCHMARK(BM_DeltaPropagation)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_VutOperations(benchmark::State& state) {
+  std::vector<std::string> views;
+  for (int i = 0; i < 16; ++i) views.push_back("V" + std::to_string(i));
+  for (auto _ : state) {
+    ViewUpdateTable vut(views);
+    for (UpdateId row = 1; row <= 64; ++row) {
+      vut.AllocateRow(row, {views[static_cast<size_t>(row) % 16],
+                            views[static_cast<size_t>(row + 1) % 16]});
+    }
+    for (UpdateId row = 1; row <= 64; ++row) {
+      benchmark::DoNotOptimize(vut.RowHasWhite(row));
+      benchmark::DoNotOptimize(vut.NextRed(row, 0));
+      vut.PurgeRow(row);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_VutOperations);
+
+ActionList MicroAl(const std::string& view, UpdateId first, UpdateId last) {
+  ActionList al;
+  al.view = view;
+  al.first_update = first;
+  al.update = last;
+  for (UpdateId i = first; i <= last; ++i) al.covered.push_back(i);
+  al.delta.target = view;
+  al.delta.Add(Tuple{last}, 1);
+  return al;
+}
+
+void BM_SpaEngineThroughput(benchmark::State& state) {
+  const int num_views = static_cast<int>(state.range(0));
+  std::vector<std::string> views;
+  for (int i = 0; i < num_views; ++i) views.push_back("V" + std::to_string(i));
+  for (auto _ : state) {
+    SpaEngine engine(views);
+    std::vector<WarehouseTransaction> out;
+    for (UpdateId u = 1; u <= 256; ++u) {
+      // Each update touches two adjacent views.
+      std::vector<std::string> rel{
+          views[static_cast<size_t>(u) % views.size()],
+          views[static_cast<size_t>(u + 1) % views.size()]};
+      engine.ReceiveRelSet(u, rel, &out);
+      engine.ReceiveActionList(MicroAl(rel[0], u, u), &out);
+      engine.ReceiveActionList(MicroAl(rel[1], u, u), &out);
+    }
+    benchmark::DoNotOptimize(out);
+    MVC_CHECK(engine.open_rows() == 0);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_SpaEngineThroughput)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PaEngineBatchedThroughput(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  std::vector<std::string> views{"V0", "V1"};
+  for (auto _ : state) {
+    PaEngine engine(views);
+    std::vector<WarehouseTransaction> out;
+    for (UpdateId u = 1; u <= 256; ++u) {
+      engine.ReceiveRelSet(u, views, &out);
+      if (u % batch == 0) {
+        engine.ReceiveActionList(MicroAl("V0", u - batch + 1, u), &out);
+        engine.ReceiveActionList(MicroAl("V1", u - batch + 1, u), &out);
+      }
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_PaEngineBatchedThroughput)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace mvc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Experiment P5 — PA with strongly consistent managers vs SPA with
+// complete managers, as intertwining grows (Section 5).
+//
+// Slow delta computation makes updates pile up at a busy strong manager,
+// which then covers the whole backlog with a single action list — the
+// intertwined batches that force PA. Complete managers emit one AL per
+// update regardless, paying the full per-update cost serially inside
+// each manager.
+
+#include "bench_util.h"
+
+namespace mvc {
+namespace {
+
+SystemConfig Scenario(TimeMicros per_al_cost, bool strong, uint64_t seed) {
+  WorkloadSpec spec;
+  spec.seed = seed;
+  spec.num_sources = 2;
+  spec.relations_per_source = 2;
+  spec.num_views = 5;
+  spec.max_view_width = 3;
+  spec.num_transactions = 100;
+  spec.mean_interarrival = 600;
+  auto config = GenerateScenario(spec);
+  MVC_CHECK(config.ok());
+  config->latency = LatencyModel::Uniform(200, 300);
+  // Small per-update cost, dominated by the fixed per-AL overhead
+  // (source round trips, message/transaction setup) that batching
+  // amortizes.
+  config->vm_options.delta_cost = 100;
+  config->vm_options.per_al_cost = per_al_cost;
+  if (strong) {
+    for (const auto& def : config->views) {
+      config->manager_kinds[def.name] = ManagerKind::kStrong;
+    }
+  }
+  return std::move(*config);
+}
+
+}  // namespace
+}  // namespace mvc
+
+int main() {
+  using namespace mvc;
+  std::cout << "P5. SPA + complete managers vs PA + strong managers as "
+               "per-AL overhead (intertwining pressure) grows\n"
+            << "    100 txns at 600us mean inter-arrival, 100us per-update "
+               "delta cost; lag in us\n\n";
+  bench::TablePrinter table({"per_al_cost", "managers", "action_lists",
+                             "commits", "rows_per_commit", "mean_lag",
+                             "max_lag", "verdict"});
+  for (TimeMicros cost : {100, 500, 1500, 4000}) {
+    for (bool strong : {false, true}) {
+      bench::RunMetrics m = bench::RunScenario(Scenario(cost, strong, 47));
+      double rows_per_commit =
+          m.commits == 0 ? 0.0
+                         : static_cast<double>(m.updates) /
+                               static_cast<double>(m.commits);
+      table.AddRow(cost, strong ? "strong(PA)" : "complete(SPA)",
+                   m.action_lists, m.commits, rows_per_commit, m.mean_lag_us,
+                   m.max_lag_us, bench::Verdict(m));
+    }
+  }
+  table.Print();
+  std::cout << "\nReading: as the fixed per-AL overhead grows, strong "
+               "managers amortize it by covering the whole backlog of "
+               "intertwined updates with one action list — fewer ALs, "
+               "fewer but larger warehouse transactions (rows/commit "
+               "grows), and an order of magnitude lower lag than complete "
+               "managers, which pay the overhead for every update. The "
+               "price is the weaker guarantee: strong instead of complete, "
+               "exactly the Section 5 trade-off.\n";
+  return 0;
+}

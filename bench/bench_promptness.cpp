@@ -1,0 +1,179 @@
+// Ablation A2 — promptness (Section 4.4).
+//
+// "Another important property of the SPA algorithm is that it applies
+// action lists promptly … we could devise an algorithm that waits until
+// all actions about all source updates arrive, then applies WT_1..WT_f
+// in that order. This algorithm is also complete under MVC, but is
+// clearly not a desirable one."
+//
+// This harness feeds the identical event stream to SPA and to exactly
+// that lazy strawman, and measures how long each action list is held
+// (in event steps between its arrival and its application). Both yield
+// the same complete sequence of warehouse transactions; only the hold
+// times differ.
+
+#include <map>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "merge/merge_engine.h"
+
+namespace mvc {
+namespace {
+
+struct Event {
+  bool is_rel;
+  UpdateId update;
+  std::vector<std::string> rel_views;  // for REL events
+  std::string view;                    // for AL events
+};
+
+std::vector<Event> MakeStream(int updates, const std::vector<std::string>& views,
+                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<std::string>> rels(
+      static_cast<size_t>(updates) + 1);
+  for (int i = 1; i <= updates; ++i) {
+    for (const std::string& v : views) {
+      if (rng.Bernoulli(0.5)) rels[static_cast<size_t>(i)].push_back(v);
+    }
+  }
+  // Interleave REL stream (FIFO) with per-view AL streams (FIFO).
+  std::vector<Event> stream;
+  size_t rel_next = 1;
+  std::map<std::string, std::vector<UpdateId>> al_streams;
+  std::map<std::string, size_t> al_next;
+  for (const std::string& v : views) {
+    for (int i = 1; i <= updates; ++i) {
+      const auto& r = rels[static_cast<size_t>(i)];
+      if (std::find(r.begin(), r.end(), v) != r.end()) {
+        al_streams[v].push_back(i);
+      }
+    }
+    al_next[v] = 0;
+  }
+  for (;;) {
+    std::vector<int> choices;
+    if (rel_next <= static_cast<size_t>(updates)) choices.push_back(-1);
+    for (size_t x = 0; x < views.size(); ++x) {
+      // ALs only after the REL stream has passed them (the VM needs the
+      // update first).
+      if (al_next[views[x]] < al_streams[views[x]].size() &&
+          al_streams[views[x]][al_next[views[x]]] <
+              static_cast<UpdateId>(rel_next)) {
+        choices.push_back(static_cast<int>(x));
+      }
+    }
+    if (choices.empty()) break;
+    int pick = choices[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(choices.size()) - 1))];
+    Event ev;
+    if (pick == -1) {
+      ev.is_rel = true;
+      ev.update = static_cast<UpdateId>(rel_next);
+      ev.rel_views = rels[rel_next];
+      ++rel_next;
+    } else {
+      const std::string& v = views[static_cast<size_t>(pick)];
+      ev.is_rel = false;
+      ev.view = v;
+      ev.update = al_streams[v][al_next[v]++];
+    }
+    stream.push_back(std::move(ev));
+  }
+  return stream;
+}
+
+ActionList MakeAl(const std::string& view, UpdateId update) {
+  ActionList al;
+  al.view = view;
+  al.update = update;
+  al.first_update = update;
+  al.covered = {update};
+  al.delta.target = view;
+  al.delta.Add(Tuple{update}, 1);
+  return al;
+}
+
+struct HoldStats {
+  double mean_hold = 0;
+  int64_t max_hold = 0;
+  int64_t txns = 0;
+};
+
+/// Replays the stream through SPA (prompt = true) or the Section 4.4
+/// lazy strawman (apply everything at the end, in row order).
+HoldStats Measure(const std::vector<Event>& stream,
+                  const std::vector<std::string>& views, bool prompt) {
+  SpaEngine engine({views});
+  std::map<std::pair<std::string, UpdateId>, int64_t> arrived_at;
+  std::vector<WarehouseTransaction> lazy_buffer;
+  HoldStats stats;
+  double total_hold = 0;
+  int64_t held_count = 0;
+
+  int64_t step = 0;
+  auto account = [&](const std::vector<WarehouseTransaction>& txns) {
+    for (const auto& txn : txns) {
+      ++stats.txns;
+      for (const auto& al : txn.actions) {
+        int64_t hold = step - arrived_at[{al.view, al.update}];
+        total_hold += static_cast<double>(hold);
+        stats.max_hold = std::max(stats.max_hold, hold);
+        ++held_count;
+      }
+    }
+  };
+
+  for (const Event& ev : stream) {
+    ++step;
+    std::vector<WarehouseTransaction> out;
+    if (ev.is_rel) {
+      engine.ReceiveRelSet(ev.update, ev.rel_views, &out);
+    } else {
+      arrived_at[{ev.view, ev.update}] = step;
+      engine.ReceiveActionList(MakeAl(ev.view, ev.update), &out);
+    }
+    if (prompt) {
+      account(out);
+    } else {
+      // Lazy: hold everything until the stream ends.
+      for (auto& txn : out) lazy_buffer.push_back(std::move(txn));
+    }
+  }
+  if (!prompt) account(lazy_buffer);
+  if (held_count > 0) {
+    stats.mean_hold = total_hold / static_cast<double>(held_count);
+  }
+  return stats;
+}
+
+}  // namespace
+}  // namespace mvc
+
+int main() {
+  using namespace mvc;
+  std::cout << "A2. Promptness ablation (Section 4.4): SPA vs the "
+               "wait-for-everything strawman\n"
+            << "    Hold time = events between an AL's arrival and its "
+               "application; both runs\n"
+            << "    produce the same complete transaction sequence.\n\n";
+  const std::vector<std::string> views{"V1", "V2", "V3", "V4"};
+  bench::TablePrinter table({"updates", "algorithm", "mean_hold",
+                             "max_hold", "txns"});
+  for (int updates : {20, 100, 400}) {
+    auto stream = MakeStream(updates, views, 97);
+    for (bool prompt : {true, false}) {
+      HoldStats stats = Measure(stream, views, prompt);
+      table.AddRow(updates, prompt ? "SPA (prompt)" : "lazy strawman",
+                   stats.mean_hold, stats.max_hold, stats.txns);
+    }
+  }
+  table.Print();
+  std::cout << "\nReading: SPA's hold time is bounded by how long a row's "
+               "slowest action list takes to arrive and does not grow with "
+               "the workload length; the lazy strawman's mean hold grows "
+               "linearly with the number of updates — complete, but every "
+               "view is stale for the whole run.\n";
+  return 0;
+}

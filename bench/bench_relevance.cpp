@@ -1,0 +1,67 @@
+// Experiment P6 — relevance pruning at the integrator (Section 3.2,
+// the Blakeley-style irrelevant-update test).
+//
+// Views carry selective single-relation predicates; with pruning the
+// integrator drops updates whose tuples cannot satisfy them, saving the
+// view-manager round trip and the (empty) action list. We count
+// messages, action lists, and freshness with pruning on and off.
+
+#include "bench_util.h"
+
+namespace mvc {
+namespace {
+
+SystemConfig Scenario(bool pruning, uint64_t seed) {
+  WorkloadSpec spec;
+  spec.seed = seed;
+  spec.num_sources = 2;
+  spec.relations_per_source = 2;
+  spec.num_views = 6;
+  spec.max_view_width = 2;
+  spec.selection_probability = 1.0;  // every view is selective
+  spec.num_transactions = 150;
+  spec.mean_interarrival = 800;
+  auto config = GenerateScenario(spec);
+  MVC_CHECK(config.ok());
+  config->latency = LatencyModel::Uniform(200, 300);
+  config->vm_options.delta_cost = 400;
+  config->integrator.relevance_pruning = pruning;
+  return std::move(*config);
+}
+
+}  // namespace
+}  // namespace mvc
+
+int main() {
+  using namespace mvc;
+  std::cout << "P6. Integrator relevance pruning (Section 3.2)\n"
+            << "    150 txns, 6 selective views; lag in us\n\n";
+  bench::TablePrinter table({"pruning", "messages", "action_lists",
+                             "commits", "mean_lag", "verdict"});
+  for (bool pruning : {false, true}) {
+    bench::RunMetrics m = bench::RunScenario(Scenario(pruning, 53));
+    table.AddRow(pruning ? "on" : "off", m.messages, m.action_lists,
+                 m.commits, m.mean_lag_us, bench::Verdict(m));
+  }
+  table.Print();
+
+  std::cout << "\nREL delivery scheme ablation (Section 3.2 alternate "
+               "scheme): piggybacking REL_i on a view manager saves one "
+               "integrator->merge message per update:\n\n";
+  bench::TablePrinter table2(
+      {"rel_delivery", "messages", "mean_lag", "verdict"});
+  for (bool piggyback : {false, true}) {
+    SystemConfig config = Scenario(true, 53);
+    config.integrator.piggyback_rel = piggyback;
+    bench::RunMetrics m = bench::RunScenario(std::move(config));
+    table2.AddRow(piggyback ? "piggyback" : "direct", m.messages,
+                  m.mean_lag_us, bench::Verdict(m));
+  }
+  table2.Print();
+  std::cout << "\nReading: pruning removes the irrelevant updates' "
+               "messages and empty action lists end to end; the piggyback "
+               "scheme trades messages for slightly later REL arrival at "
+               "the merge process. Consistency is unaffected by either "
+               "knob.\n";
+  return 0;
+}

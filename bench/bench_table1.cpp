@@ -1,0 +1,115 @@
+// Experiment T1 — reproduces the paper's Table 1 (Example 1).
+//
+// First, the *anomaly*: maintaining V1 = R|><|S and V2 = S|><|T
+// independently, V1 is updated at t2 and V2 only at t3, so between t2
+// and t3 the warehouse views are mutually inconsistent. We regenerate
+// the table's four time steps directly from the storage/query substrate.
+//
+// Second, the *fix*: the same scenario through the full system under
+// SPA — the merge process holds V1's action list until V2's arrives and
+// applies both in one warehouse transaction, so no warehouse state ever
+// shows the t2 row of Table 1.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "query/evaluator.h"
+#include "workload/paper_examples.h"
+
+namespace mvc {
+namespace {
+
+std::string RowsOf(const Table& t) {
+  std::string out;
+  for (const Row& row : t.SortedRows()) {
+    if (!out.empty()) out += " ";
+    out += TupleToString(row.tuple);
+  }
+  return out.empty() ? "(empty)" : out;
+}
+
+void PrintTable1() {
+  std::map<std::string, Schema> schemas = {
+      {"R", Schema::AllInt64({"A", "B"})},
+      {"S", Schema::AllInt64({"B", "C"})},
+      {"T", Schema::AllInt64({"C", "D"})},
+      {"Q", Schema::AllInt64({"D", "E"})}};
+  Catalog base;
+  MVC_CHECK(base.CreateTable("R", schemas["R"]).ok());
+  MVC_CHECK(base.CreateTable("S", schemas["S"]).ok());
+  MVC_CHECK(base.CreateTable("T", schemas["T"]).ok());
+  MVC_CHECK((*base.GetTable("R"))->Insert(Tuple{1, 2}).ok());
+  MVC_CHECK((*base.GetTable("T"))->Insert(Tuple{3, 4}).ok());
+
+  auto v1 = std::move(BoundView::Bind(PaperV1(), schemas)).value();
+  auto v2 = std::move(BoundView::Bind(PaperV2(), schemas)).value();
+
+  // Materialized views maintained *independently* (the anomaly).
+  Table mat_v1("V1", v1.output_schema());
+  Table mat_v2("V2", v2.output_schema());
+
+  bench::TablePrinter table({"Time", "R", "S", "T", "V1", "V2"});
+  auto snapshot = [&](const std::string& time) {
+    table.AddRow(time, RowsOf(**base.GetTable("R")),
+                 RowsOf(**base.GetTable("S")), RowsOf(**base.GetTable("T")),
+                 RowsOf(mat_v1), RowsOf(mat_v2));
+  };
+
+  snapshot("t0");
+
+  // t1: tuple [2,3] inserted into S.
+  TableDelta ds;
+  ds.target = "S";
+  ds.Add(Tuple{2, 3}, 1);
+  // Deltas are computed against the pre-update state of the *other*
+  // relations, as the view managers would.
+  TableDelta dv1 = std::move(ViewEvaluator::EvaluateDelta(
+                                 v1, "S", ds, CatalogProvider(&base)))
+                       .value();
+  TableDelta dv2 = std::move(ViewEvaluator::EvaluateDelta(
+                                 v2, "S", ds, CatalogProvider(&base)))
+                       .value();
+  MVC_CHECK(ds.ApplyTo(*base.GetTable("S")).ok());
+  snapshot("t1");
+
+  // t2: V1's changes are applied; V2 still reflects the old state.
+  MVC_CHECK(dv1.ApplyTo(&mat_v1).ok());
+  snapshot("t2  <-- V1 and V2 mutually inconsistent");
+
+  // t3: V2 catches up.
+  MVC_CHECK(dv2.ApplyTo(&mat_v2).ok());
+  snapshot("t3");
+
+  table.Print();
+}
+
+}  // namespace
+}  // namespace mvc
+
+int main() {
+  std::cout << "T1. Paper Table 1 (Example 1): independent maintenance "
+               "creates an inconsistency window\n\n";
+  mvc::PrintTable1();
+
+  std::cout << "\nSame update through the full system under SPA:\n\n";
+  mvc::SystemConfig config = mvc::Table1Scenario();
+  config.latency = mvc::LatencyModel::Uniform(1000, 500);
+  auto system = mvc::WarehouseSystem::Build(std::move(config));
+  MVC_CHECK(system.ok());
+  (*system)->Run();
+  mvc::bench::TablePrinter commits(
+      {"Commit", "Rows", "Views updated atomically"});
+  int i = 0;
+  for (const auto& c : (*system)->recorder().commits()) {
+    commits.AddRow(++i, mvc::JoinToString(c.txn.rows, ","),
+                   mvc::JoinToString(c.txn.views, ","));
+  }
+  commits.Print();
+  auto checker = (*system)->MakeChecker();
+  std::cout << "\nMVC completeness: "
+            << checker.CheckComplete((*system)->recorder()) << "\n"
+            << "The t2 inconsistency window of Table 1 cannot occur: both "
+               "views move in one transaction.\n";
+  return 0;
+}

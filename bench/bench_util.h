@@ -1,0 +1,132 @@
+// Shared helpers for the experiment harnesses: scenario runners and
+// aligned table printing in the style of the paper's reporting.
+
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "system/warehouse_system.h"
+#include "workload/generator.h"
+
+namespace mvc {
+namespace bench {
+
+/// Everything an experiment row reports about one run.
+struct RunMetrics {
+  // Freshness (Section 7's proposed study): propagation lag from update
+  // numbering to first warehouse reflection.
+  double mean_lag_us = 0;
+  int64_t max_lag_us = 0;
+  // Volume.
+  int64_t updates = 0;
+  int64_t commits = 0;
+  int64_t messages = 0;
+  // Virtual time from start until the system quiesced.
+  int64_t makespan_us = 0;
+  // Merge-process pressure (summed over merge processes; peaks are max).
+  size_t peak_held_action_lists = 0;
+  size_t peak_open_rows = 0;
+  size_t peak_backlog = 0;
+  int64_t action_lists = 0;
+  int64_t actions_submitted = 0;
+  // Oracle verdicts.
+  bool complete = false;
+  bool strong = false;
+  bool convergent = false;
+};
+
+/// Builds, runs, and measures one scenario.
+inline RunMetrics RunScenario(SystemConfig config) {
+  auto system = WarehouseSystem::Build(std::move(config));
+  MVC_CHECK(system.ok()) << system.status().ToString();
+  (*system)->Run();
+
+  RunMetrics m;
+  const ConsistencyRecorder& recorder = (*system)->recorder();
+  FreshnessStats freshness = recorder.ComputeFreshness();
+  m.mean_lag_us = freshness.mean_lag_micros;
+  m.max_lag_us = freshness.max_lag_micros;
+  m.updates = static_cast<int64_t>(recorder.updates().size());
+  m.commits = static_cast<int64_t>(recorder.commits().size());
+  m.messages = (*system)->runtime().stats().total_messages;
+  m.makespan_us = (*system)->runtime().Now();
+  for (const auto& merge : (*system)->merges()) {
+    m.peak_held_action_lists = std::max(
+        m.peak_held_action_lists, merge->stats().peak_held_action_lists);
+    m.peak_open_rows =
+        std::max(m.peak_open_rows, merge->stats().peak_open_rows);
+    m.peak_backlog = std::max(m.peak_backlog, merge->stats().peak_backlog);
+    m.action_lists += merge->stats().action_lists_received;
+    m.actions_submitted += merge->stats().actions_submitted;
+  }
+  ConsistencyChecker checker = (*system)->MakeChecker();
+  m.complete = checker.CheckComplete(recorder).ok();
+  m.strong = checker.CheckStrong(recorder).ok();
+  m.convergent = checker.CheckConvergent(recorder).ok();
+  return m;
+}
+
+/// Simple aligned-column table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  template <typename... Args>
+  void AddRow(Args&&... args) {
+    std::vector<std::string> row;
+    (row.push_back(Str(std::forward<Args>(args))), ...);
+    rows_.push_back(std::move(row));
+  }
+
+  void Print(std::ostream& os = std::cout) const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        os << "  " << std::left << std::setw(static_cast<int>(widths[i]))
+           << row[i];
+      }
+      os << "\n";
+    };
+    print_row(headers_);
+    size_t total = 0;
+    for (size_t w : widths) total += w + 2;
+    os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  template <typename T>
+  static std::string Str(const T& v) {
+    std::ostringstream os;
+    if constexpr (std::is_floating_point_v<T>) {
+      os << std::fixed << std::setprecision(1) << v;
+    } else {
+      os << v;
+    }
+    return os.str();
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline const char* Verdict(const RunMetrics& m) {
+  if (m.complete) return "complete";
+  if (m.strong) return "strong";
+  if (m.convergent) return "convergent";
+  return "VIOLATED";
+}
+
+}  // namespace bench
+}  // namespace mvc

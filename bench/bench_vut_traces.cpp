@@ -1,0 +1,118 @@
+// Experiments E2/E3/E5 — regenerates the paper's VUT traces:
+//   Example 2: the ViewUpdateTable after REL1, REL2, AL^2_1;
+//   Example 3: the full SPA trace (times t4..t11);
+//   Example 5: the full PA trace with (color,state) cells (t0..t7).
+
+#include <iostream>
+
+#include "merge/merge_engine.h"
+
+namespace mvc {
+namespace {
+
+ActionList Al(const std::string& view, UpdateId first, UpdateId last) {
+  ActionList al;
+  al.view = view;
+  al.first_update = first;
+  al.update = last;
+  for (UpdateId i = first; i <= last; ++i) al.covered.push_back(i);
+  al.delta.target = view;
+  al.delta.Add(Tuple{last}, 1);
+  return al;
+}
+
+void Emit(const std::vector<WarehouseTransaction>& txns) {
+  for (const auto& txn : txns) {
+    std::cout << "    => apply " << txn.ToString() << "\n";
+  }
+}
+
+void Example2() {
+  std::cout << "E2. Example 2: ViewUpdateTable construction\n"
+            << "    V1 = R|><|S, V2 = S|><|T|><|Q, V3 = Q;"
+            << " U1 on S, U2 on Q\n\n";
+  SpaEngine engine({"V1", "V2", "V3"});
+  std::vector<WarehouseTransaction> out;
+  engine.ReceiveRelSet(1, {"V1", "V2"}, &out);
+  engine.ReceiveRelSet(2, {"V2", "V3"}, &out);
+  std::cout << "  After REL1 and REL2:\n" << engine.vut().ToString() << "\n";
+  engine.ReceiveActionList(Al("V2", 1, 1), &out);
+  std::cout << "  After AL^2_1 (held: row 1 still waits for V1):\n"
+            << engine.vut().ToString() << "\n";
+}
+
+void Example3() {
+  std::cout << "E3. Example 3: Simple Painting Algorithm trace\n"
+            << "    V1 = R|><|S, V2 = S|><|T, V3 = Q;"
+            << " U1 on S, U2 on Q, U3 on T\n"
+            << "    Arrival: REL1, AL(V2,1), REL2, REL3, AL(V3,2), "
+               "AL(V2,3), AL(V1,1)\n\n";
+  SpaEngine engine({"V1", "V2", "V3"});
+  std::vector<WarehouseTransaction> out;
+
+  auto step = [&](const std::string& what, auto&& fn) {
+    out.clear();
+    fn();
+    std::cout << "  " << what << ":\n";
+    Emit(out);
+    std::cout << engine.vut().ToString() << "\n";
+  };
+
+  step("REL1 = {V1,V2}", [&] { engine.ReceiveRelSet(1, {"V1", "V2"}, &out); });
+  step("AL^2_1 arrives (t1)",
+       [&] { engine.ReceiveActionList(Al("V2", 1, 1), &out); });
+  step("REL2 = {V3} (t2)", [&] { engine.ReceiveRelSet(2, {"V3"}, &out); });
+  step("REL3 = {V2} (t3)", [&] { engine.ReceiveRelSet(3, {"V2"}, &out); });
+  step("AL^3_2 arrives (t4): row 2 applies out of order (t5), purged (t6)",
+       [&] { engine.ReceiveActionList(Al("V3", 2, 2), &out); });
+  step("AL^2_3 arrives (t7): blocked behind row 1's red V2",
+       [&] { engine.ReceiveActionList(Al("V2", 3, 3), &out); });
+  step("AL^1_1 arrives (t8): row 1 applies (t9), then row 3 (t10-t11)",
+       [&] { engine.ReceiveActionList(Al("V1", 1, 1), &out); });
+}
+
+void Example5() {
+  std::cout << "E5. Example 5: Painting Algorithm trace (cells are "
+               "(color,state))\n"
+            << "    V1 = R|><|S, V2 = S|><|T|><|Q, V3 = Q;"
+            << " U1 on S, U2 on Q, U3 on Q\n"
+            << "    Arrival: REL1-3, AL(V2,1), AL(V2,2..3), AL(V3,2), "
+               "AL(V1,1), AL(V3,3)\n\n";
+  PaEngine engine({"V1", "V2", "V3"});
+  std::vector<WarehouseTransaction> out;
+
+  auto step = [&](const std::string& what, auto&& fn) {
+    out.clear();
+    fn();
+    std::cout << "  " << what << ":\n";
+    Emit(out);
+    std::cout << engine.vut().ToString(true) << "\n";
+  };
+
+  step("REL1..REL3 (t0)", [&] {
+    engine.ReceiveRelSet(1, {"V1", "V2"}, &out);
+    engine.ReceiveRelSet(2, {"V2", "V3"}, &out);
+    engine.ReceiveRelSet(3, {"V2", "V3"}, &out);
+  });
+  step("AL^2_1 (t1)", [&] { engine.ReceiveActionList(Al("V2", 1, 1), &out); });
+  step("AL^2_3 covering U2,U3 (t2)",
+       [&] { engine.ReceiveActionList(Al("V2", 2, 3), &out); });
+  step("AL^3_2 (t3): ProcessRow(2) -> ProcessRow(1) fails on white V1",
+       [&] { engine.ReceiveActionList(Al("V3", 2, 2), &out); });
+  step("AL^1_1 (t4): row 1 applies alone (t5)",
+       [&] { engine.ReceiveActionList(Al("V1", 1, 1), &out); });
+  step("AL^3_3 (t6): rows 2 and 3 apply together (t7)",
+       [&] { engine.ReceiveActionList(Al("V3", 3, 3), &out); });
+}
+
+}  // namespace
+}  // namespace mvc
+
+int main() {
+  mvc::Example2();
+  std::cout << "\n";
+  mvc::Example3();
+  std::cout << "\n";
+  mvc::Example5();
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Hash combination helpers (boost::hash_combine style).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace mvc {
+
+/// Mixes `value`'s hash into `seed`.
+inline void HashCombine(size_t* seed, size_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+template <typename T>
+void HashCombineValue(size_t* seed, const T& v) {
+  HashCombine(seed, std::hash<T>{}(v));
+}
+
+}  // namespace mvc

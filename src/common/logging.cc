@@ -1,0 +1,66 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace mvc {
+
+namespace {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::cerr << stream_.str() << "\n";
+  (void)level_;
+}
+
+void FatalCheckFailure(const char* file, int line,
+                       const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::cerr << "[FATAL " << file << ":" << line << "] " << message << "\n";
+  }
+  std::abort();
+}
+
+FatalMessage::FatalMessage(const char* file, int line, const char* expr)
+    : file_(file), line_(line) {
+  stream_ << expr << " ";
+}
+
+FatalMessage::~FatalMessage() {
+  FatalCheckFailure(file_, line_, stream_.str());
+}
+
+}  // namespace internal
+}  // namespace mvc

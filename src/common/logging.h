@@ -1,0 +1,88 @@
+// Minimal leveled logging and check macros.
+//
+// MVC_CHECK* abort the process on violation: they guard internal
+// invariants whose violation indicates a bug, never user error (user
+// errors surface as Status).
+
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace mvc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Default kWarn so
+/// tests and benches stay quiet unless they opt in.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Voidify helper so the macro's conditional has type void.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+[[noreturn]] void FatalCheckFailure(const char* file, int line,
+                                    const std::string& message);
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* expr);
+  [[noreturn]] ~FatalMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace mvc
+
+#define MVC_LOG_INTERNAL(level)                                      \
+  (level) < ::mvc::GetLogLevel()                                     \
+      ? (void)0                                                      \
+      : ::mvc::internal::LogVoidify() &                              \
+            ::mvc::internal::LogMessage(level, __FILE__, __LINE__)   \
+                .stream()
+
+#define MVC_LOG_DEBUG() MVC_LOG_INTERNAL(::mvc::LogLevel::kDebug)
+#define MVC_LOG_INFO() MVC_LOG_INTERNAL(::mvc::LogLevel::kInfo)
+#define MVC_LOG_WARN() MVC_LOG_INTERNAL(::mvc::LogLevel::kWarn)
+#define MVC_LOG_ERROR() MVC_LOG_INTERNAL(::mvc::LogLevel::kError)
+
+#define MVC_CHECK(cond)                                            \
+  (cond) ? (void)0                                                 \
+         : ::mvc::internal::LogVoidify() &                         \
+               ::mvc::internal::FatalMessage(__FILE__, __LINE__,   \
+                                             "Check failed: " #cond) \
+                   .stream()
+
+#define MVC_CHECK_EQ(a, b) MVC_CHECK((a) == (b))
+#define MVC_CHECK_NE(a, b) MVC_CHECK((a) != (b))
+#define MVC_CHECK_LT(a, b) MVC_CHECK((a) < (b))
+#define MVC_CHECK_LE(a, b) MVC_CHECK((a) <= (b))
+#define MVC_CHECK_GT(a, b) MVC_CHECK((a) > (b))
+#define MVC_CHECK_GE(a, b) MVC_CHECK((a) >= (b))
+
+#define MVC_DCHECK(cond) MVC_CHECK(cond)

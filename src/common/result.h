@@ -1,0 +1,86 @@
+// Result<T>: a value-or-Status holder, the library's replacement for
+// exceptions on fallible value-returning paths.
+
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace mvc {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced.
+///
+/// Usage:
+///   Result<Table> r = catalog.GetTable("R");
+///   if (!r.ok()) return r.status();
+///   Table& t = *r;
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, enables
+  /// `return Status::NotFound(...);`).
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() &&
+           "Result must not be constructed from an OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The error status; Status::OK() when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  /// The held value. Must only be called when ok().
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Moves the value out, or returns `fallback` if this holds an error.
+  T ValueOr(T fallback) && {
+    if (ok()) return std::get<T>(std::move(rep_));
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace mvc
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define MVC_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  MVC_ASSIGN_OR_RETURN_IMPL_(                                   \
+      MVC_STATUS_CONCAT_(_mvc_result_, __COUNTER__), lhs, rexpr)
+
+#define MVC_STATUS_CONCAT_INNER_(a, b) a##b
+#define MVC_STATUS_CONCAT_(a, b) MVC_STATUS_CONCAT_INNER_(a, b)
+
+#define MVC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()

@@ -1,0 +1,95 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library (simulated network latencies, workload
+// generation) flows through Rng instances constructed from explicit
+// seeds, so every scenario is exactly reproducible.
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mvc {
+
+/// Seeded Mersenne-Twister wrapper with the handful of draw shapes the
+/// library needs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    MVC_DCHECK(lo <= hi);
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Exponential draw with the given mean (>0).
+  double Exponential(double mean) {
+    MVC_DCHECK(mean > 0.0);
+    std::exponential_distribution<double> dist(1.0 / mean);
+    return dist(engine_);
+  }
+
+  /// Zipf-like skewed index in [0, n): probability of index i is
+  /// proportional to 1/(i+1)^theta. theta = 0 degenerates to uniform.
+  int64_t Zipf(int64_t n, double theta) {
+    MVC_DCHECK(n > 0);
+    if (theta <= 0.0) return UniformInt(0, n - 1);
+    // Inverse-CDF over precomputed weights would be faster for large n;
+    // workloads here use small alphabets so the direct scan is fine.
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    }
+    double target = UniformDouble(0.0, total);
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      if (target <= acc) return i;
+    }
+    return n - 1;
+  }
+
+  /// Picks an index according to non-negative weights (not all zero).
+  size_t WeightedIndex(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    MVC_DCHECK(total > 0.0);
+    double target = UniformDouble(0.0, total);
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (target <= acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Derives an independent child generator; used to give each component
+  /// its own stream so adding draws in one place does not perturb others.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mvc

@@ -1,0 +1,39 @@
+// Small string helpers shared across modules.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mvc {
+
+/// Joins the elements of `parts` with `sep`, using operator<< for
+/// formatting.
+template <typename Container>
+std::string JoinToString(const Container& parts, const std::string& sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) os << sep;
+    os << p;
+    first = false;
+  }
+  return os.str();
+}
+
+/// printf-free concatenation: StrCat(1, "-", 2.5) == "1-2.5".
+template <typename... Args>
+std::string StrCat(Args&&... args) {
+  std::ostringstream os;
+  ((void)(os << std::forward<Args>(args)), ...);
+  return os.str();
+}
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> SplitString(const std::string& s, char delim);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace mvc

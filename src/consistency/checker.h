@@ -1,0 +1,99 @@
+// The MVC consistency oracle: decides whether a recorded run satisfies
+// the paper's formal definitions (Section 2), generalized the way the
+// definitions intend — the warehouse may reflect *any* serializable
+// schedule equivalent to the source schedule S, not only S itself
+// ("there exists a consistent source state sequence").
+//
+// Method. Each committed warehouse transaction declares the set of
+// updates it folds in (its VUT rows). Cumulatively unioning them gives a
+// chain A_1 ⊆ A_2 ⊆ ... of applied-update sets. The run is
+//
+//   * MVC strongly consistent iff
+//       (content)   after every commit, every view's contents equal the
+//                   view evaluated over initial-state ∪ {base deltas of
+//                   A_j} — i.e. all views reflect one common source
+//                   state of an equivalent schedule;
+//       (legality)  the chain respects dependent-update order: if two
+//                   updates affect a common view, the earlier one never
+//                   enters the chain after the later one (this is what
+//                   makes the reordered schedule equivalent to S);
+//       (final)     after the last commit the chain contains every
+//                   update that affects any view, and contents match.
+//   * MVC complete iff additionally every commit grows the chain by
+//     exactly one update (every source state is walked through).
+//   * MVC convergent iff at least the final contents match (intermediate
+//     commits unconstrained).
+//
+// Content checks need view snapshots (recorder constructed with
+// snapshot_views = true).
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "consistency/recorder.h"
+#include "query/aggregate.h"
+#include "query/view_def.h"
+#include "storage/catalog.h"
+
+namespace mvc {
+
+struct CheckerOptions {
+  /// Must match the integrator's relevance_pruning setting so the
+  /// oracle computes the same REL sets.
+  bool relevance_pruning = true;
+};
+
+/// One warehouse view as the oracle evaluates it: an SPJ core plus an
+/// optional aggregate layered on top.
+struct CheckedView {
+  const BoundView* view = nullptr;
+  const AggregateSpec* aggregate = nullptr;
+};
+
+class ConsistencyChecker {
+ public:
+  /// `views` (and any aggregate specs) must outlive the checker.
+  /// `initial_base` holds the initial contents of every base relation
+  /// (all sources combined; relation names are globally unique).
+  ConsistencyChecker(std::vector<CheckedView> views,
+                     const Catalog& initial_base,
+                     CheckerOptions options = {});
+
+  /// Convenience for plain SPJ views.
+  ConsistencyChecker(std::vector<const BoundView*> views,
+                     const Catalog& initial_base,
+                     CheckerOptions options = {});
+
+  /// Convergence: the final warehouse state reflects the final source
+  /// state.
+  Status CheckConvergent(const ConsistencyRecorder& recorder) const;
+
+  /// Strong MVC consistency (content + legality + final), per above.
+  Status CheckStrong(const ConsistencyRecorder& recorder) const;
+
+  /// MVC completeness: strong, plus single-update steps covering every
+  /// relevant update.
+  Status CheckComplete(const ConsistencyRecorder& recorder) const;
+
+ private:
+  /// REL of one transaction under the configured relevance test.
+  std::set<std::string> RelevantViews(const SourceTransaction& txn) const;
+
+  /// Evaluates every view over `base` and compares with `snapshot`.
+  Status CompareViews(const Catalog& base, const Catalog& snapshot,
+                      const std::string& context) const;
+
+  Status CheckChain(const ConsistencyRecorder& recorder,
+                    bool require_single_steps) const;
+
+  std::vector<CheckedView> views_;
+  const Catalog& initial_base_;
+  CheckerOptions options_;
+};
+
+}  // namespace mvc

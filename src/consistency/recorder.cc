@@ -1,0 +1,45 @@
+#include "consistency/recorder.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mvc {
+
+std::string FreshnessStats::ToString() const {
+  std::ostringstream os;
+  os << "reflected=" << updates_reflected
+     << " mean_lag_us=" << mean_lag_micros << " max_lag_us="
+     << max_lag_micros;
+  return os.str();
+}
+
+FreshnessStats ConsistencyRecorder::ComputeFreshness() const {
+  std::map<UpdateId, TimeMicros> numbered_at;
+  for (const RecordedUpdate& u : updates_) numbered_at[u.id] = u.numbered_at;
+
+  std::map<UpdateId, TimeMicros> first_reflected;
+  for (const RecordedCommit& c : commits_) {
+    for (UpdateId id : c.txn.rows) {
+      auto [it, inserted] = first_reflected.emplace(id, c.committed_at);
+      (void)it;
+      (void)inserted;
+    }
+  }
+
+  FreshnessStats stats;
+  double total = 0;
+  for (const auto& [id, at] : first_reflected) {
+    auto it = numbered_at.find(id);
+    if (it == numbered_at.end()) continue;
+    TimeMicros lag = at - it->second;
+    total += static_cast<double>(lag);
+    stats.max_lag_micros = std::max(stats.max_lag_micros, lag);
+    ++stats.updates_reflected;
+  }
+  if (stats.updates_reflected > 0) {
+    stats.mean_lag_micros = total / static_cast<double>(stats.updates_reflected);
+  }
+  return stats;
+}
+
+}  // namespace mvc

@@ -1,0 +1,89 @@
+// Recording infrastructure for the consistency oracle and the freshness
+// metrics.
+//
+// The recorder taps two streams:
+//   * the integrator's numbered transaction stream (the canonical source
+//     schedule S = U_1; U_2; ... of Section 2.1), and
+//   * the warehouse's commit stream, with a snapshot of every view's
+//     contents after each commit (the warehouse state sequence Wseq).
+//
+// The checker (checker.h) replays the first against the initial source
+// state to decide whether the second satisfies the paper's convergence /
+// strong-consistency / completeness definitions.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/runtime.h"
+#include "storage/catalog.h"
+
+namespace mvc {
+
+struct RecordedUpdate {
+  UpdateId id = 0;
+  SourceTransaction txn;
+  TimeMicros numbered_at = 0;
+};
+
+struct RecordedCommit {
+  ProcessId submitter = kInvalidProcess;
+  WarehouseTransaction txn;
+  TimeMicros committed_at = 0;
+  /// Contents of every warehouse view after this commit (empty when
+  /// snapshotting is disabled).
+  Catalog view_snapshot;
+};
+
+/// Per-update propagation delay: commit time of the first warehouse
+/// transaction reflecting the update, minus its numbering time.
+struct FreshnessStats {
+  int64_t updates_reflected = 0;
+  double mean_lag_micros = 0;
+  TimeMicros max_lag_micros = 0;
+
+  std::string ToString() const;
+};
+
+class ConsistencyRecorder {
+ public:
+  /// When disabled, commits are still logged but view contents are not
+  /// snapshotted (cheap enough for benchmarks; the checker then can only
+  /// verify coverage/ordering, not contents).
+  explicit ConsistencyRecorder(bool snapshot_views = true)
+      : snapshot_views_(snapshot_views) {}
+
+  /// Integrator observer (see IntegratorProcess::SetUpdateObserver).
+  void OnUpdateNumbered(UpdateId id, const SourceTransaction& txn,
+                        TimeMicros now) {
+    updates_.push_back(RecordedUpdate{id, txn, now});
+  }
+
+  /// Warehouse observer (see WarehouseProcess::SetCommitObserver).
+  void OnCommit(ProcessId submitter, const WarehouseTransaction& txn,
+                const Catalog& views, TimeMicros now) {
+    RecordedCommit commit;
+    commit.submitter = submitter;
+    commit.txn = txn;
+    commit.committed_at = now;
+    if (snapshot_views_) commit.view_snapshot = views.Clone();
+    commits_.push_back(std::move(commit));
+  }
+
+  const std::vector<RecordedUpdate>& updates() const { return updates_; }
+  const std::vector<RecordedCommit>& commits() const { return commits_; }
+  bool snapshots_enabled() const { return snapshot_views_; }
+
+  /// Freshness over all updates reflected by some commit.
+  FreshnessStats ComputeFreshness() const;
+
+ private:
+  bool snapshot_views_;
+  std::vector<RecordedUpdate> updates_;
+  std::vector<RecordedCommit> commits_;
+};
+
+}  // namespace mvc

@@ -1,0 +1,118 @@
+#include "integrator/integrator.h"
+
+#include <set>
+
+#include "common/string_util.h"
+#include "query/relevance.h"
+
+namespace mvc {
+
+Status IntegratorProcess::RegisterView(const BoundView* view,
+                                       ProcessId view_manager,
+                                       ProcessId merge) {
+  MVC_CHECK(view != nullptr);
+  if (views_.count(view->name()) > 0) {
+    return Status::AlreadyExists(
+        StrCat("view '", view->name(), "' already registered"));
+  }
+  views_[view->name()] = ViewRoute{view, view_manager, merge};
+  return Status::OK();
+}
+
+void IntegratorProcess::OnMessage(ProcessId from, MessagePtr msg) {
+  (void)from;
+  if (msg->kind != Message::Kind::kSourceTxn) {
+    MVC_LOG_ERROR() << "integrator: unexpected message " << msg->Summary();
+    return;
+  }
+  auto* txn_msg = static_cast<SourceTxnMsg*>(msg.get());
+  SourceTransaction txn = std::move(txn_msg->txn);
+
+  if (txn.global_txn_id != 0) {
+    // Section 6.2: collect all per-source parts, then treat the union as
+    // one atomic unit.
+    auto& parts = pending_global_[txn.global_txn_id];
+    parts.push_back(txn);
+    if (static_cast<int32_t>(parts.size()) < txn.global_participants) {
+      return;  // wait for the remaining sources
+    }
+    SourceTransaction merged;
+    merged.global_txn_id = txn.global_txn_id;
+    merged.local_seq = 0;
+    for (const SourceTransaction& part : parts) {
+      merged.updates.insert(merged.updates.end(), part.updates.begin(),
+                            part.updates.end());
+    }
+    pending_global_.erase(txn.global_txn_id);
+    ProcessTransaction(merged);
+    return;
+  }
+  ProcessTransaction(txn);
+}
+
+void IntegratorProcess::ProcessTransaction(const SourceTransaction& txn) {
+  const UpdateId update_id = ++next_update_;
+  if (observer_) observer_(update_id, txn);
+
+  // REL_i: views affected by any update in the transaction.
+  std::vector<std::string> rel;
+  for (const auto& [name, route] : views_) {
+    bool relevant = false;
+    for (const Update& u : txn.updates) {
+      if (options_.relevance_pruning) {
+        relevant = UpdateIsRelevant(*route.view, u);
+      } else {
+        relevant = route.view->RelationIndex(u.relation).has_value();
+      }
+      if (relevant) break;
+    }
+    if (relevant) rel.push_back(name);
+  }
+
+  // Deliver REL_i to each merge process owning at least one affected
+  // view, restricted to its own views (distributed merge, Section 6.1).
+  // Under the piggyback scheme the first view manager per merge group
+  // carries the REL instead.
+  std::map<ProcessId, std::vector<std::string>> rel_by_merge;
+  for (const std::string& view : rel) {
+    rel_by_merge[views_[view].merge].push_back(view);
+  }
+  if (!options_.piggyback_rel) {
+    if (rel_by_merge.empty() && options_.report_empty_rel) {
+      // No view affected: report the empty row to every merge process so
+      // each can advance its freshness accounting and purge immediately.
+      std::set<ProcessId> merges;
+      for (const auto& [name, route] : views_) merges.insert(route.merge);
+      for (ProcessId merge : merges) {
+        auto rel_msg = std::make_unique<RelSetMsg>();
+        rel_msg->update_id = update_id;
+        SendAfter(merge, std::move(rel_msg), options_.process_delay);
+      }
+    } else {
+      for (const auto& [merge, views] : rel_by_merge) {
+        auto rel_msg = std::make_unique<RelSetMsg>();
+        rel_msg->update_id = update_id;
+        rel_msg->views = views;
+        SendAfter(merge, std::move(rel_msg), options_.process_delay);
+      }
+    }
+  }
+
+  // Copy of U_i to each relevant view manager.
+  std::set<ProcessId> carried;  // merge groups whose REL was assigned
+  for (const std::string& view : rel) {
+    const ViewRoute& route = views_[view];
+    auto update_msg = std::make_unique<UpdateMsg>();
+    update_msg->update_id = update_id;
+    update_msg->txn = txn;
+    if (options_.piggyback_rel && carried.insert(route.merge).second) {
+      // First view manager in this merge group forwards REL_i.
+      update_msg->carries_rel = true;
+      update_msg->rel_views = rel_by_merge[route.merge];
+    }
+    SendAfter(route.view_manager, std::move(update_msg),
+              options_.process_delay);
+  }
+}
+
+}  // namespace mvc

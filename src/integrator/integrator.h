@@ -1,0 +1,86 @@
+// The integrator (Figure 1): receives committed transactions from all
+// sources, numbers them globally by arrival order, computes the
+// relevant-view set REL_i, and fans out:
+//   * REL_i to the merge process responsible for each affected view
+//     (or, under the alternate scheme of Section 3.2, piggybacked on one
+//     of the view managers);
+//   * a copy of U_i to every view manager whose view is in REL_i.
+//
+// Section 6.2 extension: parts of a global transaction (same
+// global_txn_id from several sources) are buffered and merged into a
+// single atomic unit before numbering.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/protocol.h"
+#include "net/runtime.h"
+#include "query/view_def.h"
+
+namespace mvc {
+
+struct IntegratorOptions {
+  /// Prune views from REL_i whose selection conditions reject the
+  /// updated tuple (Section 3.2 step 2 optimization). When false, REL_i
+  /// contains every view whose definition uses an updated relation.
+  bool relevance_pruning = true;
+  /// Alternate REL delivery (Section 3.2): piggyback REL_i on the first
+  /// view manager in the set instead of messaging the merge process
+  /// directly. Saves one message per update.
+  bool piggyback_rel = false;
+  /// Simulated processing time per transaction before fan-out.
+  TimeMicros process_delay = 0;
+  /// When true, an empty REL_i is still reported to every merge process
+  /// so that freshness accounting sees every update id. SPA/PA purge the
+  /// empty row immediately.
+  bool report_empty_rel = true;
+};
+
+class IntegratorProcess : public Process {
+ public:
+  IntegratorProcess(std::string name, IntegratorOptions options = {})
+      : Process(std::move(name)), options_(options) {}
+
+  /// Registers a view: its analyzed definition, the view manager that
+  /// maintains it, and the merge process coordinating its group. The
+  /// BoundView must outlive the integrator.
+  Status RegisterView(const BoundView* view, ProcessId view_manager,
+                      ProcessId merge);
+
+  /// Observer invoked with every globally numbered transaction; the
+  /// consistency oracle uses it to reconstruct the source state
+  /// sequence.
+  void SetUpdateObserver(
+      std::function<void(UpdateId, const SourceTransaction&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Number of transactions numbered so far.
+  int64_t num_updates() const { return next_update_; }
+
+  void OnMessage(ProcessId from, MessagePtr msg) override;
+
+ private:
+  void ProcessTransaction(const SourceTransaction& txn);
+
+  struct ViewRoute {
+    const BoundView* view;
+    ProcessId view_manager;
+    ProcessId merge;
+  };
+
+  IntegratorOptions options_;
+  /// Ordered by view name for deterministic fan-out order.
+  std::map<std::string, ViewRoute> views_;
+  UpdateId next_update_ = 0;
+  /// Buffered parts of in-flight global transactions, keyed by id.
+  std::map<int64_t, std::vector<SourceTransaction>> pending_global_;
+  std::function<void(UpdateId, const SourceTransaction&)> observer_;
+};
+
+}  // namespace mvc

@@ -1,0 +1,127 @@
+#include "integrator/sequential_integrator.h"
+
+#include "common/string_util.h"
+#include "query/evaluator.h"
+
+namespace mvc {
+
+Status SequentialIntegrator::RegisterView(const BoundView* view) {
+  MVC_CHECK(view != nullptr);
+  if (views_.count(view->name()) > 0) {
+    return Status::AlreadyExists(
+        StrCat("view '", view->name(), "' already registered"));
+  }
+  views_[view->name()] = view;
+  return Status::OK();
+}
+
+Status SequentialIntegrator::RegisterBaseRelation(const std::string& relation,
+                                                  const Schema& schema,
+                                                  const Table* initial) {
+  MVC_RETURN_IF_ERROR(replicas_.CreateTable(relation, schema));
+  if (initial != nullptr) {
+    MVC_ASSIGN_OR_RETURN(Table * replica, replicas_.GetTable(relation));
+    Status st;
+    initial->Scan([&](const Tuple& t, int64_t c) {
+      if (st.ok()) st = replica->Insert(t, c);
+    });
+    MVC_RETURN_IF_ERROR(st);
+  }
+  return Status::OK();
+}
+
+void SequentialIntegrator::OnMessage(ProcessId from, MessagePtr msg) {
+  (void)from;
+  switch (msg->kind) {
+    case Message::Kind::kSourceTxn: {
+      auto* txn_msg = static_cast<SourceTxnMsg*>(msg.get());
+      const UpdateId id = ++next_update_;
+      if (observer_) observer_(id, txn_msg->txn);
+      queue_.emplace_back(id, std::move(txn_msg->txn));
+      TryProcessNext();
+      return;
+    }
+    case Message::Kind::kTick: {
+      // Simulated computation finished: submit the prepared transaction
+      // (or, if it carried no view changes, move straight on).
+      if (has_prepared_) {
+        auto wt = std::make_unique<WarehouseTxnMsg>();
+        wt->txn = std::move(prepared_);
+        has_prepared_ = false;
+        Send(warehouse_, std::move(wt));
+        // busy_ stays set until the commit acknowledgement.
+      } else {
+        busy_ = false;
+        TryProcessNext();
+      }
+      return;
+    }
+    case Message::Kind::kTxnCommitted: {
+      busy_ = false;
+      TryProcessNext();
+      return;
+    }
+    default:
+      MVC_LOG_ERROR() << "sequential integrator: unexpected message "
+                      << msg->Summary();
+  }
+}
+
+void SequentialIntegrator::TryProcessNext() {
+  if (busy_ || queue_.empty()) return;
+  busy_ = true;
+  auto [update_id, txn] = std::move(queue_.front());
+  queue_.pop_front();
+
+  // Compute every affected view's delta sequentially against the replica
+  // state as of update_id - 1, telescoping update by update within the
+  // transaction.
+  std::map<std::string, TableDelta> view_deltas;
+  TimeMicros cost = options_.process_delay;
+  TableProviderFn provider = CatalogProvider(&replicas_);
+  for (const Update& u : txn.updates) {
+    TableDelta base = ViewEvaluator::UpdateToBaseDelta(u);
+    for (const auto& [name, view] : views_) {
+      if (!view->RelationIndex(u.relation).has_value()) continue;
+      auto delta = ViewEvaluator::EvaluateDelta(*view, u.relation, base,
+                                                provider);
+      MVC_CHECK(delta.ok()) << delta.status().ToString();
+      cost += options_.delta_cost;
+      TableDelta& acc = view_deltas[name];
+      acc.target = name;
+      for (DeltaRow& row : delta->rows) acc.rows.push_back(std::move(row));
+    }
+    // Advance the replica past this update.
+    auto replica = replicas_.GetTable(u.relation);
+    MVC_CHECK(replica.ok()) << replica.status().ToString();
+    Status st = ViewEvaluator::UpdateToBaseDelta(u).ApplyTo(*replica);
+    MVC_CHECK(st.ok()) << st.ToString();
+  }
+
+  WarehouseTransaction wt;
+  wt.txn_id = update_id;
+  wt.rows = {update_id};
+  wt.source_state = update_id;
+  for (auto& [name, delta] : view_deltas) {
+    delta.Normalize();
+    ActionList al;
+    al.view = name;
+    al.update = update_id;
+    al.first_update = update_id;
+    al.covered = {update_id};
+    al.delta = std::move(delta);
+    wt.views.push_back(name);
+    wt.actions.push_back(std::move(al));
+  }
+
+  if (wt.actions.empty()) {
+    has_prepared_ = false;
+  } else {
+    prepared_ = std::move(wt);
+    has_prepared_ = true;
+  }
+  // Model the serialized computation time, then submit.
+  ScheduleSelf(std::make_unique<TickMsg>(), cost);
+}
+
+}  // namespace mvc

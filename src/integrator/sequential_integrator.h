@@ -1,0 +1,81 @@
+// The paper's strawman baseline (Section 1.1): a single integrator
+// process that handles updates strictly sequentially. For each update it
+// computes the changes to all affected views one after another, submits
+// one warehouse transaction, waits for the commit acknowledgement, and
+// only then moves to the next update.
+//
+// Trivially MVC-complete (every warehouse transaction carries all of one
+// update's view changes, in update order) but with zero concurrency:
+// delta-computation time and warehouse round trips serialize. The
+// concurrency benchmarks (experiment P3) quantify exactly this.
+
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/protocol.h"
+#include "net/runtime.h"
+#include "query/view_def.h"
+#include "storage/catalog.h"
+
+namespace mvc {
+
+struct SequentialIntegratorOptions {
+  /// Simulated cost of computing one view's delta for one update. In the
+  /// concurrent architecture the same cost is paid by view managers *in
+  /// parallel*; here it serializes.
+  TimeMicros delta_cost = 0;
+  /// Fixed per-update processing overhead.
+  TimeMicros process_delay = 0;
+};
+
+class SequentialIntegrator : public Process {
+ public:
+  SequentialIntegrator(std::string name,
+                       SequentialIntegratorOptions options = {})
+      : Process(std::move(name)), options_(options) {}
+
+  /// Registers a maintained view (BoundView must outlive the process).
+  Status RegisterView(const BoundView* view);
+
+  /// Declares a base relation so a local replica can be maintained from
+  /// the update stream.
+  Status RegisterBaseRelation(const std::string& relation,
+                              const Schema& schema,
+                              const Table* initial = nullptr);
+
+  void SetWarehouse(ProcessId warehouse) { warehouse_ = warehouse; }
+
+  void SetUpdateObserver(
+      std::function<void(UpdateId, const SourceTransaction&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  int64_t num_updates() const { return next_update_; }
+
+  void OnMessage(ProcessId from, MessagePtr msg) override;
+
+ private:
+  void TryProcessNext();
+
+  SequentialIntegratorOptions options_;
+  std::map<std::string, const BoundView*> views_;
+  Catalog replicas_;
+  ProcessId warehouse_ = kInvalidProcess;
+  std::function<void(UpdateId, const SourceTransaction&)> observer_;
+
+  UpdateId next_update_ = 0;
+  std::deque<std::pair<UpdateId, SourceTransaction>> queue_;
+  bool busy_ = false;
+  /// Transaction prepared for the in-progress update, sent when the
+  /// simulated computation delay elapses.
+  WarehouseTransaction prepared_;
+  bool has_prepared_ = false;
+};
+
+}  // namespace mvc

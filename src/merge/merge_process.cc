@@ -1,0 +1,254 @@
+#include "merge/merge_process.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace mvc {
+
+const char* SubmissionPolicyToString(SubmissionPolicy policy) {
+  switch (policy) {
+    case SubmissionPolicy::kSequential:
+      return "sequential";
+    case SubmissionPolicy::kHoldDependents:
+      return "hold-dependents";
+    case SubmissionPolicy::kAnnotate:
+      return "annotate";
+    case SubmissionPolicy::kBatched:
+      return "batched";
+  }
+  return "?";
+}
+
+namespace {
+/// True if the two sorted view-name vectors intersect.
+bool ViewsOverlap(const std::vector<std::string>& a,
+                  const std::vector<std::string>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+MergeProcess::MergeProcess(std::string name, std::vector<std::string> views,
+                           MergeOptions options)
+    : Process(std::move(name)),
+      options_(options),
+      engine_(MergeEngine::Create(options.algorithm, std::move(views))) {}
+
+void MergeProcess::OnMessage(ProcessId from, MessagePtr msg) {
+  (void)from;
+  switch (msg->kind) {
+    case Message::Kind::kTxnCommitted: {
+      // Commit acknowledgements are cheap bookkeeping; handled inline.
+      OnCommitted(static_cast<TxnCommittedMsg*>(msg.get())->txn_id);
+      return;
+    }
+    case Message::Kind::kTick: {
+      auto* tick = static_cast<TickMsg*>(msg.get());
+      if (tick->tag == kBatchFlushTag) {
+        batch_timer_armed_ = false;
+        if (!batch_.empty()) FlushBatch();
+      } else {
+        busy_ = false;
+        PumpBacklog();
+      }
+      return;
+    }
+    case Message::Kind::kRelSet:
+    case Message::Kind::kActionList: {
+      if (options_.process_delay == 0) {
+        HandleNow(msg.get());
+      } else {
+        backlog_.push_back(std::move(msg));
+        stats_.peak_backlog = std::max(stats_.peak_backlog, backlog_.size());
+        PumpBacklog();
+      }
+      return;
+    }
+    default:
+      MVC_LOG_ERROR() << "merge " << name() << ": unexpected message "
+                      << msg->Summary();
+  }
+}
+
+void MergeProcess::PumpBacklog() {
+  if (busy_ || backlog_.empty()) return;
+  MessagePtr msg = std::move(backlog_.front());
+  backlog_.pop_front();
+  HandleNow(msg.get());
+  busy_ = true;
+  ScheduleSelf(std::make_unique<TickMsg>(), options_.process_delay);
+}
+
+void MergeProcess::HandleNow(Message* msg) {
+  std::vector<WarehouseTransaction> emitted;
+  if (msg->kind == Message::Kind::kRelSet) {
+    auto* rel = static_cast<RelSetMsg*>(msg);
+    ++stats_.rels_received;
+    engine_->ReceiveRelSet(rel->update_id, rel->views, &emitted);
+  } else {
+    auto* alm = static_cast<ActionListMsg*>(msg);
+    // Piggybacked REL sets (alternate delivery scheme) are processed
+    // before the action list that carried them.
+    for (RelSetMsg& rel : alm->piggybacked_rels) {
+      ++stats_.rels_received;
+      engine_->ReceiveRelSet(rel.update_id, rel.views, &emitted);
+    }
+    ++stats_.action_lists_received;
+    engine_->ReceiveActionList(std::move(alm->al), &emitted);
+  }
+  stats_.peak_held_action_lists =
+      std::max(stats_.peak_held_action_lists, engine_->held_action_lists());
+  stats_.peak_open_rows =
+      std::max(stats_.peak_open_rows, engine_->open_rows());
+  HandleEmitted(std::move(emitted));
+}
+
+void MergeProcess::HandleEmitted(std::vector<WarehouseTransaction> emitted) {
+  for (WarehouseTransaction& txn : emitted) {
+    SubmitOrQueue(std::move(txn));
+  }
+}
+
+void MergeProcess::SubmitOrQueue(WarehouseTransaction txn) {
+  switch (options_.policy) {
+    case SubmissionPolicy::kSequential:
+      if (outstanding_.empty() && wait_queue_.empty()) {
+        Submit(std::move(txn));
+      } else {
+        wait_queue_.push_back(std::move(txn));
+      }
+      return;
+    case SubmissionPolicy::kHoldDependents: {
+      bool blocked = OverlapsUncommitted(txn, /*before_txn_id=*/-1);
+      if (!blocked) {
+        for (const WarehouseTransaction& queued : wait_queue_) {
+          if (ViewsOverlap(txn.views, queued.views)) {
+            blocked = true;
+            break;
+          }
+        }
+      }
+      if (blocked) {
+        wait_queue_.push_back(std::move(txn));
+      } else {
+        Submit(std::move(txn));
+      }
+      return;
+    }
+    case SubmissionPolicy::kAnnotate:
+      Submit(std::move(txn));
+      return;
+    case SubmissionPolicy::kBatched:
+      batch_.push_back(std::move(txn));
+      if (batch_.size() >= options_.batch_size) {
+        FlushBatch();
+      } else if (options_.batch_timeout > 0 && !batch_timer_armed_) {
+        batch_timer_armed_ = true;
+        auto tick = std::make_unique<TickMsg>();
+        tick->tag = kBatchFlushTag;
+        ScheduleSelf(std::move(tick), options_.batch_timeout);
+      }
+      return;
+  }
+}
+
+void MergeProcess::FlushBatch() {
+  MVC_CHECK(!batch_.empty());
+  // Combine into one batched warehouse transaction (BWT). Dependent
+  // members already appear in emission order, satisfying the Section 4.3
+  // in-batch ordering requirement.
+  WarehouseTransaction bwt;
+  std::set<std::string> views;
+  for (WarehouseTransaction& member : batch_) {
+    bwt.rows.insert(bwt.rows.end(), member.rows.begin(), member.rows.end());
+    for (ActionList& al : member.actions) {
+      bwt.actions.push_back(std::move(al));
+    }
+    views.insert(member.views.begin(), member.views.end());
+    bwt.source_state = std::max(bwt.source_state, member.source_state);
+  }
+  batch_.clear();
+  std::sort(bwt.rows.begin(), bwt.rows.end());
+  bwt.views.assign(views.begin(), views.end());
+  Submit(std::move(bwt));
+}
+
+void MergeProcess::Submit(WarehouseTransaction txn) {
+  txn.txn_id = ++next_txn_id_;
+  if (options_.policy == SubmissionPolicy::kAnnotate ||
+      options_.policy == SubmissionPolicy::kBatched) {
+    for (const auto& [id, views] : outstanding_) {
+      if (ViewsOverlap(txn.views, views)) txn.depends_on.push_back(id);
+    }
+  }
+  outstanding_[txn.txn_id] = txn.views;
+  ++stats_.transactions_submitted;
+  stats_.actions_submitted += static_cast<int64_t>(txn.actions.size());
+  auto msg = std::make_unique<WarehouseTxnMsg>();
+  msg->txn = std::move(txn);
+  Send(warehouse_, std::move(msg));
+}
+
+void MergeProcess::OnCommitted(int64_t txn_id) {
+  MVC_CHECK(outstanding_.erase(txn_id) == 1)
+      << "commit ack for unknown transaction " << txn_id;
+  ++stats_.transactions_committed;
+  switch (options_.policy) {
+    case SubmissionPolicy::kSequential:
+      if (!wait_queue_.empty()) {
+        WarehouseTransaction next = std::move(wait_queue_.front());
+        wait_queue_.pop_front();
+        Submit(std::move(next));
+      }
+      return;
+    case SubmissionPolicy::kHoldDependents: {
+      // Release queued transactions whose dependencies have drained, in
+      // order; a queued transaction stays put while an earlier queued
+      // one overlaps it.
+      bool progressed = true;
+      while (progressed) {
+        progressed = false;
+        for (size_t j = 0; j < wait_queue_.size(); ++j) {
+          bool blocked = OverlapsUncommitted(wait_queue_[j], -1);
+          for (size_t k = 0; !blocked && k < j; ++k) {
+            blocked = ViewsOverlap(wait_queue_[j].views,
+                                   wait_queue_[k].views);
+          }
+          if (!blocked) {
+            WarehouseTransaction next = std::move(wait_queue_[j]);
+            wait_queue_.erase(wait_queue_.begin() +
+                              static_cast<ptrdiff_t>(j));
+            Submit(std::move(next));
+            progressed = true;
+            break;
+          }
+        }
+      }
+      return;
+    }
+    case SubmissionPolicy::kAnnotate:
+    case SubmissionPolicy::kBatched:
+      return;
+  }
+}
+
+bool MergeProcess::OverlapsUncommitted(const WarehouseTransaction& txn,
+                                       int64_t before_txn_id) const {
+  for (const auto& [id, views] : outstanding_) {
+    if (before_txn_id >= 0 && id >= before_txn_id) continue;
+    if (ViewsOverlap(txn.views, views)) return true;
+  }
+  return false;
+}
+
+}  // namespace mvc

@@ -1,0 +1,122 @@
+// The merge process actor: wraps a MergeEngine with message handling,
+// warehouse-transaction submission policies (Section 4.3), and the
+// bottleneck cost model (Section 6.1 / 7).
+//
+// Submission policies:
+//   kSequential      submit one transaction at a time; the next goes out
+//                    only after the previous commit is acknowledged.
+//   kHoldDependents  submit immediately unless an earlier uncommitted
+//                    transaction updates an overlapping view set; held
+//                    transactions are released in order as commits
+//                    arrive ("only sequence dependent transactions").
+//   kAnnotate        submit immediately, attaching depends_on edges for
+//                    the warehouse DBMS to enforce ("submit transactions
+//                    with dependency information").
+//   kBatched         buffer ready transactions and submit them as one
+//                    batched warehouse transaction (BWT) when the batch
+//                    fills or times out; trades completeness for
+//                    throughput (the warehouse state advances by more
+//                    than one update per commit).
+
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "merge/merge_engine.h"
+#include "net/protocol.h"
+#include "net/runtime.h"
+
+namespace mvc {
+
+enum class SubmissionPolicy : uint8_t {
+  kSequential = 0,
+  kHoldDependents = 1,
+  kAnnotate = 2,
+  kBatched = 3,
+};
+
+const char* SubmissionPolicyToString(SubmissionPolicy policy);
+
+struct MergeOptions {
+  MergeAlgorithm algorithm = MergeAlgorithm::kSPA;
+  SubmissionPolicy policy = SubmissionPolicy::kHoldDependents;
+  /// kBatched: flush when this many transactions are buffered.
+  size_t batch_size = 4;
+  /// kBatched: flush a partial batch this long after its first entry
+  /// (0 = only flush on size).
+  TimeMicros batch_timeout = 10000;
+  /// Simulated per-message processing cost at the merge process. Nonzero
+  /// values serialize merge work and expose the bottleneck the paper
+  /// proposes to study.
+  TimeMicros process_delay = 0;
+};
+
+/// Statistics exposed for the benchmark harness.
+struct MergeStats {
+  int64_t rels_received = 0;
+  int64_t action_lists_received = 0;
+  int64_t transactions_submitted = 0;
+  int64_t transactions_committed = 0;
+  /// Largest number of held (received, unapplied) action lists.
+  size_t peak_held_action_lists = 0;
+  /// Largest number of live VUT rows.
+  size_t peak_open_rows = 0;
+  /// Largest internal message backlog (only grows when process_delay>0).
+  size_t peak_backlog = 0;
+  /// Total action lists folded into submitted transactions.
+  int64_t actions_submitted = 0;
+};
+
+class MergeProcess : public Process {
+ public:
+  /// `views` are the columns of this process's VUT — exactly the views
+  /// whose managers send it action lists (Figure 3 partitioning).
+  MergeProcess(std::string name, std::vector<std::string> views,
+               MergeOptions options = {});
+
+  void SetWarehouse(ProcessId warehouse) { warehouse_ = warehouse; }
+
+  const MergeEngine& engine() const { return *engine_; }
+  const MergeStats& stats() const { return stats_; }
+  const MergeOptions& options() const { return options_; }
+
+  void OnMessage(ProcessId from, MessagePtr msg) override;
+
+ private:
+  void HandleNow(Message* msg);
+  void PumpBacklog();
+  void HandleEmitted(std::vector<WarehouseTransaction> emitted);
+  void SubmitOrQueue(WarehouseTransaction txn);
+  void Submit(WarehouseTransaction txn);
+  void OnCommitted(int64_t txn_id);
+  bool OverlapsUncommitted(const WarehouseTransaction& txn,
+                           int64_t before_txn_id) const;
+  void FlushBatch();
+
+  MergeOptions options_;
+  std::unique_ptr<MergeEngine> engine_;
+  ProcessId warehouse_ = kInvalidProcess;
+  MergeStats stats_;
+
+  int64_t next_txn_id_ = 0;
+  /// Submitted-but-unacknowledged transactions' view sets, by txn id.
+  std::map<int64_t, std::vector<std::string>> outstanding_;
+  /// kSequential / kHoldDependents: transactions waiting to be submitted,
+  /// in emission order.
+  std::deque<WarehouseTransaction> wait_queue_;
+  /// kBatched: ready transactions accumulating into the next BWT.
+  std::vector<WarehouseTransaction> batch_;
+  bool batch_timer_armed_ = false;
+  static constexpr int64_t kBatchFlushTag = -1;
+
+  /// process_delay > 0: queued inbound messages awaiting processing.
+  std::deque<MessagePtr> backlog_;
+  bool busy_ = false;
+};
+
+}  // namespace mvc

@@ -1,0 +1,118 @@
+#include "merge/partition.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "common/logging.h"
+
+namespace mvc {
+
+namespace {
+
+/// Union-find over view indexes.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+ViewGroup MakeGroup(const std::vector<const BoundView*>& views,
+                    const std::vector<size_t>& members) {
+  ViewGroup group;
+  std::set<std::string> relations;
+  for (size_t idx : members) {
+    group.views.push_back(views[idx]->name());
+    for (size_t r = 0; r < views[idx]->num_relations(); ++r) {
+      relations.insert(views[idx]->relation(r));
+    }
+  }
+  std::sort(group.views.begin(), group.views.end());
+  group.relations.assign(relations.begin(), relations.end());
+  return group;
+}
+
+}  // namespace
+
+std::vector<ViewGroup> PartitionViews(
+    const std::vector<const BoundView*>& views) {
+  UnionFind uf(views.size());
+  std::map<std::string, size_t> first_user;  // relation -> view index
+  for (size_t i = 0; i < views.size(); ++i) {
+    MVC_CHECK(views[i] != nullptr);
+    for (size_t r = 0; r < views[i]->num_relations(); ++r) {
+      auto [it, inserted] =
+          first_user.emplace(views[i]->relation(r), i);
+      if (!inserted) uf.Union(i, it->second);
+    }
+  }
+  std::map<size_t, std::vector<size_t>> components;
+  for (size_t i = 0; i < views.size(); ++i) {
+    components[uf.Find(i)].push_back(i);
+  }
+  std::vector<ViewGroup> groups;
+  for (const auto& [_, members] : components) {
+    groups.push_back(MakeGroup(views, members));
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const ViewGroup& a, const ViewGroup& b) {
+              return a.views.front() < b.views.front();
+            });
+  return groups;
+}
+
+std::vector<ViewGroup> PartitionViewsInto(
+    const std::vector<const BoundView*>& views, size_t max_groups) {
+  MVC_CHECK(max_groups > 0);
+  std::vector<ViewGroup> exact = PartitionViews(views);
+  if (exact.size() <= max_groups) return exact;
+  // Greedy balance: biggest components first, each into the currently
+  // smallest bucket.
+  std::sort(exact.begin(), exact.end(),
+            [](const ViewGroup& a, const ViewGroup& b) {
+              return a.views.size() > b.views.size();
+            });
+  std::vector<ViewGroup> buckets(max_groups);
+  for (ViewGroup& component : exact) {
+    auto smallest = std::min_element(
+        buckets.begin(), buckets.end(),
+        [](const ViewGroup& a, const ViewGroup& b) {
+          return a.views.size() < b.views.size();
+        });
+    smallest->views.insert(smallest->views.end(), component.views.begin(),
+                           component.views.end());
+    smallest->relations.insert(smallest->relations.end(),
+                               component.relations.begin(),
+                               component.relations.end());
+  }
+  std::vector<ViewGroup> out;
+  for (ViewGroup& bucket : buckets) {
+    if (bucket.views.empty()) continue;
+    std::sort(bucket.views.begin(), bucket.views.end());
+    std::sort(bucket.relations.begin(), bucket.relations.end());
+    bucket.relations.erase(
+        std::unique(bucket.relations.begin(), bucket.relations.end()),
+        bucket.relations.end());
+    out.push_back(std::move(bucket));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ViewGroup& a, const ViewGroup& b) {
+              return a.views.front() < b.views.front();
+            });
+  return out;
+}
+
+}  // namespace mvc

@@ -1,0 +1,39 @@
+// Distributed merge partitioning (Section 6.1, Figure 3): split the view
+// set into groups such that the base relations used by one group are
+// disjoint from those used by any other, then give each group its own
+// merge process. Within a group MVC is preserved by the group's painting
+// algorithm; across groups no source transaction can span views (it
+// would have to touch relations of two disjoint groups), so no
+// coordination is needed.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "query/view_def.h"
+
+namespace mvc {
+
+/// One group of views sharing base relations.
+struct ViewGroup {
+  /// View names, sorted.
+  std::vector<std::string> views;
+  /// Base relations those views read, sorted.
+  std::vector<std::string> relations;
+};
+
+/// Partitions `views` into connected components of the shares-a-relation
+/// graph. Groups are returned sorted by their first view name, making
+/// process layout deterministic.
+std::vector<ViewGroup> PartitionViews(
+    const std::vector<const BoundView*>& views);
+
+/// Greedily merges the exact partition into at most `max_groups` groups
+/// (balancing view counts) for deployments with a fixed merge-process
+/// budget. With max_groups >= PartitionViews(...).size() this is the
+/// exact partition.
+std::vector<ViewGroup> PartitionViewsInto(
+    const std::vector<const BoundView*>& views, size_t max_groups);
+
+}  // namespace mvc

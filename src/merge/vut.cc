@@ -1,0 +1,141 @@
+#include "merge/vut.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace mvc {
+
+char CellColorChar(CellColor color) {
+  switch (color) {
+    case CellColor::kWhite:
+      return 'w';
+    case CellColor::kRed:
+      return 'r';
+    case CellColor::kGray:
+      return 'g';
+    case CellColor::kBlack:
+      return 'b';
+  }
+  return '?';
+}
+
+ViewUpdateTable::ViewUpdateTable(std::vector<std::string> views)
+    : views_(std::move(views)) {
+  for (size_t i = 0; i < views_.size(); ++i) view_index_[views_[i]] = i;
+  MVC_CHECK_EQ(view_index_.size(), views_.size());
+}
+
+size_t ViewUpdateTable::ViewIndex(const std::string& view) const {
+  auto it = view_index_.find(view);
+  MVC_CHECK(it != view_index_.end()) << "unknown view " << view;
+  return it->second;
+}
+
+void ViewUpdateTable::AllocateRow(UpdateId i,
+                                  const std::vector<std::string>& rel) {
+  MVC_CHECK(!HasRow(i)) << "VUT row " << i << " already allocated";
+  std::vector<CellData> row(views_.size());
+  for (const std::string& view : rel) {
+    row[ViewIndex(view)].color = CellColor::kWhite;
+  }
+  rows_[i] = std::move(row);
+  max_allocated_ = std::max(max_allocated_, i);
+}
+
+void ViewUpdateTable::PurgeRow(UpdateId i) {
+  MVC_CHECK(rows_.erase(i) == 1) << "no VUT row " << i << " to purge";
+}
+
+std::vector<UpdateId> ViewUpdateTable::RowIds() const {
+  std::vector<UpdateId> out;
+  out.reserve(rows_.size());
+  for (const auto& [id, _] : rows_) out.push_back(id);
+  return out;
+}
+
+bool ViewUpdateTable::RowHasWhite(UpdateId i) const {
+  auto it = rows_.find(i);
+  MVC_CHECK(it != rows_.end());
+  for (const CellData& cell : it->second) {
+    if (cell.color == CellColor::kWhite) return true;
+  }
+  return false;
+}
+
+bool ViewUpdateTable::RowAllBlackOrGray(UpdateId i) const {
+  auto it = rows_.find(i);
+  MVC_CHECK(it != rows_.end());
+  for (const CellData& cell : it->second) {
+    if (cell.color != CellColor::kBlack && cell.color != CellColor::kGray) {
+      return false;
+    }
+  }
+  return true;
+}
+
+UpdateId ViewUpdateTable::NextRed(UpdateId i, size_t view_idx) const {
+  for (auto it = rows_.upper_bound(i); it != rows_.end(); ++it) {
+    if (it->second[view_idx].color == CellColor::kRed) return it->first;
+  }
+  return 0;
+}
+
+bool ViewUpdateTable::HasEarlierRed(UpdateId i, size_t view_idx) const {
+  for (auto it = rows_.begin(); it != rows_.end() && it->first < i; ++it) {
+    if (it->second[view_idx].color == CellColor::kRed) return true;
+  }
+  return false;
+}
+
+std::vector<UpdateId> ViewUpdateTable::EarlierRedRows(UpdateId i,
+                                                      size_t view_idx) const {
+  std::vector<UpdateId> out;
+  for (auto it = rows_.begin(); it != rows_.end() && it->first < i; ++it) {
+    if (it->second[view_idx].color == CellColor::kRed) out.push_back(it->first);
+  }
+  return out;
+}
+
+std::vector<UpdateId> ViewUpdateTable::WhiteRowsUpTo(UpdateId i,
+                                                     size_t view_idx) const {
+  std::vector<UpdateId> out;
+  for (auto it = rows_.begin(); it != rows_.end() && it->first <= i; ++it) {
+    if (it->second[view_idx].color == CellColor::kWhite) {
+      out.push_back(it->first);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ViewUpdateTable::RowViewsWithColor(
+    UpdateId i, CellColor color) const {
+  auto it = rows_.find(i);
+  MVC_CHECK(it != rows_.end());
+  std::vector<std::string> out;
+  for (size_t x = 0; x < views_.size(); ++x) {
+    if (it->second[x].color == color) out.push_back(views_[x]);
+  }
+  return out;
+}
+
+std::string ViewUpdateTable::ToString(bool show_state) const {
+  std::ostringstream os;
+  os << "    ";
+  for (const std::string& view : views_) os << " " << view;
+  os << "\n";
+  for (const auto& [id, row] : rows_) {
+    os << "U" << id << ":";
+    for (const CellData& cell : row) {
+      if (show_state) {
+        os << " (" << CellColorChar(cell.color) << "," << cell.state << ")";
+      } else {
+        os << " " << CellColorChar(cell.color);
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mvc

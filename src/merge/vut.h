@@ -1,0 +1,133 @@
+// The ViewUpdateTable (VUT) of Section 4.1.
+//
+// A two-dimensional table: one row per source update U_i the merge
+// process knows about, one column per view it coordinates. Each cell
+// carries a color — white (waiting for the action list), red (received,
+// held), gray (applied), black (irrelevant) — and, for the Painting
+// Algorithm, a `state` field naming the later row whose action list
+// subsumes this cell's actions (intertwined updates).
+//
+// Rendering matches the paper's example tables so golden tests can
+// compare traces character for character.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "net/protocol.h"
+
+namespace mvc {
+
+enum class CellColor : uint8_t { kWhite, kRed, kGray, kBlack };
+
+/// 'w', 'r', 'g', or 'b'.
+char CellColorChar(CellColor color);
+
+class ViewUpdateTable {
+ public:
+  /// Columns, in display order (the views this merge process manages).
+  explicit ViewUpdateTable(std::vector<std::string> views);
+
+  const std::vector<std::string>& views() const { return views_; }
+
+  /// Column index of `view`; the view must be known.
+  size_t ViewIndex(const std::string& view) const;
+
+  /// --- Rows ---
+
+  bool HasRow(UpdateId i) const { return rows_.count(i) > 0; }
+
+  /// Creates row i: white for views in `rel` (which must all be known
+  /// columns), black for the rest; all states 0.
+  void AllocateRow(UpdateId i, const std::vector<std::string>& rel);
+
+  /// Removes row i entirely.
+  void PurgeRow(UpdateId i);
+
+  /// Ascending ids of live rows.
+  std::vector<UpdateId> RowIds() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Largest row id ever allocated (0 if none) — used to distinguish "not
+  /// yet announced" from "already purged".
+  UpdateId max_allocated() const { return max_allocated_; }
+
+  /// --- Cells ---
+
+  CellColor color(UpdateId i, size_t view_idx) const {
+    return Cell(i, view_idx).color;
+  }
+  UpdateId state(UpdateId i, size_t view_idx) const {
+    return Cell(i, view_idx).state;
+  }
+  void SetColor(UpdateId i, size_t view_idx, CellColor color) {
+    MutableCell(i, view_idx)->color = color;
+  }
+  void SetState(UpdateId i, size_t view_idx, UpdateId state) {
+    MutableCell(i, view_idx)->state = state;
+  }
+
+  /// --- Queries the painting algorithms use ---
+
+  /// True if any cell in row i is white.
+  bool RowHasWhite(UpdateId i) const;
+
+  /// True if every cell in row i is black or gray (purge condition).
+  bool RowAllBlackOrGray(UpdateId i) const;
+
+  /// Row number of the first red cell strictly below [i, view_idx] in the
+  /// same column; 0 if none (the paper's nextRed(i, x)).
+  UpdateId NextRed(UpdateId i, size_t view_idx) const;
+
+  /// True if some row i' < i has a red cell in the same column.
+  bool HasEarlierRed(UpdateId i, size_t view_idx) const;
+
+  /// Ascending ids of rows i' < i with a red cell in column view_idx.
+  std::vector<UpdateId> EarlierRedRows(UpdateId i, size_t view_idx) const;
+
+  /// Ascending ids of rows i' <= i whose cell in column view_idx is
+  /// white (Painting Algorithm's ProcessAction sweep).
+  std::vector<UpdateId> WhiteRowsUpTo(UpdateId i, size_t view_idx) const;
+
+  /// Views whose cell in row i has the given color, in column order.
+  std::vector<std::string> RowViewsWithColor(UpdateId i,
+                                             CellColor color) const;
+
+  /// --- Rendering ---
+
+  /// ASCII table in the paper's style. With show_state, cells render as
+  /// "(c,s)" pairs as in Example 5; otherwise as single color letters as
+  /// in Example 3.
+  std::string ToString(bool show_state = false) const;
+
+ private:
+  struct CellData {
+    CellColor color = CellColor::kBlack;
+    UpdateId state = 0;
+  };
+
+  const CellData& Cell(UpdateId i, size_t view_idx) const {
+    auto it = rows_.find(i);
+    MVC_CHECK(it != rows_.end()) << "no VUT row " << i;
+    MVC_CHECK(view_idx < views_.size());
+    return it->second[view_idx];
+  }
+  CellData* MutableCell(UpdateId i, size_t view_idx) {
+    auto it = rows_.find(i);
+    MVC_CHECK(it != rows_.end()) << "no VUT row " << i;
+    MVC_CHECK(view_idx < views_.size());
+    return &it->second[view_idx];
+  }
+
+  std::vector<std::string> views_;
+  std::map<std::string, size_t> view_index_;
+  std::map<UpdateId, std::vector<CellData>> rows_;
+  UpdateId max_allocated_ = 0;
+};
+
+}  // namespace mvc

@@ -1,0 +1,42 @@
+// Base message type for inter-process communication.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace mvc {
+
+/// Base class of every message exchanged between processes. Concrete
+/// messages live in net/protocol.h; components downcast via the `kind`
+/// tag (cheaper and more explicit than RTTI in the hot dispatch path).
+struct Message {
+  enum class Kind : uint8_t {
+    kSourceTxn = 0,      // source -> integrator
+    kUpdate = 1,         // integrator -> view manager
+    kRelSet = 2,         // integrator -> merge
+    kActionList = 3,     // view manager -> merge
+    kWarehouseTxn = 4,   // merge -> warehouse
+    kTxnCommitted = 5,   // warehouse -> merge
+    kQueryRequest = 6,   // view manager -> source
+    kQueryResponse = 7,  // source -> view manager
+    kTick = 8,           // self-scheduled timer
+    kInjectTxn = 9,      // workload driver -> source
+    kReadViews = 10,     // reader -> warehouse
+    kViewsSnapshot = 11, // warehouse -> reader
+  };
+
+  explicit Message(Kind k) : kind(k) {}
+  virtual ~Message() = default;
+
+  Kind kind;
+
+  /// Short description for traces.
+  virtual std::string Summary() const { return "Message"; }
+};
+
+using MessagePtr = std::unique_ptr<Message>;
+
+const char* MessageKindToString(Message::Kind kind);
+
+}  // namespace mvc

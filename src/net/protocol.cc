@@ -1,0 +1,109 @@
+#include "net/protocol.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "net/runtime.h"
+
+namespace mvc {
+
+const char* MessageKindToString(Message::Kind kind) {
+  switch (kind) {
+    case Message::Kind::kSourceTxn:
+      return "SourceTxn";
+    case Message::Kind::kUpdate:
+      return "Update";
+    case Message::Kind::kRelSet:
+      return "RelSet";
+    case Message::Kind::kActionList:
+      return "ActionList";
+    case Message::Kind::kWarehouseTxn:
+      return "WarehouseTxn";
+    case Message::Kind::kTxnCommitted:
+      return "TxnCommitted";
+    case Message::Kind::kQueryRequest:
+      return "QueryRequest";
+    case Message::Kind::kQueryResponse:
+      return "QueryResponse";
+    case Message::Kind::kTick:
+      return "Tick";
+    case Message::Kind::kInjectTxn:
+      return "InjectTxn";
+    case Message::Kind::kReadViews:
+      return "ReadViews";
+    case Message::Kind::kViewsSnapshot:
+      return "ViewsSnapshot";
+  }
+  return "?";
+}
+
+std::string MessageStats::ToString() const {
+  std::ostringstream os;
+  os << "messages=" << total_messages;
+  for (const auto& [kind, count] : by_kind) {
+    os << " " << kind << "=" << count;
+  }
+  return os.str();
+}
+
+std::string ActionList::ToString() const {
+  std::ostringstream os;
+  os << "AL(" << view << ", U" << update;
+  if (first_update != update) os << " covering U" << first_update << "..";
+  os << ", " << delta.rows.size() << " actions)";
+  return os.str();
+}
+
+std::string WarehouseTransaction::ToString() const {
+  std::ostringstream os;
+  os << "WT" << txn_id << "(rows=[" << JoinToString(rows, ",") << "], views=["
+     << JoinToString(views, ",") << "], " << actions.size() << " ALs";
+  if (!depends_on.empty()) os << ", deps=[" << JoinToString(depends_on, ",") << "]";
+  os << ")";
+  return os.str();
+}
+
+std::string SourceTxnMsg::Summary() const { return txn.ToString(); }
+
+std::string UpdateMsg::Summary() const {
+  return StrCat("U", update_id, " ", txn.ToString());
+}
+
+std::string RelSetMsg::Summary() const {
+  return StrCat("REL", update_id, "={", JoinToString(views, ","), "}");
+}
+
+std::string ActionListMsg::Summary() const { return al.ToString(); }
+
+std::string WarehouseTxnMsg::Summary() const { return txn.ToString(); }
+
+std::string TxnCommittedMsg::Summary() const {
+  return StrCat("committed WT", txn_id);
+}
+
+std::string QueryRequestMsg::Summary() const {
+  return StrCat("query ", relation,
+                as_of_state >= 0 ? StrCat(" @state ", as_of_state) : "");
+}
+
+std::string QueryResponseMsg::Summary() const {
+  return StrCat("answer ", relation, " @state ", state, " (",
+                snapshot.NumRows(), " rows)");
+}
+
+std::string TickMsg::Summary() const { return StrCat("tick ", tag); }
+
+std::string ReadViewsMsg::Summary() const {
+  return StrCat("read views [", JoinToString(views, ","), "]");
+}
+
+std::string ViewsSnapshotMsg::Summary() const {
+  return StrCat("snapshot of ", snapshots.size(), " views @commit ",
+                as_of_commit);
+}
+
+std::string InjectTxnMsg::Summary() const {
+  return StrCat("inject ", updates.size(), " updates");
+}
+
+}  // namespace mvc

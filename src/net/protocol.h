@@ -1,0 +1,202 @@
+// Concrete message types exchanged between the warehouse system's
+// processes, plus the ActionList and WarehouseTransaction payloads the
+// merge algorithms coordinate.
+//
+// Naming follows the paper: update U_i is the i-th source transaction as
+// numbered by the integrator; REL_i is the set of views U_i affects;
+// AL^x_j is view manager x's action list whose application brings view
+// V_x to the state consistent with the sources after U_j.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "storage/delta.h"
+#include "storage/table.h"
+#include "storage/update.h"
+
+namespace mvc {
+
+/// Identifies a global source transaction/update number assigned by the
+/// integrator (1-based; matches the paper's U_1, U_2, ...).
+using UpdateId = int64_t;
+constexpr UpdateId kInvalidUpdate = 0;
+
+/// The operations a view manager wants applied to its view, labelled with
+/// the last update the list covers. A complete view manager emits one AL
+/// per relevant update (first_update == update). A strongly consistent
+/// manager may batch intertwined updates i_k..i_{k+n} into a single AL
+/// labelled with the last one (Section 3.3).
+struct ActionList {
+  /// View this AL applies to.
+  std::string view;
+  /// j: applying the AL brings the view to the state after U_j.
+  UpdateId update = kInvalidUpdate;
+  /// Earliest update covered by this AL (== update for complete VMs).
+  UpdateId first_update = kInvalidUpdate;
+  /// All covered update ids, ascending (diagnostics / tests).
+  std::vector<UpdateId> covered;
+  /// The actual view changes; may be empty (an empty AL is still sent,
+  /// Section 3.3).
+  TableDelta delta;
+  /// Periodic-refresh managers (Section 6.3): when true the warehouse
+  /// deletes the entire old view contents and installs `delta`'s
+  /// (all-positive) rows as the new contents.
+  bool replace_all = false;
+
+  std::string ToString() const;
+};
+
+/// A warehouse view-maintenance transaction assembled by a merge process:
+/// all action lists that must commit atomically.
+struct WarehouseTransaction {
+  /// Merge-process-local id, increasing in submission order.
+  int64_t txn_id = 0;
+  /// The VUT rows (update ids) whose WT sets are folded in, ascending.
+  std::vector<UpdateId> rows;
+  /// Action lists, ordered so that dependent rows' ALs appear in row
+  /// order (Section 4.3 batching requirement).
+  std::vector<ActionList> actions;
+  /// VS(WT): the set of views this transaction updates, sorted.
+  std::vector<std::string> views;
+  /// txn_ids (same merge process) this transaction depends on: earlier
+  /// transactions updating an overlapping view set that have not yet
+  /// been observed committed at submission time.
+  std::vector<int64_t> depends_on;
+  /// The source state (max update id) the warehouse reflects after this
+  /// transaction commits — used by the oracle and freshness metrics.
+  UpdateId source_state = kInvalidUpdate;
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// Messages.
+
+/// Source -> integrator: a committed source transaction, in commit order.
+struct SourceTxnMsg : Message {
+  SourceTxnMsg() : Message(Kind::kSourceTxn) {}
+  SourceTransaction txn;
+  std::string Summary() const override;
+};
+
+/// Integrator -> view manager: U_i (already globally numbered).
+struct UpdateMsg : Message {
+  UpdateMsg() : Message(Kind::kUpdate) {}
+  UpdateId update_id = kInvalidUpdate;
+  SourceTransaction txn;
+  /// Alternate REL delivery scheme (Section 3.2): when set, this view
+  /// manager is responsible for forwarding REL_i to the merge process
+  /// with its next action list.
+  bool carries_rel = false;
+  /// REL_i, only meaningful when carries_rel.
+  std::vector<std::string> rel_views;
+  std::string Summary() const override;
+};
+
+/// Integrator -> merge process: REL_i.
+struct RelSetMsg : Message {
+  RelSetMsg() : Message(Kind::kRelSet) {}
+  UpdateId update_id = kInvalidUpdate;
+  /// Views affected by U_i, sorted.
+  std::vector<std::string> views;
+  std::string Summary() const override;
+};
+
+/// View manager -> merge process: AL^x_j.
+struct ActionListMsg : Message {
+  ActionListMsg() : Message(Kind::kActionList) {}
+  ActionList al;
+  /// When the alternate REL delivery scheme is enabled (Section 3.2),
+  /// the integrator piggybacks REL_i on the view managers and the VM
+  /// forwards it here instead of the integrator messaging the merge
+  /// process directly.
+  std::vector<RelSetMsg> piggybacked_rels;
+  std::string Summary() const override;
+};
+
+/// Merge process -> warehouse.
+struct WarehouseTxnMsg : Message {
+  WarehouseTxnMsg() : Message(Kind::kWarehouseTxn) {}
+  WarehouseTransaction txn;
+  std::string Summary() const override;
+};
+
+/// Warehouse -> merge process: commit acknowledgement, in commit order.
+struct TxnCommittedMsg : Message {
+  TxnCommittedMsg() : Message(Kind::kTxnCommitted) {}
+  int64_t txn_id = 0;
+  std::string Summary() const override;
+};
+
+/// View manager -> source: read a base relation. If `as_of_state` is
+/// >= 0, the source answers from its versioned log at that local state
+/// (complete view managers); otherwise it answers at its current state
+/// (Strobe-style managers).
+struct QueryRequestMsg : Message {
+  QueryRequestMsg() : Message(Kind::kQueryRequest) {}
+  int64_t request_id = 0;
+  std::string relation;
+  int64_t as_of_state = -1;
+  std::string Summary() const override;
+};
+
+/// Source -> view manager: relation snapshot plus the source-local state
+/// number it reflects.
+struct QueryResponseMsg : Message {
+  QueryResponseMsg() : Message(Kind::kQueryResponse) {}
+  int64_t request_id = 0;
+  std::string relation;
+  Table snapshot;
+  int64_t state = 0;
+  std::string Summary() const override;
+};
+
+/// Self-scheduled timer with an opaque tag.
+struct TickMsg : Message {
+  TickMsg() : Message(Kind::kTick) {}
+  int64_t tag = 0;
+  std::string Summary() const override;
+};
+
+/// A warehouse reader (e.g. a customer-inquiry application) asking for
+/// the current contents of several views in one atomic read — the
+/// Section 1.1 access pattern MVC exists to protect.
+struct ReadViewsMsg : Message {
+  ReadViewsMsg() : Message(Kind::kReadViews) {}
+  int64_t request_id = 0;
+  /// Views to read; empty means all views.
+  std::vector<std::string> views;
+  /// Time-travel read: serve the snapshot as of this commit count
+  /// instead of the current state (-1 = current). Requires the
+  /// warehouse to keep history (WarehouseOptions::history_depth) and the
+  /// requested state to still be within the retained window.
+  int64_t as_of_commit = -1;
+  std::string Summary() const override;
+};
+
+/// Warehouse -> reader: a mutually consistent snapshot of the requested
+/// views (all taken at one warehouse state).
+struct ViewsSnapshotMsg : Message {
+  ViewsSnapshotMsg() : Message(Kind::kViewsSnapshot) {}
+  int64_t request_id = 0;
+  /// Number of warehouse transactions committed before this snapshot.
+  int64_t as_of_commit = 0;
+  std::vector<Table> snapshots;
+  std::string Summary() const override;
+};
+
+/// Workload driver -> source: execute this transaction now.
+struct InjectTxnMsg : Message {
+  InjectTxnMsg() : Message(Kind::kInjectTxn) {}
+  std::vector<Update> updates;
+  /// Section 6.2: set on each per-source part of a global transaction.
+  int64_t global_txn_id = 0;
+  int32_t global_participants = 0;
+  std::string Summary() const override;
+};
+
+}  // namespace mvc

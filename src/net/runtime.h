@@ -1,0 +1,144 @@
+// Actor-style process runtime abstraction.
+//
+// Every component of the warehouse system (source, integrator, view
+// manager, merge process, warehouse) is a Process: single-threaded state
+// plus an OnMessage handler. Processes communicate only by message
+// passing over per-(sender, receiver) FIFO channels — exactly the
+// assumption the paper's algorithms rely on ("messages from the same
+// process must arrive in the order sent", Section 4).
+//
+// Two runtimes implement the interface:
+//  * SimRuntime  — deterministic discrete-event simulator (virtual time,
+//    seeded random latencies). Default for tests and scenario benches.
+//  * ThreadRuntime — one OS thread per process with mailbox queues; used
+//    to demonstrate the algorithms under real concurrency.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "net/message.h"
+
+namespace mvc {
+
+/// Identifies a registered process within its runtime.
+using ProcessId = int32_t;
+constexpr ProcessId kInvalidProcess = -1;
+
+/// Simulated/wall time in microseconds.
+using TimeMicros = int64_t;
+
+class Runtime;
+
+/// A single-threaded actor. Subclasses implement OnMessage; all sends go
+/// through the owning runtime. A process's handler is never invoked
+/// concurrently with itself.
+class Process {
+ public:
+  explicit Process(std::string name) : name_(std::move(name)) {}
+  virtual ~Process() = default;
+
+  const std::string& name() const { return name_; }
+  ProcessId id() const { return id_; }
+  Runtime* runtime() const { return runtime_; }
+
+  /// Called once by the runtime before any message delivery.
+  virtual void OnStart() {}
+
+  /// Handles one delivered message. `from` is the sending process.
+  virtual void OnMessage(ProcessId from, MessagePtr msg) = 0;
+
+ protected:
+  /// Sends `msg` to `to` over this process's FIFO channel to it.
+  void Send(ProcessId to, MessagePtr msg);
+
+  /// Sends `msg` to `to` with an extra `delay` before it enters the
+  /// channel — models local processing time (e.g. delta computation)
+  /// preceding the send. FIFO order on the channel is preserved relative
+  /// to the effective send times.
+  void SendAfter(ProcessId to, MessagePtr msg, TimeMicros delay);
+
+  /// Schedules a message to self after `delay` (timers).
+  void ScheduleSelf(MessagePtr msg, TimeMicros delay);
+
+  /// Current runtime clock.
+  TimeMicros Now() const;
+
+ private:
+  friend class Runtime;
+  std::string name_;
+  ProcessId id_ = kInvalidProcess;
+  Runtime* runtime_ = nullptr;
+};
+
+/// Per-edge and aggregate message counters.
+struct MessageStats {
+  int64_t total_messages = 0;
+  std::map<std::string, int64_t> by_kind;
+
+  std::string ToString() const;
+};
+
+/// Runtime interface. Processes are registered (non-owning) before Run.
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  /// Registers a process and assigns its id. Must happen before Run.
+  ProcessId Register(Process* p) {
+    MVC_CHECK(p != nullptr);
+    MVC_CHECK(p->runtime_ == nullptr);
+    p->runtime_ = this;
+    p->id_ = static_cast<ProcessId>(processes_.size());
+    processes_.push_back(p);
+    return p->id_;
+  }
+
+  Process* process(ProcessId id) const {
+    MVC_CHECK(id >= 0 && static_cast<size_t>(id) < processes_.size());
+    return processes_[id];
+  }
+  size_t num_processes() const { return processes_.size(); }
+
+  /// Enqueues `msg` from `from` to `to`, entering the channel after
+  /// `send_delay` of local processing time.
+  virtual void Send(ProcessId from, ProcessId to, MessagePtr msg,
+                    TimeMicros send_delay) = 0;
+
+  /// Current clock (virtual for the simulator, wall for threads).
+  virtual TimeMicros Now() const = 0;
+
+  /// Runs until quiescence: all channels empty and no timers pending.
+  virtual void Run() = 0;
+
+  const MessageStats& stats() const { return stats_; }
+
+ protected:
+  void CountMessage(const Message& msg) {
+    ++stats_.total_messages;
+    ++stats_.by_kind[MessageKindToString(msg.kind)];
+  }
+  std::vector<Process*> processes_;
+  MessageStats stats_;
+};
+
+inline void Process::Send(ProcessId to, MessagePtr msg) {
+  runtime_->Send(id_, to, std::move(msg), 0);
+}
+
+inline void Process::SendAfter(ProcessId to, MessagePtr msg,
+                               TimeMicros delay) {
+  runtime_->Send(id_, to, std::move(msg), delay);
+}
+
+inline void Process::ScheduleSelf(MessagePtr msg, TimeMicros delay) {
+  runtime_->Send(id_, id_, std::move(msg), delay);
+}
+
+inline TimeMicros Process::Now() const { return runtime_->Now(); }
+
+}  // namespace mvc

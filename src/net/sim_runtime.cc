@@ -1,0 +1,64 @@
+#include "net/sim_runtime.h"
+
+#include "common/string_util.h"
+
+namespace mvc {
+
+TimeMicros SimRuntime::DrawLatency(ProcessId from, ProcessId to) {
+  if (from == to) return 0;  // self messages: timers, no network hop
+  LatencyModel model = default_latency_;
+  auto it = channel_latency_.find(ChannelKey(from, to));
+  if (it != channel_latency_.end()) model = it->second;
+  TimeMicros latency = model.fixed;
+  if (model.jitter > 0) latency += rng_.UniformInt(0, model.jitter);
+  return latency;
+}
+
+void SimRuntime::Send(ProcessId from, ProcessId to, MessagePtr msg,
+                      TimeMicros send_delay) {
+  MVC_CHECK(to >= 0 && static_cast<size_t>(to) < processes_.size());
+  CountMessage(*msg);
+  TimeMicros tentative = now_ + send_delay + DrawLatency(from, to);
+  TimeMicros delivery = tentative;
+  if (from != to) {
+    // Per-channel FIFO: delivery order equals send order on every
+    // channel, regardless of drawn latencies (the paper's
+    // ordered-channel model). Self messages are local timers, not
+    // network traffic: a short timer armed after a long one must still
+    // fire first.
+    TimeMicros& last = channel_last_delivery_[ChannelKey(from, to)];
+    delivery = std::max(tentative, last + 1);
+    last = delivery;
+  }
+  events_.push(Event{delivery, next_seq_++, from, to, msg.release()});
+}
+
+void SimRuntime::Run() { RunUntil(std::numeric_limits<TimeMicros>::max()); }
+
+void SimRuntime::RunUntil(TimeMicros deadline) {
+  if (!started_) {
+    started_ = true;
+    for (Process* p : processes_) p->OnStart();
+  }
+  while (!events_.empty()) {
+    Event ev = events_.top();
+    if (ev.time > deadline) break;
+    events_.pop();
+    now_ = ev.time;
+    MessagePtr msg(ev.msg);
+    ++events_delivered_;
+    if (trace_) {
+      trace_(StrCat("t=", now_, " ",
+                    ev.from >= 0 ? processes_[ev.from]->name() : "?",
+                    " -> ", processes_[ev.to]->name(), " ",
+                    MessageKindToString(msg->kind), " ", msg->Summary()));
+    }
+    processes_[ev.to]->OnMessage(ev.from, std::move(msg));
+  }
+  if (events_.empty() && now_ < deadline &&
+      deadline != std::numeric_limits<TimeMicros>::max()) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace mvc

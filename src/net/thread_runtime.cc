@@ -1,0 +1,138 @@
+#include "net/thread_runtime.h"
+
+#include <chrono>
+
+namespace mvc {
+
+ThreadRuntime::ThreadRuntime(uint64_t seed, LatencyModel default_latency)
+    : rng_(seed), default_latency_(default_latency) {
+  start_ = std::chrono::steady_clock::now();
+}
+
+ThreadRuntime::~ThreadRuntime() {
+  // Run() joins everything; nothing should be live here.
+  MVC_CHECK(!running_);
+}
+
+TimeMicros ThreadRuntime::Now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+TimeMicros ThreadRuntime::DrawLatency(ProcessId from, ProcessId to) {
+  if (from == to) return 0;
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  TimeMicros latency = default_latency_.fixed;
+  if (default_latency_.jitter > 0) {
+    latency += rng_.UniformInt(0, default_latency_.jitter);
+  }
+  return latency;
+}
+
+void ThreadRuntime::Send(ProcessId from, ProcessId to, MessagePtr msg,
+                         TimeMicros send_delay) {
+  MVC_CHECK(to >= 0 && static_cast<size_t>(to) < processes_.size());
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    ++in_flight_;
+  }
+  TimeMicros deadline = Now() + send_delay + DrawLatency(from, to);
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    CountMessage(*msg);
+    if (from != to) {
+      // FIFO per network channel; self messages are timers (see
+      // SimRuntime::Send).
+      TimeMicros& last = channel_last_[ChannelKey(from, to)];
+      deadline = std::max(deadline, last + 1);
+      last = deadline;
+    }
+    delay_heap_.push(Pending{deadline, next_seq_++, from, to, msg.release()});
+  }
+  dispatch_cv_.notify_one();
+}
+
+void ThreadRuntime::DispatcherLoop() {
+  std::unique_lock<std::mutex> lock(dispatch_mu_);
+  for (;;) {
+    if (stopping_) break;
+    if (delay_heap_.empty()) {
+      dispatch_cv_.wait(lock);
+      continue;
+    }
+    TimeMicros next = delay_heap_.top().deadline;
+    TimeMicros now = Now();
+    if (next > now) {
+      dispatch_cv_.wait_for(lock, std::chrono::microseconds(next - now));
+      continue;
+    }
+    Pending p = delay_heap_.top();
+    delay_heap_.pop();
+    lock.unlock();
+    Mailbox& box = *mailboxes_[p.to];
+    {
+      std::lock_guard<std::mutex> box_lock(box.mu);
+      box.queue.emplace_back(p.from, p.msg);
+    }
+    box.cv.notify_one();
+    lock.lock();
+  }
+}
+
+void ThreadRuntime::WorkerLoop(ProcessId id) {
+  Mailbox& box = *mailboxes_[id];
+  for (;;) {
+    std::pair<ProcessId, Message*> item;
+    {
+      std::unique_lock<std::mutex> lock(box.mu);
+      box.cv.wait(lock, [&] { return stopping_ || !box.queue.empty(); });
+      if (box.queue.empty()) return;  // stopping and drained
+      item = box.queue.front();
+      box.queue.pop_front();
+    }
+    processes_[id]->OnMessage(item.first, MessagePtr(item.second));
+    OnHandled();
+  }
+}
+
+void ThreadRuntime::OnHandled() {
+  std::lock_guard<std::mutex> lock(idle_mu_);
+  --in_flight_;
+  if (in_flight_ == 0) idle_cv_.notify_all();
+}
+
+void ThreadRuntime::Run() {
+  running_ = true;
+  mailboxes_.clear();
+  for (size_t i = 0; i < processes_.size(); ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  for (Process* p : processes_) p->OnStart();
+
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+  for (size_t i = 0; i < processes_.size(); ++i) {
+    workers_.emplace_back(
+        [this, i] { WorkerLoop(static_cast<ProcessId>(i)); });
+  }
+
+  // Quiescence: every sent message has been fully handled.
+  {
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+  }
+
+  // Tear down.
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    stopping_ = true;
+  }
+  dispatch_cv_.notify_all();
+  for (auto& box : mailboxes_) box->cv.notify_all();
+  dispatcher_.join();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  running_ = false;
+}
+
+}  // namespace mvc

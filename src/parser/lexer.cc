@@ -1,0 +1,183 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace mvc {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kInteger:
+      return "integer";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kAt:
+      return "'@'";
+    case TokenKind::kEquals:
+      return "'='";
+    case TokenKind::kArrow:
+      return "'->'";
+    case TokenKind::kCompare:
+      return "comparison";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+std::string Token::ToString() const {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return StrCat("identifier '", text, "'");
+    case TokenKind::kInteger:
+      return StrCat("integer ", integer);
+    case TokenKind::kCompare:
+      return StrCat("'", text, "'");
+    default:
+      return TokenKindToString(kind);
+  }
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, std::string text = "", int64_t value = 0) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.integer = value;
+    t.line = line;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < input.size()) {
+    char c = input[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < input.size() && input[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[i])) ||
+              input[i] == '_' || input[i] == '-')) {
+        ++i;
+      }
+      push(TokenKind::kIdentifier, input.substr(start, i - start));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < input.size() &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      while (i < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[i]))) {
+        ++i;
+      }
+      push(TokenKind::kInteger, "",
+           std::stoll(input.substr(start, i - start)));
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen);
+        ++i;
+        break;
+      case ')':
+        push(TokenKind::kRParen);
+        ++i;
+        break;
+      case '{':
+        push(TokenKind::kLBrace);
+        ++i;
+        break;
+      case '}':
+        push(TokenKind::kRBrace);
+        ++i;
+        break;
+      case ',':
+        push(TokenKind::kComma);
+        ++i;
+        break;
+      case ';':
+        push(TokenKind::kSemicolon);
+        ++i;
+        break;
+      case '.':
+        push(TokenKind::kDot);
+        ++i;
+        break;
+      case '*':
+        push(TokenKind::kStar);
+        ++i;
+        break;
+      case '@':
+        push(TokenKind::kAt);
+        ++i;
+        break;
+      case '=':
+        push(TokenKind::kEquals, "=");
+        ++i;
+        break;
+      case '-':
+        if (i + 1 < input.size() && input[i + 1] == '>') {
+          push(TokenKind::kArrow);
+          i += 2;
+        } else {
+          return Status::InvalidArgument(
+              StrCat("line ", line, ": stray '-'"));
+        }
+        break;
+      case '<':
+      case '>':
+      case '!': {
+        std::string op(1, c);
+        ++i;
+        if (i < input.size() && input[i] == '=') {
+          op += '=';
+          ++i;
+        } else if (c == '!') {
+          return Status::InvalidArgument(
+              StrCat("line ", line, ": expected '!=' after '!'"));
+        }
+        push(TokenKind::kCompare, op);
+        break;
+      }
+      default:
+        return Status::InvalidArgument(
+            StrCat("line ", line, ": unexpected character '", c, "'"));
+    }
+  }
+  push(TokenKind::kEnd);
+  return tokens;
+}
+
+}  // namespace mvc

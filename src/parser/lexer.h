@@ -1,0 +1,49 @@
+// Tokenizer for the scenario-definition language (see
+// scenario_parser.h for the grammar).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mvc {
+
+enum class TokenKind : uint8_t {
+  kIdentifier,  // source names, relation names, keywords
+  kInteger,     // 64-bit signed literal
+  kLParen,      // (
+  kRParen,      // )
+  kLBrace,      // {
+  kRBrace,      // }
+  kComma,       // ,
+  kSemicolon,   // ;
+  kDot,         // .
+  kStar,        // *
+  kAt,          // @
+  kEquals,      // =
+  kArrow,       // ->
+  kCompare,     // < <= > >= != (and = doubles as comparison in WHERE)
+  kEnd,         // end of input
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  /// Identifier text, or the comparison operator spelling.
+  std::string text;
+  int64_t integer = 0;
+  int line = 0;
+
+  std::string ToString() const;
+};
+
+/// Tokenizes `input`. Identifiers are [A-Za-z_][A-Za-z0-9_-]* (dashes
+/// allowed so "orders-db" works); integers may be negative; `#` starts
+/// a comment to end of line.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace mvc

@@ -1,0 +1,400 @@
+#include "parser/scenario_parser.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "parser/lexer.h"
+
+namespace mvc {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SystemConfig> Parse() {
+    while (!At(TokenKind::kEnd)) {
+      MVC_ASSIGN_OR_RETURN(std::string keyword, ExpectIdentifier());
+      if (keyword == "source") {
+        MVC_RETURN_IF_ERROR(ParseSource());
+      } else if (keyword == "init") {
+        MVC_RETURN_IF_ERROR(ParseInit());
+      } else if (keyword == "view") {
+        MVC_RETURN_IF_ERROR(ParseView());
+      } else if (keyword == "aggregate") {
+        MVC_RETURN_IF_ERROR(ParseAggregate());
+      } else if (keyword == "manager") {
+        MVC_RETURN_IF_ERROR(ParseManager());
+      } else if (keyword == "txn") {
+        MVC_RETURN_IF_ERROR(ParseTxn());
+      } else {
+        return Error(StrCat("unknown statement '", keyword, "'"));
+      }
+    }
+    return std::move(config_);
+  }
+
+ private:
+  // --- Token helpers ---
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool At(TokenKind kind) const { return Peek().kind == kind; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        StrCat("line ", Peek().line, ": ", message));
+  }
+
+  Status Expect(TokenKind kind) {
+    if (!At(kind)) {
+      return Error(StrCat("expected ", TokenKindToString(kind), ", found ",
+                          Peek().ToString()));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (!At(TokenKind::kIdentifier)) {
+      return Error(StrCat("expected identifier, found ", Peek().ToString()));
+    }
+    return Advance().text;
+  }
+
+  Result<int64_t> ExpectInteger() {
+    if (!At(TokenKind::kInteger)) {
+      return Error(StrCat("expected integer, found ", Peek().ToString()));
+    }
+    return Advance().integer;
+  }
+
+  Status ExpectKeyword(const std::string& word) {
+    MVC_ASSIGN_OR_RETURN(std::string got, ExpectIdentifier());
+    if (got != word) {
+      return Error(StrCat("expected '", word, "', found '", got, "'"));
+    }
+    return Status::OK();
+  }
+
+  bool ConsumeKeyword(const std::string& word) {
+    if (At(TokenKind::kIdentifier) && Peek().text == word) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  // --- Statements ---
+
+  Status ParseSource() {
+    MVC_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    if (config_.sources.count(name) > 0) {
+      return Error(StrCat("source '", name, "' already declared"));
+    }
+    config_.sources[name];  // declare even if empty
+    MVC_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+    while (!At(TokenKind::kRBrace)) {
+      MVC_RETURN_IF_ERROR(ExpectKeyword("relation"));
+      MVC_ASSIGN_OR_RETURN(std::string rel, ExpectIdentifier());
+      if (config_.schemas.count(rel) > 0) {
+        return Error(StrCat("relation '", rel, "' already declared"));
+      }
+      MVC_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      std::vector<std::string> columns;
+      for (;;) {
+        MVC_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        columns.push_back(std::move(col));
+        if (At(TokenKind::kComma)) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      MVC_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      MVC_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+      config_.sources[name].push_back(rel);
+      config_.schemas[rel] = Schema::AllInt64(columns);
+    }
+    return Expect(TokenKind::kRBrace);
+  }
+
+  Result<Tuple> ParseTuple() {
+    MVC_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    Tuple t;
+    for (;;) {
+      MVC_ASSIGN_OR_RETURN(int64_t v, ExpectInteger());
+      t.emplace_back(v);
+      if (At(TokenKind::kComma)) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    MVC_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    return t;
+  }
+
+  Status ParseInit() {
+    MVC_ASSIGN_OR_RETURN(std::string rel, ExpectIdentifier());
+    if (config_.schemas.count(rel) == 0) {
+      return Error(StrCat("init of undeclared relation '", rel, "'"));
+    }
+    for (;;) {
+      MVC_ASSIGN_OR_RETURN(Tuple t, ParseTuple());
+      MVC_RETURN_IF_ERROR(
+          config_.schemas[rel].ValidateTuple(t).ok()
+              ? Status::OK()
+              : Error(StrCat("tuple arity mismatch for '", rel, "'")));
+      config_.initial_data[rel].push_back(std::move(t));
+      if (At(TokenKind::kComma)) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Expect(TokenKind::kSemicolon);
+  }
+
+  Result<ColumnRef> ParseColumnRef() {
+    MVC_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier());
+    if (At(TokenKind::kDot)) {
+      Advance();
+      MVC_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      return ColumnRef{first, col};
+    }
+    return ColumnRef{"", first};
+  }
+
+  Status ParseView() {
+    MVC_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    for (const ViewDefinition& def : config_.views) {
+      if (def.name == name) {
+        return Error(StrCat("view '", name, "' already declared"));
+      }
+    }
+    MVC_RETURN_IF_ERROR(Expect(TokenKind::kEquals));
+    MVC_RETURN_IF_ERROR(ExpectKeyword("select"));
+
+    ViewDefinition def;
+    def.name = std::move(name);
+    if (At(TokenKind::kStar)) {
+      Advance();  // empty projection = all columns
+    } else {
+      for (;;) {
+        MVC_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+        def.projection.push_back(std::move(ref));
+        if (At(TokenKind::kComma)) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    MVC_RETURN_IF_ERROR(ExpectKeyword("from"));
+    for (;;) {
+      MVC_ASSIGN_OR_RETURN(std::string rel, ExpectIdentifier());
+      if (config_.schemas.count(rel) == 0) {
+        return Error(StrCat("view over undeclared relation '", rel, "'"));
+      }
+      def.relations.push_back(std::move(rel));
+      if (At(TokenKind::kComma)) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+
+    std::vector<Predicate> conjuncts;
+    if (ConsumeKeyword("where")) {
+      for (;;) {
+        MVC_ASSIGN_OR_RETURN(Predicate conjunct, ParseComparison());
+        conjuncts.push_back(std::move(conjunct));
+        if (ConsumeKeyword("and")) continue;
+        break;
+      }
+    }
+    def.predicate = Predicate::And(std::move(conjuncts));
+    MVC_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    config_.views.push_back(std::move(def));
+    return Status::OK();
+  }
+
+  Result<Predicate> ParseComparison() {
+    MVC_ASSIGN_OR_RETURN(ColumnRef lhs, ParseColumnRef());
+    CompareOp op;
+    if (At(TokenKind::kEquals)) {
+      Advance();
+      op = CompareOp::kEq;
+    } else if (At(TokenKind::kCompare)) {
+      const std::string& spelled = Advance().text;
+      if (spelled == "<") {
+        op = CompareOp::kLt;
+      } else if (spelled == "<=") {
+        op = CompareOp::kLe;
+      } else if (spelled == ">") {
+        op = CompareOp::kGt;
+      } else if (spelled == ">=") {
+        op = CompareOp::kGe;
+      } else {
+        op = CompareOp::kNe;
+      }
+    } else {
+      return Error(StrCat("expected comparison operator, found ",
+                          Peek().ToString()));
+    }
+    if (At(TokenKind::kInteger)) {
+      int64_t v = Advance().integer;
+      return Predicate::ColCmpConst(op, std::move(lhs), Value(v));
+    }
+    MVC_ASSIGN_OR_RETURN(ColumnRef rhs, ParseColumnRef());
+    return Predicate::Compare(op, Predicate::Operand::Col(std::move(lhs)),
+                              Predicate::Operand::Col(std::move(rhs)));
+  }
+
+  Status ParseAggregate() {
+    MVC_ASSIGN_OR_RETURN(std::string view, ExpectIdentifier());
+    bool known = false;
+    for (const ViewDefinition& def : config_.views) {
+      known = known || def.name == view;
+    }
+    if (!known) {
+      return Error(StrCat("aggregate over undeclared view '", view, "'"));
+    }
+    MVC_RETURN_IF_ERROR(ExpectKeyword("group"));
+    MVC_RETURN_IF_ERROR(ExpectKeyword("by"));
+    AggregateSpec spec;
+    for (;;) {
+      MVC_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      spec.group_by.push_back(std::move(col));
+      if (At(TokenKind::kComma)) {
+        // Could be the next group column or the first aggregate; peek.
+        const Token& next = tokens_[pos_ + 1];
+        if (next.kind == TokenKind::kIdentifier &&
+            (next.text == "count" || next.text == "sum" ||
+             next.text == "min" || next.text == "max")) {
+          Advance();
+          break;
+        }
+        Advance();
+        continue;
+      }
+      break;
+    }
+    for (;;) {
+      MVC_ASSIGN_OR_RETURN(std::string fn_name, ExpectIdentifier());
+      AggregateColumn agg;
+      if (fn_name == "count") {
+        agg.fn = AggregateFn::kCount;
+      } else if (fn_name == "sum") {
+        agg.fn = AggregateFn::kSum;
+      } else if (fn_name == "min") {
+        agg.fn = AggregateFn::kMin;
+      } else if (fn_name == "max") {
+        agg.fn = AggregateFn::kMax;
+      } else {
+        return Error(StrCat("unknown aggregate '", fn_name, "'"));
+      }
+      if (agg.fn != AggregateFn::kCount) {
+        MVC_ASSIGN_OR_RETURN(agg.input_column, ExpectIdentifier());
+      }
+      MVC_RETURN_IF_ERROR(ExpectKeyword("as"));
+      MVC_ASSIGN_OR_RETURN(agg.output_name, ExpectIdentifier());
+      spec.aggregates.push_back(std::move(agg));
+      if (At(TokenKind::kComma)) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    MVC_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    config_.aggregates[view] = std::move(spec);
+    return Status::OK();
+  }
+
+  Status ParseManager() {
+    MVC_ASSIGN_OR_RETURN(std::string view, ExpectIdentifier());
+    MVC_ASSIGN_OR_RETURN(std::string kind, ExpectIdentifier());
+    if (kind == "complete") {
+      config_.manager_kinds[view] = ManagerKind::kComplete;
+    } else if (kind == "strong") {
+      config_.manager_kinds[view] = ManagerKind::kStrong;
+    } else if (kind == "periodic") {
+      config_.manager_kinds[view] = ManagerKind::kPeriodic;
+    } else if (kind == "convergent") {
+      config_.manager_kinds[view] = ManagerKind::kConvergent;
+    } else if (kind == "complete-n") {
+      config_.manager_kinds[view] = ManagerKind::kCompleteN;
+    } else {
+      return Error(StrCat("unknown manager kind '", kind, "'"));
+    }
+    return Expect(TokenKind::kSemicolon);
+  }
+
+  Status ParseTxn() {
+    MVC_RETURN_IF_ERROR(Expect(TokenKind::kAt));
+    MVC_ASSIGN_OR_RETURN(int64_t at, ExpectInteger());
+    MVC_ASSIGN_OR_RETURN(std::string source, ExpectIdentifier());
+    if (config_.sources.count(source) == 0) {
+      return Error(StrCat("txn at undeclared source '", source, "'"));
+    }
+    Injection inj;
+    inj.at = at;
+    inj.source = source;
+    MVC_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+    while (!At(TokenKind::kRBrace)) {
+      MVC_ASSIGN_OR_RETURN(std::string op, ExpectIdentifier());
+      MVC_ASSIGN_OR_RETURN(std::string rel, ExpectIdentifier());
+      if (config_.schemas.count(rel) == 0) {
+        return Error(StrCat("update of undeclared relation '", rel, "'"));
+      }
+      MVC_ASSIGN_OR_RETURN(Tuple t, ParseTuple());
+      if (op == "insert") {
+        inj.updates.push_back(Update::Insert(source, rel, std::move(t)));
+      } else if (op == "delete") {
+        inj.updates.push_back(Update::Delete(source, rel, std::move(t)));
+      } else if (op == "modify") {
+        MVC_RETURN_IF_ERROR(Expect(TokenKind::kArrow));
+        MVC_ASSIGN_OR_RETURN(Tuple after, ParseTuple());
+        inj.updates.push_back(
+            Update::Modify(source, rel, std::move(t), std::move(after)));
+      } else {
+        return Error(StrCat("unknown update op '", op, "'"));
+      }
+      MVC_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    }
+    MVC_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+    if (inj.updates.empty()) {
+      return Error("transaction has no updates");
+    }
+    config_.workload.push_back(std::move(inj));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  SystemConfig config_;
+};
+
+}  // namespace
+
+Result<SystemConfig> ParseScenario(const std::string& text) {
+  MVC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+Result<SystemConfig> ParseScenarioFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrCat("cannot open scenario file '", path, "'"));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseScenario(buffer.str());
+}
+
+}  // namespace mvc

@@ -1,0 +1,39 @@
+// The scenario-definition language: a small declarative format that
+// compiles into a SystemConfig, so complete warehouse scenarios can be
+// written as text files and run with `mvc_sim --scenario file.mvc`.
+//
+// Grammar (statements end with ';' except block forms):
+//
+//   source <name> { relation <rel>(<col>, ...); ... }
+//   init <rel> (v, ...), (v, ...), ... ;
+//   view <name> = select <cols|*> from <rel>, ...
+//                 [where <col-or-rel.col> <op> <col-or-int> [and ...]] ;
+//   aggregate <view> group by <col>, ...
+//             <count|sum|min|max> [<col>] as <name> [, ...] ;
+//   manager <view> <complete|strong|periodic|convergent|complete-n> ;
+//   txn @<micros> <source> { insert <rel> (v, ...);
+//                            delete <rel> (v, ...);
+//                            modify <rel> (v, ...) -> (v, ...); }
+//
+// All columns are INT64 (matching the paper's examples). `#` comments.
+// Ordering constraints: relations must be declared before use; `init`
+// rows load state ss_0; transactions execute at their @time.
+
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "system/config.h"
+
+namespace mvc {
+
+/// Parses a scenario document into a SystemConfig. Maintenance and
+/// runtime knobs not expressible in the language (latencies, costs,
+/// policies) are left at their defaults for the caller to override.
+Result<SystemConfig> ParseScenario(const std::string& text);
+
+/// Reads `path` and parses it.
+Result<SystemConfig> ParseScenarioFile(const std::string& path);
+
+}  // namespace mvc

@@ -1,0 +1,213 @@
+#include "query/aggregate.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mvc {
+
+const char* AggregateFnToString(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kCount:
+      return "COUNT";
+    case AggregateFn::kSum:
+      return "SUM";
+    case AggregateFn::kMin:
+      return "MIN";
+    case AggregateFn::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+Result<Schema> AggregateSpec::OutputSchema(const Schema& spj_output) const {
+  std::vector<Column> columns;
+  for (const std::string& name : group_by) {
+    MVC_ASSIGN_OR_RETURN(size_t idx, spj_output.ColumnIndex(name));
+    columns.push_back(spj_output.column(idx));
+  }
+  for (const AggregateColumn& agg : aggregates) {
+    if (agg.fn != AggregateFn::kCount) {
+      MVC_ASSIGN_OR_RETURN(size_t idx,
+                           spj_output.ColumnIndex(agg.input_column));
+      if (spj_output.column(idx).type != ValueType::kInt64) {
+        return Status::InvalidArgument(
+            StrCat(AggregateFnToString(agg.fn), " input '",
+                   agg.input_column, "' must be INT64"));
+      }
+    }
+    columns.push_back(Column{agg.output_name, ValueType::kInt64});
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("aggregate spec produces no columns");
+  }
+  return Schema(std::move(columns));
+}
+
+std::string AggregateSpec::ToString() const {
+  std::vector<std::string> parts;
+  for (const AggregateColumn& agg : aggregates) {
+    parts.push_back(StrCat(AggregateFnToString(agg.fn), "(",
+                           agg.fn == AggregateFn::kCount ? "*"
+                                                         : agg.input_column,
+                           ") AS ", agg.output_name));
+  }
+  return StrCat("GROUP BY [", JoinToString(group_by, ", "), "] -> ",
+                JoinToString(parts, ", "));
+}
+
+Result<AggregateState> AggregateState::Build(const BoundView& view,
+                                             const AggregateSpec& spec,
+                                             const TableProviderFn& provider) {
+  const Schema& spj_schema = view.output_schema();
+  MVC_ASSIGN_OR_RETURN(Schema output, spec.OutputSchema(spj_schema));
+  std::vector<size_t> group_offsets;
+  for (const std::string& name : spec.group_by) {
+    MVC_ASSIGN_OR_RETURN(size_t idx, spj_schema.ColumnIndex(name));
+    group_offsets.push_back(idx);
+  }
+  std::vector<std::optional<size_t>> input_offsets;
+  for (const AggregateColumn& agg : spec.aggregates) {
+    if (agg.fn == AggregateFn::kCount) {
+      input_offsets.push_back(std::nullopt);
+    } else {
+      MVC_ASSIGN_OR_RETURN(size_t idx,
+                           spj_schema.ColumnIndex(agg.input_column));
+      input_offsets.push_back(idx);
+    }
+  }
+  AggregateState state(spec, std::move(output), std::move(group_offsets),
+                       std::move(input_offsets));
+
+  MVC_ASSIGN_OR_RETURN(Table core, ViewEvaluator::Evaluate(view, provider));
+  Status st;
+  core.Scan([&](const Tuple& row, int64_t count) {
+    if (!st.ok()) return;
+    Group& group = state.groups_[state.GroupKey(row)];
+    st = state.Accumulate(row, count, &group);
+  });
+  MVC_RETURN_IF_ERROR(st);
+  return state;
+}
+
+Tuple AggregateState::GroupKey(const Tuple& spj_row) const {
+  Tuple key;
+  key.reserve(group_offsets_.size());
+  for (size_t off : group_offsets_) key.push_back(spj_row[off]);
+  return key;
+}
+
+Tuple AggregateState::GroupRow(const Tuple& key, const Group& group) const {
+  Tuple row = key;
+  row.reserve(key.size() + spec_.aggregates.size());
+  for (size_t i = 0; i < spec_.aggregates.size(); ++i) {
+    switch (spec_.aggregates[i].fn) {
+      case AggregateFn::kCount:
+      case AggregateFn::kSum:
+        row.emplace_back(group.accums[i]);
+        break;
+      case AggregateFn::kMin:
+        MVC_CHECK(!group.value_bags[i].empty());
+        row.emplace_back(group.value_bags[i].begin()->first);
+        break;
+      case AggregateFn::kMax:
+        MVC_CHECK(!group.value_bags[i].empty());
+        row.emplace_back(group.value_bags[i].rbegin()->first);
+        break;
+    }
+  }
+  return row;
+}
+
+Status AggregateState::Accumulate(const Tuple& spj_row, int64_t count,
+                                  Group* group) const {
+  if (group->accums.empty()) {
+    group->accums.assign(spec_.aggregates.size(), 0);
+    group->value_bags.assign(spec_.aggregates.size(), {});
+  }
+  group->row_count += count;
+  if (group->row_count < 0) {
+    return Status::Internal(
+        StrCat("aggregate group ", TupleToString(GroupKey(spj_row)),
+               " has negative row count (bad delta)"));
+  }
+  for (size_t i = 0; i < spec_.aggregates.size(); ++i) {
+    if (spec_.aggregates[i].fn == AggregateFn::kCount) {
+      group->accums[i] += count;
+      continue;
+    }
+    const Value& v = spj_row[*input_offsets_[i]];
+    if (v.type() != ValueType::kInt64) {
+      return Status::InvalidArgument(
+          StrCat(AggregateFnToString(spec_.aggregates[i].fn),
+                 " over non-INT64 value ", v.ToString()));
+    }
+    switch (spec_.aggregates[i].fn) {
+      case AggregateFn::kSum:
+        group->accums[i] += count * v.AsInt64();
+        break;
+      case AggregateFn::kMin:
+      case AggregateFn::kMax: {
+        auto& bag = group->value_bags[i];
+        int64_t& multiplicity = bag[v.AsInt64()];
+        multiplicity += count;
+        if (multiplicity < 0) {
+          return Status::Internal(
+              StrCat("MIN/MAX bag for value ", v.AsInt64(),
+                     " went negative (bad delta)"));
+        }
+        if (multiplicity == 0) bag.erase(v.AsInt64());
+        break;
+      }
+      case AggregateFn::kCount:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<TableDelta> AggregateState::Fold(const TableDelta& spj_delta,
+                                        const std::string& target) {
+  TableDelta out;
+  out.target = target;
+  // Collect affected groups first so each group contributes exactly one
+  // old-row/new-row pair even when several delta rows hit it.
+  std::map<Tuple, std::vector<const DeltaRow*>> by_group;
+  for (const DeltaRow& row : spj_delta.rows) {
+    by_group[GroupKey(row.tuple)].push_back(&row);
+  }
+  for (const auto& [key, rows] : by_group) {
+    auto it = groups_.find(key);
+    const bool existed = it != groups_.end() && it->second.row_count > 0;
+    if (existed) out.Add(GroupRow(key, it->second), -1);
+    Group& group = groups_[key];
+    for (const DeltaRow* row : rows) {
+      MVC_RETURN_IF_ERROR(Accumulate(row->tuple, row->count, &group));
+    }
+    if (group.row_count > 0) {
+      out.Add(GroupRow(key, group), 1);
+    } else {
+      groups_.erase(key);
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+Table AggregateState::Materialize(const std::string& name) const {
+  Table out(name, output_schema_);
+  for (const auto& [key, group] : groups_) {
+    MVC_CHECK(out.Insert(GroupRow(key, group)).ok());
+  }
+  return out;
+}
+
+Result<Table> EvaluateAggregate(const BoundView& view,
+                                const AggregateSpec& spec,
+                                const TableProviderFn& provider,
+                                const std::string& result_name) {
+  MVC_ASSIGN_OR_RETURN(AggregateState state,
+                       AggregateState::Build(view, spec, provider));
+  return state.Materialize(result_name);
+}
+
+}  // namespace mvc

@@ -1,0 +1,112 @@
+// Aggregate views: GROUP BY + COUNT/SUM over an SPJ core.
+//
+// Section 1.2 motivates the one-manager-per-view architecture with
+// exactly this case: "some views, e.g., aggregate views need to use
+// different maintenance algorithms than other views". An aggregate view
+// is defined as an AggregateSpec layered on a BoundView; maintenance
+// folds the SPJ core's incremental delta into per-group accumulators and
+// emits the old-row/new-row changes for each affected group.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/evaluator.h"
+#include "query/view_def.h"
+
+namespace mvc {
+
+enum class AggregateFn : uint8_t { kCount = 0, kSum = 1, kMin = 2, kMax = 3 };
+
+const char* AggregateFnToString(AggregateFn fn);
+
+/// One output aggregate over the SPJ output: COUNT(*) (input_column
+/// ignored), or SUM/MIN/MAX over an INT64 column. COUNT and SUM are
+/// self-maintainable under counted deletes; MIN and MAX are not — the
+/// state keeps a per-group value multiset so a deleted extremum can be
+/// replaced exactly (the classic reason aggregate views need their own
+/// maintenance machinery).
+struct AggregateColumn {
+  AggregateFn fn = AggregateFn::kCount;
+  std::string input_column;
+  std::string output_name;
+};
+
+/// GROUP BY `group_by` (names in the SPJ core's output schema) computing
+/// `aggregates`. Groups with no contributing rows are absent from the
+/// view.
+struct AggregateSpec {
+  std::vector<std::string> group_by;
+  std::vector<AggregateColumn> aggregates;
+
+  /// Output schema: group columns (types from the SPJ output) followed
+  /// by one INT64 column per aggregate.
+  Result<Schema> OutputSchema(const Schema& spj_output) const;
+
+  std::string ToString() const;
+};
+
+/// Fully evaluates the aggregate view at the provider's state.
+Result<Table> EvaluateAggregate(const BoundView& view,
+                                const AggregateSpec& spec,
+                                const TableProviderFn& provider,
+                                const std::string& result_name);
+
+/// Incrementally maintained per-group accumulators. COUNT and SUM are
+/// self-maintainable under counted inserts and deletes: a group's row
+/// disappears exactly when its contributing-row count reaches zero.
+class AggregateState {
+ public:
+  /// Builds the state (and implicitly the initial view contents) from
+  /// the SPJ core evaluated at the provider's state.
+  static Result<AggregateState> Build(const BoundView& view,
+                                      const AggregateSpec& spec,
+                                      const TableProviderFn& provider);
+
+  /// Folds a delta of the SPJ core's *output* rows into the state and
+  /// returns the corresponding aggregate-view delta: for each affected
+  /// group, minus the old aggregate row (if the group existed) and plus
+  /// the new one (if it still has rows). The returned delta is
+  /// normalized.
+  Result<TableDelta> Fold(const TableDelta& spj_delta,
+                          const std::string& target);
+
+  /// Current materialization of the aggregate view.
+  Table Materialize(const std::string& name) const;
+
+  const Schema& output_schema() const { return output_schema_; }
+
+ private:
+  struct Group {
+    int64_t row_count = 0;        // total contributing rows
+    std::vector<int64_t> accums;  // one per aggregate (COUNT/SUM)
+    /// For MIN/MAX aggregates: value -> multiplicity (empty maps for
+    /// COUNT/SUM positions).
+    std::vector<std::map<int64_t, int64_t>> value_bags;
+  };
+
+  AggregateState(AggregateSpec spec, Schema output_schema,
+                 std::vector<size_t> group_offsets,
+                 std::vector<std::optional<size_t>> input_offsets)
+      : spec_(std::move(spec)),
+        output_schema_(std::move(output_schema)),
+        group_offsets_(std::move(group_offsets)),
+        input_offsets_(std::move(input_offsets)) {}
+
+  Tuple GroupKey(const Tuple& spj_row) const;
+  Tuple GroupRow(const Tuple& key, const Group& group) const;
+  Status Accumulate(const Tuple& spj_row, int64_t count, Group* group) const;
+
+  AggregateSpec spec_;
+  Schema output_schema_;
+  /// Offsets of the group-by columns within the SPJ output tuple.
+  std::vector<size_t> group_offsets_;
+  /// Offset of each aggregate's input column (nullopt for COUNT).
+  std::vector<std::optional<size_t>> input_offsets_;
+  std::map<Tuple, Group> groups_;
+};
+
+}  // namespace mvc

@@ -1,0 +1,225 @@
+#include "query/evaluator.h"
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "storage/update.h"
+
+namespace mvc {
+
+namespace {
+
+/// Intermediate join row: a prefix of the concatenated tuple plus its
+/// multiplicity (signed during delta propagation).
+struct JoinRow {
+  Tuple tuple;
+  int64_t count;
+};
+
+/// Source of rows for one relation in the join: either a table or a
+/// signed delta.
+struct RelationRows {
+  const Table* table = nullptr;
+  const TableDelta* delta = nullptr;
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (table != nullptr) {
+      table->Scan([&](const Tuple& t, int64_t c) { fn(t, c); });
+    } else {
+      for (const DeltaRow& row : delta->rows) fn(row.tuple, row.count);
+    }
+  }
+};
+
+/// Composite hash key over a subset of tuple positions.
+struct KeyHash {
+  size_t operator()(const Tuple& key) const { return TupleHash{}(key); }
+};
+
+/// Evaluates the join pipeline shared by full evaluation and delta
+/// propagation. `sources[i]` feeds relation i. Calls `emit` with each
+/// fully joined row and its multiplicity.
+Status RunJoin(const BoundView& view, const std::vector<RelationRows>& sources,
+               const std::function<void(const Tuple&, int64_t)>& emit) {
+  const size_t n = view.num_relations();
+
+  // Conjuncts grouped by the step at which they become applicable.
+  std::vector<std::vector<const BoundView::Conjunct*>> at_step(n);
+  for (const BoundView::Conjunct& c : view.conjuncts()) {
+    at_step[c.max_relation].push_back(&c);
+  }
+
+  // Seed with relation 0, applying step-0 conjuncts.
+  std::vector<JoinRow> rows;
+  sources[0].ForEach([&](const Tuple& t, int64_t c) {
+    for (const BoundView::Conjunct* conj : at_step[0]) {
+      if (!conj->bound.Evaluate(t)) return;
+    }
+    rows.push_back(JoinRow{t, c});
+  });
+
+  for (size_t k = 1; k < n && !rows.empty(); ++k) {
+    const size_t rel_off = view.relation_offset(k);
+    const size_t rel_width = view.relation_schema(k).num_columns();
+
+    // Split applicable conjuncts into hash-join keys (prefix offset,
+    // relation-k local offset) and residual filters.
+    std::vector<std::pair<size_t, size_t>> keys;
+    std::vector<const BoundView::Conjunct*> residual;
+    for (const BoundView::Conjunct* conj : at_step[k]) {
+      size_t lo = 0;
+      size_t hi = 0;
+      if (conj->bound.AsEquiJoin(&lo, &hi) && lo < rel_off && hi >= rel_off &&
+          hi < rel_off + rel_width) {
+        keys.emplace_back(lo, hi - rel_off);
+      } else {
+        residual.push_back(conj);
+      }
+    }
+
+    std::vector<JoinRow> next;
+    if (!keys.empty()) {
+      // Build hash table over relation k keyed by its join columns.
+      std::unordered_multimap<Tuple, JoinRow, KeyHash> build;
+      sources[k].ForEach([&](const Tuple& t, int64_t c) {
+        Tuple key;
+        key.reserve(keys.size());
+        for (const auto& [_, local] : keys) key.push_back(t[local]);
+        build.emplace(std::move(key), JoinRow{t, c});
+      });
+      for (const JoinRow& left : rows) {
+        Tuple key;
+        key.reserve(keys.size());
+        for (const auto& [prefix_off, _] : keys) {
+          key.push_back(left.tuple[prefix_off]);
+        }
+        auto [begin, end] = build.equal_range(key);
+        for (auto it = begin; it != end; ++it) {
+          Tuple combined = left.tuple;
+          combined.insert(combined.end(), it->second.tuple.begin(),
+                          it->second.tuple.end());
+          bool pass = true;
+          for (const BoundView::Conjunct* conj : residual) {
+            if (!conj->bound.Evaluate(combined)) {
+              pass = false;
+              break;
+            }
+          }
+          if (pass) {
+            next.push_back(JoinRow{std::move(combined),
+                                   left.count * it->second.count});
+          }
+        }
+      }
+    } else {
+      // Nested-loop cross product with residual filters.
+      std::vector<JoinRow> right_rows;
+      sources[k].ForEach([&](const Tuple& t, int64_t c) {
+        right_rows.push_back(JoinRow{t, c});
+      });
+      for (const JoinRow& left : rows) {
+        for (const JoinRow& right : right_rows) {
+          Tuple combined = left.tuple;
+          combined.insert(combined.end(), right.tuple.begin(),
+                          right.tuple.end());
+          bool pass = true;
+          for (const BoundView::Conjunct* conj : residual) {
+            if (!conj->bound.Evaluate(combined)) {
+              pass = false;
+              break;
+            }
+          }
+          if (pass) {
+            next.push_back(
+                JoinRow{std::move(combined), left.count * right.count});
+          }
+        }
+      }
+    }
+    rows = std::move(next);
+  }
+
+  for (const JoinRow& row : rows) emit(row.tuple, row.count);
+  return Status::OK();
+}
+
+}  // namespace
+
+TableProviderFn CatalogProvider(const Catalog* catalog) {
+  return [catalog](const std::string& name)
+             -> Result<std::shared_ptr<const Table>> {
+    MVC_ASSIGN_OR_RETURN(const Table* table, catalog->GetTable(name));
+    // Non-owning: the catalog outlives the evaluation.
+    return std::shared_ptr<const Table>(table, [](const Table*) {});
+  };
+}
+
+Result<Table> ViewEvaluator::Evaluate(const BoundView& view,
+                                      const TableProviderFn& provider) {
+  std::vector<std::shared_ptr<const Table>> pins(view.num_relations());
+  std::vector<RelationRows> sources(view.num_relations());
+  for (size_t i = 0; i < view.num_relations(); ++i) {
+    MVC_ASSIGN_OR_RETURN(pins[i], provider(view.relation(i)));
+    sources[i].table = pins[i].get();
+  }
+  Table result(view.name(), view.output_schema());
+  Status emit_status;
+  MVC_RETURN_IF_ERROR(
+      RunJoin(view, sources, [&](const Tuple& joined, int64_t count) {
+        if (!emit_status.ok()) return;
+        MVC_DCHECK(count > 0);
+        emit_status = result.Insert(view.Project(joined), count);
+      }));
+  MVC_RETURN_IF_ERROR(emit_status);
+  return result;
+}
+
+Result<TableDelta> ViewEvaluator::EvaluateDelta(
+    const BoundView& view, const std::string& relation,
+    const TableDelta& base_delta, const TableProviderFn& provider) {
+  TableDelta out;
+  out.target = view.name();
+  auto rel_idx = view.RelationIndex(relation);
+  if (!rel_idx.has_value() || base_delta.empty()) return out;
+
+  std::vector<std::shared_ptr<const Table>> pins(view.num_relations());
+  std::vector<RelationRows> sources(view.num_relations());
+  for (size_t i = 0; i < view.num_relations(); ++i) {
+    if (i == *rel_idx) {
+      sources[i].delta = &base_delta;
+    } else {
+      MVC_ASSIGN_OR_RETURN(pins[i], provider(view.relation(i)));
+      sources[i].table = pins[i].get();
+    }
+  }
+  MVC_RETURN_IF_ERROR(
+      RunJoin(view, sources, [&](const Tuple& joined, int64_t count) {
+        out.Add(view.Project(joined), count);
+      }));
+  out.Normalize();
+  return out;
+}
+
+TableDelta ViewEvaluator::UpdateToBaseDelta(const Update& update) {
+  TableDelta delta;
+  delta.target = update.relation;
+  switch (update.op) {
+    case UpdateOp::kInsert:
+      delta.Add(update.tuple, 1);
+      break;
+    case UpdateOp::kDelete:
+      delta.Add(update.tuple, -1);
+      break;
+    case UpdateOp::kModify:
+      delta.Add(update.tuple, -1);
+      delta.Add(update.new_tuple, 1);
+      break;
+  }
+  return delta;
+}
+
+}  // namespace mvc

@@ -1,0 +1,65 @@
+// View evaluation: full materialization and incremental delta
+// propagation for bound SPJ views.
+//
+// Joins are planned left-to-right in definition order; every step uses a
+// hash join on the equi-join conjuncts that become applicable at that
+// step, falling back to a nested-loop cross product filtered by the
+// residual conjuncts. Multiplicities multiply through joins and sum under
+// projection (counting algorithm), so bag semantics and incremental
+// deletes are exact.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "query/view_def.h"
+#include "storage/catalog.h"
+#include "storage/delta.h"
+#include "storage/table.h"
+#include "storage/update.h"
+
+namespace mvc {
+
+/// Supplies base-relation contents at the state the caller wants the view
+/// evaluated against (current source state, or a historical state from a
+/// versioned log). The shared_ptr lets providers hand out snapshots
+/// without copying when the table is long-lived.
+using TableProviderFn =
+    std::function<Result<std::shared_ptr<const Table>>(const std::string&)>;
+
+/// Provider serving tables straight out of `catalog` (non-owning; the
+/// catalog must outlive the provider).
+TableProviderFn CatalogProvider(const Catalog* catalog);
+
+class ViewEvaluator {
+ public:
+  /// Fully evaluates `view` against the provider's state. The result
+  /// table is named after the view and uses its output schema.
+  static Result<Table> Evaluate(const BoundView& view,
+                                const TableProviderFn& provider);
+
+  /// Incremental propagation: the signed view delta induced by
+  /// `base_delta` on `relation`, with all *other* base relations read
+  /// from `provider`. Returns an empty delta if the relation does not
+  /// participate in the view. The result is normalized (sorted, zero
+  /// rows dropped).
+  ///
+  /// Correctness requires the caller to choose the provider state
+  /// according to its maintenance algorithm: a complete view manager
+  /// reads the other relations as of the update being processed; a
+  /// Strobe-style manager reads live state and compensates by batching
+  /// intertwined updates.
+  static Result<TableDelta> EvaluateDelta(const BoundView& view,
+                                          const std::string& relation,
+                                          const TableDelta& base_delta,
+                                          const TableProviderFn& provider);
+
+  /// Converts a single source update into the equivalent signed delta on
+  /// its base relation (modify = delete old + insert new).
+  static TableDelta UpdateToBaseDelta(const Update& update);
+};
+
+}  // namespace mvc

@@ -1,0 +1,224 @@
+#include "query/expr.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mvc {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool CompareValues(CompareOp op, const Value& lhs, const Value& rhs) {
+  // Numeric comparisons mix INT64 and DOUBLE naturally.
+  if (lhs.IsNumeric() && rhs.IsNumeric() && lhs.type() != rhs.type()) {
+    double l = lhs.AsNumeric();
+    double r = rhs.AsNumeric();
+    switch (op) {
+      case CompareOp::kEq:
+        return l == r;
+      case CompareOp::kNe:
+        return l != r;
+      case CompareOp::kLt:
+        return l < r;
+      case CompareOp::kLe:
+        return l <= r;
+      case CompareOp::kGt:
+        return l > r;
+      case CompareOp::kGe:
+        return l >= r;
+    }
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+Predicate Predicate::True() { return Predicate(); }
+
+Predicate Predicate::Compare(CompareOp op, Operand lhs, Operand rhs) {
+  Predicate p;
+  p.kind_ = Kind::kComparison;
+  p.op_ = op;
+  p.lhs_ = std::move(lhs);
+  p.rhs_ = std::move(rhs);
+  return p;
+}
+
+Predicate Predicate::And(std::vector<Predicate> children) {
+  if (children.empty()) return True();
+  if (children.size() == 1) return std::move(children[0]);
+  Predicate p;
+  p.kind_ = Kind::kAnd;
+  p.children_ = std::move(children);
+  return p;
+}
+
+Predicate Predicate::Or(std::vector<Predicate> children) {
+  MVC_CHECK(!children.empty());
+  if (children.size() == 1) return std::move(children[0]);
+  Predicate p;
+  p.kind_ = Kind::kOr;
+  p.children_ = std::move(children);
+  return p;
+}
+
+Predicate Predicate::Not(Predicate child) {
+  Predicate p;
+  p.kind_ = Kind::kNot;
+  p.children_.push_back(std::move(child));
+  return p;
+}
+
+std::vector<const Predicate*> Predicate::Conjuncts() const {
+  std::vector<const Predicate*> out;
+  if (kind_ == Kind::kTrue) return out;
+  if (kind_ != Kind::kAnd) {
+    out.push_back(this);
+    return out;
+  }
+  for (const Predicate& child : children_) {
+    auto sub = child.Conjuncts();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+void Predicate::CollectColumns(std::vector<ColumnRef>* out) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return;
+    case Kind::kComparison:
+      if (lhs_.is_column) out->push_back(lhs_.column);
+      if (rhs_.is_column) out->push_back(rhs_.column);
+      return;
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kNot:
+      for (const Predicate& child : children_) child.CollectColumns(out);
+      return;
+  }
+}
+
+std::string Predicate::ToString() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "TRUE";
+    case Kind::kComparison:
+      return StrCat(lhs_.ToString(), " ", CompareOpToString(op_), " ",
+                    rhs_.ToString());
+    case Kind::kAnd: {
+      std::vector<std::string> parts;
+      for (const Predicate& c : children_) parts.push_back(c.ToString());
+      return StrCat("(", JoinToString(parts, " AND "), ")");
+    }
+    case Kind::kOr: {
+      std::vector<std::string> parts;
+      for (const Predicate& c : children_) parts.push_back(c.ToString());
+      return StrCat("(", JoinToString(parts, " OR "), ")");
+    }
+    case Kind::kNot:
+      return StrCat("NOT ", children_[0].ToString());
+  }
+  return "?";
+}
+
+Result<BoundPredicate> BoundPredicate::Bind(
+    const Predicate& pred,
+    const std::function<Result<size_t>(const ColumnRef&)>& resolver) {
+  BoundPredicate bp;
+  bp.kind_ = pred.kind();
+  bp.op_ = pred.op();
+  if (pred.kind() == Predicate::Kind::kComparison) {
+    auto bind_operand = [&](const Predicate::Operand& o,
+                            BoundOperand* out) -> Status {
+      out->is_column = o.is_column;
+      if (o.is_column) {
+        MVC_ASSIGN_OR_RETURN(out->offset, resolver(o.column));
+      } else {
+        out->constant = o.constant;
+      }
+      return Status::OK();
+    };
+    MVC_RETURN_IF_ERROR(bind_operand(pred.lhs(), &bp.lhs_));
+    MVC_RETURN_IF_ERROR(bind_operand(pred.rhs(), &bp.rhs_));
+    for (const BoundOperand* o : {&bp.lhs_, &bp.rhs_}) {
+      if (o->is_column) {
+        bp.max_offset_ = std::max(bp.max_offset_, o->offset);
+        ++bp.offsets_used_;
+      }
+    }
+  } else {
+    for (const Predicate& child : pred.children()) {
+      MVC_ASSIGN_OR_RETURN(BoundPredicate bc, Bind(child, resolver));
+      bp.max_offset_ = std::max(bp.max_offset_, bc.max_offset_);
+      bp.offsets_used_ += bc.offsets_used_;
+      bp.children_.push_back(std::move(bc));
+    }
+  }
+  return bp;
+}
+
+bool BoundPredicate::Evaluate(const Tuple& row) const {
+  switch (kind_) {
+    case Predicate::Kind::kTrue:
+      return true;
+    case Predicate::Kind::kComparison:
+      return CompareValues(op_, OperandValue(lhs_, row),
+                           OperandValue(rhs_, row));
+    case Predicate::Kind::kAnd:
+      for (const BoundPredicate& c : children_) {
+        if (!c.Evaluate(row)) return false;
+      }
+      return true;
+    case Predicate::Kind::kOr:
+      for (const BoundPredicate& c : children_) {
+        if (c.Evaluate(row)) return true;
+      }
+      return false;
+    case Predicate::Kind::kNot:
+      return !children_[0].Evaluate(row);
+  }
+  return false;
+}
+
+bool BoundPredicate::AsEquiJoin(size_t* lo, size_t* hi) const {
+  if (kind_ != Predicate::Kind::kComparison || op_ != CompareOp::kEq) {
+    return false;
+  }
+  if (!lhs_.is_column || !rhs_.is_column) return false;
+  *lo = std::min(lhs_.offset, rhs_.offset);
+  *hi = std::max(lhs_.offset, rhs_.offset);
+  return *lo != *hi;
+}
+
+}  // namespace mvc

@@ -1,0 +1,158 @@
+// Predicate expressions over (joined) tuples.
+//
+// View definitions use a predicate tree of comparisons combined with
+// AND/OR/NOT. Before evaluation a predicate is *bound*: column references
+// are resolved to offsets within the concatenated join tuple, which also
+// lets the planner classify conjuncts (join vs. selection) by the set of
+// relations they touch.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace mvc {
+
+/// Reference to `relation.column`. `relation` may be empty, in which case
+/// binding resolves the column name against all relations and requires it
+/// to be unambiguous.
+struct ColumnRef {
+  std::string relation;
+  std::string column;
+
+  std::string ToString() const {
+    return relation.empty() ? column : relation + "." + column;
+  }
+  bool operator==(const ColumnRef& other) const {
+    return relation == other.relation && column == other.column;
+  }
+};
+
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpToString(CompareOp op);
+
+/// Applies `op` to two values using the Value total order.
+bool CompareValues(CompareOp op, const Value& lhs, const Value& rhs);
+
+/// Unbound predicate tree.
+class Predicate {
+ public:
+  enum class Kind : uint8_t { kTrue, kComparison, kAnd, kOr, kNot };
+
+  /// One side of a comparison: a column reference or a constant.
+  struct Operand {
+    bool is_column = false;
+    ColumnRef column;
+    Value constant;
+
+    static Operand Col(ColumnRef ref) {
+      Operand o;
+      o.is_column = true;
+      o.column = std::move(ref);
+      return o;
+    }
+    static Operand Const(Value v) {
+      Operand o;
+      o.constant = std::move(v);
+      return o;
+    }
+    std::string ToString() const {
+      return is_column ? column.ToString() : constant.ToString();
+    }
+  };
+
+  /// Builders.
+  static Predicate True();
+  static Predicate Compare(CompareOp op, Operand lhs, Operand rhs);
+  static Predicate ColEqCol(ColumnRef lhs, ColumnRef rhs) {
+    return Compare(CompareOp::kEq, Operand::Col(std::move(lhs)),
+                   Operand::Col(std::move(rhs)));
+  }
+  static Predicate ColEqConst(ColumnRef lhs, Value rhs) {
+    return Compare(CompareOp::kEq, Operand::Col(std::move(lhs)),
+                   Operand::Const(std::move(rhs)));
+  }
+  static Predicate ColCmpConst(CompareOp op, ColumnRef lhs, Value rhs) {
+    return Compare(op, Operand::Col(std::move(lhs)),
+                   Operand::Const(std::move(rhs)));
+  }
+  static Predicate And(std::vector<Predicate> children);
+  static Predicate Or(std::vector<Predicate> children);
+  static Predicate Not(Predicate child);
+
+  Kind kind() const { return kind_; }
+  CompareOp op() const { return op_; }
+  const Operand& lhs() const { return lhs_; }
+  const Operand& rhs() const { return rhs_; }
+  const std::vector<Predicate>& children() const { return children_; }
+
+  /// True if the tree is the constant-true predicate (no conjuncts).
+  bool IsTrivial() const { return kind_ == Kind::kTrue; }
+
+  /// Flattens nested ANDs into a conjunct list. A non-AND root yields a
+  /// single conjunct; kTrue yields none.
+  std::vector<const Predicate*> Conjuncts() const;
+
+  /// All column references in the tree.
+  void CollectColumns(std::vector<ColumnRef>* out) const;
+
+  std::string ToString() const;
+
+ private:
+  Kind kind_ = Kind::kTrue;
+  CompareOp op_ = CompareOp::kEq;
+  Operand lhs_;
+  Operand rhs_;
+  std::vector<Predicate> children_;
+};
+
+/// Predicate with column references resolved to offsets in a concatenated
+/// join tuple. Evaluation is offset-based and allocation free.
+class BoundPredicate {
+ public:
+  /// Binds `pred` by resolving every ColumnRef through `resolver`, which
+  /// returns the global offset for a reference or an error.
+  static Result<BoundPredicate> Bind(
+      const Predicate& pred,
+      const std::function<Result<size_t>(const ColumnRef&)>& resolver);
+
+  /// Evaluates against a tuple wide enough to cover every bound offset.
+  bool Evaluate(const Tuple& row) const;
+
+  /// Largest column offset referenced (0 if none).
+  size_t MaxOffset() const { return max_offset_; }
+
+  /// True if no column references appear.
+  bool IsConstant() const { return offsets_used_ == 0; }
+
+  /// If this bound predicate is a single `col == col` comparison, returns
+  /// the two offsets (lo, hi by offset order).
+  bool AsEquiJoin(size_t* lo, size_t* hi) const;
+
+ private:
+  struct BoundOperand {
+    bool is_column = false;
+    size_t offset = 0;
+    Value constant;
+  };
+  Predicate::Kind kind_ = Predicate::Kind::kTrue;
+  CompareOp op_ = CompareOp::kEq;
+  BoundOperand lhs_;
+  BoundOperand rhs_;
+  std::vector<BoundPredicate> children_;
+  size_t max_offset_ = 0;
+  size_t offsets_used_ = 0;
+
+  const Value& OperandValue(const BoundOperand& o, const Tuple& row) const {
+    return o.is_column ? row[o.offset] : o.constant;
+  }
+};
+
+}  // namespace mvc

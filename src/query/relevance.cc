@@ -1,0 +1,34 @@
+#include "query/relevance.h"
+
+namespace mvc {
+
+bool TupleMayAffectView(const BoundView& view, const std::string& relation,
+                        const Tuple& t) {
+  auto rel_idx = view.RelationIndex(relation);
+  if (!rel_idx.has_value()) return false;
+
+  // Build a full-width row with the candidate tuple in its slot; other
+  // positions are never read by the conjuncts we evaluate.
+  Tuple row(view.total_width());
+  const size_t off = view.relation_offset(*rel_idx);
+  for (size_t i = 0; i < t.size(); ++i) row[off + i] = t[i];
+
+  for (const BoundView::Conjunct& conj : view.conjuncts()) {
+    const bool single_relation =
+        conj.relations.size() == 1 && conj.relations[0] == *rel_idx;
+    const bool constant = conj.relations.empty();
+    if (!single_relation && !constant) continue;
+    if (!conj.bound.Evaluate(row)) return false;
+  }
+  return true;
+}
+
+bool UpdateIsRelevant(const BoundView& view, const Update& update) {
+  if (TupleMayAffectView(view, update.relation, update.tuple)) return true;
+  if (update.op == UpdateOp::kModify) {
+    return TupleMayAffectView(view, update.relation, update.new_tuple);
+  }
+  return false;
+}
+
+}  // namespace mvc

@@ -1,0 +1,28 @@
+// Irrelevant-update detection (Blakeley, Coburn, Larson style).
+//
+// The integrator must compute REL_i, the set of views a source update can
+// affect. The coarse test is base-relation membership; the finer test
+// evaluates the selection conjuncts that mention only the updated
+// relation against the updated tuple — if any such conjunct rejects the
+// tuple, the update cannot change the view and the view is pruned from
+// REL_i, saving a view-manager round trip and an empty action list.
+
+#pragma once
+
+#include "query/view_def.h"
+#include "storage/update.h"
+
+namespace mvc {
+
+/// True if a tuple change in `relation` with value `t` could contribute
+/// to `view`: the relation participates and every single-relation
+/// conjunct over it accepts `t`. Conservative (never prunes a relevant
+/// update).
+bool TupleMayAffectView(const BoundView& view, const std::string& relation,
+                        const Tuple& t);
+
+/// Relevance of a whole update; a MODIFY is relevant if either the old or
+/// the new tuple may affect the view.
+bool UpdateIsRelevant(const BoundView& view, const Update& update);
+
+}  // namespace mvc

@@ -1,0 +1,155 @@
+#include "query/view_def.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace mvc {
+
+std::string ViewDefinition::ToString() const {
+  std::ostringstream os;
+  os << name << " = ";
+  os << JoinToString(relations, " JOIN ");
+  if (!predicate.IsTrivial()) os << " WHERE " << predicate.ToString();
+  if (!projection.empty()) {
+    std::vector<std::string> cols;
+    for (const ColumnRef& c : projection) cols.push_back(c.ToString());
+    os << " PROJECT [" << JoinToString(cols, ", ") << "]";
+  }
+  return os.str();
+}
+
+Result<BoundView> BoundView::Bind(
+    const ViewDefinition& def, const std::map<std::string, Schema>& schemas) {
+  BoundView bv;
+  bv.def_ = def;
+  if (def.relations.empty()) {
+    return Status::InvalidArgument(
+        StrCat("view '", def.name, "' joins no relations"));
+  }
+  std::set<std::string> seen;
+  for (const std::string& rel : def.relations) {
+    if (!seen.insert(rel).second) {
+      return Status::InvalidArgument(
+          StrCat("view '", def.name, "': relation '", rel,
+                 "' appears more than once (self joins unsupported)"));
+    }
+    auto it = schemas.find(rel);
+    if (it == schemas.end()) {
+      return Status::NotFound(
+          StrCat("view '", def.name, "': unknown relation '", rel, "'"));
+    }
+    bv.rel_offsets_.push_back(bv.total_width_);
+    bv.base_schemas_.push_back(it->second);
+    bv.total_width_ += it->second.num_columns();
+  }
+
+  // Resolver: ColumnRef -> global offset in the concatenated tuple.
+  auto resolve = [&bv](const ColumnRef& ref) -> Result<size_t> {
+    if (!ref.relation.empty()) {
+      auto rel_idx = bv.RelationIndex(ref.relation);
+      if (!rel_idx.has_value()) {
+        return Status::NotFound(StrCat("view '", bv.def_.name,
+                                       "': relation '", ref.relation,
+                                       "' not part of the view"));
+      }
+      MVC_ASSIGN_OR_RETURN(
+          size_t col, bv.base_schemas_[*rel_idx].ColumnIndex(ref.column));
+      return bv.rel_offsets_[*rel_idx] + col;
+    }
+    // Unqualified: must resolve to exactly one relation.
+    std::optional<size_t> found;
+    for (size_t i = 0; i < bv.base_schemas_.size(); ++i) {
+      auto col = bv.base_schemas_[i].FindColumn(ref.column);
+      if (col.has_value()) {
+        if (found.has_value()) {
+          return Status::InvalidArgument(
+              StrCat("view '", bv.def_.name, "': column '", ref.column,
+                     "' is ambiguous"));
+        }
+        found = bv.rel_offsets_[i] + *col;
+      }
+    }
+    if (!found.has_value()) {
+      return Status::NotFound(StrCat("view '", bv.def_.name, "': column '",
+                                     ref.column, "' not found"));
+    }
+    return *found;
+  };
+
+  // Maps a global offset back to its relation index.
+  auto relation_of_offset = [&bv](size_t offset) {
+    size_t rel = 0;
+    for (size_t i = 0; i < bv.rel_offsets_.size(); ++i) {
+      if (offset >= bv.rel_offsets_[i]) rel = i;
+    }
+    return rel;
+  };
+
+  // Bind and classify each top-level conjunct.
+  for (const Predicate* conj : def.predicate.Conjuncts()) {
+    Conjunct c;
+    c.unbound = *conj;
+    MVC_ASSIGN_OR_RETURN(c.bound, BoundPredicate::Bind(*conj, resolve));
+    std::vector<ColumnRef> cols;
+    conj->CollectColumns(&cols);
+    std::set<size_t> rels;
+    for (const ColumnRef& ref : cols) {
+      MVC_ASSIGN_OR_RETURN(size_t off, resolve(ref));
+      rels.insert(relation_of_offset(off));
+    }
+    c.relations.assign(rels.begin(), rels.end());
+    c.max_relation = c.relations.empty() ? 0 : c.relations.back();
+    bv.conjuncts_.push_back(std::move(c));
+  }
+
+  // Output schema from the projection (or all columns if empty).
+  std::vector<Column> out_cols;
+  if (def.projection.empty()) {
+    for (size_t i = 0; i < bv.base_schemas_.size(); ++i) {
+      for (size_t j = 0; j < bv.base_schemas_[i].num_columns(); ++j) {
+        bv.projection_offsets_.push_back(bv.rel_offsets_[i] + j);
+        out_cols.push_back(bv.base_schemas_[i].column(j));
+      }
+    }
+  } else {
+    for (const ColumnRef& ref : def.projection) {
+      MVC_ASSIGN_OR_RETURN(size_t off, resolve(ref));
+      bv.projection_offsets_.push_back(off);
+      size_t rel = relation_of_offset(off);
+      size_t local = off - bv.rel_offsets_[rel];
+      out_cols.push_back(bv.base_schemas_[rel].column(local));
+    }
+  }
+  // Disambiguate duplicate output column names by qualifying them.
+  for (size_t i = 0; i < out_cols.size(); ++i) {
+    for (size_t j = i + 1; j < out_cols.size(); ++j) {
+      if (out_cols[i].name == out_cols[j].name) {
+        size_t rel_j = relation_of_offset(bv.projection_offsets_[j]);
+        out_cols[j].name =
+            StrCat(def.relations[rel_j], ".", out_cols[j].name);
+      }
+    }
+  }
+  bv.output_schema_ = Schema(std::move(out_cols));
+  return bv;
+}
+
+std::optional<size_t> BoundView::RelationIndex(
+    const std::string& relation) const {
+  for (size_t i = 0; i < def_.relations.size(); ++i) {
+    if (def_.relations[i] == relation) return i;
+  }
+  return std::nullopt;
+}
+
+Tuple BoundView::Project(const Tuple& joined) const {
+  Tuple out;
+  out.reserve(projection_offsets_.size());
+  for (size_t off : projection_offsets_) out.push_back(joined[off]);
+  return out;
+}
+
+}  // namespace mvc

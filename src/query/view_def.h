@@ -1,0 +1,96 @@
+// Select-project-join view definitions and their bound (analyzed) form.
+//
+// A ViewDefinition names the base relations joined (left-to-right), a
+// predicate combining join and selection conditions, and a projection
+// list. Binding against the base-relation schemas resolves column
+// references to offsets in the concatenated join tuple and classifies
+// each top-level conjunct by the relations it touches, which drives both
+// the join planner (hash keys) and the integrator's relevance test.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/expr.h"
+#include "storage/schema.h"
+
+namespace mvc {
+
+/// Unanalyzed view definition.
+struct ViewDefinition {
+  std::string name;
+  /// Base relations joined, in join order. Duplicates are rejected at
+  /// bind time (no self joins; the paper's views have none).
+  std::vector<std::string> relations;
+  /// Join + selection predicate (TRUE for a plain copy view).
+  Predicate predicate = Predicate::True();
+  /// Output columns. Empty means all columns of all relations in order.
+  std::vector<ColumnRef> projection;
+
+  std::string ToString() const;
+};
+
+/// A view definition bound against its base-relation schemas.
+class BoundView {
+ public:
+  /// Analyzes `def` against `schemas` (relation name -> schema). Fails if
+  /// a relation or column cannot be resolved, a reference is ambiguous,
+  /// or a relation appears twice.
+  static Result<BoundView> Bind(const ViewDefinition& def,
+                                const std::map<std::string, Schema>& schemas);
+
+  const ViewDefinition& def() const { return def_; }
+  const std::string& name() const { return def_.name; }
+
+  size_t num_relations() const { return def_.relations.size(); }
+  const std::string& relation(size_t i) const { return def_.relations[i]; }
+  const Schema& relation_schema(size_t i) const { return base_schemas_[i]; }
+
+  /// Index of `relation` within the join order, if it participates.
+  std::optional<size_t> RelationIndex(const std::string& relation) const;
+
+  /// Start offset of relation `i`'s columns in the concatenated tuple.
+  size_t relation_offset(size_t i) const { return rel_offsets_[i]; }
+
+  /// Total width of the concatenated join tuple.
+  size_t total_width() const { return total_width_; }
+
+  /// Schema of the view's output (projected) tuples.
+  const Schema& output_schema() const { return output_schema_; }
+
+  /// Global offsets of projected columns in the concatenated tuple.
+  const std::vector<size_t>& projection_offsets() const {
+    return projection_offsets_;
+  }
+
+  /// Projects a full-width joined tuple to an output tuple.
+  Tuple Project(const Tuple& joined) const;
+
+  /// One top-level conjunct of the predicate, bound, with the set of
+  /// relation indexes it references.
+  struct Conjunct {
+    BoundPredicate bound;
+    /// The unbound form (kept for relevance testing / printing).
+    Predicate unbound;
+    /// Sorted relation indexes referenced; empty for constant conjuncts.
+    std::vector<size_t> relations;
+    /// Largest referenced relation index (0 when `relations` empty); the
+    /// conjunct becomes applicable once the join prefix includes it.
+    size_t max_relation = 0;
+  };
+  const std::vector<Conjunct>& conjuncts() const { return conjuncts_; }
+
+ private:
+  ViewDefinition def_;
+  std::vector<Schema> base_schemas_;
+  std::vector<size_t> rel_offsets_;
+  size_t total_width_ = 0;
+  Schema output_schema_;
+  std::vector<size_t> projection_offsets_;
+  std::vector<Conjunct> conjuncts_;
+};
+
+}  // namespace mvc

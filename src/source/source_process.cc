@@ -1,0 +1,148 @@
+#include "source/source_process.h"
+
+#include "common/string_util.h"
+
+namespace mvc {
+
+Status SourceProcess::LoadInitial(const std::string& relation,
+                                  const Tuple& t) {
+  if (!log_.empty()) {
+    return Status::FailedPrecondition(
+        "LoadInitial must precede all transactions");
+  }
+  MVC_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(relation));
+  return table->Insert(t);
+}
+
+Status SourceProcess::ApplyUpdate(const Update& u) {
+  if (u.source != name()) {
+    return Status::InvalidArgument(StrCat("update for source '", u.source,
+                                          "' sent to source '", name(), "'"));
+  }
+  MVC_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(u.relation));
+  switch (u.op) {
+    case UpdateOp::kInsert:
+      return table->Insert(u.tuple);
+    case UpdateOp::kDelete:
+      return table->Delete(u.tuple);
+    case UpdateOp::kModify:
+      return table->Modify(u.tuple, u.new_tuple);
+  }
+  return Status::Internal("unknown update op");
+}
+
+Status SourceProcess::ExecuteTransaction(const std::vector<Update>& updates,
+                                         int64_t global_txn_id,
+                                         int32_t global_participants) {
+  if (updates.empty()) {
+    return Status::InvalidArgument("transaction has no updates");
+  }
+  // Apply all updates; failure of any aborts (earlier updates in the
+  // same transaction are rolled back to preserve atomicity).
+  std::vector<Update> applied;
+  for (const Update& u : updates) {
+    Status st = ApplyUpdate(u);
+    if (!st.ok()) {
+      for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+        Update undo = *it;
+        switch (it->op) {
+          case UpdateOp::kInsert:
+            undo.op = UpdateOp::kDelete;
+            break;
+          case UpdateOp::kDelete:
+            undo.op = UpdateOp::kInsert;
+            break;
+          case UpdateOp::kModify:
+            std::swap(undo.tuple, undo.new_tuple);
+            break;
+        }
+        MVC_CHECK(ApplyUpdate(undo).ok());
+      }
+      return st;
+    }
+    applied.push_back(u);
+  }
+
+  SourceTransaction txn;
+  txn.local_seq = state() + 1;
+  txn.updates = updates;
+  txn.global_txn_id = global_txn_id;
+  txn.global_participants = global_participants;
+  log_.push_back(txn);
+
+  if (integrator_ != kInvalidProcess) {
+    auto msg = std::make_unique<SourceTxnMsg>();
+    msg->txn = txn;
+    SendAfter(integrator_, std::move(msg), options_.report_delay);
+  }
+  return Status::OK();
+}
+
+Result<Table> SourceProcess::TableAtState(const std::string& relation,
+                                          int64_t state) const {
+  if (state < 0 || state > this->state()) {
+    return Status::OutOfRange(StrCat("source '", name(), "' has no state ",
+                                     state, " (current ", this->state(),
+                                     ")"));
+  }
+  MVC_ASSIGN_OR_RETURN(const Table* current, catalog_.GetTable(relation));
+  Table snapshot = current->Clone();
+  // Undo transactions state+1 .. current, newest first.
+  for (int64_t i = this->state() - 1; i >= state; --i) {
+    const SourceTransaction& txn = log_[static_cast<size_t>(i)];
+    for (auto it = txn.updates.rbegin(); it != txn.updates.rend(); ++it) {
+      if (it->relation != relation) continue;
+      switch (it->op) {
+        case UpdateOp::kInsert:
+          MVC_RETURN_IF_ERROR(snapshot.Delete(it->tuple));
+          break;
+        case UpdateOp::kDelete:
+          MVC_RETURN_IF_ERROR(snapshot.Insert(it->tuple));
+          break;
+        case UpdateOp::kModify:
+          MVC_RETURN_IF_ERROR(snapshot.Modify(it->new_tuple, it->tuple));
+          break;
+      }
+    }
+  }
+  return snapshot;
+}
+
+void SourceProcess::OnMessage(ProcessId from, MessagePtr msg) {
+  switch (msg->kind) {
+    case Message::Kind::kInjectTxn: {
+      auto* inject = static_cast<InjectTxnMsg*>(msg.get());
+      Status st = ExecuteTransaction(inject->updates, inject->global_txn_id,
+                                     inject->global_participants);
+      if (!st.ok()) {
+        MVC_LOG_ERROR() << "source " << name()
+                        << ": transaction failed: " << st;
+      }
+      return;
+    }
+    case Message::Kind::kQueryRequest: {
+      auto* req = static_cast<QueryRequestMsg*>(msg.get());
+      auto resp = std::make_unique<QueryResponseMsg>();
+      resp->request_id = req->request_id;
+      resp->relation = req->relation;
+      if (req->as_of_state >= 0) {
+        auto table = TableAtState(req->relation, req->as_of_state);
+        MVC_CHECK(table.ok()) << table.status().ToString();
+        resp->snapshot = std::move(table).value();
+        resp->state = req->as_of_state;
+      } else {
+        auto table = catalog_.GetTable(req->relation);
+        MVC_CHECK(table.ok()) << table.status().ToString();
+        resp->snapshot = (*table)->Clone();
+        resp->state = state();
+      }
+      SendAfter(from, std::move(resp), options_.query_delay);
+      return;
+    }
+    default:
+      MVC_LOG_ERROR() << "source " << name() << ": unexpected message "
+                      << msg->Summary();
+  }
+}
+
+}  // namespace mvc

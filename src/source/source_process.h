@@ -1,0 +1,91 @@
+// An autonomous data source.
+//
+// Each source owns a set of base relations and executes transactions
+// serializably (the actor model gives serial execution, the strongest
+// serializable schedule). Committed transactions are appended to a
+// versioned log and reported to the integrator in commit order — the
+// paper's source-consistency assumption (Section 2.1).
+//
+// Sources answer two kinds of relation queries from view managers:
+//  * current-state queries (Strobe-style strongly consistent managers) —
+//    the answer is tagged with the source-local state number it reflects;
+//  * as-of-state queries (complete managers) — answered from the
+//    versioned log by undoing recent transactions, modelling a
+//    multiversion source.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/protocol.h"
+#include "net/runtime.h"
+#include "storage/catalog.h"
+#include "storage/update.h"
+
+namespace mvc {
+
+/// Tunables for one source.
+struct SourceOptions {
+  /// Simulated processing time before a query answer is sent.
+  TimeMicros query_delay = 0;
+  /// Simulated processing time before an update report is sent.
+  TimeMicros report_delay = 0;
+};
+
+class SourceProcess : public Process {
+ public:
+  SourceProcess(std::string name, SourceOptions options = {})
+      : Process(std::move(name)), options_(options) {}
+
+  /// --- Setup API (before the runtime starts) ---
+
+  Status CreateTable(const std::string& relation, const Schema& schema) {
+    return catalog_.CreateTable(relation, schema);
+  }
+
+  /// Loads an initial tuple into the state-0 contents of a relation.
+  Status LoadInitial(const std::string& relation, const Tuple& t);
+
+  /// Wires the integrator destination. Must be set before Run.
+  void SetIntegrator(ProcessId integrator) { integrator_ = integrator; }
+
+  /// --- Direct API (used by drivers co-located with the runtime) ---
+
+  /// Executes a transaction immediately (must be called from within the
+  /// source's own message handler or before the runtime starts delivery;
+  /// drivers normally send InjectTxnMsg instead).
+  Status ExecuteTransaction(const std::vector<Update>& updates,
+                            int64_t global_txn_id = 0,
+                            int32_t global_participants = 0);
+
+  /// --- Introspection ---
+
+  /// Source-local state number (number of committed transactions).
+  int64_t state() const { return static_cast<int64_t>(log_.size()); }
+
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Relation contents as of local state `state` (0 = initial). Serves
+  /// historical reads by undoing the suffix of the log.
+  Result<Table> TableAtState(const std::string& relation,
+                             int64_t state) const;
+
+  /// The committed-transaction log (for tests).
+  const std::vector<SourceTransaction>& log() const { return log_; }
+
+  /// --- Actor interface ---
+  void OnMessage(ProcessId from, MessagePtr msg) override;
+
+ private:
+  Status ApplyUpdate(const Update& u);
+
+  SourceOptions options_;
+  Catalog catalog_;
+  std::vector<SourceTransaction> log_;
+  ProcessId integrator_ = kInvalidProcess;
+};
+
+}  // namespace mvc

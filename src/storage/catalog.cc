@@ -1,0 +1,55 @@
+#include "storage/catalog.h"
+
+#include "common/string_util.h"
+
+namespace mvc {
+
+Status Catalog::CreateTable(const std::string& name, const Schema& schema) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists(StrCat("table '", name, "' already exists"));
+  }
+  tables_[name] = std::make_unique<Table>(name, schema);
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("table '", name, "' does not exist"));
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("table '", name, "' does not exist"));
+  }
+  return it->second.get();
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("table '", name, "' does not exist"));
+  }
+  return static_cast<const Table*>(it->second.get());
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+Catalog Catalog::Clone() const {
+  Catalog copy;
+  for (const auto& [name, table] : tables_) {
+    copy.tables_[name] = std::make_unique<Table>(table->Clone());
+  }
+  return copy;
+}
+
+}  // namespace mvc

@@ -1,0 +1,59 @@
+#include "storage/delta.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace mvc {
+
+void TableDelta::Normalize() {
+  std::unordered_map<Tuple, int64_t, TupleHash> sums;
+  for (const DeltaRow& row : rows) sums[row.tuple] += row.count;
+  rows.clear();
+  for (auto& [tuple, count] : sums) {
+    if (count != 0) rows.push_back(DeltaRow{tuple, count});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const DeltaRow& a, const DeltaRow& b) {
+              return a.tuple < b.tuple;
+            });
+}
+
+Status TableDelta::ApplyTo(Table* table) const {
+  // Validate first so a failing delta leaves the table unchanged.
+  std::unordered_map<Tuple, int64_t, TupleHash> net;
+  for (const DeltaRow& row : rows) net[row.tuple] += row.count;
+  for (const auto& [tuple, count] : net) {
+    if (count < 0 && table->CountOf(tuple) < -count) {
+      return Status::FailedPrecondition(
+          StrCat("delta on '", table->name(), "' deletes ", -count,
+                 " copies of ", TupleToString(tuple), " but only ",
+                 table->CountOf(tuple), " present"));
+    }
+  }
+  for (const auto& [tuple, count] : net) {
+    if (count > 0) {
+      MVC_RETURN_IF_ERROR(table->Insert(tuple, count));
+    } else if (count < 0) {
+      MVC_RETURN_IF_ERROR(table->Delete(tuple, -count));
+    }
+  }
+  return Status::OK();
+}
+
+std::string TableDelta::ToString() const {
+  std::ostringstream os;
+  os << "Delta(" << target << "): {";
+  bool first = true;
+  for (const DeltaRow& row : rows) {
+    if (!first) os << ", ";
+    os << (row.count > 0 ? "+" : "") << row.count << TupleToString(row.tuple);
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace mvc

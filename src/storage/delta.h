@@ -1,0 +1,51 @@
+// Deltas: signed multisets of tuples describing a change to one relation
+// or materialized view.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+#include "storage/tuple.h"
+
+namespace mvc {
+
+/// One signed row of a delta: positive count inserts copies, negative
+/// count deletes copies.
+struct DeltaRow {
+  Tuple tuple;
+  int64_t count = 0;
+
+  bool operator==(const DeltaRow& other) const {
+    return count == other.count && tuple == other.tuple;
+  }
+};
+
+/// A change to one named relation/view, as a signed multiset.
+struct TableDelta {
+  std::string target;
+  std::vector<DeltaRow> rows;
+
+  bool empty() const { return rows.empty(); }
+
+  void Add(Tuple t, int64_t count) {
+    if (count != 0) rows.push_back(DeltaRow{std::move(t), count});
+  }
+
+  /// Collapses duplicate tuples by summing counts and dropping zeros;
+  /// result rows are sorted for determinism.
+  void Normalize();
+
+  /// Applies this delta to `table` atomically-in-effect: all deletions
+  /// are validated before any mutation so a bad delta leaves the table
+  /// untouched. Deletions beyond the stored multiplicity fail with
+  /// FailedPrecondition.
+  Status ApplyTo(Table* table) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace mvc

@@ -1,0 +1,63 @@
+#include "storage/schema.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace mvc {
+
+Schema Schema::AllInt64(const std::vector<std::string>& names) {
+  std::vector<Column> cols;
+  cols.reserve(names.size());
+  for (const auto& n : names) cols.push_back(Column{n, ValueType::kInt64});
+  return Schema(std::move(cols));
+}
+
+std::optional<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  auto idx = FindColumn(name);
+  if (!idx.has_value()) {
+    return Status::NotFound(
+        StrCat("no column named '", name, "' in schema ", ToString()));
+  }
+  return *idx;
+}
+
+Status Schema::ValidateTuple(const Tuple& t) const {
+  if (t.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrCat("tuple arity ", t.size(), " does not match schema arity ",
+               columns_.size()));
+  }
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].is_null()) continue;
+    if (t[i].type() != columns_[i].type) {
+      return Status::InvalidArgument(
+          StrCat("column '", columns_[i].name, "' expects ",
+                 ValueTypeToString(columns_[i].type), " but tuple has ",
+                 ValueTypeToString(t[i].type())));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  bool first = true;
+  for (const Column& c : columns_) {
+    if (!first) os << ", ";
+    os << c.name << " " << ValueTypeToString(c.type);
+    first = false;
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace mvc

@@ -1,0 +1,61 @@
+// Relation schemas: ordered, named, typed columns.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/tuple.h"
+#include "storage/value.h"
+
+namespace mvc {
+
+/// One column of a relation.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+
+  bool operator==(const Column& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered column list describing a relation or view output.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  /// Convenience: all-INT64 schema from column names (the paper's
+  /// examples use integer attributes throughout).
+  static Schema AllInt64(const std::vector<std::string>& names);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, if present.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  /// Index of the column named `name`; InvalidArgument if absent.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Verifies `t` has the right arity and each non-NULL value matches the
+  /// column type.
+  Status ValidateTuple(const Tuple& t) const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+  bool operator!=(const Schema& other) const { return !(*this == other); }
+
+  /// "(A INT64, B STRING)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace mvc

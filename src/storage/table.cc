@@ -1,0 +1,104 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace mvc {
+
+Status Table::Insert(const Tuple& t, int64_t count) {
+  if (count <= 0) {
+    return Status::InvalidArgument(
+        StrCat("Insert count must be positive, got ", count));
+  }
+  MVC_RETURN_IF_ERROR(schema_.ValidateTuple(t));
+  rows_[t] += count;
+  total_count_ += count;
+  return Status::OK();
+}
+
+Status Table::Delete(const Tuple& t, int64_t count) {
+  if (count <= 0) {
+    return Status::InvalidArgument(
+        StrCat("Delete count must be positive, got ", count));
+  }
+  auto it = rows_.find(t);
+  if (it == rows_.end() || it->second < count) {
+    return Status::FailedPrecondition(
+        StrCat("table '", name_, "': cannot delete ", count, " copies of ",
+               TupleToString(t), ", only ",
+               (it == rows_.end() ? 0 : it->second), " present"));
+  }
+  it->second -= count;
+  total_count_ -= count;
+  if (it->second == 0) rows_.erase(it);
+  return Status::OK();
+}
+
+Status Table::Modify(const Tuple& before, const Tuple& after) {
+  auto it = rows_.find(before);
+  if (it == rows_.end()) {
+    return Status::NotFound(StrCat("table '", name_, "': tuple ",
+                                   TupleToString(before), " not present"));
+  }
+  MVC_RETURN_IF_ERROR(schema_.ValidateTuple(after));
+  // Single-copy semantics: a modify update rewrites one row, matching
+  // the delta form (-1 before, +1 after) used everywhere else.
+  if (--it->second == 0) rows_.erase(it);
+  rows_[after] += 1;
+  return Status::OK();
+}
+
+int64_t Table::CountOf(const Tuple& t) const {
+  auto it = rows_.find(t);
+  return it == rows_.end() ? 0 : it->second;
+}
+
+void Table::Clear() {
+  rows_.clear();
+  total_count_ = 0;
+}
+
+void Table::Scan(const std::function<void(const Tuple&, int64_t)>& fn) const {
+  for (const auto& [tuple, count] : rows_) fn(tuple, count);
+}
+
+std::vector<Row> Table::SortedRows() const {
+  std::vector<Row> out;
+  out.reserve(rows_.size());
+  for (const auto& [tuple, count] : rows_) out.push_back(Row{tuple, count});
+  std::sort(out.begin(), out.end(), [](const Row& a, const Row& b) {
+    return a.tuple < b.tuple;
+  });
+  return out;
+}
+
+bool Table::ContentsEqual(const Table& other) const {
+  if (total_count_ != other.total_count_) return false;
+  if (rows_.size() != other.rows_.size()) return false;
+  for (const auto& [tuple, count] : rows_) {
+    if (other.CountOf(tuple) != count) return false;
+  }
+  return true;
+}
+
+Table Table::Clone() const {
+  Table copy(name_, schema_);
+  copy.rows_ = rows_;
+  copy.total_count_ = total_count_;
+  return copy;
+}
+
+std::string Table::ToString() const {
+  std::ostringstream os;
+  os << name_ << " " << schema_.ToString() << " [" << NumRows() << " rows]\n";
+  for (const Row& row : SortedRows()) {
+    os << "  " << TupleToString(row.tuple);
+    if (row.count != 1) os << " x" << row.count;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mvc

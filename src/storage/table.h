@@ -1,0 +1,102 @@
+// Bag-semantics relation storage.
+//
+// Tables store multisets of tuples as (tuple -> multiplicity) maps.
+// Counting multiplicities (rather than storing duplicate rows) is what
+// makes incremental maintenance of projection views correct: deleting one
+// contributing base tuple decrements the count of its projected image and
+// only removes the image when the count reaches zero (the classic
+// counting algorithm).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace mvc {
+
+/// A (tuple, multiplicity) pair as returned by Table scans.
+struct Row {
+  Tuple tuple;
+  int64_t count = 0;
+
+  bool operator==(const Row& other) const {
+    return count == other.count && tuple == other.tuple;
+  }
+};
+
+/// In-memory bag-semantics relation.
+///
+/// Not thread safe; each owning process serializes access (sources and the
+/// warehouse are single actors).
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Adds `count` copies of `t` (count > 0). Validates against the schema.
+  Status Insert(const Tuple& t, int64_t count = 1);
+
+  /// Removes `count` copies of `t` (count > 0). Fails with
+  /// FailedPrecondition if fewer than `count` copies exist — deleting a
+  /// non-existent tuple from a materialized view indicates a maintenance
+  /// bug and must surface loudly.
+  Status Delete(const Tuple& t, int64_t count = 1);
+
+  /// Replaces one copy of `before` with `after` (single-copy semantics,
+  /// matching the -1/+1 delta form of a modify update). NotFound if
+  /// absent.
+  Status Modify(const Tuple& before, const Tuple& after);
+
+  /// Multiplicity of `t` (0 if absent).
+  int64_t CountOf(const Tuple& t) const;
+
+  bool Contains(const Tuple& t) const { return CountOf(t) > 0; }
+
+  /// Number of distinct tuples.
+  size_t NumDistinct() const { return rows_.size(); }
+
+  /// Total multiplicity over all tuples.
+  int64_t NumRows() const { return total_count_; }
+
+  bool empty() const { return rows_.empty(); }
+
+  /// Removes all rows.
+  void Clear();
+
+  /// Calls `fn` for each distinct tuple with its multiplicity.
+  /// Iteration order is unspecified; use SortedRows() when order matters.
+  void Scan(const std::function<void(const Tuple&, int64_t)>& fn) const;
+
+  /// All rows sorted lexicographically by tuple — deterministic view of
+  /// the bag, used for equality checks, golden tests, and printing.
+  std::vector<Row> SortedRows() const;
+
+  /// Bag equality: same distinct tuples with the same multiplicities.
+  bool ContentsEqual(const Table& other) const;
+
+  /// Deep copy (used to snapshot source states for the oracle).
+  Table Clone() const;
+
+  /// ASCII rendering with a header row, rows sorted; multiplicities > 1
+  /// shown as a trailing "xN".
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::unordered_map<Tuple, int64_t, TupleHash> rows_;
+  int64_t total_count_ = 0;
+};
+
+}  // namespace mvc

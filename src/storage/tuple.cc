@@ -1,0 +1,20 @@
+#include "storage/tuple.h"
+
+#include <sstream>
+
+namespace mvc {
+
+std::string TupleToString(const Tuple& t) {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const Value& v : t) {
+    if (!first) os << ", ";
+    os << v;
+    first = false;
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace mvc

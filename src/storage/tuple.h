@@ -1,0 +1,24 @@
+// Tuple = ordered sequence of Values, plus hashing / formatting helpers.
+
+#pragma once
+
+#include <vector>
+
+#include "storage/value.h"
+
+namespace mvc {
+
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t seed = t.size();
+    for (const Value& v : t) HashCombine(&seed, v.Hash());
+    return seed;
+  }
+};
+
+/// "[1, 2, 'x']".
+std::string TupleToString(const Tuple& t);
+
+}  // namespace mvc

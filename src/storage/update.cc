@@ -1,0 +1,40 @@
+#include "storage/update.h"
+
+#include <sstream>
+
+namespace mvc {
+
+const char* UpdateOpToString(UpdateOp op) {
+  switch (op) {
+    case UpdateOp::kInsert:
+      return "INSERT";
+    case UpdateOp::kDelete:
+      return "DELETE";
+    case UpdateOp::kModify:
+      return "MODIFY";
+  }
+  return "?";
+}
+
+std::string Update::ToString() const {
+  std::ostringstream os;
+  os << UpdateOpToString(op) << " " << relation << " " << TupleToString(tuple);
+  if (op == UpdateOp::kModify) os << " -> " << TupleToString(new_tuple);
+  os << " @" << source;
+  return os.str();
+}
+
+std::string SourceTransaction::ToString() const {
+  std::ostringstream os;
+  os << "Txn(seq=" << local_seq << ", [";
+  bool first = true;
+  for (const Update& u : updates) {
+    if (!first) os << "; ";
+    os << u.ToString();
+    first = false;
+  }
+  os << "])";
+  return os.str();
+}
+
+}  // namespace mvc

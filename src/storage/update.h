@@ -1,0 +1,80 @@
+// Source update and transaction records.
+//
+// A source transaction is the unit of atomicity at a source. In the
+// paper's base model (Section 2.1) each transaction performs a single
+// update on a single source; Section 6.2 extends the algorithms to
+// multi-update, multi-source transactions by treating the transaction as
+// the unit the merge process coordinates. We model both: a
+// SourceTransaction carries one or more Updates.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace mvc {
+
+/// Kind of change a single update makes to one base relation.
+enum class UpdateOp : uint8_t { kInsert = 0, kDelete = 1, kModify = 2 };
+
+const char* UpdateOpToString(UpdateOp op);
+
+/// One tuple-level change to one base relation at one source.
+struct Update {
+  /// Name of the source the relation lives at.
+  std::string source;
+  /// Base relation name (relation names are globally unique).
+  std::string relation;
+  UpdateOp op = UpdateOp::kInsert;
+  /// Inserted tuple (kInsert), deleted tuple (kDelete), or the old tuple
+  /// (kModify).
+  Tuple tuple;
+  /// New tuple for kModify; empty otherwise.
+  Tuple new_tuple;
+
+  static Update Insert(std::string source, std::string relation, Tuple t) {
+    return Update{std::move(source), std::move(relation), UpdateOp::kInsert,
+                  std::move(t), {}};
+  }
+  static Update Delete(std::string source, std::string relation, Tuple t) {
+    return Update{std::move(source), std::move(relation), UpdateOp::kDelete,
+                  std::move(t), {}};
+  }
+  static Update Modify(std::string source, std::string relation, Tuple before,
+                       Tuple after) {
+    return Update{std::move(source), std::move(relation), UpdateOp::kModify,
+                  std::move(before), std::move(after)};
+  }
+
+  bool operator==(const Update& other) const {
+    return source == other.source && relation == other.relation &&
+           op == other.op && tuple == other.tuple &&
+           new_tuple == other.new_tuple;
+  }
+
+  std::string ToString() const;
+};
+
+/// A committed source transaction: one or more updates applied atomically
+/// at its source (or, for the Section 6.2 global-transaction extension,
+/// across sources).
+struct SourceTransaction {
+  /// Source-local commit sequence number (1-based, per source). For
+  /// global transactions this is the coordinator's sequence number.
+  int64_t local_seq = 0;
+  std::vector<Update> updates;
+  /// Section 6.2 extension: non-zero when this is one source's part of a
+  /// global transaction spanning several sources. The integrator merges
+  /// all parts carrying the same id into a single atomic unit.
+  int64_t global_txn_id = 0;
+  /// Number of sources participating in the global transaction (how many
+  /// parts the integrator must collect). 0 when not global.
+  int32_t global_participants = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace mvc

@@ -1,0 +1,41 @@
+#include "storage/value.h"
+
+#include <sstream>
+
+namespace mvc {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return os << "NULL";
+    case ValueType::kInt64:
+      return os << v.AsInt64();
+    case ValueType::kDouble:
+      return os << v.AsDouble();
+    case ValueType::kString:
+      return os << "'" << v.AsString() << "'";
+  }
+  return os;
+}
+
+}  // namespace mvc

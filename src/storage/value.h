@@ -1,0 +1,97 @@
+// Typed scalar values for tuples.
+//
+// The data model is deliberately small (NULL, INT64, DOUBLE, STRING): the
+// paper's algorithms are data-model independent (Section 3.1), and its
+// examples are relational with scalar attributes.
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "common/hash_util.h"
+#include "common/result.h"
+
+namespace mvc {
+
+/// Type tag of a Value.
+enum class ValueType : uint8_t { kNull = 0, kInt64 = 1, kDouble = 2, kString = 3 };
+
+/// Returns "NULL" / "INT64" / "DOUBLE" / "STRING".
+const char* ValueTypeToString(ValueType type);
+
+/// A scalar attribute value: one of NULL, INT64, DOUBLE, STRING.
+///
+/// Values are totally ordered (NULL < INT64 < DOUBLE < STRING across
+/// types; natural order within a type) so tuples can key ordered and
+/// hashed containers deterministically.
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : rep_(std::monostate{}) {}
+  Value(int64_t v) : rep_(v) {}                 // NOLINT(runtime/explicit)
+  Value(int v) : rep_(static_cast<int64_t>(v)) {}  // NOLINT
+  Value(double v) : rep_(v) {}                  // NOLINT
+  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT
+
+  ValueType type() const {
+    return static_cast<ValueType>(rep_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Accessors; must match type().
+  int64_t AsInt64() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// Numeric view: INT64 widened to double; only valid for numeric types.
+  double AsNumeric() const {
+    if (type() == ValueType::kInt64) return static_cast<double>(AsInt64());
+    return AsDouble();
+  }
+  bool IsNumeric() const {
+    return type() == ValueType::kInt64 || type() == ValueType::kDouble;
+  }
+
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const { return rep_ < other.rep_; }
+  bool operator<=(const Value& other) const { return rep_ <= other.rep_; }
+  bool operator>(const Value& other) const { return other < *this; }
+  bool operator>=(const Value& other) const { return other <= *this; }
+
+  size_t Hash() const {
+    size_t seed = static_cast<size_t>(rep_.index());
+    switch (type()) {
+      case ValueType::kNull:
+        break;
+      case ValueType::kInt64:
+        HashCombineValue(&seed, AsInt64());
+        break;
+      case ValueType::kDouble:
+        HashCombineValue(&seed, AsDouble());
+        break;
+      case ValueType::kString:
+        HashCombineValue(&seed, AsString());
+        break;
+    }
+    return seed;
+  }
+
+  /// Human-readable rendering ("NULL", "42", "3.5", "'abc'").
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace mvc

@@ -1,0 +1,103 @@
+// Scenario configuration for a complete warehouse system run.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "integrator/integrator.h"
+#include "integrator/sequential_integrator.h"
+#include "merge/merge_process.h"
+#include "query/aggregate.h"
+#include "net/sim_runtime.h"
+#include "source/source_process.h"
+#include "storage/schema.h"
+#include "storage/update.h"
+#include "viewmgr/aggregate_vm.h"
+#include "viewmgr/convergent_vm.h"
+#include "viewmgr/periodic_vm.h"
+#include "viewmgr/strong_vm.h"
+#include "warehouse/warehouse.h"
+
+namespace mvc {
+
+/// Which view-manager implementation maintains a view.
+enum class ManagerKind : uint8_t {
+  kComplete = 0,
+  kStrong = 1,
+  kPeriodic = 2,
+  kConvergent = 3,
+  kCompleteN = 4,  // StrongViewManager with fixed batch bounds
+};
+
+const char* ManagerKindToString(ManagerKind kind);
+
+/// One transaction injected into a source at a simulated time.
+struct Injection {
+  TimeMicros at = 0;
+  std::string source;
+  std::vector<Update> updates;
+  int64_t global_txn_id = 0;
+  int32_t global_participants = 0;
+};
+
+struct SystemConfig {
+  // --- Data layout ---
+  /// Source name -> relations it hosts. Relation names must be globally
+  /// unique.
+  std::map<std::string, std::vector<std::string>> sources;
+  /// Relation -> schema.
+  std::map<std::string, Schema> schemas;
+  /// Relation -> initial tuples (state ss_0).
+  std::map<std::string, std::vector<Tuple>> initial_data;
+  /// The warehouse views.
+  std::vector<ViewDefinition> views;
+  /// Views that are aggregates over their SPJ core (keyed by view name,
+  /// which must appear in `views`). Such views are maintained by an
+  /// AggregateViewManager regardless of manager_kinds.
+  std::map<std::string, AggregateSpec> aggregates;
+  AggregateViewManagerOptions aggregate_options;
+
+  // --- Maintenance configuration ---
+  /// Per-view manager kind; views absent from the map use kComplete.
+  std::map<std::string, ManagerKind> manager_kinds;
+  ViewManagerOptions vm_options;
+  StrongViewManagerOptions strong_options;
+  PeriodicViewManagerOptions periodic_options;
+  ConvergentViewManagerOptions convergent_options;
+  /// Batch size for kCompleteN managers.
+  size_t complete_n = 2;
+
+  IntegratorOptions integrator;
+  MergeOptions merge;
+  /// Derive each merge process's algorithm from the weakest manager in
+  /// its group instead of using merge.algorithm.
+  bool auto_algorithm = true;
+  /// Number of merge processes (distributed merge, Section 6.1). Views
+  /// are partitioned by shared base relations, then balanced into at
+  /// most this many groups.
+  size_t num_merge_processes = 1;
+  WarehouseOptions warehouse;
+  SourceOptions source_options;
+
+  /// Replace the concurrent architecture by the Section 1.1 sequential
+  /// strawman (one process does everything).
+  bool sequential_baseline = false;
+  SequentialIntegratorOptions sequential;
+
+  // --- Runtime ---
+  uint64_t seed = 1;
+  LatencyModel latency = LatencyModel::Zero();
+  /// Snapshot warehouse views after every commit (required by the
+  /// consistency oracle; disable for large benchmark runs).
+  bool record_snapshots = true;
+  /// Run on real threads instead of the deterministic simulator.
+  bool use_threads = false;
+
+  // --- Workload ---
+  std::vector<Injection> workload;
+};
+
+}  // namespace mvc

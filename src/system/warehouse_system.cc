@@ -1,0 +1,378 @@
+#include "system/warehouse_system.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+#include "merge/merge_engine.h"
+#include "net/thread_runtime.h"
+#include "query/evaluator.h"
+#include "viewmgr/complete_vm.h"
+
+namespace mvc {
+
+const char* ManagerKindToString(ManagerKind kind) {
+  switch (kind) {
+    case ManagerKind::kComplete:
+      return "complete";
+    case ManagerKind::kStrong:
+      return "strong";
+    case ManagerKind::kPeriodic:
+      return "periodic";
+    case ManagerKind::kConvergent:
+      return "convergent";
+    case ManagerKind::kCompleteN:
+      return "complete-N";
+  }
+  return "?";
+}
+
+void WorkloadDriver::OnStart() {
+  for (const Injection& inj : workload_) {
+    auto it = source_pids_.find(inj.source);
+    MVC_CHECK(it != source_pids_.end())
+        << "workload references unknown source " << inj.source;
+    auto msg = std::make_unique<InjectTxnMsg>();
+    msg->updates = inj.updates;
+    msg->global_txn_id = inj.global_txn_id;
+    msg->global_participants = inj.global_participants;
+    SendAfter(it->second, std::move(msg), inj.at);
+  }
+}
+
+void WorkloadDriver::OnMessage(ProcessId from, MessagePtr msg) {
+  (void)from;
+  MVC_LOG_ERROR() << "workload driver: unexpected message " << msg->Summary();
+}
+
+namespace {
+
+ConsistencyLevel LevelForKind(ManagerKind kind) {
+  switch (kind) {
+    case ManagerKind::kComplete:
+      return ConsistencyLevel::kComplete;
+    case ManagerKind::kStrong:
+    case ManagerKind::kPeriodic:
+    case ManagerKind::kCompleteN:
+      return ConsistencyLevel::kStrong;
+    case ManagerKind::kConvergent:
+      return ConsistencyLevel::kConvergent;
+  }
+  return ConsistencyLevel::kStrong;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WarehouseSystem>> WarehouseSystem::Build(
+    SystemConfig config) {
+  auto system = std::unique_ptr<WarehouseSystem>(new WarehouseSystem());
+  MVC_RETURN_IF_ERROR(system->Wire(std::move(config)));
+  return system;
+}
+
+Status WarehouseSystem::Wire(SystemConfig config) {
+  config_ = std::move(config);
+  recorder_ = ConsistencyRecorder(config_.record_snapshots);
+
+  // --- Initial base state ---
+  std::map<std::string, std::string> relation_source;
+  for (const auto& [source, relations] : config_.sources) {
+    for (const std::string& relation : relations) {
+      if (!relation_source.emplace(relation, source).second) {
+        return Status::InvalidArgument(
+            StrCat("relation '", relation, "' hosted by several sources"));
+      }
+    }
+  }
+  for (const auto& [relation, schema] : config_.schemas) {
+    if (relation_source.count(relation) == 0) {
+      return Status::InvalidArgument(
+          StrCat("relation '", relation, "' is not hosted by any source"));
+    }
+    MVC_RETURN_IF_ERROR(initial_base_.CreateTable(relation, schema));
+    auto data = config_.initial_data.find(relation);
+    if (data != config_.initial_data.end()) {
+      MVC_ASSIGN_OR_RETURN(Table * table, initial_base_.GetTable(relation));
+      for (const Tuple& t : data->second) {
+        MVC_RETURN_IF_ERROR(table->Insert(t));
+      }
+    }
+  }
+
+  // --- Bind views ---
+  bound_views_.reserve(config_.views.size());
+  for (const ViewDefinition& def : config_.views) {
+    MVC_ASSIGN_OR_RETURN(BoundView bound,
+                         BoundView::Bind(def, config_.schemas));
+    bound_views_.push_back(std::move(bound));
+  }
+
+  // --- Runtime ---
+  if (config_.use_threads) {
+    runtime_ = std::make_unique<ThreadRuntime>(config_.seed, config_.latency);
+  } else {
+    runtime_ = std::make_unique<SimRuntime>(config_.seed, config_.latency);
+  }
+
+  // --- Sources ---
+  std::map<std::string, ProcessId> source_pids;
+  for (const auto& [name, relations] : config_.sources) {
+    auto source = std::make_unique<SourceProcess>(name,
+                                                  config_.source_options);
+    for (const std::string& relation : relations) {
+      auto schema = config_.schemas.find(relation);
+      if (schema == config_.schemas.end()) {
+        return Status::InvalidArgument(
+            StrCat("relation '", relation, "' has no schema"));
+      }
+      MVC_RETURN_IF_ERROR(source->CreateTable(relation, schema->second));
+      auto data = config_.initial_data.find(relation);
+      if (data != config_.initial_data.end()) {
+        for (const Tuple& t : data->second) {
+          MVC_RETURN_IF_ERROR(source->LoadInitial(relation, t));
+        }
+      }
+    }
+    source_pids[name] = runtime_->Register(source.get());
+    sources_.push_back(std::move(source));
+  }
+
+  // --- Warehouse ---
+  warehouse_ = std::make_unique<WarehouseProcess>("warehouse",
+                                                  config_.warehouse);
+  TableProviderFn initial_provider = CatalogProvider(&initial_base_);
+  for (const BoundView& view : bound_views_) {
+    auto agg = config_.aggregates.find(view.name());
+    if (agg != config_.aggregates.end()) {
+      MVC_ASSIGN_OR_RETURN(Schema agg_schema,
+                           agg->second.OutputSchema(view.output_schema()));
+      MVC_RETURN_IF_ERROR(warehouse_->CreateView(view.name(), agg_schema));
+      MVC_ASSIGN_OR_RETURN(
+          Table initial,
+          EvaluateAggregate(view, agg->second, initial_provider,
+                            view.name()));
+      MVC_RETURN_IF_ERROR(warehouse_->InitializeView(view.name(), initial));
+      continue;
+    }
+    MVC_RETURN_IF_ERROR(
+        warehouse_->CreateView(view.name(), view.output_schema()));
+    MVC_ASSIGN_OR_RETURN(Table initial,
+                         ViewEvaluator::Evaluate(view, initial_provider));
+    MVC_RETURN_IF_ERROR(warehouse_->InitializeView(view.name(), initial));
+  }
+  const ProcessId warehouse_pid = runtime_->Register(warehouse_.get());
+  warehouse_->SetCommitObserver(
+      [this](ProcessId submitter, const WarehouseTransaction& txn,
+             const Catalog& views, TimeMicros now) {
+        recorder_.OnCommit(submitter, txn, views, now);
+      });
+
+  if (config_.sequential_baseline) {
+    // --- Section 1.1 strawman wiring ---
+    sequential_ = std::make_unique<SequentialIntegrator>(
+        "sequential-integrator", config_.sequential);
+    for (const BoundView& view : bound_views_) {
+      MVC_RETURN_IF_ERROR(sequential_->RegisterView(&view));
+    }
+    for (const auto& [relation, schema] : config_.schemas) {
+      MVC_ASSIGN_OR_RETURN(const Table* initial,
+                           initial_base_.GetTable(relation));
+      MVC_RETURN_IF_ERROR(
+          sequential_->RegisterBaseRelation(relation, schema, initial));
+    }
+    const ProcessId seq_pid = runtime_->Register(sequential_.get());
+    sequential_->SetWarehouse(warehouse_pid);
+    sequential_->SetUpdateObserver(
+        [this](UpdateId id, const SourceTransaction& txn) {
+          recorder_.OnUpdateNumbered(id, txn, runtime_->Now());
+        });
+    for (auto& source : sources_) source->SetIntegrator(seq_pid);
+  } else {
+    // --- Figure 1 wiring ---
+    std::vector<const BoundView*> view_ptrs;
+    for (const BoundView& view : bound_views_) view_ptrs.push_back(&view);
+    groups_ = PartitionViewsInto(view_ptrs, config_.num_merge_processes);
+
+    // Merge processes (one per group).
+    std::map<std::string, ProcessId> merge_of_view;
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      MergeOptions options = config_.merge;
+      if (config_.auto_algorithm) {
+        std::vector<uint8_t> levels;
+        for (const std::string& view : groups_[g].views) {
+          if (config_.aggregates.count(view) > 0) {
+            levels.push_back(
+                static_cast<uint8_t>(ConsistencyLevel::kStrong));
+            continue;
+          }
+          ManagerKind kind = ManagerKind::kComplete;
+          auto it = config_.manager_kinds.find(view);
+          if (it != config_.manager_kinds.end()) kind = it->second;
+          levels.push_back(static_cast<uint8_t>(LevelForKind(kind)));
+        }
+        options.algorithm = AlgorithmForLevels(levels);
+      }
+      auto merge = std::make_unique<MergeProcess>(
+          StrCat("merge-", g), groups_[g].views, options);
+      ProcessId merge_pid = runtime_->Register(merge.get());
+      merge->SetWarehouse(warehouse_pid);
+      for (const std::string& view : groups_[g].views) {
+        merge_of_view[view] = merge_pid;
+      }
+      merges_.push_back(std::move(merge));
+    }
+
+    // View managers (one per view).
+    std::map<std::string, ProcessId> vm_of_view;
+    for (const BoundView& view : bound_views_) {
+      ManagerKind kind = ManagerKind::kComplete;
+      auto kind_it = config_.manager_kinds.find(view.name());
+      if (kind_it != config_.manager_kinds.end()) kind = kind_it->second;
+      std::unique_ptr<ViewManagerBase> vm;
+      const std::string vm_name = StrCat("vm-", view.name());
+      auto agg_it = config_.aggregates.find(view.name());
+      if (agg_it != config_.aggregates.end()) {
+        AggregateViewManagerOptions options = config_.aggregate_options;
+        options.base = config_.vm_options;
+        vm = std::make_unique<AggregateViewManager>(vm_name, &view,
+                                                    agg_it->second, options);
+      } else {
+      switch (kind) {
+        case ManagerKind::kComplete:
+          vm = std::make_unique<CompleteViewManager>(vm_name, &view,
+                                                     config_.vm_options);
+          break;
+        case ManagerKind::kStrong: {
+          StrongViewManagerOptions options = config_.strong_options;
+          options.base = config_.vm_options;
+          vm = std::make_unique<StrongViewManager>(vm_name, &view, options);
+          break;
+        }
+        case ManagerKind::kCompleteN: {
+          StrongViewManagerOptions options = config_.strong_options;
+          options.base = config_.vm_options;
+          options.min_batch = config_.complete_n;
+          options.max_batch = config_.complete_n;
+          if (options.flush_timeout == 0) options.flush_timeout = 100000;
+          vm = std::make_unique<StrongViewManager>(vm_name, &view, options);
+          break;
+        }
+        case ManagerKind::kPeriodic: {
+          PeriodicViewManagerOptions options = config_.periodic_options;
+          options.base = config_.vm_options;
+          vm = std::make_unique<PeriodicViewManager>(vm_name, &view, options);
+          break;
+        }
+        case ManagerKind::kConvergent: {
+          ConvergentViewManagerOptions options = config_.convergent_options;
+          options.base = config_.vm_options;
+          vm = std::make_unique<ConvergentViewManager>(vm_name, &view,
+                                                       options);
+          break;
+        }
+      }
+      }
+      for (size_t r = 0; r < view.num_relations(); ++r) {
+        const std::string& relation = view.relation(r);
+        MVC_ASSIGN_OR_RETURN(const Table* initial,
+                             initial_base_.GetTable(relation));
+        MVC_RETURN_IF_ERROR(vm->RegisterBaseRelation(
+            relation, config_.schemas.at(relation), initial));
+        vm->SetSourceForRelation(relation,
+                                 source_pids.at(relation_source.at(relation)));
+      }
+      vm_of_view[view.name()] = runtime_->Register(vm.get());
+      vm->SetMerge(merge_of_view.at(view.name()));
+      view_managers_.push_back(std::move(vm));
+    }
+
+    // Section 6.1 x 6.2 interaction: a transaction whose updates span
+    // two *disjoint* merge groups cannot be applied atomically (each
+    // group commits independently), so such workloads are rejected up
+    // front rather than silently violating MVC. Relation-level
+    // relevance keeps the check conservative.
+    {
+      std::map<std::string, size_t> group_of_relation;
+      for (size_t g = 0; g < groups_.size(); ++g) {
+        for (const std::string& rel : groups_[g].relations) {
+          group_of_relation[rel] = g;
+        }
+      }
+      // Atomic units: plain injections, or all parts of a global txn.
+      std::map<int64_t, std::set<size_t>> global_groups;
+      for (const Injection& inj : config_.workload) {
+        std::set<size_t> touched;
+        for (const Update& u : inj.updates) {
+          auto it = group_of_relation.find(u.relation);
+          if (it != group_of_relation.end()) touched.insert(it->second);
+        }
+        if (inj.global_txn_id != 0) {
+          auto& acc = global_groups[inj.global_txn_id];
+          acc.insert(touched.begin(), touched.end());
+          touched = acc;
+        }
+        if (touched.size() > 1) {
+          return Status::InvalidArgument(StrCat(
+              "a transaction at t=", inj.at, " spans ", touched.size(),
+              " disjoint merge groups; cross-group transactions cannot be "
+              "applied atomically — use fewer merge processes or keep "
+              "transactions within one view group"));
+        }
+      }
+    }
+
+    // Integrator.
+    integrator_ = std::make_unique<IntegratorProcess>("integrator",
+                                                      config_.integrator);
+    const ProcessId integrator_pid = runtime_->Register(integrator_.get());
+    for (const BoundView& view : bound_views_) {
+      MVC_RETURN_IF_ERROR(integrator_->RegisterView(
+          &view, vm_of_view.at(view.name()), merge_of_view.at(view.name())));
+    }
+    integrator_->SetUpdateObserver(
+        [this](UpdateId id, const SourceTransaction& txn) {
+          recorder_.OnUpdateNumbered(id, txn, runtime_->Now());
+        });
+    for (auto& source : sources_) source->SetIntegrator(integrator_pid);
+  }
+
+  // --- Workload driver ---
+  std::vector<Injection> workload = config_.workload;
+  std::stable_sort(workload.begin(), workload.end(),
+                   [](const Injection& a, const Injection& b) {
+                     return a.at < b.at;
+                   });
+  driver_ = std::make_unique<WorkloadDriver>("driver", std::move(workload),
+                                             source_pids);
+  runtime_->Register(driver_.get());
+  return Status::OK();
+}
+
+void WarehouseSystem::Run() { runtime_->Run(); }
+
+WarehouseReader* WarehouseSystem::AttachReader(
+    std::vector<std::string> views, std::vector<TimeMicros> read_at) {
+  auto reader = std::make_unique<WarehouseReader>(
+      StrCat("reader-", readers_.size()), std::move(views),
+      std::move(read_at));
+  runtime_->Register(reader.get());
+  reader->SetWarehouse(warehouse_->id());
+  readers_.push_back(std::move(reader));
+  return readers_.back().get();
+}
+
+ConsistencyChecker WarehouseSystem::MakeChecker() const {
+  std::vector<CheckedView> views;
+  for (const BoundView& view : bound_views_) {
+    auto agg = config_.aggregates.find(view.name());
+    views.push_back(CheckedView{
+        &view, agg == config_.aggregates.end() ? nullptr : &agg->second});
+  }
+  CheckerOptions options;
+  options.relevance_pruning = config_.sequential_baseline
+                                  ? false
+                                  : config_.integrator.relevance_pruning;
+  return ConsistencyChecker(std::move(views), initial_base_, options);
+}
+
+}  // namespace mvc

@@ -1,0 +1,104 @@
+// WarehouseSystem: assembles and runs the Figure 1 architecture from a
+// SystemConfig — sources, integrator, per-view managers, one or more
+// merge processes, the warehouse, a workload driver, and the recording
+// hooks for the consistency oracle.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consistency/checker.h"
+#include "consistency/recorder.h"
+#include "merge/partition.h"
+#include "system/config.h"
+#include "viewmgr/view_manager.h"
+#include "warehouse/reader.h"
+
+namespace mvc {
+
+/// Drives the configured workload: at OnStart it schedules every
+/// injection at its simulated time.
+class WorkloadDriver : public Process {
+ public:
+  WorkloadDriver(std::string name, std::vector<Injection> workload,
+                 std::map<std::string, ProcessId> source_pids)
+      : Process(std::move(name)),
+        workload_(std::move(workload)),
+        source_pids_(std::move(source_pids)) {}
+
+  void OnStart() override;
+  void OnMessage(ProcessId from, MessagePtr msg) override;
+
+ private:
+  std::vector<Injection> workload_;
+  std::map<std::string, ProcessId> source_pids_;
+};
+
+class WarehouseSystem {
+ public:
+  /// Validates and wires the whole system. The returned object owns
+  /// every process and the runtime.
+  static Result<std::unique_ptr<WarehouseSystem>> Build(SystemConfig config);
+
+  /// Runs the workload to quiescence.
+  void Run();
+
+  /// Attaches a reader that performs atomic multi-view reads at the
+  /// given simulated times (Section 1.1's inquiry application). Must be
+  /// called before Run. The returned pointer stays owned by the system.
+  WarehouseReader* AttachReader(std::vector<std::string> views,
+                                std::vector<TimeMicros> read_at);
+
+  /// --- Oracle access ---
+  const ConsistencyRecorder& recorder() const { return recorder_; }
+  /// Initial contents of every base relation (all sources combined).
+  const Catalog& initial_base() const { return initial_base_; }
+  /// A checker bound to this system's views and initial state.
+  ConsistencyChecker MakeChecker() const;
+
+  /// --- Component access (stats, assertions) ---
+  const SystemConfig& config() const { return config_; }
+  Runtime& runtime() { return *runtime_; }
+  const WarehouseProcess& warehouse() const { return *warehouse_; }
+  const std::vector<std::unique_ptr<MergeProcess>>& merges() const {
+    return merges_;
+  }
+  const std::vector<std::unique_ptr<ViewManagerBase>>& view_managers() const {
+    return view_managers_;
+  }
+  const std::vector<std::unique_ptr<SourceProcess>>& source_processes() const {
+    return sources_;
+  }
+  const IntegratorProcess* integrator() const { return integrator_.get(); }
+  const SequentialIntegrator* sequential_integrator() const {
+    return sequential_.get();
+  }
+  const std::vector<ViewGroup>& view_groups() const { return groups_; }
+  const std::vector<BoundView>& bound_views() const { return bound_views_; }
+
+ private:
+  WarehouseSystem() = default;
+
+  Status Wire(SystemConfig config);
+
+  SystemConfig config_;
+  std::unique_ptr<Runtime> runtime_;
+  Catalog initial_base_;
+  std::vector<BoundView> bound_views_;
+  std::vector<ViewGroup> groups_;
+  ConsistencyRecorder recorder_{true};
+
+  std::vector<std::unique_ptr<SourceProcess>> sources_;
+  std::unique_ptr<IntegratorProcess> integrator_;
+  std::unique_ptr<SequentialIntegrator> sequential_;
+  std::vector<std::unique_ptr<ViewManagerBase>> view_managers_;
+  std::vector<std::unique_ptr<MergeProcess>> merges_;
+  std::unique_ptr<WarehouseProcess> warehouse_;
+  std::unique_ptr<WorkloadDriver> driver_;
+  std::vector<std::unique_ptr<WarehouseReader>> readers_;
+};
+
+}  // namespace mvc

@@ -1,0 +1,37 @@
+#include "viewmgr/aggregate_vm.h"
+
+#include <algorithm>
+
+namespace mvc {
+
+void AggregateViewManager::OnStart() {
+  auto state =
+      AggregateState::Build(*view_, spec_, CatalogProvider(&replica()));
+  MVC_CHECK(state.ok()) << state.status().ToString();
+  state_ = std::move(state).value();
+}
+
+void AggregateViewManager::StartWork() {
+  const size_t take = std::min(pending_.size(), agg_options_.max_batch);
+  batch_.clear();
+  for (size_t i = 0; i < take; ++i) {
+    batch_.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  SetBusy(true);
+  StartQueryRound([this] {
+    // Delta of the SPJ core across the batch, folded into the group
+    // accumulators.
+    auto core_delta = ComputeBatchDelta(batch_);
+    MVC_CHECK(core_delta.ok()) << core_delta.status().ToString();
+    auto agg_delta = state_->Fold(*core_delta, view_->name());
+    MVC_CHECK(agg_delta.ok()) << agg_delta.status().ToString();
+    const TimeMicros cost =
+        options_.per_al_cost +
+        options_.delta_cost * static_cast<TimeMicros>(batch_.size());
+    EmitActionList(batch_, std::move(agg_delta).value(), cost);
+    BusyFor(cost);
+  });
+}
+
+}  // namespace mvc

@@ -1,0 +1,54 @@
+// Aggregate view manager (Section 1.2's "aggregate views need different
+// maintenance algorithms").
+//
+// Maintains GROUP BY COUNT/SUM over an SPJ core: batch deltas of the
+// core are folded into per-group accumulators, and the action list
+// carries the old-row/new-row pair for each affected group. Batches
+// like a strongly consistent manager (it is one — each AL moves the
+// view between source-consistent states, possibly skipping some), so
+// the merge process pairs it with PA.
+
+#pragma once
+
+#include <optional>
+
+#include "query/aggregate.h"
+#include "viewmgr/view_manager.h"
+
+namespace mvc {
+
+struct AggregateViewManagerOptions {
+  ViewManagerOptions base;
+  /// Never cover more than this many updates with one AL.
+  size_t max_batch = SIZE_MAX;
+};
+
+class AggregateViewManager : public ViewManagerBase {
+ public:
+  /// `view` is the SPJ core; `spec` the grouping/aggregates on top of
+  /// it. The warehouse view uses spec.OutputSchema(core output).
+  AggregateViewManager(std::string name, const BoundView* view,
+                       AggregateSpec spec,
+                       AggregateViewManagerOptions options = {})
+      : ViewManagerBase(std::move(name), view, options.base),
+        spec_(std::move(spec)),
+        agg_options_(options) {}
+
+  ConsistencyLevel level() const override { return ConsistencyLevel::kStrong; }
+
+  const AggregateSpec& spec() const { return spec_; }
+
+  void OnStart() override;
+
+ protected:
+  void OnUpdateQueued() override { MaybeStartWork(); }
+  void StartWork() override;
+
+ private:
+  AggregateSpec spec_;
+  AggregateViewManagerOptions agg_options_;
+  std::optional<AggregateState> state_;
+  std::vector<PendingUpdate> batch_;
+};
+
+}  // namespace mvc

@@ -1,0 +1,18 @@
+#include "viewmgr/complete_vm.h"
+
+namespace mvc {
+
+void CompleteViewManager::StartWork() {
+  batch_.assign(1, pending_.front());
+  pending_.pop_front();
+  SetBusy(true);
+  StartQueryRound([this] {
+    auto delta = ComputeBatchDelta(batch_);
+    MVC_CHECK(delta.ok()) << delta.status().ToString();
+    const TimeMicros cost = options_.per_al_cost + options_.delta_cost;
+    EmitActionList(batch_, std::move(delta).value(), cost);
+    BusyFor(cost);
+  });
+}
+
+}  // namespace mvc

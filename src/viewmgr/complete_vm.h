@@ -1,0 +1,31 @@
+// Complete view manager (Section 2.2 / 3.3): processes one update at a
+// time and emits exactly one action list per relevant update, in update
+// order — including empty ones. The warehouse view walks through every
+// source state, which is what lets the merge process run SPA and
+// guarantee MVC completeness.
+
+#pragma once
+
+#include "viewmgr/view_manager.h"
+
+namespace mvc {
+
+class CompleteViewManager : public ViewManagerBase {
+ public:
+  CompleteViewManager(std::string name, const BoundView* view,
+                      ViewManagerOptions options = {})
+      : ViewManagerBase(std::move(name), view, options) {}
+
+  ConsistencyLevel level() const override {
+    return ConsistencyLevel::kComplete;
+  }
+
+ protected:
+  void OnUpdateQueued() override { MaybeStartWork(); }
+  void StartWork() override;
+
+ private:
+  std::vector<PendingUpdate> batch_;
+};
+
+}  // namespace mvc

@@ -1,0 +1,54 @@
+#include "viewmgr/convergent_vm.h"
+
+#include <algorithm>
+
+namespace mvc {
+
+void ConvergentViewManager::StartWork() {
+  batch_.assign(pending_.begin(), pending_.end());
+  pending_.clear();
+  SetBusy(true);
+  StartQueryRound([this] {
+    auto delta = ComputeBatchDelta(batch_);
+    MVC_CHECK(delta.ok()) << delta.status().ToString();
+    const TimeMicros cost =
+        options_.per_al_cost +
+        options_.delta_cost * static_cast<TimeMicros>(batch_.size());
+
+    // Split the normalized delta into up to max_split action lists.
+    // Every part is individually applicable (net-negative rows delete
+    // tuples present in the previous view image), but only applying all
+    // of them yields a consistent state.
+    std::vector<DeltaRow>& rows = delta->rows;
+    const int parts = static_cast<int>(
+        std::min<int64_t>(convergent_options_.max_split,
+                          std::max<int64_t>(1, rng_.UniformInt(
+                                                   1, convergent_options_
+                                                          .max_split))));
+    const size_t n = rows.size();
+    size_t begin = 0;
+    for (int p = 0; p < parts; ++p) {
+      size_t end = (p == parts - 1)
+                       ? n
+                       : begin + (n - begin) / static_cast<size_t>(parts - p);
+      ActionList al;
+      al.view = view_->name();
+      al.first_update = batch_.front().id;
+      al.update = batch_.back().id;
+      for (const PendingUpdate& pu : batch_) al.covered.push_back(pu.id);
+      al.delta.target = view_->name();
+      for (size_t i = begin; i < end; ++i) {
+        al.delta.rows.push_back(rows[i]);
+      }
+      // Empty middle parts are legal but pointless; always send the last
+      // part so the batch is completed even when the delta is empty.
+      if (!al.delta.rows.empty() || p == parts - 1) {
+        EmitRaw(std::move(al), cost);
+      }
+      begin = end;
+    }
+    BusyFor(cost);
+  });
+}
+
+}  // namespace mvc

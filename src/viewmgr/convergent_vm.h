@@ -1,0 +1,46 @@
+// Convergent view manager (Section 6.3): guarantees only the eventual
+// correctness of its view. It computes exact batch deltas but may split
+// one batch's actions across several action lists; applying a prefix of
+// the split leaves the view in a state matching no source state, and
+// only the final part restores consistency. The merge process pairs it
+// with the pass-through algorithm, which forwards every AL immediately —
+// the warehouse views then converge without intermediate guarantees.
+
+#pragma once
+
+#include "common/rng.h"
+#include "viewmgr/view_manager.h"
+
+namespace mvc {
+
+struct ConvergentViewManagerOptions {
+  ViewManagerOptions base;
+  /// Maximum number of action lists one batch may be split into.
+  int max_split = 3;
+  /// Seed for the split-point draws.
+  uint64_t seed = 7;
+};
+
+class ConvergentViewManager : public ViewManagerBase {
+ public:
+  ConvergentViewManager(std::string name, const BoundView* view,
+                        ConvergentViewManagerOptions options = {})
+      : ViewManagerBase(std::move(name), view, options.base),
+        convergent_options_(options),
+        rng_(options.seed) {}
+
+  ConsistencyLevel level() const override {
+    return ConsistencyLevel::kConvergent;
+  }
+
+ protected:
+  void OnUpdateQueued() override { MaybeStartWork(); }
+  void StartWork() override;
+
+ private:
+  ConvergentViewManagerOptions convergent_options_;
+  Rng rng_;
+  std::vector<PendingUpdate> batch_;
+};
+
+}  // namespace mvc

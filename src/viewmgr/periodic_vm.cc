@@ -1,0 +1,68 @@
+#include "viewmgr/periodic_vm.h"
+
+namespace mvc {
+
+void PeriodicViewManager::OnStart() { ScheduleRefresh(); }
+
+void PeriodicViewManager::ScheduleRefresh() {
+  timer_armed_ = true;
+  auto tick = std::make_unique<TickMsg>();
+  tick->tag = kRefreshTag;
+  ScheduleSelf(std::move(tick), periodic_options_.period);
+}
+
+void PeriodicViewManager::OnUpdateQueued() {
+  // Work is time-driven; just make sure the timer is running (it may
+  // have been parked after a run of idle periods).
+  if (!timer_armed_) {
+    idle_periods_ = 0;
+    ScheduleRefresh();
+  }
+}
+
+void PeriodicViewManager::OnTick(int64_t tag) {
+  if (tag != kRefreshTag) return;
+  timer_armed_ = false;
+  if (pending_.empty()) {
+    ++idle_periods_;
+    if (periodic_options_.max_idle_periods == 0 ||
+        idle_periods_ < periodic_options_.max_idle_periods) {
+      ScheduleRefresh();
+    }
+    return;
+  }
+  idle_periods_ = 0;
+  Refresh();
+  ScheduleRefresh();
+}
+
+void PeriodicViewManager::Refresh() {
+  std::vector<PendingUpdate> batch(pending_.begin(), pending_.end());
+  pending_.clear();
+
+  // Advance the replica past the batch (the incremental delta itself is
+  // discarded — this manager re-evaluates from scratch).
+  auto incremental = ComputeBatchDelta(batch);
+  MVC_CHECK(incremental.ok()) << incremental.status().ToString();
+
+  auto full = EvaluateFullView();
+  MVC_CHECK(full.ok()) << full.status().ToString();
+
+  ActionList al;
+  al.view = view_->name();
+  al.first_update = batch.front().id;
+  al.update = batch.back().id;
+  for (const PendingUpdate& pu : batch) al.covered.push_back(pu.id);
+  al.replace_all = true;
+  al.delta.target = view_->name();
+  full->Scan([&](const Tuple& t, int64_t c) { al.delta.Add(t, c); });
+  al.delta.Normalize();
+  ++refreshes_;
+
+  const TimeMicros cost =
+      options_.per_al_cost +
+      options_.delta_cost * static_cast<TimeMicros>(batch.size());
+  EmitRaw(std::move(al), cost);
+}
+
+}  // namespace mvc

@@ -1,0 +1,51 @@
+// Periodic-refresh view manager (Section 6.3): instead of incremental
+// maintenance, it re-evaluates the whole view every `period` and emits a
+// replace-the-view action list covering all updates since the previous
+// refresh. To the merge process it looks like an ordinary strongly
+// consistent manager whose batches are time-driven.
+
+#pragma once
+
+#include "viewmgr/view_manager.h"
+
+namespace mvc {
+
+struct PeriodicViewManagerOptions {
+  ViewManagerOptions base;
+  /// Refresh period.
+  TimeMicros period = 100000;  // 100ms
+  /// Stop scheduling refreshes after this many idle periods in a row
+  /// (lets finite simulations quiesce). 0 = refresh forever.
+  int max_idle_periods = 3;
+};
+
+class PeriodicViewManager : public ViewManagerBase {
+ public:
+  PeriodicViewManager(std::string name, const BoundView* view,
+                      PeriodicViewManagerOptions options = {})
+      : ViewManagerBase(std::move(name), view, options.base),
+        periodic_options_(options) {}
+
+  ConsistencyLevel level() const override { return ConsistencyLevel::kStrong; }
+
+  int64_t refreshes() const { return refreshes_; }
+
+  void OnStart() override;
+
+ protected:
+  void OnUpdateQueued() override;
+  void StartWork() override {}
+
+ private:
+  void OnTick(int64_t tag) override;
+  void Refresh();
+  void ScheduleRefresh();
+
+  PeriodicViewManagerOptions periodic_options_;
+  int64_t refreshes_ = 0;
+  int idle_periods_ = 0;
+  bool timer_armed_ = false;
+  static constexpr int64_t kRefreshTag = 2;
+};
+
+}  // namespace mvc

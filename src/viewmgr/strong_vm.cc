@@ -1,0 +1,48 @@
+#include "viewmgr/strong_vm.h"
+
+#include <algorithm>
+
+namespace mvc {
+
+void StrongViewManager::OnUpdateQueued() {
+  if (!busy() && pending_.size() < strong_options_.min_batch &&
+      strong_options_.flush_timeout > 0 && !flush_scheduled_) {
+    flush_scheduled_ = true;
+    auto tick = std::make_unique<TickMsg>();
+    tick->tag = kFlushTag;
+    ScheduleSelf(std::move(tick), strong_options_.flush_timeout);
+  }
+  MaybeStartWork();
+}
+
+void StrongViewManager::StartWork() { StartBatch(/*force=*/false); }
+
+void StrongViewManager::OnTick(int64_t tag) {
+  if (tag != kFlushTag) return;
+  flush_scheduled_ = false;
+  if (!busy() && !pending_.empty()) StartBatch(/*force=*/true);
+}
+
+void StrongViewManager::StartBatch(bool force) {
+  if (!force && pending_.size() < strong_options_.min_batch) return;
+  const size_t take = std::min(pending_.size(), strong_options_.max_batch);
+  MVC_CHECK(take > 0);
+  batch_.clear();
+  for (size_t i = 0; i < take; ++i) {
+    batch_.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  max_batch_seen_ = std::max(max_batch_seen_, batch_.size());
+  SetBusy(true);
+  StartQueryRound([this] {
+    auto delta = ComputeBatchDelta(batch_);
+    MVC_CHECK(delta.ok()) << delta.status().ToString();
+    const TimeMicros cost =
+        options_.per_al_cost +
+        options_.delta_cost * static_cast<TimeMicros>(batch_.size());
+    EmitActionList(batch_, std::move(delta).value(), cost);
+    BusyFor(cost);
+  });
+}
+
+}  // namespace mvc

@@ -1,0 +1,58 @@
+// Strongly consistent view manager (Section 3.3): when it becomes idle
+// it takes the whole backlog of relevant updates — the updates that
+// became intertwined while it was busy — and emits a single action list
+// covering all of them, labelled with the last. Under light load every
+// AL covers one update; under heavy load or slow delta computation the
+// batches grow, which is exactly the behaviour that forces the merge
+// process to run PA instead of SPA.
+//
+// Fixed batch bounds turn this into the complete-N manager of Section
+// 6.3: with min_batch == max_batch == N, the view advances consistently
+// after every N updates (a flush timer bounds the wait for a partial
+// final batch).
+
+#pragma once
+
+#include "viewmgr/view_manager.h"
+
+namespace mvc {
+
+struct StrongViewManagerOptions {
+  ViewManagerOptions base;
+  /// Do not start work until this many updates are queued (complete-N).
+  size_t min_batch = 1;
+  /// Never cover more than this many updates with one AL.
+  size_t max_batch = SIZE_MAX;
+  /// When min_batch > 1: emit a partial batch anyway if the oldest
+  /// pending update has waited this long (0 disables flushing).
+  TimeMicros flush_timeout = 0;
+};
+
+class StrongViewManager : public ViewManagerBase {
+ public:
+  StrongViewManager(std::string name, const BoundView* view,
+                    StrongViewManagerOptions options = {})
+      : ViewManagerBase(std::move(name), view, options.base),
+        strong_options_(options) {}
+
+  ConsistencyLevel level() const override { return ConsistencyLevel::kStrong; }
+
+  /// Largest batch emitted so far (experiment P5 statistic).
+  size_t max_batch_seen() const { return max_batch_seen_; }
+
+ protected:
+  void OnUpdateQueued() override;
+  void StartWork() override;
+  void OnTick(int64_t tag) override;
+
+ private:
+  void StartBatch(bool force);
+
+  StrongViewManagerOptions strong_options_;
+  std::vector<PendingUpdate> batch_;
+  size_t max_batch_seen_ = 0;
+  bool flush_scheduled_ = false;
+  static constexpr int64_t kFlushTag = 1;
+};
+
+}  // namespace mvc

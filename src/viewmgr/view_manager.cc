@@ -1,0 +1,187 @@
+#include "viewmgr/view_manager.h"
+
+#include "common/string_util.h"
+#include "query/evaluator.h"
+#include "query/relevance.h"
+
+namespace mvc {
+
+const char* ConsistencyLevelToString(ConsistencyLevel level) {
+  switch (level) {
+    case ConsistencyLevel::kConvergent:
+      return "convergent";
+    case ConsistencyLevel::kStrong:
+      return "strong";
+    case ConsistencyLevel::kComplete:
+      return "complete";
+  }
+  return "?";
+}
+
+ViewManagerBase::ViewManagerBase(std::string name, const BoundView* view,
+                                 ViewManagerOptions options)
+    : Process(std::move(name)), view_(view), options_(options) {
+  MVC_CHECK(view_ != nullptr);
+}
+
+Status ViewManagerBase::RegisterBaseRelation(const std::string& relation,
+                                             const Schema& schema,
+                                             const Table* initial) {
+  if (!view_->RelationIndex(relation).has_value()) {
+    return Status::InvalidArgument(StrCat("relation '", relation,
+                                          "' is not used by view '",
+                                          view_->name(), "'"));
+  }
+  MVC_RETURN_IF_ERROR(replica_.CreateTable(relation, schema));
+  if (initial != nullptr) {
+    MVC_ASSIGN_OR_RETURN(Table * replica, replica_.GetTable(relation));
+    Status st;
+    initial->Scan([&](const Tuple& t, int64_t c) {
+      if (!st.ok()) return;
+      // Filtered replica: only tuples that can affect the view.
+      if (TupleMayAffectView(*view_, relation, t)) st = replica->Insert(t, c);
+    });
+    MVC_RETURN_IF_ERROR(st);
+  }
+  return Status::OK();
+}
+
+Status ViewManagerBase::ApplyToReplica(const Update& u) {
+  MVC_ASSIGN_OR_RETURN(Table * table, replica_.GetTable(u.relation));
+  const bool old_in = u.op != UpdateOp::kInsert &&
+                      TupleMayAffectView(*view_, u.relation, u.tuple);
+  const bool new_in =
+      (u.op == UpdateOp::kInsert &&
+       TupleMayAffectView(*view_, u.relation, u.tuple)) ||
+      (u.op == UpdateOp::kModify &&
+       TupleMayAffectView(*view_, u.relation, u.new_tuple));
+  switch (u.op) {
+    case UpdateOp::kInsert:
+      if (new_in) return table->Insert(u.tuple);
+      return Status::OK();
+    case UpdateOp::kDelete:
+      if (old_in) return table->Delete(u.tuple);
+      return Status::OK();
+    case UpdateOp::kModify:
+      if (old_in) MVC_RETURN_IF_ERROR(table->Delete(u.tuple));
+      if (new_in) MVC_RETURN_IF_ERROR(table->Insert(u.new_tuple));
+      return Status::OK();
+  }
+  return Status::Internal("unknown update op");
+}
+
+Result<TableDelta> ViewManagerBase::ComputeBatchDelta(
+    const std::vector<PendingUpdate>& batch) {
+  TableDelta acc;
+  acc.target = view_->name();
+  TableProviderFn provider = CatalogProvider(&replica_);
+  for (const PendingUpdate& pu : batch) {
+    for (const Update& u : pu.txn.updates) {
+      if (!view_->RelationIndex(u.relation).has_value()) continue;
+      TableDelta base = ViewEvaluator::UpdateToBaseDelta(u);
+      MVC_ASSIGN_OR_RETURN(
+          TableDelta delta,
+          ViewEvaluator::EvaluateDelta(*view_, u.relation, base, provider));
+      for (DeltaRow& row : delta.rows) acc.rows.push_back(std::move(row));
+      MVC_RETURN_IF_ERROR(ApplyToReplica(u));
+    }
+  }
+  acc.Normalize();
+  return acc;
+}
+
+void ViewManagerBase::EmitActionList(const std::vector<PendingUpdate>& batch,
+                                     TableDelta delta, TimeMicros delay) {
+  MVC_CHECK(!batch.empty());
+  ActionList al;
+  al.view = view_->name();
+  al.first_update = batch.front().id;
+  al.update = batch.back().id;
+  for (const PendingUpdate& pu : batch) al.covered.push_back(pu.id);
+  al.delta = std::move(delta);
+  EmitRaw(std::move(al), delay);
+}
+
+void ViewManagerBase::EmitRaw(ActionList al, TimeMicros delay) {
+  auto msg = std::make_unique<ActionListMsg>();
+  msg->al = std::move(al);
+  msg->piggybacked_rels = std::move(pending_rels_);
+  pending_rels_.clear();
+  ++action_lists_sent_;
+  SendAfter(merge_, std::move(msg), delay);
+}
+
+void ViewManagerBase::StartQueryRound(std::function<void()> done) {
+  if (!options_.issue_query_round || sources_.empty()) {
+    done();
+    return;
+  }
+  MVC_CHECK(round_done_ == nullptr);
+  round_done_ = std::move(done);
+  outstanding_answers_ = 0;
+  for (const auto& [relation, source] : sources_) {
+    auto req = std::make_unique<QueryRequestMsg>();
+    req->request_id = ++next_request_;
+    req->relation = relation;
+    req->as_of_state = -1;  // current state; answer content is discarded
+    ++outstanding_answers_;
+    Send(source, std::move(req));
+  }
+}
+
+Result<Table> ViewManagerBase::EvaluateFullView() const {
+  return ViewEvaluator::Evaluate(*view_, CatalogProvider(&replica_));
+}
+
+void ViewManagerBase::MaybeStartWork() {
+  if (busy_ || pending_.empty()) return;
+  StartWork();
+}
+
+void ViewManagerBase::BusyFor(TimeMicros delay) {
+  busy_ = true;
+  ScheduleSelf(std::make_unique<TickMsg>(), delay);
+}
+
+void ViewManagerBase::OnMessage(ProcessId from, MessagePtr msg) {
+  (void)from;
+  switch (msg->kind) {
+    case Message::Kind::kUpdate: {
+      auto* update = static_cast<UpdateMsg*>(msg.get());
+      ++updates_received_;
+      if (update->carries_rel) {
+        RelSetMsg rel;
+        rel.update_id = update->update_id;
+        rel.views = update->rel_views;
+        pending_rels_.push_back(std::move(rel));
+      }
+      pending_.push_back(PendingUpdate{update->update_id,
+                                       std::move(update->txn)});
+      OnUpdateQueued();
+      return;
+    }
+    case Message::Kind::kTick: {
+      auto* tick = static_cast<TickMsg*>(msg.get());
+      if (tick->tag == 0) {
+        busy_ = false;
+        MaybeStartWork();
+      } else {
+        OnTick(tick->tag);
+      }
+      return;
+    }
+    case Message::Kind::kQueryResponse: {
+      if (--outstanding_answers_ == 0 && round_done_) {
+        auto done = std::move(round_done_);
+        round_done_ = nullptr;
+        done();
+      }
+      return;
+    }
+    default:
+      MVC_LOG_ERROR() << "view manager " << name() << ": unexpected message "
+                      << msg->Summary();
+  }
+}
+
+}  // namespace mvc

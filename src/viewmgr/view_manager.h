@@ -1,0 +1,182 @@
+// View managers: one concurrent process per materialized view (Figure 1).
+//
+// A view manager receives the relevant updates for its view from the
+// integrator (in global order over a FIFO channel), computes action
+// lists that bring the view to a state consistent with the sources, and
+// forwards them to the merge process. Variants differ in the
+// single-view consistency level they provide (Section 2.2 / 6.3):
+//
+//   CompleteViewManager   — one AL per update; complete.
+//   StrongViewManager     — batches intertwined updates into one AL
+//                           (Strobe-style); strongly consistent. Also
+//                           covers complete-N via fixed batch bounds.
+//   PeriodicViewManager   — recomputes the view every T; strongly
+//                           consistent (each refresh jumps states).
+//   ConvergentViewManager — splits a batch's actions across several ALs;
+//                           only the last one restores consistency.
+//
+// Single-view delta computation uses a *filtered local replica* of the
+// view's base relations, maintained from the very update stream the
+// integrator forwards: because the integrator's relevance filter prunes
+// exactly the tuples that fail the view's single-relation selection
+// conjuncts, the replica filtered by the same predicate stays exact, and
+// deltas evaluated against it are the textbook telescoping sum. The
+// WHIPS prototype instead queried sources and compensated (Strobe); the
+// substitution preserves the property the merge algorithms depend on —
+// which updates each AL covers — while staying exact under bag
+// semantics. An optional query round per AL models Strobe's source
+// round-trips for latency/load experiments.
+
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/protocol.h"
+#include "net/runtime.h"
+#include "query/view_def.h"
+#include "storage/catalog.h"
+
+namespace mvc {
+
+/// Single-view consistency level a manager guarantees (Section 2.2).
+enum class ConsistencyLevel : uint8_t {
+  kConvergent = 0,
+  kStrong = 1,
+  kComplete = 2,
+};
+
+const char* ConsistencyLevelToString(ConsistencyLevel level);
+
+struct ViewManagerOptions {
+  /// Simulated cost of computing the delta for one update.
+  TimeMicros delta_cost = 0;
+  /// Fixed simulated cost per emitted action list, independent of how
+  /// many updates it covers — source query rounds, message assembly,
+  /// transaction setup. This is what a strongly consistent manager
+  /// amortizes by batching intertwined updates (Section 5).
+  TimeMicros per_al_cost = 0;
+  /// Model Strobe-style source round trips: before emitting an AL, query
+  /// every base relation's source and wait for all answers. Contents are
+  /// served by the replica; the round exists to charge realistic latency
+  /// and load.
+  bool issue_query_round = false;
+};
+
+/// Shared machinery: replica maintenance, batch delta computation, AL
+/// emission, optional query rounds, REL piggyback forwarding.
+class ViewManagerBase : public Process {
+ public:
+  ViewManagerBase(std::string name, const BoundView* view,
+                  ViewManagerOptions options);
+
+  /// The single-view consistency level, which the merge process uses to
+  /// pick its algorithm (Section 1.3).
+  virtual ConsistencyLevel level() const = 0;
+
+  const BoundView& view() const { return *view_; }
+
+  /// --- Wiring (before the runtime starts) ---
+
+  /// Creates the filtered replica for one base relation, optionally
+  /// seeded with the relation's initial contents.
+  Status RegisterBaseRelation(const std::string& relation,
+                              const Schema& schema,
+                              const Table* initial = nullptr);
+
+  void SetMerge(ProcessId merge) { merge_ = merge; }
+
+  /// Source process owning `relation` (needed only for query rounds).
+  void SetSourceForRelation(const std::string& relation, ProcessId source) {
+    sources_[relation] = source;
+  }
+
+  /// --- Introspection ---
+
+  int64_t action_lists_sent() const { return action_lists_sent_; }
+  int64_t updates_received() const { return updates_received_; }
+
+  void OnMessage(ProcessId from, MessagePtr msg) override;
+
+ protected:
+  /// Subclass hook: a relevant update arrived (already recorded in
+  /// `pending_`). Typically calls MaybeStartWork().
+  virtual void OnUpdateQueued() = 0;
+
+  /// Subclass hook: decide what to do when idle (pending_ non-empty).
+  virtual void StartWork() = 0;
+
+  /// Subclass hook for timers with a non-zero tag (tag 0 is reserved for
+  /// the base class's busy-window tick).
+  virtual void OnTick(int64_t tag) { (void)tag; }
+
+  /// One queued update with its global number.
+  struct PendingUpdate {
+    UpdateId id;
+    SourceTransaction txn;
+  };
+
+  /// Computes the combined view delta for `batch` (in order), advancing
+  /// the replica past each update. The telescoping evaluation makes the
+  /// result exactly V(after last) - V(before first).
+  Result<TableDelta> ComputeBatchDelta(const std::vector<PendingUpdate>& batch);
+
+  /// Sends an action list covering `batch` (labelled with the last
+  /// update id), carrying any pending piggybacked REL sets, after the
+  /// simulated `delay`.
+  void EmitActionList(const std::vector<PendingUpdate>& batch,
+                      TableDelta delta, TimeMicros delay);
+
+  /// Sends a raw action list (periodic / convergent managers build their
+  /// own).
+  void EmitRaw(ActionList al, TimeMicros delay);
+
+  /// Starts a query round if configured, invoking `done` when all
+  /// answers are in (immediately when query rounds are disabled).
+  void StartQueryRound(std::function<void()> done);
+
+  /// Calls StartWork() if not busy and work is pending.
+  void MaybeStartWork();
+
+  /// Marks the manager busy until `delay` from now; the Tick delivery
+  /// clears the flag and re-invokes MaybeStartWork().
+  void BusyFor(TimeMicros delay);
+
+  /// Manual busy control for subclasses whose work spans a query round.
+  void SetBusy(bool busy) { busy_ = busy; }
+
+  bool busy() const { return busy_; }
+
+  /// Evaluates the full view contents from the replica (periodic
+  /// refresh managers).
+  Result<Table> EvaluateFullView() const;
+
+  /// The filtered base-relation replica (aggregate managers evaluate
+  /// their initial state from it).
+  const Catalog& replica() const { return replica_; }
+
+  const BoundView* view_;
+  ViewManagerOptions options_;
+  std::deque<PendingUpdate> pending_;
+
+ private:
+  Status ApplyToReplica(const Update& u);
+
+  Catalog replica_;
+  ProcessId merge_ = kInvalidProcess;
+  std::map<std::string, ProcessId> sources_;
+  std::vector<RelSetMsg> pending_rels_;
+  bool busy_ = false;
+  int64_t action_lists_sent_ = 0;
+  int64_t updates_received_ = 0;
+  // Query round state.
+  int64_t next_request_ = 0;
+  int64_t outstanding_answers_ = 0;
+  std::function<void()> round_done_;
+};
+
+}  // namespace mvc

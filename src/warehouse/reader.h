@@ -1,0 +1,79 @@
+// A warehouse reader: the Section 1.1 customer-inquiry application.
+//
+// Issues atomic multi-view reads against the warehouse at scheduled
+// times and records every snapshot it receives, so tests and examples
+// can verify *reader-visible* mutual consistency — not only the
+// oracle's post-hoc view of commit states, but what an application
+// concurrently querying the warehouse would actually have seen.
+
+#pragma once
+
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/runtime.h"
+#include "storage/catalog.h"
+
+namespace mvc {
+
+class WarehouseReader : public Process {
+ public:
+  /// Reads `views` (empty = all views) from `warehouse` at each time in
+  /// `read_at` (simulated microseconds from start).
+  WarehouseReader(std::string name, std::vector<std::string> views,
+                  std::vector<TimeMicros> read_at)
+      : Process(std::move(name)),
+        views_(std::move(views)),
+        read_at_(std::move(read_at)) {}
+
+  void SetWarehouse(ProcessId warehouse) { warehouse_ = warehouse; }
+
+  struct Observation {
+    TimeMicros at = 0;
+    int64_t as_of_commit = 0;
+    std::vector<Table> snapshots;
+  };
+  const std::vector<Observation>& observations() const {
+    return observations_;
+  }
+
+  void OnStart() override {
+    for (TimeMicros at : read_at_) {
+      auto tick = std::make_unique<TickMsg>();
+      ScheduleSelf(std::move(tick), at);
+    }
+  }
+
+  void OnMessage(ProcessId from, MessagePtr msg) override {
+    (void)from;
+    switch (msg->kind) {
+      case Message::Kind::kTick: {
+        auto read = std::make_unique<ReadViewsMsg>();
+        read->request_id = ++next_request_;
+        read->views = views_;
+        Send(warehouse_, std::move(read));
+        return;
+      }
+      case Message::Kind::kViewsSnapshot: {
+        auto* snap = static_cast<ViewsSnapshotMsg*>(msg.get());
+        Observation obs;
+        obs.at = Now();
+        obs.as_of_commit = snap->as_of_commit;
+        obs.snapshots = std::move(snap->snapshots);
+        observations_.push_back(std::move(obs));
+        return;
+      }
+      default:
+        MVC_LOG_ERROR() << "reader: unexpected message " << msg->Summary();
+    }
+  }
+
+ private:
+  std::vector<std::string> views_;
+  std::vector<TimeMicros> read_at_;
+  ProcessId warehouse_ = kInvalidProcess;
+  int64_t next_request_ = 0;
+  std::vector<Observation> observations_;
+};
+
+}  // namespace mvc

@@ -1,0 +1,162 @@
+#include "warehouse/warehouse.h"
+
+#include "common/string_util.h"
+
+namespace mvc {
+
+Status WarehouseProcess::InitializeView(const std::string& view,
+                                        const Table& contents) {
+  MVC_ASSIGN_OR_RETURN(Table * table, views_.GetTable(view));
+  MVC_CHECK(table->empty());
+  Status st;
+  contents.Scan([&](const Tuple& t, int64_t c) {
+    if (st.ok()) st = table->Insert(t, c);
+  });
+  return st;
+}
+
+bool WarehouseProcess::DependenciesMet(
+    ProcessId submitter, const WarehouseTransaction& txn) const {
+  auto it = committed_.find(submitter);
+  for (int64_t dep : txn.depends_on) {
+    if (it == committed_.end() || it->second.count(dep) == 0) return false;
+  }
+  return true;
+}
+
+Status WarehouseProcess::ApplyActionList(const ActionList& al) {
+  MVC_ASSIGN_OR_RETURN(Table * table, views_.GetTable(al.view));
+  if (al.replace_all) {
+    table->Clear();
+  }
+  ++actions_applied_;
+  return al.delta.ApplyTo(table);
+}
+
+void WarehouseProcess::Commit(InFlight in_flight) {
+  if (options_.history_depth > 0 && history_.empty()) {
+    // Retain the pre-first-commit state as commit count 0.
+    history_.push_back(views_.Clone());
+    first_history_commit_ = 0;
+  }
+  for (const ActionList& al : in_flight.txn.actions) {
+    Status st = ApplyActionList(al);
+    MVC_CHECK(st.ok()) << "warehouse transaction "
+                       << in_flight.txn.ToString()
+                       << " failed: " << st.ToString();
+  }
+  committed_[in_flight.submitter].insert(in_flight.txn.txn_id);
+  ++committed_count_;
+  if (options_.history_depth > 0) {
+    history_.push_back(views_.Clone());
+    while (history_.size() > options_.history_depth + 1) {
+      history_.pop_front();
+      ++first_history_commit_;
+    }
+  }
+  if (observer_) {
+    observer_(in_flight.submitter, in_flight.txn, views_, Now());
+  }
+  auto ack = std::make_unique<TxnCommittedMsg>();
+  ack->txn_id = in_flight.txn.txn_id;
+  Send(in_flight.submitter, std::move(ack));
+}
+
+void WarehouseProcess::RetryHeld() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (size_t i = 0; i < held_.size(); ++i) {
+      if (DependenciesMet(held_[i].submitter, held_[i].txn)) {
+        InFlight txn = std::move(held_[i]);
+        held_.erase(held_.begin() + static_cast<ptrdiff_t>(i));
+        Commit(std::move(txn));
+        progressed = true;
+        break;
+      }
+    }
+  }
+}
+
+void WarehouseProcess::OnMessage(ProcessId from, MessagePtr msg) {
+  switch (msg->kind) {
+    case Message::Kind::kWarehouseTxn: {
+      auto* wt = static_cast<WarehouseTxnMsg*>(msg.get());
+      InFlight in_flight{from, std::move(wt->txn)};
+      TimeMicros delay = options_.apply_delay;
+      if (options_.apply_jitter > 0) {
+        delay += rng_.UniformInt(0, options_.apply_jitter);
+      }
+      if (delay == 0) {
+        // Fast path: process synchronously (still honours dependencies).
+        if (options_.honor_dependencies &&
+            !DependenciesMet(in_flight.submitter, in_flight.txn)) {
+          held_.push_back(std::move(in_flight));
+        } else {
+          Commit(std::move(in_flight));
+          RetryHeld();
+        }
+        return;
+      }
+      const int64_t ticket = ++next_ticket_;
+      processing_.emplace(ticket, std::move(in_flight));
+      auto tick = std::make_unique<TickMsg>();
+      tick->tag = ticket;
+      ScheduleSelf(std::move(tick), delay);
+      return;
+    }
+    case Message::Kind::kTick: {
+      auto* tick = static_cast<TickMsg*>(msg.get());
+      auto it = processing_.find(tick->tag);
+      MVC_CHECK(it != processing_.end());
+      InFlight in_flight = std::move(it->second);
+      processing_.erase(it);
+      if (options_.honor_dependencies &&
+          !DependenciesMet(in_flight.submitter, in_flight.txn)) {
+        held_.push_back(std::move(in_flight));
+      } else {
+        Commit(std::move(in_flight));
+        RetryHeld();
+      }
+      return;
+    }
+    case Message::Kind::kReadViews: {
+      // Served inline by the single warehouse actor, so the snapshot is
+      // atomic with respect to view-maintenance transactions.
+      auto* read = static_cast<ReadViewsMsg*>(msg.get());
+      auto resp = std::make_unique<ViewsSnapshotMsg>();
+      resp->request_id = read->request_id;
+      const Catalog* state = &views_;
+      resp->as_of_commit = committed_count_;
+      if (read->as_of_commit >= 0) {
+        // Time-travel read from the retained history window.
+        const int64_t idx = read->as_of_commit - first_history_commit_;
+        MVC_CHECK(options_.history_depth > 0)
+            << "time-travel read but history_depth == 0";
+        MVC_CHECK(idx >= 0 &&
+                  idx < static_cast<int64_t>(history_.size()))
+            << "commit " << read->as_of_commit
+            << " outside the retained window ["
+            << first_history_commit_ << ", "
+            << first_history_commit_ +
+                   static_cast<int64_t>(history_.size()) - 1
+            << "]";
+        state = &history_[static_cast<size_t>(idx)];
+        resp->as_of_commit = read->as_of_commit;
+      }
+      std::vector<std::string> names =
+          read->views.empty() ? state->TableNames() : read->views;
+      for (const std::string& name : names) {
+        auto table = state->GetTable(name);
+        MVC_CHECK(table.ok()) << "read of unknown view " << name;
+        resp->snapshots.push_back((*table)->Clone());
+      }
+      Send(from, std::move(resp));
+      return;
+    }
+    default:
+      MVC_LOG_ERROR() << "warehouse: unexpected message " << msg->Summary();
+  }
+}
+
+}  // namespace mvc

@@ -1,0 +1,122 @@
+// The warehouse: stores the materialized views and applies
+// view-maintenance transactions atomically.
+//
+// Each WarehouseTransaction is applied as one atomic unit (all of its
+// action lists together), matching the paper's requirement that one
+// source update's effects on multiple views appear simultaneously.
+//
+// Commit ordering (Section 4.3): a real DBMS may finish transactions out
+// of submission order. The warehouse models this with a randomized
+// per-transaction processing delay. When `honor_dependencies` is set it
+// respects the dependency edges the merge process attaches (a dependent
+// transaction waits for its predecessors); switching it off while
+// keeping reordering on reproduces the WT3-before-WT1 anomaly the paper
+// warns about — the MVC tests use exactly this ablation.
+
+#pragma once
+
+#include <functional>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "net/protocol.h"
+#include "net/runtime.h"
+#include "storage/catalog.h"
+
+namespace mvc {
+
+struct WarehouseOptions {
+  /// Fixed part of the per-transaction processing time.
+  TimeMicros apply_delay = 0;
+  /// Uniform extra processing time in [0, apply_jitter]; non-zero values
+  /// let independent transactions finish out of submission order.
+  TimeMicros apply_jitter = 0;
+  /// Respect WarehouseTransaction::depends_on (commit dependent
+  /// transactions in submission order). Disabling this while jitter is
+  /// non-zero demonstrates the Section 4.3 anomaly.
+  bool honor_dependencies = true;
+  /// Seed for the jitter draws.
+  uint64_t seed = 11;
+  /// Number of past warehouse states retained for time-travel reads
+  /// (ReadViewsMsg::as_of_commit). 0 disables history. Each retained
+  /// state is a full clone of the view catalog, so size this for tests
+  /// and demos, not production workloads.
+  size_t history_depth = 0;
+};
+
+class WarehouseProcess : public Process {
+ public:
+  explicit WarehouseProcess(std::string name, WarehouseOptions options = {})
+      : Process(std::move(name)), options_(options), rng_(options.seed) {}
+
+  /// --- Setup ---
+
+  Status CreateView(const std::string& view, const Schema& schema) {
+    return views_.CreateTable(view, schema);
+  }
+
+  /// Installs the initial materialization of a view.
+  Status InitializeView(const std::string& view, const Table& contents);
+
+  /// Invoked after every commit with the transaction, the new view
+  /// catalog, and the commit time. The consistency oracle hooks this.
+  void SetCommitObserver(
+      std::function<void(ProcessId submitter, const WarehouseTransaction&,
+                         const Catalog&, TimeMicros)>
+          observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// --- Introspection ---
+
+  const Catalog& views() const { return views_; }
+  int64_t transactions_committed() const { return committed_count_; }
+  int64_t actions_applied() const { return actions_applied_; }
+
+  void OnMessage(ProcessId from, MessagePtr msg) override;
+
+ private:
+  struct InFlight {
+    ProcessId submitter;
+    WarehouseTransaction txn;
+  };
+
+  /// True if every dependency of `txn` (from `submitter`) has committed.
+  bool DependenciesMet(ProcessId submitter,
+                       const WarehouseTransaction& txn) const;
+
+  void Commit(InFlight in_flight);
+  void RetryHeld();
+
+  Status ApplyActionList(const ActionList& al);
+
+  WarehouseOptions options_;
+  Rng rng_;
+  Catalog views_;
+  /// Transactions whose processing delay elapsed but whose dependencies
+  /// have not committed yet, in arrival order.
+  std::vector<InFlight> held_;
+  /// Processing transactions keyed by an internal ticket (tick tag).
+  std::map<int64_t, InFlight> processing_;
+  int64_t next_ticket_ = 0;
+  /// Committed txn ids per submitting merge process.
+  std::map<ProcessId, std::set<int64_t>> committed_;
+  /// Ring of past states for time-travel reads: history_[k] is the view
+  /// catalog after commit number first_history_commit_ + k.
+  std::deque<Catalog> history_;
+  /// Commit count corresponding to history_.front() (i.e. the catalog
+  /// state after that many commits).
+  int64_t first_history_commit_ = 0;
+  int64_t committed_count_ = 0;
+  int64_t actions_applied_ = 0;
+  std::function<void(ProcessId, const WarehouseTransaction&, const Catalog&,
+                     TimeMicros)>
+      observer_;
+};
+
+}  // namespace mvc

@@ -1,0 +1,174 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace mvc {
+
+namespace {
+
+/// Tracks each relation's simulated contents so deletes and modifies
+/// always target live tuples.
+class RelationModel {
+ public:
+  explicit RelationModel(std::string source) : source_(std::move(source)) {}
+
+  const std::string& source() const { return source_; }
+
+  void Insert(const Tuple& t) { rows_.push_back(t); }
+
+  bool HasRows() const { return !rows_.empty(); }
+
+  Tuple TakeRandom(Rng* rng) {
+    size_t idx = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(rows_.size()) - 1));
+    Tuple t = rows_[idx];
+    rows_.erase(rows_.begin() + static_cast<ptrdiff_t>(idx));
+    return t;
+  }
+
+ private:
+  std::string source_;
+  std::vector<Tuple> rows_;
+};
+
+Tuple RandomTuple(const WorkloadSpec& spec, Rng* rng) {
+  return Tuple{Value(rng->UniformInt(0, spec.join_domain - 1)),
+               Value(rng->UniformInt(0, spec.value_domain - 1))};
+}
+
+}  // namespace
+
+Result<SystemConfig> GenerateScenario(const WorkloadSpec& spec) {
+  if (spec.num_sources < 1 || spec.relations_per_source < 1 ||
+      spec.num_views < 1) {
+    return Status::InvalidArgument("workload spec must be positive");
+  }
+  if (spec.global_txn_fraction > 0 && spec.num_sources < 2) {
+    return Status::InvalidArgument(
+        "global transactions need at least two sources");
+  }
+  Rng rng(spec.seed);
+  SystemConfig config;
+
+  // Relations: every relation has a join attribute j and a payload v.
+  std::vector<std::string> relations;
+  std::map<std::string, RelationModel> models;
+  for (int s = 0; s < spec.num_sources; ++s) {
+    const std::string source = StrCat("src", s);
+    for (int r = 0; r < spec.relations_per_source; ++r) {
+      const std::string relation =
+          StrCat("R", s * spec.relations_per_source + r);
+      relations.push_back(relation);
+      config.sources[source].push_back(relation);
+      config.schemas[relation] = Schema::AllInt64({"j", "v"});
+      models.emplace(relation, RelationModel(source));
+    }
+  }
+
+  // Initial data.
+  for (const std::string& relation : relations) {
+    for (int i = 0; i < spec.initial_rows_per_relation; ++i) {
+      Tuple t = RandomTuple(spec, &rng);
+      config.initial_data[relation].push_back(t);
+      models.at(relation).Insert(t);
+    }
+  }
+
+  // Views: chain equi-joins on j, optional selection on v.
+  for (int v = 0; v < spec.num_views; ++v) {
+    ViewDefinition def;
+    def.name = StrCat("V", v);
+    const int width = static_cast<int>(rng.UniformInt(
+        1, std::min<int64_t>(spec.max_view_width,
+                             static_cast<int64_t>(relations.size()))));
+    std::vector<std::string> pool = relations;
+    std::vector<Predicate> conjuncts;
+    for (int k = 0; k < width; ++k) {
+      size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1));
+      def.relations.push_back(pool[pick]);
+      pool.erase(pool.begin() + static_cast<ptrdiff_t>(pick));
+      if (k > 0) {
+        conjuncts.push_back(Predicate::ColEqCol(
+            ColumnRef{def.relations[static_cast<size_t>(k) - 1], "j"},
+            ColumnRef{def.relations[static_cast<size_t>(k)], "j"}));
+      }
+    }
+    if (rng.Bernoulli(spec.selection_probability)) {
+      const std::string& target = def.relations[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(def.relations.size()) - 1))];
+      conjuncts.push_back(Predicate::ColCmpConst(
+          CompareOp::kLt, ColumnRef{target, "v"},
+          Value(rng.UniformInt(spec.value_domain / 4,
+                               spec.value_domain * 3 / 4))));
+    }
+    def.predicate = Predicate::And(std::move(conjuncts));
+    config.views.push_back(std::move(def));
+  }
+
+  // Update stream.
+  TimeMicros now = 0;
+  int64_t next_global = 0;
+  for (int t = 0; t < spec.num_transactions; ++t) {
+    now += static_cast<TimeMicros>(
+        rng.Exponential(static_cast<double>(spec.mean_interarrival)));
+
+    const bool global = rng.Bernoulli(spec.global_txn_fraction);
+    const int parts = global ? 2 : 1;
+    ++next_global;
+
+    std::set<std::string> used_sources;
+    for (int p = 0; p < parts; ++p) {
+      // Pick a relation (skewed), for global parts from a fresh source.
+      std::string relation;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        size_t idx = static_cast<size_t>(
+            rng.Zipf(static_cast<int64_t>(relations.size()),
+                     spec.relation_skew));
+        relation = relations[idx];
+        if (!global ||
+            used_sources.count(models.at(relation).source()) == 0) {
+          break;
+        }
+      }
+      RelationModel& model = models.at(relation);
+      used_sources.insert(model.source());
+
+      Injection inj;
+      inj.at = now;
+      inj.source = model.source();
+      if (global) {
+        inj.global_txn_id = next_global;
+        inj.global_participants = parts;
+      }
+      for (int u = 0; u < spec.updates_per_transaction; ++u) {
+        const double roll = rng.UniformDouble(0.0, 1.0);
+        if (roll < spec.delete_fraction && model.HasRows()) {
+          inj.updates.push_back(
+              Update::Delete(model.source(), relation, model.TakeRandom(&rng)));
+        } else if (roll < spec.delete_fraction + spec.modify_fraction &&
+                   model.HasRows()) {
+          Tuple before = model.TakeRandom(&rng);
+          Tuple after = RandomTuple(spec, &rng);
+          model.Insert(after);
+          inj.updates.push_back(
+              Update::Modify(model.source(), relation, before, after));
+        } else {
+          Tuple t = RandomTuple(spec, &rng);
+          model.Insert(t);
+          inj.updates.push_back(Update::Insert(model.source(), relation, t));
+        }
+      }
+      config.workload.push_back(std::move(inj));
+    }
+  }
+
+  config.seed = spec.seed;
+  return config;
+}
+
+}  // namespace mvc

@@ -1,0 +1,58 @@
+// Synthetic scenario generation.
+//
+// The paper has no public workload; these generators produce the
+// parameterized families of schemas, view sets, and update streams the
+// benchmark harness sweeps (DESIGN.md, experiments P1-P6). All
+// randomness derives from the spec's seed, so every scenario is
+// reproducible.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "system/config.h"
+
+namespace mvc {
+
+struct WorkloadSpec {
+  // --- Layout ---
+  int num_sources = 2;
+  int relations_per_source = 2;
+  /// Views are random chain joins over 1..max_view_width distinct
+  /// relations, joined on the shared join attribute.
+  int num_views = 4;
+  int max_view_width = 3;
+  /// Probability a view carries an extra selection conjunct (enables
+  /// relevance pruning to bite).
+  double selection_probability = 0.5;
+
+  // --- Data ---
+  int initial_rows_per_relation = 10;
+  /// Domain of the join attribute; smaller = denser joins.
+  int64_t join_domain = 10;
+  /// Domain of the payload attribute.
+  int64_t value_domain = 100;
+
+  // --- Update stream ---
+  int num_transactions = 50;
+  int updates_per_transaction = 1;
+  double delete_fraction = 0.25;
+  double modify_fraction = 0.15;
+  /// Zipf skew over relations (0 = uniform).
+  double relation_skew = 0.0;
+  /// Mean inter-arrival time between transactions (exponential).
+  TimeMicros mean_interarrival = 1000;
+  /// Fraction of transactions that become two-source global
+  /// transactions (Section 6.2). Requires num_sources >= 2.
+  double global_txn_fraction = 0.0;
+
+  uint64_t seed = 42;
+};
+
+/// Builds a full SystemConfig (sources, schemas, initial data, views,
+/// workload) from the spec. Maintenance/runtime knobs are left at their
+/// defaults for the caller to override.
+Result<SystemConfig> GenerateScenario(const WorkloadSpec& spec);
+
+}  // namespace mvc

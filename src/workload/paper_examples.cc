@@ -1,0 +1,119 @@
+#include "workload/paper_examples.h"
+
+namespace mvc {
+
+SystemConfig PaperBaseConfig() {
+  SystemConfig config;
+  config.sources["src0"] = {"R", "S"};
+  config.sources["src1"] = {"T", "Q"};
+  config.schemas["R"] = Schema::AllInt64({"A", "B"});
+  config.schemas["S"] = Schema::AllInt64({"B", "C"});
+  config.schemas["T"] = Schema::AllInt64({"C", "D"});
+  config.schemas["Q"] = Schema::AllInt64({"D", "E"});
+  return config;
+}
+
+ViewDefinition PaperV1() {
+  ViewDefinition def;
+  def.name = "V1";
+  def.relations = {"R", "S"};
+  def.predicate =
+      Predicate::ColEqCol(ColumnRef{"R", "B"}, ColumnRef{"S", "B"});
+  // Natural-join style output: A, B, C (Table 1).
+  def.projection = {ColumnRef{"R", "A"}, ColumnRef{"R", "B"},
+                    ColumnRef{"S", "C"}};
+  return def;
+}
+
+ViewDefinition PaperV2() {
+  ViewDefinition def;
+  def.name = "V2";
+  def.relations = {"S", "T"};
+  def.predicate =
+      Predicate::ColEqCol(ColumnRef{"S", "C"}, ColumnRef{"T", "C"});
+  // Output: B, C, D (Table 1).
+  def.projection = {ColumnRef{"S", "B"}, ColumnRef{"S", "C"},
+                    ColumnRef{"T", "D"}};
+  return def;
+}
+
+ViewDefinition PaperV2WithQ() {
+  ViewDefinition def;
+  def.name = "V2";
+  def.relations = {"S", "T", "Q"};
+  def.predicate = Predicate::And(
+      {Predicate::ColEqCol(ColumnRef{"S", "C"}, ColumnRef{"T", "C"}),
+       Predicate::ColEqCol(ColumnRef{"T", "D"}, ColumnRef{"Q", "D"})});
+  def.projection = {ColumnRef{"S", "B"}, ColumnRef{"S", "C"},
+                    ColumnRef{"T", "D"}, ColumnRef{"Q", "E"}};
+  return def;
+}
+
+ViewDefinition PaperV3() {
+  ViewDefinition def;
+  def.name = "V3";
+  def.relations = {"Q"};
+  return def;
+}
+
+SystemConfig Table1Scenario() {
+  SystemConfig config = PaperBaseConfig();
+  config.initial_data["R"] = {Tuple{1, 2}};
+  config.initial_data["T"] = {Tuple{3, 4}};
+  config.views = {PaperV1(), PaperV2()};
+
+  Injection inj;
+  inj.at = 1000;
+  inj.source = "src0";
+  inj.updates = {Update::Insert("src0", "S", Tuple{2, 3})};
+  config.workload = {inj};
+  return config;
+}
+
+SystemConfig Example3Scenario() {
+  SystemConfig config = PaperBaseConfig();
+  config.initial_data["R"] = {Tuple{1, 2}};
+  config.initial_data["T"] = {Tuple{3, 4}};
+  config.initial_data["Q"] = {Tuple{4, 9}};
+  config.views = {PaperV1(), PaperV2(), PaperV3()};
+
+  Injection u1;
+  u1.at = 1000;
+  u1.source = "src0";
+  u1.updates = {Update::Insert("src0", "S", Tuple{2, 3})};
+  Injection u2;
+  u2.at = 2000;
+  u2.source = "src1";
+  u2.updates = {Update::Insert("src1", "Q", Tuple{5, 7})};
+  Injection u3;
+  u3.at = 3000;
+  u3.source = "src1";
+  u3.updates = {Update::Insert("src1", "T", Tuple{3, 6})};
+  config.workload = {u1, u2, u3};
+  return config;
+}
+
+SystemConfig Example5Scenario() {
+  SystemConfig config = PaperBaseConfig();
+  config.initial_data["R"] = {Tuple{1, 2}};
+  config.initial_data["T"] = {Tuple{3, 4}};
+  config.initial_data["Q"] = {Tuple{4, 9}};
+  config.views = {PaperV1(), PaperV2WithQ(), PaperV3()};
+
+  Injection u1;
+  u1.at = 1000;
+  u1.source = "src0";
+  u1.updates = {Update::Insert("src0", "S", Tuple{2, 3})};
+  Injection u2;
+  u2.at = 2000;
+  u2.source = "src1";
+  u2.updates = {Update::Insert("src1", "Q", Tuple{4, 7})};
+  Injection u3;
+  u3.at = 3000;
+  u3.source = "src1";
+  u3.updates = {Update::Insert("src1", "Q", Tuple{4, 8})};
+  config.workload = {u1, u2, u3};
+  return config;
+}
+
+}  // namespace mvc

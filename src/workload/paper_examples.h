@@ -1,0 +1,41 @@
+// Canned scenarios reproducing the paper's running examples.
+//
+// Base relations (Example 1 and Examples 2-5):
+//   R(A,B), S(B,C), T(C,D), Q(D,E)
+// Views:
+//   V1 = R JOIN S   on R.B = S.B          (Examples 1-5)
+//   V2 = S JOIN T   on S.C = T.C          (Examples 1, 3)
+//   V2q = S JOIN T JOIN Q on S.C = T.C, T.D = Q.D   (Examples 2, 4, 5)
+//   V3 = Q                                 (Examples 2-5)
+//
+// R and S live at source "src0", T and Q at source "src1".
+
+#pragma once
+
+#include "common/result.h"
+#include "system/config.h"
+
+namespace mvc {
+
+/// Column schemas for R, S, T, Q.
+SystemConfig PaperBaseConfig();
+
+/// View definitions.
+ViewDefinition PaperV1();       // R |><| S
+ViewDefinition PaperV2();       // S |><| T
+ViewDefinition PaperV2WithQ();  // S |><| T |><| Q
+ViewDefinition PaperV3();       // Q
+
+/// Example 1 / Table 1: initial R={[1,2]}, T={[3,4]}, S and Q empty;
+/// single update inserts [2,3] into S. Views V1 and V2.
+SystemConfig Table1Scenario();
+
+/// Example 3's update stream (U1 on S, U2 on Q, U3 on T) over views
+/// V1, V2, V3, with initial data making every delta non-empty.
+SystemConfig Example3Scenario();
+
+/// Example 5's update stream (U1 on S, U2 on Q, U3 on Q) over views
+/// V1, V2q, V3.
+SystemConfig Example5Scenario();
+
+}  // namespace mvc

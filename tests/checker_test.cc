@@ -1,0 +1,219 @@
+// Tests for the consistency oracle itself: it must accept legal runs
+// and, crucially, detect each class of violation (a checker that never
+// fires proves nothing).
+
+#include <gtest/gtest.h>
+
+#include "consistency/checker.h"
+#include "query/evaluator.h"
+#include "workload/paper_examples.h"
+
+namespace mvc {
+namespace {
+
+// Harness around the Table 1 scenario: base R={[1,2]}, T={[3,4]}, S
+// empty; views V1 = R|><|S and V2 = S|><|T. One update inserts [2,3]
+// into S.
+class CheckerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schemas_ = {{"R", Schema::AllInt64({"A", "B"})},
+                {"S", Schema::AllInt64({"B", "C"})},
+                {"T", Schema::AllInt64({"C", "D"})}};
+    ASSERT_TRUE(base_.CreateTable("R", schemas_["R"]).ok());
+    ASSERT_TRUE(base_.CreateTable("S", schemas_["S"]).ok());
+    ASSERT_TRUE(base_.CreateTable("T", schemas_["T"]).ok());
+    ASSERT_TRUE((*base_.GetTable("R"))->Insert(Tuple{1, 2}).ok());
+    ASSERT_TRUE((*base_.GetTable("T"))->Insert(Tuple{3, 4}).ok());
+    v1_ = std::move(BoundView::Bind(PaperV1(), schemas_)).value();
+    v2_ = std::move(BoundView::Bind(PaperV2(), schemas_)).value();
+  }
+
+  ConsistencyChecker MakeChecker() {
+    return ConsistencyChecker(std::vector<const BoundView*>{&*v1_, &*v2_},
+                              base_);
+  }
+
+  /// Records update U_i inserting tuple `t` into S at time i*100.
+  void RecordUpdate(ConsistencyRecorder* recorder, UpdateId id, Tuple t) {
+    SourceTransaction txn;
+    txn.local_seq = id;
+    txn.updates = {Update::Insert("src0", "S", std::move(t))};
+    recorder->OnUpdateNumbered(id, txn, id * 100);
+  }
+
+  /// Records a commit whose claimed rows are `rows` and whose snapshot
+  /// is evaluated over `base_state`.
+  void RecordCommit(ConsistencyRecorder* recorder, std::vector<UpdateId> rows,
+                    const Catalog& base_state, TimeMicros at) {
+    WarehouseTransaction txn;
+    txn.txn_id = at;
+    txn.rows = std::move(rows);
+    txn.views = {"V1", "V2"};
+    Catalog snapshot;
+    for (const BoundView* view : {&*v1_, &*v2_}) {
+      auto contents =
+          ViewEvaluator::Evaluate(*view, CatalogProvider(&base_state));
+      MVC_CHECK(contents.ok());
+      MVC_CHECK(snapshot.CreateTable(view->name(), view->output_schema()).ok());
+      Status st;
+      contents->Scan([&](const Tuple& tuple, int64_t count) {
+        if (st.ok()) st = (*snapshot.GetTable(view->name()))->Insert(tuple,
+                                                                     count);
+      });
+      MVC_CHECK(st.ok());
+    }
+    recorder->OnCommit(0, txn, snapshot, at);
+  }
+
+  std::map<std::string, Schema> schemas_;
+  Catalog base_;
+  std::optional<BoundView> v1_, v2_;
+};
+
+TEST_F(CheckerTest, AcceptsLegalCompleteRun) {
+  ConsistencyRecorder recorder;
+  RecordUpdate(&recorder, 1, Tuple{2, 3});
+  Catalog after = base_.Clone();
+  ASSERT_TRUE((*after.GetTable("S"))->Insert(Tuple{2, 3}).ok());
+  RecordCommit(&recorder, {1}, after, 500);
+
+  ConsistencyChecker checker = MakeChecker();
+  EXPECT_TRUE(checker.CheckComplete(recorder).ok());
+  EXPECT_TRUE(checker.CheckStrong(recorder).ok());
+  EXPECT_TRUE(checker.CheckConvergent(recorder).ok());
+}
+
+TEST_F(CheckerTest, DetectsMutuallyInconsistentViews) {
+  // The Example 1 anomaly: V1 reflects the insert but V2 does not.
+  ConsistencyRecorder recorder;
+  RecordUpdate(&recorder, 1, Tuple{2, 3});
+
+  Catalog after = base_.Clone();
+  ASSERT_TRUE((*after.GetTable("S"))->Insert(Tuple{2, 3}).ok());
+  WarehouseTransaction txn;
+  txn.rows = {1};
+  txn.views = {"V1", "V2"};
+  Catalog snapshot;
+  // V1 evaluated after the update, V2 before it: mixed state.
+  auto v1_contents = ViewEvaluator::Evaluate(*v1_, CatalogProvider(&after));
+  ASSERT_TRUE(v1_contents.ok());
+  ASSERT_TRUE(snapshot.CreateTable("V1", v1_->output_schema()).ok());
+  v1_contents->Scan([&](const Tuple& t, int64_t c) {
+    MVC_CHECK((*snapshot.GetTable("V1"))->Insert(t, c).ok());
+  });
+  ASSERT_TRUE(snapshot.CreateTable("V2", v2_->output_schema()).ok());
+  recorder.OnCommit(0, txn, snapshot, 500);
+
+  ConsistencyChecker checker = MakeChecker();
+  Status st = checker.CheckStrong(recorder);
+  EXPECT_TRUE(st.IsConsistencyViolation()) << st;
+  EXPECT_NE(st.message().find("V2"), std::string::npos);
+}
+
+TEST_F(CheckerTest, DetectsMissingUpdateAtEnd) {
+  ConsistencyRecorder recorder;
+  RecordUpdate(&recorder, 1, Tuple{2, 3});
+  // No commit at all.
+  ConsistencyChecker checker = MakeChecker();
+  Status st = checker.CheckStrong(recorder);
+  EXPECT_TRUE(st.IsConsistencyViolation());
+  EXPECT_NE(st.message().find("never reflected"), std::string::npos);
+  EXPECT_TRUE(checker.CheckConvergent(recorder).IsConsistencyViolation());
+}
+
+TEST_F(CheckerTest, DetectsDependentReordering) {
+  // U1 and U2 both touch S (shared views); a commit claiming U2 without
+  // U1 is illegal even if contents were made to match.
+  ConsistencyRecorder recorder;
+  RecordUpdate(&recorder, 1, Tuple{2, 3});
+  RecordUpdate(&recorder, 2, Tuple{2, 9});
+
+  Catalog after2 = base_.Clone();
+  ASSERT_TRUE((*after2.GetTable("S"))->Insert(Tuple{2, 9}).ok());
+  RecordCommit(&recorder, {2}, after2, 400);
+
+  Catalog after_both = after2.Clone();
+  ASSERT_TRUE((*after_both.GetTable("S"))->Insert(Tuple{2, 3}).ok());
+  RecordCommit(&recorder, {1}, after_both, 500);
+
+  ConsistencyChecker checker = MakeChecker();
+  Status st = checker.CheckStrong(recorder);
+  EXPECT_TRUE(st.IsConsistencyViolation());
+  EXPECT_NE(st.message().find("before dependent"), std::string::npos);
+}
+
+TEST_F(CheckerTest, CompleteRequiresSingleSteps) {
+  ConsistencyRecorder recorder;
+  RecordUpdate(&recorder, 1, Tuple{2, 3});
+  RecordUpdate(&recorder, 2, Tuple{2, 9});
+  Catalog after = base_.Clone();
+  ASSERT_TRUE((*after.GetTable("S"))->Insert(Tuple{2, 3}).ok());
+  ASSERT_TRUE((*after.GetTable("S"))->Insert(Tuple{2, 9}).ok());
+  RecordCommit(&recorder, {1, 2}, after, 500);
+
+  ConsistencyChecker checker = MakeChecker();
+  // Strong: fine (one batched step). Complete: violated.
+  EXPECT_TRUE(checker.CheckStrong(recorder).ok());
+  Status st = checker.CheckComplete(recorder);
+  EXPECT_TRUE(st.IsConsistencyViolation());
+  EXPECT_NE(st.message().find("advances by 2"), std::string::npos);
+}
+
+TEST_F(CheckerTest, ConvergentAcceptsWrongIntermediateStates) {
+  ConsistencyRecorder recorder;
+  RecordUpdate(&recorder, 1, Tuple{2, 3});
+
+  // Intermediate commit with a garbage snapshot (V1 updated, V2 not).
+  WarehouseTransaction bogus;
+  bogus.rows = {};
+  Catalog junk;
+  ASSERT_TRUE(junk.CreateTable("V1", v1_->output_schema()).ok());
+  ASSERT_TRUE(junk.CreateTable("V2", v2_->output_schema()).ok());
+  ASSERT_TRUE((*junk.GetTable("V1"))->Insert(Tuple{9, 9, 9}).ok());
+  recorder.OnCommit(0, bogus, junk, 300);
+
+  Catalog after = base_.Clone();
+  ASSERT_TRUE((*after.GetTable("S"))->Insert(Tuple{2, 3}).ok());
+  RecordCommit(&recorder, {1}, after, 500);
+
+  ConsistencyChecker checker = MakeChecker();
+  EXPECT_TRUE(checker.CheckConvergent(recorder).ok());
+  EXPECT_FALSE(checker.CheckStrong(recorder).ok());
+}
+
+TEST_F(CheckerTest, DetectsUnknownClaimedUpdate) {
+  ConsistencyRecorder recorder;
+  Catalog after = base_.Clone();
+  RecordCommit(&recorder, {42}, after, 500);
+  ConsistencyChecker checker = MakeChecker();
+  Status st = checker.CheckStrong(recorder);
+  EXPECT_TRUE(st.IsConsistencyViolation());
+  EXPECT_NE(st.message().find("unknown update"), std::string::npos);
+}
+
+TEST_F(CheckerTest, SnapshotsRequired) {
+  ConsistencyRecorder recorder(/*snapshot_views=*/false);
+  ConsistencyChecker checker = MakeChecker();
+  EXPECT_TRUE(checker.CheckStrong(recorder).IsFailedPrecondition());
+  EXPECT_TRUE(checker.CheckConvergent(recorder).IsFailedPrecondition());
+}
+
+TEST_F(CheckerTest, FreshnessStatsComputeLags) {
+  ConsistencyRecorder recorder;
+  RecordUpdate(&recorder, 1, Tuple{2, 3});   // numbered at 100
+  RecordUpdate(&recorder, 2, Tuple{2, 9});   // numbered at 200
+  Catalog after = base_.Clone();
+  ASSERT_TRUE((*after.GetTable("S"))->Insert(Tuple{2, 3}).ok());
+  RecordCommit(&recorder, {1}, after, 400);  // lag 300
+  ASSERT_TRUE((*after.GetTable("S"))->Insert(Tuple{2, 9}).ok());
+  RecordCommit(&recorder, {2}, after, 900);  // lag 700
+
+  FreshnessStats stats = recorder.ComputeFreshness();
+  EXPECT_EQ(stats.updates_reflected, 2);
+  EXPECT_DOUBLE_EQ(stats.mean_lag_micros, 500.0);
+  EXPECT_EQ(stats.max_lag_micros, 700);
+}
+
+}  // namespace
+}  // namespace mvc

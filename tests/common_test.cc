@@ -1,0 +1,176 @@
+// Unit tests for the common substrate: Status, Result, Rng, strings.
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace mvc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing table");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "missing table");
+  EXPECT_EQ(st.ToString(), "NotFound: missing table");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::ConsistencyViolation("x").IsConsistencyViolation());
+}
+
+TEST(StatusTest, CopyPreservesError) {
+  Status st = Status::Internal("boom");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsInternal());
+  EXPECT_EQ(copy.message(), "boom");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::Aborted("inner"); };
+  auto outer = [&]() -> Status {
+    MVC_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsAborted());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(std::move(r).ValueOr(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto make = [](bool ok) -> Result<int> {
+    if (ok) return 7;
+    return Status::Internal("x");
+  };
+  auto f = [&](bool ok) -> Result<int> {
+    MVC_ASSIGN_OR_RETURN(int v, make(ok));
+    return v + 1;
+  };
+  EXPECT_EQ(*f(true), 8);
+  EXPECT_TRUE(f(false).status().IsInternal());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(9);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, ZipfSkewsTowardsSmallIndexes) {
+  Rng rng(11);
+  int64_t low = 0;
+  const int kDraws = 2000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Zipf(10, 1.2) < 2) ++low;
+  }
+  // With theta=1.2 the first two of ten indexes should dominate.
+  EXPECT_GT(low, kDraws / 3);
+}
+
+TEST(RngTest, ZipfZeroThetaIsUniformish) {
+  Rng rng(13);
+  int64_t low = 0;
+  const int kDraws = 5000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Zipf(10, 0.0) < 2) ++low;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / kDraws, 0.2, 0.05);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> weights{0.0, 1.0, 0.0};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.WeightedIndex(weights), 1u);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng fork = a.Fork();
+  // The fork must not replay the parent's stream.
+  Rng b(21);
+  b.Fork();
+  EXPECT_EQ(a.UniformInt(0, 1 << 30), b.UniformInt(0, 1 << 30));
+  (void)fork;
+}
+
+TEST(StringUtilTest, JoinToString) {
+  std::vector<int> v{1, 2, 3};
+  EXPECT_EQ(JoinToString(v, ","), "1,2,3");
+  EXPECT_EQ(JoinToString(std::vector<int>{}, ","), "");
+}
+
+TEST(StringUtilTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringUtilTest, SplitString) {
+  EXPECT_EQ(SplitString("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("warehouse", "ware"));
+  EXPECT_FALSE(StartsWith("ware", "warehouse"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+}  // namespace
+}  // namespace mvc

@@ -1,0 +1,292 @@
+// Unit tests for full view evaluation and incremental delta propagation.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "query/evaluator.h"
+#include "workload/paper_examples.h"
+
+namespace mvc {
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schemas_ = {{"R", Schema::AllInt64({"A", "B"})},
+                {"S", Schema::AllInt64({"B", "C"})},
+                {"T", Schema::AllInt64({"C", "D"})},
+                {"Q", Schema::AllInt64({"D", "E"})}};
+    for (const auto& [name, schema] : schemas_) {
+      ASSERT_TRUE(catalog_.CreateTable(name, schema).ok());
+    }
+  }
+
+  Status Insert(const std::string& rel, Tuple t, int64_t count = 1) {
+    MVC_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(rel));
+    return table->Insert(t, count);
+  }
+
+  BoundView Bind(const ViewDefinition& def) {
+    auto bound = BoundView::Bind(def, schemas_);
+    MVC_CHECK(bound.ok()) << bound.status().ToString();
+    return std::move(bound).value();
+  }
+
+  std::map<std::string, Schema> schemas_;
+  Catalog catalog_;
+};
+
+TEST_F(EvaluatorTest, Table1Join) {
+  // Paper Table 1 at t1: R={[1,2]}, S={[2,3]}, T={[3,4]}.
+  ASSERT_TRUE(Insert("R", {1, 2}).ok());
+  ASSERT_TRUE(Insert("S", {2, 3}).ok());
+  ASSERT_TRUE(Insert("T", {3, 4}).ok());
+
+  auto v1 = ViewEvaluator::Evaluate(Bind(PaperV1()),
+                                    CatalogProvider(&catalog_));
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->NumRows(), 1);
+  EXPECT_EQ(v1->CountOf(Tuple{1, 2, 3}), 1);
+
+  auto v2 = ViewEvaluator::Evaluate(Bind(PaperV2()),
+                                    CatalogProvider(&catalog_));
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->CountOf(Tuple{2, 3, 4}), 1);
+}
+
+TEST_F(EvaluatorTest, EmptyBaseYieldsEmptyView) {
+  ASSERT_TRUE(Insert("R", {1, 2}).ok());
+  auto v1 = ViewEvaluator::Evaluate(Bind(PaperV1()),
+                                    CatalogProvider(&catalog_));
+  ASSERT_TRUE(v1.ok());
+  EXPECT_TRUE(v1->empty());
+}
+
+TEST_F(EvaluatorTest, JoinMultiplicitiesMultiply) {
+  ASSERT_TRUE(Insert("R", {1, 2}, 2).ok());
+  ASSERT_TRUE(Insert("S", {2, 3}, 3).ok());
+  auto v1 = ViewEvaluator::Evaluate(Bind(PaperV1()),
+                                    CatalogProvider(&catalog_));
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->CountOf(Tuple{1, 2, 3}), 6);
+}
+
+TEST_F(EvaluatorTest, ProjectionCountsSum) {
+  // Two distinct S tuples project to the same (B) value.
+  ViewDefinition def;
+  def.name = "P";
+  def.relations = {"S"};
+  def.projection = {ColumnRef{"S", "B"}};
+  ASSERT_TRUE(Insert("S", {2, 3}).ok());
+  ASSERT_TRUE(Insert("S", {2, 4}).ok());
+  auto v = ViewEvaluator::Evaluate(Bind(def), CatalogProvider(&catalog_));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->CountOf(Tuple{2}), 2);
+}
+
+TEST_F(EvaluatorTest, SelectionFilters) {
+  ViewDefinition def;
+  def.name = "Sel";
+  def.relations = {"S"};
+  def.predicate = Predicate::ColCmpConst(CompareOp::kLt, ColumnRef{"S", "C"},
+                                         Value(5));
+  ASSERT_TRUE(Insert("S", {1, 3}).ok());
+  ASSERT_TRUE(Insert("S", {1, 9}).ok());
+  auto v = ViewEvaluator::Evaluate(Bind(def), CatalogProvider(&catalog_));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->NumRows(), 1);
+  EXPECT_EQ(v->CountOf(Tuple{1, 3}), 1);
+}
+
+TEST_F(EvaluatorTest, ThreeWayChainJoin) {
+  ASSERT_TRUE(Insert("S", {2, 3}).ok());
+  ASSERT_TRUE(Insert("T", {3, 4}).ok());
+  ASSERT_TRUE(Insert("Q", {4, 7}).ok());
+  ASSERT_TRUE(Insert("Q", {4, 8}).ok());
+  auto v = ViewEvaluator::Evaluate(Bind(PaperV2WithQ()),
+                                   CatalogProvider(&catalog_));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->CountOf(Tuple{2, 3, 4, 7}), 1);
+  EXPECT_EQ(v->CountOf(Tuple{2, 3, 4, 8}), 1);
+  EXPECT_EQ(v->NumRows(), 2);
+}
+
+TEST_F(EvaluatorTest, CrossProductWithoutJoinPredicate) {
+  ViewDefinition def;
+  def.name = "X";
+  def.relations = {"R", "T"};
+  ASSERT_TRUE(Insert("R", {1, 2}).ok());
+  ASSERT_TRUE(Insert("R", {5, 6}).ok());
+  ASSERT_TRUE(Insert("T", {3, 4}).ok());
+  auto v = ViewEvaluator::Evaluate(Bind(def), CatalogProvider(&catalog_));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->NumRows(), 2);
+  EXPECT_EQ(v->CountOf(Tuple{1, 2, 3, 4}), 1);
+  EXPECT_EQ(v->CountOf(Tuple{5, 6, 3, 4}), 1);
+}
+
+TEST_F(EvaluatorTest, NonEquiResidualPredicate) {
+  ViewDefinition def;
+  def.name = "NE";
+  def.relations = {"R", "S"};
+  def.predicate = Predicate::Compare(
+      CompareOp::kLt, Predicate::Operand::Col(ColumnRef{"R", "B"}),
+      Predicate::Operand::Col(ColumnRef{"S", "B"}));
+  ASSERT_TRUE(Insert("R", {1, 2}).ok());
+  ASSERT_TRUE(Insert("S", {3, 9}).ok());
+  ASSERT_TRUE(Insert("S", {1, 9}).ok());
+  auto v = ViewEvaluator::Evaluate(Bind(def), CatalogProvider(&catalog_));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->NumRows(), 1);
+  EXPECT_EQ(v->CountOf(Tuple{1, 2, 3, 9}), 1);
+}
+
+TEST_F(EvaluatorTest, UpdateToBaseDelta) {
+  TableDelta ins = ViewEvaluator::UpdateToBaseDelta(
+      Update::Insert("s", "R", Tuple{1, 2}));
+  ASSERT_EQ(ins.rows.size(), 1u);
+  EXPECT_EQ(ins.rows[0].count, 1);
+
+  TableDelta del = ViewEvaluator::UpdateToBaseDelta(
+      Update::Delete("s", "R", Tuple{1, 2}));
+  EXPECT_EQ(del.rows[0].count, -1);
+
+  TableDelta mod = ViewEvaluator::UpdateToBaseDelta(
+      Update::Modify("s", "R", Tuple{1, 2}, Tuple{1, 3}));
+  ASSERT_EQ(mod.rows.size(), 2u);
+  EXPECT_EQ(mod.rows[0].count, -1);
+  EXPECT_EQ(mod.rows[1].count, 1);
+}
+
+TEST_F(EvaluatorTest, DeltaInsertMatchesFullRecomputation) {
+  ASSERT_TRUE(Insert("R", {1, 2}).ok());
+  ASSERT_TRUE(Insert("T", {3, 4}).ok());
+  BoundView v1 = Bind(PaperV1());
+
+  // Delta of inserting [2,3] into S while S is still empty at the
+  // provider: exactly the V1 change of Table 1.
+  TableDelta base;
+  base.target = "S";
+  base.Add(Tuple{2, 3}, 1);
+  auto delta = ViewEvaluator::EvaluateDelta(v1, "S", base,
+                                            CatalogProvider(&catalog_));
+  ASSERT_TRUE(delta.ok());
+  ASSERT_EQ(delta->rows.size(), 1u);
+  EXPECT_EQ(delta->rows[0].tuple, (Tuple{1, 2, 3}));
+  EXPECT_EQ(delta->rows[0].count, 1);
+}
+
+TEST_F(EvaluatorTest, DeltaDeleteProducesNegativeRows) {
+  ASSERT_TRUE(Insert("R", {1, 2}).ok());
+  BoundView v1 = Bind(PaperV1());
+  TableDelta base;
+  base.target = "S";
+  base.Add(Tuple{2, 3}, -1);
+  auto delta = ViewEvaluator::EvaluateDelta(v1, "S", base,
+                                            CatalogProvider(&catalog_));
+  ASSERT_TRUE(delta.ok());
+  ASSERT_EQ(delta->rows.size(), 1u);
+  EXPECT_EQ(delta->rows[0].count, -1);
+}
+
+TEST_F(EvaluatorTest, DeltaOnIrrelevantRelationIsEmpty) {
+  BoundView v1 = Bind(PaperV1());
+  TableDelta base;
+  base.target = "Q";
+  base.Add(Tuple{1, 1}, 1);
+  auto delta = ViewEvaluator::EvaluateDelta(v1, "Q", base,
+                                            CatalogProvider(&catalog_));
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(delta->empty());
+}
+
+TEST_F(EvaluatorTest, DeltaModifyCancelsWhenImagesEqual) {
+  // Modify that does not change the projected image nets to zero.
+  ViewDefinition def;
+  def.name = "P";
+  def.relations = {"S"};
+  def.projection = {ColumnRef{"S", "B"}};
+  ASSERT_TRUE(Insert("S", {2, 3}).ok());
+  TableDelta base;
+  base.target = "S";
+  base.Add(Tuple{2, 3}, -1);
+  base.Add(Tuple{2, 4}, 1);  // same projected image [2]
+  auto delta = ViewEvaluator::EvaluateDelta(Bind(def), "S", base,
+                                            CatalogProvider(&catalog_));
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(delta->empty());
+}
+
+TEST_F(EvaluatorTest, DeltaRespectsSelectionOnDeltaRelation) {
+  ViewDefinition def;
+  def.name = "Sel";
+  def.relations = {"S"};
+  def.predicate = Predicate::ColCmpConst(CompareOp::kLt, ColumnRef{"S", "C"},
+                                         Value(5));
+  TableDelta base;
+  base.target = "S";
+  base.Add(Tuple{1, 9}, 1);  // fails C < 5
+  auto delta = ViewEvaluator::EvaluateDelta(Bind(def), "S", base,
+                                            CatalogProvider(&catalog_));
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(delta->empty());
+}
+
+// Property: for random inserts/deletes, incremental maintenance equals
+// full re-evaluation. Parameterized over seeds.
+class DeltaEquivalenceTest : public EvaluatorTest,
+                             public ::testing::WithParamInterface<int> {};
+
+TEST_P(DeltaEquivalenceTest, IncrementalEqualsRecomputation) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  BoundView view = Bind(PaperV2WithQ());
+
+  // Materialize the (initially empty) view and maintain it through 60
+  // random updates.
+  auto initial = ViewEvaluator::Evaluate(view, CatalogProvider(&catalog_));
+  ASSERT_TRUE(initial.ok());
+  Table materialized = std::move(initial).value();
+
+  std::map<std::string, std::vector<Tuple>> live;
+  const std::vector<std::string> rels{"S", "T", "Q"};
+  for (int step = 0; step < 60; ++step) {
+    const std::string& rel = rels[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(rels.size()) - 1))];
+    TableDelta base;
+    base.target = rel;
+    bool del = rng.Bernoulli(0.3) && !live[rel].empty();
+    if (del) {
+      size_t idx = static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(live[rel].size()) - 1));
+      base.Add(live[rel][idx], -1);
+      live[rel].erase(live[rel].begin() + static_cast<ptrdiff_t>(idx));
+    } else {
+      Tuple t{rng.UniformInt(0, 4), rng.UniformInt(0, 4)};
+      base.Add(t, 1);
+      live[rel].push_back(t);
+    }
+
+    // Incremental: delta against the pre-update provider state.
+    auto delta = ViewEvaluator::EvaluateDelta(view, rel, base,
+                                              CatalogProvider(&catalog_));
+    ASSERT_TRUE(delta.ok());
+    ASSERT_TRUE(delta->ApplyTo(&materialized).ok());
+
+    // Advance the base state.
+    ASSERT_TRUE(base.ApplyTo(*catalog_.GetTable(rel)).ok());
+
+    // Full recomputation must agree.
+    auto full = ViewEvaluator::Evaluate(view, CatalogProvider(&catalog_));
+    ASSERT_TRUE(full.ok());
+    ASSERT_TRUE(materialized.ContentsEqual(*full))
+        << "step " << step << "\nIncremental:\n"
+        << materialized.ToString() << "Full:\n"
+        << full->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaEquivalenceTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace mvc

@@ -1,0 +1,178 @@
+// Unit tests for predicates and their bound forms.
+
+#include <gtest/gtest.h>
+
+#include "query/expr.h"
+
+namespace mvc {
+namespace {
+
+TEST(CompareValuesTest, AllOpsOnInts) {
+  EXPECT_TRUE(CompareValues(CompareOp::kEq, Value(1), Value(1)));
+  EXPECT_TRUE(CompareValues(CompareOp::kNe, Value(1), Value(2)));
+  EXPECT_TRUE(CompareValues(CompareOp::kLt, Value(1), Value(2)));
+  EXPECT_TRUE(CompareValues(CompareOp::kLe, Value(2), Value(2)));
+  EXPECT_TRUE(CompareValues(CompareOp::kGt, Value(3), Value(2)));
+  EXPECT_TRUE(CompareValues(CompareOp::kGe, Value(2), Value(2)));
+  EXPECT_FALSE(CompareValues(CompareOp::kLt, Value(2), Value(2)));
+}
+
+TEST(CompareValuesTest, MixedNumericTypesCompareByValue) {
+  EXPECT_TRUE(CompareValues(CompareOp::kEq, Value(2), Value(2.0)));
+  EXPECT_TRUE(CompareValues(CompareOp::kLt, Value(2), Value(2.5)));
+  EXPECT_TRUE(CompareValues(CompareOp::kGt, Value(3.5), Value(3)));
+}
+
+TEST(CompareValuesTest, Strings) {
+  EXPECT_TRUE(CompareValues(CompareOp::kLt, Value("a"), Value("b")));
+  EXPECT_TRUE(CompareValues(CompareOp::kEq, Value("x"), Value("x")));
+}
+
+// Binds against a two-column row: col "a" -> 0, "b" -> 1.
+Result<BoundPredicate> BindAB(const Predicate& p) {
+  return BoundPredicate::Bind(p, [](const ColumnRef& ref) -> Result<size_t> {
+    if (ref.column == "a") return size_t{0};
+    if (ref.column == "b") return size_t{1};
+    return Status::NotFound("no column " + ref.column);
+  });
+}
+
+TEST(PredicateTest, TrueIsTrivial) {
+  Predicate p = Predicate::True();
+  EXPECT_TRUE(p.IsTrivial());
+  EXPECT_TRUE(p.Conjuncts().empty());
+  auto bp = BindAB(p);
+  ASSERT_TRUE(bp.ok());
+  EXPECT_TRUE(bp->Evaluate(Tuple{}));
+}
+
+TEST(PredicateTest, ComparisonEvaluation) {
+  Predicate p = Predicate::ColCmpConst(CompareOp::kLt, ColumnRef{"", "a"},
+                                       Value(5));
+  auto bp = BindAB(p);
+  ASSERT_TRUE(bp.ok());
+  EXPECT_TRUE(bp->Evaluate(Tuple{3, 0}));
+  EXPECT_FALSE(bp->Evaluate(Tuple{7, 0}));
+}
+
+TEST(PredicateTest, ColEqColEvaluation) {
+  Predicate p = Predicate::ColEqCol(ColumnRef{"", "a"}, ColumnRef{"", "b"});
+  auto bp = BindAB(p);
+  ASSERT_TRUE(bp.ok());
+  EXPECT_TRUE(bp->Evaluate(Tuple{4, 4}));
+  EXPECT_FALSE(bp->Evaluate(Tuple{4, 5}));
+}
+
+TEST(PredicateTest, AndOrNot) {
+  Predicate lt = Predicate::ColCmpConst(CompareOp::kLt, ColumnRef{"", "a"},
+                                        Value(5));
+  Predicate gt = Predicate::ColCmpConst(CompareOp::kGt, ColumnRef{"", "b"},
+                                        Value(1));
+  auto band = BindAB(Predicate::And({lt, gt}));
+  ASSERT_TRUE(band.ok());
+  EXPECT_TRUE(band->Evaluate(Tuple{3, 2}));
+  EXPECT_FALSE(band->Evaluate(Tuple{3, 0}));
+
+  auto bor = BindAB(Predicate::Or({lt, gt}));
+  ASSERT_TRUE(bor.ok());
+  EXPECT_TRUE(bor->Evaluate(Tuple{9, 2}));
+  EXPECT_FALSE(bor->Evaluate(Tuple{9, 0}));
+
+  auto bnot = BindAB(Predicate::Not(lt));
+  ASSERT_TRUE(bnot.ok());
+  EXPECT_TRUE(bnot->Evaluate(Tuple{9, 0}));
+  EXPECT_FALSE(bnot->Evaluate(Tuple{3, 0}));
+}
+
+TEST(PredicateTest, AndFlatteningInConjuncts) {
+  Predicate a = Predicate::ColCmpConst(CompareOp::kLt, ColumnRef{"", "a"},
+                                       Value(5));
+  Predicate b = Predicate::ColCmpConst(CompareOp::kGt, ColumnRef{"", "b"},
+                                       Value(1));
+  Predicate c = Predicate::ColEqCol(ColumnRef{"", "a"}, ColumnRef{"", "b"});
+  Predicate nested = Predicate::And({a, Predicate::And({b, c})});
+  EXPECT_EQ(nested.Conjuncts().size(), 3u);
+  // A single comparison is one conjunct.
+  EXPECT_EQ(a.Conjuncts().size(), 1u);
+  // An OR is a single (non-splittable) conjunct.
+  EXPECT_EQ(Predicate::Or({a, b}).Conjuncts().size(), 1u);
+}
+
+TEST(PredicateTest, AndOfOneCollapses) {
+  Predicate a = Predicate::ColCmpConst(CompareOp::kLt, ColumnRef{"", "a"},
+                                       Value(5));
+  EXPECT_EQ(Predicate::And({a}).kind(), Predicate::Kind::kComparison);
+  EXPECT_TRUE(Predicate::And({}).IsTrivial());
+}
+
+TEST(PredicateTest, CollectColumns) {
+  Predicate p = Predicate::And(
+      {Predicate::ColEqCol(ColumnRef{"R", "a"}, ColumnRef{"S", "b"}),
+       Predicate::ColCmpConst(CompareOp::kGt, ColumnRef{"R", "a"},
+                              Value(1))});
+  std::vector<ColumnRef> cols;
+  p.CollectColumns(&cols);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], (ColumnRef{"R", "a"}));
+  EXPECT_EQ(cols[1], (ColumnRef{"S", "b"}));
+}
+
+TEST(PredicateTest, ToString) {
+  Predicate p = Predicate::And(
+      {Predicate::ColEqCol(ColumnRef{"R", "a"}, ColumnRef{"S", "b"}),
+       Predicate::ColCmpConst(CompareOp::kLt, ColumnRef{"R", "a"},
+                              Value(9))});
+  EXPECT_EQ(p.ToString(), "(R.a = S.b AND R.a < 9)");
+}
+
+TEST(BoundPredicateTest, BindFailsOnUnknownColumn) {
+  Predicate p = Predicate::ColCmpConst(CompareOp::kLt, ColumnRef{"", "zz"},
+                                       Value(5));
+  EXPECT_TRUE(BindAB(p).status().IsNotFound());
+}
+
+TEST(BoundPredicateTest, AsEquiJoinDetectsColEqCol) {
+  auto join = BindAB(
+      Predicate::ColEqCol(ColumnRef{"", "a"}, ColumnRef{"", "b"}));
+  ASSERT_TRUE(join.ok());
+  size_t lo = 99;
+  size_t hi = 99;
+  EXPECT_TRUE(join->AsEquiJoin(&lo, &hi));
+  EXPECT_EQ(lo, 0u);
+  EXPECT_EQ(hi, 1u);
+
+  auto not_join = BindAB(Predicate::ColCmpConst(
+      CompareOp::kEq, ColumnRef{"", "a"}, Value(5)));
+  ASSERT_TRUE(not_join.ok());
+  EXPECT_FALSE(not_join->AsEquiJoin(&lo, &hi));
+
+  auto ne = BindAB(Predicate::Compare(
+      CompareOp::kNe, Predicate::Operand::Col(ColumnRef{"", "a"}),
+      Predicate::Operand::Col(ColumnRef{"", "b"})));
+  ASSERT_TRUE(ne.ok());
+  EXPECT_FALSE(ne->AsEquiJoin(&lo, &hi));
+
+  // a = a (same offset) is not a join.
+  auto self = BindAB(
+      Predicate::ColEqCol(ColumnRef{"", "a"}, ColumnRef{"", "a"}));
+  ASSERT_TRUE(self.ok());
+  EXPECT_FALSE(self->AsEquiJoin(&lo, &hi));
+}
+
+TEST(BoundPredicateTest, MaxOffsetAndConstness) {
+  auto bp = BindAB(
+      Predicate::ColEqCol(ColumnRef{"", "a"}, ColumnRef{"", "b"}));
+  ASSERT_TRUE(bp.ok());
+  EXPECT_EQ(bp->MaxOffset(), 1u);
+  EXPECT_FALSE(bp->IsConstant());
+
+  auto constant = BindAB(Predicate::Compare(
+      CompareOp::kLt, Predicate::Operand::Const(Value(1)),
+      Predicate::Operand::Const(Value(2))));
+  ASSERT_TRUE(constant.ok());
+  EXPECT_TRUE(constant->IsConstant());
+  EXPECT_TRUE(constant->Evaluate(Tuple{}));
+}
+
+}  // namespace
+}  // namespace mvc

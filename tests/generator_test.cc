@@ -1,0 +1,196 @@
+// Tests for the synthetic workload generator.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/generator.h"
+
+namespace mvc {
+namespace {
+
+WorkloadSpec SmallSpec(uint64_t seed) {
+  WorkloadSpec spec;
+  spec.seed = seed;
+  spec.num_sources = 2;
+  spec.relations_per_source = 2;
+  spec.num_views = 4;
+  spec.num_transactions = 40;
+  return spec;
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  auto a = GenerateScenario(SmallSpec(7));
+  auto b = GenerateScenario(SmallSpec(7));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->workload.size(), b->workload.size());
+  for (size_t i = 0; i < a->workload.size(); ++i) {
+    EXPECT_EQ(a->workload[i].at, b->workload[i].at);
+    EXPECT_EQ(a->workload[i].source, b->workload[i].source);
+    ASSERT_EQ(a->workload[i].updates.size(), b->workload[i].updates.size());
+    for (size_t u = 0; u < a->workload[i].updates.size(); ++u) {
+      EXPECT_EQ(a->workload[i].updates[u], b->workload[i].updates[u]);
+    }
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  auto a = GenerateScenario(SmallSpec(7));
+  auto b = GenerateScenario(SmallSpec(8));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_diff = a->workload.size() != b->workload.size();
+  for (size_t i = 0; !any_diff && i < a->workload.size(); ++i) {
+    any_diff = !(a->workload[i].updates[0] == b->workload[i].updates[0]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, LayoutMatchesSpec) {
+  auto config = GenerateScenario(SmallSpec(3));
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->sources.size(), 2u);
+  size_t relations = 0;
+  for (const auto& [_, rels] : config->sources) relations += rels.size();
+  EXPECT_EQ(relations, 4u);
+  EXPECT_EQ(config->schemas.size(), 4u);
+  EXPECT_EQ(config->views.size(), 4u);
+  EXPECT_EQ(config->workload.size(), 40u);
+}
+
+TEST(GeneratorTest, ViewsBindAgainstSchemas) {
+  auto config = GenerateScenario(SmallSpec(5));
+  ASSERT_TRUE(config.ok());
+  for (const ViewDefinition& def : config->views) {
+    EXPECT_TRUE(BoundView::Bind(def, config->schemas).ok())
+        << def.ToString();
+  }
+}
+
+TEST(GeneratorTest, ViewWidthRespected) {
+  WorkloadSpec spec = SmallSpec(9);
+  spec.max_view_width = 2;
+  auto config = GenerateScenario(spec);
+  ASSERT_TRUE(config.ok());
+  for (const ViewDefinition& def : config->views) {
+    EXPECT_LE(def.relations.size(), 2u);
+    EXPECT_GE(def.relations.size(), 1u);
+    // No duplicate relations.
+    std::set<std::string> uniq(def.relations.begin(), def.relations.end());
+    EXPECT_EQ(uniq.size(), def.relations.size());
+  }
+}
+
+TEST(GeneratorTest, DeletesAndModifiesTargetLiveTuples) {
+  // Replay the generated stream against the initial data; every delete
+  // and modify must find its target (the generator tracks a model).
+  WorkloadSpec spec = SmallSpec(11);
+  spec.num_transactions = 200;
+  spec.delete_fraction = 0.4;
+  spec.modify_fraction = 0.3;
+  auto config = GenerateScenario(spec);
+  ASSERT_TRUE(config.ok());
+
+  Catalog tables;
+  for (const auto& [rel, schema] : config->schemas) {
+    ASSERT_TRUE(tables.CreateTable(rel, schema).ok());
+    auto data = config->initial_data.find(rel);
+    if (data != config->initial_data.end()) {
+      for (const Tuple& t : data->second) {
+        ASSERT_TRUE((*tables.GetTable(rel))->Insert(t).ok());
+      }
+    }
+  }
+  // Injections are time-sorted per construction of the driver; sort to
+  // be explicit.
+  std::vector<Injection> workload = config->workload;
+  std::stable_sort(workload.begin(), workload.end(),
+                   [](const Injection& a, const Injection& b) {
+                     return a.at < b.at;
+                   });
+  for (const Injection& inj : workload) {
+    for (const Update& u : inj.updates) {
+      Table* table = *tables.GetTable(u.relation);
+      switch (u.op) {
+        case UpdateOp::kInsert:
+          ASSERT_TRUE(table->Insert(u.tuple).ok());
+          break;
+        case UpdateOp::kDelete:
+          ASSERT_TRUE(table->Delete(u.tuple).ok()) << u.ToString();
+          break;
+        case UpdateOp::kModify:
+          ASSERT_TRUE(table->Modify(u.tuple, u.new_tuple).ok())
+              << u.ToString();
+          break;
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, GlobalTransactionsAreWellFormed) {
+  WorkloadSpec spec = SmallSpec(13);
+  spec.global_txn_fraction = 1.0;
+  auto config = GenerateScenario(spec);
+  ASSERT_TRUE(config.ok());
+  // Every global id appears with exactly `participants` parts, all at
+  // the same injection time.
+  std::map<int64_t, std::vector<const Injection*>> groups;
+  for (const Injection& inj : config->workload) {
+    if (inj.global_txn_id != 0) {
+      groups[inj.global_txn_id].push_back(&inj);
+    }
+  }
+  EXPECT_FALSE(groups.empty());
+  for (const auto& [id, parts] : groups) {
+    ASSERT_FALSE(parts.empty());
+    EXPECT_EQ(static_cast<int32_t>(parts.size()),
+              parts[0]->global_participants);
+    for (const Injection* part : parts) {
+      EXPECT_EQ(part->at, parts[0]->at);
+    }
+  }
+}
+
+TEST(GeneratorTest, UpdatesPerTransactionRespected) {
+  WorkloadSpec spec = SmallSpec(15);
+  spec.updates_per_transaction = 3;
+  auto config = GenerateScenario(spec);
+  ASSERT_TRUE(config.ok());
+  for (const Injection& inj : config->workload) {
+    EXPECT_EQ(inj.updates.size(), 3u);
+  }
+}
+
+TEST(GeneratorTest, SkewConcentratesUpdates) {
+  WorkloadSpec spec = SmallSpec(17);
+  spec.num_transactions = 300;
+  spec.relation_skew = 1.5;
+  auto config = GenerateScenario(spec);
+  ASSERT_TRUE(config.ok());
+  std::map<std::string, int> per_relation;
+  for (const Injection& inj : config->workload) {
+    ++per_relation[inj.updates[0].relation];
+  }
+  int max_count = 0;
+  for (const auto& [_, count] : per_relation) {
+    max_count = std::max(max_count, count);
+  }
+  // With theta=1.5 over 4 relations the hottest one should well exceed
+  // the uniform share of 75.
+  EXPECT_GT(max_count, 120);
+}
+
+TEST(GeneratorTest, RejectsBadSpecs) {
+  WorkloadSpec bad = SmallSpec(1);
+  bad.num_views = 0;
+  EXPECT_FALSE(GenerateScenario(bad).ok());
+
+  WorkloadSpec global_single = SmallSpec(1);
+  global_single.num_sources = 1;
+  global_single.global_txn_fraction = 0.5;
+  EXPECT_FALSE(GenerateScenario(global_single).ok());
+}
+
+}  // namespace
+}  // namespace mvc

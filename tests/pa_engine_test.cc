@@ -1,0 +1,316 @@
+// Tests for the Painting Algorithm, including the paper's Example 4
+// (why SPA breaks on intertwined updates) and the full Example 5 trace.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "merge/merge_engine.h"
+
+namespace mvc {
+namespace {
+
+ActionList MakeBatchAl(const std::string& view, UpdateId first,
+                       UpdateId last) {
+  ActionList al;
+  al.view = view;
+  al.first_update = first;
+  al.update = last;
+  for (UpdateId i = first; i <= last; ++i) al.covered.push_back(i);
+  al.delta.target = view;
+  al.delta.Add(Tuple{last}, 1);
+  return al;
+}
+
+ActionList MakeAl(const std::string& view, UpdateId update) {
+  return MakeBatchAl(view, update, update);
+}
+
+class PaEngineTest : public ::testing::Test {
+ protected:
+  PaEngine engine_{{"V1", "V2", "V3"}};
+  std::vector<WarehouseTransaction> out_;
+};
+
+TEST_F(PaEngineTest, SingleUpdateBehavesLikeSpa) {
+  engine_.ReceiveRelSet(1, {"V1", "V2"}, &out_);
+  engine_.ReceiveActionList(MakeAl("V2", 1), &out_);
+  EXPECT_TRUE(out_.empty());
+  engine_.ReceiveActionList(MakeAl("V1", 1), &out_);
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{1}));
+  EXPECT_EQ(out_[0].actions.size(), 2u);
+  EXPECT_EQ(engine_.open_rows(), 0u);
+}
+
+TEST_F(PaEngineTest, BatchedAlColorsAllCoveredRows) {
+  engine_.ReceiveRelSet(1, {"V1"}, &out_);
+  engine_.ReceiveRelSet(2, {"V1"}, &out_);
+  engine_.ReceiveRelSet(3, {"V1"}, &out_);
+  engine_.ReceiveActionList(MakeBatchAl("V1", 1, 3), &out_);
+  ASSERT_EQ(out_.size(), 1u);
+  // All three rows applied together as one transaction.
+  EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{1, 2, 3}));
+  EXPECT_EQ(out_[0].actions.size(), 1u);
+  EXPECT_EQ(engine_.open_rows(), 0u);
+}
+
+TEST_F(PaEngineTest, Example4IntertwinedUpdatesHoldCorrectly) {
+  // Views: V1 = R|><|S, V2 = S|><|T|><|Q, V3 = Q.
+  // Updates: U1 on S -> {V1,V2}; U2 on Q -> {V2,V3}; U3 on S -> {V1,V2}.
+  engine_.ReceiveRelSet(1, {"V1", "V2"}, &out_);
+  engine_.ReceiveRelSet(2, {"V2", "V3"}, &out_);
+  engine_.ReceiveRelSet(3, {"V1", "V2"}, &out_);
+
+  // AL^1_3 covers U1 and U3 (no separate AL^1_1): rows 1 and 3 turn red
+  // in column V1 with state 3.
+  engine_.ReceiveActionList(MakeBatchAl("V1", 1, 3), &out_);
+  EXPECT_TRUE(out_.empty());
+  EXPECT_EQ(engine_.vut().ToString(true),
+            "     V1 V2 V3\n"
+            "U1: (r,3) (w,0) (b,0)\n"
+            "U2: (b,0) (w,0) (w,0)\n"
+            "U3: (r,3) (w,0) (b,0)\n");
+
+  // All other ALs for U1 and U2 arrive. SPA would now (incorrectly)
+  // apply rows 1 and 2; PA must keep holding because row 1 is tied to
+  // row 3 whose V2 list has not arrived.
+  engine_.ReceiveActionList(MakeAl("V2", 1), &out_);
+  engine_.ReceiveActionList(MakeAl("V2", 2), &out_);
+  engine_.ReceiveActionList(MakeAl("V3", 2), &out_);
+  EXPECT_TRUE(out_.empty())
+      << "PA must not apply rows 1/2 while AL(V2,3) is missing";
+  EXPECT_EQ(engine_.vut().ToString(true),
+            "     V1 V2 V3\n"
+            "U1: (r,3) (r,1) (b,0)\n"
+            "U2: (b,0) (r,2) (r,2)\n"
+            "U3: (r,3) (w,0) (b,0)\n");
+
+  // The missing list arrives; everything applies in one transaction.
+  engine_.ReceiveActionList(MakeAl("V2", 3), &out_);
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{1, 2, 3}));
+  EXPECT_EQ(out_[0].actions.size(), 5u);
+  EXPECT_EQ(engine_.open_rows(), 0u);
+}
+
+TEST_F(PaEngineTest, Example5FullTrace) {
+  // Views: V1 = R|><|S, V2 = S|><|T|><|Q, V3 = Q.
+  // Updates: U1 on S -> {V1,V2}; U2 on Q -> {V2,V3}; U3 on Q -> {V2,V3}.
+  // Arrival: REL1, REL2, REL3, AL(V2,1), AL(V2,3), AL(V3,2), AL(V1,1),
+  //          AL(V3,3).
+  engine_.ReceiveRelSet(1, {"V1", "V2"}, &out_);
+  engine_.ReceiveRelSet(2, {"V2", "V3"}, &out_);
+  engine_.ReceiveRelSet(3, {"V2", "V3"}, &out_);
+  EXPECT_EQ(engine_.vut().ToString(true),
+            "     V1 V2 V3\n"
+            "U1: (w,0) (w,0) (b,0)\n"
+            "U2: (b,0) (w,0) (w,0)\n"
+            "U3: (b,0) (w,0) (w,0)\n");
+
+  // t1: AL^2_1; ProcessRow(1) fails on white V1.
+  engine_.ReceiveActionList(MakeAl("V2", 1), &out_);
+  EXPECT_TRUE(out_.empty());
+  EXPECT_EQ(engine_.vut().ToString(true),
+            "     V1 V2 V3\n"
+            "U1: (w,0) (r,1) (b,0)\n"
+            "U2: (b,0) (w,0) (w,0)\n"
+            "U3: (b,0) (w,0) (w,0)\n");
+
+  // t2: AL^2_3 covers U2 and U3 in column V2.
+  engine_.ReceiveActionList(MakeBatchAl("V2", 2, 3), &out_);
+  EXPECT_TRUE(out_.empty());
+  EXPECT_EQ(engine_.vut().ToString(true),
+            "     V1 V2 V3\n"
+            "U1: (w,0) (r,1) (b,0)\n"
+            "U2: (b,0) (r,3) (w,0)\n"
+            "U3: (b,0) (r,3) (w,0)\n");
+
+  // t3: AL^3_2; ProcessRow(2) -> ProcessRow(1) fails on white V1.
+  engine_.ReceiveActionList(MakeAl("V3", 2), &out_);
+  EXPECT_TRUE(out_.empty());
+  EXPECT_EQ(engine_.vut().ToString(true),
+            "     V1 V2 V3\n"
+            "U1: (w,0) (r,1) (b,0)\n"
+            "U2: (b,0) (r,3) (r,2)\n"
+            "U3: (b,0) (r,3) (w,0)\n");
+
+  // t4/t5: AL^1_1 completes row 1; WT_1 applies alone (rows 2/3 still
+  // blocked on AL(V3,3)).
+  engine_.ReceiveActionList(MakeAl("V1", 1), &out_);
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{1}));
+  EXPECT_EQ(out_[0].actions.size(), 2u);
+  EXPECT_EQ(engine_.vut().ToString(true),
+            "     V1 V2 V3\n"
+            "U2: (b,0) (r,3) (r,2)\n"
+            "U3: (b,0) (r,3) (w,0)\n");
+  out_.clear();
+
+  // t6/t7: AL^3_3 completes rows 2 and 3; WT_2 and WT_3 apply together.
+  engine_.ReceiveActionList(MakeAl("V3", 3), &out_);
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{2, 3}));
+  EXPECT_EQ(out_[0].actions.size(), 3u);
+  EXPECT_EQ(engine_.open_rows(), 0u);
+  EXPECT_EQ(engine_.held_action_lists(), 0u);
+}
+
+TEST_F(PaEngineTest, ActionListBeforeRelSetIsBuffered) {
+  engine_.ReceiveActionList(MakeBatchAl("V1", 1, 2), &out_);
+  EXPECT_TRUE(out_.empty());
+  engine_.ReceiveRelSet(1, {"V1"}, &out_);
+  EXPECT_TRUE(out_.empty());  // REL2 still missing; row 2 not allocated
+  engine_.ReceiveRelSet(2, {"V1"}, &out_);
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{1, 2}));
+}
+
+TEST_F(PaEngineTest, EmptyRelSetPurgesImmediately) {
+  engine_.ReceiveRelSet(1, {}, &out_);
+  EXPECT_EQ(engine_.open_rows(), 0u);
+}
+
+TEST_F(PaEngineTest, LaterBatchUnblocksViaNextRed) {
+  // Row 1: {V1}; row 2: {V1, V2}. AL(V1,1) applies row 1. AL(V1,2)
+  // waits on V2; AL(V2,2) then applies row 2.
+  engine_.ReceiveRelSet(1, {"V1"}, &out_);
+  engine_.ReceiveRelSet(2, {"V1", "V2"}, &out_);
+  engine_.ReceiveActionList(MakeAl("V2", 2), &out_);
+  EXPECT_TRUE(out_.empty());
+  engine_.ReceiveActionList(MakeAl("V1", 1), &out_);
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{1}));
+  out_.clear();
+  engine_.ReceiveActionList(MakeAl("V1", 2), &out_);
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{2}));
+}
+
+TEST_F(PaEngineTest, ChainedStatePullsAreTransitive) {
+  // Column V1 batches 1..2, column V2 batches 2..3, column V3 covers 3.
+  // Applying anything requires all three rows at once.
+  engine_.ReceiveRelSet(1, {"V1"}, &out_);
+  engine_.ReceiveRelSet(2, {"V1", "V2"}, &out_);
+  engine_.ReceiveRelSet(3, {"V2", "V3"}, &out_);
+  engine_.ReceiveActionList(MakeBatchAl("V1", 1, 2), &out_);
+  EXPECT_TRUE(out_.empty());
+  engine_.ReceiveActionList(MakeBatchAl("V2", 2, 3), &out_);
+  EXPECT_TRUE(out_.empty());
+  engine_.ReceiveActionList(MakeAl("V3", 3), &out_);
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{1, 2, 3}));
+}
+
+// Random sweeps: strongly consistent view managers batch updates
+// randomly; the engine must apply every row exactly once, in dependent
+// order, and end empty.
+class PaRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaRandomTest, AllRowsApplyExactlyOnceInDependentOrder) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const std::vector<std::string> views{"V1", "V2", "V3", "V4"};
+  const int kUpdates = 12;
+
+  std::vector<std::vector<std::string>> rels(kUpdates + 1);
+  for (int i = 1; i <= kUpdates; ++i) {
+    for (const std::string& v : views) {
+      if (rng.Bernoulli(0.4)) rels[static_cast<size_t>(i)].push_back(v);
+    }
+  }
+
+  // Per view: split its relevant updates into random consecutive batches.
+  std::vector<std::vector<ActionList>> al_streams(views.size());
+  for (size_t x = 0; x < views.size(); ++x) {
+    std::vector<UpdateId> mine;
+    for (int i = 1; i <= kUpdates; ++i) {
+      const auto& rel = rels[static_cast<size_t>(i)];
+      if (std::find(rel.begin(), rel.end(), views[x]) != rel.end()) {
+        mine.push_back(i);
+      }
+    }
+    size_t pos = 0;
+    while (pos < mine.size()) {
+      size_t len = static_cast<size_t>(rng.UniformInt(1, 3));
+      len = std::min(len, mine.size() - pos);
+      ActionList al;
+      al.view = views[x];
+      al.first_update = mine[pos];
+      al.update = mine[pos + len - 1];
+      for (size_t k = 0; k < len; ++k) al.covered.push_back(mine[pos + k]);
+      al.delta.target = views[x];
+      al.delta.Add(Tuple{al.update}, 1);
+      al_streams[x].push_back(al);
+      pos += len;
+    }
+  }
+
+  PaEngine engine({views});
+  std::vector<WarehouseTransaction> out;
+  size_t rel_next = 1;
+  std::vector<size_t> al_next(views.size(), 0);
+  for (;;) {
+    std::vector<int> choices;
+    if (rel_next <= static_cast<size_t>(kUpdates)) choices.push_back(-1);
+    for (size_t x = 0; x < views.size(); ++x) {
+      if (al_next[x] < al_streams[x].size()) {
+        choices.push_back(static_cast<int>(x));
+      }
+    }
+    if (choices.empty()) break;
+    int pick = choices[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(choices.size()) - 1))];
+    if (pick == -1) {
+      UpdateId i = static_cast<UpdateId>(rel_next++);
+      engine.ReceiveRelSet(i, rels[static_cast<size_t>(i)], &out);
+    } else {
+      size_t x = static_cast<size_t>(pick);
+      engine.ReceiveActionList(al_streams[x][al_next[x]++], &out);
+    }
+  }
+
+  EXPECT_EQ(engine.open_rows(), 0u);
+  EXPECT_EQ(engine.held_action_lists(), 0u);
+
+  std::map<UpdateId, int> seen;
+  for (const auto& txn : out) {
+    for (UpdateId row : txn.rows) ++seen[row];
+  }
+  for (int i = 1; i <= kUpdates; ++i) {
+    EXPECT_EQ(seen[i], rels[static_cast<size_t>(i)].empty() ? 0 : 1)
+        << "update " << i;
+  }
+  // Dependent order, per shared view: if transactions a < b both carry
+  // rows relevant to view v, every v-relevant row of a precedes every
+  // v-relevant row of b. (Rows relevant to *different* views may
+  // interleave across transactions — that freedom is what makes the
+  // painting algorithms prompt.)
+  auto relevant_rows = [&](const WarehouseTransaction& txn,
+                           const std::string& view) {
+    std::vector<UpdateId> rows;
+    for (UpdateId row : txn.rows) {
+      const auto& rel = rels[static_cast<size_t>(row)];
+      if (std::find(rel.begin(), rel.end(), view) != rel.end()) {
+        rows.push_back(row);
+      }
+    }
+    return rows;
+  };
+  for (size_t a = 0; a < out.size(); ++a) {
+    for (size_t b = a + 1; b < out.size(); ++b) {
+      for (const std::string& v : views) {
+        auto rows_a = relevant_rows(out[a], v);
+        auto rows_b = relevant_rows(out[b], v);
+        if (rows_a.empty() || rows_b.empty()) continue;
+        EXPECT_LT(*std::max_element(rows_a.begin(), rows_a.end()),
+                  *std::min_element(rows_b.begin(), rows_b.end()))
+            << "view " << v << ": txn " << out[a].ToString() << " vs "
+            << out[b].ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaRandomTest, ::testing::Range(1, 26));
+
+}  // namespace
+}  // namespace mvc

@@ -1,0 +1,109 @@
+// Tests for distributed-merge view partitioning (Section 6.1).
+
+#include <gtest/gtest.h>
+
+#include "merge/partition.h"
+#include "workload/paper_examples.h"
+
+namespace mvc {
+namespace {
+
+std::map<std::string, Schema> PaperSchemas() {
+  return {{"R", Schema::AllInt64({"A", "B"})},
+          {"S", Schema::AllInt64({"B", "C"})},
+          {"T", Schema::AllInt64({"C", "D"})},
+          {"Q", Schema::AllInt64({"D", "E"})}};
+}
+
+BoundView BindDef(const ViewDefinition& def) {
+  auto bound = BoundView::Bind(def, PaperSchemas());
+  MVC_CHECK(bound.ok()) << bound.status().ToString();
+  return std::move(bound).value();
+}
+
+TEST(PartitionTest, Figure3Partition) {
+  // Figure 3: V1 = R, V2 = S |><| T, V3 = Q -> groups {V1,V2}? No:
+  // V1 uses R only, V2 uses S,T, V3 uses Q -> three disjoint groups...
+  // The figure shows {V1, V2} under MP1 and {V3} under MP2 with V1 = R
+  // and V2 = S |><| T; R,S,T disjoint from Q. Using the paper's views
+  // from the examples instead: V1 = R|><|S and V2 = S|><|T share S, V3 =
+  // Q is disjoint.
+  BoundView v1 = BindDef(PaperV1());
+  BoundView v2 = BindDef(PaperV2());
+  BoundView v3 = BindDef(PaperV3());
+  auto groups = PartitionViews({&v1, &v2, &v3});
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].views, (std::vector<std::string>{"V1", "V2"}));
+  EXPECT_EQ(groups[0].relations, (std::vector<std::string>{"R", "S", "T"}));
+  EXPECT_EQ(groups[1].views, (std::vector<std::string>{"V3"}));
+  EXPECT_EQ(groups[1].relations, (std::vector<std::string>{"Q"}));
+}
+
+TEST(PartitionTest, ChainOfSharingCollapsesToOneGroup) {
+  // V1={R,S}, V2={S,T}, Vq={T,Q}: transitively connected.
+  BoundView v1 = BindDef(PaperV1());
+  BoundView v2 = BindDef(PaperV2());
+  ViewDefinition tq;
+  tq.name = "Vq";
+  tq.relations = {"T", "Q"};
+  BoundView vq = BindDef(tq);
+  auto groups = PartitionViews({&v1, &v2, &vq});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].views, (std::vector<std::string>{"V1", "V2", "Vq"}));
+}
+
+TEST(PartitionTest, FullyDisjointViewsEachGetAGroup) {
+  ViewDefinition a;
+  a.name = "A";
+  a.relations = {"R"};
+  ViewDefinition b;
+  b.name = "B";
+  b.relations = {"T"};
+  ViewDefinition c;
+  c.name = "C";
+  c.relations = {"Q"};
+  BoundView va = BindDef(a);
+  BoundView vb = BindDef(b);
+  BoundView vc = BindDef(c);
+  auto groups = PartitionViews({&va, &vb, &vc});
+  EXPECT_EQ(groups.size(), 3u);
+}
+
+TEST(PartitionTest, PartitionIntoRespectsBudget) {
+  ViewDefinition a;
+  a.name = "A";
+  a.relations = {"R"};
+  ViewDefinition b;
+  b.name = "B";
+  b.relations = {"T"};
+  ViewDefinition c;
+  c.name = "C";
+  c.relations = {"Q"};
+  BoundView va = BindDef(a);
+  BoundView vb = BindDef(b);
+  BoundView vc = BindDef(c);
+  auto groups = PartitionViewsInto({&va, &vb, &vc}, 2);
+  ASSERT_EQ(groups.size(), 2u);
+  size_t total = 0;
+  for (const auto& g : groups) total += g.views.size();
+  EXPECT_EQ(total, 3u);
+
+  // Budget of one puts everything together.
+  auto one = PartitionViewsInto({&va, &vb, &vc}, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].views.size(), 3u);
+
+  // A generous budget returns the exact partition.
+  auto exact = PartitionViewsInto({&va, &vb, &vc}, 10);
+  EXPECT_EQ(exact.size(), 3u);
+}
+
+TEST(PartitionTest, SingleViewSingleton) {
+  BoundView v1 = BindDef(PaperV1());
+  auto groups = PartitionViews({&v1});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].views, (std::vector<std::string>{"V1"}));
+}
+
+}  // namespace
+}  // namespace mvc

@@ -1,0 +1,232 @@
+// Property sweeps: for randomized workloads across seeds, latencies,
+// manager kinds, merge topologies, and submission policies, the system
+// must satisfy the consistency level the theory promises.
+
+#include <gtest/gtest.h>
+
+#include "system/warehouse_system.h"
+#include "workload/generator.h"
+
+namespace mvc {
+namespace {
+
+struct SweepCase {
+  std::string name;
+  uint64_t seed;
+  ManagerKind manager;
+  SubmissionPolicy policy;
+  size_t merge_processes;
+  bool pruning;
+  bool piggyback;
+  TimeMicros latency_jitter;
+  TimeMicros delta_cost;
+  int updates_per_txn;
+  double global_fraction;
+  bool aggregate_first = false;  // turn V0 into an aggregate view
+};
+
+std::string CaseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  return info.param.name;
+}
+
+SystemConfig MakeConfig(const SweepCase& c) {
+  WorkloadSpec spec;
+  spec.seed = c.seed;
+  spec.num_sources = 2;
+  spec.relations_per_source = 2;
+  spec.num_views = 5;
+  spec.max_view_width = 3;
+  spec.num_transactions = 40;
+  spec.updates_per_transaction = c.updates_per_txn;
+  spec.mean_interarrival = 800;
+  spec.global_txn_fraction = c.global_fraction;
+  auto config = GenerateScenario(spec);
+  MVC_CHECK(config.ok()) << config.status().ToString();
+
+  for (const ViewDefinition& def : config->views) {
+    config->manager_kinds[def.name] = c.manager;
+  }
+  config->merge.policy = c.policy;
+  config->num_merge_processes = c.merge_processes;
+  config->integrator.relevance_pruning = c.pruning;
+  config->integrator.piggyback_rel = c.piggyback;
+  config->latency = LatencyModel::Uniform(200, c.latency_jitter);
+  config->vm_options.delta_cost = c.delta_cost;
+  config->strong_options.max_batch = 6;
+  config->warehouse.apply_delay = 50;
+  config->warehouse.apply_jitter = 2000;
+  config->warehouse.seed = c.seed * 13 + 1;
+  config->seed = c.seed * 7 + 3;
+
+  if (c.aggregate_first) {
+    // Make the first generated view an aggregate over its SPJ core:
+    // group by the first output column, COUNT(*) and SUM over the last.
+    auto bound = BoundView::Bind(config->views[0], config->schemas);
+    MVC_CHECK(bound.ok()) << bound.status().ToString();
+    const Schema& out = bound->output_schema();
+    AggregateSpec spec;
+    spec.group_by = {out.column(0).name};
+    spec.aggregates = {
+        AggregateColumn{AggregateFn::kCount, "", "n"},
+        AggregateColumn{AggregateFn::kSum,
+                        out.column(out.num_columns() - 1).name, "total"}};
+    config->aggregates[config->views[0].name] = spec;
+  }
+  return std::move(*config);
+}
+
+class MvcPropertyTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(MvcPropertyTest, SatisfiesPromisedConsistencyLevel) {
+  const SweepCase& c = GetParam();
+  auto system = WarehouseSystem::Build(MakeConfig(c));
+  ASSERT_TRUE(system.ok()) << system.status().ToString();
+  (*system)->Run();
+
+  ConsistencyChecker checker = (*system)->MakeChecker();
+  const ConsistencyRecorder& recorder = (*system)->recorder();
+
+  if (c.aggregate_first) {
+    // An aggregate manager in the mix caps the guarantee at strong.
+    EXPECT_TRUE(checker.CheckStrong(recorder).ok())
+        << checker.CheckStrong(recorder);
+    EXPECT_GT(recorder.commits().size(), 0u);
+    return;
+  }
+  switch (c.manager) {
+    case ManagerKind::kComplete: {
+      // Complete managers + SPA + non-batched submission: complete MVC.
+      if (c.policy == SubmissionPolicy::kBatched) {
+        EXPECT_TRUE(checker.CheckStrong(recorder).ok())
+            << checker.CheckStrong(recorder);
+      } else {
+        EXPECT_TRUE(checker.CheckComplete(recorder).ok())
+            << checker.CheckComplete(recorder);
+      }
+      break;
+    }
+    case ManagerKind::kStrong:
+    case ManagerKind::kPeriodic:
+    case ManagerKind::kCompleteN:
+      EXPECT_TRUE(checker.CheckStrong(recorder).ok())
+          << checker.CheckStrong(recorder);
+      break;
+    case ManagerKind::kConvergent:
+      EXPECT_TRUE(checker.CheckConvergent(recorder).ok())
+          << checker.CheckConvergent(recorder);
+      break;
+  }
+
+  // Sanity: the run actually exercised the pipeline.
+  EXPECT_GT(recorder.commits().size(), 0u);
+  // Global-transaction parts merge into one numbered unit, so the count
+  // always equals the number of generated transactions.
+  EXPECT_EQ(recorder.updates().size(), 40u);
+}
+
+std::vector<SweepCase> BuildSweep() {
+  std::vector<SweepCase> cases;
+  int id = 0;
+  auto add = [&](ManagerKind manager, SubmissionPolicy policy,
+                 size_t merges, bool pruning, bool piggyback,
+                 TimeMicros jitter, TimeMicros cost, int upt,
+                 double global, uint64_t seed) {
+    SweepCase c;
+    c.name = "case" + std::to_string(id++);
+    c.seed = seed;
+    c.manager = manager;
+    c.policy = policy;
+    c.merge_processes = merges;
+    c.pruning = pruning;
+    c.piggyback = piggyback;
+    c.latency_jitter = jitter;
+    c.delta_cost = cost;
+    c.updates_per_txn = upt;
+    c.global_fraction = global;
+    cases.push_back(c);
+  };
+
+  // Complete managers under every submission policy and seed spread.
+  for (uint64_t seed : {1, 2, 3, 4, 5}) {
+    add(ManagerKind::kComplete, SubmissionPolicy::kSequential, 1, true,
+        false, 3000, 500, 1, 0.0, seed);
+    add(ManagerKind::kComplete, SubmissionPolicy::kHoldDependents, 1, true,
+        false, 3000, 500, 1, 0.0, seed + 10);
+    add(ManagerKind::kComplete, SubmissionPolicy::kAnnotate, 1, true, false,
+        3000, 500, 1, 0.0, seed + 20);
+    add(ManagerKind::kComplete, SubmissionPolicy::kBatched, 1, true, false,
+        3000, 500, 1, 0.0, seed + 30);
+  }
+  // Strong managers: heavy delta cost induces real batching.
+  for (uint64_t seed : {1, 2, 3, 4, 5, 6, 7, 8}) {
+    add(ManagerKind::kStrong, SubmissionPolicy::kHoldDependents, 1, true,
+        false, 5000, 4000, 1, 0.0, seed + 40);
+  }
+  // Distributed merge.
+  for (uint64_t seed : {1, 2, 3}) {
+    add(ManagerKind::kComplete, SubmissionPolicy::kHoldDependents, 3, true,
+        false, 3000, 500, 1, 0.0, seed + 50);
+    add(ManagerKind::kStrong, SubmissionPolicy::kHoldDependents, 2, true,
+        false, 3000, 2000, 1, 0.0, seed + 60);
+  }
+  // Pruning off, piggyback on.
+  for (uint64_t seed : {1, 2, 3}) {
+    add(ManagerKind::kComplete, SubmissionPolicy::kHoldDependents, 1, false,
+        false, 3000, 500, 1, 0.0, seed + 70);
+    add(ManagerKind::kComplete, SubmissionPolicy::kHoldDependents, 1, true,
+        true, 3000, 500, 1, 0.0, seed + 80);
+  }
+  // Multi-update transactions (Section 6.2) and global transactions.
+  for (uint64_t seed : {1, 2, 3}) {
+    add(ManagerKind::kComplete, SubmissionPolicy::kHoldDependents, 1, true,
+        false, 3000, 500, 3, 0.0, seed + 90);
+    add(ManagerKind::kStrong, SubmissionPolicy::kHoldDependents, 1, true,
+        false, 3000, 1500, 2, 0.3, seed + 100);
+  }
+  // Piggyback REL delivery combined with distributed merge.
+  for (uint64_t seed : {1, 2, 3}) {
+    add(ManagerKind::kComplete, SubmissionPolicy::kHoldDependents, 3, true,
+        true, 4000, 500, 1, 0.0, seed + 140);
+    add(ManagerKind::kStrong, SubmissionPolicy::kHoldDependents, 2, true,
+        true, 4000, 2000, 1, 0.0, seed + 150);
+  }
+  // Aggregate view in the mix (complete and strong peers).
+  for (uint64_t seed : {1, 2, 3}) {
+    SweepCase c;
+    c.name = "case" + std::to_string(id++);
+    c.seed = seed + 160;
+    c.manager = ManagerKind::kComplete;
+    c.policy = SubmissionPolicy::kHoldDependents;
+    c.merge_processes = 1;
+    c.pruning = true;
+    c.piggyback = false;
+    c.latency_jitter = 3000;
+    c.delta_cost = 500;
+    c.updates_per_txn = 1;
+    c.global_fraction = 0.0;
+    c.aggregate_first = true;
+    cases.push_back(c);
+    SweepCase s2 = c;
+    s2.name = "case" + std::to_string(id++);
+    s2.seed = seed + 170;
+    s2.manager = ManagerKind::kStrong;
+    s2.delta_cost = 2000;
+    cases.push_back(s2);
+  }
+  // Periodic / complete-N / convergent managers.
+  for (uint64_t seed : {1, 2}) {
+    add(ManagerKind::kPeriodic, SubmissionPolicy::kHoldDependents, 1, true,
+        false, 2000, 300, 1, 0.0, seed + 110);
+    add(ManagerKind::kCompleteN, SubmissionPolicy::kHoldDependents, 1, true,
+        false, 2000, 300, 1, 0.0, seed + 120);
+    add(ManagerKind::kConvergent, SubmissionPolicy::kHoldDependents, 1,
+        true, false, 2000, 300, 1, 0.0, seed + 130);
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MvcPropertyTest,
+                         ::testing::ValuesIn(BuildSweep()), CaseName);
+
+}  // namespace
+}  // namespace mvc

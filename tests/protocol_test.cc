@@ -1,0 +1,128 @@
+// Tests for the wire-protocol types: summaries, naming, payload
+// invariants, and merge-algorithm selection helpers.
+
+#include <gtest/gtest.h>
+
+#include "merge/merge_engine.h"
+#include "merge/merge_process.h"
+#include "net/protocol.h"
+#include "net/runtime.h"
+#include "viewmgr/view_manager.h"
+
+namespace mvc {
+namespace {
+
+TEST(ProtocolTest, MessageKindNamesAreStable) {
+  EXPECT_STREQ(MessageKindToString(Message::Kind::kSourceTxn), "SourceTxn");
+  EXPECT_STREQ(MessageKindToString(Message::Kind::kUpdate), "Update");
+  EXPECT_STREQ(MessageKindToString(Message::Kind::kRelSet), "RelSet");
+  EXPECT_STREQ(MessageKindToString(Message::Kind::kActionList),
+               "ActionList");
+  EXPECT_STREQ(MessageKindToString(Message::Kind::kWarehouseTxn),
+               "WarehouseTxn");
+  EXPECT_STREQ(MessageKindToString(Message::Kind::kTxnCommitted),
+               "TxnCommitted");
+  EXPECT_STREQ(MessageKindToString(Message::Kind::kQueryRequest),
+               "QueryRequest");
+  EXPECT_STREQ(MessageKindToString(Message::Kind::kQueryResponse),
+               "QueryResponse");
+  EXPECT_STREQ(MessageKindToString(Message::Kind::kTick), "Tick");
+  EXPECT_STREQ(MessageKindToString(Message::Kind::kInjectTxn), "InjectTxn");
+  EXPECT_STREQ(MessageKindToString(Message::Kind::kReadViews), "ReadViews");
+  EXPECT_STREQ(MessageKindToString(Message::Kind::kViewsSnapshot),
+               "ViewsSnapshot");
+}
+
+TEST(ProtocolTest, ActionListToStringShowsBatches) {
+  ActionList al;
+  al.view = "V2";
+  al.update = 5;
+  al.first_update = 5;
+  EXPECT_EQ(al.ToString(), "AL(V2, U5, 0 actions)");
+  al.first_update = 3;
+  al.delta.Add(Tuple{1}, 1);
+  EXPECT_EQ(al.ToString(), "AL(V2, U5 covering U3.., 1 actions)");
+}
+
+TEST(ProtocolTest, WarehouseTransactionToString) {
+  WarehouseTransaction txn;
+  txn.txn_id = 4;
+  txn.rows = {2, 3};
+  txn.views = {"V1", "V2"};
+  txn.depends_on = {2};
+  EXPECT_EQ(txn.ToString(),
+            "WT4(rows=[2,3], views=[V1,V2], 0 ALs, deps=[2])");
+}
+
+TEST(ProtocolTest, SummariesMentionKeyFields) {
+  UpdateMsg update;
+  update.update_id = 7;
+  update.txn.local_seq = 2;
+  EXPECT_NE(update.Summary().find("U7"), std::string::npos);
+
+  RelSetMsg rel;
+  rel.update_id = 3;
+  rel.views = {"V1", "V2"};
+  EXPECT_EQ(rel.Summary(), "REL3={V1,V2}");
+
+  QueryRequestMsg req;
+  req.relation = "R";
+  req.as_of_state = 4;
+  EXPECT_NE(req.Summary().find("@state 4"), std::string::npos);
+
+  ReadViewsMsg read;
+  read.views = {"V1"};
+  EXPECT_EQ(read.Summary(), "read views [V1]");
+
+  ViewsSnapshotMsg snap;
+  snap.as_of_commit = 9;
+  EXPECT_NE(snap.Summary().find("@commit 9"), std::string::npos);
+
+  TxnCommittedMsg committed;
+  committed.txn_id = 12;
+  EXPECT_EQ(committed.Summary(), "committed WT12");
+}
+
+TEST(ProtocolTest, MessageStatsToString) {
+  MessageStats stats;
+  stats.total_messages = 3;
+  stats.by_kind["Tick"] = 3;
+  EXPECT_EQ(stats.ToString(), "messages=3 Tick=3");
+}
+
+TEST(AlgorithmSelectionTest, WeakestLevelWins) {
+  using L = ConsistencyLevel;
+  auto level = [](L l) { return static_cast<uint8_t>(l); };
+  EXPECT_EQ(AlgorithmForLevels({level(L::kComplete), level(L::kComplete)}),
+            MergeAlgorithm::kSPA);
+  EXPECT_EQ(AlgorithmForLevels({level(L::kComplete), level(L::kStrong)}),
+            MergeAlgorithm::kPA);
+  EXPECT_EQ(AlgorithmForLevels({level(L::kStrong), level(L::kConvergent)}),
+            MergeAlgorithm::kPassThrough);
+  // Empty group defaults to the strongest (SPA).
+  EXPECT_EQ(AlgorithmForLevels({}), MergeAlgorithm::kSPA);
+}
+
+TEST(AlgorithmSelectionTest, Names) {
+  EXPECT_STREQ(MergeAlgorithmToString(MergeAlgorithm::kSPA), "SPA");
+  EXPECT_STREQ(MergeAlgorithmToString(MergeAlgorithm::kPA), "PA");
+  EXPECT_STREQ(MergeAlgorithmToString(MergeAlgorithm::kPassThrough),
+               "PassThrough");
+  EXPECT_STREQ(SubmissionPolicyToString(SubmissionPolicy::kSequential),
+               "sequential");
+  EXPECT_STREQ(SubmissionPolicyToString(SubmissionPolicy::kHoldDependents),
+               "hold-dependents");
+  EXPECT_STREQ(SubmissionPolicyToString(SubmissionPolicy::kAnnotate),
+               "annotate");
+  EXPECT_STREQ(SubmissionPolicyToString(SubmissionPolicy::kBatched),
+               "batched");
+  EXPECT_STREQ(ConsistencyLevelToString(ConsistencyLevel::kComplete),
+               "complete");
+  EXPECT_STREQ(ConsistencyLevelToString(ConsistencyLevel::kStrong),
+               "strong");
+  EXPECT_STREQ(ConsistencyLevelToString(ConsistencyLevel::kConvergent),
+               "convergent");
+}
+
+}  // namespace
+}  // namespace mvc

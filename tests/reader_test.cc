@@ -1,0 +1,258 @@
+// Reader-visible consistency: what a concurrent application querying
+// the warehouse actually observes. Under SPA every atomic multi-view
+// read maps to some source state; with uncoordinated (pass-through)
+// maintenance some reads expose the Example 1 inconsistency window.
+
+#include <gtest/gtest.h>
+
+#include "query/evaluator.h"
+#include "query/relevance.h"
+#include "system/warehouse_system.h"
+#include "workload/paper_examples.h"
+
+namespace mvc {
+namespace {
+
+/// True if the observed view contents equal (V1(ss), V2(ss), ...) for
+/// some consistent source state ss of a schedule equivalent to the
+/// recorded one — i.e. some subset of the updates that is closed under
+/// the dependent-update (shared-view) order. The scenarios here have a
+/// handful of updates, so subsets are enumerated exhaustively.
+bool ObservationMapsToSourceState(
+    const WarehouseSystem& system,
+    const WarehouseReader::Observation& obs) {
+  const std::vector<BoundView>& views = system.bound_views();
+  const auto& updates = system.recorder().updates();
+  const size_t n = updates.size();
+  MVC_CHECK(n <= 12) << "subset enumeration only suits small scenarios";
+
+  // REL per update (pruning on, matching the default integrator config).
+  std::vector<std::set<std::string>> rel(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (const BoundView& view : views) {
+      for (const Update& u : updates[i].txn.updates) {
+        if (UpdateIsRelevant(view, u)) {
+          rel[i].insert(view.name());
+          break;
+        }
+      }
+    }
+  }
+  auto overlaps = [&](size_t a, size_t b) {
+    for (const std::string& v : rel[a]) {
+      if (rel[b].count(v) > 0) return true;
+    }
+    return false;
+  };
+
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    // Legality: a member's earlier dependent updates are members too.
+    bool legal = true;
+    for (size_t b = 0; b < n && legal; ++b) {
+      if (!(mask & (1u << b))) continue;
+      for (size_t a = 0; a < b && legal; ++a) {
+        if (!(mask & (1u << a)) && overlaps(a, b)) legal = false;
+      }
+    }
+    if (!legal) continue;
+
+    Catalog base = system.initial_base().Clone();
+    bool applied_ok = true;
+    for (size_t i = 0; i < n && applied_ok; ++i) {
+      if (!(mask & (1u << i))) continue;
+      for (const Update& upd : updates[i].txn.updates) {
+        auto table = base.GetTable(upd.relation);
+        MVC_CHECK(table.ok());
+        if (!ViewEvaluator::UpdateToBaseDelta(upd).ApplyTo(*table).ok()) {
+          applied_ok = false;  // subset not replayable in id order
+          break;
+        }
+      }
+    }
+    if (!applied_ok) continue;
+
+    TableProviderFn provider = CatalogProvider(&base);
+    bool match = true;
+    for (size_t v = 0; v < views.size() && match; ++v) {
+      auto expected = ViewEvaluator::Evaluate(views[v], provider);
+      MVC_CHECK(expected.ok());
+      match = expected->ContentsEqual(obs.snapshots[v]);
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+std::vector<TimeMicros> DenseReadSchedule() {
+  std::vector<TimeMicros> read_at;
+  for (TimeMicros t = 500; t <= 20000; t += 250) read_at.push_back(t);
+  return read_at;
+}
+
+TEST(ReaderTest, UnderSpaEveryReadMapsToASourceState) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    SystemConfig config = Example3Scenario();
+    config.latency = LatencyModel::Uniform(500, 3000);
+    config.vm_options.delta_cost = 1000;
+    config.seed = seed;
+    auto system = WarehouseSystem::Build(std::move(config));
+    ASSERT_TRUE(system.ok());
+    WarehouseReader* reader =
+        (*system)->AttachReader({"V1", "V2", "V3"}, DenseReadSchedule());
+    (*system)->Run();
+
+    ASSERT_FALSE(reader->observations().empty());
+    for (const auto& obs : reader->observations()) {
+      EXPECT_TRUE(ObservationMapsToSourceState(**system, obs))
+          << "seed " << seed << ": read at t=" << obs.at
+          << " saw a state matching no source state";
+    }
+  }
+}
+
+TEST(ReaderTest, WithoutCoordinationSomeReadObservesInconsistency) {
+  bool observed_violation = false;
+  for (uint64_t seed = 1; seed <= 30 && !observed_violation; ++seed) {
+    SystemConfig config = Example3Scenario();
+    config.auto_algorithm = false;
+    config.merge.algorithm = MergeAlgorithm::kPassThrough;
+    config.latency = LatencyModel::Uniform(500, 8000);
+    config.vm_options.delta_cost = 2000;
+    config.seed = seed;
+    auto system = WarehouseSystem::Build(std::move(config));
+    ASSERT_TRUE(system.ok());
+    WarehouseReader* reader =
+        (*system)->AttachReader({"V1", "V2", "V3"}, DenseReadSchedule());
+    (*system)->Run();
+    for (const auto& obs : reader->observations()) {
+      if (!ObservationMapsToSourceState(**system, obs)) {
+        observed_violation = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(observed_violation)
+      << "a dense reader should catch the inconsistency window under "
+         "uncoordinated maintenance for some seed";
+}
+
+TEST(ReaderTest, SnapshotReportsCommitCountAndRequestedViews) {
+  SystemConfig config = Table1Scenario();
+  auto system = WarehouseSystem::Build(std::move(config));
+  ASSERT_TRUE(system.ok());
+  WarehouseReader* reader =
+      (*system)->AttachReader({"V1"}, {100, 50000});
+  (*system)->Run();
+  ASSERT_EQ(reader->observations().size(), 2u);
+  EXPECT_EQ(reader->observations()[0].as_of_commit, 0);
+  EXPECT_EQ(reader->observations()[0].snapshots.size(), 1u);
+  EXPECT_TRUE(reader->observations()[0].snapshots[0].empty());
+  EXPECT_EQ(reader->observations()[1].as_of_commit, 1);
+  EXPECT_EQ(reader->observations()[1].snapshots[0].CountOf(Tuple{1, 2, 3}),
+            1);
+}
+
+TEST(ReaderTest, EmptyViewListReadsAllViews) {
+  SystemConfig config = Table1Scenario();
+  auto system = WarehouseSystem::Build(std::move(config));
+  ASSERT_TRUE(system.ok());
+  WarehouseReader* reader = (*system)->AttachReader({}, {50000});
+  (*system)->Run();
+  ASSERT_EQ(reader->observations().size(), 1u);
+  EXPECT_EQ(reader->observations()[0].snapshots.size(), 2u);  // V1, V2
+}
+
+}  // namespace
+}  // namespace mvc
+
+namespace mvc {
+namespace {
+
+/// One-shot time-travel reader.
+class TimeTravelReader : public Process {
+ public:
+  TimeTravelReader(std::string name, ProcessId warehouse, TimeMicros at,
+                   int64_t as_of)
+      : Process(std::move(name)), warehouse_(warehouse), at_(at),
+        as_of_(as_of) {}
+  void OnStart() override {
+    ScheduleSelf(std::make_unique<TickMsg>(), at_);
+  }
+  void OnMessage(ProcessId, MessagePtr msg) override {
+    if (msg->kind == Message::Kind::kTick) {
+      auto read = std::make_unique<ReadViewsMsg>();
+      read->as_of_commit = as_of_;
+      Send(warehouse_, std::move(read));
+      return;
+    }
+    ASSERT_EQ(msg->kind, Message::Kind::kViewsSnapshot);
+    answer = std::make_unique<ViewsSnapshotMsg>(
+        std::move(*static_cast<ViewsSnapshotMsg*>(msg.get())));
+  }
+  ProcessId warehouse_;
+  TimeMicros at_;
+  int64_t as_of_;
+  std::unique_ptr<ViewsSnapshotMsg> answer;
+};
+
+TEST(TimeTravelTest, HistoricalReadServesPastState) {
+  // Example 3 commits three times; a late read as-of commit 1 must see
+  // the state right after the first commit, not the final one.
+  SystemConfig config = Example3Scenario();
+  config.warehouse.history_depth = 8;
+  auto system = WarehouseSystem::Build(std::move(config));
+  ASSERT_TRUE(system.ok());
+
+  // Find the warehouse pid by asking a probe reader... simpler: attach
+  // a normal reader to learn nothing; reach the warehouse via the
+  // system accessor instead.
+  TimeTravelReader reader("tt-reader", (*system)->warehouse().id(),
+                          /*at=*/200000, /*as_of=*/1);
+  (*system)->runtime().Register(&reader);
+  (*system)->Run();
+
+  ASSERT_NE(reader.answer, nullptr);
+  EXPECT_EQ(reader.answer->as_of_commit, 1);
+  // The recorder's first commit snapshot is the ground truth.
+  const auto& commits = (*system)->recorder().commits();
+  ASSERT_GE(commits.size(), 2u);
+  const Catalog& expected = commits[0].view_snapshot;
+  std::vector<std::string> names = expected.TableNames();
+  ASSERT_EQ(reader.answer->snapshots.size(), names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_TRUE(
+        reader.answer->snapshots[i].ContentsEqual(**expected.GetTable(
+            names[i])))
+        << names[i];
+  }
+}
+
+TEST(TimeTravelTest, CommitZeroIsTheInitialState) {
+  SystemConfig config = Table1Scenario();
+  config.warehouse.history_depth = 4;
+  auto system = WarehouseSystem::Build(std::move(config));
+  ASSERT_TRUE(system.ok());
+  TimeTravelReader reader("tt-reader", (*system)->warehouse().id(),
+                          /*at=*/100000, /*as_of=*/0);
+  (*system)->runtime().Register(&reader);
+  (*system)->Run();
+  ASSERT_NE(reader.answer, nullptr);
+  // Initially both views are empty.
+  for (const Table& t : reader.answer->snapshots) {
+    EXPECT_TRUE(t.empty());
+  }
+}
+
+TEST(TimeTravelTest, OutOfWindowReadDies) {
+  SystemConfig config = Example3Scenario();
+  config.warehouse.history_depth = 1;  // retain only the last state
+  auto system = WarehouseSystem::Build(std::move(config));
+  ASSERT_TRUE(system.ok());
+  TimeTravelReader reader("tt-reader", (*system)->warehouse().id(),
+                          /*at=*/200000, /*as_of=*/0);
+  (*system)->runtime().Register(&reader);
+  EXPECT_DEATH((*system)->Run(), "outside the retained window");
+}
+
+}  // namespace
+}  // namespace mvc

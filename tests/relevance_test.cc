@@ -1,0 +1,93 @@
+// Unit tests for irrelevant-update detection (integrator REL pruning).
+
+#include <gtest/gtest.h>
+
+#include "query/relevance.h"
+#include "workload/paper_examples.h"
+
+namespace mvc {
+namespace {
+
+std::map<std::string, Schema> PaperSchemas() {
+  return {{"R", Schema::AllInt64({"A", "B"})},
+          {"S", Schema::AllInt64({"B", "C"})},
+          {"T", Schema::AllInt64({"C", "D"})},
+          {"Q", Schema::AllInt64({"D", "E"})}};
+}
+
+BoundView BindDef(const ViewDefinition& def) {
+  auto bound = BoundView::Bind(def, PaperSchemas());
+  MVC_CHECK(bound.ok()) << bound.status().ToString();
+  return std::move(bound).value();
+}
+
+TEST(RelevanceTest, ForeignRelationIsIrrelevant) {
+  BoundView v1 = BindDef(PaperV1());
+  EXPECT_FALSE(TupleMayAffectView(v1, "Q", Tuple{1, 1}));
+  EXPECT_FALSE(
+      UpdateIsRelevant(v1, Update::Insert("s", "Q", Tuple{1, 1})));
+}
+
+TEST(RelevanceTest, MemberRelationWithoutSelectionIsRelevant) {
+  BoundView v1 = BindDef(PaperV1());
+  EXPECT_TRUE(TupleMayAffectView(v1, "S", Tuple{2, 3}));
+  EXPECT_TRUE(TupleMayAffectView(v1, "R", Tuple{0, 0}));
+}
+
+ViewDefinition SelectiveView() {
+  ViewDefinition def;
+  def.name = "Sel";
+  def.relations = {"R", "S"};
+  def.predicate = Predicate::And(
+      {Predicate::ColEqCol(ColumnRef{"R", "B"}, ColumnRef{"S", "B"}),
+       Predicate::ColCmpConst(CompareOp::kLt, ColumnRef{"S", "C"},
+                              Value(10))});
+  return def;
+}
+
+TEST(RelevanceTest, SingleRelationConjunctPrunes) {
+  BoundView sel = BindDef(SelectiveView());
+  EXPECT_TRUE(TupleMayAffectView(sel, "S", Tuple{1, 5}));
+  EXPECT_FALSE(TupleMayAffectView(sel, "S", Tuple{1, 15}));
+  // The join conjunct (two relations) must NOT prune.
+  EXPECT_TRUE(TupleMayAffectView(sel, "R", Tuple{1, 99}));
+}
+
+TEST(RelevanceTest, ModifyRelevantIfEitherSideQualifies) {
+  BoundView sel = BindDef(SelectiveView());
+  // Old fails, new passes: relevant.
+  EXPECT_TRUE(UpdateIsRelevant(
+      sel, Update::Modify("s", "S", Tuple{1, 15}, Tuple{1, 5})));
+  // Old passes, new fails: relevant.
+  EXPECT_TRUE(UpdateIsRelevant(
+      sel, Update::Modify("s", "S", Tuple{1, 5}, Tuple{1, 15})));
+  // Both fail: irrelevant.
+  EXPECT_FALSE(UpdateIsRelevant(
+      sel, Update::Modify("s", "S", Tuple{1, 15}, Tuple{1, 25})));
+}
+
+TEST(RelevanceTest, DeleteUsesTupleValue) {
+  BoundView sel = BindDef(SelectiveView());
+  EXPECT_TRUE(UpdateIsRelevant(sel, Update::Delete("s", "S", Tuple{1, 5})));
+  EXPECT_FALSE(
+      UpdateIsRelevant(sel, Update::Delete("s", "S", Tuple{1, 15})));
+}
+
+TEST(RelevanceTest, DisjunctionIsNotPrunedPartially) {
+  // OR conjuncts referencing one relation still prune only when the
+  // whole disjunction is false.
+  ViewDefinition def;
+  def.name = "OrSel";
+  def.relations = {"S"};
+  def.predicate = Predicate::Or(
+      {Predicate::ColCmpConst(CompareOp::kLt, ColumnRef{"S", "C"}, Value(5)),
+       Predicate::ColCmpConst(CompareOp::kGt, ColumnRef{"S", "C"},
+                              Value(100))});
+  BoundView v = BindDef(def);
+  EXPECT_TRUE(TupleMayAffectView(v, "S", Tuple{1, 3}));
+  EXPECT_TRUE(TupleMayAffectView(v, "S", Tuple{1, 200}));
+  EXPECT_FALSE(TupleMayAffectView(v, "S", Tuple{1, 50}));
+}
+
+}  // namespace
+}  // namespace mvc

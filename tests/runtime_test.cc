@@ -1,0 +1,263 @@
+// Tests for the simulation and thread runtimes: delivery, FIFO
+// channels, latency, timers, determinism, quiescence.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+
+#include "net/protocol.h"
+#include "net/sim_runtime.h"
+#include "net/thread_runtime.h"
+
+namespace mvc {
+namespace {
+
+/// Records every delivered tick tag with its delivery time.
+class Recorder : public Process {
+ public:
+  explicit Recorder(std::string name) : Process(std::move(name)) {}
+
+  void OnMessage(ProcessId from, MessagePtr msg) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    ASSERT_EQ(msg->kind, Message::Kind::kTick);
+    log_.emplace_back(from, static_cast<TickMsg*>(msg.get())->tag);
+    times_.push_back(Now());
+  }
+
+  std::vector<std::pair<ProcessId, int64_t>> log() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return log_;
+  }
+  std::vector<TimeMicros> times() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return times_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<ProcessId, int64_t>> log_;
+  std::vector<TimeMicros> times_;
+};
+
+/// Sends `count` ticks to a target at OnStart, each after `gap` of local
+/// processing time.
+class Sender : public Process {
+ public:
+  Sender(std::string name, ProcessId target, int count, TimeMicros gap)
+      : Process(std::move(name)), target_(target), count_(count), gap_(gap) {}
+
+  void OnStart() override {
+    for (int i = 0; i < count_; ++i) {
+      auto tick = std::make_unique<TickMsg>();
+      tick->tag = i;
+      SendAfter(target_, std::move(tick), gap_ * i);
+    }
+  }
+  void OnMessage(ProcessId, MessagePtr) override {}
+
+ private:
+  ProcessId target_;
+  int count_;
+  TimeMicros gap_;
+};
+
+TEST(SimRuntimeTest, DeliversInTimeOrder) {
+  SimRuntime runtime(1);
+  Recorder recorder("recorder");
+  ProcessId rid = runtime.Register(&recorder);
+  Sender sender("sender", rid, 5, 100);
+  runtime.Register(&sender);
+  runtime.Run();
+  auto log = recorder.log();
+  ASSERT_EQ(log.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(log[static_cast<size_t>(i)].second, i);
+  EXPECT_EQ(runtime.events_delivered(), 5);
+}
+
+TEST(SimRuntimeTest, VirtualClockAdvances) {
+  SimRuntime runtime(1);
+  Recorder recorder("recorder");
+  ProcessId rid = runtime.Register(&recorder);
+  Sender sender("sender", rid, 3, 1000);
+  runtime.Register(&sender);
+  runtime.Run();
+  auto times = recorder.times();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_EQ(times[0], 1);      // FIFO bump past t=0
+  EXPECT_GE(times[1], 1000);
+  EXPECT_GE(times[2], 2000);
+}
+
+TEST(SimRuntimeTest, FifoPerChannelDespiteJitter) {
+  // Huge jitter: without FIFO enforcement messages would reorder.
+  SimRuntime runtime(7, LatencyModel::Uniform(10, 100000));
+  Recorder recorder("recorder");
+  ProcessId rid = runtime.Register(&recorder);
+  Sender sender("sender", rid, 50, 0);
+  runtime.Register(&sender);
+  runtime.Run();
+  auto log = recorder.log();
+  ASSERT_EQ(log.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(log[static_cast<size_t>(i)].second, i) << "reordered at " << i;
+  }
+}
+
+TEST(SimRuntimeTest, IndependentChannelsInterleaveByLatency) {
+  SimRuntime runtime(1);
+  Recorder recorder("recorder");
+  ProcessId rid = runtime.Register(&recorder);
+  runtime.SetChannelLatency(1, rid, LatencyModel::Fixed(10000));
+  runtime.SetChannelLatency(2, rid, LatencyModel::Fixed(10));
+  Sender slow("slow", rid, 1, 0);
+  Sender fast("fast", rid, 1, 0);
+  ProcessId slow_id = runtime.Register(&slow);
+  ProcessId fast_id = runtime.Register(&fast);
+  ASSERT_EQ(slow_id, 1);
+  ASSERT_EQ(fast_id, 2);
+  runtime.Run();
+  auto log = recorder.log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].first, fast_id) << "fast channel must deliver first";
+  EXPECT_EQ(log[1].first, slow_id);
+}
+
+TEST(SimRuntimeTest, DeterministicAcrossRunsWithSameSeed) {
+  auto run = [](uint64_t seed) {
+    SimRuntime runtime(seed, LatencyModel::Uniform(100, 5000));
+    Recorder recorder("recorder");
+    ProcessId rid = runtime.Register(&recorder);
+    Sender a("a", rid, 10, 50);
+    Sender b("b", rid, 10, 70);
+    runtime.Register(&a);
+    runtime.Register(&b);
+    runtime.Run();
+    return recorder.log();
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));  // different seeds draw different latencies
+}
+
+TEST(SimRuntimeTest, RunUntilStopsAtDeadline) {
+  SimRuntime runtime(1);
+  Recorder recorder("recorder");
+  ProcessId rid = runtime.Register(&recorder);
+  Sender sender("sender", rid, 3, 1000);
+  runtime.Register(&sender);
+  runtime.RunUntil(1500);
+  EXPECT_EQ(recorder.log().size(), 2u);  // t=1 and t~1000
+  runtime.Run();
+  EXPECT_EQ(recorder.log().size(), 3u);
+}
+
+TEST(SimRuntimeTest, SelfMessagesActAsTimers) {
+  class TimerProc : public Process {
+   public:
+    using Process::Process;
+    void OnStart() override {
+      ScheduleSelf(std::make_unique<TickMsg>(), 5000);
+    }
+    void OnMessage(ProcessId, MessagePtr) override { fired_at = Now(); }
+    TimeMicros fired_at = -1;
+  };
+  SimRuntime runtime(1);
+  TimerProc proc("timer");
+  runtime.Register(&proc);
+  runtime.Run();
+  EXPECT_GE(proc.fired_at, 5000);
+}
+
+TEST(SimRuntimeTest, CountsMessagesByKind) {
+  SimRuntime runtime(1);
+  Recorder recorder("recorder");
+  ProcessId rid = runtime.Register(&recorder);
+  Sender sender("sender", rid, 4, 0);
+  runtime.Register(&sender);
+  runtime.Run();
+  EXPECT_EQ(runtime.stats().total_messages, 4);
+  EXPECT_EQ(runtime.stats().by_kind.at("Tick"), 4);
+}
+
+TEST(ThreadRuntimeTest, DeliversEverythingAndQuiesces) {
+  ThreadRuntime runtime(1);
+  Recorder recorder("recorder");
+  ProcessId rid = runtime.Register(&recorder);
+  Sender a("a", rid, 20, 0);
+  Sender b("b", rid, 20, 0);
+  runtime.Register(&a);
+  runtime.Register(&b);
+  runtime.Run();
+  EXPECT_EQ(recorder.log().size(), 40u);
+}
+
+TEST(ThreadRuntimeTest, FifoPerChannel) {
+  ThreadRuntime runtime(3, LatencyModel::Uniform(0, 2000));
+  Recorder recorder("recorder");
+  ProcessId rid = runtime.Register(&recorder);
+  Sender sender("sender", rid, 30, 0);
+  runtime.Register(&sender);
+  runtime.Run();
+  auto log = recorder.log();
+  ASSERT_EQ(log.size(), 30u);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(log[static_cast<size_t>(i)].second, i);
+  }
+}
+
+TEST(ThreadRuntimeTest, ChainedForwardingQuiesces) {
+  // a -> b -> c chains: quiescence must wait for the whole cascade.
+  class Forwarder : public Process {
+   public:
+    Forwarder(std::string name, ProcessId next)
+        : Process(std::move(name)), next_(next) {}
+    void OnMessage(ProcessId, MessagePtr msg) override {
+      ++received;
+      if (next_ != kInvalidProcess) Send(next_, std::move(msg));
+    }
+    ProcessId next_;
+    std::atomic<int> received{0};
+  };
+  ThreadRuntime runtime(1);
+  Forwarder c("c", kInvalidProcess);
+  ProcessId cid = runtime.Register(&c);
+  Forwarder b("b", cid);
+  ProcessId bid = runtime.Register(&b);
+  Forwarder a("a", bid);
+  ProcessId aid = runtime.Register(&a);
+  Sender sender("sender", aid, 10, 0);
+  runtime.Register(&sender);
+  runtime.Run();
+  EXPECT_EQ(a.received.load(), 10);
+  EXPECT_EQ(b.received.load(), 10);
+  EXPECT_EQ(c.received.load(), 10);
+}
+
+}  // namespace
+}  // namespace mvc
+
+namespace mvc {
+namespace {
+
+TEST(SimRuntimeTest, TraceSinkSeesEveryDelivery) {
+  SimRuntime runtime(1);
+  std::vector<std::string> lines;
+  runtime.SetTraceSink([&](const std::string& line) {
+    lines.push_back(line);
+  });
+  Recorder recorder("recorder");
+  ProcessId rid = runtime.Register(&recorder);
+  Sender sender("the-sender", rid, 3, 100);
+  runtime.Register(&sender);
+  runtime.Run();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("the-sender -> recorder Tick"),
+            std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[0].find("t="), std::string::npos);
+  // Disabling stops the stream.
+  runtime.SetTraceSink(nullptr);
+}
+
+}  // namespace
+}  // namespace mvc

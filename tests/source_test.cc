@@ -1,0 +1,233 @@
+// Tests for the autonomous source process: serial transactions,
+// atomicity, the versioned log, and query answering.
+
+#include <gtest/gtest.h>
+
+#include "net/sim_runtime.h"
+#include "source/source_process.h"
+
+namespace mvc {
+namespace {
+
+class SourceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(source_.CreateTable("R", Schema::AllInt64({"A", "B"})).ok());
+    ASSERT_TRUE(source_.LoadInitial("R", Tuple{1, 2}).ok());
+  }
+
+  SourceProcess source_{"src0"};
+};
+
+TEST_F(SourceTest, LoadInitialDoesNotAdvanceState) {
+  EXPECT_EQ(source_.state(), 0);
+  EXPECT_EQ((*source_.catalog().GetTable("R"))->CountOf(Tuple{1, 2}), 1);
+}
+
+TEST_F(SourceTest, LoadInitialAfterTransactionsFails) {
+  ASSERT_TRUE(
+      source_.ExecuteTransaction({Update::Insert("src0", "R", Tuple{3, 4})})
+          .ok());
+  EXPECT_TRUE(source_.LoadInitial("R", Tuple{9, 9}).IsFailedPrecondition());
+}
+
+TEST_F(SourceTest, TransactionsAdvanceStateAndLog) {
+  ASSERT_TRUE(
+      source_.ExecuteTransaction({Update::Insert("src0", "R", Tuple{3, 4})})
+          .ok());
+  ASSERT_TRUE(
+      source_.ExecuteTransaction({Update::Delete("src0", "R", Tuple{1, 2})})
+          .ok());
+  EXPECT_EQ(source_.state(), 2);
+  ASSERT_EQ(source_.log().size(), 2u);
+  EXPECT_EQ(source_.log()[0].local_seq, 1);
+  EXPECT_EQ(source_.log()[1].local_seq, 2);
+}
+
+TEST_F(SourceTest, ModifyUpdate) {
+  ASSERT_TRUE(source_
+                  .ExecuteTransaction(
+                      {Update::Modify("src0", "R", Tuple{1, 2}, Tuple{1, 5})})
+                  .ok());
+  const Table* table = *source_.catalog().GetTable("R");
+  EXPECT_EQ(table->CountOf(Tuple{1, 2}), 0);
+  EXPECT_EQ(table->CountOf(Tuple{1, 5}), 1);
+}
+
+TEST_F(SourceTest, FailedTransactionRollsBackAtomically) {
+  Status st = source_.ExecuteTransaction(
+      {Update::Insert("src0", "R", Tuple{3, 4}),
+       Update::Delete("src0", "R", Tuple{9, 9})});  // fails
+  EXPECT_FALSE(st.ok());
+  // The earlier insert must have been undone.
+  EXPECT_EQ((*source_.catalog().GetTable("R"))->CountOf(Tuple{3, 4}), 0);
+  EXPECT_EQ(source_.state(), 0);
+}
+
+TEST_F(SourceTest, RejectsForeignSourceUpdate) {
+  EXPECT_FALSE(
+      source_.ExecuteTransaction({Update::Insert("other", "R", Tuple{3, 4})})
+          .ok());
+}
+
+TEST_F(SourceTest, RejectsEmptyTransaction) {
+  EXPECT_TRUE(source_.ExecuteTransaction({}).IsInvalidArgument());
+}
+
+TEST_F(SourceTest, TableAtStateReconstructsHistory) {
+  ASSERT_TRUE(
+      source_.ExecuteTransaction({Update::Insert("src0", "R", Tuple{3, 4})})
+          .ok());
+  ASSERT_TRUE(source_
+                  .ExecuteTransaction(
+                      {Update::Modify("src0", "R", Tuple{3, 4}, Tuple{3, 9})})
+                  .ok());
+  ASSERT_TRUE(
+      source_.ExecuteTransaction({Update::Delete("src0", "R", Tuple{1, 2})})
+          .ok());
+
+  auto s0 = source_.TableAtState("R", 0);
+  ASSERT_TRUE(s0.ok());
+  EXPECT_EQ(s0->NumRows(), 1);
+  EXPECT_EQ(s0->CountOf(Tuple{1, 2}), 1);
+
+  auto s1 = source_.TableAtState("R", 1);
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(s1->CountOf(Tuple{3, 4}), 1);
+
+  auto s2 = source_.TableAtState("R", 2);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s2->CountOf(Tuple{3, 9}), 1);
+  EXPECT_EQ(s2->CountOf(Tuple{1, 2}), 1);
+
+  auto s3 = source_.TableAtState("R", 3);
+  ASSERT_TRUE(s3.ok());
+  EXPECT_EQ(s3->CountOf(Tuple{1, 2}), 0);
+  EXPECT_EQ(s3->NumRows(), 1);
+}
+
+TEST_F(SourceTest, TableAtStateOutOfRange) {
+  EXPECT_TRUE(source_.TableAtState("R", 5).status().IsOutOfRange());
+  EXPECT_TRUE(source_.TableAtState("R", -1).status().IsOutOfRange());
+}
+
+// Message-level behaviour: reports to the integrator, query answering.
+class SourceActorTest : public ::testing::Test {
+ protected:
+  class Sink : public Process {
+   public:
+    using Process::Process;
+    void OnMessage(ProcessId, MessagePtr msg) override {
+      messages.push_back(std::move(msg));
+    }
+    std::vector<MessagePtr> messages;
+  };
+
+  void SetUp() override {
+    ASSERT_TRUE(source_.CreateTable("R", Schema::AllInt64({"A"})).ok());
+    source_pid_ = runtime_.Register(&source_);
+    sink_pid_ = runtime_.Register(&sink_);
+    source_.SetIntegrator(sink_pid_);
+  }
+
+  SimRuntime runtime_{1};
+  SourceProcess source_{"src0"};
+  Sink sink_{"sink"};
+  ProcessId source_pid_ = kInvalidProcess;
+  ProcessId sink_pid_ = kInvalidProcess;
+};
+
+TEST_F(SourceActorTest, InjectedTransactionIsReportedInOrder) {
+  class Driver : public Process {
+   public:
+    Driver(std::string name, ProcessId source) : Process(std::move(name)),
+                                                 source_(source) {}
+    void OnStart() override {
+      for (int i = 0; i < 3; ++i) {
+        auto msg = std::make_unique<InjectTxnMsg>();
+        msg->updates = {Update::Insert("src0", "R", Tuple{i})};
+        Send(source_, std::move(msg));
+      }
+    }
+    void OnMessage(ProcessId, MessagePtr) override {}
+    ProcessId source_;
+  };
+  Driver driver("driver", source_pid_);
+  runtime_.Register(&driver);
+  runtime_.Run();
+
+  ASSERT_EQ(sink_.messages.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    auto* report = static_cast<SourceTxnMsg*>(
+        sink_.messages[static_cast<size_t>(i)].get());
+    ASSERT_EQ(report->kind, Message::Kind::kSourceTxn);
+    EXPECT_EQ(report->txn.local_seq, i + 1);
+    EXPECT_EQ(report->txn.updates[0].tuple, (Tuple{i}));
+  }
+}
+
+TEST_F(SourceActorTest, AnswersCurrentStateQueries) {
+  ASSERT_TRUE(
+      source_.ExecuteTransaction({Update::Insert("src0", "R", Tuple{7})})
+          .ok());
+  class Asker : public Process {
+   public:
+    Asker(std::string name, ProcessId source) : Process(std::move(name)),
+                                                source_(source) {}
+    void OnStart() override {
+      auto req = std::make_unique<QueryRequestMsg>();
+      req->request_id = 42;
+      req->relation = "R";
+      Send(source_, std::move(req));
+    }
+    void OnMessage(ProcessId, MessagePtr msg) override {
+      answer = std::move(msg);
+    }
+    ProcessId source_;
+    MessagePtr answer;
+  };
+  Asker asker("asker", source_pid_);
+  runtime_.Register(&asker);
+  runtime_.Run();
+
+  ASSERT_NE(asker.answer, nullptr);
+  auto* resp = static_cast<QueryResponseMsg*>(asker.answer.get());
+  EXPECT_EQ(resp->request_id, 42);
+  EXPECT_EQ(resp->state, 1);
+  EXPECT_EQ(resp->snapshot.CountOf(Tuple{7}), 1);
+}
+
+TEST_F(SourceActorTest, AnswersHistoricalQueries) {
+  ASSERT_TRUE(
+      source_.ExecuteTransaction({Update::Insert("src0", "R", Tuple{7})})
+          .ok());
+  ASSERT_TRUE(
+      source_.ExecuteTransaction({Update::Delete("src0", "R", Tuple{7})})
+          .ok());
+  class Asker : public Process {
+   public:
+    Asker(std::string name, ProcessId source) : Process(std::move(name)),
+                                                source_(source) {}
+    void OnStart() override {
+      auto req = std::make_unique<QueryRequestMsg>();
+      req->relation = "R";
+      req->as_of_state = 1;
+      Send(source_, std::move(req));
+    }
+    void OnMessage(ProcessId, MessagePtr msg) override {
+      answer = std::move(msg);
+    }
+    ProcessId source_;
+    MessagePtr answer;
+  };
+  Asker asker("asker", source_pid_);
+  runtime_.Register(&asker);
+  runtime_.Run();
+
+  auto* resp = static_cast<QueryResponseMsg*>(asker.answer.get());
+  EXPECT_EQ(resp->state, 1);
+  EXPECT_EQ(resp->snapshot.CountOf(Tuple{7}), 1);
+}
+
+}  // namespace
+}  // namespace mvc

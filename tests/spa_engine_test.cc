@@ -1,0 +1,305 @@
+// Tests for the Simple Painting Algorithm, including the paper's
+// Example 3 trace, message-reordering cases, and a promptness property.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "merge/merge_engine.h"
+
+namespace mvc {
+namespace {
+
+ActionList MakeAl(const std::string& view, UpdateId update) {
+  ActionList al;
+  al.view = view;
+  al.update = update;
+  al.first_update = update;
+  al.covered = {update};
+  al.delta.target = view;
+  // A marker row so transactions are non-trivially distinguishable.
+  al.delta.Add(Tuple{update}, 1);
+  return al;
+}
+
+/// Collects rows of emitted transactions as a flat readable trace.
+std::vector<std::vector<UpdateId>> RowsOf(
+    const std::vector<WarehouseTransaction>& txns) {
+  std::vector<std::vector<UpdateId>> out;
+  for (const auto& txn : txns) out.push_back(txn.rows);
+  return out;
+}
+
+class SpaEngineTest : public ::testing::Test {
+ protected:
+  SpaEngine engine_{{"V1", "V2", "V3"}};
+  std::vector<WarehouseTransaction> out_;
+};
+
+TEST_F(SpaEngineTest, SingleRowSingleView) {
+  engine_.ReceiveRelSet(1, {"V2"}, &out_);
+  EXPECT_TRUE(out_.empty());
+  engine_.ReceiveActionList(MakeAl("V2", 1), &out_);
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{1}));
+  EXPECT_EQ(out_[0].views, (std::vector<std::string>{"V2"}));
+  EXPECT_EQ(engine_.open_rows(), 0u);  // purged after apply
+}
+
+TEST_F(SpaEngineTest, WaitsForAllViewsOfRow) {
+  engine_.ReceiveRelSet(1, {"V1", "V2"}, &out_);
+  engine_.ReceiveActionList(MakeAl("V2", 1), &out_);
+  EXPECT_TRUE(out_.empty()) << "must hold until V1's AL arrives";
+  EXPECT_EQ(engine_.held_action_lists(), 1u);
+  engine_.ReceiveActionList(MakeAl("V1", 1), &out_);
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].views, (std::vector<std::string>{"V1", "V2"}));
+  EXPECT_EQ(out_[0].actions.size(), 2u);
+  EXPECT_EQ(engine_.held_action_lists(), 0u);
+}
+
+TEST_F(SpaEngineTest, ActionListBeforeRelSetIsBuffered) {
+  engine_.ReceiveActionList(MakeAl("V2", 1), &out_);
+  EXPECT_TRUE(out_.empty());
+  engine_.ReceiveRelSet(1, {"V2"}, &out_);
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{1}));
+}
+
+TEST_F(SpaEngineTest, EmptyRelSetPurgesImmediately) {
+  engine_.ReceiveRelSet(1, {}, &out_);
+  EXPECT_TRUE(out_.empty());
+  EXPECT_EQ(engine_.open_rows(), 0u);
+  EXPECT_EQ(engine_.vut().max_allocated(), 1);
+}
+
+TEST_F(SpaEngineTest, SameColumnAppliesInOrder) {
+  engine_.ReceiveRelSet(1, {"V2"}, &out_);
+  engine_.ReceiveRelSet(2, {"V2"}, &out_);
+  // AL for row 2 arrives first; row 1's AL has not, so row 2 must wait
+  // even though all of row 2's entries are present... it has no earlier
+  // *red*, but row 1 is still white in a different row — row 2 CAN apply
+  // only if no earlier red exists in its column. White rows in the same
+  // column do not block under SPA's Line 2, but a complete view manager
+  // sends ALs in order, so AL(V2,2) arriving implies AL(V2,1) was sent
+  // first and, on a FIFO channel, received first. Simulate the legal
+  // order:
+  engine_.ReceiveActionList(MakeAl("V2", 1), &out_);
+  engine_.ReceiveActionList(MakeAl("V2", 2), &out_);
+  ASSERT_EQ(out_.size(), 2u);
+  EXPECT_EQ(RowsOf(out_), (std::vector<std::vector<UpdateId>>{{1}, {2}}));
+}
+
+TEST_F(SpaEngineTest, HeldRowBlocksLaterRowInSameColumn) {
+  engine_.ReceiveRelSet(1, {"V1", "V2"}, &out_);
+  engine_.ReceiveRelSet(2, {"V2"}, &out_);
+  engine_.ReceiveActionList(MakeAl("V2", 1), &out_);  // row 1 held (V1 white)
+  engine_.ReceiveActionList(MakeAl("V2", 2), &out_);
+  EXPECT_TRUE(out_.empty()) << "row 2 must wait behind held row 1 (Line 2)";
+  engine_.ReceiveActionList(MakeAl("V1", 1), &out_);
+  ASSERT_EQ(out_.size(), 2u);
+  EXPECT_EQ(RowsOf(out_), (std::vector<std::vector<UpdateId>>{{1}, {2}}));
+}
+
+TEST_F(SpaEngineTest, DisjointLaterRowAppliesFirst) {
+  // The heart of Example 3: U2 only touches V3, so its actions may be
+  // applied before U1's.
+  engine_.ReceiveRelSet(1, {"V1", "V2"}, &out_);
+  engine_.ReceiveRelSet(2, {"V3"}, &out_);
+  engine_.ReceiveActionList(MakeAl("V2", 1), &out_);
+  engine_.ReceiveActionList(MakeAl("V3", 2), &out_);
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{2}));
+}
+
+TEST_F(SpaEngineTest, Example3FullTrace) {
+  // Views: V1 = R|><|S, V2 = S|><|T, V3 = Q.
+  // Updates: U1 on S -> {V1,V2}; U2 on Q -> {V3}; U3 on T -> {V2}.
+  // Arrival: REL1, AL(V2,1), REL2, REL3, AL(V3,2), AL(V2,3), AL(V1,1).
+  engine_.ReceiveRelSet(1, {"V1", "V2"}, &out_);
+  EXPECT_TRUE(out_.empty());
+  engine_.ReceiveActionList(MakeAl("V2", 1), &out_);
+  EXPECT_TRUE(out_.empty());
+  EXPECT_EQ(engine_.vut().ToString(),
+            "     V1 V2 V3\n"
+            "U1: w r b\n");
+
+  engine_.ReceiveRelSet(2, {"V3"}, &out_);
+  engine_.ReceiveRelSet(3, {"V2"}, &out_);
+  EXPECT_TRUE(out_.empty());
+
+  // t4/t5: AL(V3,2) arrives; row 2 applies immediately and is purged
+  // (paper times t5-t6).
+  engine_.ReceiveActionList(MakeAl("V3", 2), &out_);
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{2}));
+  EXPECT_EQ(engine_.vut().ToString(),
+            "     V1 V2 V3\n"
+            "U1: w r b\n"
+            "U3: b w b\n");
+  out_.clear();
+
+  // t7: AL(V2,3) arrives; row 3 blocked behind row 1's red V2 entry.
+  engine_.ReceiveActionList(MakeAl("V2", 3), &out_);
+  EXPECT_TRUE(out_.empty());
+  EXPECT_EQ(engine_.vut().ToString(),
+            "     V1 V2 V3\n"
+            "U1: w r b\n"
+            "U3: b r b\n");
+
+  // t8-t11: AL(V1,1) arrives; row 1 applies, unblocking row 3.
+  engine_.ReceiveActionList(MakeAl("V1", 1), &out_);
+  ASSERT_EQ(out_.size(), 2u);
+  EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{1}));
+  EXPECT_EQ(out_[0].actions.size(), 2u);
+  EXPECT_EQ(out_[1].rows, (std::vector<UpdateId>{3}));
+  EXPECT_EQ(engine_.open_rows(), 0u);
+  EXPECT_EQ(engine_.vut().ToString(), "     V1 V2 V3\n");
+}
+
+TEST_F(SpaEngineTest, EmptyDeltaActionListStillCounts) {
+  engine_.ReceiveRelSet(1, {"V1", "V2"}, &out_);
+  ActionList empty = MakeAl("V1", 1);
+  empty.delta.rows.clear();
+  engine_.ReceiveActionList(empty, &out_);
+  EXPECT_TRUE(out_.empty());
+  engine_.ReceiveActionList(MakeAl("V2", 1), &out_);
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].actions.size(), 2u);
+}
+
+TEST_F(SpaEngineTest, SourceStateIsMaxRow) {
+  engine_.ReceiveRelSet(1, {"V1"}, &out_);
+  engine_.ReceiveActionList(MakeAl("V1", 1), &out_);
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].source_state, 1);
+}
+
+TEST_F(SpaEngineTest, RejectsBatchedActionLists) {
+  engine_.ReceiveRelSet(1, {"V1"}, &out_);
+  engine_.ReceiveRelSet(2, {"V1"}, &out_);
+  ActionList batched = MakeAl("V1", 2);
+  batched.first_update = 1;
+  batched.covered = {1, 2};
+  EXPECT_DEATH(engine_.ReceiveActionList(batched, &out_),
+               "complete view managers");
+}
+
+// Promptness: after every event, no fully-received unblocked row may
+// remain held. Sweeps random arrival interleavings (REL order and
+// per-view AL order kept FIFO, as the channels guarantee).
+class SpaPromptnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpaPromptnessTest, NoApplicableRowRemainsHeld) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const std::vector<std::string> views{"V1", "V2", "V3"};
+  const int kUpdates = 8;
+
+  // Random REL sets.
+  std::vector<std::vector<std::string>> rels(kUpdates + 1);
+  for (int i = 1; i <= kUpdates; ++i) {
+    for (const std::string& v : views) {
+      if (rng.Bernoulli(0.5)) rels[static_cast<size_t>(i)].push_back(v);
+    }
+  }
+
+  // Event streams: one REL stream (FIFO) and one AL stream per view.
+  std::vector<std::vector<UpdateId>> al_streams(views.size());
+  for (int i = 1; i <= kUpdates; ++i) {
+    for (size_t x = 0; x < views.size(); ++x) {
+      const auto& rel = rels[static_cast<size_t>(i)];
+      if (std::find(rel.begin(), rel.end(), views[x]) != rel.end()) {
+        al_streams[x].push_back(i);
+      }
+    }
+  }
+
+  SpaEngine engine({views});
+  std::vector<WarehouseTransaction> out;
+  size_t rel_next = 1;
+  std::vector<size_t> al_next(views.size(), 0);
+
+  auto events_left = [&] {
+    if (rel_next <= static_cast<size_t>(kUpdates)) return true;
+    for (size_t x = 0; x < views.size(); ++x) {
+      if (al_next[x] < al_streams[x].size()) return true;
+    }
+    return false;
+  };
+
+  while (events_left()) {
+    // Pick a random nonempty stream.
+    std::vector<int> choices;
+    if (rel_next <= static_cast<size_t>(kUpdates)) choices.push_back(-1);
+    for (size_t x = 0; x < views.size(); ++x) {
+      // An AL can only be sent after the integrator numbered the update;
+      // model that by requiring REL to have been *sent* (not received) —
+      // here, simply allow ALs up to the REL stream position plus lag.
+      if (al_next[x] < al_streams[x].size()) {
+        choices.push_back(static_cast<int>(x));
+      }
+    }
+    int pick = choices[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(choices.size()) - 1))];
+    if (pick == -1) {
+      UpdateId i = static_cast<UpdateId>(rel_next++);
+      engine.ReceiveRelSet(i, rels[static_cast<size_t>(i)], &out);
+    } else {
+      size_t x = static_cast<size_t>(pick);
+      engine.ReceiveActionList(MakeAl(views[x], al_streams[x][al_next[x]++]),
+                               &out);
+    }
+
+    // Promptness invariant: no live row is fully red/black with no
+    // earlier red in its red columns.
+    const ViewUpdateTable& vut = engine.vut();
+    for (UpdateId row : vut.RowIds()) {
+      if (vut.RowHasWhite(row)) continue;
+      bool has_red = false;
+      bool blocked = false;
+      for (size_t x = 0; x < views.size(); ++x) {
+        if (vut.color(row, x) == CellColor::kRed) {
+          has_red = true;
+          if (vut.HasEarlierRed(row, x)) blocked = true;
+        }
+      }
+      EXPECT_TRUE(!has_red || blocked)
+          << "row " << row << " is applicable but was not applied\n"
+          << vut.ToString();
+    }
+  }
+
+  // Everything eventually applies.
+  EXPECT_EQ(engine.open_rows(), 0u);
+  EXPECT_EQ(engine.held_action_lists(), 0u);
+
+  // Each update with a non-empty REL appears exactly once, and
+  // transactions touching a common view appear in row order.
+  std::map<UpdateId, int> seen;
+  for (const auto& txn : out) {
+    for (UpdateId row : txn.rows) ++seen[row];
+  }
+  for (int i = 1; i <= kUpdates; ++i) {
+    EXPECT_EQ(seen[i], rels[static_cast<size_t>(i)].empty() ? 0 : 1)
+        << "update " << i;
+  }
+  for (size_t a = 0; a < out.size(); ++a) {
+    for (size_t b = a + 1; b < out.size(); ++b) {
+      bool overlap = false;
+      for (const std::string& v : out[a].views) {
+        if (std::find(out[b].views.begin(), out[b].views.end(), v) !=
+            out[b].views.end()) {
+          overlap = true;
+        }
+      }
+      if (overlap) {
+        EXPECT_LT(out[a].rows.back(), out[b].rows.front())
+            << "dependent transactions out of order";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpaPromptnessTest, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace mvc

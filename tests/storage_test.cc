@@ -1,0 +1,254 @@
+// Unit tests for the storage substrate: values, schemas, bag tables,
+// catalogs, deltas, update records.
+
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/delta.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/update.h"
+#include "storage/value.h"
+
+namespace mvc {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(7).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(7).AsInt64(), 7);
+  EXPECT_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, TotalOrderWithinAndAcrossTypes) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value(1.0), Value(2.0));
+  EXPECT_LT(Value("a"), Value("b"));
+  // Cross-type order: NULL < INT64 < DOUBLE < STRING (variant index).
+  EXPECT_LT(Value(), Value(0));
+  EXPECT_LT(Value(99), Value(0.5));
+  EXPECT_LT(Value(0.5), Value(""));
+}
+
+TEST(ValueTest, EqualityAndHash) {
+  EXPECT_EQ(Value(3), Value(3));
+  EXPECT_NE(Value(3), Value(4));
+  EXPECT_NE(Value(3), Value(3.0));  // different types are not equal
+  EXPECT_EQ(Value(3).Hash(), Value(3).Hash());
+  EXPECT_NE(Value(3).Hash(), Value(4).Hash());
+}
+
+TEST(ValueTest, NumericView) {
+  EXPECT_TRUE(Value(3).IsNumeric());
+  EXPECT_TRUE(Value(3.5).IsNumeric());
+  EXPECT_FALSE(Value("x").IsNumeric());
+  EXPECT_DOUBLE_EQ(Value(3).AsNumeric(), 3.0);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value("ab").ToString(), "'ab'");
+}
+
+TEST(SchemaTest, LookupAndValidation) {
+  Schema schema = Schema::AllInt64({"A", "B"});
+  EXPECT_EQ(schema.num_columns(), 2u);
+  EXPECT_EQ(*schema.FindColumn("B"), 1u);
+  EXPECT_FALSE(schema.FindColumn("Z").has_value());
+  EXPECT_TRUE(schema.ColumnIndex("Z").status().IsNotFound());
+  EXPECT_TRUE(schema.ValidateTuple(Tuple{1, 2}).ok());
+  EXPECT_TRUE(schema.ValidateTuple(Tuple{1}).IsInvalidArgument());
+  EXPECT_TRUE(schema.ValidateTuple(Tuple{1, "x"}).IsInvalidArgument());
+  // NULLs are allowed in any column.
+  EXPECT_TRUE(schema.ValidateTuple(Tuple{Value(), 2}).ok());
+}
+
+TEST(SchemaTest, EqualityAndToString) {
+  EXPECT_EQ(Schema::AllInt64({"A"}), Schema::AllInt64({"A"}));
+  EXPECT_NE(Schema::AllInt64({"A"}), Schema::AllInt64({"B"}));
+  EXPECT_EQ(Schema::AllInt64({"A", "B"}).ToString(), "(A INT64, B INT64)");
+}
+
+TEST(TupleTest, HashAndToString) {
+  EXPECT_EQ(TupleHash{}(Tuple{1, 2}), TupleHash{}(Tuple{1, 2}));
+  EXPECT_NE(TupleHash{}(Tuple{1, 2}), TupleHash{}(Tuple{2, 1}));
+  EXPECT_EQ(TupleToString(Tuple{1, "x"}), "[1, 'x']");
+}
+
+class TableTest : public ::testing::Test {
+ protected:
+  Table table_{"R", Schema::AllInt64({"A", "B"})};
+};
+
+TEST_F(TableTest, InsertAndCount) {
+  ASSERT_TRUE(table_.Insert(Tuple{1, 2}).ok());
+  ASSERT_TRUE(table_.Insert(Tuple{1, 2}).ok());
+  ASSERT_TRUE(table_.Insert(Tuple{3, 4}, 5).ok());
+  EXPECT_EQ(table_.CountOf(Tuple{1, 2}), 2);
+  EXPECT_EQ(table_.CountOf(Tuple{3, 4}), 5);
+  EXPECT_EQ(table_.NumDistinct(), 2u);
+  EXPECT_EQ(table_.NumRows(), 7);
+}
+
+TEST_F(TableTest, InsertValidatesSchema) {
+  EXPECT_TRUE(table_.Insert(Tuple{1}).IsInvalidArgument());
+  EXPECT_TRUE(table_.Insert(Tuple{1, "x"}).IsInvalidArgument());
+  EXPECT_TRUE(table_.Insert(Tuple{1, 2}, 0).IsInvalidArgument());
+  EXPECT_TRUE(table_.Insert(Tuple{1, 2}, -3).IsInvalidArgument());
+}
+
+TEST_F(TableTest, DeleteDecrementsAndRemoves) {
+  ASSERT_TRUE(table_.Insert(Tuple{1, 2}, 3).ok());
+  ASSERT_TRUE(table_.Delete(Tuple{1, 2}).ok());
+  EXPECT_EQ(table_.CountOf(Tuple{1, 2}), 2);
+  ASSERT_TRUE(table_.Delete(Tuple{1, 2}, 2).ok());
+  EXPECT_FALSE(table_.Contains(Tuple{1, 2}));
+  EXPECT_TRUE(table_.empty());
+}
+
+TEST_F(TableTest, DeleteBeyondCountFails) {
+  ASSERT_TRUE(table_.Insert(Tuple{1, 2}).ok());
+  EXPECT_TRUE(table_.Delete(Tuple{1, 2}, 2).IsFailedPrecondition());
+  EXPECT_TRUE(table_.Delete(Tuple{9, 9}).IsFailedPrecondition());
+  // Failure must not change the table.
+  EXPECT_EQ(table_.CountOf(Tuple{1, 2}), 1);
+}
+
+TEST_F(TableTest, ModifyMovesExactlyOneCopy) {
+  ASSERT_TRUE(table_.Insert(Tuple{1, 2}, 2).ok());
+  ASSERT_TRUE(table_.Modify(Tuple{1, 2}, Tuple{1, 3}).ok());
+  EXPECT_EQ(table_.CountOf(Tuple{1, 2}), 1);
+  EXPECT_EQ(table_.CountOf(Tuple{1, 3}), 1);
+  EXPECT_TRUE(table_.Modify(Tuple{9, 9}, Tuple{1, 1}).IsNotFound());
+  // Modifying the last copy removes the old image entirely.
+  ASSERT_TRUE(table_.Modify(Tuple{1, 2}, Tuple{1, 4}).ok());
+  EXPECT_EQ(table_.CountOf(Tuple{1, 2}), 0);
+}
+
+TEST_F(TableTest, SortedRowsDeterministic) {
+  ASSERT_TRUE(table_.Insert(Tuple{3, 4}).ok());
+  ASSERT_TRUE(table_.Insert(Tuple{1, 2}, 2).ok());
+  auto rows = table_.SortedRows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].tuple, (Tuple{1, 2}));
+  EXPECT_EQ(rows[0].count, 2);
+  EXPECT_EQ(rows[1].tuple, (Tuple{3, 4}));
+}
+
+TEST_F(TableTest, ContentsEqualIsBagEquality) {
+  Table other("X", Schema::AllInt64({"A", "B"}));
+  ASSERT_TRUE(table_.Insert(Tuple{1, 2}, 2).ok());
+  ASSERT_TRUE(other.Insert(Tuple{1, 2}).ok());
+  EXPECT_FALSE(table_.ContentsEqual(other));
+  ASSERT_TRUE(other.Insert(Tuple{1, 2}).ok());
+  EXPECT_TRUE(table_.ContentsEqual(other));  // name differences ignored
+}
+
+TEST_F(TableTest, CloneIsDeep) {
+  ASSERT_TRUE(table_.Insert(Tuple{1, 2}).ok());
+  Table copy = table_.Clone();
+  ASSERT_TRUE(copy.Delete(Tuple{1, 2}).ok());
+  EXPECT_EQ(table_.CountOf(Tuple{1, 2}), 1);
+  EXPECT_EQ(copy.CountOf(Tuple{1, 2}), 0);
+}
+
+TEST_F(TableTest, ClearEmptiesTable) {
+  ASSERT_TRUE(table_.Insert(Tuple{1, 2}, 4).ok());
+  table_.Clear();
+  EXPECT_TRUE(table_.empty());
+  EXPECT_EQ(table_.NumRows(), 0);
+}
+
+TEST(CatalogTest, CreateGetDrop) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("R", Schema::AllInt64({"A"})).ok());
+  EXPECT_TRUE(catalog.CreateTable("R", Schema::AllInt64({"A"}))
+                  .IsAlreadyExists());
+  ASSERT_TRUE(catalog.GetTable("R").ok());
+  EXPECT_TRUE(catalog.GetTable("S").status().IsNotFound());
+  EXPECT_TRUE(catalog.HasTable("R"));
+  EXPECT_EQ(catalog.TableNames(), (std::vector<std::string>{"R"}));
+  ASSERT_TRUE(catalog.DropTable("R").ok());
+  EXPECT_TRUE(catalog.DropTable("R").IsNotFound());
+}
+
+TEST(CatalogTest, CloneIsDeep) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("R", Schema::AllInt64({"A"})).ok());
+  ASSERT_TRUE((*catalog.GetTable("R"))->Insert(Tuple{1}).ok());
+  Catalog copy = catalog.Clone();
+  ASSERT_TRUE((*copy.GetTable("R"))->Insert(Tuple{2}).ok());
+  EXPECT_EQ((*catalog.GetTable("R"))->NumRows(), 1);
+  EXPECT_EQ((*copy.GetTable("R"))->NumRows(), 2);
+}
+
+TEST(DeltaTest, NormalizeMergesAndDropsZeros) {
+  TableDelta delta;
+  delta.target = "V";
+  delta.Add(Tuple{1}, 2);
+  delta.Add(Tuple{1}, -1);
+  delta.Add(Tuple{2}, 1);
+  delta.Add(Tuple{2}, -1);
+  delta.Normalize();
+  ASSERT_EQ(delta.rows.size(), 1u);
+  EXPECT_EQ(delta.rows[0].tuple, (Tuple{1}));
+  EXPECT_EQ(delta.rows[0].count, 1);
+}
+
+TEST(DeltaTest, AddIgnoresZero) {
+  TableDelta delta;
+  delta.Add(Tuple{1}, 0);
+  EXPECT_TRUE(delta.empty());
+}
+
+TEST(DeltaTest, ApplyToInsertsAndDeletes) {
+  Table table("V", Schema::AllInt64({"A"}));
+  ASSERT_TRUE(table.Insert(Tuple{1}, 2).ok());
+  TableDelta delta;
+  delta.Add(Tuple{1}, -1);
+  delta.Add(Tuple{2}, 3);
+  ASSERT_TRUE(delta.ApplyTo(&table).ok());
+  EXPECT_EQ(table.CountOf(Tuple{1}), 1);
+  EXPECT_EQ(table.CountOf(Tuple{2}), 3);
+}
+
+TEST(DeltaTest, ApplyToFailsAtomically) {
+  Table table("V", Schema::AllInt64({"A"}));
+  ASSERT_TRUE(table.Insert(Tuple{1}).ok());
+  TableDelta delta;
+  delta.Add(Tuple{2}, 1);
+  delta.Add(Tuple{1}, -2);  // over-delete
+  EXPECT_TRUE(delta.ApplyTo(&table).IsFailedPrecondition());
+  // Nothing applied.
+  EXPECT_EQ(table.CountOf(Tuple{1}), 1);
+  EXPECT_EQ(table.CountOf(Tuple{2}), 0);
+}
+
+TEST(DeltaTest, ApplyToNetsOutSelfCancellingRows) {
+  Table table("V", Schema::AllInt64({"A"}));
+  TableDelta delta;
+  delta.Add(Tuple{5}, -1);
+  delta.Add(Tuple{5}, 1);  // nets to zero: legal even though absent
+  ASSERT_TRUE(delta.ApplyTo(&table).ok());
+  EXPECT_TRUE(table.empty());
+}
+
+TEST(UpdateTest, FactoriesAndToString) {
+  Update ins = Update::Insert("s", "R", Tuple{1});
+  EXPECT_EQ(ins.op, UpdateOp::kInsert);
+  Update del = Update::Delete("s", "R", Tuple{1});
+  EXPECT_EQ(del.op, UpdateOp::kDelete);
+  Update mod = Update::Modify("s", "R", Tuple{1}, Tuple{2});
+  EXPECT_EQ(mod.op, UpdateOp::kModify);
+  EXPECT_NE(ins, del);
+  EXPECT_NE(mod.ToString().find("MODIFY"), std::string::npos);
+  SourceTransaction txn;
+  txn.local_seq = 3;
+  txn.updates = {ins};
+  EXPECT_NE(txn.ToString().find("seq=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mvc

@@ -1,0 +1,184 @@
+// Stress and failure-injection tests: large workloads, extreme latency
+// regimes, slow components, and real-thread sweeps.
+
+#include <gtest/gtest.h>
+
+#include "system/warehouse_system.h"
+#include "workload/generator.h"
+#include "workload/paper_examples.h"
+
+namespace mvc {
+namespace {
+
+SystemConfig BigScenario(uint64_t seed) {
+  WorkloadSpec spec;
+  spec.seed = seed;
+  spec.num_sources = 3;
+  spec.relations_per_source = 3;
+  spec.num_views = 10;
+  spec.max_view_width = 3;
+  spec.num_transactions = 400;
+  spec.updates_per_transaction = 2;
+  spec.delete_fraction = 0.3;
+  spec.modify_fraction = 0.2;
+  spec.mean_interarrival = 500;
+  auto config = GenerateScenario(spec);
+  MVC_CHECK(config.ok());
+  return std::move(*config);
+}
+
+TEST(StressTest, LargeWorkloadCompleteUnderSpa) {
+  SystemConfig config = BigScenario(101);
+  config.latency = LatencyModel::Uniform(200, 1500);
+  config.vm_options.delta_cost = 200;
+  auto system = WarehouseSystem::Build(std::move(config));
+  ASSERT_TRUE(system.ok());
+  (*system)->Run();
+  EXPECT_EQ((*system)->recorder().updates().size(), 400u);
+  ConsistencyChecker checker = (*system)->MakeChecker();
+  EXPECT_TRUE(checker.CheckComplete((*system)->recorder()).ok())
+      << checker.CheckComplete((*system)->recorder());
+}
+
+TEST(StressTest, LargeWorkloadStrongUnderPaWithHeavyBatching) {
+  SystemConfig config = BigScenario(103);
+  for (const auto& def : config.views) {
+    config.manager_kinds[def.name] = ManagerKind::kStrong;
+  }
+  config.latency = LatencyModel::Uniform(200, 1500);
+  config.vm_options.delta_cost = 1500;  // forces deep batching
+  auto system = WarehouseSystem::Build(std::move(config));
+  ASSERT_TRUE(system.ok());
+  (*system)->Run();
+  ConsistencyChecker checker = (*system)->MakeChecker();
+  EXPECT_TRUE(checker.CheckStrong((*system)->recorder()).ok())
+      << checker.CheckStrong((*system)->recorder());
+}
+
+TEST(StressTest, ZeroLatencyStillConsistent) {
+  SystemConfig config = Example3Scenario();
+  config.latency = LatencyModel::Zero();
+  auto system = WarehouseSystem::Build(std::move(config));
+  ASSERT_TRUE(system.ok());
+  (*system)->Run();
+  ConsistencyChecker checker = (*system)->MakeChecker();
+  EXPECT_TRUE(checker.CheckComplete((*system)->recorder()).ok());
+}
+
+TEST(StressTest, PathologicalJitterStillConsistent) {
+  // Latencies drawn from [1us, 50ms]: massive reordering across
+  // channels, FIFO within each.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    SystemConfig config = BigScenario(seed + 200);
+    config.workload.resize(120);
+    config.latency = LatencyModel::Uniform(1, 50000);
+    config.seed = seed;
+    auto system = WarehouseSystem::Build(std::move(config));
+    ASSERT_TRUE(system.ok());
+    (*system)->Run();
+    ConsistencyChecker checker = (*system)->MakeChecker();
+    EXPECT_TRUE(checker.CheckComplete((*system)->recorder()).ok())
+        << "seed " << seed << ": "
+        << checker.CheckComplete((*system)->recorder());
+  }
+}
+
+TEST(StressTest, SlowMergeWithBatchedSubmissionDrains) {
+  SystemConfig config = BigScenario(301);
+  config.workload.resize(150);
+  config.merge.process_delay = 500;
+  config.merge.policy = SubmissionPolicy::kBatched;
+  config.merge.batch_size = 8;
+  config.merge.batch_timeout = 5000;
+  config.latency = LatencyModel::Uniform(100, 400);
+  auto system = WarehouseSystem::Build(std::move(config));
+  ASSERT_TRUE(system.ok());
+  (*system)->Run();
+  ConsistencyChecker checker = (*system)->MakeChecker();
+  EXPECT_TRUE(checker.CheckStrong((*system)->recorder()).ok())
+      << checker.CheckStrong((*system)->recorder());
+  // Everything drained despite the bottleneck.
+  EXPECT_GT((*system)->recorder().commits().size(), 0u);
+  for (const auto& merge : (*system)->merges()) {
+    EXPECT_EQ(merge->engine().held_action_lists(), 0u);
+    EXPECT_EQ(merge->engine().open_rows(), 0u);
+  }
+}
+
+TEST(StressTest, QueryRoundsWithSlowSources) {
+  SystemConfig config = Example3Scenario();
+  config.vm_options.issue_query_round = true;
+  config.source_options.query_delay = 3000;
+  config.latency = LatencyModel::Uniform(300, 700);
+  auto system = WarehouseSystem::Build(std::move(config));
+  ASSERT_TRUE(system.ok());
+  (*system)->Run();
+  ConsistencyChecker checker = (*system)->MakeChecker();
+  EXPECT_TRUE(checker.CheckComplete((*system)->recorder()).ok());
+  // Query traffic reached the sources.
+  EXPECT_GT((*system)->runtime().stats().by_kind.at("QueryRequest"), 0);
+}
+
+TEST(StressTest, SlowWarehouseSequentialPolicy) {
+  SystemConfig config = BigScenario(401);
+  config.workload.resize(100);
+  config.merge.policy = SubmissionPolicy::kSequential;
+  config.warehouse.apply_delay = 2000;
+  config.warehouse.apply_jitter = 3000;
+  config.latency = LatencyModel::Uniform(100, 300);
+  auto system = WarehouseSystem::Build(std::move(config));
+  ASSERT_TRUE(system.ok());
+  (*system)->Run();
+  ConsistencyChecker checker = (*system)->MakeChecker();
+  EXPECT_TRUE(checker.CheckComplete((*system)->recorder()).ok())
+      << checker.CheckComplete((*system)->recorder());
+}
+
+// Real threads: wall-clock latencies, genuine parallelism, same
+// guarantees.
+class ThreadSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadSweepTest, GeneratedWorkloadOnThreadsIsConsistent) {
+  WorkloadSpec spec;
+  spec.seed = static_cast<uint64_t>(GetParam());
+  spec.num_sources = 2;
+  spec.relations_per_source = 2;
+  spec.num_views = 4;
+  spec.num_transactions = 30;
+  spec.mean_interarrival = 300;
+  auto config = GenerateScenario(spec);
+  ASSERT_TRUE(config.ok());
+  config->use_threads = true;
+  config->latency = LatencyModel::Uniform(0, 200);
+  auto system = WarehouseSystem::Build(std::move(*config));
+  ASSERT_TRUE(system.ok());
+  (*system)->Run();
+  ConsistencyChecker checker = (*system)->MakeChecker();
+  EXPECT_TRUE(checker.CheckComplete((*system)->recorder()).ok())
+      << checker.CheckComplete((*system)->recorder());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreadSweepTest, ::testing::Range(1, 5));
+
+TEST(StressTest, ThreadsWithStrongManagers) {
+  WorkloadSpec spec;
+  spec.seed = 77;
+  spec.num_transactions = 40;
+  spec.mean_interarrival = 200;
+  auto config = GenerateScenario(spec);
+  ASSERT_TRUE(config.ok());
+  config->use_threads = true;
+  for (const auto& def : config->views) {
+    config->manager_kinds[def.name] = ManagerKind::kStrong;
+  }
+  config->vm_options.delta_cost = 500;  // real microseconds of busy wait
+  auto system = WarehouseSystem::Build(std::move(*config));
+  ASSERT_TRUE(system.ok());
+  (*system)->Run();
+  ConsistencyChecker checker = (*system)->MakeChecker();
+  EXPECT_TRUE(checker.CheckStrong((*system)->recorder()).ok())
+      << checker.CheckStrong((*system)->recorder());
+}
+
+}  // namespace
+}  // namespace mvc

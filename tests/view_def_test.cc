@@ -1,0 +1,147 @@
+// Unit tests for view definitions and binding.
+
+#include <gtest/gtest.h>
+
+#include "query/view_def.h"
+#include "workload/paper_examples.h"
+
+namespace mvc {
+namespace {
+
+std::map<std::string, Schema> PaperSchemas() {
+  return {{"R", Schema::AllInt64({"A", "B"})},
+          {"S", Schema::AllInt64({"B", "C"})},
+          {"T", Schema::AllInt64({"C", "D"})},
+          {"Q", Schema::AllInt64({"D", "E"})}};
+}
+
+TEST(BoundViewTest, BindsPaperV1) {
+  auto bound = BoundView::Bind(PaperV1(), PaperSchemas());
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound->name(), "V1");
+  EXPECT_EQ(bound->num_relations(), 2u);
+  EXPECT_EQ(bound->total_width(), 4u);
+  EXPECT_EQ(bound->relation_offset(0), 0u);
+  EXPECT_EQ(bound->relation_offset(1), 2u);
+  EXPECT_EQ(bound->output_schema(), Schema::AllInt64({"A", "B", "C"}));
+  EXPECT_EQ(bound->projection_offsets(),
+            (std::vector<size_t>{0, 1, 3}));
+  EXPECT_EQ(*bound->RelationIndex("S"), 1u);
+  EXPECT_FALSE(bound->RelationIndex("T").has_value());
+}
+
+TEST(BoundViewTest, ConjunctClassification) {
+  ViewDefinition def;
+  def.name = "V";
+  def.relations = {"R", "S", "T"};
+  def.predicate = Predicate::And(
+      {Predicate::ColEqCol(ColumnRef{"R", "B"}, ColumnRef{"S", "B"}),
+       Predicate::ColEqCol(ColumnRef{"S", "C"}, ColumnRef{"T", "C"}),
+       Predicate::ColCmpConst(CompareOp::kLt, ColumnRef{"R", "A"},
+                              Value(10))});
+  auto bound = BoundView::Bind(def, PaperSchemas());
+  ASSERT_TRUE(bound.ok());
+  ASSERT_EQ(bound->conjuncts().size(), 3u);
+  // R.B = S.B touches relations {0,1}, applicable at step 1.
+  EXPECT_EQ(bound->conjuncts()[0].relations, (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(bound->conjuncts()[0].max_relation, 1u);
+  // S.C = T.C touches {1,2}.
+  EXPECT_EQ(bound->conjuncts()[1].max_relation, 2u);
+  // R.A < 10 touches only {0}.
+  EXPECT_EQ(bound->conjuncts()[2].relations, (std::vector<size_t>{0}));
+  EXPECT_EQ(bound->conjuncts()[2].max_relation, 0u);
+}
+
+TEST(BoundViewTest, EmptyProjectionTakesAllColumns) {
+  auto bound = BoundView::Bind(PaperV3(), PaperSchemas());
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound->output_schema(), Schema::AllInt64({"D", "E"}));
+}
+
+TEST(BoundViewTest, DuplicateOutputNamesGetQualified) {
+  ViewDefinition def;
+  def.name = "V";
+  def.relations = {"R", "S"};
+  def.projection = {ColumnRef{"R", "B"}, ColumnRef{"S", "B"}};
+  auto bound = BoundView::Bind(def, PaperSchemas());
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound->output_schema().column(0).name, "B");
+  EXPECT_EQ(bound->output_schema().column(1).name, "S.B");
+}
+
+TEST(BoundViewTest, UnqualifiedUniqueColumnResolves) {
+  ViewDefinition def;
+  def.name = "V";
+  def.relations = {"R", "S"};
+  def.predicate = Predicate::ColCmpConst(CompareOp::kGt, ColumnRef{"", "A"},
+                                         Value(0));
+  EXPECT_TRUE(BoundView::Bind(def, PaperSchemas()).ok());
+}
+
+TEST(BoundViewTest, AmbiguousUnqualifiedColumnFails) {
+  ViewDefinition def;
+  def.name = "V";
+  def.relations = {"R", "S"};
+  // "B" exists in both R and S.
+  def.predicate = Predicate::ColCmpConst(CompareOp::kGt, ColumnRef{"", "B"},
+                                         Value(0));
+  EXPECT_TRUE(
+      BoundView::Bind(def, PaperSchemas()).status().IsInvalidArgument());
+}
+
+TEST(BoundViewTest, UnknownRelationFails) {
+  ViewDefinition def;
+  def.name = "V";
+  def.relations = {"Z"};
+  EXPECT_TRUE(BoundView::Bind(def, PaperSchemas()).status().IsNotFound());
+}
+
+TEST(BoundViewTest, UnknownColumnFails) {
+  ViewDefinition def;
+  def.name = "V";
+  def.relations = {"R"};
+  def.projection = {ColumnRef{"R", "ZZ"}};
+  EXPECT_TRUE(BoundView::Bind(def, PaperSchemas()).status().IsNotFound());
+}
+
+TEST(BoundViewTest, PredicateOnForeignRelationFails) {
+  ViewDefinition def;
+  def.name = "V";
+  def.relations = {"R"};
+  def.predicate = Predicate::ColCmpConst(CompareOp::kGt, ColumnRef{"T", "C"},
+                                         Value(0));
+  EXPECT_TRUE(BoundView::Bind(def, PaperSchemas()).status().IsNotFound());
+}
+
+TEST(BoundViewTest, SelfJoinRejected) {
+  ViewDefinition def;
+  def.name = "V";
+  def.relations = {"R", "R"};
+  EXPECT_TRUE(
+      BoundView::Bind(def, PaperSchemas()).status().IsInvalidArgument());
+}
+
+TEST(BoundViewTest, NoRelationsRejected) {
+  ViewDefinition def;
+  def.name = "V";
+  EXPECT_TRUE(
+      BoundView::Bind(def, PaperSchemas()).status().IsInvalidArgument());
+}
+
+TEST(BoundViewTest, ProjectExtractsOffsets) {
+  auto bound = BoundView::Bind(PaperV1(), PaperSchemas());
+  ASSERT_TRUE(bound.ok());
+  // Concatenated row: R.A, R.B, S.B, S.C.
+  Tuple joined{1, 2, 2, 3};
+  EXPECT_EQ(bound->Project(joined), (Tuple{1, 2, 3}));
+}
+
+TEST(ViewDefinitionTest, ToStringMentionsParts) {
+  std::string s = PaperV1().ToString();
+  EXPECT_NE(s.find("V1 = R JOIN S"), std::string::npos);
+  EXPECT_NE(s.find("R.B = S.B"), std::string::npos);
+  EXPECT_NE(s.find("PROJECT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mvc

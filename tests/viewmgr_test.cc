@@ -1,0 +1,318 @@
+// Tests for the view-manager implementations: per-update action lists
+// (complete), Strobe-style batching (strong), complete-N bounds,
+// periodic refresh, and convergent splitting.
+
+#include <gtest/gtest.h>
+
+#include "net/sim_runtime.h"
+#include "viewmgr/complete_vm.h"
+#include "viewmgr/convergent_vm.h"
+#include "viewmgr/periodic_vm.h"
+#include "viewmgr/strong_vm.h"
+#include "workload/paper_examples.h"
+
+namespace mvc {
+namespace {
+
+std::map<std::string, Schema> PaperSchemas() {
+  return {{"R", Schema::AllInt64({"A", "B"})},
+          {"S", Schema::AllInt64({"B", "C"})},
+          {"T", Schema::AllInt64({"C", "D"})},
+          {"Q", Schema::AllInt64({"D", "E"})}};
+}
+
+/// Captures action lists sent to the merge process.
+class MergeSink : public Process {
+ public:
+  using Process::Process;
+  void OnMessage(ProcessId, MessagePtr msg) override {
+    ASSERT_EQ(msg->kind, Message::Kind::kActionList);
+    als.push_back(static_cast<ActionListMsg*>(msg.get())->al);
+  }
+  std::vector<ActionList> als;
+};
+
+/// Sends scripted UpdateMsgs (as the integrator would) at given times.
+class UpdateFeeder : public Process {
+ public:
+  UpdateFeeder(std::string name, ProcessId vm)
+      : Process(std::move(name)), vm_(vm) {}
+
+  void Add(UpdateId id, Update update, TimeMicros at) {
+    auto msg = std::make_unique<UpdateMsg>();
+    msg->update_id = id;
+    msg->txn.local_seq = id;
+    msg->txn.updates = {std::move(update)};
+    script_.emplace_back(at, std::move(msg));
+  }
+
+  void OnStart() override {
+    for (auto& [at, msg] : script_) SendAfter(vm_, std::move(msg), at);
+  }
+  void OnMessage(ProcessId, MessagePtr) override {}
+
+ private:
+  ProcessId vm_;
+  std::vector<std::pair<TimeMicros, std::unique_ptr<UpdateMsg>>> script_;
+};
+
+class ViewMgrTest : public ::testing::Test {
+ protected:
+  BoundView BindV1() {
+    auto bound = BoundView::Bind(PaperV1(), PaperSchemas());
+    MVC_CHECK(bound.ok());
+    return std::move(bound).value();
+  }
+
+  /// Wires vm -> sink, registers R and S replicas (R seeded with [1,2]).
+  void Wire(ViewManagerBase* vm) {
+    Table r("R", Schema::AllInt64({"A", "B"}));
+    ASSERT_TRUE(r.Insert(Tuple{1, 2}).ok());
+    ASSERT_TRUE(
+        vm->RegisterBaseRelation("R", Schema::AllInt64({"A", "B"}), &r).ok());
+    ASSERT_TRUE(
+        vm->RegisterBaseRelation("S", Schema::AllInt64({"B", "C"})).ok());
+    ProcessId vm_pid = runtime_.Register(vm);
+    ProcessId sink_pid = runtime_.Register(&sink_);
+    vm->SetMerge(sink_pid);
+    feeder_ = std::make_unique<UpdateFeeder>("feeder", vm_pid);
+    runtime_.Register(feeder_.get());
+  }
+
+  SimRuntime runtime_{1};
+  MergeSink sink_{"merge"};
+  std::unique_ptr<UpdateFeeder> feeder_;
+};
+
+TEST_F(ViewMgrTest, CompleteVmEmitsOneAlPerUpdateInOrder) {
+  BoundView view = BindV1();
+  CompleteViewManager vm("vm-V1", &view);
+  Wire(&vm);
+  feeder_->Add(1, Update::Insert("src0", "S", Tuple{2, 3}), 0);
+  feeder_->Add(2, Update::Insert("src0", "S", Tuple{2, 4}), 10);
+  feeder_->Add(3, Update::Delete("src0", "S", Tuple{2, 3}), 20);
+  runtime_.Run();
+
+  ASSERT_EQ(sink_.als.size(), 3u);
+  EXPECT_EQ(sink_.als[0].update, 1);
+  EXPECT_EQ(sink_.als[0].first_update, 1);
+  ASSERT_EQ(sink_.als[0].delta.rows.size(), 1u);
+  EXPECT_EQ(sink_.als[0].delta.rows[0].tuple, (Tuple{1, 2, 3}));
+  EXPECT_EQ(sink_.als[0].delta.rows[0].count, 1);
+  EXPECT_EQ(sink_.als[1].update, 2);
+  EXPECT_EQ(sink_.als[2].update, 3);
+  EXPECT_EQ(sink_.als[2].delta.rows[0].count, -1);
+  EXPECT_EQ(vm.level(), ConsistencyLevel::kComplete);
+  EXPECT_EQ(vm.updates_received(), 3);
+  EXPECT_EQ(vm.action_lists_sent(), 3);
+}
+
+TEST_F(ViewMgrTest, CompleteVmSendsEmptyActionLists) {
+  BoundView view = BindV1();
+  CompleteViewManager vm("vm-V1", &view);
+  Wire(&vm);
+  // No R tuple with B=9: the delta is empty, but the AL must still go
+  // out (Section 3.3).
+  feeder_->Add(1, Update::Insert("src0", "S", Tuple{9, 9}), 0);
+  runtime_.Run();
+  ASSERT_EQ(sink_.als.size(), 1u);
+  EXPECT_TRUE(sink_.als[0].delta.empty());
+}
+
+TEST_F(ViewMgrTest, CompleteVmModifyProducesPairedDelta) {
+  BoundView view = BindV1();
+  CompleteViewManager vm("vm-V1", &view);
+  Wire(&vm);
+  feeder_->Add(1, Update::Insert("src0", "S", Tuple{2, 3}), 0);
+  feeder_->Add(2, Update::Modify("src0", "S", Tuple{2, 3}, Tuple{2, 7}), 10);
+  runtime_.Run();
+  ASSERT_EQ(sink_.als.size(), 2u);
+  ASSERT_EQ(sink_.als[1].delta.rows.size(), 2u);
+  EXPECT_EQ(sink_.als[1].delta.rows[0].count, -1);
+  EXPECT_EQ(sink_.als[1].delta.rows[0].tuple, (Tuple{1, 2, 3}));
+  EXPECT_EQ(sink_.als[1].delta.rows[1].count, 1);
+  EXPECT_EQ(sink_.als[1].delta.rows[1].tuple, (Tuple{1, 2, 7}));
+}
+
+TEST_F(ViewMgrTest, StrongVmBatchesWhileBusy) {
+  BoundView view = BindV1();
+  StrongViewManagerOptions options;
+  options.base.delta_cost = 100000;  // 100ms per update
+  StrongViewManager vm("vm-V1", &view, options);
+  Wire(&vm);
+  // U1 starts immediately; U2 and U3 arrive while the manager is busy
+  // and are batched into one AL labelled U3.
+  feeder_->Add(1, Update::Insert("src0", "S", Tuple{2, 3}), 0);
+  feeder_->Add(2, Update::Insert("src0", "S", Tuple{2, 4}), 10);
+  feeder_->Add(3, Update::Insert("src0", "S", Tuple{2, 5}), 20);
+  runtime_.Run();
+
+  ASSERT_EQ(sink_.als.size(), 2u);
+  EXPECT_EQ(sink_.als[0].update, 1);
+  EXPECT_EQ(sink_.als[0].covered, (std::vector<UpdateId>{1}));
+  EXPECT_EQ(sink_.als[1].update, 3);
+  EXPECT_EQ(sink_.als[1].first_update, 2);
+  EXPECT_EQ(sink_.als[1].covered, (std::vector<UpdateId>{2, 3}));
+  EXPECT_EQ(sink_.als[1].delta.rows.size(), 2u);
+  EXPECT_EQ(vm.max_batch_seen(), 2u);
+  EXPECT_EQ(vm.level(), ConsistencyLevel::kStrong);
+}
+
+TEST_F(ViewMgrTest, StrongVmBatchDeltaTelescopesCorrectly) {
+  BoundView view = BindV1();
+  StrongViewManagerOptions options;
+  options.base.delta_cost = 100000;
+  StrongViewManager vm("vm-V1", &view, options);
+  Wire(&vm);
+  // Insert then delete of the same tuple inside one batch nets to zero.
+  feeder_->Add(1, Update::Insert("src0", "S", Tuple{9, 1}), 0);  // no join
+  feeder_->Add(2, Update::Insert("src0", "S", Tuple{2, 4}), 10);
+  feeder_->Add(3, Update::Delete("src0", "S", Tuple{2, 4}), 20);
+  runtime_.Run();
+  ASSERT_EQ(sink_.als.size(), 2u);
+  EXPECT_TRUE(sink_.als[1].delta.empty());
+  EXPECT_EQ(sink_.als[1].covered, (std::vector<UpdateId>{2, 3}));
+}
+
+TEST_F(ViewMgrTest, CompleteNVmWaitsForFullBatches) {
+  BoundView view = BindV1();
+  StrongViewManagerOptions options;
+  options.min_batch = 2;
+  options.max_batch = 2;
+  options.flush_timeout = 500000;
+  StrongViewManager vm("vm-V1", &view, options);
+  Wire(&vm);
+  for (UpdateId i = 1; i <= 5; ++i) {
+    feeder_->Add(i, Update::Insert("src0", "S", Tuple{2, i}),
+                 (i - 1) * 10);
+  }
+  runtime_.Run();
+  // 5 updates -> batches {1,2}, {3,4}, and the flushed partial {5}.
+  ASSERT_EQ(sink_.als.size(), 3u);
+  EXPECT_EQ(sink_.als[0].covered, (std::vector<UpdateId>{1, 2}));
+  EXPECT_EQ(sink_.als[1].covered, (std::vector<UpdateId>{3, 4}));
+  EXPECT_EQ(sink_.als[2].covered, (std::vector<UpdateId>{5}));
+}
+
+TEST_F(ViewMgrTest, PeriodicVmEmitsReplaceAllCoveringTheInterval) {
+  BoundView view = BindV1();
+  PeriodicViewManagerOptions options;
+  options.period = 50000;
+  PeriodicViewManager vm("vm-V1", &view, options);
+  Wire(&vm);
+  feeder_->Add(1, Update::Insert("src0", "S", Tuple{2, 3}), 0);
+  feeder_->Add(2, Update::Insert("src0", "S", Tuple{2, 4}), 10);
+  runtime_.Run();
+
+  ASSERT_EQ(sink_.als.size(), 1u);
+  const ActionList& al = sink_.als[0];
+  EXPECT_TRUE(al.replace_all);
+  EXPECT_EQ(al.covered, (std::vector<UpdateId>{1, 2}));
+  EXPECT_EQ(al.update, 2);
+  // Full image: both S tuples join R's [1,2].
+  EXPECT_EQ(al.delta.rows.size(), 2u);
+  EXPECT_EQ(vm.refreshes(), 1);
+  EXPECT_EQ(vm.level(), ConsistencyLevel::kStrong);
+}
+
+TEST_F(ViewMgrTest, PeriodicVmTimerParksWhenIdleAndRestarts) {
+  BoundView view = BindV1();
+  PeriodicViewManagerOptions options;
+  options.period = 50000;
+  options.max_idle_periods = 2;
+  PeriodicViewManager vm("vm-V1", &view, options);
+  Wire(&vm);
+  // A late update after the timer parked must still be refreshed.
+  feeder_->Add(1, Update::Insert("src0", "S", Tuple{2, 3}), 500000);
+  runtime_.Run();
+  ASSERT_EQ(sink_.als.size(), 1u);
+  EXPECT_EQ(sink_.als[0].covered, (std::vector<UpdateId>{1}));
+}
+
+TEST_F(ViewMgrTest, ConvergentVmSplitsButPreservesNetDelta) {
+  BoundView view = BindV1();
+  ConvergentViewManagerOptions options;
+  options.max_split = 3;
+  ConvergentViewManager vm("vm-V1", &view, options);
+  Wire(&vm);
+  for (UpdateId i = 1; i <= 4; ++i) {
+    feeder_->Add(i, Update::Insert("src0", "S", Tuple{2, i}), 0);
+  }
+  runtime_.Run();
+
+  ASSERT_GE(sink_.als.size(), 1u);
+  TableDelta net;
+  net.target = "V1";
+  for (const ActionList& al : sink_.als) {
+    EXPECT_EQ(vm.level(), ConsistencyLevel::kConvergent);
+    for (const DeltaRow& row : al.delta.rows) {
+      net.rows.push_back(row);
+    }
+  }
+  net.Normalize();
+  EXPECT_EQ(net.rows.size(), 4u);
+  for (const DeltaRow& row : net.rows) EXPECT_EQ(row.count, 1);
+}
+
+TEST_F(ViewMgrTest, RegisterForeignRelationFails) {
+  BoundView view = BindV1();
+  CompleteViewManager vm("vm-V1", &view);
+  EXPECT_TRUE(vm.RegisterBaseRelation("Q", Schema::AllInt64({"D", "E"}))
+                  .IsInvalidArgument());
+}
+
+TEST_F(ViewMgrTest, FilteredReplicaSkipsNonQualifyingTuples) {
+  // A view with selection S.C < 10: the replica only keeps qualifying
+  // tuples, and a modify across the boundary is handled.
+  ViewDefinition def = PaperV1();
+  def.name = "V1";
+  def.predicate = Predicate::And(
+      {Predicate::ColEqCol(ColumnRef{"R", "B"}, ColumnRef{"S", "B"}),
+       Predicate::ColCmpConst(CompareOp::kLt, ColumnRef{"S", "C"},
+                              Value(10))});
+  auto bound = BoundView::Bind(def, PaperSchemas());
+  ASSERT_TRUE(bound.ok());
+  CompleteViewManager vm("vm-V1", &*bound);
+  Wire(&vm);
+  feeder_->Add(1, Update::Insert("src0", "S", Tuple{2, 50}), 0);   // out
+  feeder_->Add(2, Update::Modify("src0", "S", Tuple{2, 50}, Tuple{2, 5}),
+               10);                                                // in
+  feeder_->Add(3, Update::Delete("src0", "S", Tuple{2, 5}), 20);   // out
+  runtime_.Run();
+
+  ASSERT_EQ(sink_.als.size(), 3u);
+  EXPECT_TRUE(sink_.als[0].delta.empty());
+  ASSERT_EQ(sink_.als[1].delta.rows.size(), 1u);
+  EXPECT_EQ(sink_.als[1].delta.rows[0].count, 1);
+  ASSERT_EQ(sink_.als[2].delta.rows.size(), 1u);
+  EXPECT_EQ(sink_.als[2].delta.rows[0].count, -1);
+}
+
+TEST_F(ViewMgrTest, QueryRoundDelaysButDoesNotChangeActions) {
+  // With query rounds enabled the VM round-trips to its sources before
+  // emitting; contents are unchanged, latency grows.
+  BoundView view = BindV1();
+
+  SourceProcess src0("src0", SourceOptions{.query_delay = 5000});
+  ASSERT_TRUE(src0.CreateTable("R", Schema::AllInt64({"A", "B"})).ok());
+  ASSERT_TRUE(src0.CreateTable("S", Schema::AllInt64({"B", "C"})).ok());
+  ProcessId src_pid = runtime_.Register(&src0);
+
+  ViewManagerOptions options;
+  options.issue_query_round = true;
+  CompleteViewManager vm("vm-V1", &view, options);
+  Wire(&vm);
+  vm.SetSourceForRelation("R", src_pid);
+  vm.SetSourceForRelation("S", src_pid);
+  feeder_->Add(1, Update::Insert("src0", "S", Tuple{2, 3}), 0);
+  runtime_.Run();
+
+  ASSERT_EQ(sink_.als.size(), 1u);
+  ASSERT_EQ(sink_.als[0].delta.rows.size(), 1u);
+  EXPECT_EQ(sink_.als[0].delta.rows[0].tuple, (Tuple{1, 2, 3}));
+  // Two query answers, each delayed 5ms, were required first.
+  EXPECT_GE(runtime_.Now(), 5000);
+}
+
+}  // namespace
+}  // namespace mvc

@@ -1,0 +1,135 @@
+// Unit tests for the ViewUpdateTable, including the Example 2 golden
+// rendering.
+
+#include <gtest/gtest.h>
+
+#include "merge/vut.h"
+
+namespace mvc {
+namespace {
+
+class VutTest : public ::testing::Test {
+ protected:
+  ViewUpdateTable vut_{{"V1", "V2", "V3"}};
+};
+
+TEST_F(VutTest, ViewIndexByColumnOrder) {
+  EXPECT_EQ(vut_.ViewIndex("V1"), 0u);
+  EXPECT_EQ(vut_.ViewIndex("V3"), 2u);
+}
+
+TEST_F(VutTest, AllocateRowColorsRelWhiteRestBlack) {
+  vut_.AllocateRow(1, {"V1", "V2"});
+  EXPECT_EQ(vut_.color(1, 0), CellColor::kWhite);
+  EXPECT_EQ(vut_.color(1, 1), CellColor::kWhite);
+  EXPECT_EQ(vut_.color(1, 2), CellColor::kBlack);
+  EXPECT_EQ(vut_.state(1, 0), 0);
+  EXPECT_TRUE(vut_.HasRow(1));
+  EXPECT_EQ(vut_.max_allocated(), 1);
+}
+
+TEST_F(VutTest, Example2Rendering) {
+  // Example 2: U1 on S -> REL1 = {V1, V2}; U2 on Q -> REL2 = {V2, V3}.
+  vut_.AllocateRow(1, {"V1", "V2"});
+  vut_.AllocateRow(2, {"V2", "V3"});
+  EXPECT_EQ(vut_.ToString(),
+            "     V1 V2 V3\n"
+            "U1: w w b\n"
+            "U2: b w w\n");
+  // AL^2_1 arrives: the V2 entry of row 1 turns red.
+  vut_.SetColor(1, vut_.ViewIndex("V2"), CellColor::kRed);
+  EXPECT_EQ(vut_.ToString(),
+            "     V1 V2 V3\n"
+            "U1: w r b\n"
+            "U2: b w w\n");
+}
+
+TEST_F(VutTest, RenderingWithState) {
+  vut_.AllocateRow(1, {"V1", "V2"});
+  vut_.SetColor(1, 1, CellColor::kRed);
+  vut_.SetState(1, 1, 3);
+  EXPECT_EQ(vut_.ToString(true),
+            "     V1 V2 V3\n"
+            "U1: (w,0) (r,3) (b,0)\n");
+}
+
+TEST_F(VutTest, RowQueries) {
+  vut_.AllocateRow(1, {"V1", "V2"});
+  EXPECT_TRUE(vut_.RowHasWhite(1));
+  EXPECT_FALSE(vut_.RowAllBlackOrGray(1));
+  vut_.SetColor(1, 0, CellColor::kGray);
+  vut_.SetColor(1, 1, CellColor::kGray);
+  EXPECT_FALSE(vut_.RowHasWhite(1));
+  EXPECT_TRUE(vut_.RowAllBlackOrGray(1));
+}
+
+TEST_F(VutTest, NextRedScansDownward) {
+  vut_.AllocateRow(1, {"V2"});
+  vut_.AllocateRow(3, {"V2"});
+  vut_.AllocateRow(5, {"V2"});
+  size_t v2 = vut_.ViewIndex("V2");
+  EXPECT_EQ(vut_.NextRed(1, v2), 0);  // all white
+  vut_.SetColor(5, v2, CellColor::kRed);
+  EXPECT_EQ(vut_.NextRed(1, v2), 5);
+  vut_.SetColor(3, v2, CellColor::kRed);
+  EXPECT_EQ(vut_.NextRed(1, v2), 3);
+  // NextRed is strictly below i.
+  EXPECT_EQ(vut_.NextRed(3, v2), 5);
+  EXPECT_EQ(vut_.NextRed(5, v2), 0);
+}
+
+TEST_F(VutTest, EarlierRedQueries) {
+  vut_.AllocateRow(1, {"V2"});
+  vut_.AllocateRow(4, {"V2"});
+  size_t v2 = vut_.ViewIndex("V2");
+  EXPECT_FALSE(vut_.HasEarlierRed(4, v2));
+  vut_.SetColor(1, v2, CellColor::kRed);
+  EXPECT_TRUE(vut_.HasEarlierRed(4, v2));
+  EXPECT_EQ(vut_.EarlierRedRows(4, v2), (std::vector<UpdateId>{1}));
+  EXPECT_FALSE(vut_.HasEarlierRed(1, v2));
+}
+
+TEST_F(VutTest, WhiteRowsUpToIncludesOwnRow) {
+  vut_.AllocateRow(1, {"V2"});
+  vut_.AllocateRow(2, {"V2"});
+  vut_.AllocateRow(3, {"V2"});
+  size_t v2 = vut_.ViewIndex("V2");
+  EXPECT_EQ(vut_.WhiteRowsUpTo(2, v2), (std::vector<UpdateId>{1, 2}));
+  vut_.SetColor(1, v2, CellColor::kRed);
+  EXPECT_EQ(vut_.WhiteRowsUpTo(3, v2), (std::vector<UpdateId>{2, 3}));
+}
+
+TEST_F(VutTest, RowViewsWithColor) {
+  vut_.AllocateRow(1, {"V1", "V3"});
+  EXPECT_EQ(vut_.RowViewsWithColor(1, CellColor::kWhite),
+            (std::vector<std::string>{"V1", "V3"}));
+  EXPECT_EQ(vut_.RowViewsWithColor(1, CellColor::kBlack),
+            (std::vector<std::string>{"V2"}));
+}
+
+TEST_F(VutTest, PurgeRemovesRow) {
+  vut_.AllocateRow(1, {"V1"});
+  vut_.AllocateRow(2, {"V2"});
+  EXPECT_EQ(vut_.num_rows(), 2u);
+  vut_.PurgeRow(1);
+  EXPECT_FALSE(vut_.HasRow(1));
+  EXPECT_EQ(vut_.RowIds(), (std::vector<UpdateId>{2}));
+  // max_allocated is sticky (distinguishes purged from unseen).
+  EXPECT_EQ(vut_.max_allocated(), 2);
+}
+
+TEST_F(VutTest, EmptyRelRowIsAllBlack) {
+  vut_.AllocateRow(7, {});
+  EXPECT_TRUE(vut_.RowAllBlackOrGray(7));
+  EXPECT_FALSE(vut_.RowHasWhite(7));
+}
+
+TEST(VutColorTest, ColorChars) {
+  EXPECT_EQ(CellColorChar(CellColor::kWhite), 'w');
+  EXPECT_EQ(CellColorChar(CellColor::kRed), 'r');
+  EXPECT_EQ(CellColorChar(CellColor::kGray), 'g');
+  EXPECT_EQ(CellColorChar(CellColor::kBlack), 'b');
+}
+
+}  // namespace
+}  // namespace mvc

@@ -1,0 +1,259 @@
+// Tests for the warehouse process: atomic application, replace-all
+// actions, commit dependencies, and the Section 4.3 reordering anomaly.
+
+#include <gtest/gtest.h>
+
+#include "net/sim_runtime.h"
+#include "warehouse/warehouse.h"
+
+namespace mvc {
+namespace {
+
+ActionList Al(const std::string& view, Tuple t, int64_t count) {
+  ActionList al;
+  al.view = view;
+  al.delta.target = view;
+  al.delta.Add(std::move(t), count);
+  return al;
+}
+
+/// Submits prepared transactions with per-transaction delays.
+class Submitter : public Process {
+ public:
+  Submitter(std::string name, ProcessId warehouse)
+      : Process(std::move(name)), warehouse_(warehouse) {}
+
+  void OnStart() override {
+    TimeMicros at = 0;
+    for (WarehouseTransaction& txn : to_send) {
+      auto msg = std::make_unique<WarehouseTxnMsg>();
+      msg->txn = std::move(txn);
+      SendAfter(warehouse_, std::move(msg), at += 10);
+    }
+  }
+  void OnMessage(ProcessId, MessagePtr msg) override {
+    ASSERT_EQ(msg->kind, Message::Kind::kTxnCommitted);
+    acks.push_back(static_cast<TxnCommittedMsg*>(msg.get())->txn_id);
+  }
+
+  ProcessId warehouse_;
+  std::vector<WarehouseTransaction> to_send;
+  std::vector<int64_t> acks;
+};
+
+class WarehouseTest : public ::testing::Test {
+ protected:
+  void Wire(WarehouseOptions options) {
+    warehouse_ = std::make_unique<WarehouseProcess>("warehouse", options);
+    ASSERT_TRUE(warehouse_->CreateView("V1", Schema::AllInt64({"A"})).ok());
+    ASSERT_TRUE(warehouse_->CreateView("V2", Schema::AllInt64({"A"})).ok());
+    ProcessId wpid = runtime_.Register(warehouse_.get());
+    submitter_ = std::make_unique<Submitter>("merge", wpid);
+    runtime_.Register(submitter_.get());
+  }
+
+  SimRuntime runtime_{1};
+  std::unique_ptr<WarehouseProcess> warehouse_;
+  std::unique_ptr<Submitter> submitter_;
+};
+
+TEST_F(WarehouseTest, AppliesAllActionListsAtomically) {
+  Wire({});
+  WarehouseTransaction txn;
+  txn.txn_id = 1;
+  txn.views = {"V1", "V2"};
+  txn.actions = {Al("V1", Tuple{1}, 1), Al("V2", Tuple{2}, 1)};
+  submitter_->to_send = {txn};
+  runtime_.Run();
+
+  EXPECT_EQ((*warehouse_->views().GetTable("V1"))->CountOf(Tuple{1}), 1);
+  EXPECT_EQ((*warehouse_->views().GetTable("V2"))->CountOf(Tuple{2}), 1);
+  EXPECT_EQ(warehouse_->transactions_committed(), 1);
+  EXPECT_EQ(warehouse_->actions_applied(), 2);
+  EXPECT_EQ(submitter_->acks, (std::vector<int64_t>{1}));
+}
+
+TEST_F(WarehouseTest, ReplaceAllClearsThenInstalls) {
+  Wire({});
+  WarehouseTransaction seed;
+  seed.txn_id = 1;
+  seed.actions = {Al("V1", Tuple{1}, 2)};
+  WarehouseTransaction replace;
+  replace.txn_id = 2;
+  ActionList al = Al("V1", Tuple{9}, 1);
+  al.replace_all = true;
+  replace.actions = {al};
+  submitter_->to_send = {seed, replace};
+  runtime_.Run();
+
+  const Table* v1 = *warehouse_->views().GetTable("V1");
+  EXPECT_EQ(v1->CountOf(Tuple{1}), 0);
+  EXPECT_EQ(v1->CountOf(Tuple{9}), 1);
+}
+
+TEST_F(WarehouseTest, InitializeViewInstallsContents) {
+  Wire({});
+  Table initial("x", Schema::AllInt64({"A"}));
+  ASSERT_TRUE(initial.Insert(Tuple{5}, 3).ok());
+  ASSERT_TRUE(warehouse_->InitializeView("V1", initial).ok());
+  EXPECT_EQ((*warehouse_->views().GetTable("V1"))->CountOf(Tuple{5}), 3);
+}
+
+TEST_F(WarehouseTest, CommitObserverSeesSnapshots) {
+  Wire({});
+  std::vector<int64_t> seen;
+  warehouse_->SetCommitObserver([&](ProcessId, const WarehouseTransaction& t,
+                                    const Catalog& views, TimeMicros) {
+    seen.push_back(t.txn_id);
+    EXPECT_TRUE(views.HasTable("V1"));
+  });
+  WarehouseTransaction txn;
+  txn.txn_id = 7;
+  txn.actions = {Al("V1", Tuple{1}, 1)};
+  submitter_->to_send = {txn};
+  runtime_.Run();
+  EXPECT_EQ(seen, (std::vector<int64_t>{7}));
+}
+
+TEST_F(WarehouseTest, JitterReordersIndependentTransactions) {
+  // With jitter and no dependencies, commit order can differ from
+  // submission order. Find a seed where it actually does.
+  bool reordered = false;
+  for (uint64_t seed = 1; seed < 30 && !reordered; ++seed) {
+    SimRuntime runtime(seed);
+    WarehouseOptions options;
+    options.apply_delay = 10;
+    options.apply_jitter = 10000;
+    options.seed = seed;
+    WarehouseProcess warehouse("warehouse", options);
+    ASSERT_TRUE(warehouse.CreateView("V1", Schema::AllInt64({"A"})).ok());
+    ASSERT_TRUE(warehouse.CreateView("V2", Schema::AllInt64({"A"})).ok());
+    ProcessId wpid = runtime.Register(&warehouse);
+    Submitter submitter("merge", wpid);
+    runtime.Register(&submitter);
+    WarehouseTransaction t1;
+    t1.txn_id = 1;
+    t1.views = {"V1"};
+    t1.actions = {Al("V1", Tuple{1}, 1)};
+    WarehouseTransaction t2;
+    t2.txn_id = 2;
+    t2.views = {"V2"};
+    t2.actions = {Al("V2", Tuple{2}, 1)};
+    submitter.to_send = {t1, t2};
+    runtime.Run();
+    ASSERT_EQ(submitter.acks.size(), 2u);
+    if (submitter.acks == std::vector<int64_t>{2, 1}) reordered = true;
+  }
+  EXPECT_TRUE(reordered) << "expected some seed to reorder commits";
+}
+
+TEST_F(WarehouseTest, DependenciesForceCommitOrderDespiteJitter) {
+  // Same jittery warehouse, but t2 depends on t1: commit order must be
+  // 1 then 2 for every seed.
+  for (uint64_t seed = 1; seed < 20; ++seed) {
+    SimRuntime runtime(seed);
+    WarehouseOptions options;
+    options.apply_delay = 10;
+    options.apply_jitter = 10000;
+    options.honor_dependencies = true;
+    options.seed = seed;
+    WarehouseProcess warehouse("warehouse", options);
+    ASSERT_TRUE(warehouse.CreateView("V1", Schema::AllInt64({"A"})).ok());
+    ASSERT_TRUE(warehouse.CreateView("V2", Schema::AllInt64({"A"})).ok());
+    ProcessId wpid = runtime.Register(&warehouse);
+    Submitter submitter("merge", wpid);
+    runtime.Register(&submitter);
+    WarehouseTransaction t1;
+    t1.txn_id = 1;
+    t1.views = {"V1"};
+    t1.actions = {Al("V1", Tuple{1}, 1)};
+    WarehouseTransaction t2;
+    t2.txn_id = 2;
+    t2.views = {"V1"};
+    t2.depends_on = {1};
+    t2.actions = {Al("V1", Tuple{2}, 1)};
+    submitter.to_send = {t1, t2};
+    runtime.Run();
+    EXPECT_EQ(submitter.acks, (std::vector<int64_t>{1, 2}))
+        << "seed " << seed;
+  }
+}
+
+TEST_F(WarehouseTest, DependentDeleteAfterInsertNeedsOrdering) {
+  // t1 inserts a tuple, t2 deletes it. Without dependency enforcement
+  // and with reordering, t2 would fire first and crash the warehouse;
+  // with enforcement every seed is safe.
+  SimRuntime runtime(5);
+  WarehouseOptions options;
+  options.apply_delay = 10;
+  options.apply_jitter = 10000;
+  options.honor_dependencies = true;
+  options.seed = 5;
+  WarehouseProcess warehouse("warehouse", options);
+  ASSERT_TRUE(warehouse.CreateView("V1", Schema::AllInt64({"A"})).ok());
+  ProcessId wpid = runtime.Register(&warehouse);
+  Submitter submitter("merge", wpid);
+  runtime.Register(&submitter);
+  WarehouseTransaction t1;
+  t1.txn_id = 1;
+  t1.views = {"V1"};
+  t1.actions = {Al("V1", Tuple{1}, 1)};
+  WarehouseTransaction t2;
+  t2.txn_id = 2;
+  t2.views = {"V1"};
+  t2.depends_on = {1};
+  t2.actions = {Al("V1", Tuple{1}, -1)};
+  submitter.to_send = {t1, t2};
+  runtime.Run();
+  EXPECT_TRUE((*warehouse.views().GetTable("V1"))->empty());
+}
+
+}  // namespace
+}  // namespace mvc
+
+namespace mvc {
+namespace {
+
+TEST(WarehouseSetupTest, DuplicateViewRejected) {
+  WarehouseProcess warehouse("warehouse");
+  ASSERT_TRUE(warehouse.CreateView("V", Schema::AllInt64({"A"})).ok());
+  EXPECT_TRUE(
+      warehouse.CreateView("V", Schema::AllInt64({"A"})).IsAlreadyExists());
+}
+
+TEST(WarehouseSetupTest, InitializeUnknownViewFails) {
+  WarehouseProcess warehouse("warehouse");
+  Table t("x", Schema::AllInt64({"A"}));
+  EXPECT_TRUE(warehouse.InitializeView("nope", t).IsNotFound());
+}
+
+TEST(WarehouseSetupTest, HistoryDisabledByDefault) {
+  // With history_depth = 0 nothing is retained; a normal current-state
+  // read still works.
+  SimRuntime runtime(1);
+  WarehouseProcess warehouse("warehouse");
+  ASSERT_TRUE(warehouse.CreateView("V", Schema::AllInt64({"A"})).ok());
+  ProcessId wpid = runtime.Register(&warehouse);
+
+  class Probe : public Process {
+   public:
+    Probe(std::string name, ProcessId warehouse)
+        : Process(std::move(name)), warehouse_(warehouse) {}
+    void OnStart() override {
+      auto read = std::make_unique<ReadViewsMsg>();
+      Send(warehouse_, std::move(read));
+    }
+    void OnMessage(ProcessId, MessagePtr msg) override {
+      got = msg->kind == Message::Kind::kViewsSnapshot;
+    }
+    ProcessId warehouse_;
+    bool got = false;
+  };
+  Probe probe("probe", wpid);
+  runtime.Register(&probe);
+  runtime.Run();
+  EXPECT_TRUE(probe.got);
+}
+
+}  // namespace
+}  // namespace mvc

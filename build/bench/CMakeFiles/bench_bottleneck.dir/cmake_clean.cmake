@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bottleneck.dir/bench_bottleneck.cpp.o"
+  "CMakeFiles/bench_bottleneck.dir/bench_bottleneck.cpp.o.d"
+  "bench_bottleneck"
+  "bench_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

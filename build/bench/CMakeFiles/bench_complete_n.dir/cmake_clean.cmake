@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_complete_n.dir/bench_complete_n.cpp.o"
+  "CMakeFiles/bench_complete_n.dir/bench_complete_n.cpp.o.d"
+  "bench_complete_n"
+  "bench_complete_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_complete_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distributed_merge.dir/bench_distributed_merge.cpp.o"
+  "CMakeFiles/bench_distributed_merge.dir/bench_distributed_merge.cpp.o.d"
+  "bench_distributed_merge"
+  "bench_distributed_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distributed_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pa_vs_spa.dir/bench_pa_vs_spa.cpp.o"
+  "CMakeFiles/bench_pa_vs_spa.dir/bench_pa_vs_spa.cpp.o.d"
+  "bench_pa_vs_spa"
+  "bench_pa_vs_spa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pa_vs_spa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_pa_vs_spa.
+# This may be replaced when dependencies are built.

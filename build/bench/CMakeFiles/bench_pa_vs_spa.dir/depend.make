@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_pa_vs_spa.
+# This may be replaced when dependencies are built.

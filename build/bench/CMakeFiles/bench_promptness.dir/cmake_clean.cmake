@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_promptness.dir/bench_promptness.cpp.o"
+  "CMakeFiles/bench_promptness.dir/bench_promptness.cpp.o.d"
+  "bench_promptness"
+  "bench_promptness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_promptness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_relevance.dir/bench_relevance.cpp.o"
+  "CMakeFiles/bench_relevance.dir/bench_relevance.cpp.o.d"
+  "bench_relevance"
+  "bench_relevance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_relevance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vut_traces.dir/bench_vut_traces.cpp.o"
+  "CMakeFiles/bench_vut_traces.dir/bench_vut_traces.cpp.o.d"
+  "bench_vut_traces"
+  "bench_vut_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vut_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auxiliary_views.dir/auxiliary_views.cpp.o"
+  "CMakeFiles/auxiliary_views.dir/auxiliary_views.cpp.o.d"
+  "auxiliary_views"
+  "auxiliary_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auxiliary_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_managers.dir/mixed_managers.cpp.o"
+  "CMakeFiles/mixed_managers.dir/mixed_managers.cpp.o.d"
+  "mixed_managers"
+  "mixed_managers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_managers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

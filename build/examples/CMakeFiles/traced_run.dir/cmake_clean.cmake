@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traced_run.dir/traced_run.cpp.o"
+  "CMakeFiles/traced_run.dir/traced_run.cpp.o.d"
+  "traced_run"
+  "traced_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traced_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

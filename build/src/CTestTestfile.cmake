@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("storage")
+subdirs("query")
+subdirs("net")
+subdirs("source")
+subdirs("integrator")
+subdirs("viewmgr")
+subdirs("merge")
+subdirs("warehouse")
+subdirs("consistency")
+subdirs("workload")
+subdirs("parser")
+subdirs("system")

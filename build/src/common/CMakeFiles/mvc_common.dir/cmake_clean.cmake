@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_common.dir/logging.cc.o"
+  "CMakeFiles/mvc_common.dir/logging.cc.o.d"
+  "CMakeFiles/mvc_common.dir/status.cc.o"
+  "CMakeFiles/mvc_common.dir/status.cc.o.d"
+  "CMakeFiles/mvc_common.dir/string_util.cc.o"
+  "CMakeFiles/mvc_common.dir/string_util.cc.o.d"
+  "libmvc_common.a"
+  "libmvc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_consistency.dir/checker.cc.o"
+  "CMakeFiles/mvc_consistency.dir/checker.cc.o.d"
+  "CMakeFiles/mvc_consistency.dir/recorder.cc.o"
+  "CMakeFiles/mvc_consistency.dir/recorder.cc.o.d"
+  "libmvc_consistency.a"
+  "libmvc_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

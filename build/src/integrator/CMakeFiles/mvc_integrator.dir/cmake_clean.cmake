@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_integrator.dir/integrator.cc.o"
+  "CMakeFiles/mvc_integrator.dir/integrator.cc.o.d"
+  "CMakeFiles/mvc_integrator.dir/sequential_integrator.cc.o"
+  "CMakeFiles/mvc_integrator.dir/sequential_integrator.cc.o.d"
+  "libmvc_integrator.a"
+  "libmvc_integrator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_integrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

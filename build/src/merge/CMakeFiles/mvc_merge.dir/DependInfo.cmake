@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/merge/merge_engine.cc" "src/merge/CMakeFiles/mvc_merge.dir/merge_engine.cc.o" "gcc" "src/merge/CMakeFiles/mvc_merge.dir/merge_engine.cc.o.d"
+  "/root/repo/src/merge/merge_process.cc" "src/merge/CMakeFiles/mvc_merge.dir/merge_process.cc.o" "gcc" "src/merge/CMakeFiles/mvc_merge.dir/merge_process.cc.o.d"
+  "/root/repo/src/merge/partition.cc" "src/merge/CMakeFiles/mvc_merge.dir/partition.cc.o" "gcc" "src/merge/CMakeFiles/mvc_merge.dir/partition.cc.o.d"
+  "/root/repo/src/merge/vut.cc" "src/merge/CMakeFiles/mvc_merge.dir/vut.cc.o" "gcc" "src/merge/CMakeFiles/mvc_merge.dir/vut.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/viewmgr/CMakeFiles/mvc_viewmgr.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mvc_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mvc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mvc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

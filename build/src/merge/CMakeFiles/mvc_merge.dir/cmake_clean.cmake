@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_merge.dir/merge_engine.cc.o"
+  "CMakeFiles/mvc_merge.dir/merge_engine.cc.o.d"
+  "CMakeFiles/mvc_merge.dir/merge_process.cc.o"
+  "CMakeFiles/mvc_merge.dir/merge_process.cc.o.d"
+  "CMakeFiles/mvc_merge.dir/partition.cc.o"
+  "CMakeFiles/mvc_merge.dir/partition.cc.o.d"
+  "CMakeFiles/mvc_merge.dir/vut.cc.o"
+  "CMakeFiles/mvc_merge.dir/vut.cc.o.d"
+  "libmvc_merge.a"
+  "libmvc_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

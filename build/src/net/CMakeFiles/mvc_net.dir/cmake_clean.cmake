@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_net.dir/protocol.cc.o"
+  "CMakeFiles/mvc_net.dir/protocol.cc.o.d"
+  "CMakeFiles/mvc_net.dir/sim_runtime.cc.o"
+  "CMakeFiles/mvc_net.dir/sim_runtime.cc.o.d"
+  "CMakeFiles/mvc_net.dir/thread_runtime.cc.o"
+  "CMakeFiles/mvc_net.dir/thread_runtime.cc.o.d"
+  "libmvc_net.a"
+  "libmvc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

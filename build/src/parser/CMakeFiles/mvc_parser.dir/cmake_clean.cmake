@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_parser.dir/lexer.cc.o"
+  "CMakeFiles/mvc_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/mvc_parser.dir/scenario_parser.cc.o"
+  "CMakeFiles/mvc_parser.dir/scenario_parser.cc.o.d"
+  "libmvc_parser.a"
+  "libmvc_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/aggregate.cc" "src/query/CMakeFiles/mvc_query.dir/aggregate.cc.o" "gcc" "src/query/CMakeFiles/mvc_query.dir/aggregate.cc.o.d"
+  "/root/repo/src/query/evaluator.cc" "src/query/CMakeFiles/mvc_query.dir/evaluator.cc.o" "gcc" "src/query/CMakeFiles/mvc_query.dir/evaluator.cc.o.d"
+  "/root/repo/src/query/expr.cc" "src/query/CMakeFiles/mvc_query.dir/expr.cc.o" "gcc" "src/query/CMakeFiles/mvc_query.dir/expr.cc.o.d"
+  "/root/repo/src/query/relevance.cc" "src/query/CMakeFiles/mvc_query.dir/relevance.cc.o" "gcc" "src/query/CMakeFiles/mvc_query.dir/relevance.cc.o.d"
+  "/root/repo/src/query/view_def.cc" "src/query/CMakeFiles/mvc_query.dir/view_def.cc.o" "gcc" "src/query/CMakeFiles/mvc_query.dir/view_def.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/mvc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mvc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_query.dir/aggregate.cc.o"
+  "CMakeFiles/mvc_query.dir/aggregate.cc.o.d"
+  "CMakeFiles/mvc_query.dir/evaluator.cc.o"
+  "CMakeFiles/mvc_query.dir/evaluator.cc.o.d"
+  "CMakeFiles/mvc_query.dir/expr.cc.o"
+  "CMakeFiles/mvc_query.dir/expr.cc.o.d"
+  "CMakeFiles/mvc_query.dir/relevance.cc.o"
+  "CMakeFiles/mvc_query.dir/relevance.cc.o.d"
+  "CMakeFiles/mvc_query.dir/view_def.cc.o"
+  "CMakeFiles/mvc_query.dir/view_def.cc.o.d"
+  "libmvc_query.a"
+  "libmvc_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_source.dir/source_process.cc.o"
+  "CMakeFiles/mvc_source.dir/source_process.cc.o.d"
+  "libmvc_source.a"
+  "libmvc_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_storage.dir/catalog.cc.o"
+  "CMakeFiles/mvc_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/mvc_storage.dir/delta.cc.o"
+  "CMakeFiles/mvc_storage.dir/delta.cc.o.d"
+  "CMakeFiles/mvc_storage.dir/schema.cc.o"
+  "CMakeFiles/mvc_storage.dir/schema.cc.o.d"
+  "CMakeFiles/mvc_storage.dir/table.cc.o"
+  "CMakeFiles/mvc_storage.dir/table.cc.o.d"
+  "CMakeFiles/mvc_storage.dir/tuple.cc.o"
+  "CMakeFiles/mvc_storage.dir/tuple.cc.o.d"
+  "CMakeFiles/mvc_storage.dir/update.cc.o"
+  "CMakeFiles/mvc_storage.dir/update.cc.o.d"
+  "CMakeFiles/mvc_storage.dir/value.cc.o"
+  "CMakeFiles/mvc_storage.dir/value.cc.o.d"
+  "libmvc_storage.a"
+  "libmvc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

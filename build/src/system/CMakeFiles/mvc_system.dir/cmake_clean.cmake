@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_system.dir/warehouse_system.cc.o"
+  "CMakeFiles/mvc_system.dir/warehouse_system.cc.o.d"
+  "libmvc_system.a"
+  "libmvc_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viewmgr/aggregate_vm.cc" "src/viewmgr/CMakeFiles/mvc_viewmgr.dir/aggregate_vm.cc.o" "gcc" "src/viewmgr/CMakeFiles/mvc_viewmgr.dir/aggregate_vm.cc.o.d"
+  "/root/repo/src/viewmgr/complete_vm.cc" "src/viewmgr/CMakeFiles/mvc_viewmgr.dir/complete_vm.cc.o" "gcc" "src/viewmgr/CMakeFiles/mvc_viewmgr.dir/complete_vm.cc.o.d"
+  "/root/repo/src/viewmgr/convergent_vm.cc" "src/viewmgr/CMakeFiles/mvc_viewmgr.dir/convergent_vm.cc.o" "gcc" "src/viewmgr/CMakeFiles/mvc_viewmgr.dir/convergent_vm.cc.o.d"
+  "/root/repo/src/viewmgr/periodic_vm.cc" "src/viewmgr/CMakeFiles/mvc_viewmgr.dir/periodic_vm.cc.o" "gcc" "src/viewmgr/CMakeFiles/mvc_viewmgr.dir/periodic_vm.cc.o.d"
+  "/root/repo/src/viewmgr/strong_vm.cc" "src/viewmgr/CMakeFiles/mvc_viewmgr.dir/strong_vm.cc.o" "gcc" "src/viewmgr/CMakeFiles/mvc_viewmgr.dir/strong_vm.cc.o.d"
+  "/root/repo/src/viewmgr/view_manager.cc" "src/viewmgr/CMakeFiles/mvc_viewmgr.dir/view_manager.cc.o" "gcc" "src/viewmgr/CMakeFiles/mvc_viewmgr.dir/view_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mvc_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mvc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mvc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_viewmgr.dir/aggregate_vm.cc.o"
+  "CMakeFiles/mvc_viewmgr.dir/aggregate_vm.cc.o.d"
+  "CMakeFiles/mvc_viewmgr.dir/complete_vm.cc.o"
+  "CMakeFiles/mvc_viewmgr.dir/complete_vm.cc.o.d"
+  "CMakeFiles/mvc_viewmgr.dir/convergent_vm.cc.o"
+  "CMakeFiles/mvc_viewmgr.dir/convergent_vm.cc.o.d"
+  "CMakeFiles/mvc_viewmgr.dir/periodic_vm.cc.o"
+  "CMakeFiles/mvc_viewmgr.dir/periodic_vm.cc.o.d"
+  "CMakeFiles/mvc_viewmgr.dir/strong_vm.cc.o"
+  "CMakeFiles/mvc_viewmgr.dir/strong_vm.cc.o.d"
+  "CMakeFiles/mvc_viewmgr.dir/view_manager.cc.o"
+  "CMakeFiles/mvc_viewmgr.dir/view_manager.cc.o.d"
+  "libmvc_viewmgr.a"
+  "libmvc_viewmgr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_viewmgr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_warehouse.dir/warehouse.cc.o"
+  "CMakeFiles/mvc_warehouse.dir/warehouse.cc.o.d"
+  "libmvc_warehouse.a"
+  "libmvc_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_workload.dir/generator.cc.o"
+  "CMakeFiles/mvc_workload.dir/generator.cc.o.d"
+  "CMakeFiles/mvc_workload.dir/paper_examples.cc.o"
+  "CMakeFiles/mvc_workload.dir/paper_examples.cc.o.d"
+  "libmvc_workload.a"
+  "libmvc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

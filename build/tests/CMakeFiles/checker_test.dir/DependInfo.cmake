@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/checker_test.cc" "tests/CMakeFiles/checker_test.dir/checker_test.cc.o" "gcc" "tests/CMakeFiles/checker_test.dir/checker_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/mvc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/mvc_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/consistency/CMakeFiles/mvc_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/merge/CMakeFiles/mvc_merge.dir/DependInfo.cmake"
+  "/root/repo/build/src/viewmgr/CMakeFiles/mvc_viewmgr.dir/DependInfo.cmake"
+  "/root/repo/build/src/integrator/CMakeFiles/mvc_integrator.dir/DependInfo.cmake"
+  "/root/repo/build/src/source/CMakeFiles/mvc_source.dir/DependInfo.cmake"
+  "/root/repo/build/src/warehouse/CMakeFiles/mvc_warehouse.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mvc_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mvc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/mvc_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mvc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

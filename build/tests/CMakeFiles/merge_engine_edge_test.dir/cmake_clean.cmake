@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_engine_edge_test.dir/merge_engine_edge_test.cc.o"
+  "CMakeFiles/merge_engine_edge_test.dir/merge_engine_edge_test.cc.o.d"
+  "merge_engine_edge_test"
+  "merge_engine_edge_test.pdb"
+  "merge_engine_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_engine_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_process_test.dir/merge_process_test.cc.o"
+  "CMakeFiles/merge_process_test.dir/merge_process_test.cc.o.d"
+  "merge_process_test"
+  "merge_process_test.pdb"
+  "merge_process_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_engine_test.dir/spa_engine_test.cc.o"
+  "CMakeFiles/spa_engine_test.dir/spa_engine_test.cc.o.d"
+  "spa_engine_test"
+  "spa_engine_test.pdb"
+  "spa_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

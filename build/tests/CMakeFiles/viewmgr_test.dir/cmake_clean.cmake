@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewmgr_test.dir/viewmgr_test.cc.o"
+  "CMakeFiles/viewmgr_test.dir/viewmgr_test.cc.o.d"
+  "viewmgr_test"
+  "viewmgr_test.pdb"
+  "viewmgr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewmgr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vut_test.dir/vut_test.cc.o"
+  "CMakeFiles/vut_test.dir/vut_test.cc.o.d"
+  "vut_test"
+  "vut_test.pdb"
+  "vut_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/expr_test[1]_include.cmake")
+include("/root/repo/build/tests/view_def_test[1]_include.cmake")
+include("/root/repo/build/tests/evaluator_test[1]_include.cmake")
+include("/root/repo/build/tests/relevance_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/source_test[1]_include.cmake")
+include("/root/repo/build/tests/integrator_test[1]_include.cmake")
+include("/root/repo/build/tests/vut_test[1]_include.cmake")
+include("/root/repo/build/tests/spa_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/pa_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/merge_process_test[1]_include.cmake")
+include("/root/repo/build/tests/warehouse_test[1]_include.cmake")
+include("/root/repo/build/tests/viewmgr_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")
+include("/root/repo/build/tests/checker_test[1]_include.cmake")
+include("/root/repo/build/tests/system_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/aggregate_test[1]_include.cmake")
+include("/root/repo/build/tests/reader_test[1]_include.cmake")
+include("/root/repo/build/tests/generator_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/merge_engine_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_sim.dir/mvc_sim.cpp.o"
+  "CMakeFiles/mvc_sim.dir/mvc_sim.cpp.o.d"
+  "mvc_sim"
+  "mvc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

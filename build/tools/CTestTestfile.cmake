@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(mvc_sim_generated "/root/repo/build/tools/mvc_sim" "--txns" "40" "--views" "4")
+set_tests_properties(mvc_sim_generated PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mvc_sim_strong "/root/repo/build/tools/mvc_sim" "--txns" "40" "--managers" "strong" "--delta-cost" "2000")
+set_tests_properties(mvc_sim_strong PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mvc_sim_sequential "/root/repo/build/tools/mvc_sim" "--sequential-baseline" "--txns" "30")
+set_tests_properties(mvc_sim_sequential PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mvc_sim_scenario "/root/repo/build/tools/mvc_sim" "--scenario" "/root/repo/examples/dashboard.mvc")
+set_tests_properties(mvc_sim_scenario PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -179,12 +179,28 @@ Status ConsistencyChecker::CheckChain(const ConsistencyRecorder& recorder,
 
   SignedBase base(initial_base_);
   std::set<UpdateId> applied;
+  // (view, update) pairs whose action-list delta reached the warehouse —
+  // the crash-recovery hazard: a replayed or resynced AL applied twice
+  // corrupts the view even when the applied-update chain looks legal.
+  std::set<std::pair<std::string, UpdateId>> applied_pairs;
 
   // Initial warehouse state must be consistent too, but the recorder only
   // sees commits; tests install exact initial materializations, so start
   // from the first commit.
   for (size_t j = 0; j < recorder.commits().size(); ++j) {
     const RecordedCommit& commit = recorder.commits()[j];
+    for (const ActionList& al : commit.txn.actions) {
+      std::vector<UpdateId> ids = al.covered;
+      if (ids.empty()) ids.push_back(al.update);
+      for (UpdateId id : ids) {
+        if (!applied_pairs.insert({al.view, id}).second) {
+          return Status::ConsistencyViolation(
+              StrCat("commit #", j, " applies U", id, " to view ", al.view,
+                     " a second time (duplicate action list across a crash"
+                     " or resync boundary)"));
+        }
+      }
+    }
     std::vector<UpdateId> fresh;
     for (UpdateId id : commit.txn.rows) {
       if (applied.count(id) == 0) fresh.push_back(id);

@@ -1,0 +1,51 @@
+#include "fault/checkpoint_store.h"
+
+namespace mvc {
+
+void CheckpointStore::Save(const std::string& view, const Catalog& replica,
+                           UpdateId covered_through) {
+  std::lock_guard<std::mutex> lock(mu_);
+  checkpoints_[view] = VmCheckpoint{replica.Clone(), covered_through};
+  ++checkpoints_saved_;
+}
+
+std::optional<VmCheckpoint> CheckpointStore::Load(
+    const std::string& view) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = checkpoints_.find(view);
+  if (it == checkpoints_.end()) return std::nullopt;
+  return VmCheckpoint{it->second.replica.Clone(),
+                      it->second.covered_through};
+}
+
+void CheckpointStore::AppendAl(const std::string& view,
+                               const ActionList& al) {
+  std::lock_guard<std::mutex> lock(mu_);
+  outbox_[view].push_back(al);
+}
+
+UpdateId CheckpointStore::LastAlLabel(const std::string& view) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = outbox_.find(view);
+  if (it == outbox_.end() || it->second.empty()) return kInvalidUpdate;
+  return it->second.back().update;
+}
+
+std::vector<ActionList> CheckpointStore::AlsAfter(const std::string& view,
+                                                  UpdateId after) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ActionList> out;
+  auto it = outbox_.find(view);
+  if (it == outbox_.end()) return out;
+  for (const ActionList& al : it->second) {
+    if (al.update > after) out.push_back(al);
+  }
+  return out;
+}
+
+int64_t CheckpointStore::checkpoints_saved() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpoints_saved_;
+}
+
+}  // namespace mvc

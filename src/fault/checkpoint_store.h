@@ -1,0 +1,67 @@
+// Durable state for crash recovery, modelled as in-memory stores that
+// survive a process "crash" (the process object loses its volatile
+// members; anything placed here persists).
+//
+// CheckpointStore holds, per view manager:
+//  * the latest checkpoint — a deep copy of the manager's base-relation
+//    replica plus the last update id the emitted action lists cover; and
+//  * the action-list outbox — every AL the manager ever emitted, in
+//    label order. The outbox is what lets a recovering merge process ask
+//    "resend everything after label j" without the view manager
+//    recomputing old deltas.
+//
+// All methods are mutex-guarded so the store can back ThreadRuntime runs.
+
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "storage/catalog.h"
+
+namespace mvc {
+
+/// A view manager's recovery point.
+struct VmCheckpoint {
+  /// Deep copy of the manager's source-replica catalog.
+  Catalog replica;
+  /// j: every update with id <= j is reflected in emitted action lists
+  /// (and therefore must not be replayed into the pending queue).
+  UpdateId covered_through = kInvalidUpdate;
+};
+
+/// Shared durable store for all view managers of one system.
+class CheckpointStore {
+ public:
+  /// Replaces `view`'s checkpoint with a deep copy of `replica`.
+  void Save(const std::string& view, const Catalog& replica,
+            UpdateId covered_through);
+
+  /// Returns a deep copy of `view`'s latest checkpoint, or nullopt if
+  /// none was ever saved.
+  std::optional<VmCheckpoint> Load(const std::string& view) const;
+
+  /// Appends an emitted action list to `view`'s outbox.
+  void AppendAl(const std::string& view, const ActionList& al);
+
+  /// Label of the last AL in `view`'s outbox (kInvalidUpdate if empty).
+  UpdateId LastAlLabel(const std::string& view) const;
+
+  /// All of `view`'s outbox entries with label > after, in label order.
+  std::vector<ActionList> AlsAfter(const std::string& view,
+                                   UpdateId after) const;
+
+  int64_t checkpoints_saved() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, VmCheckpoint> checkpoints_;
+  std::map<std::string, std::vector<ActionList>> outbox_;
+  int64_t checkpoints_saved_ = 0;
+};
+
+}  // namespace mvc

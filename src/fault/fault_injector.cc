@@ -1,0 +1,24 @@
+#include "fault/fault_injector.h"
+
+#include <memory>
+
+#include "net/protocol.h"
+
+namespace mvc {
+
+void FaultInjectorProcess::OnStart() {
+  for (const FaultEvent& ev : plan_.events) {
+    auto it = targets_.find(ev.target);
+    MVC_CHECK(it != targets_.end());  // wiring validates targets
+    SendAfter(it->second, std::make_unique<CrashMsg>(), ev.at);
+    SendAfter(it->second, std::make_unique<RecoverMsg>(),
+              ev.at + ev.down_for);
+    ++crashes_scheduled_;
+  }
+}
+
+void FaultInjectorProcess::OnMessage(ProcessId /*from*/, MessagePtr /*msg*/) {
+  // The injector only sends; nothing addresses it.
+}
+
+}  // namespace mvc

@@ -1,0 +1,41 @@
+// FaultInjectorProcess: executes a FaultPlan by sending CrashMsg /
+// RecoverMsg pairs to the targeted processes.
+//
+// Because the injector is an ordinary process and faults are ordinary
+// messages, both runtimes gain fault delivery for free: Process::Deliver
+// intercepts the control messages before OnMessage. Per-channel FIFO
+// guarantees each crash arrives before its paired recover even when
+// latencies are random.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "fault/fault_plan.h"
+#include "net/runtime.h"
+
+namespace mvc {
+
+class FaultInjectorProcess : public Process {
+ public:
+  /// `targets` maps plan target names to registered process ids; every
+  /// plan target must be present (validated by the system wiring).
+  FaultInjectorProcess(FaultPlan plan,
+                       std::map<std::string, ProcessId> targets)
+      : Process("fault-injector"),
+        plan_(std::move(plan)),
+        targets_(std::move(targets)) {}
+
+  void OnStart() override;
+  void OnMessage(ProcessId from, MessagePtr msg) override;
+
+  int64_t crashes_scheduled() const { return crashes_scheduled_; }
+
+ private:
+  FaultPlan plan_;
+  std::map<std::string, ProcessId> targets_;
+  int64_t crashes_scheduled_ = 0;
+};
+
+}  // namespace mvc

@@ -1,0 +1,68 @@
+#include "fault/fault_plan.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace mvc {
+
+std::string FaultEvent::ToString() const {
+  return StrCat(target, "@", at, "+", down_for);
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out += ",";
+    out += events[i].ToString();
+  }
+  return out;
+}
+
+namespace {
+
+Result<int64_t> ParseMicros(const std::string& s, const std::string& what) {
+  if (s.empty()) {
+    return Status::InvalidArgument(StrCat("fault spec: empty ", what));
+  }
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument(
+          StrCat("fault spec: bad ", what, " '", s, "'"));
+    }
+  }
+  return static_cast<int64_t>(std::stoll(s));
+}
+
+}  // namespace
+
+Result<FaultPlan> ParseFaultSpec(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty()) return plan;
+  for (const std::string& part : SplitString(spec, ',')) {
+    size_t at_pos = part.find('@');
+    if (at_pos == std::string::npos || at_pos == 0) {
+      return Status::InvalidArgument(
+          StrCat("fault spec: expected target@time in '", part, "'"));
+    }
+    FaultEvent ev;
+    ev.target = part.substr(0, at_pos);
+    std::string times = part.substr(at_pos + 1);
+    size_t plus_pos = times.find('+');
+    std::string at_str =
+        plus_pos == std::string::npos ? times : times.substr(0, plus_pos);
+    MVC_ASSIGN_OR_RETURN(ev.at, ParseMicros(at_str, "crash time"));
+    if (plus_pos != std::string::npos) {
+      MVC_ASSIGN_OR_RETURN(
+          ev.down_for, ParseMicros(times.substr(plus_pos + 1), "downtime"));
+      if (ev.down_for <= 0) {
+        return Status::InvalidArgument(
+            StrCat("fault spec: downtime must be positive in '", part, "'"));
+      }
+    }
+    plan.events.push_back(std::move(ev));
+  }
+  return plan;
+}
+
+}  // namespace mvc

@@ -1,0 +1,64 @@
+// Deterministic fault schedules.
+//
+// A FaultPlan is a list of (target process, crash time, downtime) events
+// executed by a FaultInjectorProcess (fault_injector.h). Because crashes
+// and restarts travel as ordinary messages, the same plan produces the
+// same fault sequence under SimRuntime on every run with the same seed —
+// which is what makes crash-recovery testable against the consistency
+// oracle.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mvc {
+
+/// One crash/restart pair for one process.
+struct FaultEvent {
+  /// Name of the process to crash ("vm-V1", "merge-0", ...).
+  std::string target;
+  /// Time (microseconds from start) the CrashMsg is scheduled.
+  int64_t at = 0;
+  /// How long the process stays down before the RecoverMsg.
+  int64_t down_for = 20000;
+
+  std::string ToString() const;
+};
+
+/// An ordered fault schedule.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  std::string ToString() const;
+};
+
+/// Parses a fault spec of the form
+///   "target@at[+down_for],target@at[+down_for],..."
+/// e.g. "vm-V1@5000+30000,merge-0@12000". Whitespace around commas is
+/// not allowed (the spec is a flag value). Times are microseconds.
+Result<FaultPlan> ParseFaultSpec(const std::string& spec);
+
+/// Fault-tolerance knobs carried in the system config.
+struct FaultOptions {
+  /// The crash/restart schedule; empty plan = fault tolerance wired but
+  /// never exercised.
+  FaultPlan plan;
+  /// A view manager checkpoints after every N action-list emissions.
+  int32_t checkpoint_every = 4;
+  /// A recovering merge retries an unanswered AL resync request after
+  /// this delay (the target view manager may itself be down).
+  int64_t resync_retry_micros = 10000;
+  /// Retry cap so a simulation with a permanently dead manager still
+  /// quiesces.
+  int32_t max_resync_retries = 50;
+
+  bool enabled() const { return !plan.empty(); }
+};
+
+}  // namespace mvc

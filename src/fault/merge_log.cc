@@ -1,0 +1,38 @@
+#include "fault/merge_log.h"
+
+#include "common/string_util.h"
+
+namespace mvc {
+
+std::string MergeLogEntry::ToString() const {
+  switch (kind) {
+    case Kind::kRel:
+      return StrCat("REL U", update_id, " {", JoinToString(views, ","), "}");
+    case Kind::kActionList:
+      return StrCat("AL ", al.ToString());
+    case Kind::kFlush:
+      return "FLUSH";
+    case Kind::kSubmit:
+      return StrCat("SUBMIT ", txn.ToString());
+    case Kind::kAck:
+      return StrCat("ACK WT", txn_id);
+  }
+  return "?";
+}
+
+void MergeLog::Append(MergeLogEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<MergeLogEntry> MergeLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+int64_t MergeLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+}  // namespace mvc

@@ -1,0 +1,67 @@
+// Write-ahead log for a merge process.
+//
+// The merge process appends an entry for every input it consumes (REL
+// sets, action lists, timer-driven batch flushes, commit acks) and every
+// warehouse transaction it submits. After a crash, replaying the input
+// entries through a fresh merge engine rebuilds the VUT exactly — the
+// engine is deterministic, so the replayed run re-generates the same
+// warehouse transactions in the same order, letting the recovered
+// process resume without double-applying or skipping a transaction.
+// Submit entries are not replayed (the transactions were already sent);
+// they exist so tests can audit the emitted sequence for gaps and
+// duplicates.
+//
+// Mutex-guarded so the log can back ThreadRuntime runs.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace mvc {
+
+/// One logged merge-process event, in processing order.
+struct MergeLogEntry {
+  enum class Kind : uint8_t {
+    kRel = 0,         // consumed REL_i
+    kActionList = 1,  // consumed AL^x_j
+    kFlush = 2,       // timer-driven batch flush (kBatched policy)
+    kSubmit = 3,      // sent a warehouse transaction (audit only)
+    kAck = 4,         // observed a commit acknowledgement
+  };
+
+  Kind kind;
+  /// kRel: the update id. Otherwise unused.
+  UpdateId update_id = kInvalidUpdate;
+  /// kRel: REL_i restricted to this merge's views.
+  std::vector<std::string> views;
+  /// kActionList: the consumed list.
+  ActionList al;
+  /// kSubmit: the submitted transaction.
+  WarehouseTransaction txn;
+  /// kSubmit / kAck: the transaction id.
+  int64_t txn_id = 0;
+
+  std::string ToString() const;
+};
+
+/// Append-only log for one merge process.
+class MergeLog {
+ public:
+  void Append(MergeLogEntry entry);
+
+  /// Snapshot of all entries in append order.
+  std::vector<MergeLogEntry> Snapshot() const;
+
+  int64_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<MergeLogEntry> entries_;
+};
+
+}  // namespace mvc

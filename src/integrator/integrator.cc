@@ -1,5 +1,6 @@
 #include "integrator/integrator.h"
 
+#include <algorithm>
 #include <set>
 
 #include "common/string_util.h"
@@ -20,7 +21,15 @@ Status IntegratorProcess::RegisterView(const BoundView* view,
 }
 
 void IntegratorProcess::OnMessage(ProcessId from, MessagePtr msg) {
-  (void)from;
+  if (msg->kind == Message::Kind::kReplayRequest) {
+    HandleReplayRequest(from, *static_cast<ReplayRequestMsg*>(msg.get()));
+    return;
+  }
+  if (msg->kind == Message::Kind::kRelResyncRequest) {
+    HandleRelResyncRequest(from,
+                           *static_cast<RelResyncRequestMsg*>(msg.get()));
+    return;
+  }
   if (msg->kind != Message::Kind::kSourceTxn) {
     MVC_LOG_ERROR() << "integrator: unexpected message " << msg->Summary();
     return;
@@ -69,6 +78,10 @@ void IntegratorProcess::ProcessTransaction(const SourceTransaction& txn) {
     if (relevant) rel.push_back(name);
   }
 
+  if (options_.retain_for_replay) {
+    retained_.push_back(RetainedUpdate{update_id, txn, rel});
+  }
+
   // Deliver REL_i to each merge process owning at least one affected
   // view, restricted to its own views (distributed merge, Section 6.1).
   // Under the piggyback scheme the first view manager per merge group
@@ -113,6 +126,45 @@ void IntegratorProcess::ProcessTransaction(const SourceTransaction& txn) {
     SendAfter(route.view_manager, std::move(update_msg),
               options_.process_delay);
   }
+}
+
+void IntegratorProcess::HandleReplayRequest(ProcessId from,
+                                            const ReplayRequestMsg& req) {
+  // Resend the view-relevant tail of the update stream to a recovering
+  // view manager. FIFO makes the response complete: any update numbered
+  // after it was generated will also arrive after it on this channel.
+  auto resp = std::make_unique<ReplayResponseMsg>();
+  resp->epoch = req.epoch;
+  for (const RetainedUpdate& ru : retained_) {
+    if (ru.id <= req.after) continue;
+    if (std::find(ru.rel.begin(), ru.rel.end(), req.view) == ru.rel.end()) {
+      continue;
+    }
+    resp->updates.push_back(ReplayedUpdate{ru.id, ru.txn});
+  }
+  Send(from, std::move(resp));
+}
+
+void IntegratorProcess::HandleRelResyncRequest(
+    ProcessId from, const RelResyncRequestMsg& req) {
+  // Reconstruct exactly the REL stream this merge process would have
+  // been sent after `after`: each REL restricted to the merge's own
+  // views, plus the empty-REL broadcasts when nothing was affected.
+  auto resp = std::make_unique<RelResyncResponseMsg>();
+  resp->epoch = req.epoch;
+  for (const RetainedUpdate& ru : retained_) {
+    if (ru.id <= req.after) continue;
+    RelEntry entry;
+    entry.update_id = ru.id;
+    for (const std::string& view : ru.rel) {
+      if (views_[view].merge == from) entry.views.push_back(view);
+    }
+    if (!entry.views.empty() ||
+        (ru.rel.empty() && options_.report_empty_rel)) {
+      resp->rels.push_back(std::move(entry));
+    }
+  }
+  Send(from, std::move(resp));
 }
 
 }  // namespace mvc

@@ -39,6 +39,11 @@ struct IntegratorOptions {
   /// so that freshness accounting sees every update id. SPA/PA purge the
   /// empty row immediately.
   bool report_empty_rel = true;
+  /// Keep every numbered transaction (with its REL) so recovering view
+  /// managers and merge processes can ask for replays of the tail of
+  /// their streams. Enabled by the system wiring when a fault plan is
+  /// present.
+  bool retain_for_replay = false;
 };
 
 class IntegratorProcess : public Process {
@@ -67,11 +72,22 @@ class IntegratorProcess : public Process {
 
  private:
   void ProcessTransaction(const SourceTransaction& txn);
+  void HandleReplayRequest(ProcessId from, const ReplayRequestMsg& req);
+  void HandleRelResyncRequest(ProcessId from,
+                              const RelResyncRequestMsg& req);
 
   struct ViewRoute {
     const BoundView* view;
     ProcessId view_manager;
     ProcessId merge;
+  };
+
+  /// One numbered transaction kept for crash recovery.
+  struct RetainedUpdate {
+    UpdateId id;
+    SourceTransaction txn;
+    /// REL_i (all affected views, sorted by name).
+    std::vector<std::string> rel;
   };
 
   IntegratorOptions options_;
@@ -81,6 +97,8 @@ class IntegratorProcess : public Process {
   /// Buffered parts of in-flight global transactions, keyed by id.
   std::map<int64_t, std::vector<SourceTransaction>> pending_global_;
   std::function<void(UpdateId, const SourceTransaction&)> observer_;
+  /// Append-only when retain_for_replay; ids are 1..next_update_.
+  std::vector<RetainedUpdate> retained_;
 };
 
 }  // namespace mvc

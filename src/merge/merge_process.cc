@@ -42,21 +42,56 @@ MergeProcess::MergeProcess(std::string name, std::vector<std::string> views,
                            MergeOptions options)
     : Process(std::move(name)),
       options_(options),
-      engine_(MergeEngine::Create(options.algorithm, std::move(views))) {}
+      views_(std::move(views)),
+      engine_(MergeEngine::Create(options.algorithm, views_)) {}
+
+void MergeProcess::EnableFaultTolerance(
+    MergeLog* log, ProcessId integrator,
+    std::map<std::string, ProcessId> vm_of_view, const FaultOptions& opts) {
+  MVC_CHECK(log != nullptr);
+  log_ = log;
+  integrator_ = integrator;
+  vm_of_view_ = std::move(vm_of_view);
+  resync_retry_micros_ = opts.resync_retry_micros;
+  max_resync_retries_ = opts.max_resync_retries;
+}
 
 void MergeProcess::OnMessage(ProcessId from, MessagePtr msg) {
   (void)from;
   switch (msg->kind) {
     case Message::Kind::kTxnCommitted: {
       // Commit acknowledgements are cheap bookkeeping; handled inline.
-      OnCommitted(static_cast<TxnCommittedMsg*>(msg.get())->txn_id);
+      AckAndLog(static_cast<TxnCommittedMsg*>(msg.get())->txn_id);
       return;
     }
     case Message::Kind::kTick: {
       auto* tick = static_cast<TickMsg*>(msg.get());
       if (tick->tag == kBatchFlushTag) {
         batch_timer_armed_ = false;
-        if (!batch_.empty()) FlushBatch();
+        if (!batch_.empty()) {
+          // Timer flushes are not derivable from the input entries, so
+          // the WAL records them explicitly for replay.
+          if (log_ != nullptr) {
+            MergeLogEntry e;
+            e.kind = MergeLogEntry::Kind::kFlush;
+            log_->Append(std::move(e));
+          }
+          FlushBatch();
+        }
+      } else if (tick->tag == kResyncRetryTag) {
+        // A view manager may itself have been down when we asked for its
+        // AL outbox tail; re-ask (capped so the run still quiesces if it
+        // never comes back).
+        if (awaiting_al_sync_.empty() ||
+            resync_retries_done_ >= max_resync_retries_) {
+          return;
+        }
+        ++resync_retries_done_;
+        ++stats_.resync_retries;
+        for (const std::string& view : awaiting_al_sync_) {
+          SendAlResyncRequest(view);
+        }
+        ArmResyncRetry();
       } else {
         busy_ = false;
         PumpBacklog();
@@ -74,10 +109,131 @@ void MergeProcess::OnMessage(ProcessId from, MessagePtr msg) {
       }
       return;
     }
+    case Message::Kind::kRelResyncResponse: {
+      auto* resp = static_cast<RelResyncResponseMsg*>(msg.get());
+      if (resp->epoch != epoch_ || rel_synced_) return;
+      rel_synced_ = true;
+      for (RelEntry& entry : resp->rels) {
+        std::vector<WarehouseTransaction> emitted;
+        ConsumeRel(entry.update_id, entry.views, &emitted);
+        HandleEmitted(std::move(emitted));
+      }
+      return;
+    }
+    case Message::Kind::kAlResyncResponse: {
+      auto* resp = static_cast<AlResyncResponseMsg*>(msg.get());
+      if (resp->epoch != epoch_) return;
+      if (awaiting_al_sync_.erase(resp->view) == 0) return;
+      for (ActionList& al : resp->action_lists) {
+        std::vector<WarehouseTransaction> emitted;
+        ConsumeAl(std::move(al), &emitted);
+        HandleEmitted(std::move(emitted));
+      }
+      return;
+    }
+    case Message::Kind::kCommitResyncResponse: {
+      auto* resp = static_cast<CommitResyncResponseMsg*>(msg.get());
+      if (resp->epoch != epoch_) return;
+      // Acks delivered while we were down are gone; the warehouse's
+      // committed set stands in for them.
+      for (int64_t txn_id : resp->committed) {
+        if (outstanding_.count(txn_id) > 0) AckAndLog(txn_id);
+      }
+      return;
+    }
     default:
       MVC_LOG_ERROR() << "merge " << name() << ": unexpected message "
                       << msg->Summary();
   }
+}
+
+void MergeProcess::OnCrashed() {
+  // All volatile state dies with the process; the MergeLog survives.
+  backlog_.clear();
+  busy_ = false;
+  batch_.clear();
+  batch_timer_armed_ = false;
+  wait_queue_.clear();
+  outstanding_.clear();
+  next_txn_id_ = 0;
+  max_rel_id_ = kInvalidUpdate;
+  max_al_label_.clear();
+  rel_synced_ = true;
+  awaiting_al_sync_.clear();
+  replaying_ = false;
+  resync_retries_done_ = 0;
+  engine_ = MergeEngine::Create(options_.algorithm, views_);
+}
+
+void MergeProcess::OnRecovered() {
+  MVC_CHECK(log_ != nullptr);  // faults only target fault-tolerant merges
+  // Phase 1: rebuild the VUT and submission state by replaying the WAL
+  // through the fresh engine. The engine is deterministic, so replay
+  // regenerates exactly the pre-crash transaction sequence — Submit
+  // re-assigns the same txn ids but sends nothing (the pre-crash
+  // incarnation already did).
+  replaying_ = true;
+  for (MergeLogEntry& entry : log_->Snapshot()) {
+    std::vector<WarehouseTransaction> emitted;
+    switch (entry.kind) {
+      case MergeLogEntry::Kind::kRel:
+        ConsumeRel(entry.update_id, entry.views, &emitted);
+        break;
+      case MergeLogEntry::Kind::kActionList:
+        ConsumeAl(entry.al, &emitted);
+        break;
+      case MergeLogEntry::Kind::kFlush:
+        if (!batch_.empty()) FlushBatch();
+        break;
+      case MergeLogEntry::Kind::kSubmit:
+        // Audit-only: replaying the inputs regenerates the submission.
+        break;
+      case MergeLogEntry::Kind::kAck:
+        OnCommitted(entry.txn_id);
+        break;
+    }
+    HandleEmitted(std::move(emitted));
+    ++stats_.log_entries_replayed;
+  }
+  replaying_ = false;
+  // Phase 2: resync with the neighbours. Everything consumed while we
+  // were down is gone; each peer's durable state fills the gap, and the
+  // watermarks just rebuilt (max_rel_id_, max_al_label_) tell every peer
+  // exactly where our log ends.
+  ++epoch_;
+  rel_synced_ = false;
+  auto rel_req = std::make_unique<RelResyncRequestMsg>();
+  rel_req->after = max_rel_id_;
+  rel_req->epoch = epoch_;
+  Send(integrator_, std::move(rel_req));
+  awaiting_al_sync_.clear();
+  for (const std::string& view : views_) {
+    awaiting_al_sync_.insert(view);
+    SendAlResyncRequest(view);
+  }
+  auto commit_req = std::make_unique<CommitResyncRequestMsg>();
+  commit_req->epoch = epoch_;
+  Send(warehouse_, std::move(commit_req));
+  resync_retries_done_ = 0;
+  ArmResyncRetry();
+}
+
+void MergeProcess::SendAlResyncRequest(const std::string& view) {
+  auto it = vm_of_view_.find(view);
+  MVC_CHECK(it != vm_of_view_.end());
+  auto req = std::make_unique<AlResyncRequestMsg>();
+  req->view = view;
+  auto label = max_al_label_.find(view);
+  req->after = label == max_al_label_.end() ? kInvalidUpdate : label->second;
+  req->epoch = epoch_;
+  Send(it->second, std::move(req));
+}
+
+void MergeProcess::ArmResyncRetry() {
+  if (awaiting_al_sync_.empty()) return;
+  auto tick = std::make_unique<TickMsg>();
+  tick->tag = kResyncRetryTag;
+  ScheduleSelf(std::move(tick), resync_retry_micros_);
 }
 
 void MergeProcess::PumpBacklog() {
@@ -93,24 +249,75 @@ void MergeProcess::HandleNow(Message* msg) {
   std::vector<WarehouseTransaction> emitted;
   if (msg->kind == Message::Kind::kRelSet) {
     auto* rel = static_cast<RelSetMsg*>(msg);
-    ++stats_.rels_received;
-    engine_->ReceiveRelSet(rel->update_id, rel->views, &emitted);
+    if (!rel_synced_) {
+      // The integrator's resync response will cover this id.
+      ++stats_.dropped_during_resync;
+      return;
+    }
+    ConsumeRel(rel->update_id, rel->views, &emitted);
   } else {
     auto* alm = static_cast<ActionListMsg*>(msg);
     // Piggybacked REL sets (alternate delivery scheme) are processed
     // before the action list that carried them.
     for (RelSetMsg& rel : alm->piggybacked_rels) {
-      ++stats_.rels_received;
-      engine_->ReceiveRelSet(rel.update_id, rel.views, &emitted);
+      ConsumeRel(rel.update_id, rel.views, &emitted);
     }
-    ++stats_.action_lists_received;
-    engine_->ReceiveActionList(std::move(alm->al), &emitted);
+    if (awaiting_al_sync_.count(alm->al.view) > 0) {
+      // In flight before our resync request reached the manager, so the
+      // pending response includes it.
+      ++stats_.dropped_during_resync;
+    } else {
+      ConsumeAl(std::move(alm->al), &emitted);
+    }
   }
   stats_.peak_held_action_lists =
       std::max(stats_.peak_held_action_lists, engine_->held_action_lists());
   stats_.peak_open_rows =
       std::max(stats_.peak_open_rows, engine_->open_rows());
   HandleEmitted(std::move(emitted));
+}
+
+void MergeProcess::ConsumeRel(UpdateId update_id,
+                              const std::vector<std::string>& views,
+                              std::vector<WarehouseTransaction>* emitted) {
+  if (log_ != nullptr) {
+    // REL ids arrive in increasing order per merge, so the watermark
+    // catches any resync/stream overlap.
+    if (update_id <= max_rel_id_) return;
+    max_rel_id_ = update_id;
+    if (!replaying_) {
+      MergeLogEntry e;
+      e.kind = MergeLogEntry::Kind::kRel;
+      e.update_id = update_id;
+      e.views = views;
+      log_->Append(std::move(e));
+    }
+  }
+  if (!replaying_) ++stats_.rels_received;
+  engine_->ReceiveRelSet(update_id, views, emitted);
+}
+
+void MergeProcess::ConsumeAl(ActionList al,
+                             std::vector<WarehouseTransaction>* emitted) {
+  if (log_ != nullptr) {
+    // Per-view labels increase strictly (the painting engines check
+    // this), so a label at or below the watermark is a duplicate from a
+    // resync overlap and must not reach the engine.
+    auto it = max_al_label_.find(al.view);
+    if (it != max_al_label_.end() && al.update <= it->second) {
+      if (!replaying_) ++stats_.duplicate_als_dropped;
+      return;
+    }
+    max_al_label_[al.view] = al.update;
+    if (!replaying_) {
+      MergeLogEntry e;
+      e.kind = MergeLogEntry::Kind::kActionList;
+      e.al = al;
+      log_->Append(std::move(e));
+    }
+  }
+  if (!replaying_) ++stats_.action_lists_received;
+  engine_->ReceiveActionList(std::move(al), emitted);
 }
 
 void MergeProcess::HandleEmitted(std::vector<WarehouseTransaction> emitted) {
@@ -192,17 +399,47 @@ void MergeProcess::Submit(WarehouseTransaction txn) {
     }
   }
   outstanding_[txn.txn_id] = txn.views;
+  if (replaying_) {
+    // The pre-crash incarnation already sent this exact transaction
+    // (same inputs, same engine, same id); only the bookkeeping above
+    // needed rebuilding.
+    return;
+  }
   ++stats_.transactions_submitted;
   stats_.actions_submitted += static_cast<int64_t>(txn.actions.size());
+  if (log_ != nullptr) {
+    MergeLogEntry e;
+    e.kind = MergeLogEntry::Kind::kSubmit;
+    e.txn_id = txn.txn_id;
+    e.txn = txn;
+    log_->Append(std::move(e));
+  }
   auto msg = std::make_unique<WarehouseTxnMsg>();
   msg->txn = std::move(txn);
   Send(warehouse_, std::move(msg));
 }
 
+void MergeProcess::AckAndLog(int64_t txn_id) {
+  if (log_ != nullptr && !replaying_) {
+    MergeLogEntry e;
+    e.kind = MergeLogEntry::Kind::kAck;
+    e.txn_id = txn_id;
+    log_->Append(std::move(e));
+  }
+  OnCommitted(txn_id);
+}
+
 void MergeProcess::OnCommitted(int64_t txn_id) {
-  MVC_CHECK(outstanding_.erase(txn_id) == 1)
-      << "commit ack for unknown transaction " << txn_id;
-  ++stats_.transactions_committed;
+  if (outstanding_.erase(txn_id) == 0) {
+    // Either a duplicate (the commit resync raced a late ack) or an ack
+    // for a transaction an earlier incarnation retired. Without fault
+    // tolerance this is still a protocol error.
+    MVC_CHECK(log_ != nullptr)
+        << "commit ack for unknown transaction " << txn_id;
+    ++stats_.stale_acks;
+    return;
+  }
+  if (!replaying_) ++stats_.transactions_committed;
   switch (options_.policy) {
     case SubmissionPolicy::kSequential:
       if (!wait_queue_.empty()) {

@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.h"
+#include "fault/merge_log.h"
 #include "merge/merge_engine.h"
 #include "net/protocol.h"
 #include "net/runtime.h"
@@ -70,6 +72,17 @@ struct MergeStats {
   size_t peak_backlog = 0;
   /// Total action lists folded into submitted transactions.
   int64_t actions_submitted = 0;
+  // --- Crash recovery (zero in fault-free runs) ---
+  /// MergeLog entries replayed across all recoveries.
+  int64_t log_entries_replayed = 0;
+  /// Action lists dropped because their label was already processed.
+  int64_t duplicate_als_dropped = 0;
+  /// Commit acks for transactions no longer outstanding.
+  int64_t stale_acks = 0;
+  /// AL resync requests re-sent because a view manager was down.
+  int64_t resync_retries = 0;
+  /// Ordinary REL/AL messages dropped while a resync covered them.
+  int64_t dropped_during_resync = 0;
 };
 
 class MergeProcess : public Process {
@@ -81,11 +94,25 @@ class MergeProcess : public Process {
 
   void SetWarehouse(ProcessId warehouse) { warehouse_ = warehouse; }
 
+  /// Turns on crash recovery: every consumed input and submitted
+  /// transaction is appended to `log` (the durable WAL); on recovery the
+  /// log is replayed through a fresh engine and the REL stream, each
+  /// view's AL stream, and the commit set are resynced with `integrator`,
+  /// the view managers in `vm_of_view`, and the warehouse.
+  void EnableFaultTolerance(MergeLog* log, ProcessId integrator,
+                            std::map<std::string, ProcessId> vm_of_view,
+                            const FaultOptions& opts);
+
   const MergeEngine& engine() const { return *engine_; }
   const MergeStats& stats() const { return stats_; }
   const MergeOptions& options() const { return options_; }
+  bool resyncing() const { return !rel_synced_ || !awaiting_al_sync_.empty(); }
 
   void OnMessage(ProcessId from, MessagePtr msg) override;
+
+ protected:
+  void OnCrashed() override;
+  void OnRecovered() override;
 
  private:
   void HandleNow(Message* msg);
@@ -97,11 +124,48 @@ class MergeProcess : public Process {
   bool OverlapsUncommitted(const WarehouseTransaction& txn,
                            int64_t before_txn_id) const;
   void FlushBatch();
+  /// Feeds one REL set / action list into the engine, logging it (when
+  /// not replaying) and dropping duplicates by id/label.
+  void ConsumeRel(UpdateId update_id, const std::vector<std::string>& views,
+                  std::vector<WarehouseTransaction>* emitted);
+  void ConsumeAl(ActionList al, std::vector<WarehouseTransaction>* emitted);
+  /// Logs a commit acknowledgement and applies it.
+  void AckAndLog(int64_t txn_id);
+  void SendAlResyncRequest(const std::string& view);
+  void ArmResyncRetry();
 
   MergeOptions options_;
+  /// This process's VUT columns; kept (not just moved into the engine)
+  /// so recovery can build a fresh engine.
+  std::vector<std::string> views_;
   std::unique_ptr<MergeEngine> engine_;
   ProcessId warehouse_ = kInvalidProcess;
   MergeStats stats_;
+
+  // --- Fault tolerance (log_ == nullptr when disabled) ---
+  MergeLog* log_ = nullptr;
+  ProcessId integrator_ = kInvalidProcess;
+  std::map<std::string, ProcessId> vm_of_view_;
+  TimeMicros resync_retry_micros_ = 10000;
+  int32_t max_resync_retries_ = 50;
+  /// Incremented per recovery; resync responses carrying an older epoch
+  /// answer an interrupted recovery and are discarded.
+  int64_t epoch_ = 0;
+  /// True while the WAL is being replayed: the engine and submission
+  /// state advance, but nothing is sent, logged, or counted.
+  bool replaying_ = false;
+  /// False between recovery and the integrator's REL resync response;
+  /// ordinary REL sets are dropped meanwhile (the response covers them).
+  bool rel_synced_ = true;
+  /// Views whose AL resync response is still pending; their ordinary
+  /// action lists are dropped meanwhile.
+  std::set<std::string> awaiting_al_sync_;
+  /// Highest REL id / per-view AL label ever consumed — the dedup
+  /// watermarks that make resync overlap harmless.
+  UpdateId max_rel_id_ = kInvalidUpdate;
+  std::map<std::string, UpdateId> max_al_label_;
+  int32_t resync_retries_done_ = 0;
+  static constexpr int64_t kResyncRetryTag = -2;
 
   int64_t next_txn_id_ = 0;
   /// Submitted-but-unacknowledged transactions' view sets, by txn id.

@@ -24,6 +24,17 @@ struct Message {
     kInjectTxn = 9,      // workload driver -> source
     kReadViews = 10,     // reader -> warehouse
     kViewsSnapshot = 11, // warehouse -> reader
+    // --- Fault injection & crash recovery (src/fault/) ---
+    kCrash = 12,               // fault injector -> any process
+    kRecover = 13,             // fault injector -> any process
+    kReplayRequest = 14,       // recovering view manager -> integrator
+    kReplayResponse = 15,      // integrator -> view manager
+    kRelResyncRequest = 16,    // recovering merge -> integrator
+    kRelResyncResponse = 17,   // integrator -> merge
+    kAlResyncRequest = 18,     // recovering merge -> view manager
+    kAlResyncResponse = 19,    // view manager -> merge
+    kCommitResyncRequest = 20, // recovering merge -> warehouse
+    kCommitResyncResponse = 21 // warehouse -> merge
   };
 
   explicit Message(Kind k) : kind(k) {}

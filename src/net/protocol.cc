@@ -33,6 +33,26 @@ const char* MessageKindToString(Message::Kind kind) {
       return "ReadViews";
     case Message::Kind::kViewsSnapshot:
       return "ViewsSnapshot";
+    case Message::Kind::kCrash:
+      return "Crash";
+    case Message::Kind::kRecover:
+      return "Recover";
+    case Message::Kind::kReplayRequest:
+      return "ReplayRequest";
+    case Message::Kind::kReplayResponse:
+      return "ReplayResponse";
+    case Message::Kind::kRelResyncRequest:
+      return "RelResyncRequest";
+    case Message::Kind::kRelResyncResponse:
+      return "RelResyncResponse";
+    case Message::Kind::kAlResyncRequest:
+      return "AlResyncRequest";
+    case Message::Kind::kAlResyncResponse:
+      return "AlResyncResponse";
+    case Message::Kind::kCommitResyncRequest:
+      return "CommitResyncRequest";
+    case Message::Kind::kCommitResyncResponse:
+      return "CommitResyncResponse";
   }
   return "?";
 }
@@ -104,6 +124,47 @@ std::string ViewsSnapshotMsg::Summary() const {
 
 std::string InjectTxnMsg::Summary() const {
   return StrCat("inject ", updates.size(), " updates");
+}
+
+std::string CrashMsg::Summary() const { return "crash"; }
+
+std::string RecoverMsg::Summary() const { return "recover"; }
+
+std::string ReplayRequestMsg::Summary() const {
+  return StrCat("replay ", view, " after U", after, " (epoch ", epoch, ")");
+}
+
+std::string ReplayResponseMsg::Summary() const {
+  return StrCat("replay of ", updates.size(), " updates (epoch ", epoch,
+                ")");
+}
+
+std::string RelResyncRequestMsg::Summary() const {
+  return StrCat("rel resync after U", after, " (epoch ", epoch, ")");
+}
+
+std::string RelResyncResponseMsg::Summary() const {
+  return StrCat("rel resync of ", rels.size(), " entries (epoch ", epoch,
+                ")");
+}
+
+std::string AlResyncRequestMsg::Summary() const {
+  return StrCat("AL resync ", view, " after U", after, " (epoch ", epoch,
+                ")");
+}
+
+std::string AlResyncResponseMsg::Summary() const {
+  return StrCat("AL resync ", view, ": ", action_lists.size(),
+                " lists (epoch ", epoch, ")");
+}
+
+std::string CommitResyncRequestMsg::Summary() const {
+  return StrCat("commit resync (epoch ", epoch, ")");
+}
+
+std::string CommitResyncResponseMsg::Summary() const {
+  return StrCat("commit resync of ", committed.size(), " txns (epoch ",
+                epoch, ")");
 }
 
 }  // namespace mvc

@@ -199,4 +199,113 @@ struct InjectTxnMsg : Message {
   std::string Summary() const override;
 };
 
+// ---------------------------------------------------------------------------
+// Fault injection & crash recovery (src/fault/).
+//
+// Crashes and restarts are delivered as messages so both runtimes gain
+// fault semantics through the same channel machinery (Process::Deliver
+// intercepts them before OnMessage). Recovery protocols piggyback on the
+// per-channel FIFO guarantee: a resync response covers everything its
+// sender emitted before generating it, so the recovering process drops
+// ordinary traffic of that kind until the response arrives and can then
+// resume without gaps or duplicates. Every request carries the
+// requester's recovery epoch; responses echo it so answers to an
+// interrupted recovery attempt are discarded.
+
+/// Fault injector -> any process: lose all volatile state and drop every
+/// message delivered until the matching RecoverMsg.
+struct CrashMsg : Message {
+  CrashMsg() : Message(Kind::kCrash) {}
+  std::string Summary() const override;
+};
+
+/// Fault injector -> any process: restart from durable state.
+struct RecoverMsg : Message {
+  RecoverMsg() : Message(Kind::kRecover) {}
+  std::string Summary() const override;
+};
+
+/// Recovering view manager -> integrator: resend every retained update
+/// relevant to `view` with id > after (the restored checkpoint's
+/// last covered update).
+struct ReplayRequestMsg : Message {
+  ReplayRequestMsg() : Message(Kind::kReplayRequest) {}
+  std::string view;
+  UpdateId after = kInvalidUpdate;
+  int64_t epoch = 0;
+  std::string Summary() const override;
+};
+
+/// One replayed numbered update.
+struct ReplayedUpdate {
+  UpdateId id = kInvalidUpdate;
+  SourceTransaction txn;
+};
+
+/// Integrator -> view manager: the requested tail of the update stream.
+struct ReplayResponseMsg : Message {
+  ReplayResponseMsg() : Message(Kind::kReplayResponse) {}
+  int64_t epoch = 0;
+  std::vector<ReplayedUpdate> updates;
+  std::string Summary() const override;
+};
+
+/// Recovering merge -> integrator: resend every REL_i this merge would
+/// have been sent with i > after.
+struct RelResyncRequestMsg : Message {
+  RelResyncRequestMsg() : Message(Kind::kRelResyncRequest) {}
+  UpdateId after = kInvalidUpdate;
+  int64_t epoch = 0;
+  std::string Summary() const override;
+};
+
+/// One resynced REL entry (views restricted to the requesting merge).
+struct RelEntry {
+  UpdateId update_id = kInvalidUpdate;
+  std::vector<std::string> views;
+};
+
+/// Integrator -> merge.
+struct RelResyncResponseMsg : Message {
+  RelResyncResponseMsg() : Message(Kind::kRelResyncResponse) {}
+  int64_t epoch = 0;
+  std::vector<RelEntry> rels;
+  std::string Summary() const override;
+};
+
+/// Recovering merge -> view manager: resend every action list of `view`
+/// with label > after, served from the manager's durable outbox.
+struct AlResyncRequestMsg : Message {
+  AlResyncRequestMsg() : Message(Kind::kAlResyncRequest) {}
+  std::string view;
+  UpdateId after = kInvalidUpdate;
+  int64_t epoch = 0;
+  std::string Summary() const override;
+};
+
+/// View manager -> merge.
+struct AlResyncResponseMsg : Message {
+  AlResyncResponseMsg() : Message(Kind::kAlResyncResponse) {}
+  std::string view;
+  int64_t epoch = 0;
+  std::vector<ActionList> action_lists;
+  std::string Summary() const override;
+};
+
+/// Recovering merge -> warehouse: which of my transactions have
+/// committed? (Acks delivered while the merge was down were lost.)
+struct CommitResyncRequestMsg : Message {
+  CommitResyncRequestMsg() : Message(Kind::kCommitResyncRequest) {}
+  int64_t epoch = 0;
+  std::string Summary() const override;
+};
+
+/// Warehouse -> merge: every txn_id the sender has committed, sorted.
+struct CommitResyncResponseMsg : Message {
+  CommitResyncResponseMsg() : Message(Kind::kCommitResyncResponse) {}
+  int64_t epoch = 0;
+  std::vector<int64_t> committed;
+  std::string Summary() const override;
+};
+
 }  // namespace mvc

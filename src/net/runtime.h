@@ -52,7 +52,52 @@ class Process {
   /// Handles one delivered message. `from` is the sending process.
   virtual void OnMessage(ProcessId from, MessagePtr msg) = 0;
 
+  /// Fault-aware delivery wrapper the runtimes call instead of
+  /// OnMessage. Crash/recover control messages toggle the down flag and
+  /// invoke the OnCrashed/OnRecovered hooks; while down, every other
+  /// message is dropped (a crashed process neither receives nor acts).
+  /// Crashes therefore happen only at message boundaries — a handler
+  /// runs to completion or not at all, which models a process whose
+  /// steps are individually atomic.
+  void Deliver(ProcessId from, MessagePtr msg) {
+    switch (msg->kind) {
+      case Message::Kind::kCrash:
+        if (!down_) {
+          down_ = true;
+          ++crash_count_;
+          OnCrashed();
+        }
+        return;
+      case Message::Kind::kRecover:
+        if (down_) {
+          down_ = false;
+          ++recover_count_;
+          OnRecovered();
+        }
+        return;
+      default:
+        break;
+    }
+    if (down_) {
+      ++dropped_while_down_;
+      return;
+    }
+    OnMessage(from, std::move(msg));
+  }
+
+  bool down() const { return down_; }
+  int64_t crash_count() const { return crash_count_; }
+  int64_t recover_count() const { return recover_count_; }
+  int64_t dropped_while_down() const { return dropped_while_down_; }
+
  protected:
+  /// Crash hook: discard all volatile state. Durable stores (checkpoint
+  /// store, merge log, outboxes) survive by construction.
+  virtual void OnCrashed() {}
+
+  /// Restart hook: restore durable state and start any resync protocol.
+  virtual void OnRecovered() {}
+
   /// Sends `msg` to `to` over this process's FIFO channel to it.
   void Send(ProcessId to, MessagePtr msg);
 
@@ -73,6 +118,10 @@ class Process {
   std::string name_;
   ProcessId id_ = kInvalidProcess;
   Runtime* runtime_ = nullptr;
+  bool down_ = false;
+  int64_t crash_count_ = 0;
+  int64_t recover_count_ = 0;
+  int64_t dropped_while_down_ = 0;
 };
 
 /// Per-edge and aggregate message counters.

@@ -53,7 +53,7 @@ void SimRuntime::RunUntil(TimeMicros deadline) {
                     " -> ", processes_[ev.to]->name(), " ",
                     MessageKindToString(msg->kind), " ", msg->Summary()));
     }
-    processes_[ev.to]->OnMessage(ev.from, std::move(msg));
+    processes_[ev.to]->Deliver(ev.from, std::move(msg));
   }
   if (events_.empty() && now_ < deadline &&
       deadline != std::numeric_limits<TimeMicros>::max()) {

@@ -91,7 +91,7 @@ void ThreadRuntime::WorkerLoop(ProcessId id) {
       item = box.queue.front();
       box.queue.pop_front();
     }
-    processes_[id]->OnMessage(item.first, MessagePtr(item.second));
+    processes_[id]->Deliver(item.first, MessagePtr(item.second));
     OnHandled();
   }
 }

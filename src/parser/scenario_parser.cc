@@ -31,6 +31,8 @@ class Parser {
         MVC_RETURN_IF_ERROR(ParseManager());
       } else if (keyword == "txn") {
         MVC_RETURN_IF_ERROR(ParseTxn());
+      } else if (keyword == "fault") {
+        MVC_RETURN_IF_ERROR(ParseFault());
       } else {
         return Error(StrCat("unknown statement '", keyword, "'"));
       }
@@ -372,6 +374,24 @@ class Parser {
     }
     config_.workload.push_back(std::move(inj));
     return Status::OK();
+  }
+
+  /// fault <process> @ <time> [down <micros>] ;
+  /// Targets are runtime process names (vm-<view>, merge-<g>), validated
+  /// against the wired system at Build time, not here.
+  Status ParseFault() {
+    FaultEvent ev;
+    MVC_ASSIGN_OR_RETURN(ev.target, ExpectIdentifier());
+    MVC_RETURN_IF_ERROR(Expect(TokenKind::kAt));
+    MVC_ASSIGN_OR_RETURN(ev.at, ExpectInteger());
+    if (ConsumeKeyword("down")) {
+      MVC_ASSIGN_OR_RETURN(ev.down_for, ExpectInteger());
+    }
+    if (ev.at < 0 || ev.down_for <= 0) {
+      return Error("fault crash time must be >= 0 and down time > 0");
+    }
+    config_.fault.plan.events.push_back(std::move(ev));
+    return Expect(TokenKind::kSemicolon);
   }
 
   std::vector<Token> tokens_;

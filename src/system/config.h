@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "integrator/integrator.h"
 #include "integrator/sequential_integrator.h"
 #include "merge/merge_process.h"
@@ -86,6 +87,11 @@ struct SystemConfig {
   /// strawman (one process does everything).
   bool sequential_baseline = false;
   SequentialIntegratorOptions sequential;
+
+  /// Fault injection & crash recovery (src/fault/). A non-empty plan
+  /// wires checkpointing into every view manager, a WAL into every merge
+  /// process, and registers the fault injector.
+  FaultOptions fault;
 
   // --- Runtime ---
   uint64_t seed = 1;

@@ -1,0 +1,76 @@
+#include "system/run_report.h"
+
+#include "common/string_util.h"
+
+namespace mvc {
+
+namespace {
+
+void AppendProcessHealth(std::string* out, const Process& p) {
+  *out += StrCat(" crashes=", p.crash_count(),
+                 " recoveries=", p.recover_count(),
+                 " dropped_while_down=", p.dropped_while_down());
+}
+
+}  // namespace
+
+std::string RunReportString(WarehouseSystem& system) {
+  const ConsistencyRecorder& recorder = system.recorder();
+  std::string out = "=== run report ===\n";
+  out += StrCat("updates numbered:   ", recorder.updates().size(), "\n");
+  out += StrCat("warehouse commits:  ", recorder.commits().size(), "\n");
+  out += StrCat("virtual makespan:   ", system.runtime().Now(), " us\n");
+  out += StrCat("messages:           ",
+                system.runtime().stats().total_messages, "\n");
+
+  out += "view managers:\n";
+  for (const auto& vm : system.view_managers()) {
+    out += StrCat("  ", vm->name(),
+                  ": action_lists=", vm->action_lists_sent(),
+                  " updates=", vm->updates_received());
+    AppendProcessHealth(&out, *vm);
+    out += StrCat(" checkpoints=", vm->checkpoints_written(),
+                  " replayed=", vm->updates_replayed(),
+                  " silently_advanced=", vm->silently_advanced(),
+                  " dropped_recovering=", vm->dropped_during_recovery(),
+                  "\n");
+  }
+
+  out += "merge processes:\n";
+  for (size_t g = 0; g < system.merges().size(); ++g) {
+    const MergeProcess& merge = *system.merges()[g];
+    const MergeStats& s = merge.stats();
+    out += StrCat("  ", merge.name(), ": rels=", s.rels_received,
+                  " action_lists=", s.action_lists_received,
+                  " submitted=", s.transactions_submitted,
+                  " committed=", s.transactions_committed,
+                  " actions=", s.actions_submitted);
+    AppendProcessHealth(&out, merge);
+    const int64_t wal =
+        g < system.merge_logs().size() ? system.merge_logs()[g]->size() : 0;
+    out += StrCat(" wal_entries=", wal,
+                  " wal_replayed=", s.log_entries_replayed,
+                  " duplicate_als_dropped=", s.duplicate_als_dropped,
+                  " stale_acks=", s.stale_acks,
+                  " resync_retries=", s.resync_retries,
+                  " dropped_during_resync=", s.dropped_during_resync, "\n");
+  }
+
+  out += StrCat("warehouse: committed=",
+                system.warehouse().transactions_committed(),
+                " actions_applied=", system.warehouse().actions_applied());
+  AppendProcessHealth(&out, system.warehouse());
+  out += "\n";
+
+  if (system.faults_enabled()) {
+    out += StrCat("fault injection: crashes_scheduled=",
+                  system.fault_injector()->crashes_scheduled(),
+                  " checkpoints_saved=",
+                  system.checkpoint_store()->checkpoints_saved(), "\n");
+  } else {
+    out += "fault injection: disabled\n";
+  }
+  return out;
+}
+
+}  // namespace mvc

@@ -1,0 +1,18 @@
+// Deterministic run report for a finished WarehouseSystem run.
+//
+// The report is a pure function of the system's post-run state: same
+// config + same seed on the simulator produce a byte-identical string,
+// which the deterministic-replay test relies on. Crash/recovery counters
+// appear for every process so faulty runs are auditable at a glance.
+
+#pragma once
+
+#include <string>
+
+#include "system/warehouse_system.h"
+
+namespace mvc {
+
+std::string RunReportString(WarehouseSystem& system);
+
+}  // namespace mvc

@@ -74,6 +74,36 @@ Status WarehouseSystem::Wire(SystemConfig config) {
   config_ = std::move(config);
   recorder_ = ConsistencyRecorder(config_.record_snapshots);
 
+  if (config_.fault.enabled()) {
+    if (config_.fault.checkpoint_every <= 0) {
+      return Status::InvalidArgument(
+          StrCat("fault.checkpoint_every must be positive, got ",
+                 config_.fault.checkpoint_every));
+    }
+    if (config_.sequential_baseline) {
+      return Status::InvalidArgument(
+          "fault injection requires the Figure 1 architecture, not the "
+          "sequential baseline");
+    }
+    if (config_.integrator.piggyback_rel) {
+      return Status::InvalidArgument(
+          "fault injection requires direct REL delivery; disable "
+          "integrator.piggyback_rel");
+    }
+    for (const auto& [view, kind] : config_.manager_kinds) {
+      if (kind == ManagerKind::kConvergent) {
+        return Status::InvalidArgument(StrCat(
+            "fault injection is incompatible with the convergent manager "
+            "for view '", view, "': convergent managers re-emit action "
+            "lists under a repeated label, which defeats replay "
+            "deduplication"));
+      }
+    }
+    // Recovering view managers and merge processes pull the missed tail
+    // of the numbered update stream back out of the integrator.
+    config_.integrator.retain_for_replay = true;
+  }
+
   // --- Initial base state ---
   std::map<std::string, std::string> relation_source;
   for (const auto& [source, relations] : config_.sources) {
@@ -334,6 +364,45 @@ Status WarehouseSystem::Wire(SystemConfig config) {
           recorder_.OnUpdateNumbered(id, txn, runtime_->Now());
         });
     for (auto& source : sources_) source->SetIntegrator(integrator_pid);
+
+    // Fault tolerance: durable stores, recovery wiring, and the injector.
+    if (config_.fault.enabled()) {
+      checkpoint_store_ = std::make_unique<CheckpointStore>();
+      for (auto& vm : view_managers_) {
+        vm->EnableFaultTolerance(checkpoint_store_.get(),
+                                 config_.fault.checkpoint_every,
+                                 integrator_pid);
+      }
+      for (size_t g = 0; g < groups_.size(); ++g) {
+        auto log = std::make_unique<MergeLog>();
+        std::map<std::string, ProcessId> group_vms;
+        for (const std::string& view : groups_[g].views) {
+          group_vms[view] = vm_of_view.at(view);
+        }
+        merges_[g]->EnableFaultTolerance(log.get(), integrator_pid,
+                                         std::move(group_vms),
+                                         config_.fault);
+        merge_logs_.push_back(std::move(log));
+      }
+      std::map<std::string, ProcessId> targets;
+      for (const auto& vm : view_managers_) targets[vm->name()] = vm->id();
+      for (const auto& merge : merges_) {
+        targets[merge->name()] = merge->id();
+      }
+      for (const FaultEvent& ev : config_.fault.plan.events) {
+        if (targets.count(ev.target) == 0) {
+          std::vector<std::string> known;
+          for (const auto& [name, pid] : targets) known.push_back(name);
+          return Status::InvalidArgument(
+              StrCat("fault target '", ev.target,
+                     "' is not a crashable process; known targets: ",
+                     JoinToString(known, ", ")));
+        }
+      }
+      fault_injector_ = std::make_unique<FaultInjectorProcess>(
+          config_.fault.plan, std::move(targets));
+      runtime_->Register(fault_injector_.get());
+    }
   }
 
   // --- Workload driver ---

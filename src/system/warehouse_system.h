@@ -12,6 +12,9 @@
 
 #include "consistency/checker.h"
 #include "consistency/recorder.h"
+#include "fault/checkpoint_store.h"
+#include "fault/fault_injector.h"
+#include "fault/merge_log.h"
 #include "merge/partition.h"
 #include "system/config.h"
 #include "viewmgr/view_manager.h"
@@ -79,6 +82,19 @@ class WarehouseSystem {
   const std::vector<ViewGroup>& view_groups() const { return groups_; }
   const std::vector<BoundView>& bound_views() const { return bound_views_; }
 
+  /// --- Fault tolerance (wired iff config.fault has a plan) ---
+  bool faults_enabled() const { return config_.fault.enabled(); }
+  const CheckpointStore* checkpoint_store() const {
+    return checkpoint_store_.get();
+  }
+  /// One WAL per merge process, in merge index order.
+  const std::vector<std::unique_ptr<MergeLog>>& merge_logs() const {
+    return merge_logs_;
+  }
+  const FaultInjectorProcess* fault_injector() const {
+    return fault_injector_.get();
+  }
+
  private:
   WarehouseSystem() = default;
 
@@ -99,6 +115,9 @@ class WarehouseSystem {
   std::unique_ptr<WarehouseProcess> warehouse_;
   std::unique_ptr<WorkloadDriver> driver_;
   std::vector<std::unique_ptr<WarehouseReader>> readers_;
+  std::unique_ptr<CheckpointStore> checkpoint_store_;
+  std::vector<std::unique_ptr<MergeLog>> merge_logs_;
+  std::unique_ptr<FaultInjectorProcess> fault_injector_;
 };
 
 }  // namespace mvc

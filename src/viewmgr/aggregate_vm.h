@@ -43,6 +43,12 @@ class AggregateViewManager : public ViewManagerBase {
  protected:
   void OnUpdateQueued() override { MaybeStartWork(); }
   void StartWork() override;
+  void OnFaultReset() override { batch_.clear(); }
+  void OnRecoveredHook() override {
+    // The group accumulators are derived state; rebuild them from the
+    // restored (and silently advanced) replica, exactly as OnStart did.
+    OnStart();
+  }
 
  private:
   AggregateSpec spec_;

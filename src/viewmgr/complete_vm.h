@@ -23,6 +23,7 @@ class CompleteViewManager : public ViewManagerBase {
  protected:
   void OnUpdateQueued() override { MaybeStartWork(); }
   void StartWork() override;
+  void OnFaultReset() override { batch_.clear(); }
 
  private:
   std::vector<PendingUpdate> batch_;

@@ -35,6 +35,16 @@ class PeriodicViewManager : public ViewManagerBase {
  protected:
   void OnUpdateQueued() override;
   void StartWork() override {}
+  void OnFaultReset() override {
+    timer_armed_ = false;
+    idle_periods_ = 0;
+  }
+  void OnRecoveredHook() override {
+    // Restart the refresh clock; pre-crash ticks that still arrive are
+    // absorbed by the timer_armed_ handshake in OnTick.
+    idle_periods_ = 0;
+    if (!timer_armed_) ScheduleRefresh();
+  }
 
  private:
   void OnTick(int64_t tag) override;

@@ -44,6 +44,10 @@ class StrongViewManager : public ViewManagerBase {
   void OnUpdateQueued() override;
   void StartWork() override;
   void OnTick(int64_t tag) override;
+  void OnFaultReset() override {
+    batch_.clear();
+    flush_scheduled_ = false;
+  }
 
  private:
   void StartBatch(bool force);

@@ -102,7 +102,33 @@ void ViewManagerBase::EmitActionList(const std::vector<PendingUpdate>& batch,
   EmitRaw(std::move(al), delay);
 }
 
+void ViewManagerBase::EnableFaultTolerance(CheckpointStore* store,
+                                           int32_t checkpoint_every,
+                                           ProcessId integrator) {
+  MVC_CHECK(store != nullptr);
+  MVC_CHECK(checkpoint_every > 0);
+  checkpoints_ = store;
+  checkpoint_every_ = checkpoint_every;
+  integrator_ = integrator;
+  // Initial recovery point: the seeded replica, covering no updates.
+  checkpoints_->Save(view_->name(), replica_, kInvalidUpdate);
+}
+
 void ViewManagerBase::EmitRaw(ActionList al, TimeMicros delay) {
+  if (checkpoints_ != nullptr) {
+    // Durable outbox first, then (periodically) a checkpoint. All of
+    // this happens inside one message handler, so a crash can never
+    // separate the replica advance from the AL emission: either the
+    // whole handler ran (AL in the outbox, replica advanced) or none
+    // of it did.
+    checkpoints_->AppendAl(view_->name(), al);
+    if (al.update > covered_through_) covered_through_ = al.update;
+    if (++als_since_checkpoint_ >= checkpoint_every_) {
+      checkpoints_->Save(view_->name(), replica_, covered_through_);
+      als_since_checkpoint_ = 0;
+      ++checkpoints_written_;
+    }
+  }
   auto msg = std::make_unique<ActionListMsg>();
   msg->al = std::move(al);
   msg->piggybacked_rels = std::move(pending_rels_);
@@ -143,10 +169,57 @@ void ViewManagerBase::BusyFor(TimeMicros delay) {
   ScheduleSelf(std::make_unique<TickMsg>(), delay);
 }
 
+Status ViewManagerBase::AdvanceReplica(const SourceTransaction& txn) {
+  for (const Update& u : txn.updates) {
+    if (!view_->RelationIndex(u.relation).has_value()) continue;
+    MVC_RETURN_IF_ERROR(ApplyToReplica(u));
+  }
+  return Status::OK();
+}
+
+void ViewManagerBase::OnCrashed() {
+  // Everything in RAM is gone. The checkpoint store and AL outbox are
+  // durable by construction; nothing else survives.
+  pending_.clear();
+  pending_rels_.clear();
+  busy_ = false;
+  round_done_ = nullptr;
+  outstanding_answers_ = 0;
+  recovering_ = false;
+  OnFaultReset();
+}
+
+void ViewManagerBase::OnRecovered() {
+  MVC_CHECK(checkpoints_ != nullptr);  // faults only target FT managers
+  std::optional<VmCheckpoint> cp = checkpoints_->Load(view_->name());
+  MVC_CHECK(cp.has_value());  // initial checkpoint written at wiring
+  replica_ = std::move(cp->replica);
+  covered_through_ = cp->covered_through;
+  als_since_checkpoint_ = 0;
+  // Everything up to the outbox's last label was already emitted; the
+  // checkpoint may be older. Updates in (covered_through_, resume_label_]
+  // must advance the replica but not produce new action lists.
+  resume_label_ = checkpoints_->LastAlLabel(view_->name());
+  if (resume_label_ < covered_through_) resume_label_ = covered_through_;
+  recovering_ = true;
+  ++epoch_;
+  auto req = std::make_unique<ReplayRequestMsg>();
+  req->view = view_->name();
+  req->after = covered_through_;
+  req->epoch = epoch_;
+  Send(integrator_, std::move(req));
+}
+
 void ViewManagerBase::OnMessage(ProcessId from, MessagePtr msg) {
-  (void)from;
   switch (msg->kind) {
     case Message::Kind::kUpdate: {
+      if (recovering_) {
+        // The integrator numbered this update before generating our
+        // replay response (FIFO), so the response includes it; handling
+        // it here too would double-apply.
+        ++dropped_during_recovery_;
+        return;
+      }
       auto* update = static_cast<UpdateMsg*>(msg.get());
       ++updates_received_;
       if (update->carries_rel) {
@@ -171,11 +244,50 @@ void ViewManagerBase::OnMessage(ProcessId from, MessagePtr msg) {
       return;
     }
     case Message::Kind::kQueryResponse: {
+      // A crash may have reset the round; late answers from the old
+      // round must not underflow the counter.
+      if (outstanding_answers_ == 0) return;
       if (--outstanding_answers_ == 0 && round_done_) {
         auto done = std::move(round_done_);
         round_done_ = nullptr;
         done();
       }
+      return;
+    }
+    case Message::Kind::kReplayResponse: {
+      auto* resp = static_cast<ReplayResponseMsg*>(msg.get());
+      // Stale epochs belong to an earlier, interrupted recovery whose
+      // state this incarnation no longer holds.
+      if (!recovering_ || resp->epoch != epoch_) return;
+      for (ReplayedUpdate& ru : resp->updates) {
+        if (ru.id <= resume_label_) {
+          // Already covered by an action list in the durable outbox:
+          // advance the replica silently, emit nothing.
+          Status st = AdvanceReplica(ru.txn);
+          MVC_CHECK(st.ok());
+          ++silently_advanced_;
+        } else {
+          pending_.push_back(PendingUpdate{ru.id, std::move(ru.txn)});
+          ++updates_replayed_;
+        }
+      }
+      recovering_ = false;
+      OnRecoveredHook();
+      if (!pending_.empty()) OnUpdateQueued();
+      return;
+    }
+    case Message::Kind::kAlResyncRequest: {
+      // A recovering merge process asking for our outbox tail. Served
+      // even while we are ourselves recovering — the outbox is durable
+      // and complete.
+      auto* req = static_cast<AlResyncRequestMsg*>(msg.get());
+      auto resp = std::make_unique<AlResyncResponseMsg>();
+      resp->view = view_->name();
+      resp->epoch = req->epoch;
+      if (checkpoints_ != nullptr) {
+        resp->action_lists = checkpoints_->AlsAfter(view_->name(), req->after);
+      }
+      Send(from, std::move(resp));
       return;
     }
     default:

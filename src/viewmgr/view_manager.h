@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "fault/checkpoint_store.h"
 #include "net/protocol.h"
 #include "net/runtime.h"
 #include "query/view_def.h"
@@ -95,10 +96,25 @@ class ViewManagerBase : public Process {
     sources_[relation] = source;
   }
 
+  /// Turns on crash recovery. Writes the initial checkpoint (the seeded
+  /// replica, covering no updates), so must be called after every
+  /// RegisterBaseRelation. After each `checkpoint_every` emitted action
+  /// lists a fresh checkpoint replaces it; every emitted AL is also
+  /// appended to the store's durable outbox. On recovery the manager
+  /// restores the checkpoint and asks `integrator` to replay the tail
+  /// of its update stream.
+  void EnableFaultTolerance(CheckpointStore* store, int32_t checkpoint_every,
+                            ProcessId integrator);
+
   /// --- Introspection ---
 
   int64_t action_lists_sent() const { return action_lists_sent_; }
   int64_t updates_received() const { return updates_received_; }
+  bool recovering() const { return recovering_; }
+  int64_t checkpoints_written() const { return checkpoints_written_; }
+  int64_t updates_replayed() const { return updates_replayed_; }
+  int64_t silently_advanced() const { return silently_advanced_; }
+  int64_t dropped_during_recovery() const { return dropped_during_recovery_; }
 
   void OnMessage(ProcessId from, MessagePtr msg) override;
 
@@ -113,6 +129,14 @@ class ViewManagerBase : public Process {
   /// Subclass hook for timers with a non-zero tag (tag 0 is reserved for
   /// the base class's busy-window tick).
   virtual void OnTick(int64_t tag) { (void)tag; }
+
+  /// Subclass hook: a crash wiped the base class's volatile state;
+  /// discard the subclass's (partial batches, timer flags).
+  virtual void OnFaultReset() {}
+
+  /// Subclass hook: recovery finished (checkpoint restored, replayed
+  /// updates queued). Rebuild derived state / re-arm timers here.
+  virtual void OnRecoveredHook() {}
 
   /// One queued update with its global number.
   struct PendingUpdate {
@@ -159,6 +183,14 @@ class ViewManagerBase : public Process {
   /// their initial state from it).
   const Catalog& replica() const { return replica_; }
 
+  /// Applies every view-relevant update of `txn` to the replica without
+  /// emitting anything — recovery uses this for replayed updates already
+  /// covered by action lists in the durable outbox.
+  Status AdvanceReplica(const SourceTransaction& txn);
+
+  void OnCrashed() override;
+  void OnRecovered() override;
+
   const BoundView* view_;
   ViewManagerOptions options_;
   std::deque<PendingUpdate> pending_;
@@ -177,6 +209,26 @@ class ViewManagerBase : public Process {
   int64_t next_request_ = 0;
   int64_t outstanding_answers_ = 0;
   std::function<void()> round_done_;
+  // Fault tolerance (null when disabled).
+  CheckpointStore* checkpoints_ = nullptr;
+  int32_t checkpoint_every_ = 4;
+  ProcessId integrator_ = kInvalidProcess;
+  /// j of the last checkpoint-eligible state: all updates <= j are
+  /// reflected in emitted action lists.
+  UpdateId covered_through_ = kInvalidUpdate;
+  int32_t als_since_checkpoint_ = 0;
+  /// Recovery state: waiting for the integrator's replay response;
+  /// ordinary updates are dropped (the response supersedes them).
+  bool recovering_ = false;
+  int64_t epoch_ = 0;
+  /// Label of the last AL in the durable outbox at recovery time:
+  /// replayed updates <= this are advanced silently, > this re-enter
+  /// pending_ and get fresh action lists.
+  UpdateId resume_label_ = kInvalidUpdate;
+  int64_t checkpoints_written_ = 0;
+  int64_t updates_replayed_ = 0;
+  int64_t silently_advanced_ = 0;
+  int64_t dropped_during_recovery_ = 0;
 };
 
 }  // namespace mvc

@@ -154,6 +154,19 @@ void WarehouseProcess::OnMessage(ProcessId from, MessagePtr msg) {
       Send(from, std::move(resp));
       return;
     }
+    case Message::Kind::kCommitResyncRequest: {
+      // A recovering merge process lost the acks delivered while it was
+      // down; hand it the full committed set for its channel.
+      auto* req = static_cast<CommitResyncRequestMsg*>(msg.get());
+      auto resp = std::make_unique<CommitResyncResponseMsg>();
+      resp->epoch = req->epoch;
+      auto it = committed_.find(from);
+      if (it != committed_.end()) {
+        resp->committed.assign(it->second.begin(), it->second.end());
+      }
+      Send(from, std::move(resp));
+      return;
+    }
     default:
       MVC_LOG_ERROR() << "warehouse: unexpected message " << msg->Summary();
   }

@@ -13,8 +13,10 @@
 #include <string>
 
 #include "common/string_util.h"
+#include "fault/fault_plan.h"
 #include "merge/merge_engine.h"
 #include "parser/scenario_parser.h"
+#include "system/run_report.h"
 #include "system/warehouse_system.h"
 #include "workload/generator.h"
 
@@ -49,6 +51,8 @@ struct Flags {
   bool threads = false;
   std::string check = "auto";
   bool show_views = false;
+  std::string faults;
+  int checkpoint_every = 4;
 };
 
 void Usage() {
@@ -79,6 +83,14 @@ void Usage() {
       "  --per-al-cost US        fixed cost per action list\n"
       "  --merge-cpu US          merge processing cost per message\n"
       "  --latency US / --jitter US   channel latency model\n\n"
+      "Fault injection:\n"
+      "  --faults SPEC           crash schedule target@at[+down_for],...\n"
+      "                          e.g. vm-V1@5000+30000,merge-0@12000;\n"
+      "                          targets are process names (vm-<view>,\n"
+      "                          merge-<g>). Wires checkpointing, the\n"
+      "                          merge WAL, and recovery resync\n"
+      "  --checkpoint-every N    view-manager checkpoint period in\n"
+      "                          emitted action lists (default 4)\n\n"
       "Execution:\n"
       "  --threads               real threads instead of the simulator\n"
       "  --check LEVEL           auto|complete|strong|convergent|none\n"
@@ -152,6 +164,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->piggyback = true;
     } else if (arg == "--threads") {
       flags->threads = true;
+    } else if (arg == "--faults") {
+      flags->faults = next();
+    } else if (arg == "--checkpoint-every") {
+      flags->checkpoint_every = std::atoi(next());
     } else if (arg == "--check") {
       flags->check = next();
     } else if (arg == "--show-views") {
@@ -279,6 +295,18 @@ int Run(const Flags& flags) {
     std::cerr << config.status() << "\n";
     return 2;
   }
+  if (!flags.faults.empty()) {
+    // Flag events join any `fault` statements from the scenario file.
+    auto plan = ParseFaultSpec(flags.faults);
+    if (!plan.ok()) {
+      std::cerr << plan.status() << "\n";
+      return 2;
+    }
+    config->fault.plan.events.insert(config->fault.plan.events.end(),
+                                     plan->events.begin(),
+                                     plan->events.end());
+  }
+  config->fault.checkpoint_every = flags.checkpoint_every;
   auto system = WarehouseSystem::Build(std::move(*config));
   if (!system.ok()) {
     std::cerr << "build failed: " << system.status() << "\n";
@@ -331,6 +359,9 @@ int Run(const Flags& flags) {
               << " peak_held_ALs=" << merge->stats().peak_held_action_lists
               << " peak_rows=" << merge->stats().peak_open_rows
               << " peak_backlog=" << merge->stats().peak_backlog << "\n";
+  }
+  if ((*system)->faults_enabled()) {
+    std::cout << "\n" << RunReportString(**system);
   }
 
   if (flags.show_views) {

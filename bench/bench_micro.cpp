@@ -7,10 +7,21 @@
 #include "common/rng.h"
 #include "merge/merge_engine.h"
 #include "query/evaluator.h"
+#include "storage/id_registry.h"
 #include "workload/paper_examples.h"
 
 namespace mvc {
 namespace {
+
+/// Leaked registry with views V0..V63 — engine benches index into it.
+const IdRegistry* MicroRegistry() {
+  static const IdRegistry* reg = [] {
+    auto* r = new IdRegistry();
+    for (int i = 0; i < 64; ++i) r->InternView("V" + std::to_string(i));
+    return r;
+  }();
+  return reg;
+}
 
 void BM_TableInsertDelete(benchmark::State& state) {
   Table table("R", Schema::AllInt64({"A", "B"}));
@@ -89,10 +100,10 @@ void BM_DeltaPropagation(benchmark::State& state) {
 BENCHMARK(BM_DeltaPropagation)->Arg(64)->Arg(512)->Arg(4096);
 
 void BM_VutOperations(benchmark::State& state) {
-  std::vector<std::string> views;
-  for (int i = 0; i < 16; ++i) views.push_back("V" + std::to_string(i));
+  std::vector<ViewId> views;
+  for (int i = 0; i < 16; ++i) views.push_back(static_cast<ViewId>(i));
   for (auto _ : state) {
-    ViewUpdateTable vut(views);
+    ViewUpdateTable vut(views, MicroRegistry());
     for (UpdateId row = 1; row <= 64; ++row) {
       vut.AllocateRow(row, {views[static_cast<size_t>(row) % 16],
                             views[static_cast<size_t>(row + 1) % 16]});
@@ -107,27 +118,27 @@ void BM_VutOperations(benchmark::State& state) {
 }
 BENCHMARK(BM_VutOperations);
 
-ActionList MicroAl(const std::string& view, UpdateId first, UpdateId last) {
+ActionList MicroAl(ViewId view, UpdateId first, UpdateId last) {
   ActionList al;
   al.view = view;
   al.first_update = first;
   al.update = last;
   for (UpdateId i = first; i <= last; ++i) al.covered.push_back(i);
-  al.delta.target = view;
+  al.delta.target = MicroRegistry()->ViewName(view);
   al.delta.Add(Tuple{last}, 1);
   return al;
 }
 
 void BM_SpaEngineThroughput(benchmark::State& state) {
   const int num_views = static_cast<int>(state.range(0));
-  std::vector<std::string> views;
-  for (int i = 0; i < num_views; ++i) views.push_back("V" + std::to_string(i));
+  std::vector<ViewId> views;
+  for (int i = 0; i < num_views; ++i) views.push_back(static_cast<ViewId>(i));
   for (auto _ : state) {
-    SpaEngine engine(views);
+    SpaEngine engine(views, MicroRegistry());
     std::vector<WarehouseTransaction> out;
     for (UpdateId u = 1; u <= 256; ++u) {
       // Each update touches two adjacent views.
-      std::vector<std::string> rel{
+      std::vector<ViewId> rel{
           views[static_cast<size_t>(u) % views.size()],
           views[static_cast<size_t>(u + 1) % views.size()]};
       engine.ReceiveRelSet(u, rel, &out);
@@ -143,15 +154,15 @@ BENCHMARK(BM_SpaEngineThroughput)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_PaEngineBatchedThroughput(benchmark::State& state) {
   const int batch = static_cast<int>(state.range(0));
-  std::vector<std::string> views{"V0", "V1"};
+  std::vector<ViewId> views{0, 1};
   for (auto _ : state) {
-    PaEngine engine(views);
+    PaEngine engine(views, MicroRegistry());
     std::vector<WarehouseTransaction> out;
     for (UpdateId u = 1; u <= 256; ++u) {
       engine.ReceiveRelSet(u, views, &out);
       if (u % batch == 0) {
-        engine.ReceiveActionList(MicroAl("V0", u - batch + 1, u), &out);
-        engine.ReceiveActionList(MicroAl("V1", u - batch + 1, u), &out);
+        engine.ReceiveActionList(MicroAl(0, u - batch + 1, u), &out);
+        engine.ReceiveActionList(MicroAl(1, u - batch + 1, u), &out);
       }
     }
     benchmark::DoNotOptimize(out);

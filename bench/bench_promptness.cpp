@@ -17,6 +17,7 @@
 #include "bench_util.h"
 #include "common/rng.h"
 #include "merge/merge_engine.h"
+#include "storage/id_registry.h"
 
 namespace mvc {
 namespace {
@@ -24,26 +25,35 @@ namespace {
 struct Event {
   bool is_rel;
   UpdateId update;
-  std::vector<std::string> rel_views;  // for REL events
-  std::string view;                    // for AL events
+  std::vector<ViewId> rel_views;  // for REL events
+  ViewId view = kInvalidView;     // for AL events
 };
 
-std::vector<Event> MakeStream(int updates, const std::vector<std::string>& views,
+const IdRegistry* Names() {
+  static const IdRegistry* reg = [] {
+    auto* r = new IdRegistry();
+    r->InternViews({"V1", "V2", "V3", "V4"});
+    return r;
+  }();
+  return reg;
+}
+
+std::vector<Event> MakeStream(int updates, const std::vector<ViewId>& views,
                               uint64_t seed) {
   Rng rng(seed);
-  std::vector<std::vector<std::string>> rels(
+  std::vector<std::vector<ViewId>> rels(
       static_cast<size_t>(updates) + 1);
   for (int i = 1; i <= updates; ++i) {
-    for (const std::string& v : views) {
+    for (ViewId v : views) {
       if (rng.Bernoulli(0.5)) rels[static_cast<size_t>(i)].push_back(v);
     }
   }
   // Interleave REL stream (FIFO) with per-view AL streams (FIFO).
   std::vector<Event> stream;
   size_t rel_next = 1;
-  std::map<std::string, std::vector<UpdateId>> al_streams;
-  std::map<std::string, size_t> al_next;
-  for (const std::string& v : views) {
+  std::map<ViewId, std::vector<UpdateId>> al_streams;
+  std::map<ViewId, size_t> al_next;
+  for (ViewId v : views) {
     for (int i = 1; i <= updates; ++i) {
       const auto& r = rels[static_cast<size_t>(i)];
       if (std::find(r.begin(), r.end(), v) != r.end()) {
@@ -74,7 +84,7 @@ std::vector<Event> MakeStream(int updates, const std::vector<std::string>& views
       ev.rel_views = rels[rel_next];
       ++rel_next;
     } else {
-      const std::string& v = views[static_cast<size_t>(pick)];
+      ViewId v = views[static_cast<size_t>(pick)];
       ev.is_rel = false;
       ev.view = v;
       ev.update = al_streams[v][al_next[v]++];
@@ -84,13 +94,13 @@ std::vector<Event> MakeStream(int updates, const std::vector<std::string>& views
   return stream;
 }
 
-ActionList MakeAl(const std::string& view, UpdateId update) {
+ActionList MakeAl(ViewId view, UpdateId update) {
   ActionList al;
   al.view = view;
   al.update = update;
   al.first_update = update;
   al.covered = {update};
-  al.delta.target = view;
+  al.delta.target = Names()->ViewName(view);
   al.delta.Add(Tuple{update}, 1);
   return al;
 }
@@ -104,9 +114,9 @@ struct HoldStats {
 /// Replays the stream through SPA (prompt = true) or the Section 4.4
 /// lazy strawman (apply everything at the end, in row order).
 HoldStats Measure(const std::vector<Event>& stream,
-                  const std::vector<std::string>& views, bool prompt) {
-  SpaEngine engine({views});
-  std::map<std::pair<std::string, UpdateId>, int64_t> arrived_at;
+                  const std::vector<ViewId>& views, bool prompt) {
+  SpaEngine engine(views, Names());
+  std::map<std::pair<ViewId, UpdateId>, int64_t> arrived_at;
   std::vector<WarehouseTransaction> lazy_buffer;
   HoldStats stats;
   double total_hold = 0;
@@ -158,7 +168,9 @@ int main() {
             << "    Hold time = events between an AL's arrival and its "
                "application; both runs\n"
             << "    produce the same complete transaction sequence.\n\n";
-  const std::vector<std::string> views{"V1", "V2", "V3", "V4"};
+  const std::vector<ViewId> views = {
+      *Names()->FindView("V1"), *Names()->FindView("V2"),
+      *Names()->FindView("V3"), *Names()->FindView("V4")};
   bench::TablePrinter table({"updates", "algorithm", "mean_hold",
                              "max_hold", "txns"});
   for (int updates : {20, 100, 400}) {

@@ -3,6 +3,8 @@
 
 #pragma once
 
+#include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -14,6 +16,45 @@
 
 namespace mvc {
 namespace bench {
+
+/// One machine-readable benchmark result. `allocations` is the number of
+/// heap allocations observed during the timed region, or -1 when the
+/// binary does not instrument the allocator.
+struct BenchRecord {
+  std::string name;
+  int64_t iterations = 0;
+  double ns_per_op = 0;
+  int64_t allocations = -1;
+};
+
+/// Returns the output path if `--json` (or `--json=<path>`) is present
+/// in argv, using `default_path` for the bare form; empty otherwise.
+inline std::string JsonOutputPath(int argc, char** argv,
+                                  const std::string& default_path) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return default_path;
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
+  }
+  return "";
+}
+
+/// Writes records as a JSON array of objects. Names are produced by the
+/// benchmarks themselves and contain no characters needing escapes.
+inline void WriteBenchJson(const std::string& path,
+                           const std::vector<BenchRecord>& records) {
+  std::ofstream out(path);
+  MVC_CHECK(out.good()) << "cannot open " << path;
+  out << "[\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    out << "  {\"name\": \"" << r.name << "\", \"iterations\": "
+        << r.iterations << ", \"ns_per_op\": " << std::fixed
+        << std::setprecision(2) << r.ns_per_op;
+    if (r.allocations >= 0) out << ", \"allocations\": " << r.allocations;
+    out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
 
 /// Everything an experiment row reports about one run.
 struct RunMetrics {

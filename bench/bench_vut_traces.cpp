@@ -2,28 +2,77 @@
 //   Example 2: the ViewUpdateTable after REL1, REL2, AL^2_1;
 //   Example 3: the full SPA trace (times t4..t11);
 //   Example 5: the full PA trace with (color,state) cells (t0..t7).
+//
+// Also times the VUT paint/scan hot path and the raw engine event loop.
+// With --json (or --json=<path>) the timings are written as a JSON
+// array (default BENCH_vut.json); heap allocations inside the timed
+// regions are counted via the instrumented operator new below.
 
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
+#include <new>
 
+#include "bench_util.h"
 #include "merge/merge_engine.h"
+#include "storage/id_registry.h"
+
+// --- Allocation instrumentation (whole binary) ---
+
+namespace {
+int64_t g_allocations = 0;
+}  // namespace
+
+// The replacement pairs are consistent (malloc in new, free in delete);
+// GCC's -Wmismatched-new-delete cannot see across replaced operators.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
 
 namespace mvc {
 namespace {
 
-ActionList Al(const std::string& view, UpdateId first, UpdateId last) {
+constexpr ViewId kV1 = 0, kV2 = 1, kV3 = 2;
+
+const IdRegistry* Names() {
+  static const IdRegistry* reg = [] {
+    auto* r = new IdRegistry();
+    r->InternViews({"V1", "V2", "V3"});
+    return r;
+  }();
+  return reg;
+}
+
+ActionList Al(ViewId view, UpdateId first, UpdateId last) {
   ActionList al;
   al.view = view;
   al.first_update = first;
   al.update = last;
   for (UpdateId i = first; i <= last; ++i) al.covered.push_back(i);
-  al.delta.target = view;
+  al.delta.target = Names()->ViewName(view);
   al.delta.Add(Tuple{last}, 1);
   return al;
 }
 
 void Emit(const std::vector<WarehouseTransaction>& txns) {
   for (const auto& txn : txns) {
-    std::cout << "    => apply " << txn.ToString() << "\n";
+    std::cout << "    => apply " << txn.ToString(Names()) << "\n";
   }
 }
 
@@ -31,12 +80,12 @@ void Example2() {
   std::cout << "E2. Example 2: ViewUpdateTable construction\n"
             << "    V1 = R|><|S, V2 = S|><|T|><|Q, V3 = Q;"
             << " U1 on S, U2 on Q\n\n";
-  SpaEngine engine({"V1", "V2", "V3"});
+  SpaEngine engine({kV1, kV2, kV3}, Names());
   std::vector<WarehouseTransaction> out;
-  engine.ReceiveRelSet(1, {"V1", "V2"}, &out);
-  engine.ReceiveRelSet(2, {"V2", "V3"}, &out);
+  engine.ReceiveRelSet(1, {kV1, kV2}, &out);
+  engine.ReceiveRelSet(2, {kV2, kV3}, &out);
   std::cout << "  After REL1 and REL2:\n" << engine.vut().ToString() << "\n";
-  engine.ReceiveActionList(Al("V2", 1, 1), &out);
+  engine.ReceiveActionList(Al(kV2, 1, 1), &out);
   std::cout << "  After AL^2_1 (held: row 1 still waits for V1):\n"
             << engine.vut().ToString() << "\n";
 }
@@ -47,7 +96,7 @@ void Example3() {
             << " U1 on S, U2 on Q, U3 on T\n"
             << "    Arrival: REL1, AL(V2,1), REL2, REL3, AL(V3,2), "
                "AL(V2,3), AL(V1,1)\n\n";
-  SpaEngine engine({"V1", "V2", "V3"});
+  SpaEngine engine({kV1, kV2, kV3}, Names());
   std::vector<WarehouseTransaction> out;
 
   auto step = [&](const std::string& what, auto&& fn) {
@@ -58,17 +107,17 @@ void Example3() {
     std::cout << engine.vut().ToString() << "\n";
   };
 
-  step("REL1 = {V1,V2}", [&] { engine.ReceiveRelSet(1, {"V1", "V2"}, &out); });
+  step("REL1 = {V1,V2}", [&] { engine.ReceiveRelSet(1, {kV1, kV2}, &out); });
   step("AL^2_1 arrives (t1)",
-       [&] { engine.ReceiveActionList(Al("V2", 1, 1), &out); });
-  step("REL2 = {V3} (t2)", [&] { engine.ReceiveRelSet(2, {"V3"}, &out); });
-  step("REL3 = {V2} (t3)", [&] { engine.ReceiveRelSet(3, {"V2"}, &out); });
+       [&] { engine.ReceiveActionList(Al(kV2, 1, 1), &out); });
+  step("REL2 = {V3} (t2)", [&] { engine.ReceiveRelSet(2, {kV3}, &out); });
+  step("REL3 = {V2} (t3)", [&] { engine.ReceiveRelSet(3, {kV2}, &out); });
   step("AL^3_2 arrives (t4): row 2 applies out of order (t5), purged (t6)",
-       [&] { engine.ReceiveActionList(Al("V3", 2, 2), &out); });
+       [&] { engine.ReceiveActionList(Al(kV3, 2, 2), &out); });
   step("AL^2_3 arrives (t7): blocked behind row 1's red V2",
-       [&] { engine.ReceiveActionList(Al("V2", 3, 3), &out); });
+       [&] { engine.ReceiveActionList(Al(kV2, 3, 3), &out); });
   step("AL^1_1 arrives (t8): row 1 applies (t9), then row 3 (t10-t11)",
-       [&] { engine.ReceiveActionList(Al("V1", 1, 1), &out); });
+       [&] { engine.ReceiveActionList(Al(kV1, 1, 1), &out); });
 }
 
 void Example5() {
@@ -78,7 +127,7 @@ void Example5() {
             << " U1 on S, U2 on Q, U3 on Q\n"
             << "    Arrival: REL1-3, AL(V2,1), AL(V2,2..3), AL(V3,2), "
                "AL(V1,1), AL(V3,3)\n\n";
-  PaEngine engine({"V1", "V2", "V3"});
+  PaEngine engine({kV1, kV2, kV3}, Names());
   std::vector<WarehouseTransaction> out;
 
   auto step = [&](const std::string& what, auto&& fn) {
@@ -90,29 +139,155 @@ void Example5() {
   };
 
   step("REL1..REL3 (t0)", [&] {
-    engine.ReceiveRelSet(1, {"V1", "V2"}, &out);
-    engine.ReceiveRelSet(2, {"V2", "V3"}, &out);
-    engine.ReceiveRelSet(3, {"V2", "V3"}, &out);
+    engine.ReceiveRelSet(1, {kV1, kV2}, &out);
+    engine.ReceiveRelSet(2, {kV2, kV3}, &out);
+    engine.ReceiveRelSet(3, {kV2, kV3}, &out);
   });
-  step("AL^2_1 (t1)", [&] { engine.ReceiveActionList(Al("V2", 1, 1), &out); });
+  step("AL^2_1 (t1)", [&] { engine.ReceiveActionList(Al(kV2, 1, 1), &out); });
   step("AL^2_3 covering U2,U3 (t2)",
-       [&] { engine.ReceiveActionList(Al("V2", 2, 3), &out); });
+       [&] { engine.ReceiveActionList(Al(kV2, 2, 3), &out); });
   step("AL^3_2 (t3): ProcessRow(2) -> ProcessRow(1) fails on white V1",
-       [&] { engine.ReceiveActionList(Al("V3", 2, 2), &out); });
+       [&] { engine.ReceiveActionList(Al(kV3, 2, 2), &out); });
   step("AL^1_1 (t4): row 1 applies alone (t5)",
-       [&] { engine.ReceiveActionList(Al("V1", 1, 1), &out); });
+       [&] { engine.ReceiveActionList(Al(kV1, 1, 1), &out); });
   step("AL^3_3 (t6): rows 2 and 3 apply together (t7)",
-       [&] { engine.ReceiveActionList(Al("V3", 3, 3), &out); });
+       [&] { engine.ReceiveActionList(Al(kV3, 3, 3), &out); });
+}
+
+// --- Timings ---
+
+// Keeps scan results observable so the optimizer cannot drop them.
+volatile int64_t benchmark_sink = 0;
+
+using Clock = std::chrono::steady_clock;
+
+/// Runs `fn` (which performs `ops_per_call` operations) until ~0.2s of
+/// wall time is spent; records ns/op plus allocations per call.
+template <typename Fn>
+bench::BenchRecord Time(const std::string& name, int64_t ops_per_call,
+                        Fn&& fn) {
+  fn();  // warm up (also populates free pools / hash tables)
+  const int64_t alloc_before = g_allocations;
+  fn();
+  const int64_t allocs_per_call = g_allocations - alloc_before;
+
+  int64_t calls = 0;
+  auto start = Clock::now();
+  auto deadline = start + std::chrono::milliseconds(200);
+  while (Clock::now() < deadline) {
+    fn();
+    ++calls;
+  }
+  auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     Clock::now() - start)
+                     .count();
+  bench::BenchRecord record;
+  record.name = name;
+  record.iterations = calls * ops_per_call;
+  record.ns_per_op =
+      static_cast<double>(elapsed) / static_cast<double>(record.iterations);
+  record.allocations = allocs_per_call;
+  return record;
+}
+
+/// Paint/scan sweep over a VUT with `cols` columns and a window of
+/// `rows` live rows per call: allocate, color, scan, purge.
+bench::BenchRecord TimeVutPaintScan(int cols, int rows) {
+  auto* reg = new IdRegistry();
+  std::vector<ViewId> views;
+  for (int x = 0; x < cols; ++x) {
+    views.push_back(reg->InternView("W" + std::to_string(x)));
+  }
+  ViewUpdateTable vut(views, reg);
+  UpdateId next = 1;
+  auto fn = [&] {
+    for (int i = 0; i < rows; ++i) {
+      vut.AllocateRow(next + i, views);
+    }
+    for (int i = 0; i < rows; ++i) {
+      UpdateId row = next + i;
+      for (size_t x = 0; x < views.size(); ++x) {
+        vut.SetColor(row, x, CellColor::kRed);
+      }
+      benchmark_sink = benchmark_sink + (vut.RowHasWhite(row) ? 1 : 0);
+      benchmark_sink = benchmark_sink + (vut.HasEarlierRed(row, 0) ? 1 : 0);
+      for (size_t x = 0; x < views.size(); ++x) {
+        vut.SetColor(row, x, CellColor::kGray);
+      }
+      if (vut.RowAllBlackOrGray(row)) vut.PurgeRow(row);
+    }
+    next += rows;
+  };
+  bench::BenchRecord r = Time("VutPaintScan/cols:" + std::to_string(cols) +
+                                  "/rows:" + std::to_string(rows),
+                              rows, fn);
+  delete reg;
+  return r;
+}
+
+/// Raw SPA event loop: REL + AL per update across `cols` views.
+bench::BenchRecord TimeSpaEvents(int cols) {
+  auto* reg = new IdRegistry();
+  std::vector<ViewId> views;
+  for (int x = 0; x < cols; ++x) {
+    views.push_back(reg->InternView("W" + std::to_string(x)));
+  }
+  SpaEngine engine(views, reg);
+  std::vector<WarehouseTransaction> out;
+  UpdateId next = 1;
+  const int kBatch = 64;
+  auto fn = [&] {
+    for (int i = 0; i < kBatch; ++i) {
+      UpdateId id = next + i;
+      ViewId v = views[static_cast<size_t>(id) % views.size()];
+      engine.ReceiveRelSet(id, {v}, &out);
+      ActionList al;
+      al.view = v;
+      al.update = id;
+      al.first_update = id;
+      al.covered = {id};
+      engine.ReceiveActionList(al, &out);
+      out.clear();
+    }
+    next += kBatch;
+  };
+  bench::BenchRecord r =
+      Time("SpaEngineEvents/cols:" + std::to_string(cols), kBatch * 2, fn);
+  delete reg;
+  return r;
+}
+
+void RunTimings(const std::string& json_path) {
+  std::vector<bench::BenchRecord> records;
+  records.push_back(TimeVutPaintScan(3, 16));
+  records.push_back(TimeVutPaintScan(8, 64));
+  records.push_back(TimeVutPaintScan(32, 256));
+  records.push_back(TimeSpaEvents(3));
+  records.push_back(TimeSpaEvents(16));
+
+  std::cout << "T. VUT paint/scan timings\n\n";
+  bench::TablePrinter table({"benchmark", "iterations", "ns/op", "allocs"});
+  for (const bench::BenchRecord& r : records) {
+    table.AddRow(r.name, r.iterations, r.ns_per_op, r.allocations);
+  }
+  table.Print();
+
+  if (!json_path.empty()) {
+    bench::WriteBenchJson(json_path, records);
+    std::cout << "\n  wrote " << json_path << "\n";
+  }
 }
 
 }  // namespace
 }  // namespace mvc
 
-int main() {
+int main(int argc, char** argv) {
   mvc::Example2();
   std::cout << "\n";
   mvc::Example3();
   std::cout << "\n";
   mvc::Example5();
+  std::cout << "\n";
+  mvc::RunTimings(mvc::bench::JsonOutputPath(argc, argv, "BENCH_vut.json"));
   return 0;
 }

@@ -9,11 +9,21 @@
 
 #include "merge/merge_engine.h"
 #include "query/evaluator.h"
+#include "storage/id_registry.h"
 #include "system/warehouse_system.h"
 #include "workload/paper_examples.h"
 
 namespace mvc {
 namespace {
+
+const IdRegistry* Names() {
+  static const IdRegistry* reg = [] {
+    auto* r = new IdRegistry();
+    r->InternViews({"V1", "V2"});
+    return r;
+  }();
+  return reg;
+}
 
 void Walkthrough() {
   std::cout <<
@@ -36,15 +46,17 @@ void Walkthrough() {
       "The integrator numbers the update U1 and tells the merge process\n"
       "REL_1 = {V1, V2}. The ViewUpdateTable tracks what has arrived:\n\n";
 
-  SpaEngine engine({"V1", "V2"});
+  const ViewId v1 = *Names()->FindView("V1");
+  const ViewId v2 = *Names()->FindView("V2");
+  SpaEngine engine({v1, v2}, Names());
   std::vector<WarehouseTransaction> out;
-  engine.ReceiveRelSet(1, {"V1", "V2"}, &out);
+  engine.ReceiveRelSet(1, {v1, v2}, &out);
   std::cout << engine.vut().ToString() << "\n";
 
   std::cout << "V1's action list arrives first -> its cell turns red, but\n"
                "the row still has a white cell, so SPA holds it:\n\n";
   ActionList al1;
-  al1.view = "V1";
+  al1.view = v1;
   al1.update = 1;
   al1.first_update = 1;
   al1.covered = {1};
@@ -58,14 +70,14 @@ void Walkthrough() {
                "ONE warehouse transaction updating both views, then purges\n"
                "the row:\n\n";
   ActionList al2;
-  al2.view = "V2";
+  al2.view = v2;
   al2.update = 1;
   al2.first_update = 1;
   al2.covered = {1};
   al2.delta.target = "V2";
   al2.delta.Add(Tuple{2, 3, 4}, 1);
   engine.ReceiveActionList(al2, &out);
-  for (const auto& txn : out) std::cout << "  " << txn.ToString() << "\n";
+  for (const auto& txn : out) std::cout << "  " << txn.ToString(Names()) << "\n";
   std::cout << "\nRemaining VUT rows: " << engine.open_rows() << "\n\n";
 }
 

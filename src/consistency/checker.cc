@@ -92,6 +92,14 @@ ConsistencyChecker::ConsistencyChecker(std::vector<const BoundView*> views,
   }
 }
 
+std::string ConsistencyChecker::ViewLabel(ViewId id) const {
+  if (options_.registry != nullptr && id >= 0 &&
+      static_cast<size_t>(id) < options_.registry->num_views()) {
+    return options_.registry->ViewName(id);
+  }
+  return StrCat("V#", id);
+}
+
 std::set<std::string> ConsistencyChecker::RelevantViews(
     const SourceTransaction& txn) const {
   std::set<std::string> rel;
@@ -182,7 +190,7 @@ Status ConsistencyChecker::CheckChain(const ConsistencyRecorder& recorder,
   // (view, update) pairs whose action-list delta reached the warehouse —
   // the crash-recovery hazard: a replayed or resynced AL applied twice
   // corrupts the view even when the applied-update chain looks legal.
-  std::set<std::pair<std::string, UpdateId>> applied_pairs;
+  std::set<std::pair<ViewId, UpdateId>> applied_pairs;
 
   // Initial warehouse state must be consistent too, but the recorder only
   // sees commits; tests install exact initial materializations, so start
@@ -195,7 +203,8 @@ Status ConsistencyChecker::CheckChain(const ConsistencyRecorder& recorder,
       for (UpdateId id : ids) {
         if (!applied_pairs.insert({al.view, id}).second) {
           return Status::ConsistencyViolation(
-              StrCat("commit #", j, " applies U", id, " to view ", al.view,
+              StrCat("commit #", j, " applies U", id, " to view ",
+                     ViewLabel(al.view),
                      " a second time (duplicate action list across a crash"
                      " or resync boundary)"));
         }

@@ -39,6 +39,7 @@
 #include "query/aggregate.h"
 #include "query/view_def.h"
 #include "storage/catalog.h"
+#include "storage/id_registry.h"
 
 namespace mvc {
 
@@ -46,6 +47,9 @@ struct CheckerOptions {
   /// Must match the integrator's relevance_pruning setting so the
   /// oracle computes the same REL sets.
   bool relevance_pruning = true;
+  /// Resolves ViewIds in recorded action lists to names for error
+  /// messages; diagnostics print "V#<id>" when null.
+  const IdRegistry* registry = nullptr;
 };
 
 /// One warehouse view as the oracle evaluates it: an SPJ core plus an
@@ -90,6 +94,9 @@ class ConsistencyChecker {
 
   Status CheckChain(const ConsistencyRecorder& recorder,
                     bool require_single_steps) const;
+
+  /// "V#<id>" or the interned name when a registry is configured.
+  std::string ViewLabel(ViewId id) const;
 
   std::vector<CheckedView> views_;
   const Catalog& initial_base_;

@@ -38,7 +38,7 @@ struct MergeLogEntry {
   /// kRel: the update id. Otherwise unused.
   UpdateId update_id = kInvalidUpdate;
   /// kRel: REL_i restricted to this merge's views.
-  std::vector<std::string> views;
+  std::vector<ViewId> views;
   /// kActionList: the consumed list.
   ActionList al;
   /// kSubmit: the submitted transaction.

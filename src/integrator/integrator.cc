@@ -8,15 +8,16 @@
 
 namespace mvc {
 
-Status IntegratorProcess::RegisterView(const BoundView* view,
+Status IntegratorProcess::RegisterView(const BoundView* view, ViewId id,
                                        ProcessId view_manager,
                                        ProcessId merge) {
   MVC_CHECK(view != nullptr);
-  if (views_.count(view->name()) > 0) {
+  MVC_CHECK(id >= 0);
+  if (views_.count(id) > 0) {
     return Status::AlreadyExists(
         StrCat("view '", view->name(), "' already registered"));
   }
-  views_[view->name()] = ViewRoute{view, view_manager, merge};
+  views_[id] = ViewRoute{view, view_manager, merge};
   return Status::OK();
 }
 
@@ -64,8 +65,8 @@ void IntegratorProcess::ProcessTransaction(const SourceTransaction& txn) {
   if (observer_) observer_(update_id, txn);
 
   // REL_i: views affected by any update in the transaction.
-  std::vector<std::string> rel;
-  for (const auto& [name, route] : views_) {
+  std::vector<ViewId> rel;
+  for (const auto& [id, route] : views_) {
     bool relevant = false;
     for (const Update& u : txn.updates) {
       if (options_.relevance_pruning) {
@@ -75,7 +76,7 @@ void IntegratorProcess::ProcessTransaction(const SourceTransaction& txn) {
       }
       if (relevant) break;
     }
-    if (relevant) rel.push_back(name);
+    if (relevant) rel.push_back(id);
   }
 
   if (options_.retain_for_replay) {
@@ -86,8 +87,8 @@ void IntegratorProcess::ProcessTransaction(const SourceTransaction& txn) {
   // view, restricted to its own views (distributed merge, Section 6.1).
   // Under the piggyback scheme the first view manager per merge group
   // carries the REL instead.
-  std::map<ProcessId, std::vector<std::string>> rel_by_merge;
-  for (const std::string& view : rel) {
+  std::map<ProcessId, std::vector<ViewId>> rel_by_merge;
+  for (ViewId view : rel) {
     rel_by_merge[views_[view].merge].push_back(view);
   }
   if (!options_.piggyback_rel) {
@@ -95,7 +96,7 @@ void IntegratorProcess::ProcessTransaction(const SourceTransaction& txn) {
       // No view affected: report the empty row to every merge process so
       // each can advance its freshness accounting and purge immediately.
       std::set<ProcessId> merges;
-      for (const auto& [name, route] : views_) merges.insert(route.merge);
+      for (const auto& [id, route] : views_) merges.insert(route.merge);
       for (ProcessId merge : merges) {
         auto rel_msg = std::make_unique<RelSetMsg>();
         rel_msg->update_id = update_id;
@@ -113,7 +114,7 @@ void IntegratorProcess::ProcessTransaction(const SourceTransaction& txn) {
 
   // Copy of U_i to each relevant view manager.
   std::set<ProcessId> carried;  // merge groups whose REL was assigned
-  for (const std::string& view : rel) {
+  for (ViewId view : rel) {
     const ViewRoute& route = views_[view];
     auto update_msg = std::make_unique<UpdateMsg>();
     update_msg->update_id = update_id;
@@ -156,7 +157,7 @@ void IntegratorProcess::HandleRelResyncRequest(
     if (ru.id <= req.after) continue;
     RelEntry entry;
     entry.update_id = ru.id;
-    for (const std::string& view : ru.rel) {
+    for (ViewId view : ru.rel) {
       if (views_[view].merge == from) entry.views.push_back(view);
     }
     if (!entry.views.empty() ||

@@ -21,6 +21,7 @@
 #include "net/protocol.h"
 #include "net/runtime.h"
 #include "query/view_def.h"
+#include "storage/id_registry.h"
 
 namespace mvc {
 
@@ -51,11 +52,11 @@ class IntegratorProcess : public Process {
   IntegratorProcess(std::string name, IntegratorOptions options = {})
       : Process(std::move(name)), options_(options) {}
 
-  /// Registers a view: its analyzed definition, the view manager that
-  /// maintains it, and the merge process coordinating its group. The
-  /// BoundView must outlive the integrator.
-  Status RegisterView(const BoundView* view, ProcessId view_manager,
-                      ProcessId merge);
+  /// Registers a view: its analyzed definition, its interned id, the
+  /// view manager that maintains it, and the merge process coordinating
+  /// its group. The BoundView must outlive the integrator.
+  Status RegisterView(const BoundView* view, ViewId id,
+                      ProcessId view_manager, ProcessId merge);
 
   /// Observer invoked with every globally numbered transaction; the
   /// consistency oracle uses it to reconstruct the source state
@@ -86,13 +87,13 @@ class IntegratorProcess : public Process {
   struct RetainedUpdate {
     UpdateId id;
     SourceTransaction txn;
-    /// REL_i (all affected views, sorted by name).
-    std::vector<std::string> rel;
+    /// REL_i (all affected views, sorted by id).
+    std::vector<ViewId> rel;
   };
 
   IntegratorOptions options_;
-  /// Ordered by view name for deterministic fan-out order.
-  std::map<std::string, ViewRoute> views_;
+  /// Ordered by view id (= wiring order) for deterministic fan-out.
+  std::map<ViewId, ViewRoute> views_;
   UpdateId next_update_ = 0;
   /// Buffered parts of in-flight global transactions, keyed by id.
   std::map<int64_t, std::vector<SourceTransaction>> pending_global_;

@@ -5,13 +5,14 @@
 
 namespace mvc {
 
-Status SequentialIntegrator::RegisterView(const BoundView* view) {
+Status SequentialIntegrator::RegisterView(const BoundView* view, ViewId id) {
   MVC_CHECK(view != nullptr);
+  MVC_CHECK(id >= 0);
   if (views_.count(view->name()) > 0) {
     return Status::AlreadyExists(
         StrCat("view '", view->name(), "' already registered"));
   }
-  views_[view->name()] = view;
+  views_[view->name()] = RegisteredView{id, view};
   return Status::OK();
 }
 
@@ -81,9 +82,9 @@ void SequentialIntegrator::TryProcessNext() {
   TableProviderFn provider = CatalogProvider(&replicas_);
   for (const Update& u : txn.updates) {
     TableDelta base = ViewEvaluator::UpdateToBaseDelta(u);
-    for (const auto& [name, view] : views_) {
-      if (!view->RelationIndex(u.relation).has_value()) continue;
-      auto delta = ViewEvaluator::EvaluateDelta(*view, u.relation, base,
+    for (const auto& [name, rv] : views_) {
+      if (!rv.view->RelationIndex(u.relation).has_value()) continue;
+      auto delta = ViewEvaluator::EvaluateDelta(*rv.view, u.relation, base,
                                                 provider);
       MVC_CHECK(delta.ok()) << delta.status().ToString();
       cost += options_.delta_cost;
@@ -105,12 +106,12 @@ void SequentialIntegrator::TryProcessNext() {
   for (auto& [name, delta] : view_deltas) {
     delta.Normalize();
     ActionList al;
-    al.view = name;
+    al.view = views_.at(name).id;
     al.update = update_id;
     al.first_update = update_id;
     al.covered = {update_id};
     al.delta = std::move(delta);
-    wt.views.push_back(name);
+    wt.views.push_back(al.view);
     wt.actions.push_back(std::move(al));
   }
 

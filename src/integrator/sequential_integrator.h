@@ -22,6 +22,7 @@
 #include "net/runtime.h"
 #include "query/view_def.h"
 #include "storage/catalog.h"
+#include "storage/id_registry.h"
 
 namespace mvc {
 
@@ -40,8 +41,9 @@ class SequentialIntegrator : public Process {
                        SequentialIntegratorOptions options = {})
       : Process(std::move(name)), options_(options) {}
 
-  /// Registers a maintained view (BoundView must outlive the process).
-  Status RegisterView(const BoundView* view);
+  /// Registers a maintained view with its interned id (BoundView must
+  /// outlive the process).
+  Status RegisterView(const BoundView* view, ViewId id);
 
   /// Declares a base relation so a local replica can be maintained from
   /// the update stream.
@@ -63,8 +65,13 @@ class SequentialIntegrator : public Process {
  private:
   void TryProcessNext();
 
+  struct RegisteredView {
+    ViewId id;
+    const BoundView* view;
+  };
+
   SequentialIntegratorOptions options_;
-  std::map<std::string, const BoundView*> views_;
+  std::map<std::string, RegisteredView> views_;
   Catalog replicas_;
   ProcessId warehouse_ = kInvalidProcess;
   std::function<void(UpdateId, const SourceTransaction&)> observer_;

@@ -34,15 +34,16 @@ MergeAlgorithm AlgorithmForLevels(const std::vector<uint8_t>& levels) {
   return MergeAlgorithm::kPA;
 }
 
-std::unique_ptr<MergeEngine> MergeEngine::Create(
-    MergeAlgorithm algorithm, std::vector<std::string> views) {
+std::unique_ptr<MergeEngine> MergeEngine::Create(MergeAlgorithm algorithm,
+                                                 std::vector<ViewId> views,
+                                                 const IdRegistry* names) {
   switch (algorithm) {
     case MergeAlgorithm::kSPA:
-      return std::make_unique<SpaEngine>(std::move(views));
+      return std::make_unique<SpaEngine>(std::move(views), names);
     case MergeAlgorithm::kPA:
-      return std::make_unique<PaEngine>(std::move(views));
+      return std::make_unique<PaEngine>(std::move(views), names);
     case MergeAlgorithm::kPassThrough:
-      return std::make_unique<PassThroughEngine>(std::move(views));
+      return std::make_unique<PassThroughEngine>(std::move(views), names);
   }
   return nullptr;
 }
@@ -51,7 +52,7 @@ WarehouseTransaction PaintingEngineBase::BuildTransaction(
     const std::vector<UpdateId>& rows) {
   WarehouseTransaction txn;
   txn.rows = rows;
-  std::set<std::string> views;
+  std::set<ViewId> views;
   for (UpdateId row : rows) {
     auto it = wt_.find(row);
     if (it == wt_.end()) continue;
@@ -68,7 +69,7 @@ WarehouseTransaction PaintingEngineBase::BuildTransaction(
   return txn;
 }
 
-bool PaintingEngineBase::HasEarlierBufferedAl(const std::string& view,
+bool PaintingEngineBase::HasEarlierBufferedAl(ViewId view,
                                               UpdateId i) const {
   for (const auto& [label, list] : early_) {
     if (label >= i) break;
@@ -89,20 +90,21 @@ bool PaintingEngineBase::CoveredRowsKnown(const ActionList& al) const {
 
 void PaintingEngineBase::ProcessOne(ActionList al,
                                     std::vector<WarehouseTransaction>* out) {
-  std::string view = al.view;
+  const ViewId view = al.view;
   const UpdateId i = al.update;
-  last_processed_[view] = i;
+  if (last_processed_.empty()) last_processed_.resize(vut_.views().size(), 0);
+  last_processed_[vut_.ViewIndex(view)] = i;
   wt_[i].push_back(std::move(al));
-  DoProcessAction(std::move(view), i, out);
+  DoProcessAction(view, i, out);
 }
 
 void PaintingEngineBase::ReceiveActionListCommon(
     ActionList al, std::vector<WarehouseTransaction>* out) {
   ++held_;
   const UpdateId i = al.update;
-  auto last = last_processed_.find(al.view);
-  MVC_CHECK(last == last_processed_.end() || last->second < i)
-      << "view manager for " << al.view
+  if (last_processed_.empty()) last_processed_.resize(vut_.views().size(), 0);
+  MVC_CHECK(last_processed_[vut_.ViewIndex(al.view)] < i)
+      << "view manager for V#" << al.view
       << " violated per-channel AL order at label " << i;
   if (!CoveredRowsKnown(al) || HasEarlierBufferedAl(al.view, i)) {
     early_[i].push_back(std::move(al));
@@ -137,7 +139,7 @@ void PaintingEngineBase::DrainEarly(std::vector<WarehouseTransaction>* out) {
 // Simple Painting Algorithm (Algorithm 1).
 
 void SpaEngine::ReceiveRelSet(UpdateId update,
-                              const std::vector<std::string>& views,
+                              const std::vector<ViewId>& views,
                               std::vector<WarehouseTransaction>* out) {
   vut_.AllocateRow(update, views);
   if (views.empty()) {
@@ -156,7 +158,7 @@ void SpaEngine::ReceiveActionList(ActionList al,
   ReceiveActionListCommon(std::move(al), out);
 }
 
-void SpaEngine::DoProcessAction(std::string view, UpdateId update,
+void SpaEngine::DoProcessAction(ViewId view, UpdateId update,
                                 std::vector<WarehouseTransaction>* out) {
   vut_.SetColor(update, vut_.ViewIndex(view), CellColor::kRed);
   ProcessRow(update, out);
@@ -201,7 +203,7 @@ void SpaEngine::ProcessRow(UpdateId i,
 // Painting Algorithm (Algorithm 2).
 
 void PaEngine::ReceiveRelSet(UpdateId update,
-                             const std::vector<std::string>& views,
+                             const std::vector<ViewId>& views,
                              std::vector<WarehouseTransaction>* out) {
   vut_.AllocateRow(update, views);  // states initialized to 0
   if (views.empty()) {
@@ -216,7 +218,7 @@ void PaEngine::ReceiveActionList(ActionList al,
   ReceiveActionListCommon(std::move(al), out);
 }
 
-void PaEngine::DoProcessAction(std::string view, UpdateId update,
+void PaEngine::DoProcessAction(ViewId view, UpdateId update,
                                std::vector<WarehouseTransaction>* out) {
   const size_t x = vut_.ViewIndex(view);
   // All white entries at or before `update` in column x are covered by
@@ -319,7 +321,7 @@ void PaEngine::PurgeFinishedRows() {
 // Pass-through (convergent view managers, Section 6.3).
 
 void PassThroughEngine::ReceiveRelSet(UpdateId update,
-                                      const std::vector<std::string>& views,
+                                      const std::vector<ViewId>& views,
                                       std::vector<WarehouseTransaction>* out) {
   (void)update;
   (void)views;
@@ -329,7 +331,10 @@ void PassThroughEngine::ReceiveRelSet(UpdateId update,
 void PassThroughEngine::ReceiveActionList(
     ActionList al, std::vector<WarehouseTransaction>* out) {
   WarehouseTransaction txn;
-  txn.rows = al.covered;
+  // Release-mode ALs may omit `covered`; the label range collapses to
+  // the single labeled update for row accounting.
+  txn.rows = al.covered.empty() ? std::vector<UpdateId>{al.update}
+                                : al.covered;
   txn.views = {al.view};
   txn.source_state = al.update;
   txn.actions.push_back(std::move(al));

@@ -23,11 +23,11 @@
 #include <map>
 #include <memory>
 #include <set>
-#include <string>
 #include <vector>
 
 #include "merge/vut.h"
 #include "net/protocol.h"
+#include "storage/id_registry.h"
 
 namespace mvc {
 
@@ -44,8 +44,9 @@ class MergeEngine {
  public:
   virtual ~MergeEngine() = default;
 
-  static std::unique_ptr<MergeEngine> Create(
-      MergeAlgorithm algorithm, std::vector<std::string> views);
+  static std::unique_ptr<MergeEngine> Create(MergeAlgorithm algorithm,
+                                             std::vector<ViewId> views,
+                                             const IdRegistry* names);
 
   virtual MergeAlgorithm algorithm() const = 0;
 
@@ -53,7 +54,7 @@ class MergeEngine {
   /// `views` must be a subset of the engine's columns; an empty set
   /// records the update for freshness accounting only.
   virtual void ReceiveRelSet(UpdateId update,
-                             const std::vector<std::string>& views,
+                             const std::vector<ViewId>& views,
                              std::vector<WarehouseTransaction>* out) = 0;
 
   /// Feeds one action list. Emits any transactions that become
@@ -76,8 +77,8 @@ class MergeEngine {
 /// Shared implementation for the two painting algorithms.
 class PaintingEngineBase : public MergeEngine {
  public:
-  explicit PaintingEngineBase(std::vector<std::string> views)
-      : vut_(std::move(views)) {}
+  PaintingEngineBase(std::vector<ViewId> views, const IdRegistry* names)
+      : vut_(std::move(views), names) {}
 
   const ViewUpdateTable& vut() const override { return vut_; }
   size_t held_action_lists() const override { return held_; }
@@ -94,12 +95,13 @@ class PaintingEngineBase : public MergeEngine {
   std::map<UpdateId, std::vector<ActionList>> early_;
   ViewUpdateTable vut_;
   size_t held_ = 0;
-  /// Label of the last AL processed per view; guards the per-view-manager
-  /// FIFO invariant the algorithms rely on.
-  std::map<std::string, UpdateId> last_processed_;
+  /// Label of the last AL processed per column; guards the
+  /// per-view-manager FIFO invariant the algorithms rely on. Indexed by
+  /// column; 0 means "none yet" (labels start at 1).
+  std::vector<UpdateId> last_processed_;
 
   /// Algorithm-specific ProcessAction (the AL is already stored in wt_).
-  virtual void DoProcessAction(std::string view, UpdateId update,
+  virtual void DoProcessAction(ViewId view, UpdateId update,
                                std::vector<WarehouseTransaction>* out) = 0;
 
   /// Shared AL intake: buffer if the row is unknown or an earlier AL of
@@ -112,7 +114,7 @@ class PaintingEngineBase : public MergeEngine {
   void DrainEarly(std::vector<WarehouseTransaction>* out);
 
   /// True if some buffered AL of `view` has a label < i.
-  bool HasEarlierBufferedAl(const std::string& view, UpdateId i) const;
+  bool HasEarlierBufferedAl(ViewId view, UpdateId i) const;
 
   /// True if every row the AL covers has been allocated (its REL
   /// arrived). Under the piggyback scheme RELs can arrive out of update
@@ -131,18 +133,18 @@ class PaintingEngineBase : public MergeEngine {
 
 class SpaEngine : public PaintingEngineBase {
  public:
-  explicit SpaEngine(std::vector<std::string> views)
-      : PaintingEngineBase(std::move(views)) {}
+  SpaEngine(std::vector<ViewId> views, const IdRegistry* names)
+      : PaintingEngineBase(std::move(views), names) {}
 
   MergeAlgorithm algorithm() const override { return MergeAlgorithm::kSPA; }
 
-  void ReceiveRelSet(UpdateId update, const std::vector<std::string>& views,
+  void ReceiveRelSet(UpdateId update, const std::vector<ViewId>& views,
                      std::vector<WarehouseTransaction>* out) override;
   void ReceiveActionList(ActionList al,
                          std::vector<WarehouseTransaction>* out) override;
 
  protected:
-  void DoProcessAction(std::string view, UpdateId update,
+  void DoProcessAction(ViewId view, UpdateId update,
                        std::vector<WarehouseTransaction>* out) override;
 
  private:
@@ -151,18 +153,18 @@ class SpaEngine : public PaintingEngineBase {
 
 class PaEngine : public PaintingEngineBase {
  public:
-  explicit PaEngine(std::vector<std::string> views)
-      : PaintingEngineBase(std::move(views)) {}
+  PaEngine(std::vector<ViewId> views, const IdRegistry* names)
+      : PaintingEngineBase(std::move(views), names) {}
 
   MergeAlgorithm algorithm() const override { return MergeAlgorithm::kPA; }
 
-  void ReceiveRelSet(UpdateId update, const std::vector<std::string>& views,
+  void ReceiveRelSet(UpdateId update, const std::vector<ViewId>& views,
                      std::vector<WarehouseTransaction>* out) override;
   void ReceiveActionList(ActionList al,
                          std::vector<WarehouseTransaction>* out) override;
 
  protected:
-  void DoProcessAction(std::string view, UpdateId update,
+  void DoProcessAction(ViewId view, UpdateId update,
                        std::vector<WarehouseTransaction>* out) override;
 
  private:
@@ -175,14 +177,14 @@ class PaEngine : public PaintingEngineBase {
 
 class PassThroughEngine : public MergeEngine {
  public:
-  explicit PassThroughEngine(std::vector<std::string> views)
-      : vut_(std::move(views)) {}
+  PassThroughEngine(std::vector<ViewId> views, const IdRegistry* names)
+      : vut_(std::move(views), names) {}
 
   MergeAlgorithm algorithm() const override {
     return MergeAlgorithm::kPassThrough;
   }
 
-  void ReceiveRelSet(UpdateId update, const std::vector<std::string>& views,
+  void ReceiveRelSet(UpdateId update, const std::vector<ViewId>& views,
                      std::vector<WarehouseTransaction>* out) override;
   void ReceiveActionList(ActionList al,
                          std::vector<WarehouseTransaction>* out) override;

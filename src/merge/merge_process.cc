@@ -21,9 +21,8 @@ const char* SubmissionPolicyToString(SubmissionPolicy policy) {
 }
 
 namespace {
-/// True if the two sorted view-name vectors intersect.
-bool ViewsOverlap(const std::vector<std::string>& a,
-                  const std::vector<std::string>& b) {
+/// True if the two sorted view-id vectors intersect.
+bool ViewsOverlap(const std::vector<ViewId>& a, const std::vector<ViewId>& b) {
   size_t i = 0;
   size_t j = 0;
   while (i < a.size() && j < b.size()) {
@@ -38,16 +37,23 @@ bool ViewsOverlap(const std::vector<std::string>& a,
 }
 }  // namespace
 
-MergeProcess::MergeProcess(std::string name, std::vector<std::string> views,
-                           MergeOptions options)
+MergeProcess::MergeProcess(std::string name, std::vector<ViewId> views,
+                           const IdRegistry* registry, MergeOptions options)
     : Process(std::move(name)),
       options_(options),
       views_(std::move(views)),
-      engine_(MergeEngine::Create(options.algorithm, views_)) {}
+      registry_(registry),
+      engine_(MergeEngine::Create(options.algorithm, views_, registry_)) {
+  MVC_CHECK(registry_ != nullptr);
+}
+
+bool MergeProcess::OwnsView(ViewId view) const {
+  return engine_->vut().FindViewIndex(view).has_value();
+}
 
 void MergeProcess::EnableFaultTolerance(
     MergeLog* log, ProcessId integrator,
-    std::map<std::string, ProcessId> vm_of_view, const FaultOptions& opts) {
+    std::map<ViewId, ProcessId> vm_of_view, const FaultOptions& opts) {
   MVC_CHECK(log != nullptr);
   log_ = log;
   integrator_ = integrator;
@@ -88,7 +94,7 @@ void MergeProcess::OnMessage(ProcessId from, MessagePtr msg) {
         }
         ++resync_retries_done_;
         ++stats_.resync_retries;
-        for (const std::string& view : awaiting_al_sync_) {
+        for (ViewId view : awaiting_al_sync_) {
           SendAlResyncRequest(view);
         }
         ArmResyncRetry();
@@ -162,7 +168,7 @@ void MergeProcess::OnCrashed() {
   awaiting_al_sync_.clear();
   replaying_ = false;
   resync_retries_done_ = 0;
-  engine_ = MergeEngine::Create(options_.algorithm, views_);
+  engine_ = MergeEngine::Create(options_.algorithm, views_, registry_);
 }
 
 void MergeProcess::OnRecovered() {
@@ -207,7 +213,7 @@ void MergeProcess::OnRecovered() {
   rel_req->epoch = epoch_;
   Send(integrator_, std::move(rel_req));
   awaiting_al_sync_.clear();
-  for (const std::string& view : views_) {
+  for (ViewId view : views_) {
     awaiting_al_sync_.insert(view);
     SendAlResyncRequest(view);
   }
@@ -218,7 +224,7 @@ void MergeProcess::OnRecovered() {
   ArmResyncRetry();
 }
 
-void MergeProcess::SendAlResyncRequest(const std::string& view) {
+void MergeProcess::SendAlResyncRequest(ViewId view) {
   auto it = vm_of_view_.find(view);
   MVC_CHECK(it != vm_of_view_.end());
   auto req = std::make_unique<AlResyncRequestMsg>();
@@ -278,7 +284,7 @@ void MergeProcess::HandleNow(Message* msg) {
 }
 
 void MergeProcess::ConsumeRel(UpdateId update_id,
-                              const std::vector<std::string>& views,
+                              const std::vector<ViewId>& views,
                               std::vector<WarehouseTransaction>* emitted) {
   if (log_ != nullptr) {
     // REL ids arrive in increasing order per merge, so the watermark
@@ -299,6 +305,19 @@ void MergeProcess::ConsumeRel(UpdateId update_id,
 
 void MergeProcess::ConsumeAl(ActionList al,
                              std::vector<WarehouseTransaction>* emitted) {
+  if (!OwnsView(al.view)) {
+    // Mis-routed traffic (wiring bug or confused sender): reject the AL
+    // instead of letting the engine abort the whole system on an unknown
+    // VUT column. Applies on every intake path — direct, piggybacked,
+    // resync, and WAL replay.
+    ++stats_.misrouted_als;
+    const bool known_id =
+        al.view >= 0 && static_cast<size_t>(al.view) < registry_->num_views();
+    MVC_LOG_ERROR() << "merge " << name() << ": dropping mis-routed "
+                    << al.ToString(known_id ? registry_ : nullptr)
+                    << " (not a column of this merge process)";
+    return;
+  }
   if (log_ != nullptr) {
     // Per-view labels increase strictly (the painting engines check
     // this), so a label at or below the watermark is a duplicate from a
@@ -375,7 +394,7 @@ void MergeProcess::FlushBatch() {
   // members already appear in emission order, satisfying the Section 4.3
   // in-batch ordering requirement.
   WarehouseTransaction bwt;
-  std::set<std::string> views;
+  std::set<ViewId> views;
   for (WarehouseTransaction& member : batch_) {
     bwt.rows.insert(bwt.rows.end(), member.rows.begin(), member.rows.end());
     for (ActionList& al : member.actions) {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "fault/fault_plan.h"
+#include "storage/id_registry.h"
 #include "fault/merge_log.h"
 #include "merge/merge_engine.h"
 #include "net/protocol.h"
@@ -83,14 +84,19 @@ struct MergeStats {
   int64_t resync_retries = 0;
   /// Ordinary REL/AL messages dropped while a resync covered them.
   int64_t dropped_during_resync = 0;
+  /// Action lists rejected because their view is not a column of this
+  /// merge process (mis-routed traffic; logged, never fatal).
+  int64_t misrouted_als = 0;
 };
 
 class MergeProcess : public Process {
  public:
   /// `views` are the columns of this process's VUT — exactly the views
   /// whose managers send it action lists (Figure 3 partitioning).
-  MergeProcess(std::string name, std::vector<std::string> views,
-               MergeOptions options = {});
+  /// `registry` resolves ids to names at trace/log boundaries and must
+  /// outlive the process.
+  MergeProcess(std::string name, std::vector<ViewId> views,
+               const IdRegistry* registry, MergeOptions options = {});
 
   void SetWarehouse(ProcessId warehouse) { warehouse_ = warehouse; }
 
@@ -100,7 +106,7 @@ class MergeProcess : public Process {
   /// view's AL stream, and the commit set are resynced with `integrator`,
   /// the view managers in `vm_of_view`, and the warehouse.
   void EnableFaultTolerance(MergeLog* log, ProcessId integrator,
-                            std::map<std::string, ProcessId> vm_of_view,
+                            std::map<ViewId, ProcessId> vm_of_view,
                             const FaultOptions& opts);
 
   const MergeEngine& engine() const { return *engine_; }
@@ -126,18 +132,21 @@ class MergeProcess : public Process {
   void FlushBatch();
   /// Feeds one REL set / action list into the engine, logging it (when
   /// not replaying) and dropping duplicates by id/label.
-  void ConsumeRel(UpdateId update_id, const std::vector<std::string>& views,
+  void ConsumeRel(UpdateId update_id, const std::vector<ViewId>& views,
                   std::vector<WarehouseTransaction>* emitted);
   void ConsumeAl(ActionList al, std::vector<WarehouseTransaction>* emitted);
+  /// True if `view` is a column of this merge process.
+  bool OwnsView(ViewId view) const;
   /// Logs a commit acknowledgement and applies it.
   void AckAndLog(int64_t txn_id);
-  void SendAlResyncRequest(const std::string& view);
+  void SendAlResyncRequest(ViewId view);
   void ArmResyncRetry();
 
   MergeOptions options_;
-  /// This process's VUT columns; kept (not just moved into the engine)
-  /// so recovery can build a fresh engine.
-  std::vector<std::string> views_;
+  /// This process's VUT columns, sorted by id; kept (not just moved into
+  /// the engine) so recovery can build a fresh engine.
+  std::vector<ViewId> views_;
+  const IdRegistry* registry_;
   std::unique_ptr<MergeEngine> engine_;
   ProcessId warehouse_ = kInvalidProcess;
   MergeStats stats_;
@@ -145,7 +154,7 @@ class MergeProcess : public Process {
   // --- Fault tolerance (log_ == nullptr when disabled) ---
   MergeLog* log_ = nullptr;
   ProcessId integrator_ = kInvalidProcess;
-  std::map<std::string, ProcessId> vm_of_view_;
+  std::map<ViewId, ProcessId> vm_of_view_;
   TimeMicros resync_retry_micros_ = 10000;
   int32_t max_resync_retries_ = 50;
   /// Incremented per recovery; resync responses carrying an older epoch
@@ -159,17 +168,17 @@ class MergeProcess : public Process {
   bool rel_synced_ = true;
   /// Views whose AL resync response is still pending; their ordinary
   /// action lists are dropped meanwhile.
-  std::set<std::string> awaiting_al_sync_;
+  std::set<ViewId> awaiting_al_sync_;
   /// Highest REL id / per-view AL label ever consumed — the dedup
   /// watermarks that make resync overlap harmless.
   UpdateId max_rel_id_ = kInvalidUpdate;
-  std::map<std::string, UpdateId> max_al_label_;
+  std::map<ViewId, UpdateId> max_al_label_;
   int32_t resync_retries_done_ = 0;
   static constexpr int64_t kResyncRetryTag = -2;
 
   int64_t next_txn_id_ = 0;
   /// Submitted-but-unacknowledged transactions' view sets, by txn id.
-  std::map<int64_t, std::vector<std::string>> outstanding_;
+  std::map<int64_t, std::vector<ViewId>> outstanding_;
   /// kSequential / kHoldDependents: transactions waiting to be submitted,
   /// in emission order.
   std::deque<WarehouseTransaction> wait_queue_;

@@ -1,5 +1,6 @@
 #include "merge/vut.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/string_util.h"
@@ -20,53 +21,91 @@ char CellColorChar(CellColor color) {
   return '?';
 }
 
-ViewUpdateTable::ViewUpdateTable(std::vector<std::string> views)
-    : views_(std::move(views)) {
-  for (size_t i = 0; i < views_.size(); ++i) view_index_[views_[i]] = i;
-  MVC_CHECK_EQ(view_index_.size(), views_.size());
-}
-
-size_t ViewUpdateTable::ViewIndex(const std::string& view) const {
-  auto it = view_index_.find(view);
-  MVC_CHECK(it != view_index_.end()) << "unknown view " << view;
-  return it->second;
-}
-
-void ViewUpdateTable::AllocateRow(UpdateId i,
-                                  const std::vector<std::string>& rel) {
-  MVC_CHECK(!HasRow(i)) << "VUT row " << i << " already allocated";
-  std::vector<CellData> row(views_.size());
-  for (const std::string& view : rel) {
-    row[ViewIndex(view)].color = CellColor::kWhite;
+ViewUpdateTable::ViewUpdateTable(std::vector<ViewId> views,
+                                 const IdRegistry* names)
+    : views_(std::move(views)), names_(names) {
+  MVC_CHECK(names_ != nullptr);
+  for (size_t x = 0; x < views_.size(); ++x) {
+    ViewId v = views_[x];
+    MVC_CHECK(v >= 0) << "invalid view id " << v;
+    if (static_cast<size_t>(v) >= col_of_view_.size()) {
+      col_of_view_.resize(static_cast<size_t>(v) + 1, -1);
+    }
+    MVC_CHECK(col_of_view_[static_cast<size_t>(v)] < 0)
+        << "duplicate view V#" << v;
+    col_of_view_[static_cast<size_t>(v)] = static_cast<int32_t>(x);
   }
-  rows_[i] = std::move(row);
+}
+
+void ViewUpdateTable::AllocateRow(UpdateId i, const std::vector<ViewId>& rel) {
+  MVC_CHECK(!HasRow(i)) << "VUT row " << i << " already allocated";
+  if (window_.empty()) {
+    base_ = i;
+    window_.emplace_back();
+  } else if (i < base_) {
+    // Re-announce below the window (e.g. replay after a purge): grow the
+    // front with dead slots down to i.
+    for (UpdateId k = base_; k > i; --k) window_.emplace_front();
+    base_ = i;
+  } else if (i >= base_ + static_cast<UpdateId>(window_.size())) {
+    // Far-ahead allocation: pad with dead slots so ids stay offsets.
+    size_t need = static_cast<size_t>(i - base_) + 1;
+    while (window_.size() < need) window_.emplace_back();
+  }
+  RowSlot& slot = window_[static_cast<size_t>(i - base_)];
+  slot.live = true;
+  if (!free_cells_.empty()) {
+    slot.cells = std::move(free_cells_.back());
+    free_cells_.pop_back();
+    std::fill(slot.cells.begin(), slot.cells.end(), CellData{});
+  } else {
+    slot.cells.assign(views_.size(), CellData{});
+  }
+  for (ViewId view : rel) {
+    slot.cells[ViewIndex(view)].color = CellColor::kWhite;
+  }
+  ++live_rows_;
   max_allocated_ = std::max(max_allocated_, i);
 }
 
 void ViewUpdateTable::PurgeRow(UpdateId i) {
-  MVC_CHECK(rows_.erase(i) == 1) << "no VUT row " << i << " to purge";
+  MVC_CHECK(HasRow(i)) << "no VUT row " << i << " to purge";
+  RowSlot& slot = window_[static_cast<size_t>(i - base_)];
+  slot.live = false;
+  free_cells_.push_back(std::move(slot.cells));
+  slot.cells.clear();
+  --live_rows_;
+  ShrinkWindow();
+}
+
+void ViewUpdateTable::ShrinkWindow() {
+  while (!window_.empty() && !window_.front().live) {
+    window_.pop_front();
+    ++base_;
+  }
+  while (!window_.empty() && !window_.back().live) {
+    window_.pop_back();
+  }
 }
 
 std::vector<UpdateId> ViewUpdateTable::RowIds() const {
   std::vector<UpdateId> out;
-  out.reserve(rows_.size());
-  for (const auto& [id, _] : rows_) out.push_back(id);
+  out.reserve(live_rows_);
+  for (size_t k = 0; k < window_.size(); ++k) {
+    if (window_[k].live) out.push_back(base_ + static_cast<UpdateId>(k));
+  }
   return out;
 }
 
 bool ViewUpdateTable::RowHasWhite(UpdateId i) const {
-  auto it = rows_.find(i);
-  MVC_CHECK(it != rows_.end());
-  for (const CellData& cell : it->second) {
+  for (const CellData& cell : Slot(i).cells) {
     if (cell.color == CellColor::kWhite) return true;
   }
   return false;
 }
 
 bool ViewUpdateTable::RowAllBlackOrGray(UpdateId i) const {
-  auto it = rows_.find(i);
-  MVC_CHECK(it != rows_.end());
-  for (const CellData& cell : it->second) {
+  for (const CellData& cell : Slot(i).cells) {
     if (cell.color != CellColor::kBlack && cell.color != CellColor::kGray) {
       return false;
     }
@@ -75,15 +114,24 @@ bool ViewUpdateTable::RowAllBlackOrGray(UpdateId i) const {
 }
 
 UpdateId ViewUpdateTable::NextRed(UpdateId i, size_t view_idx) const {
-  for (auto it = rows_.upper_bound(i); it != rows_.end(); ++it) {
-    if (it->second[view_idx].color == CellColor::kRed) return it->first;
+  size_t k = i < base_ ? 0 : static_cast<size_t>(i - base_) + 1;
+  for (; k < window_.size(); ++k) {
+    const RowSlot& slot = window_[k];
+    if (slot.live && slot.cells[view_idx].color == CellColor::kRed) {
+      return base_ + static_cast<UpdateId>(k);
+    }
   }
   return 0;
 }
 
 bool ViewUpdateTable::HasEarlierRed(UpdateId i, size_t view_idx) const {
-  for (auto it = rows_.begin(); it != rows_.end() && it->first < i; ++it) {
-    if (it->second[view_idx].color == CellColor::kRed) return true;
+  size_t end = i <= base_ ? 0
+               : std::min(static_cast<size_t>(i - base_), window_.size());
+  for (size_t k = 0; k < end; ++k) {
+    const RowSlot& slot = window_[k];
+    if (slot.live && slot.cells[view_idx].color == CellColor::kRed) {
+      return true;
+    }
   }
   return false;
 }
@@ -91,8 +139,13 @@ bool ViewUpdateTable::HasEarlierRed(UpdateId i, size_t view_idx) const {
 std::vector<UpdateId> ViewUpdateTable::EarlierRedRows(UpdateId i,
                                                       size_t view_idx) const {
   std::vector<UpdateId> out;
-  for (auto it = rows_.begin(); it != rows_.end() && it->first < i; ++it) {
-    if (it->second[view_idx].color == CellColor::kRed) out.push_back(it->first);
+  size_t end = i <= base_ ? 0
+               : std::min(static_cast<size_t>(i - base_), window_.size());
+  for (size_t k = 0; k < end; ++k) {
+    const RowSlot& slot = window_[k];
+    if (slot.live && slot.cells[view_idx].color == CellColor::kRed) {
+      out.push_back(base_ + static_cast<UpdateId>(k));
+    }
   }
   return out;
 }
@@ -100,21 +153,23 @@ std::vector<UpdateId> ViewUpdateTable::EarlierRedRows(UpdateId i,
 std::vector<UpdateId> ViewUpdateTable::WhiteRowsUpTo(UpdateId i,
                                                      size_t view_idx) const {
   std::vector<UpdateId> out;
-  for (auto it = rows_.begin(); it != rows_.end() && it->first <= i; ++it) {
-    if (it->second[view_idx].color == CellColor::kWhite) {
-      out.push_back(it->first);
+  if (i < base_) return out;
+  size_t end = std::min(static_cast<size_t>(i - base_) + 1, window_.size());
+  for (size_t k = 0; k < end; ++k) {
+    const RowSlot& slot = window_[k];
+    if (slot.live && slot.cells[view_idx].color == CellColor::kWhite) {
+      out.push_back(base_ + static_cast<UpdateId>(k));
     }
   }
   return out;
 }
 
-std::vector<std::string> ViewUpdateTable::RowViewsWithColor(
-    UpdateId i, CellColor color) const {
-  auto it = rows_.find(i);
-  MVC_CHECK(it != rows_.end());
-  std::vector<std::string> out;
+std::vector<ViewId> ViewUpdateTable::RowViewsWithColor(UpdateId i,
+                                                       CellColor color) const {
+  const RowSlot& slot = Slot(i);
+  std::vector<ViewId> out;
   for (size_t x = 0; x < views_.size(); ++x) {
-    if (it->second[x].color == color) out.push_back(views_[x]);
+    if (slot.cells[x].color == color) out.push_back(views_[x]);
   }
   return out;
 }
@@ -122,11 +177,13 @@ std::vector<std::string> ViewUpdateTable::RowViewsWithColor(
 std::string ViewUpdateTable::ToString(bool show_state) const {
   std::ostringstream os;
   os << "    ";
-  for (const std::string& view : views_) os << " " << view;
+  for (ViewId view : views_) os << " " << names_->ViewName(view);
   os << "\n";
-  for (const auto& [id, row] : rows_) {
-    os << "U" << id << ":";
-    for (const CellData& cell : row) {
+  for (size_t k = 0; k < window_.size(); ++k) {
+    const RowSlot& slot = window_[k];
+    if (!slot.live) continue;
+    os << "U" << (base_ + static_cast<UpdateId>(k)) << ":";
+    for (const CellData& cell : slot.cells) {
       if (show_state) {
         os << " (" << CellColorChar(cell.color) << "," << cell.state << ")";
       } else {

@@ -7,18 +7,28 @@
 // Algorithm, a `state` field naming the later row whose action list
 // subsumes this cell's actions (intertwined updates).
 //
+// Layout: views are interned ViewIds, mapped once to dense column
+// indices; rows live in a contiguous ring (std::deque) keyed off the
+// lowest live UpdateId, so the per-update paint/scan operations are
+// flat array sweeps with no hashing, string compares, or node
+// allocation. Cell storage is recycled through a free pool, making the
+// steady state allocation-free.
+//
 // Rendering matches the paper's example tables so golden tests can
-// compare traces character for character.
+// compare traces character for character; the IdRegistry supplies the
+// view names at that boundary.
 
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <deque>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
 #include "net/protocol.h"
+#include "storage/id_registry.h"
 
 namespace mvc {
 
@@ -30,20 +40,39 @@ char CellColorChar(CellColor color);
 class ViewUpdateTable {
  public:
   /// Columns, in display order (the views this merge process manages).
-  explicit ViewUpdateTable(std::vector<std::string> views);
+  /// `names` resolves ids back to names for rendering; it must outlive
+  /// the table.
+  ViewUpdateTable(std::vector<ViewId> views, const IdRegistry* names);
 
-  const std::vector<std::string>& views() const { return views_; }
+  const std::vector<ViewId>& views() const { return views_; }
 
-  /// Column index of `view`; the view must be known.
-  size_t ViewIndex(const std::string& view) const;
+  /// Column index of `view`; the view must be a column of this table.
+  size_t ViewIndex(ViewId view) const {
+    std::optional<size_t> idx = FindViewIndex(view);
+    MVC_CHECK(idx.has_value()) << "unknown view V#" << view;
+    return *idx;
+  }
+
+  /// Column index of `view`, or nullopt if this table has no such
+  /// column (non-fatal variant for rejecting mis-routed traffic).
+  std::optional<size_t> FindViewIndex(ViewId view) const {
+    if (view >= 0 && static_cast<size_t>(view) < col_of_view_.size() &&
+        col_of_view_[static_cast<size_t>(view)] >= 0) {
+      return static_cast<size_t>(col_of_view_[static_cast<size_t>(view)]);
+    }
+    return std::nullopt;
+  }
 
   /// --- Rows ---
 
-  bool HasRow(UpdateId i) const { return rows_.count(i) > 0; }
+  bool HasRow(UpdateId i) const {
+    return i >= base_ && i < base_ + static_cast<UpdateId>(window_.size()) &&
+           window_[static_cast<size_t>(i - base_)].live;
+  }
 
   /// Creates row i: white for views in `rel` (which must all be known
   /// columns), black for the rest; all states 0.
-  void AllocateRow(UpdateId i, const std::vector<std::string>& rel);
+  void AllocateRow(UpdateId i, const std::vector<ViewId>& rel);
 
   /// Removes row i entirely.
   void PurgeRow(UpdateId i);
@@ -51,7 +80,7 @@ class ViewUpdateTable {
   /// Ascending ids of live rows.
   std::vector<UpdateId> RowIds() const;
 
-  size_t num_rows() const { return rows_.size(); }
+  size_t num_rows() const { return live_rows_; }
 
   /// Largest row id ever allocated (0 if none) — used to distinguish "not
   /// yet announced" from "already purged".
@@ -95,14 +124,13 @@ class ViewUpdateTable {
   std::vector<UpdateId> WhiteRowsUpTo(UpdateId i, size_t view_idx) const;
 
   /// Views whose cell in row i has the given color, in column order.
-  std::vector<std::string> RowViewsWithColor(UpdateId i,
-                                             CellColor color) const;
+  std::vector<ViewId> RowViewsWithColor(UpdateId i, CellColor color) const;
 
   /// --- Rendering ---
 
   /// ASCII table in the paper's style. With show_state, cells render as
   /// "(c,s)" pairs as in Example 5; otherwise as single color letters as
-  /// in Example 3.
+  /// in Example 3. View names come from the IdRegistry.
   std::string ToString(bool show_state = false) const;
 
  private:
@@ -110,24 +138,45 @@ class ViewUpdateTable {
     CellColor color = CellColor::kBlack;
     UpdateId state = 0;
   };
+  struct RowSlot {
+    bool live = false;
+    std::vector<CellData> cells;
+  };
 
+  const RowSlot& Slot(UpdateId i) const {
+    MVC_CHECK(HasRow(i)) << "no VUT row " << i;
+    return window_[static_cast<size_t>(i - base_)];
+  }
+  RowSlot* MutableSlot(UpdateId i) {
+    MVC_CHECK(HasRow(i)) << "no VUT row " << i;
+    return &window_[static_cast<size_t>(i - base_)];
+  }
   const CellData& Cell(UpdateId i, size_t view_idx) const {
-    auto it = rows_.find(i);
-    MVC_CHECK(it != rows_.end()) << "no VUT row " << i;
     MVC_CHECK(view_idx < views_.size());
-    return it->second[view_idx];
+    return Slot(i).cells[view_idx];
   }
   CellData* MutableCell(UpdateId i, size_t view_idx) {
-    auto it = rows_.find(i);
-    MVC_CHECK(it != rows_.end()) << "no VUT row " << i;
     MVC_CHECK(view_idx < views_.size());
-    return &it->second[view_idx];
+    return &MutableSlot(i)->cells[view_idx];
   }
 
-  std::vector<std::string> views_;
-  std::map<std::string, size_t> view_index_;
-  std::map<UpdateId, std::vector<CellData>> rows_;
+  /// Drops dead slots at both ends of the window so base_ tracks the
+  /// lowest live row.
+  void ShrinkWindow();
+
+  std::vector<ViewId> views_;
+  /// Global ViewId -> column index; -1 for views not in this table.
+  std::vector<int32_t> col_of_view_;
+  const IdRegistry* names_;
+
+  /// window_[k] is row base_ + k. Slots between live rows are dead
+  /// placeholders so ids map to offsets with plain arithmetic.
+  std::deque<RowSlot> window_;
+  UpdateId base_ = 0;
+  size_t live_rows_ = 0;
   UpdateId max_allocated_ = 0;
+  /// Recycled cell vectors from purged rows (steady state never mallocs).
+  std::vector<std::vector<CellData>> free_cells_;
 };
 
 }  // namespace mvc

@@ -66,18 +66,32 @@ std::string MessageStats::ToString() const {
   return os.str();
 }
 
-std::string ActionList::ToString() const {
+std::string ActionList::ToString(const IdRegistry* names) const {
   std::ostringstream os;
-  os << "AL(" << view << ", U" << update;
+  os << "AL(";
+  if (names != nullptr) {
+    os << names->ViewName(view);
+  } else {
+    os << "V#" << view;
+  }
+  os << ", U" << update;
   if (first_update != update) os << " covering U" << first_update << "..";
   os << ", " << delta.rows.size() << " actions)";
   return os.str();
 }
 
-std::string WarehouseTransaction::ToString() const {
+std::string WarehouseTransaction::ToString(const IdRegistry* names) const {
   std::ostringstream os;
-  os << "WT" << txn_id << "(rows=[" << JoinToString(rows, ",") << "], views=["
-     << JoinToString(views, ",") << "], " << actions.size() << " ALs";
+  os << "WT" << txn_id << "(rows=[" << JoinToString(rows, ",") << "], views=[";
+  if (names != nullptr) {
+    for (size_t i = 0; i < views.size(); ++i) {
+      if (i > 0) os << ",";
+      os << names->ViewName(views[i]);
+    }
+  } else {
+    os << JoinToString(views, ",");
+  }
+  os << "], " << actions.size() << " ALs";
   if (!depends_on.empty()) os << ", deps=[" << JoinToString(depends_on, ",") << "]";
   os << ")";
   return os.str();
@@ -102,12 +116,12 @@ std::string TxnCommittedMsg::Summary() const {
 }
 
 std::string QueryRequestMsg::Summary() const {
-  return StrCat("query ", relation,
+  return StrCat("query R#", relation,
                 as_of_state >= 0 ? StrCat(" @state ", as_of_state) : "");
 }
 
 std::string QueryResponseMsg::Summary() const {
-  return StrCat("answer ", relation, " @state ", state, " (",
+  return StrCat("answer R#", relation, " @state ", state, " (",
                 snapshot.NumRows(), " rows)");
 }
 
@@ -131,7 +145,7 @@ std::string CrashMsg::Summary() const { return "crash"; }
 std::string RecoverMsg::Summary() const { return "recover"; }
 
 std::string ReplayRequestMsg::Summary() const {
-  return StrCat("replay ", view, " after U", after, " (epoch ", epoch, ")");
+  return StrCat("replay V#", view, " after U", after, " (epoch ", epoch, ")");
 }
 
 std::string ReplayResponseMsg::Summary() const {
@@ -149,12 +163,12 @@ std::string RelResyncResponseMsg::Summary() const {
 }
 
 std::string AlResyncRequestMsg::Summary() const {
-  return StrCat("AL resync ", view, " after U", after, " (epoch ", epoch,
+  return StrCat("AL resync V#", view, " after U", after, " (epoch ", epoch,
                 ")");
 }
 
 std::string AlResyncResponseMsg::Summary() const {
-  return StrCat("AL resync ", view, ": ", action_lists.size(),
+  return StrCat("AL resync V#", view, ": ", action_lists.size(),
                 " lists (epoch ", epoch, ")");
 }
 

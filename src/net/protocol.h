@@ -15,6 +15,7 @@
 
 #include "net/message.h"
 #include "storage/delta.h"
+#include "storage/id_registry.h"
 #include "storage/table.h"
 #include "storage/update.h"
 
@@ -31,13 +32,17 @@ constexpr UpdateId kInvalidUpdate = 0;
 /// manager may batch intertwined updates i_k..i_{k+n} into a single AL
 /// labelled with the last one (Section 3.3).
 struct ActionList {
-  /// View this AL applies to.
-  std::string view;
+  /// View this AL applies to (interned at wiring time).
+  ViewId view = kInvalidView;
   /// j: applying the AL brings the view to the state after U_j.
   UpdateId update = kInvalidUpdate;
   /// Earliest update covered by this AL (== update for complete VMs).
   UpdateId first_update = kInvalidUpdate;
-  /// All covered update ids, ascending (diagnostics / tests).
+  /// All covered update ids, ascending. Collected only when the view
+  /// manager runs with collect_covered (piggyback REL delivery, the
+  /// consistency oracle, and crash recovery need it); release-mode ALs
+  /// omit it and consumers fall back to the [first_update, update]
+  /// label range.
   std::vector<UpdateId> covered;
   /// The actual view changes; may be empty (an empty AL is still sent,
   /// Section 3.3).
@@ -47,7 +52,8 @@ struct ActionList {
   /// (all-positive) rows as the new contents.
   bool replace_all = false;
 
-  std::string ToString() const;
+  /// Renders "V#<id>"; pass `names` to render the interned view name.
+  std::string ToString(const IdRegistry* names = nullptr) const;
 };
 
 /// A warehouse view-maintenance transaction assembled by a merge process:
@@ -60,8 +66,8 @@ struct WarehouseTransaction {
   /// Action lists, ordered so that dependent rows' ALs appear in row
   /// order (Section 4.3 batching requirement).
   std::vector<ActionList> actions;
-  /// VS(WT): the set of views this transaction updates, sorted.
-  std::vector<std::string> views;
+  /// VS(WT): the set of views this transaction updates, sorted by id.
+  std::vector<ViewId> views;
   /// txn_ids (same merge process) this transaction depends on: earlier
   /// transactions updating an overlapping view set that have not yet
   /// been observed committed at submission time.
@@ -70,7 +76,9 @@ struct WarehouseTransaction {
   /// transaction commits — used by the oracle and freshness metrics.
   UpdateId source_state = kInvalidUpdate;
 
-  std::string ToString() const;
+  /// With `names`, view ids render as view names (trace output);
+  /// without, they render as raw ids.
+  std::string ToString(const IdRegistry* names = nullptr) const;
 };
 
 // ---------------------------------------------------------------------------
@@ -93,7 +101,7 @@ struct UpdateMsg : Message {
   /// with its next action list.
   bool carries_rel = false;
   /// REL_i, only meaningful when carries_rel.
-  std::vector<std::string> rel_views;
+  std::vector<ViewId> rel_views;
   std::string Summary() const override;
 };
 
@@ -101,8 +109,8 @@ struct UpdateMsg : Message {
 struct RelSetMsg : Message {
   RelSetMsg() : Message(Kind::kRelSet) {}
   UpdateId update_id = kInvalidUpdate;
-  /// Views affected by U_i, sorted.
-  std::vector<std::string> views;
+  /// Views affected by U_i, sorted by id.
+  std::vector<ViewId> views;
   std::string Summary() const override;
 };
 
@@ -139,7 +147,7 @@ struct TxnCommittedMsg : Message {
 struct QueryRequestMsg : Message {
   QueryRequestMsg() : Message(Kind::kQueryRequest) {}
   int64_t request_id = 0;
-  std::string relation;
+  RelationId relation = kInvalidRelation;
   int64_t as_of_state = -1;
   std::string Summary() const override;
 };
@@ -149,7 +157,7 @@ struct QueryRequestMsg : Message {
 struct QueryResponseMsg : Message {
   QueryResponseMsg() : Message(Kind::kQueryResponse) {}
   int64_t request_id = 0;
-  std::string relation;
+  RelationId relation = kInvalidRelation;
   Table snapshot;
   int64_t state = 0;
   std::string Summary() const override;
@@ -169,7 +177,7 @@ struct ReadViewsMsg : Message {
   ReadViewsMsg() : Message(Kind::kReadViews) {}
   int64_t request_id = 0;
   /// Views to read; empty means all views.
-  std::vector<std::string> views;
+  std::vector<ViewId> views;
   /// Time-travel read: serve the snapshot as of this commit count
   /// instead of the current state (-1 = current). Requires the
   /// warehouse to keep history (WarehouseOptions::history_depth) and the
@@ -230,7 +238,7 @@ struct RecoverMsg : Message {
 /// last covered update).
 struct ReplayRequestMsg : Message {
   ReplayRequestMsg() : Message(Kind::kReplayRequest) {}
-  std::string view;
+  ViewId view = kInvalidView;
   UpdateId after = kInvalidUpdate;
   int64_t epoch = 0;
   std::string Summary() const override;
@@ -262,7 +270,7 @@ struct RelResyncRequestMsg : Message {
 /// One resynced REL entry (views restricted to the requesting merge).
 struct RelEntry {
   UpdateId update_id = kInvalidUpdate;
-  std::vector<std::string> views;
+  std::vector<ViewId> views;
 };
 
 /// Integrator -> merge.
@@ -277,7 +285,7 @@ struct RelResyncResponseMsg : Message {
 /// with label > after, served from the manager's durable outbox.
 struct AlResyncRequestMsg : Message {
   AlResyncRequestMsg() : Message(Kind::kAlResyncRequest) {}
-  std::string view;
+  ViewId view = kInvalidView;
   UpdateId after = kInvalidUpdate;
   int64_t epoch = 0;
   std::string Summary() const override;
@@ -286,7 +294,7 @@ struct AlResyncRequestMsg : Message {
 /// View manager -> merge.
 struct AlResyncResponseMsg : Message {
   AlResyncResponseMsg() : Message(Kind::kAlResyncResponse) {}
-  std::string view;
+  ViewId view = kInvalidView;
   int64_t epoch = 0;
   std::vector<ActionList> action_lists;
   std::string Summary() const override;

@@ -125,13 +125,15 @@ void SourceProcess::OnMessage(ProcessId from, MessagePtr msg) {
       auto resp = std::make_unique<QueryResponseMsg>();
       resp->request_id = req->request_id;
       resp->relation = req->relation;
+      MVC_CHECK(registry_ != nullptr) << "source registry not wired";
+      const std::string& relation = registry_->RelationName(req->relation);
       if (req->as_of_state >= 0) {
-        auto table = TableAtState(req->relation, req->as_of_state);
+        auto table = TableAtState(relation, req->as_of_state);
         MVC_CHECK(table.ok()) << table.status().ToString();
         resp->snapshot = std::move(table).value();
         resp->state = req->as_of_state;
       } else {
-        auto table = catalog_.GetTable(req->relation);
+        auto table = catalog_.GetTable(relation);
         MVC_CHECK(table.ok()) << table.status().ToString();
         resp->snapshot = (*table)->Clone();
         resp->state = state();

@@ -23,6 +23,7 @@
 #include "net/protocol.h"
 #include "net/runtime.h"
 #include "storage/catalog.h"
+#include "storage/id_registry.h"
 #include "storage/update.h"
 
 namespace mvc {
@@ -51,6 +52,10 @@ class SourceProcess : public Process {
 
   /// Wires the integrator destination. Must be set before Run.
   void SetIntegrator(ProcessId integrator) { integrator_ = integrator; }
+
+  /// Resolves RelationIds in query requests back to catalog names; must
+  /// be set before the runtime starts and outlive the process.
+  void SetRegistry(const IdRegistry* registry) { registry_ = registry; }
 
   /// --- Direct API (used by drivers co-located with the runtime) ---
 
@@ -83,6 +88,7 @@ class SourceProcess : public Process {
   Status ApplyUpdate(const Update& u);
 
   SourceOptions options_;
+  const IdRegistry* registry_ = nullptr;
   Catalog catalog_;
   std::vector<SourceTransaction> log_;
   ProcessId integrator_ = kInvalidProcess;

@@ -1,0 +1,40 @@
+#include "storage/id_registry.h"
+
+namespace mvc {
+
+ViewId IdRegistry::InternView(const std::string& name) {
+  auto [it, inserted] =
+      view_ids_.emplace(name, static_cast<ViewId>(view_names_.size()));
+  if (inserted) view_names_.push_back(name);
+  return it->second;
+}
+
+RelationId IdRegistry::InternRelation(const std::string& name) {
+  auto [it, inserted] = relation_ids_.emplace(
+      name, static_cast<RelationId>(relation_names_.size()));
+  if (inserted) relation_names_.push_back(name);
+  return it->second;
+}
+
+std::vector<ViewId> IdRegistry::InternViews(
+    const std::vector<std::string>& names) {
+  std::vector<ViewId> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) out.push_back(InternView(name));
+  return out;
+}
+
+std::optional<ViewId> IdRegistry::FindView(const std::string& name) const {
+  auto it = view_ids_.find(name);
+  if (it == view_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<RelationId> IdRegistry::FindRelation(
+    const std::string& name) const {
+  auto it = relation_ids_.find(name);
+  if (it == relation_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace mvc

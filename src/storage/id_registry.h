@@ -1,0 +1,75 @@
+// Interned, dense integer identities for views and base relations.
+//
+// Every layer that moves update/REL/AL traffic — integrator fan-out,
+// merge painting, warehouse application — speaks ViewId/RelationId
+// instead of strings, so the per-event hot paths never hash or compare
+// names. Names are interned once, at wiring time, by the IdRegistry;
+// they are resolved back only at the two boundaries that need them:
+// scenario/catalog ingest and trace rendering.
+//
+// Ids are dense and 0-based (mint order), so they index plain vectors.
+// The registry is written only while the system is wired single-threaded;
+// afterwards processes hold const pointers and only read it, which is
+// safe under ThreadRuntime.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mvc {
+
+/// Dense 0-based identity of a warehouse view (mint order).
+using ViewId = int32_t;
+/// Dense 0-based identity of a base relation (mint order).
+using RelationId = int32_t;
+
+constexpr ViewId kInvalidView = -1;
+constexpr RelationId kInvalidRelation = -1;
+
+class IdRegistry {
+ public:
+  /// --- Minting (wiring time only) ---
+
+  /// Returns the id of `name`, minting the next dense id on first use.
+  /// Idempotent: interning the same name again returns the same id.
+  ViewId InternView(const std::string& name);
+  RelationId InternRelation(const std::string& name);
+
+  /// Interns a batch, preserving order.
+  std::vector<ViewId> InternViews(const std::vector<std::string>& names);
+
+  /// --- Lookup (any time; read-only) ---
+
+  /// Id of an already-interned name, or nullopt.
+  std::optional<ViewId> FindView(const std::string& name) const;
+  std::optional<RelationId> FindRelation(const std::string& name) const;
+
+  /// Name of a minted id; the id must be valid.
+  const std::string& ViewName(ViewId id) const {
+    MVC_CHECK(id >= 0 && static_cast<size_t>(id) < view_names_.size())
+        << "unknown ViewId " << id;
+    return view_names_[static_cast<size_t>(id)];
+  }
+  const std::string& RelationName(RelationId id) const {
+    MVC_CHECK(id >= 0 && static_cast<size_t>(id) < relation_names_.size())
+        << "unknown RelationId " << id;
+    return relation_names_[static_cast<size_t>(id)];
+  }
+
+  size_t num_views() const { return view_names_.size(); }
+  size_t num_relations() const { return relation_names_.size(); }
+
+ private:
+  std::map<std::string, ViewId> view_ids_;
+  std::vector<std::string> view_names_;
+  std::map<std::string, RelationId> relation_ids_;
+  std::vector<std::string> relation_names_;
+};
+
+}  // namespace mvc

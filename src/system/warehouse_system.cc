@@ -137,6 +137,27 @@ Status WarehouseSystem::Wire(SystemConfig config) {
     bound_views_.push_back(std::move(bound));
   }
 
+  // --- Intern identities ---
+  // Every id is minted here, before any process is constructed; from now
+  // on the registry is read-only, so processes on any runtime may share
+  // it. Views get ids in config order, relations in schema-map (name)
+  // order.
+  for (const BoundView& view : bound_views_) {
+    registry_.InternView(view.name());
+  }
+  for (const auto& [relation, schema] : config_.schemas) {
+    registry_.InternRelation(relation);
+  }
+
+  // ActionList::covered is only materialized when something downstream
+  // actually reads it: piggybacked REL delivery (out-of-order REL
+  // arrival), the consistency oracle (per-AL dedup), or crash recovery
+  // (replay dedup). Plain release runs ship lean ALs carrying only the
+  // [first_update, update] label range.
+  config_.vm_options.collect_covered = config_.integrator.piggyback_rel ||
+                                       config_.record_snapshots ||
+                                       config_.fault.enabled();
+
   // --- Runtime ---
   if (config_.use_threads) {
     runtime_ = std::make_unique<ThreadRuntime>(config_.seed, config_.latency);
@@ -163,6 +184,7 @@ Status WarehouseSystem::Wire(SystemConfig config) {
         }
       }
     }
+    source->SetRegistry(&registry_);
     source_pids[name] = runtime_->Register(source.get());
     sources_.push_back(std::move(source));
   }
@@ -190,6 +212,7 @@ Status WarehouseSystem::Wire(SystemConfig config) {
                          ViewEvaluator::Evaluate(view, initial_provider));
     MVC_RETURN_IF_ERROR(warehouse_->InitializeView(view.name(), initial));
   }
+  warehouse_->SetRegistry(&registry_);
   const ProcessId warehouse_pid = runtime_->Register(warehouse_.get());
   warehouse_->SetCommitObserver(
       [this](ProcessId submitter, const WarehouseTransaction& txn,
@@ -202,7 +225,8 @@ Status WarehouseSystem::Wire(SystemConfig config) {
     sequential_ = std::make_unique<SequentialIntegrator>(
         "sequential-integrator", config_.sequential);
     for (const BoundView& view : bound_views_) {
-      MVC_RETURN_IF_ERROR(sequential_->RegisterView(&view));
+      MVC_RETURN_IF_ERROR(
+          sequential_->RegisterView(&view, *registry_.FindView(view.name())));
     }
     for (const auto& [relation, schema] : config_.schemas) {
       MVC_ASSIGN_OR_RETURN(const Table* initial,
@@ -243,7 +267,8 @@ Status WarehouseSystem::Wire(SystemConfig config) {
         options.algorithm = AlgorithmForLevels(levels);
       }
       auto merge = std::make_unique<MergeProcess>(
-          StrCat("merge-", g), groups_[g].views, options);
+          StrCat("merge-", g), registry_.InternViews(groups_[g].views),
+          &registry_, options);
       ProcessId merge_pid = runtime_->Register(merge.get());
       merge->SetWarehouse(warehouse_pid);
       for (const std::string& view : groups_[g].views) {
@@ -302,13 +327,14 @@ Status WarehouseSystem::Wire(SystemConfig config) {
         }
       }
       }
+      vm->SetViewId(*registry_.FindView(view.name()));
       for (size_t r = 0; r < view.num_relations(); ++r) {
         const std::string& relation = view.relation(r);
         MVC_ASSIGN_OR_RETURN(const Table* initial,
                              initial_base_.GetTable(relation));
         MVC_RETURN_IF_ERROR(vm->RegisterBaseRelation(
             relation, config_.schemas.at(relation), initial));
-        vm->SetSourceForRelation(relation,
+        vm->SetSourceForRelation(relation, *registry_.FindRelation(relation),
                                  source_pids.at(relation_source.at(relation)));
       }
       vm_of_view[view.name()] = runtime_->Register(vm.get());
@@ -357,7 +383,8 @@ Status WarehouseSystem::Wire(SystemConfig config) {
     const ProcessId integrator_pid = runtime_->Register(integrator_.get());
     for (const BoundView& view : bound_views_) {
       MVC_RETURN_IF_ERROR(integrator_->RegisterView(
-          &view, vm_of_view.at(view.name()), merge_of_view.at(view.name())));
+          &view, *registry_.FindView(view.name()),
+          vm_of_view.at(view.name()), merge_of_view.at(view.name())));
     }
     integrator_->SetUpdateObserver(
         [this](UpdateId id, const SourceTransaction& txn) {
@@ -375,9 +402,9 @@ Status WarehouseSystem::Wire(SystemConfig config) {
       }
       for (size_t g = 0; g < groups_.size(); ++g) {
         auto log = std::make_unique<MergeLog>();
-        std::map<std::string, ProcessId> group_vms;
+        std::map<ViewId, ProcessId> group_vms;
         for (const std::string& view : groups_[g].views) {
-          group_vms[view] = vm_of_view.at(view);
+          group_vms[*registry_.FindView(view)] = vm_of_view.at(view);
         }
         merges_[g]->EnableFaultTolerance(log.get(), integrator_pid,
                                          std::move(group_vms),
@@ -421,8 +448,16 @@ void WarehouseSystem::Run() { runtime_->Run(); }
 
 WarehouseReader* WarehouseSystem::AttachReader(
     std::vector<std::string> views, std::vector<TimeMicros> read_at) {
+  // Names resolve to ids here, at the ingest boundary; the reader's
+  // messages carry ids only.
+  std::vector<ViewId> ids;
+  for (const std::string& view : views) {
+    std::optional<ViewId> id = registry_.FindView(view);
+    MVC_CHECK(id.has_value()) << "reader references unknown view " << view;
+    ids.push_back(*id);
+  }
   auto reader = std::make_unique<WarehouseReader>(
-      StrCat("reader-", readers_.size()), std::move(views),
+      StrCat("reader-", readers_.size()), std::move(ids),
       std::move(read_at));
   runtime_->Register(reader.get());
   reader->SetWarehouse(warehouse_->id());
@@ -441,6 +476,7 @@ ConsistencyChecker WarehouseSystem::MakeChecker() const {
   options.relevance_pruning = config_.sequential_baseline
                                   ? false
                                   : config_.integrator.relevance_pruning;
+  options.registry = &registry_;
   return ConsistencyChecker(std::move(views), initial_base_, options);
 }
 

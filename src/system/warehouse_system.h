@@ -16,6 +16,7 @@
 #include "fault/fault_injector.h"
 #include "fault/merge_log.h"
 #include "merge/partition.h"
+#include "storage/id_registry.h"
 #include "system/config.h"
 #include "viewmgr/view_manager.h"
 #include "warehouse/reader.h"
@@ -57,6 +58,9 @@ class WarehouseSystem {
 
   /// --- Oracle access ---
   const ConsistencyRecorder& recorder() const { return recorder_; }
+  /// The interned identities every process speaks; ids are dense and
+  /// minted in config order (views) / name order (relations).
+  const IdRegistry& registry() const { return registry_; }
   /// Initial contents of every base relation (all sources combined).
   const Catalog& initial_base() const { return initial_base_; }
   /// A checker bound to this system's views and initial state.
@@ -102,6 +106,7 @@ class WarehouseSystem {
 
   SystemConfig config_;
   std::unique_ptr<Runtime> runtime_;
+  IdRegistry registry_;
   Catalog initial_base_;
   std::vector<BoundView> bound_views_;
   std::vector<ViewGroup> groups_;

@@ -32,7 +32,7 @@ void ConvergentViewManager::StartWork() {
                        ? n
                        : begin + (n - begin) / static_cast<size_t>(parts - p);
       ActionList al;
-      al.view = view_->name();
+      al.view = view_id();
       al.first_update = batch_.front().id;
       al.update = batch_.back().id;
       for (const PendingUpdate& pu : batch_) al.covered.push_back(pu.id);

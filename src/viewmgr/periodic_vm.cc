@@ -49,10 +49,12 @@ void PeriodicViewManager::Refresh() {
   MVC_CHECK(full.ok()) << full.status().ToString();
 
   ActionList al;
-  al.view = view_->name();
+  al.view = view_id();
   al.first_update = batch.front().id;
   al.update = batch.back().id;
-  for (const PendingUpdate& pu : batch) al.covered.push_back(pu.id);
+  if (options_.collect_covered) {
+    for (const PendingUpdate& pu : batch) al.covered.push_back(pu.id);
+  }
   al.replace_all = true;
   al.delta.target = view_->name();
   full->Scan([&](const Tuple& t, int64_t c) { al.delta.Add(t, c); });

@@ -94,10 +94,12 @@ void ViewManagerBase::EmitActionList(const std::vector<PendingUpdate>& batch,
                                      TableDelta delta, TimeMicros delay) {
   MVC_CHECK(!batch.empty());
   ActionList al;
-  al.view = view_->name();
+  al.view = view_id_;
   al.first_update = batch.front().id;
   al.update = batch.back().id;
-  for (const PendingUpdate& pu : batch) al.covered.push_back(pu.id);
+  if (options_.collect_covered) {
+    for (const PendingUpdate& pu : batch) al.covered.push_back(pu.id);
+  }
   al.delta = std::move(delta);
   EmitRaw(std::move(al), delay);
 }
@@ -115,6 +117,8 @@ void ViewManagerBase::EnableFaultTolerance(CheckpointStore* store,
 }
 
 void ViewManagerBase::EmitRaw(ActionList al, TimeMicros delay) {
+  MVC_CHECK(al.view == view_id_ && view_id_ != kInvalidView)
+      << "view manager " << name() << " emitting AL without a wired ViewId";
   if (checkpoints_ != nullptr) {
     // Durable outbox first, then (periodically) a checkpoint. All of
     // this happens inside one message handler, so a crash can never
@@ -145,13 +149,13 @@ void ViewManagerBase::StartQueryRound(std::function<void()> done) {
   MVC_CHECK(round_done_ == nullptr);
   round_done_ = std::move(done);
   outstanding_answers_ = 0;
-  for (const auto& [relation, source] : sources_) {
+  for (const auto& [relation, route] : sources_) {
     auto req = std::make_unique<QueryRequestMsg>();
     req->request_id = ++next_request_;
-    req->relation = relation;
+    req->relation = route.relation;
     req->as_of_state = -1;  // current state; answer content is discarded
     ++outstanding_answers_;
-    Send(source, std::move(req));
+    Send(route.source, std::move(req));
   }
 }
 
@@ -204,7 +208,7 @@ void ViewManagerBase::OnRecovered() {
   recovering_ = true;
   ++epoch_;
   auto req = std::make_unique<ReplayRequestMsg>();
-  req->view = view_->name();
+  req->view = view_id_;
   req->after = covered_through_;
   req->epoch = epoch_;
   Send(integrator_, std::move(req));
@@ -282,7 +286,7 @@ void ViewManagerBase::OnMessage(ProcessId from, MessagePtr msg) {
       // and complete.
       auto* req = static_cast<AlResyncRequestMsg*>(msg.get());
       auto resp = std::make_unique<AlResyncResponseMsg>();
-      resp->view = view_->name();
+      resp->view = view_id_;
       resp->epoch = req->epoch;
       if (checkpoints_ != nullptr) {
         resp->action_lists = checkpoints_->AlsAfter(view_->name(), req->after);

@@ -41,6 +41,7 @@
 #include "net/runtime.h"
 #include "query/view_def.h"
 #include "storage/catalog.h"
+#include "storage/id_registry.h"
 
 namespace mvc {
 
@@ -66,6 +67,11 @@ struct ViewManagerOptions {
   /// served by the replica; the round exists to charge realistic latency
   /// and load.
   bool issue_query_round = false;
+  /// Build ActionList::covered (the explicit per-AL update-id list).
+  /// Piggybacked REL delivery, the consistency oracle, and crash
+  /// recovery need it; plain release runs can skip it so ALs carry only
+  /// the [first_update, update] label range.
+  bool collect_covered = true;
 };
 
 /// Shared machinery: replica maintenance, batch delta computation, AL
@@ -81,7 +87,13 @@ class ViewManagerBase : public Process {
 
   const BoundView& view() const { return *view_; }
 
+  ViewId view_id() const { return view_id_; }
+
   /// --- Wiring (before the runtime starts) ---
+
+  /// Interned identity of this manager's view; must be set before the
+  /// runtime starts (message payloads carry the id, not the name).
+  void SetViewId(ViewId id) { view_id_ = id; }
 
   /// Creates the filtered replica for one base relation, optionally
   /// seeded with the relation's initial contents.
@@ -91,9 +103,11 @@ class ViewManagerBase : public Process {
 
   void SetMerge(ProcessId merge) { merge_ = merge; }
 
-  /// Source process owning `relation` (needed only for query rounds).
-  void SetSourceForRelation(const std::string& relation, ProcessId source) {
-    sources_[relation] = source;
+  /// Source process owning `relation`, with the relation's interned id
+  /// (needed only for query rounds).
+  void SetSourceForRelation(const std::string& relation, RelationId id,
+                            ProcessId source) {
+    sources_[relation] = SourceRoute{id, source};
   }
 
   /// Turns on crash recovery. Writes the initial checkpoint (the seeded
@@ -193,14 +207,20 @@ class ViewManagerBase : public Process {
 
   const BoundView* view_;
   ViewManagerOptions options_;
+  ViewId view_id_ = kInvalidView;
   std::deque<PendingUpdate> pending_;
 
  private:
+  struct SourceRoute {
+    RelationId relation;
+    ProcessId source;
+  };
+
   Status ApplyToReplica(const Update& u);
 
   Catalog replica_;
   ProcessId merge_ = kInvalidProcess;
-  std::map<std::string, ProcessId> sources_;
+  std::map<std::string, SourceRoute> sources_;
   std::vector<RelSetMsg> pending_rels_;
   bool busy_ = false;
   int64_t action_lists_sent_ = 0;

@@ -13,14 +13,15 @@
 #include "net/protocol.h"
 #include "net/runtime.h"
 #include "storage/catalog.h"
+#include "storage/id_registry.h"
 
 namespace mvc {
 
 class WarehouseReader : public Process {
  public:
-  /// Reads `views` (empty = all views) from `warehouse` at each time in
-  /// `read_at` (simulated microseconds from start).
-  WarehouseReader(std::string name, std::vector<std::string> views,
+  /// Reads `views` (interned ids; empty = all views) from `warehouse` at
+  /// each time in `read_at` (simulated microseconds from start).
+  WarehouseReader(std::string name, std::vector<ViewId> views,
                   std::vector<TimeMicros> read_at)
       : Process(std::move(name)),
         views_(std::move(views)),
@@ -69,7 +70,7 @@ class WarehouseReader : public Process {
   }
 
  private:
-  std::vector<std::string> views_;
+  std::vector<ViewId> views_;
   std::vector<TimeMicros> read_at_;
   ProcessId warehouse_ = kInvalidProcess;
   int64_t next_request_ = 0;

@@ -25,7 +25,9 @@ bool WarehouseProcess::DependenciesMet(
 }
 
 Status WarehouseProcess::ApplyActionList(const ActionList& al) {
-  MVC_ASSIGN_OR_RETURN(Table * table, views_.GetTable(al.view));
+  MVC_CHECK(registry_ != nullptr) << "warehouse registry not wired";
+  MVC_ASSIGN_OR_RETURN(Table * table,
+                       views_.GetTable(registry_->ViewName(al.view)));
   if (al.replace_all) {
     table->Clear();
   }
@@ -144,8 +146,15 @@ void WarehouseProcess::OnMessage(ProcessId from, MessagePtr msg) {
         state = &history_[static_cast<size_t>(idx)];
         resp->as_of_commit = read->as_of_commit;
       }
-      std::vector<std::string> names =
-          read->views.empty() ? state->TableNames() : read->views;
+      std::vector<std::string> names;
+      if (read->views.empty()) {
+        names = state->TableNames();
+      } else {
+        MVC_CHECK(registry_ != nullptr) << "warehouse registry not wired";
+        for (ViewId id : read->views) {
+          names.push_back(registry_->ViewName(id));
+        }
+      }
       for (const std::string& name : names) {
         auto table = state->GetTable(name);
         MVC_CHECK(table.ok()) << "read of unknown view " << name;

@@ -27,6 +27,7 @@
 #include "net/protocol.h"
 #include "net/runtime.h"
 #include "storage/catalog.h"
+#include "storage/id_registry.h"
 
 namespace mvc {
 
@@ -55,6 +56,11 @@ class WarehouseProcess : public Process {
       : Process(std::move(name)), options_(options), rng_(options.seed) {}
 
   /// --- Setup ---
+
+  /// Resolves ViewIds in incoming transactions/reads back to catalog
+  /// names; must be set before the runtime starts and outlive the
+  /// process.
+  void SetRegistry(const IdRegistry* registry) { registry_ = registry; }
 
   Status CreateView(const std::string& view, const Schema& schema) {
     return views_.CreateTable(view, schema);
@@ -97,6 +103,7 @@ class WarehouseProcess : public Process {
 
   WarehouseOptions options_;
   Rng rng_;
+  const IdRegistry* registry_ = nullptr;
   Catalog views_;
   /// Transactions whose processing delay elapsed but whose dependencies
   /// have not committed yet, in arrival order.

@@ -49,7 +49,7 @@ class CheckerTest : public ::testing::Test {
     WarehouseTransaction txn;
     txn.txn_id = at;
     txn.rows = std::move(rows);
-    txn.views = {"V1", "V2"};
+    txn.views = {0, 1};
     Catalog snapshot;
     for (const BoundView* view : {&*v1_, &*v2_}) {
       auto contents =
@@ -93,7 +93,7 @@ TEST_F(CheckerTest, DetectsMutuallyInconsistentViews) {
   ASSERT_TRUE((*after.GetTable("S"))->Insert(Tuple{2, 3}).ok());
   WarehouseTransaction txn;
   txn.rows = {1};
-  txn.views = {"V1", "V2"};
+  txn.views = {0, 1};
   Catalog snapshot;
   // V1 evaluated after the update, V2 before it: mixed state.
   auto v1_contents = ViewEvaluator::Evaluate(*v1_, CatalogProvider(&after));

@@ -1,0 +1,75 @@
+#include "storage/id_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace mvc {
+namespace {
+
+TEST(IdRegistryTest, MintsDenseIdsInOrder) {
+  IdRegistry reg;
+  EXPECT_EQ(reg.InternView("V1"), 0);
+  EXPECT_EQ(reg.InternView("V2"), 1);
+  EXPECT_EQ(reg.InternView("V3"), 2);
+  EXPECT_EQ(reg.num_views(), 3u);
+
+  EXPECT_EQ(reg.InternRelation("R"), 0);
+  EXPECT_EQ(reg.InternRelation("S"), 1);
+  EXPECT_EQ(reg.num_relations(), 2u);
+}
+
+TEST(IdRegistryTest, ViewAndRelationNamespacesAreIndependent) {
+  IdRegistry reg;
+  EXPECT_EQ(reg.InternView("X"), 0);
+  EXPECT_EQ(reg.InternRelation("X"), 0);
+  EXPECT_EQ(reg.ViewName(0), "X");
+  EXPECT_EQ(reg.RelationName(0), "X");
+}
+
+TEST(IdRegistryTest, InternIsIdempotent) {
+  IdRegistry reg;
+  ViewId first = reg.InternView("V1");
+  reg.InternView("V2");
+  EXPECT_EQ(reg.InternView("V1"), first);
+  EXPECT_EQ(reg.num_views(), 2u);
+
+  RelationId r = reg.InternRelation("R");
+  EXPECT_EQ(reg.InternRelation("R"), r);
+  EXPECT_EQ(reg.num_relations(), 1u);
+}
+
+TEST(IdRegistryTest, InternViewsBatchPreservesOrder) {
+  IdRegistry reg;
+  std::vector<ViewId> ids = reg.InternViews({"A", "B", "A", "C"});
+  EXPECT_EQ(ids, (std::vector<ViewId>{0, 1, 0, 2}));
+}
+
+TEST(IdRegistryTest, NamesRoundTrip) {
+  IdRegistry reg;
+  for (const char* name : {"V1", "V2", "V3"}) reg.InternView(name);
+  for (const char* name : {"R", "S", "T", "Q"}) reg.InternRelation(name);
+  for (ViewId v = 0; v < static_cast<ViewId>(reg.num_views()); ++v) {
+    EXPECT_EQ(reg.FindView(reg.ViewName(v)), v);
+  }
+  for (RelationId r = 0; r < static_cast<RelationId>(reg.num_relations());
+       ++r) {
+    EXPECT_EQ(reg.FindRelation(reg.RelationName(r)), r);
+  }
+}
+
+TEST(IdRegistryTest, FindUnknownReturnsNullopt) {
+  IdRegistry reg;
+  reg.InternView("V1");
+  EXPECT_EQ(reg.FindView("V9"), std::nullopt);
+  EXPECT_EQ(reg.FindRelation("V1"), std::nullopt);
+}
+
+TEST(IdRegistryDeathTest, NameOfUnmintedIdChecks) {
+  IdRegistry reg;
+  reg.InternView("V1");
+  EXPECT_DEATH(reg.ViewName(1), "unknown ViewId");
+  EXPECT_DEATH(reg.ViewName(kInvalidView), "unknown ViewId");
+  EXPECT_DEATH(reg.RelationName(0), "unknown RelationId");
+}
+
+}  // namespace
+}  // namespace mvc

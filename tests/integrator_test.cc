@@ -6,6 +6,7 @@
 
 #include "integrator/integrator.h"
 #include "net/sim_runtime.h"
+#include "storage/id_registry.h"
 #include "workload/paper_examples.h"
 
 namespace mvc {
@@ -44,6 +45,9 @@ class IntegratorTest : public ::testing::Test {
                 {"S", Schema::AllInt64({"B", "C"})},
                 {"T", Schema::AllInt64({"C", "D"})},
                 {"Q", Schema::AllInt64({"D", "E"})}};
+    v1_id_ = registry_.InternView("V1");
+    v2_id_ = registry_.InternView("V2");
+    v3_id_ = registry_.InternView("V3");
   }
 
   // Builds integrator with views V1={R,S}, V2={S,T}, V3={Q}; returns
@@ -59,9 +63,12 @@ class IntegratorTest : public ::testing::Test {
     vm2_pid_ = runtime_.Register(&vm2_);
     vm3_pid_ = runtime_.Register(&vm3_);
     merge_pid_ = runtime_.Register(&merge_);
-    ASSERT_TRUE(integrator_->RegisterView(&*v1_, vm1_pid_, merge_pid_).ok());
-    ASSERT_TRUE(integrator_->RegisterView(&*v2_, vm2_pid_, merge_pid_).ok());
-    ASSERT_TRUE(integrator_->RegisterView(&*v3_, vm3_pid_, merge_pid_).ok());
+    ASSERT_TRUE(
+        integrator_->RegisterView(&*v1_, v1_id_, vm1_pid_, merge_pid_).ok());
+    ASSERT_TRUE(
+        integrator_->RegisterView(&*v2_, v2_id_, vm2_pid_, merge_pid_).ok());
+    ASSERT_TRUE(
+        integrator_->RegisterView(&*v3_, v3_id_, vm3_pid_, merge_pid_).ok());
     feeder_ = std::make_unique<Feeder>("feeder", ipid);
     runtime_.Register(feeder_.get());
   }
@@ -80,6 +87,8 @@ class IntegratorTest : public ::testing::Test {
   }
 
   std::map<std::string, Schema> schemas_;
+  IdRegistry registry_;
+  ViewId v1_id_, v2_id_, v3_id_;
   IntegratorOptions options_;
   SimRuntime runtime_{1};
   std::optional<BoundView> v1_, v2_, v3_;
@@ -104,7 +113,7 @@ TEST_F(IntegratorTest, RoutesUpdateToRelevantManagersAndMerge) {
   ASSERT_EQ(merge_.messages.size(), 1u);
   auto* rel = static_cast<RelSetMsg*>(merge_.messages[0].get());
   EXPECT_EQ(rel->update_id, 1);
-  EXPECT_EQ(rel->views, (std::vector<std::string>{"V1", "V2"}));
+  EXPECT_EQ(rel->views, (std::vector<ViewId>{v1_id_, v2_id_}));
 }
 
 TEST_F(IntegratorTest, NumbersUpdatesByArrivalOrder) {
@@ -160,7 +169,8 @@ TEST_F(IntegratorTest, PruningDropsNonQualifyingUpdates) {
   ProcessId ipid = runtime_.Register(integrator_.get());
   vm1_pid_ = runtime_.Register(&vm1_);
   merge_pid_ = runtime_.Register(&merge_);
-  ASSERT_TRUE(integrator_->RegisterView(&*v1_, vm1_pid_, merge_pid_).ok());
+  ASSERT_TRUE(
+      integrator_->RegisterView(&*v1_, v1_id_, vm1_pid_, merge_pid_).ok());
   feeder_ = std::make_unique<Feeder>("feeder", ipid);
   feeder_->to_send = {Txn(Update::Insert("src0", "S", Tuple{2, 50})),
                       Txn(Update::Insert("src0", "S", Tuple{2, 5}))};
@@ -176,7 +186,7 @@ TEST_F(IntegratorTest, PruningDropsNonQualifyingUpdates) {
                   ->views.empty());
   EXPECT_EQ(
       static_cast<RelSetMsg*>(merge_.messages[1].get())->views,
-      (std::vector<std::string>{"V1"}));
+      (std::vector<ViewId>{v1_id_}));
 }
 
 TEST_F(IntegratorTest, WithoutPruningAllMemberViewsAreRelevant) {
@@ -185,7 +195,7 @@ TEST_F(IntegratorTest, WithoutPruningAllMemberViewsAreRelevant) {
   feeder_->to_send = {Txn(Update::Insert("src0", "S", Tuple{2, 3}))};
   runtime_.Run();
   auto* rel = static_cast<RelSetMsg*>(merge_.messages[0].get());
-  EXPECT_EQ(rel->views, (std::vector<std::string>{"V1", "V2"}));
+  EXPECT_EQ(rel->views, (std::vector<ViewId>{v1_id_, v2_id_}));
 }
 
 TEST_F(IntegratorTest, PiggybackSchemeSkipsDirectRelMessages) {
@@ -199,7 +209,7 @@ TEST_F(IntegratorTest, PiggybackSchemeSkipsDirectRelMessages) {
   ASSERT_EQ(vm1_.messages.size(), 1u);
   auto* carrier = static_cast<UpdateMsg*>(vm1_.messages[0].get());
   EXPECT_TRUE(carrier->carries_rel);
-  EXPECT_EQ(carrier->rel_views, (std::vector<std::string>{"V1", "V2"}));
+  EXPECT_EQ(carrier->rel_views, (std::vector<ViewId>{v1_id_, v2_id_}));
   auto* other = static_cast<UpdateMsg*>(vm2_.messages[0].get());
   EXPECT_FALSE(other->carries_rel);
 }
@@ -220,7 +230,7 @@ TEST_F(IntegratorTest, GlobalTransactionMergesParts) {
   EXPECT_EQ(integrator_->num_updates(), 1);
   ASSERT_EQ(merge_.messages.size(), 1u);
   auto* rel = static_cast<RelSetMsg*>(merge_.messages[0].get());
-  EXPECT_EQ(rel->views, (std::vector<std::string>{"V1", "V2", "V3"}));
+  EXPECT_EQ(rel->views, (std::vector<ViewId>{v1_id_, v2_id_, v3_id_}));
   // Every relevant VM got the merged transaction with both updates.
   ASSERT_EQ(vm3_.messages.size(), 1u);
   EXPECT_EQ(static_cast<UpdateMsg*>(vm3_.messages[0].get())
@@ -230,7 +240,7 @@ TEST_F(IntegratorTest, GlobalTransactionMergesParts) {
 
 TEST_F(IntegratorTest, DuplicateViewRegistrationFails) {
   Wire();
-  EXPECT_TRUE(integrator_->RegisterView(&*v1_, vm1_pid_, merge_pid_)
+  EXPECT_TRUE(integrator_->RegisterView(&*v1_, v1_id_, vm1_pid_, merge_pid_)
                   .IsAlreadyExists());
 }
 
@@ -253,7 +263,8 @@ TEST_F(IntegratorTest, EmptyRelReportingCanBeDisabled) {
   ProcessId ipid = runtime_.Register(integrator_.get());
   vm1_pid_ = runtime_.Register(&vm1_);
   merge_pid_ = runtime_.Register(&merge_);
-  ASSERT_TRUE(integrator_->RegisterView(&*v1_, vm1_pid_, merge_pid_).ok());
+  ASSERT_TRUE(
+      integrator_->RegisterView(&*v1_, v1_id_, vm1_pid_, merge_pid_).ok());
   feeder_ = std::make_unique<Feeder>("feeder", ipid);
   // Fails the selection: pruned everywhere, and with reporting off the
   // merge process hears nothing at all.

@@ -6,17 +6,29 @@
 #include <gtest/gtest.h>
 
 #include "merge/merge_engine.h"
+#include "storage/id_registry.h"
 
 namespace mvc {
 namespace {
 
-ActionList Al(const std::string& view, UpdateId first, UpdateId last) {
+constexpr ViewId kV1 = 0, kV2 = 1;
+
+const IdRegistry* TestRegistry() {
+  static const IdRegistry* reg = [] {
+    auto* r = new IdRegistry();
+    r->InternViews({"V1", "V2"});
+    return r;
+  }();
+  return reg;
+}
+
+ActionList Al(ViewId view, UpdateId first, UpdateId last) {
   ActionList al;
   al.view = view;
   al.first_update = first;
   al.update = last;
   for (UpdateId i = first; i <= last; ++i) al.covered.push_back(i);
-  al.delta.target = view;
+  al.delta.target = TestRegistry()->ViewName(view);
   al.delta.Add(Tuple{last}, 1);
   return al;
 }
@@ -24,14 +36,14 @@ ActionList Al(const std::string& view, UpdateId first, UpdateId last) {
 TEST(SpaEdgeTest, RowIdGapsFromDistributedMerge) {
   // A merge process owning a view group sees only the update ids
   // relevant to its group: 2, 5, 9.
-  SpaEngine engine({"V1"});
+  SpaEngine engine({kV1}, TestRegistry());
   std::vector<WarehouseTransaction> out;
-  engine.ReceiveRelSet(2, {"V1"}, &out);
-  engine.ReceiveRelSet(5, {"V1"}, &out);
-  engine.ReceiveRelSet(9, {"V1"}, &out);
-  engine.ReceiveActionList(Al("V1", 2, 2), &out);
-  engine.ReceiveActionList(Al("V1", 5, 5), &out);
-  engine.ReceiveActionList(Al("V1", 9, 9), &out);
+  engine.ReceiveRelSet(2, {kV1}, &out);
+  engine.ReceiveRelSet(5, {kV1}, &out);
+  engine.ReceiveRelSet(9, {kV1}, &out);
+  engine.ReceiveActionList(Al(kV1, 2, 2), &out);
+  engine.ReceiveActionList(Al(kV1, 5, 5), &out);
+  engine.ReceiveActionList(Al(kV1, 9, 9), &out);
   ASSERT_EQ(out.size(), 3u);
   EXPECT_EQ(out[0].rows, (std::vector<UpdateId>{2}));
   EXPECT_EQ(out[1].rows, (std::vector<UpdateId>{5}));
@@ -43,15 +55,15 @@ TEST(SpaEdgeTest, OutOfOrderRelSetsWithChainedEarlyAls) {
   // REL1. AL(V1,1) then AL(V1,2) arrive; AL(V1,2)'s row exists but it
   // must wait behind the buffered AL(V1,1) — applying it first would
   // reorder the V1 column.
-  SpaEngine engine({"V1", "V2"});
+  SpaEngine engine({kV1, kV2}, TestRegistry());
   std::vector<WarehouseTransaction> out;
-  engine.ReceiveRelSet(2, {"V1"}, &out);
-  engine.ReceiveActionList(Al("V1", 1, 1), &out);  // row 1 unknown: buffer
-  engine.ReceiveActionList(Al("V1", 2, 2), &out);  // chained behind U1
+  engine.ReceiveRelSet(2, {kV1}, &out);
+  engine.ReceiveActionList(Al(kV1, 1, 1), &out);  // row 1 unknown: buffer
+  engine.ReceiveActionList(Al(kV1, 2, 2), &out);  // chained behind U1
   EXPECT_TRUE(out.empty());
   EXPECT_EQ(engine.held_action_lists(), 2u);
 
-  engine.ReceiveRelSet(1, {"V1"}, &out);  // late REL1 releases both
+  engine.ReceiveRelSet(1, {kV1}, &out);  // late REL1 releases both
   ASSERT_EQ(out.size(), 2u);
   EXPECT_EQ(out[0].rows, (std::vector<UpdateId>{1}));
   EXPECT_EQ(out[1].rows, (std::vector<UpdateId>{2}));
@@ -59,28 +71,28 @@ TEST(SpaEdgeTest, OutOfOrderRelSetsWithChainedEarlyAls) {
 }
 
 TEST(SpaEdgeTest, FarFutureEarlyActionListWaits) {
-  SpaEngine engine({"V1"});
+  SpaEngine engine({kV1}, TestRegistry());
   std::vector<WarehouseTransaction> out;
-  engine.ReceiveActionList(Al("V1", 42, 42), &out);
+  engine.ReceiveActionList(Al(kV1, 42, 42), &out);
   EXPECT_TRUE(out.empty());
   for (UpdateId i = 40; i <= 41; ++i) {
     engine.ReceiveRelSet(i, {}, &out);  // unrelated empty rows
   }
   EXPECT_TRUE(out.empty());
-  engine.ReceiveRelSet(42, {"V1"}, &out);
+  engine.ReceiveRelSet(42, {kV1}, &out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].rows, (std::vector<UpdateId>{42}));
 }
 
 TEST(SpaEdgeTest, PerViewFifoViolationIsFatal) {
-  SpaEngine engine({"V1"});
+  SpaEngine engine({kV1}, TestRegistry());
   std::vector<WarehouseTransaction> out;
-  engine.ReceiveRelSet(1, {"V1"}, &out);
-  engine.ReceiveRelSet(2, {"V1"}, &out);
-  engine.ReceiveActionList(Al("V1", 2, 2), &out);
+  engine.ReceiveRelSet(1, {kV1}, &out);
+  engine.ReceiveRelSet(2, {kV1}, &out);
+  engine.ReceiveActionList(Al(kV1, 2, 2), &out);
   // An AL with a smaller label after a larger one from the same view
   // manager can only mean the channel reordered: crash loudly.
-  EXPECT_DEATH(engine.ReceiveActionList(Al("V1", 1, 1), &out),
+  EXPECT_DEATH(engine.ReceiveActionList(Al(kV1, 1, 1), &out),
                "per-channel AL order");
 }
 
@@ -89,48 +101,48 @@ TEST(PaEdgeTest, StatePointerToAppliedRowIsSatisfied) {
   // purged in a wave that includes row 1 too — but construct the case
   // where a *later* row's state points at an already-purged row: rows
   // {1,2} apply together; then row 3's cell carries state 3 only.
-  PaEngine engine({"V1", "V2"});
+  PaEngine engine({kV1, kV2}, TestRegistry());
   std::vector<WarehouseTransaction> out;
-  engine.ReceiveRelSet(1, {"V1"}, &out);
-  engine.ReceiveRelSet(2, {"V1", "V2"}, &out);
-  engine.ReceiveActionList(Al("V1", 1, 2), &out);
+  engine.ReceiveRelSet(1, {kV1}, &out);
+  engine.ReceiveRelSet(2, {kV1, kV2}, &out);
+  engine.ReceiveActionList(Al(kV1, 1, 2), &out);
   EXPECT_TRUE(out.empty());  // row 2 still white in V2
-  engine.ReceiveActionList(Al("V2", 2, 2), &out);
+  engine.ReceiveActionList(Al(kV2, 2, 2), &out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].rows, (std::vector<UpdateId>{1, 2}));
   EXPECT_EQ(engine.open_rows(), 0u);
 }
 
 TEST(PaEdgeTest, EmptyDeltaBatchStillAdvancesRows) {
-  PaEngine engine({"V1", "V2"});
+  PaEngine engine({kV1, kV2}, TestRegistry());
   std::vector<WarehouseTransaction> out;
-  engine.ReceiveRelSet(1, {"V1", "V2"}, &out);
-  engine.ReceiveRelSet(2, {"V1", "V2"}, &out);
-  ActionList empty = Al("V1", 1, 2);
+  engine.ReceiveRelSet(1, {kV1, kV2}, &out);
+  engine.ReceiveRelSet(2, {kV1, kV2}, &out);
+  ActionList empty = Al(kV1, 1, 2);
   empty.delta.rows.clear();
   engine.ReceiveActionList(empty, &out);
-  engine.ReceiveActionList(Al("V2", 1, 2), &out);
+  engine.ReceiveActionList(Al(kV2, 1, 2), &out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].rows, (std::vector<UpdateId>{1, 2}));
   EXPECT_EQ(out[0].actions.size(), 2u);  // the empty AL still ships
 }
 
 TEST(PaEdgeTest, OutOfOrderRelSetsWithBatches) {
-  PaEngine engine({"V1", "V2"});
+  PaEngine engine({kV1, kV2}, TestRegistry());
   std::vector<WarehouseTransaction> out;
   // REL2 first (piggyback), then a batch AL covering 1..2 must wait for
   // REL1 (its label row exists, but row 1 does not — the batch cannot
   // color unknown rows).
-  engine.ReceiveRelSet(2, {"V1", "V2"}, &out);
-  engine.ReceiveActionList(Al("V1", 1, 2), &out);
+  engine.ReceiveRelSet(2, {kV1, kV2}, &out);
+  engine.ReceiveActionList(Al(kV1, 1, 2), &out);
   EXPECT_TRUE(out.empty());
   // Hmm — the AL's label is 2, whose row exists; but covered row 1 does
   // not. The engine buffers on the earlier-unknown condition via the
   // per-view chain: AL(V1,1..2) colors only existing rows when
   // processed. Deliver REL1 and the V2 lists.
-  engine.ReceiveRelSet(1, {"V1", "V2"}, &out);
-  engine.ReceiveActionList(Al("V2", 1, 1), &out);
-  engine.ReceiveActionList(Al("V2", 2, 2), &out);
+  engine.ReceiveRelSet(1, {kV1, kV2}, &out);
+  engine.ReceiveActionList(Al(kV2, 1, 1), &out);
+  engine.ReceiveActionList(Al(kV2, 2, 2), &out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].rows, (std::vector<UpdateId>{1, 2}));
   EXPECT_EQ(engine.open_rows(), 0u);
@@ -140,38 +152,38 @@ TEST(PaEdgeTest, InterleavedGroupsApplySeparately) {
   // Two independent view columns progress independently even when their
   // update ids interleave. A manager's `covered` list names exactly its
   // own relevant updates (2 and 4 for V2; 1 and 3 for V1).
-  auto sparse_al = [](const std::string& view, std::vector<UpdateId> ids) {
+  auto sparse_al = [](ViewId view, std::vector<UpdateId> ids) {
     ActionList al;
     al.view = view;
     al.first_update = ids.front();
     al.update = ids.back();
     al.covered = std::move(ids);
-    al.delta.target = view;
+    al.delta.target = TestRegistry()->ViewName(view);
     al.delta.Add(Tuple{al.update}, 1);
     return al;
   };
-  PaEngine engine({"V1", "V2"});
+  PaEngine engine({kV1, kV2}, TestRegistry());
   std::vector<WarehouseTransaction> out;
-  engine.ReceiveRelSet(1, {"V1"}, &out);
-  engine.ReceiveRelSet(2, {"V2"}, &out);
-  engine.ReceiveRelSet(3, {"V1"}, &out);
-  engine.ReceiveRelSet(4, {"V2"}, &out);
-  engine.ReceiveActionList(sparse_al("V2", {2, 4}), &out);
+  engine.ReceiveRelSet(1, {kV1}, &out);
+  engine.ReceiveRelSet(2, {kV2}, &out);
+  engine.ReceiveRelSet(3, {kV1}, &out);
+  engine.ReceiveRelSet(4, {kV2}, &out);
+  engine.ReceiveActionList(sparse_al(kV2, {2, 4}), &out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].rows, (std::vector<UpdateId>{2, 4}));
   out.clear();
-  engine.ReceiveActionList(sparse_al("V1", {1, 3}), &out);
+  engine.ReceiveActionList(sparse_al(kV1, {1, 3}), &out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].rows, (std::vector<UpdateId>{1, 3}));
 }
 
 TEST(PassThroughEdgeTest, ForwardsImmediatelyWithoutRel) {
-  PassThroughEngine engine({"V1"});
+  PassThroughEngine engine({kV1}, TestRegistry());
   std::vector<WarehouseTransaction> out;
-  engine.ReceiveActionList(Al("V1", 3, 5), &out);
+  engine.ReceiveActionList(Al(kV1, 3, 5), &out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].rows, (std::vector<UpdateId>{3, 4, 5}));
-  EXPECT_EQ(out[0].views, (std::vector<std::string>{"V1"}));
+  EXPECT_EQ(out[0].views, (std::vector<ViewId>{kV1}));
   EXPECT_EQ(out[0].source_state, 5);
   EXPECT_EQ(engine.held_action_lists(), 0u);
 }

@@ -5,10 +5,23 @@
 
 #include "merge/merge_process.h"
 #include "net/sim_runtime.h"
+#include "storage/id_registry.h"
 #include "warehouse/warehouse.h"
 
 namespace mvc {
 namespace {
+
+constexpr ViewId kV1 = 0, kV2 = 1, kV3 = 2;
+
+/// Shared name table: V1, V2, V3 (and V9, never a merge column).
+const IdRegistry* TestRegistry() {
+  static const IdRegistry* reg = [] {
+    auto* r = new IdRegistry();
+    r->InternViews({"V1", "V2", "V3", "V9"});
+    return r;
+  }();
+  return reg;
+}
 
 /// Feeds a scripted sequence of REL/AL events into a merge process.
 class Feeder : public Process {
@@ -16,19 +29,19 @@ class Feeder : public Process {
   Feeder(std::string name, ProcessId merge)
       : Process(std::move(name)), merge_(merge) {}
 
-  void Rel(UpdateId id, std::vector<std::string> views) {
+  void Rel(UpdateId id, std::vector<ViewId> views) {
     auto msg = std::make_unique<RelSetMsg>();
     msg->update_id = id;
     msg->views = std::move(views);
     script_.push_back(std::move(msg));
   }
-  void Al(const std::string& view, UpdateId id, Tuple t, int64_t count) {
+  void Al(ViewId view, UpdateId id, Tuple t, int64_t count) {
     auto msg = std::make_unique<ActionListMsg>();
     msg->al.view = view;
     msg->al.update = id;
     msg->al.first_update = id;
     msg->al.covered = {id};
-    msg->al.delta.target = view;
+    msg->al.delta.target = TestRegistry()->ViewName(view);
     msg->al.delta.Add(std::move(t), count);
     script_.push_back(std::move(msg));
   }
@@ -51,10 +64,12 @@ struct Rig {
                uint64_t seed = 1)
       : runtime(seed),
         warehouse("warehouse", wh_options),
-        merge("merge-0", {"V1", "V2", "V3"}, merge_options) {
+        merge("merge-0", {kV1, kV2, kV3}, TestRegistry(),
+              merge_options) {
     MVC_CHECK(warehouse.CreateView("V1", Schema::AllInt64({"A"})).ok());
     MVC_CHECK(warehouse.CreateView("V2", Schema::AllInt64({"A"})).ok());
     MVC_CHECK(warehouse.CreateView("V3", Schema::AllInt64({"A"})).ok());
+    warehouse.SetRegistry(TestRegistry());
     ProcessId wpid = runtime.Register(&warehouse);
     ProcessId mpid = runtime.Register(&merge);
     merge.SetWarehouse(wpid);
@@ -93,21 +108,21 @@ WarehouseOptions Jittery(uint64_t seed) {
 }
 
 void FeedThreeIndependent(Feeder* feeder) {
-  feeder->Rel(1, {"V1"});
-  feeder->Al("V1", 1, Tuple{1}, 1);
-  feeder->Rel(2, {"V2"});
-  feeder->Al("V2", 2, Tuple{2}, 1);
-  feeder->Rel(3, {"V3"});
-  feeder->Al("V3", 3, Tuple{3}, 1);
+  feeder->Rel(1, {kV1});
+  feeder->Al(kV1, 1, Tuple{1}, 1);
+  feeder->Rel(2, {kV2});
+  feeder->Al(kV2, 2, Tuple{2}, 1);
+  feeder->Rel(3, {kV3});
+  feeder->Al(kV3, 3, Tuple{3}, 1);
 }
 
 void FeedThreeSameView(Feeder* feeder) {
-  feeder->Rel(1, {"V1"});
-  feeder->Al("V1", 1, Tuple{1}, 1);
-  feeder->Rel(2, {"V1"});
-  feeder->Al("V1", 2, Tuple{2}, 1);
-  feeder->Rel(3, {"V1"});
-  feeder->Al("V1", 3, Tuple{3}, 1);
+  feeder->Rel(1, {kV1});
+  feeder->Al(kV1, 1, Tuple{1}, 1);
+  feeder->Rel(2, {kV1});
+  feeder->Al(kV1, 2, Tuple{2}, 1);
+  feeder->Rel(3, {kV1});
+  feeder->Al(kV1, 3, Tuple{3}, 1);
 }
 
 TEST(MergeProcessTest, SequentialPolicyCommitsInOrderUnderJitter) {
@@ -178,8 +193,8 @@ TEST(MergeProcessTest, BatchedPolicyCombinesReadyTransactions) {
   options.batch_timeout = 0;  // flush on size only
   Rig rig(options);
   FeedThreeIndependent(rig.feeder.get());
-  rig.feeder->Rel(4, {"V1"});
-  rig.feeder->Al("V1", 4, Tuple{4}, 1);
+  rig.feeder->Rel(4, {kV1});
+  rig.feeder->Al(kV1, 4, Tuple{4}, 1);
   rig.runtime.Run();
 
   // Four ready WTs -> two BWTs of two.
@@ -213,9 +228,9 @@ TEST(MergeProcessTest, ProcessDelayCreatesBacklog) {
 
 TEST(MergeProcessTest, StatsTrackHeldListsAndRows) {
   Rig rig(Opts(SubmissionPolicy::kHoldDependents));
-  rig.feeder->Rel(1, {"V1", "V2"});
-  rig.feeder->Al("V1", 1, Tuple{1}, 1);  // held until V2's AL
-  rig.feeder->Al("V2", 1, Tuple{1}, 1);
+  rig.feeder->Rel(1, {kV1, kV2});
+  rig.feeder->Al(kV1, 1, Tuple{1}, 1);  // held until V2's AL
+  rig.feeder->Al(kV2, 1, Tuple{1}, 1);
   rig.runtime.Run();
   EXPECT_EQ(rig.merge.stats().rels_received, 1);
   EXPECT_EQ(rig.merge.stats().action_lists_received, 2);
@@ -227,9 +242,9 @@ TEST(MergeProcessTest, StatsTrackHeldListsAndRows) {
 TEST(MergeProcessTest, PassThroughForwardsEachActionList) {
   Rig rig(Opts(SubmissionPolicy::kHoldDependents,
                MergeAlgorithm::kPassThrough));
-  rig.feeder->Rel(1, {"V1", "V2"});
-  rig.feeder->Al("V1", 1, Tuple{1}, 1);
-  rig.feeder->Al("V2", 1, Tuple{1}, 1);
+  rig.feeder->Rel(1, {kV1, kV2});
+  rig.feeder->Al(kV1, 1, Tuple{1}, 1);
+  rig.feeder->Al(kV2, 1, Tuple{1}, 1);
   rig.runtime.Run();
   // No coordination: two separate warehouse transactions.
   EXPECT_EQ(rig.commit_order.size(), 2u);
@@ -238,7 +253,7 @@ TEST(MergeProcessTest, PassThroughForwardsEachActionList) {
 TEST(MergeProcessTest, PiggybackedRelsAreProcessedBeforeTheirAl) {
   Rig rig(Opts(SubmissionPolicy::kHoldDependents));
   auto msg = std::make_unique<ActionListMsg>();
-  msg->al.view = "V1";
+  msg->al.view = kV1;
   msg->al.update = 1;
   msg->al.first_update = 1;
   msg->al.covered = {1};
@@ -246,7 +261,7 @@ TEST(MergeProcessTest, PiggybackedRelsAreProcessedBeforeTheirAl) {
   msg->al.delta.Add(Tuple{1}, 1);
   RelSetMsg rel;
   rel.update_id = 1;
-  rel.views = {"V1"};
+  rel.views = {kV1};
   msg->piggybacked_rels.push_back(std::move(rel));
 
   class OneShot : public Process {
@@ -263,6 +278,47 @@ TEST(MergeProcessTest, PiggybackedRelsAreProcessedBeforeTheirAl) {
   rig.runtime.Run();
   EXPECT_EQ(rig.commit_order.size(), 1u);
   EXPECT_EQ(rig.merge.stats().rels_received, 1);
+}
+
+TEST(MergeProcessTest, MisroutedActionListIsDroppedWithError) {
+  Rig rig(Opts(SubmissionPolicy::kHoldDependents));
+  rig.feeder->Rel(1, {kV1});
+  // V9 exists in the registry but is not a column of this merge; the
+  // process must log and drop rather than abort.
+  rig.feeder->Al(TestRegistry()->FindView("V9").value(), 1, Tuple{1}, 1);
+  rig.feeder->Al(kV1, 1, Tuple{1}, 1);
+  rig.runtime.Run();
+  EXPECT_EQ(rig.merge.stats().misrouted_als, 1);
+  // The legitimate traffic still commits; only the accepted AL counts.
+  EXPECT_EQ(rig.commit_order.size(), 1u);
+  EXPECT_EQ(rig.merge.stats().action_lists_received, 1);
+}
+
+TEST(MergeProcessTest, UnknownViewIdActionListIsDropped) {
+  Rig rig(Opts(SubmissionPolicy::kHoldDependents));
+  // An id the registry has never minted — the error path must not try
+  // to resolve a name for it.
+  auto msg = std::make_unique<ActionListMsg>();
+  msg->al.view = 1234;
+  msg->al.update = 1;
+  msg->al.first_update = 1;
+  msg->al.covered = {1};
+  msg->al.delta.target = "X";
+  msg->al.delta.Add(Tuple{1}, 1);
+  class OneShot : public Process {
+   public:
+    OneShot(std::string name, ProcessId to, MessagePtr msg)
+        : Process(std::move(name)), to_(to), msg_(std::move(msg)) {}
+    void OnStart() override { Send(to_, std::move(msg_)); }
+    void OnMessage(ProcessId, MessagePtr) override {}
+    ProcessId to_;
+    MessagePtr msg_;
+  };
+  OneShot shot("shot", rig.merge.id(), std::move(msg));
+  rig.runtime.Register(&shot);
+  rig.runtime.Run();
+  EXPECT_EQ(rig.merge.stats().misrouted_als, 1);
+  EXPECT_TRUE(rig.commit_order.empty());
 }
 
 }  // namespace

@@ -5,37 +5,49 @@
 
 #include "common/rng.h"
 #include "merge/merge_engine.h"
+#include "storage/id_registry.h"
 
 namespace mvc {
 namespace {
 
-ActionList MakeBatchAl(const std::string& view, UpdateId first,
-                       UpdateId last) {
+constexpr ViewId kV1 = 0, kV2 = 1, kV3 = 2, kV4 = 3;
+
+/// Shared name table for all engine tests: V1..V4 in mint order.
+const IdRegistry* TestRegistry() {
+  static const IdRegistry* reg = [] {
+    auto* r = new IdRegistry();
+    r->InternViews({"V1", "V2", "V3", "V4"});
+    return r;
+  }();
+  return reg;
+}
+
+ActionList MakeBatchAl(ViewId view, UpdateId first, UpdateId last) {
   ActionList al;
   al.view = view;
   al.first_update = first;
   al.update = last;
   for (UpdateId i = first; i <= last; ++i) al.covered.push_back(i);
-  al.delta.target = view;
+  al.delta.target = TestRegistry()->ViewName(view);
   al.delta.Add(Tuple{last}, 1);
   return al;
 }
 
-ActionList MakeAl(const std::string& view, UpdateId update) {
+ActionList MakeAl(ViewId view, UpdateId update) {
   return MakeBatchAl(view, update, update);
 }
 
 class PaEngineTest : public ::testing::Test {
  protected:
-  PaEngine engine_{{"V1", "V2", "V3"}};
+  PaEngine engine_{{kV1, kV2, kV3}, TestRegistry()};
   std::vector<WarehouseTransaction> out_;
 };
 
 TEST_F(PaEngineTest, SingleUpdateBehavesLikeSpa) {
-  engine_.ReceiveRelSet(1, {"V1", "V2"}, &out_);
-  engine_.ReceiveActionList(MakeAl("V2", 1), &out_);
+  engine_.ReceiveRelSet(1, {kV1, kV2}, &out_);
+  engine_.ReceiveActionList(MakeAl(kV2, 1), &out_);
   EXPECT_TRUE(out_.empty());
-  engine_.ReceiveActionList(MakeAl("V1", 1), &out_);
+  engine_.ReceiveActionList(MakeAl(kV1, 1), &out_);
   ASSERT_EQ(out_.size(), 1u);
   EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{1}));
   EXPECT_EQ(out_[0].actions.size(), 2u);
@@ -43,10 +55,10 @@ TEST_F(PaEngineTest, SingleUpdateBehavesLikeSpa) {
 }
 
 TEST_F(PaEngineTest, BatchedAlColorsAllCoveredRows) {
-  engine_.ReceiveRelSet(1, {"V1"}, &out_);
-  engine_.ReceiveRelSet(2, {"V1"}, &out_);
-  engine_.ReceiveRelSet(3, {"V1"}, &out_);
-  engine_.ReceiveActionList(MakeBatchAl("V1", 1, 3), &out_);
+  engine_.ReceiveRelSet(1, {kV1}, &out_);
+  engine_.ReceiveRelSet(2, {kV1}, &out_);
+  engine_.ReceiveRelSet(3, {kV1}, &out_);
+  engine_.ReceiveActionList(MakeBatchAl(kV1, 1, 3), &out_);
   ASSERT_EQ(out_.size(), 1u);
   // All three rows applied together as one transaction.
   EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{1, 2, 3}));
@@ -57,13 +69,13 @@ TEST_F(PaEngineTest, BatchedAlColorsAllCoveredRows) {
 TEST_F(PaEngineTest, Example4IntertwinedUpdatesHoldCorrectly) {
   // Views: V1 = R|><|S, V2 = S|><|T|><|Q, V3 = Q.
   // Updates: U1 on S -> {V1,V2}; U2 on Q -> {V2,V3}; U3 on S -> {V1,V2}.
-  engine_.ReceiveRelSet(1, {"V1", "V2"}, &out_);
-  engine_.ReceiveRelSet(2, {"V2", "V3"}, &out_);
-  engine_.ReceiveRelSet(3, {"V1", "V2"}, &out_);
+  engine_.ReceiveRelSet(1, {kV1, kV2}, &out_);
+  engine_.ReceiveRelSet(2, {kV2, kV3}, &out_);
+  engine_.ReceiveRelSet(3, {kV1, kV2}, &out_);
 
   // AL^1_3 covers U1 and U3 (no separate AL^1_1): rows 1 and 3 turn red
   // in column V1 with state 3.
-  engine_.ReceiveActionList(MakeBatchAl("V1", 1, 3), &out_);
+  engine_.ReceiveActionList(MakeBatchAl(kV1, 1, 3), &out_);
   EXPECT_TRUE(out_.empty());
   EXPECT_EQ(engine_.vut().ToString(true),
             "     V1 V2 V3\n"
@@ -74,9 +86,9 @@ TEST_F(PaEngineTest, Example4IntertwinedUpdatesHoldCorrectly) {
   // All other ALs for U1 and U2 arrive. SPA would now (incorrectly)
   // apply rows 1 and 2; PA must keep holding because row 1 is tied to
   // row 3 whose V2 list has not arrived.
-  engine_.ReceiveActionList(MakeAl("V2", 1), &out_);
-  engine_.ReceiveActionList(MakeAl("V2", 2), &out_);
-  engine_.ReceiveActionList(MakeAl("V3", 2), &out_);
+  engine_.ReceiveActionList(MakeAl(kV2, 1), &out_);
+  engine_.ReceiveActionList(MakeAl(kV2, 2), &out_);
+  engine_.ReceiveActionList(MakeAl(kV3, 2), &out_);
   EXPECT_TRUE(out_.empty())
       << "PA must not apply rows 1/2 while AL(V2,3) is missing";
   EXPECT_EQ(engine_.vut().ToString(true),
@@ -86,7 +98,7 @@ TEST_F(PaEngineTest, Example4IntertwinedUpdatesHoldCorrectly) {
             "U3: (r,3) (w,0) (b,0)\n");
 
   // The missing list arrives; everything applies in one transaction.
-  engine_.ReceiveActionList(MakeAl("V2", 3), &out_);
+  engine_.ReceiveActionList(MakeAl(kV2, 3), &out_);
   ASSERT_EQ(out_.size(), 1u);
   EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{1, 2, 3}));
   EXPECT_EQ(out_[0].actions.size(), 5u);
@@ -98,9 +110,9 @@ TEST_F(PaEngineTest, Example5FullTrace) {
   // Updates: U1 on S -> {V1,V2}; U2 on Q -> {V2,V3}; U3 on Q -> {V2,V3}.
   // Arrival: REL1, REL2, REL3, AL(V2,1), AL(V2,3), AL(V3,2), AL(V1,1),
   //          AL(V3,3).
-  engine_.ReceiveRelSet(1, {"V1", "V2"}, &out_);
-  engine_.ReceiveRelSet(2, {"V2", "V3"}, &out_);
-  engine_.ReceiveRelSet(3, {"V2", "V3"}, &out_);
+  engine_.ReceiveRelSet(1, {kV1, kV2}, &out_);
+  engine_.ReceiveRelSet(2, {kV2, kV3}, &out_);
+  engine_.ReceiveRelSet(3, {kV2, kV3}, &out_);
   EXPECT_EQ(engine_.vut().ToString(true),
             "     V1 V2 V3\n"
             "U1: (w,0) (w,0) (b,0)\n"
@@ -108,7 +120,7 @@ TEST_F(PaEngineTest, Example5FullTrace) {
             "U3: (b,0) (w,0) (w,0)\n");
 
   // t1: AL^2_1; ProcessRow(1) fails on white V1.
-  engine_.ReceiveActionList(MakeAl("V2", 1), &out_);
+  engine_.ReceiveActionList(MakeAl(kV2, 1), &out_);
   EXPECT_TRUE(out_.empty());
   EXPECT_EQ(engine_.vut().ToString(true),
             "     V1 V2 V3\n"
@@ -117,7 +129,7 @@ TEST_F(PaEngineTest, Example5FullTrace) {
             "U3: (b,0) (w,0) (w,0)\n");
 
   // t2: AL^2_3 covers U2 and U3 in column V2.
-  engine_.ReceiveActionList(MakeBatchAl("V2", 2, 3), &out_);
+  engine_.ReceiveActionList(MakeBatchAl(kV2, 2, 3), &out_);
   EXPECT_TRUE(out_.empty());
   EXPECT_EQ(engine_.vut().ToString(true),
             "     V1 V2 V3\n"
@@ -126,7 +138,7 @@ TEST_F(PaEngineTest, Example5FullTrace) {
             "U3: (b,0) (r,3) (w,0)\n");
 
   // t3: AL^3_2; ProcessRow(2) -> ProcessRow(1) fails on white V1.
-  engine_.ReceiveActionList(MakeAl("V3", 2), &out_);
+  engine_.ReceiveActionList(MakeAl(kV3, 2), &out_);
   EXPECT_TRUE(out_.empty());
   EXPECT_EQ(engine_.vut().ToString(true),
             "     V1 V2 V3\n"
@@ -136,7 +148,7 @@ TEST_F(PaEngineTest, Example5FullTrace) {
 
   // t4/t5: AL^1_1 completes row 1; WT_1 applies alone (rows 2/3 still
   // blocked on AL(V3,3)).
-  engine_.ReceiveActionList(MakeAl("V1", 1), &out_);
+  engine_.ReceiveActionList(MakeAl(kV1, 1), &out_);
   ASSERT_EQ(out_.size(), 1u);
   EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{1}));
   EXPECT_EQ(out_[0].actions.size(), 2u);
@@ -147,7 +159,7 @@ TEST_F(PaEngineTest, Example5FullTrace) {
   out_.clear();
 
   // t6/t7: AL^3_3 completes rows 2 and 3; WT_2 and WT_3 apply together.
-  engine_.ReceiveActionList(MakeAl("V3", 3), &out_);
+  engine_.ReceiveActionList(MakeAl(kV3, 3), &out_);
   ASSERT_EQ(out_.size(), 1u);
   EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{2, 3}));
   EXPECT_EQ(out_[0].actions.size(), 3u);
@@ -156,11 +168,11 @@ TEST_F(PaEngineTest, Example5FullTrace) {
 }
 
 TEST_F(PaEngineTest, ActionListBeforeRelSetIsBuffered) {
-  engine_.ReceiveActionList(MakeBatchAl("V1", 1, 2), &out_);
+  engine_.ReceiveActionList(MakeBatchAl(kV1, 1, 2), &out_);
   EXPECT_TRUE(out_.empty());
-  engine_.ReceiveRelSet(1, {"V1"}, &out_);
+  engine_.ReceiveRelSet(1, {kV1}, &out_);
   EXPECT_TRUE(out_.empty());  // REL2 still missing; row 2 not allocated
-  engine_.ReceiveRelSet(2, {"V1"}, &out_);
+  engine_.ReceiveRelSet(2, {kV1}, &out_);
   ASSERT_EQ(out_.size(), 1u);
   EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{1, 2}));
 }
@@ -173,15 +185,15 @@ TEST_F(PaEngineTest, EmptyRelSetPurgesImmediately) {
 TEST_F(PaEngineTest, LaterBatchUnblocksViaNextRed) {
   // Row 1: {V1}; row 2: {V1, V2}. AL(V1,1) applies row 1. AL(V1,2)
   // waits on V2; AL(V2,2) then applies row 2.
-  engine_.ReceiveRelSet(1, {"V1"}, &out_);
-  engine_.ReceiveRelSet(2, {"V1", "V2"}, &out_);
-  engine_.ReceiveActionList(MakeAl("V2", 2), &out_);
+  engine_.ReceiveRelSet(1, {kV1}, &out_);
+  engine_.ReceiveRelSet(2, {kV1, kV2}, &out_);
+  engine_.ReceiveActionList(MakeAl(kV2, 2), &out_);
   EXPECT_TRUE(out_.empty());
-  engine_.ReceiveActionList(MakeAl("V1", 1), &out_);
+  engine_.ReceiveActionList(MakeAl(kV1, 1), &out_);
   ASSERT_EQ(out_.size(), 1u);
   EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{1}));
   out_.clear();
-  engine_.ReceiveActionList(MakeAl("V1", 2), &out_);
+  engine_.ReceiveActionList(MakeAl(kV1, 2), &out_);
   ASSERT_EQ(out_.size(), 1u);
   EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{2}));
 }
@@ -189,14 +201,14 @@ TEST_F(PaEngineTest, LaterBatchUnblocksViaNextRed) {
 TEST_F(PaEngineTest, ChainedStatePullsAreTransitive) {
   // Column V1 batches 1..2, column V2 batches 2..3, column V3 covers 3.
   // Applying anything requires all three rows at once.
-  engine_.ReceiveRelSet(1, {"V1"}, &out_);
-  engine_.ReceiveRelSet(2, {"V1", "V2"}, &out_);
-  engine_.ReceiveRelSet(3, {"V2", "V3"}, &out_);
-  engine_.ReceiveActionList(MakeBatchAl("V1", 1, 2), &out_);
+  engine_.ReceiveRelSet(1, {kV1}, &out_);
+  engine_.ReceiveRelSet(2, {kV1, kV2}, &out_);
+  engine_.ReceiveRelSet(3, {kV2, kV3}, &out_);
+  engine_.ReceiveActionList(MakeBatchAl(kV1, 1, 2), &out_);
   EXPECT_TRUE(out_.empty());
-  engine_.ReceiveActionList(MakeBatchAl("V2", 2, 3), &out_);
+  engine_.ReceiveActionList(MakeBatchAl(kV2, 2, 3), &out_);
   EXPECT_TRUE(out_.empty());
-  engine_.ReceiveActionList(MakeAl("V3", 3), &out_);
+  engine_.ReceiveActionList(MakeAl(kV3, 3), &out_);
   ASSERT_EQ(out_.size(), 1u);
   EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{1, 2, 3}));
 }
@@ -208,12 +220,12 @@ class PaRandomTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(PaRandomTest, AllRowsApplyExactlyOnceInDependentOrder) {
   Rng rng(static_cast<uint64_t>(GetParam()));
-  const std::vector<std::string> views{"V1", "V2", "V3", "V4"};
+  const std::vector<ViewId> views{kV1, kV2, kV3, kV4};
   const int kUpdates = 12;
 
-  std::vector<std::vector<std::string>> rels(kUpdates + 1);
+  std::vector<std::vector<ViewId>> rels(kUpdates + 1);
   for (int i = 1; i <= kUpdates; ++i) {
-    for (const std::string& v : views) {
+    for (ViewId v : views) {
       if (rng.Bernoulli(0.4)) rels[static_cast<size_t>(i)].push_back(v);
     }
   }
@@ -237,14 +249,14 @@ TEST_P(PaRandomTest, AllRowsApplyExactlyOnceInDependentOrder) {
       al.first_update = mine[pos];
       al.update = mine[pos + len - 1];
       for (size_t k = 0; k < len; ++k) al.covered.push_back(mine[pos + k]);
-      al.delta.target = views[x];
+      al.delta.target = TestRegistry()->ViewName(views[x]);
       al.delta.Add(Tuple{al.update}, 1);
       al_streams[x].push_back(al);
       pos += len;
     }
   }
 
-  PaEngine engine({views});
+  PaEngine engine(views, TestRegistry());
   std::vector<WarehouseTransaction> out;
   size_t rel_next = 1;
   std::vector<size_t> al_next(views.size(), 0);
@@ -285,7 +297,7 @@ TEST_P(PaRandomTest, AllRowsApplyExactlyOnceInDependentOrder) {
   // interleave across transactions — that freedom is what makes the
   // painting algorithms prompt.)
   auto relevant_rows = [&](const WarehouseTransaction& txn,
-                           const std::string& view) {
+                           ViewId view) {
     std::vector<UpdateId> rows;
     for (UpdateId row : txn.rows) {
       const auto& rel = rels[static_cast<size_t>(row)];
@@ -297,13 +309,13 @@ TEST_P(PaRandomTest, AllRowsApplyExactlyOnceInDependentOrder) {
   };
   for (size_t a = 0; a < out.size(); ++a) {
     for (size_t b = a + 1; b < out.size(); ++b) {
-      for (const std::string& v : views) {
+      for (ViewId v : views) {
         auto rows_a = relevant_rows(out[a], v);
         auto rows_b = relevant_rows(out[b], v);
         if (rows_a.empty() || rows_b.empty()) continue;
         EXPECT_LT(*std::max_element(rows_a.begin(), rows_a.end()),
                   *std::min_element(rows_b.begin(), rows_b.end()))
-            << "view " << v << ": txn " << out[a].ToString() << " vs "
+            << "view V#" << v << ": txn " << out[a].ToString() << " vs "
             << out[b].ToString();
       }
     }

@@ -7,6 +7,7 @@
 #include "merge/merge_process.h"
 #include "net/protocol.h"
 #include "net/runtime.h"
+#include "storage/id_registry.h"
 #include "viewmgr/view_manager.h"
 
 namespace mvc {
@@ -34,24 +35,28 @@ TEST(ProtocolTest, MessageKindNamesAreStable) {
 }
 
 TEST(ProtocolTest, ActionListToStringShowsBatches) {
+  IdRegistry registry;
+  registry.InternViews({"V1", "V2"});
   ActionList al;
-  al.view = "V2";
+  al.view = *registry.FindView("V2");
   al.update = 5;
   al.first_update = 5;
-  EXPECT_EQ(al.ToString(), "AL(V2, U5, 0 actions)");
+  // Without a name table, ids render raw; with one, names come back.
+  EXPECT_EQ(al.ToString(), "AL(V#1, U5, 0 actions)");
+  EXPECT_EQ(al.ToString(&registry), "AL(V2, U5, 0 actions)");
   al.first_update = 3;
   al.delta.Add(Tuple{1}, 1);
-  EXPECT_EQ(al.ToString(), "AL(V2, U5 covering U3.., 1 actions)");
+  EXPECT_EQ(al.ToString(&registry), "AL(V2, U5 covering U3.., 1 actions)");
 }
 
 TEST(ProtocolTest, WarehouseTransactionToString) {
   WarehouseTransaction txn;
   txn.txn_id = 4;
   txn.rows = {2, 3};
-  txn.views = {"V1", "V2"};
+  txn.views = {0, 1};
   txn.depends_on = {2};
   EXPECT_EQ(txn.ToString(),
-            "WT4(rows=[2,3], views=[V1,V2], 0 ALs, deps=[2])");
+            "WT4(rows=[2,3], views=[0,1], 0 ALs, deps=[2])");
 }
 
 TEST(ProtocolTest, SummariesMentionKeyFields) {
@@ -62,17 +67,17 @@ TEST(ProtocolTest, SummariesMentionKeyFields) {
 
   RelSetMsg rel;
   rel.update_id = 3;
-  rel.views = {"V1", "V2"};
-  EXPECT_EQ(rel.Summary(), "REL3={V1,V2}");
+  rel.views = {0, 1};
+  EXPECT_EQ(rel.Summary(), "REL3={0,1}");
 
   QueryRequestMsg req;
-  req.relation = "R";
+  req.relation = 0;
   req.as_of_state = 4;
   EXPECT_NE(req.Summary().find("@state 4"), std::string::npos);
 
   ReadViewsMsg read;
-  read.views = {"V1"};
-  EXPECT_EQ(read.Summary(), "read views [V1]");
+  read.views = {0};
+  EXPECT_EQ(read.Summary(), "read views [0]");
 
   ViewsSnapshotMsg snap;
   snap.as_of_commit = 9;

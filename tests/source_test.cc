@@ -5,6 +5,7 @@
 
 #include "net/sim_runtime.h"
 #include "source/source_process.h"
+#include "storage/id_registry.h"
 
 namespace mvc {
 namespace {
@@ -125,12 +126,16 @@ class SourceActorTest : public ::testing::Test {
 
   void SetUp() override {
     ASSERT_TRUE(source_.CreateTable("R", Schema::AllInt64({"A"})).ok());
+    r_id_ = registry_.InternRelation("R");
+    source_.SetRegistry(&registry_);
     source_pid_ = runtime_.Register(&source_);
     sink_pid_ = runtime_.Register(&sink_);
     source_.SetIntegrator(sink_pid_);
   }
 
   SimRuntime runtime_{1};
+  IdRegistry registry_;
+  RelationId r_id_ = kInvalidRelation;
   SourceProcess source_{"src0"};
   Sink sink_{"sink"};
   ProcessId source_pid_ = kInvalidProcess;
@@ -172,21 +177,22 @@ TEST_F(SourceActorTest, AnswersCurrentStateQueries) {
           .ok());
   class Asker : public Process {
    public:
-    Asker(std::string name, ProcessId source) : Process(std::move(name)),
-                                                source_(source) {}
+    Asker(std::string name, ProcessId source, RelationId rel)
+        : Process(std::move(name)), source_(source), rel_(rel) {}
     void OnStart() override {
       auto req = std::make_unique<QueryRequestMsg>();
       req->request_id = 42;
-      req->relation = "R";
+      req->relation = rel_;
       Send(source_, std::move(req));
     }
     void OnMessage(ProcessId, MessagePtr msg) override {
       answer = std::move(msg);
     }
     ProcessId source_;
+    RelationId rel_;
     MessagePtr answer;
   };
-  Asker asker("asker", source_pid_);
+  Asker asker("asker", source_pid_, r_id_);
   runtime_.Register(&asker);
   runtime_.Run();
 
@@ -206,11 +212,11 @@ TEST_F(SourceActorTest, AnswersHistoricalQueries) {
           .ok());
   class Asker : public Process {
    public:
-    Asker(std::string name, ProcessId source) : Process(std::move(name)),
-                                                source_(source) {}
+    Asker(std::string name, ProcessId source, RelationId rel)
+        : Process(std::move(name)), source_(source), rel_(rel) {}
     void OnStart() override {
       auto req = std::make_unique<QueryRequestMsg>();
-      req->relation = "R";
+      req->relation = rel_;
       req->as_of_state = 1;
       Send(source_, std::move(req));
     }
@@ -218,9 +224,10 @@ TEST_F(SourceActorTest, AnswersHistoricalQueries) {
       answer = std::move(msg);
     }
     ProcessId source_;
+    RelationId rel_;
     MessagePtr answer;
   };
-  Asker asker("asker", source_pid_);
+  Asker asker("asker", source_pid_, r_id_);
   runtime_.Register(&asker);
   runtime_.Run();
 

@@ -5,17 +5,30 @@
 
 #include "common/rng.h"
 #include "merge/merge_engine.h"
+#include "storage/id_registry.h"
 
 namespace mvc {
 namespace {
 
-ActionList MakeAl(const std::string& view, UpdateId update) {
+constexpr ViewId kV1 = 0, kV2 = 1, kV3 = 2;
+
+/// Shared name table for all engine tests: V1, V2, V3 in mint order.
+const IdRegistry* TestRegistry() {
+  static const IdRegistry* reg = [] {
+    auto* r = new IdRegistry();
+    r->InternViews({"V1", "V2", "V3"});
+    return r;
+  }();
+  return reg;
+}
+
+ActionList MakeAl(ViewId view, UpdateId update) {
   ActionList al;
   al.view = view;
   al.update = update;
   al.first_update = update;
   al.covered = {update};
-  al.delta.target = view;
+  al.delta.target = TestRegistry()->ViewName(view);
   // A marker row so transactions are non-trivially distinguishable.
   al.delta.Add(Tuple{update}, 1);
   return al;
@@ -31,36 +44,36 @@ std::vector<std::vector<UpdateId>> RowsOf(
 
 class SpaEngineTest : public ::testing::Test {
  protected:
-  SpaEngine engine_{{"V1", "V2", "V3"}};
+  SpaEngine engine_{{kV1, kV2, kV3}, TestRegistry()};
   std::vector<WarehouseTransaction> out_;
 };
 
 TEST_F(SpaEngineTest, SingleRowSingleView) {
-  engine_.ReceiveRelSet(1, {"V2"}, &out_);
+  engine_.ReceiveRelSet(1, {kV2}, &out_);
   EXPECT_TRUE(out_.empty());
-  engine_.ReceiveActionList(MakeAl("V2", 1), &out_);
+  engine_.ReceiveActionList(MakeAl(kV2, 1), &out_);
   ASSERT_EQ(out_.size(), 1u);
   EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{1}));
-  EXPECT_EQ(out_[0].views, (std::vector<std::string>{"V2"}));
+  EXPECT_EQ(out_[0].views, (std::vector<ViewId>{kV2}));
   EXPECT_EQ(engine_.open_rows(), 0u);  // purged after apply
 }
 
 TEST_F(SpaEngineTest, WaitsForAllViewsOfRow) {
-  engine_.ReceiveRelSet(1, {"V1", "V2"}, &out_);
-  engine_.ReceiveActionList(MakeAl("V2", 1), &out_);
+  engine_.ReceiveRelSet(1, {kV1, kV2}, &out_);
+  engine_.ReceiveActionList(MakeAl(kV2, 1), &out_);
   EXPECT_TRUE(out_.empty()) << "must hold until V1's AL arrives";
   EXPECT_EQ(engine_.held_action_lists(), 1u);
-  engine_.ReceiveActionList(MakeAl("V1", 1), &out_);
+  engine_.ReceiveActionList(MakeAl(kV1, 1), &out_);
   ASSERT_EQ(out_.size(), 1u);
-  EXPECT_EQ(out_[0].views, (std::vector<std::string>{"V1", "V2"}));
+  EXPECT_EQ(out_[0].views, (std::vector<ViewId>{kV1, kV2}));
   EXPECT_EQ(out_[0].actions.size(), 2u);
   EXPECT_EQ(engine_.held_action_lists(), 0u);
 }
 
 TEST_F(SpaEngineTest, ActionListBeforeRelSetIsBuffered) {
-  engine_.ReceiveActionList(MakeAl("V2", 1), &out_);
+  engine_.ReceiveActionList(MakeAl(kV2, 1), &out_);
   EXPECT_TRUE(out_.empty());
-  engine_.ReceiveRelSet(1, {"V2"}, &out_);
+  engine_.ReceiveRelSet(1, {kV2}, &out_);
   ASSERT_EQ(out_.size(), 1u);
   EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{1}));
 }
@@ -73,8 +86,8 @@ TEST_F(SpaEngineTest, EmptyRelSetPurgesImmediately) {
 }
 
 TEST_F(SpaEngineTest, SameColumnAppliesInOrder) {
-  engine_.ReceiveRelSet(1, {"V2"}, &out_);
-  engine_.ReceiveRelSet(2, {"V2"}, &out_);
+  engine_.ReceiveRelSet(1, {kV2}, &out_);
+  engine_.ReceiveRelSet(2, {kV2}, &out_);
   // AL for row 2 arrives first; row 1's AL has not, so row 2 must wait
   // even though all of row 2's entries are present... it has no earlier
   // *red*, but row 1 is still white in a different row — row 2 CAN apply
@@ -83,19 +96,19 @@ TEST_F(SpaEngineTest, SameColumnAppliesInOrder) {
   // sends ALs in order, so AL(V2,2) arriving implies AL(V2,1) was sent
   // first and, on a FIFO channel, received first. Simulate the legal
   // order:
-  engine_.ReceiveActionList(MakeAl("V2", 1), &out_);
-  engine_.ReceiveActionList(MakeAl("V2", 2), &out_);
+  engine_.ReceiveActionList(MakeAl(kV2, 1), &out_);
+  engine_.ReceiveActionList(MakeAl(kV2, 2), &out_);
   ASSERT_EQ(out_.size(), 2u);
   EXPECT_EQ(RowsOf(out_), (std::vector<std::vector<UpdateId>>{{1}, {2}}));
 }
 
 TEST_F(SpaEngineTest, HeldRowBlocksLaterRowInSameColumn) {
-  engine_.ReceiveRelSet(1, {"V1", "V2"}, &out_);
-  engine_.ReceiveRelSet(2, {"V2"}, &out_);
-  engine_.ReceiveActionList(MakeAl("V2", 1), &out_);  // row 1 held (V1 white)
-  engine_.ReceiveActionList(MakeAl("V2", 2), &out_);
+  engine_.ReceiveRelSet(1, {kV1, kV2}, &out_);
+  engine_.ReceiveRelSet(2, {kV2}, &out_);
+  engine_.ReceiveActionList(MakeAl(kV2, 1), &out_);  // row 1 held (V1 white)
+  engine_.ReceiveActionList(MakeAl(kV2, 2), &out_);
   EXPECT_TRUE(out_.empty()) << "row 2 must wait behind held row 1 (Line 2)";
-  engine_.ReceiveActionList(MakeAl("V1", 1), &out_);
+  engine_.ReceiveActionList(MakeAl(kV1, 1), &out_);
   ASSERT_EQ(out_.size(), 2u);
   EXPECT_EQ(RowsOf(out_), (std::vector<std::vector<UpdateId>>{{1}, {2}}));
 }
@@ -103,10 +116,10 @@ TEST_F(SpaEngineTest, HeldRowBlocksLaterRowInSameColumn) {
 TEST_F(SpaEngineTest, DisjointLaterRowAppliesFirst) {
   // The heart of Example 3: U2 only touches V3, so its actions may be
   // applied before U1's.
-  engine_.ReceiveRelSet(1, {"V1", "V2"}, &out_);
-  engine_.ReceiveRelSet(2, {"V3"}, &out_);
-  engine_.ReceiveActionList(MakeAl("V2", 1), &out_);
-  engine_.ReceiveActionList(MakeAl("V3", 2), &out_);
+  engine_.ReceiveRelSet(1, {kV1, kV2}, &out_);
+  engine_.ReceiveRelSet(2, {kV3}, &out_);
+  engine_.ReceiveActionList(MakeAl(kV2, 1), &out_);
+  engine_.ReceiveActionList(MakeAl(kV3, 2), &out_);
   ASSERT_EQ(out_.size(), 1u);
   EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{2}));
 }
@@ -115,21 +128,21 @@ TEST_F(SpaEngineTest, Example3FullTrace) {
   // Views: V1 = R|><|S, V2 = S|><|T, V3 = Q.
   // Updates: U1 on S -> {V1,V2}; U2 on Q -> {V3}; U3 on T -> {V2}.
   // Arrival: REL1, AL(V2,1), REL2, REL3, AL(V3,2), AL(V2,3), AL(V1,1).
-  engine_.ReceiveRelSet(1, {"V1", "V2"}, &out_);
+  engine_.ReceiveRelSet(1, {kV1, kV2}, &out_);
   EXPECT_TRUE(out_.empty());
-  engine_.ReceiveActionList(MakeAl("V2", 1), &out_);
+  engine_.ReceiveActionList(MakeAl(kV2, 1), &out_);
   EXPECT_TRUE(out_.empty());
   EXPECT_EQ(engine_.vut().ToString(),
             "     V1 V2 V3\n"
             "U1: w r b\n");
 
-  engine_.ReceiveRelSet(2, {"V3"}, &out_);
-  engine_.ReceiveRelSet(3, {"V2"}, &out_);
+  engine_.ReceiveRelSet(2, {kV3}, &out_);
+  engine_.ReceiveRelSet(3, {kV2}, &out_);
   EXPECT_TRUE(out_.empty());
 
   // t4/t5: AL(V3,2) arrives; row 2 applies immediately and is purged
   // (paper times t5-t6).
-  engine_.ReceiveActionList(MakeAl("V3", 2), &out_);
+  engine_.ReceiveActionList(MakeAl(kV3, 2), &out_);
   ASSERT_EQ(out_.size(), 1u);
   EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{2}));
   EXPECT_EQ(engine_.vut().ToString(),
@@ -139,7 +152,7 @@ TEST_F(SpaEngineTest, Example3FullTrace) {
   out_.clear();
 
   // t7: AL(V2,3) arrives; row 3 blocked behind row 1's red V2 entry.
-  engine_.ReceiveActionList(MakeAl("V2", 3), &out_);
+  engine_.ReceiveActionList(MakeAl(kV2, 3), &out_);
   EXPECT_TRUE(out_.empty());
   EXPECT_EQ(engine_.vut().ToString(),
             "     V1 V2 V3\n"
@@ -147,7 +160,7 @@ TEST_F(SpaEngineTest, Example3FullTrace) {
             "U3: b r b\n");
 
   // t8-t11: AL(V1,1) arrives; row 1 applies, unblocking row 3.
-  engine_.ReceiveActionList(MakeAl("V1", 1), &out_);
+  engine_.ReceiveActionList(MakeAl(kV1, 1), &out_);
   ASSERT_EQ(out_.size(), 2u);
   EXPECT_EQ(out_[0].rows, (std::vector<UpdateId>{1}));
   EXPECT_EQ(out_[0].actions.size(), 2u);
@@ -157,27 +170,27 @@ TEST_F(SpaEngineTest, Example3FullTrace) {
 }
 
 TEST_F(SpaEngineTest, EmptyDeltaActionListStillCounts) {
-  engine_.ReceiveRelSet(1, {"V1", "V2"}, &out_);
-  ActionList empty = MakeAl("V1", 1);
+  engine_.ReceiveRelSet(1, {kV1, kV2}, &out_);
+  ActionList empty = MakeAl(kV1, 1);
   empty.delta.rows.clear();
   engine_.ReceiveActionList(empty, &out_);
   EXPECT_TRUE(out_.empty());
-  engine_.ReceiveActionList(MakeAl("V2", 1), &out_);
+  engine_.ReceiveActionList(MakeAl(kV2, 1), &out_);
   ASSERT_EQ(out_.size(), 1u);
   EXPECT_EQ(out_[0].actions.size(), 2u);
 }
 
 TEST_F(SpaEngineTest, SourceStateIsMaxRow) {
-  engine_.ReceiveRelSet(1, {"V1"}, &out_);
-  engine_.ReceiveActionList(MakeAl("V1", 1), &out_);
+  engine_.ReceiveRelSet(1, {kV1}, &out_);
+  engine_.ReceiveActionList(MakeAl(kV1, 1), &out_);
   ASSERT_EQ(out_.size(), 1u);
   EXPECT_EQ(out_[0].source_state, 1);
 }
 
 TEST_F(SpaEngineTest, RejectsBatchedActionLists) {
-  engine_.ReceiveRelSet(1, {"V1"}, &out_);
-  engine_.ReceiveRelSet(2, {"V1"}, &out_);
-  ActionList batched = MakeAl("V1", 2);
+  engine_.ReceiveRelSet(1, {kV1}, &out_);
+  engine_.ReceiveRelSet(2, {kV1}, &out_);
+  ActionList batched = MakeAl(kV1, 2);
   batched.first_update = 1;
   batched.covered = {1, 2};
   EXPECT_DEATH(engine_.ReceiveActionList(batched, &out_),
@@ -191,13 +204,13 @@ class SpaPromptnessTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(SpaPromptnessTest, NoApplicableRowRemainsHeld) {
   Rng rng(static_cast<uint64_t>(GetParam()));
-  const std::vector<std::string> views{"V1", "V2", "V3"};
+  const std::vector<ViewId> views{kV1, kV2, kV3};
   const int kUpdates = 8;
 
   // Random REL sets.
-  std::vector<std::vector<std::string>> rels(kUpdates + 1);
+  std::vector<std::vector<ViewId>> rels(kUpdates + 1);
   for (int i = 1; i <= kUpdates; ++i) {
-    for (const std::string& v : views) {
+    for (ViewId v : views) {
       if (rng.Bernoulli(0.5)) rels[static_cast<size_t>(i)].push_back(v);
     }
   }
@@ -213,7 +226,7 @@ TEST_P(SpaPromptnessTest, NoApplicableRowRemainsHeld) {
     }
   }
 
-  SpaEngine engine({views});
+  SpaEngine engine(views, TestRegistry());
   std::vector<WarehouseTransaction> out;
   size_t rel_next = 1;
   std::vector<size_t> al_next(views.size(), 0);
@@ -285,7 +298,7 @@ TEST_P(SpaPromptnessTest, NoApplicableRowRemainsHeld) {
   for (size_t a = 0; a < out.size(); ++a) {
     for (size_t b = a + 1; b < out.size(); ++b) {
       bool overlap = false;
-      for (const std::string& v : out[a].views) {
+      for (ViewId v : out[a].views) {
         if (std::find(out[b].views.begin(), out[b].views.end(), v) !=
             out[b].views.end()) {
           overlap = true;

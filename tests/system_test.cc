@@ -27,7 +27,8 @@ TEST(SystemTest, Table1ScenarioIsCompleteUnderSpa) {
   // inconsistency window cannot exist.
   ASSERT_EQ(system->recorder().commits().size(), 1u);
   EXPECT_EQ(system->recorder().commits()[0].txn.views,
-            (std::vector<std::string>{"V1", "V2"}));
+            (std::vector<ViewId>{*system->registry().FindView("V1"),
+                                 *system->registry().FindView("V2")}));
   EXPECT_EQ((*system->warehouse().views().GetTable("V1"))
                 ->CountOf(Tuple{1, 2, 3}),
             1);
@@ -156,7 +157,9 @@ TEST(SystemTest, GlobalTransactionUpdatesAllViewsAtomically) {
   auto system = BuildAndRun(std::move(config));
   ASSERT_EQ(system->recorder().commits().size(), 1u);
   EXPECT_EQ(system->recorder().commits()[0].txn.views,
-            (std::vector<std::string>{"V1", "V2", "V3"}));
+            (std::vector<ViewId>{*system->registry().FindView("V1"),
+                                 *system->registry().FindView("V2"),
+                                 *system->registry().FindView("V3")}));
   ConsistencyChecker checker = system->MakeChecker();
   EXPECT_TRUE(checker.CheckComplete(system->recorder()).ok())
       << checker.CheckComplete(system->recorder());

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "net/sim_runtime.h"
+#include "storage/id_registry.h"
 #include "viewmgr/complete_vm.h"
 #include "viewmgr/convergent_vm.h"
 #include "viewmgr/periodic_vm.h"
@@ -19,6 +20,17 @@ std::map<std::string, Schema> PaperSchemas() {
           {"S", Schema::AllInt64({"B", "C"})},
           {"T", Schema::AllInt64({"C", "D"})},
           {"Q", Schema::AllInt64({"D", "E"})}};
+}
+
+/// Shared name table: view V1 (id 0) and the paper's base relations.
+const IdRegistry* TestRegistry() {
+  static const IdRegistry* reg = [] {
+    auto* r = new IdRegistry();
+    r->InternView("V1");
+    for (const char* rel : {"R", "S", "T", "Q"}) r->InternRelation(rel);
+    return r;
+  }();
+  return reg;
 }
 
 /// Captures action lists sent to the merge process.
@@ -72,6 +84,7 @@ class ViewMgrTest : public ::testing::Test {
         vm->RegisterBaseRelation("R", Schema::AllInt64({"A", "B"}), &r).ok());
     ASSERT_TRUE(
         vm->RegisterBaseRelation("S", Schema::AllInt64({"B", "C"})).ok());
+    vm->SetViewId(TestRegistry()->FindView("V1").value());
     ProcessId vm_pid = runtime_.Register(vm);
     ProcessId sink_pid = runtime_.Register(&sink_);
     vm->SetMerge(sink_pid);
@@ -294,6 +307,7 @@ TEST_F(ViewMgrTest, QueryRoundDelaysButDoesNotChangeActions) {
   BoundView view = BindV1();
 
   SourceProcess src0("src0", SourceOptions{.query_delay = 5000});
+  src0.SetRegistry(TestRegistry());
   ASSERT_TRUE(src0.CreateTable("R", Schema::AllInt64({"A", "B"})).ok());
   ASSERT_TRUE(src0.CreateTable("S", Schema::AllInt64({"B", "C"})).ok());
   ProcessId src_pid = runtime_.Register(&src0);
@@ -302,8 +316,10 @@ TEST_F(ViewMgrTest, QueryRoundDelaysButDoesNotChangeActions) {
   options.issue_query_round = true;
   CompleteViewManager vm("vm-V1", &view, options);
   Wire(&vm);
-  vm.SetSourceForRelation("R", src_pid);
-  vm.SetSourceForRelation("S", src_pid);
+  vm.SetSourceForRelation("R", TestRegistry()->FindRelation("R").value(),
+                          src_pid);
+  vm.SetSourceForRelation("S", TestRegistry()->FindRelation("S").value(),
+                          src_pid);
   feeder_->Add(1, Update::Insert("src0", "S", Tuple{2, 3}), 0);
   runtime_.Run();
 

@@ -1,25 +1,41 @@
 // Unit tests for the ViewUpdateTable, including the Example 2 golden
-// rendering.
+// rendering and the dense ring-window edge cases (purge + far-ahead
+// allocate + re-announce below the window).
 
 #include <gtest/gtest.h>
 
 #include "merge/vut.h"
+#include "storage/id_registry.h"
 
 namespace mvc {
 namespace {
 
 class VutTest : public ::testing::Test {
  protected:
-  ViewUpdateTable vut_{{"V1", "V2", "V3"}};
+  VutTest() {
+    v1_ = registry_.InternView("V1");
+    v2_ = registry_.InternView("V2");
+    v3_ = registry_.InternView("V3");
+  }
+
+  IdRegistry registry_;
+  ViewId v1_, v2_, v3_;
+  ViewUpdateTable vut_{{0, 1, 2}, &registry_};
 };
 
 TEST_F(VutTest, ViewIndexByColumnOrder) {
-  EXPECT_EQ(vut_.ViewIndex("V1"), 0u);
-  EXPECT_EQ(vut_.ViewIndex("V3"), 2u);
+  EXPECT_EQ(vut_.ViewIndex(v1_), 0u);
+  EXPECT_EQ(vut_.ViewIndex(v3_), 2u);
+}
+
+TEST_F(VutTest, FindViewIndexIsNonFatal) {
+  EXPECT_EQ(vut_.FindViewIndex(v2_), std::optional<size_t>(1u));
+  EXPECT_EQ(vut_.FindViewIndex(99), std::nullopt);
+  EXPECT_EQ(vut_.FindViewIndex(kInvalidView), std::nullopt);
 }
 
 TEST_F(VutTest, AllocateRowColorsRelWhiteRestBlack) {
-  vut_.AllocateRow(1, {"V1", "V2"});
+  vut_.AllocateRow(1, {v1_, v2_});
   EXPECT_EQ(vut_.color(1, 0), CellColor::kWhite);
   EXPECT_EQ(vut_.color(1, 1), CellColor::kWhite);
   EXPECT_EQ(vut_.color(1, 2), CellColor::kBlack);
@@ -30,14 +46,14 @@ TEST_F(VutTest, AllocateRowColorsRelWhiteRestBlack) {
 
 TEST_F(VutTest, Example2Rendering) {
   // Example 2: U1 on S -> REL1 = {V1, V2}; U2 on Q -> REL2 = {V2, V3}.
-  vut_.AllocateRow(1, {"V1", "V2"});
-  vut_.AllocateRow(2, {"V2", "V3"});
+  vut_.AllocateRow(1, {v1_, v2_});
+  vut_.AllocateRow(2, {v2_, v3_});
   EXPECT_EQ(vut_.ToString(),
             "     V1 V2 V3\n"
             "U1: w w b\n"
             "U2: b w w\n");
   // AL^2_1 arrives: the V2 entry of row 1 turns red.
-  vut_.SetColor(1, vut_.ViewIndex("V2"), CellColor::kRed);
+  vut_.SetColor(1, vut_.ViewIndex(v2_), CellColor::kRed);
   EXPECT_EQ(vut_.ToString(),
             "     V1 V2 V3\n"
             "U1: w r b\n"
@@ -45,7 +61,7 @@ TEST_F(VutTest, Example2Rendering) {
 }
 
 TEST_F(VutTest, RenderingWithState) {
-  vut_.AllocateRow(1, {"V1", "V2"});
+  vut_.AllocateRow(1, {v1_, v2_});
   vut_.SetColor(1, 1, CellColor::kRed);
   vut_.SetState(1, 1, 3);
   EXPECT_EQ(vut_.ToString(true),
@@ -54,7 +70,7 @@ TEST_F(VutTest, RenderingWithState) {
 }
 
 TEST_F(VutTest, RowQueries) {
-  vut_.AllocateRow(1, {"V1", "V2"});
+  vut_.AllocateRow(1, {v1_, v2_});
   EXPECT_TRUE(vut_.RowHasWhite(1));
   EXPECT_FALSE(vut_.RowAllBlackOrGray(1));
   vut_.SetColor(1, 0, CellColor::kGray);
@@ -64,10 +80,10 @@ TEST_F(VutTest, RowQueries) {
 }
 
 TEST_F(VutTest, NextRedScansDownward) {
-  vut_.AllocateRow(1, {"V2"});
-  vut_.AllocateRow(3, {"V2"});
-  vut_.AllocateRow(5, {"V2"});
-  size_t v2 = vut_.ViewIndex("V2");
+  vut_.AllocateRow(1, {v2_});
+  vut_.AllocateRow(3, {v2_});
+  vut_.AllocateRow(5, {v2_});
+  size_t v2 = vut_.ViewIndex(v2_);
   EXPECT_EQ(vut_.NextRed(1, v2), 0);  // all white
   vut_.SetColor(5, v2, CellColor::kRed);
   EXPECT_EQ(vut_.NextRed(1, v2), 5);
@@ -79,9 +95,9 @@ TEST_F(VutTest, NextRedScansDownward) {
 }
 
 TEST_F(VutTest, EarlierRedQueries) {
-  vut_.AllocateRow(1, {"V2"});
-  vut_.AllocateRow(4, {"V2"});
-  size_t v2 = vut_.ViewIndex("V2");
+  vut_.AllocateRow(1, {v2_});
+  vut_.AllocateRow(4, {v2_});
+  size_t v2 = vut_.ViewIndex(v2_);
   EXPECT_FALSE(vut_.HasEarlierRed(4, v2));
   vut_.SetColor(1, v2, CellColor::kRed);
   EXPECT_TRUE(vut_.HasEarlierRed(4, v2));
@@ -90,26 +106,26 @@ TEST_F(VutTest, EarlierRedQueries) {
 }
 
 TEST_F(VutTest, WhiteRowsUpToIncludesOwnRow) {
-  vut_.AllocateRow(1, {"V2"});
-  vut_.AllocateRow(2, {"V2"});
-  vut_.AllocateRow(3, {"V2"});
-  size_t v2 = vut_.ViewIndex("V2");
+  vut_.AllocateRow(1, {v2_});
+  vut_.AllocateRow(2, {v2_});
+  vut_.AllocateRow(3, {v2_});
+  size_t v2 = vut_.ViewIndex(v2_);
   EXPECT_EQ(vut_.WhiteRowsUpTo(2, v2), (std::vector<UpdateId>{1, 2}));
   vut_.SetColor(1, v2, CellColor::kRed);
   EXPECT_EQ(vut_.WhiteRowsUpTo(3, v2), (std::vector<UpdateId>{2, 3}));
 }
 
 TEST_F(VutTest, RowViewsWithColor) {
-  vut_.AllocateRow(1, {"V1", "V3"});
+  vut_.AllocateRow(1, {v1_, v3_});
   EXPECT_EQ(vut_.RowViewsWithColor(1, CellColor::kWhite),
-            (std::vector<std::string>{"V1", "V3"}));
+            (std::vector<ViewId>{v1_, v3_}));
   EXPECT_EQ(vut_.RowViewsWithColor(1, CellColor::kBlack),
-            (std::vector<std::string>{"V2"}));
+            (std::vector<ViewId>{v2_}));
 }
 
 TEST_F(VutTest, PurgeRemovesRow) {
-  vut_.AllocateRow(1, {"V1"});
-  vut_.AllocateRow(2, {"V2"});
+  vut_.AllocateRow(1, {v1_});
+  vut_.AllocateRow(2, {v2_});
   EXPECT_EQ(vut_.num_rows(), 2u);
   vut_.PurgeRow(1);
   EXPECT_FALSE(vut_.HasRow(1));
@@ -122,6 +138,67 @@ TEST_F(VutTest, EmptyRelRowIsAllBlack) {
   vut_.AllocateRow(7, {});
   EXPECT_TRUE(vut_.RowAllBlackOrGray(7));
   EXPECT_FALSE(vut_.RowHasWhite(7));
+}
+
+// --- Ring-window edge cases ---
+
+TEST_F(VutTest, PurgeLowestRowAdvancesWindow) {
+  vut_.AllocateRow(1, {v1_});
+  vut_.AllocateRow(2, {v2_});
+  vut_.AllocateRow(3, {v3_});
+  vut_.PurgeRow(1);
+  // The window slides; surviving rows stay addressable by id.
+  EXPECT_FALSE(vut_.HasRow(1));
+  EXPECT_TRUE(vut_.HasRow(2));
+  EXPECT_TRUE(vut_.HasRow(3));
+  EXPECT_EQ(vut_.RowIds(), (std::vector<UpdateId>{2, 3}));
+  EXPECT_EQ(vut_.color(2, vut_.ViewIndex(v2_)), CellColor::kWhite);
+  // Interior purge leaves a dead slot; ids still map correctly.
+  vut_.AllocateRow(4, {v1_});
+  vut_.PurgeRow(3);
+  EXPECT_EQ(vut_.RowIds(), (std::vector<UpdateId>{2, 4}));
+  EXPECT_EQ(vut_.NextRed(2, vut_.ViewIndex(v1_)), 0);
+}
+
+TEST_F(VutTest, FarAheadAllocateSkipsIds) {
+  vut_.AllocateRow(2, {v1_});
+  vut_.AllocateRow(100, {v2_});
+  EXPECT_TRUE(vut_.HasRow(2));
+  EXPECT_TRUE(vut_.HasRow(100));
+  EXPECT_FALSE(vut_.HasRow(50));
+  EXPECT_EQ(vut_.num_rows(), 2u);
+  EXPECT_EQ(vut_.RowIds(), (std::vector<UpdateId>{2, 100}));
+  EXPECT_EQ(vut_.max_allocated(), 100);
+  // Scans skip the dead gap.
+  vut_.SetColor(100, vut_.ViewIndex(v2_), CellColor::kRed);
+  EXPECT_EQ(vut_.NextRed(2, vut_.ViewIndex(v2_)), 100);
+}
+
+TEST_F(VutTest, ReAnnounceBelowWindowAfterPurge) {
+  // Crash-replay pattern: row 5 is purged (window moves to 6), then the
+  // recovering merge re-announces update 5.
+  vut_.AllocateRow(5, {v1_});
+  vut_.AllocateRow(6, {v2_});
+  vut_.PurgeRow(5);
+  EXPECT_EQ(vut_.max_allocated(), 6);
+  vut_.AllocateRow(5, {v1_});
+  EXPECT_TRUE(vut_.HasRow(5));
+  EXPECT_EQ(vut_.color(5, vut_.ViewIndex(v1_)), CellColor::kWhite);
+  EXPECT_EQ(vut_.RowIds(), (std::vector<UpdateId>{5, 6}));
+  // Re-announcing below the high-water mark must not move it.
+  EXPECT_EQ(vut_.max_allocated(), 6);
+}
+
+TEST_F(VutTest, PurgeAllThenRestartKeepsMaxAllocated) {
+  vut_.AllocateRow(1, {v1_});
+  vut_.AllocateRow(2, {v2_});
+  vut_.PurgeRow(2);
+  vut_.PurgeRow(1);
+  EXPECT_EQ(vut_.num_rows(), 0u);
+  EXPECT_EQ(vut_.max_allocated(), 2);
+  vut_.AllocateRow(9, {v3_});
+  EXPECT_EQ(vut_.RowIds(), (std::vector<UpdateId>{9}));
+  EXPECT_EQ(vut_.max_allocated(), 9);
 }
 
 TEST(VutColorTest, ColorChars) {

@@ -4,15 +4,28 @@
 #include <gtest/gtest.h>
 
 #include "net/sim_runtime.h"
+#include "storage/id_registry.h"
 #include "warehouse/warehouse.h"
 
 namespace mvc {
 namespace {
 
-ActionList Al(const std::string& view, Tuple t, int64_t count) {
+constexpr ViewId kV1 = 0, kV2 = 1;
+
+/// Shared name table: V1, V2, V in mint order.
+const IdRegistry* TestRegistry() {
+  static const IdRegistry* reg = [] {
+    auto* r = new IdRegistry();
+    r->InternViews({"V1", "V2", "V"});
+    return r;
+  }();
+  return reg;
+}
+
+ActionList Al(ViewId view, Tuple t, int64_t count) {
   ActionList al;
   al.view = view;
-  al.delta.target = view;
+  al.delta.target = TestRegistry()->ViewName(view);
   al.delta.Add(std::move(t), count);
   return al;
 }
@@ -45,6 +58,7 @@ class WarehouseTest : public ::testing::Test {
  protected:
   void Wire(WarehouseOptions options) {
     warehouse_ = std::make_unique<WarehouseProcess>("warehouse", options);
+    warehouse_->SetRegistry(TestRegistry());
     ASSERT_TRUE(warehouse_->CreateView("V1", Schema::AllInt64({"A"})).ok());
     ASSERT_TRUE(warehouse_->CreateView("V2", Schema::AllInt64({"A"})).ok());
     ProcessId wpid = runtime_.Register(warehouse_.get());
@@ -61,8 +75,8 @@ TEST_F(WarehouseTest, AppliesAllActionListsAtomically) {
   Wire({});
   WarehouseTransaction txn;
   txn.txn_id = 1;
-  txn.views = {"V1", "V2"};
-  txn.actions = {Al("V1", Tuple{1}, 1), Al("V2", Tuple{2}, 1)};
+  txn.views = {kV1, kV2};
+  txn.actions = {Al(kV1, Tuple{1}, 1), Al(kV2, Tuple{2}, 1)};
   submitter_->to_send = {txn};
   runtime_.Run();
 
@@ -77,10 +91,10 @@ TEST_F(WarehouseTest, ReplaceAllClearsThenInstalls) {
   Wire({});
   WarehouseTransaction seed;
   seed.txn_id = 1;
-  seed.actions = {Al("V1", Tuple{1}, 2)};
+  seed.actions = {Al(kV1, Tuple{1}, 2)};
   WarehouseTransaction replace;
   replace.txn_id = 2;
-  ActionList al = Al("V1", Tuple{9}, 1);
+  ActionList al = Al(kV1, Tuple{9}, 1);
   al.replace_all = true;
   replace.actions = {al};
   submitter_->to_send = {seed, replace};
@@ -109,7 +123,7 @@ TEST_F(WarehouseTest, CommitObserverSeesSnapshots) {
   });
   WarehouseTransaction txn;
   txn.txn_id = 7;
-  txn.actions = {Al("V1", Tuple{1}, 1)};
+  txn.actions = {Al(kV1, Tuple{1}, 1)};
   submitter_->to_send = {txn};
   runtime_.Run();
   EXPECT_EQ(seen, (std::vector<int64_t>{7}));
@@ -126,6 +140,7 @@ TEST_F(WarehouseTest, JitterReordersIndependentTransactions) {
     options.apply_jitter = 10000;
     options.seed = seed;
     WarehouseProcess warehouse("warehouse", options);
+    warehouse.SetRegistry(TestRegistry());
     ASSERT_TRUE(warehouse.CreateView("V1", Schema::AllInt64({"A"})).ok());
     ASSERT_TRUE(warehouse.CreateView("V2", Schema::AllInt64({"A"})).ok());
     ProcessId wpid = runtime.Register(&warehouse);
@@ -133,12 +148,12 @@ TEST_F(WarehouseTest, JitterReordersIndependentTransactions) {
     runtime.Register(&submitter);
     WarehouseTransaction t1;
     t1.txn_id = 1;
-    t1.views = {"V1"};
-    t1.actions = {Al("V1", Tuple{1}, 1)};
+    t1.views = {kV1};
+    t1.actions = {Al(kV1, Tuple{1}, 1)};
     WarehouseTransaction t2;
     t2.txn_id = 2;
-    t2.views = {"V2"};
-    t2.actions = {Al("V2", Tuple{2}, 1)};
+    t2.views = {kV2};
+    t2.actions = {Al(kV2, Tuple{2}, 1)};
     submitter.to_send = {t1, t2};
     runtime.Run();
     ASSERT_EQ(submitter.acks.size(), 2u);
@@ -158,6 +173,7 @@ TEST_F(WarehouseTest, DependenciesForceCommitOrderDespiteJitter) {
     options.honor_dependencies = true;
     options.seed = seed;
     WarehouseProcess warehouse("warehouse", options);
+    warehouse.SetRegistry(TestRegistry());
     ASSERT_TRUE(warehouse.CreateView("V1", Schema::AllInt64({"A"})).ok());
     ASSERT_TRUE(warehouse.CreateView("V2", Schema::AllInt64({"A"})).ok());
     ProcessId wpid = runtime.Register(&warehouse);
@@ -165,13 +181,13 @@ TEST_F(WarehouseTest, DependenciesForceCommitOrderDespiteJitter) {
     runtime.Register(&submitter);
     WarehouseTransaction t1;
     t1.txn_id = 1;
-    t1.views = {"V1"};
-    t1.actions = {Al("V1", Tuple{1}, 1)};
+    t1.views = {kV1};
+    t1.actions = {Al(kV1, Tuple{1}, 1)};
     WarehouseTransaction t2;
     t2.txn_id = 2;
-    t2.views = {"V1"};
+    t2.views = {kV1};
     t2.depends_on = {1};
-    t2.actions = {Al("V1", Tuple{2}, 1)};
+    t2.actions = {Al(kV1, Tuple{2}, 1)};
     submitter.to_send = {t1, t2};
     runtime.Run();
     EXPECT_EQ(submitter.acks, (std::vector<int64_t>{1, 2}))
@@ -190,19 +206,20 @@ TEST_F(WarehouseTest, DependentDeleteAfterInsertNeedsOrdering) {
   options.honor_dependencies = true;
   options.seed = 5;
   WarehouseProcess warehouse("warehouse", options);
+  warehouse.SetRegistry(TestRegistry());
   ASSERT_TRUE(warehouse.CreateView("V1", Schema::AllInt64({"A"})).ok());
   ProcessId wpid = runtime.Register(&warehouse);
   Submitter submitter("merge", wpid);
   runtime.Register(&submitter);
   WarehouseTransaction t1;
   t1.txn_id = 1;
-  t1.views = {"V1"};
-  t1.actions = {Al("V1", Tuple{1}, 1)};
+  t1.views = {kV1};
+  t1.actions = {Al(kV1, Tuple{1}, 1)};
   WarehouseTransaction t2;
   t2.txn_id = 2;
-  t2.views = {"V1"};
+  t2.views = {kV1};
   t2.depends_on = {1};
-  t2.actions = {Al("V1", Tuple{1}, -1)};
+  t2.actions = {Al(kV1, Tuple{1}, -1)};
   submitter.to_send = {t1, t2};
   runtime.Run();
   EXPECT_TRUE((*warehouse.views().GetTable("V1"))->empty());
@@ -232,6 +249,7 @@ TEST(WarehouseSetupTest, HistoryDisabledByDefault) {
   // read still works.
   SimRuntime runtime(1);
   WarehouseProcess warehouse("warehouse");
+  warehouse.SetRegistry(TestRegistry());
   ASSERT_TRUE(warehouse.CreateView("V", Schema::AllInt64({"A"})).ok());
   ProcessId wpid = runtime.Register(&warehouse);
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Builds and tests the two presets that gate a change: `release`
+# (optimized, what the benchmarks report) and `asan`
+# (address+undefined sanitizers). Usage:
+#
+#   tools/check.sh            # both presets
+#   tools/check.sh release    # just one
+#
+# Note: `release` turns MVC_WERROR off — GCC 12's -Wrestrict fires a
+# known false positive on std::string at -O2.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(release asan)
+fi
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+for preset in "${presets[@]}"; do
+  echo "=== [$preset] configure"
+  cmake --preset "$preset"
+  echo "=== [$preset] build"
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "=== [$preset] test"
+  ctest --preset "$preset" -j "$jobs"
+done
+
+echo "=== all presets green: ${presets[*]}"

@@ -1,6 +1,6 @@
 #include "common/logging.h"
 
-#include <atomic>
+#include <atomic>  // mvc-lint: allow-sync -- log level is read from every runtime thread
 
 namespace mvc {
 

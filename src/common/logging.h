@@ -8,7 +8,7 @@
 
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
+#include <mutex>  // mvc-lint: allow-sync -- log lines must not interleave across runtime threads
 #include <sstream>
 #include <string>
 

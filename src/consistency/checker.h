@@ -84,6 +84,15 @@ class ConsistencyChecker {
   /// relevant update.
   Status CheckComplete(const ConsistencyRecorder& recorder) const;
 
+  /// Re-entry oracle for the schedule explorer: validates a run *prefix*
+  /// (duplicate-AL detection, chain legality, per-commit contents) while
+  /// skipping the final-coverage requirement — mid-run, updates that
+  /// affect views may simply not have reached the warehouse yet. A
+  /// violation reported here is a violation of every extension of the
+  /// prefix, which is what makes it usable after every delivery.
+  Status CheckPrefix(const ConsistencyRecorder& recorder,
+                     bool require_single_steps) const;
+
  private:
   /// REL of one transaction under the configured relevance test.
   std::set<std::string> RelevantViews(const SourceTransaction& txn) const;
@@ -93,7 +102,8 @@ class ConsistencyChecker {
                       const std::string& context) const;
 
   Status CheckChain(const ConsistencyRecorder& recorder,
-                    bool require_single_steps) const;
+                    bool require_single_steps,
+                    bool require_final_coverage) const;
 
   /// "V#<id>" or the interned name when a registry is configured.
   std::string ViewLabel(ViewId id) const;

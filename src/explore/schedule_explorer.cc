@@ -1,0 +1,505 @@
+#include "explore/schedule_explorer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "net/exploring_runtime.h"
+
+namespace mvc {
+
+namespace {
+
+/// Identity of one enabled transition, stable across re-executions of
+/// the same prefix: the channel plus the head message's global send
+/// sequence number.
+struct TransitionId {
+  uint64_t channel = 0;
+  uint64_t seq = 0;
+
+  bool operator<(const TransitionId& o) const {
+    return channel != o.channel ? channel < o.channel : seq < o.seq;
+  }
+  bool operator==(const TransitionId& o) const {
+    return channel == o.channel && seq == o.seq;
+  }
+
+  ProcessId target() const {
+    return static_cast<ProcessId>(channel & 0xffffffffu);
+  }
+};
+
+TransitionId IdOf(const ChoicePoint& c) {
+  return TransitionId{
+      (static_cast<uint64_t>(static_cast<uint32_t>(c.from)) << 32) |
+          static_cast<uint32_t>(c.to),
+      c.msg_seq};
+}
+
+/// Two deliveries commute iff they target different processes: an
+/// actor's handler reads/writes only its own state and appends only to
+/// its own outgoing channels, so swapping the order of deliveries to
+/// distinct actors reaches the same state.
+bool Independent(const TransitionId& a, const TransitionId& b) {
+  return a.target() != b.target();
+}
+
+/// One DFS level: the enabled transitions of the state (deterministic
+/// order), the sleep set on entry (grows with explored siblings), the
+/// branch currently taken, and the delay cost spent on the prefix above.
+struct Frame {
+  std::vector<TransitionId> enabled;
+  std::set<TransitionId> sleep;
+  size_t chosen = 0;
+  int cost_base = 0;
+};
+
+Status RunPrefixOracle(const WarehouseSystem& system, CheckLevel level) {
+  switch (level) {
+    case CheckLevel::kComplete:
+      return system.MakeChecker().CheckPrefix(system.recorder(),
+                                              /*require_single_steps=*/true);
+    case CheckLevel::kStrong:
+      return system.MakeChecker().CheckPrefix(system.recorder(),
+                                              /*require_single_steps=*/false);
+    case CheckLevel::kConvergent:
+    case CheckLevel::kNone:
+      // Convergence constrains only the final state; nothing to say
+      // about prefixes.
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status RunFinalOracle(const WarehouseSystem& system, CheckLevel level) {
+  switch (level) {
+    case CheckLevel::kComplete:
+      return system.MakeChecker().CheckComplete(system.recorder());
+    case CheckLevel::kStrong:
+      return system.MakeChecker().CheckStrong(system.recorder());
+    case CheckLevel::kConvergent:
+      return system.MakeChecker().CheckConvergent(system.recorder());
+    case CheckLevel::kNone:
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* CheckLevelToString(CheckLevel level) {
+  switch (level) {
+    case CheckLevel::kNone:
+      return "none";
+    case CheckLevel::kConvergent:
+      return "convergent";
+    case CheckLevel::kStrong:
+      return "strong";
+    case CheckLevel::kComplete:
+      return "complete";
+  }
+  return "?";
+}
+
+bool ParseCheckLevel(const std::string& text, CheckLevel* out) {
+  for (CheckLevel level : {CheckLevel::kNone, CheckLevel::kConvergent,
+                           CheckLevel::kStrong, CheckLevel::kComplete}) {
+    if (text == CheckLevelToString(level)) {
+      *out = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+CheckLevel DeriveCheckLevel(const SystemConfig& config) {
+  bool any_convergent = false;
+  bool all_complete = true;
+  for (const ViewDefinition& view : config.views) {
+    ManagerKind kind = ManagerKind::kComplete;
+    auto it = config.manager_kinds.find(view.name);
+    if (it != config.manager_kinds.end()) kind = it->second;
+    // Aggregate views always get an AggregateViewManager (batching).
+    if (config.aggregates.count(view.name) > 0) kind = ManagerKind::kStrong;
+    if (kind == ManagerKind::kConvergent) any_convergent = true;
+    if (kind != ManagerKind::kComplete) all_complete = false;
+  }
+  if (any_convergent) return CheckLevel::kConvergent;
+  if (!config.auto_algorithm &&
+      config.merge.algorithm == MergeAlgorithm::kPassThrough) {
+    return CheckLevel::kConvergent;
+  }
+  // Complete managers + SPA + unbatched submission promise MVC-complete;
+  // batching or PA make the warehouse advance by several updates at
+  // once, so strong is the claim.
+  if (all_complete && config.merge.policy != SubmissionPolicy::kBatched &&
+      (config.auto_algorithm ||
+       config.merge.algorithm == MergeAlgorithm::kSPA)) {
+    return CheckLevel::kComplete;
+  }
+  return CheckLevel::kStrong;
+}
+
+std::string ExploreReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\"executions\":" << executions << ",\"deliveries\":" << deliveries
+     << ",\"truncated\":" << truncated << ",\"sleep_skips\":" << sleep_skips
+     << ",\"bound_prunes\":" << bound_prunes << ",\"max_depth\":" << max_depth
+     << ",\"exhausted\":" << (exhausted ? "true" : "false");
+  if (violation.has_value()) {
+    os << ",\"violation\":{\"execution\":" << violation->execution
+       << ",\"delay_bound\":" << violation->delay_bound
+       << ",\"schedule_length\":" << violation->schedule.size()
+       << ",\"message\":\"" << JsonEscape(violation->message)
+       << "\",\"schedule\":[";
+    for (size_t i = 0; i < violation->schedule.size(); ++i) {
+      const ScheduleStep& s = violation->schedule[i];
+      if (i > 0) os << ",";
+      os << "\"" << JsonEscape(StrCat(s.from, " -> ", s.to, " ", s.kind))
+         << "\"";
+    }
+    os << "]}";
+  } else {
+    os << ",\"violation\":null";
+  }
+  os << "}";
+  return os.str();
+}
+
+ScheduleExplorer::ScheduleExplorer(SystemConfig config, ExploreOptions options)
+    : config_(std::move(config)), options_(options) {
+  config_.use_threads = false;
+  if (options_.check != CheckLevel::kNone) config_.record_snapshots = true;
+}
+
+Result<ExploreReport> ScheduleExplorer::Explore() {
+  if (!options_.iterative_deepening) {
+    return ExploreBound(options_.delay_bound, 0);
+  }
+  ExploreReport total;
+  for (int bound = 0; bound <= options_.delay_bound; ++bound) {
+    MVC_ASSIGN_OR_RETURN(ExploreReport r,
+                         ExploreBound(bound, total.executions));
+    total.executions += r.executions;
+    total.deliveries += r.deliveries;
+    total.truncated += r.truncated;
+    total.sleep_skips += r.sleep_skips;
+    total.bound_prunes += r.bound_prunes;
+    total.max_depth = std::max(total.max_depth, r.max_depth);
+    total.exhausted = r.exhausted;
+    if (r.violation.has_value()) {
+      total.violation = std::move(r.violation);
+      break;
+    }
+    // A fully explored bound with no prunes means larger bounds add no
+    // new schedules.
+    if (r.exhausted && r.bound_prunes == 0) break;
+    if (options_.max_executions > 0 &&
+        total.executions >= options_.max_executions) {
+      break;
+    }
+  }
+  return total;
+}
+
+Result<ExploreReport> ScheduleExplorer::ExploreBound(int bound,
+                                                     int64_t execution_base) {
+  ExploreReport report;
+  std::vector<Frame> stack;
+
+  for (;;) {
+    // --- One execution: rebuild the system, replay the frame prefix,
+    // then extend it with fresh DFS choices.
+    SystemConfig cfg = config_;
+    ExploringRuntime* rt = nullptr;
+    cfg.runtime_factory =
+        [&rt](const SystemConfig&) -> std::unique_ptr<Runtime> {
+      auto runtime = std::make_unique<ExploringRuntime>();
+      rt = runtime.get();
+      return runtime;
+    };
+    Result<std::unique_ptr<WarehouseSystem>> built =
+        WarehouseSystem::Build(std::move(cfg));
+    if (!built.ok()) return built.status();
+    WarehouseSystem& system = **built;
+
+    size_t depth = 0;
+    bool stopped = false;        // scheduler/observer ended the run early
+    bool exec_truncated = false; // ... because of the bound or step cap
+    Status violation = Status::OK();
+    std::vector<ScheduleStep> schedule;
+    size_t last_commits = 0;
+
+    rt->SetScheduler([&](const std::vector<ChoicePoint>& enabled) -> int64_t {
+      if (depth < stack.size()) {
+        // Replay segment: the prefix below the current DFS branch point.
+        Frame& f = stack[depth];
+        MVC_CHECK_EQ(f.enabled.size(), enabled.size())
+            << "non-deterministic rebuild at depth " << depth;
+        MVC_CHECK(f.enabled[f.chosen] == IdOf(enabled[f.chosen]))
+            << "non-deterministic rebuild at depth " << depth;
+        return static_cast<int64_t>(f.chosen);
+      }
+      // Fresh frame: record this state's choices and take the first
+      // branch that is affordable and not slept on.
+      Frame f;
+      f.enabled.reserve(enabled.size());
+      for (const ChoicePoint& c : enabled) f.enabled.push_back(IdOf(c));
+      if (!stack.empty()) {
+        const Frame& parent = stack.back();
+        f.cost_base = parent.cost_base + static_cast<int>(parent.chosen);
+        const TransitionId& taken = parent.enabled[parent.chosen];
+        for (const TransitionId& slept : parent.sleep) {
+          if (Independent(slept, taken)) f.sleep.insert(slept);
+        }
+      }
+      bool found = false;
+      for (size_t i = 0; i < f.enabled.size(); ++i) {
+        if (f.cost_base + static_cast<int>(i) > bound) {
+          ++report.bound_prunes;
+          exec_truncated = true;
+          break;
+        }
+        if (options_.sleep_sets && f.sleep.count(f.enabled[i]) > 0) {
+          ++report.sleep_skips;
+          continue;
+        }
+        f.chosen = i;
+        found = true;
+        break;
+      }
+      if (!found) {
+        stopped = true;
+        return ExploringRuntime::kStopRun;
+      }
+      stack.push_back(std::move(f));
+      return static_cast<int64_t>(stack.back().chosen);
+    });
+
+    rt->SetStepObserver([&](const ChoicePoint& c, int64_t) {
+      ++depth;
+      ++report.deliveries;
+      report.max_depth =
+          std::max(report.max_depth, static_cast<int64_t>(depth));
+      schedule.push_back(ScheduleStep{
+          c.from >= 0 ? rt->process(c.from)->name() : "?",
+          rt->process(c.to)->name(),
+          MessageKindToString(c.kind)});
+      if (static_cast<int64_t>(depth) >= options_.max_steps) {
+        stopped = true;
+        exec_truncated = true;
+        return false;
+      }
+      // Oracle re-entry: check every prefix that grew the commit chain.
+      const size_t commits = system.recorder().commits().size();
+      if (commits != last_commits) {
+        last_commits = commits;
+        Status verdict = RunPrefixOracle(system, options_.check);
+        if (!verdict.ok()) {
+          violation = verdict;
+          stopped = true;
+          return false;
+        }
+      }
+      return true;
+    });
+
+    system.Run();
+    ++report.executions;
+
+    if (!violation.ok()) {
+      report.violation = ExploreViolation{
+          violation.message(), std::move(schedule),
+          execution_base + report.executions - 1, bound};
+      return report;
+    }
+    if (exec_truncated) {
+      ++report.truncated;
+    } else if (!stopped) {
+      // Quiescent: the full-run oracle applies (adds final coverage /
+      // convergence on top of the prefix checks).
+      Status verdict = RunFinalOracle(system, options_.check);
+      if (!verdict.ok()) {
+        report.violation = ExploreViolation{
+            verdict.message(), std::move(schedule),
+            execution_base + report.executions - 1, bound};
+        return report;
+      }
+      if (observer_) observer_(system);
+    }
+
+    if (options_.max_executions > 0 &&
+        execution_base + report.executions >= options_.max_executions) {
+      return report;
+    }
+
+    // --- Backtrack to the next unexplored branch.
+    bool advanced = false;
+    while (!stack.empty() && !advanced) {
+      Frame& f = stack.back();
+      f.sleep.insert(f.enabled[f.chosen]);
+      size_t next = f.chosen + 1;
+      while (next < f.enabled.size()) {
+        if (f.cost_base + static_cast<int>(next) > bound) {
+          ++report.bound_prunes;
+          next = f.enabled.size();
+          break;
+        }
+        if (options_.sleep_sets && f.sleep.count(f.enabled[next]) > 0) {
+          ++report.sleep_skips;
+          ++next;
+          continue;
+        }
+        break;
+      }
+      if (next < f.enabled.size()) {
+        f.chosen = next;
+        advanced = true;
+      } else {
+        stack.pop_back();
+      }
+    }
+    if (!advanced) {
+      report.exhausted = true;
+      return report;
+    }
+  }
+}
+
+Result<ScheduleExplorer::ReplayResult> ScheduleExplorer::Replay(
+    SystemConfig config, const std::vector<ScheduleStep>& schedule,
+    CheckLevel check) {
+  config.use_threads = false;
+  if (check != CheckLevel::kNone) config.record_snapshots = true;
+  ExploringRuntime* rt = nullptr;
+  config.runtime_factory =
+      [&rt](const SystemConfig&) -> std::unique_ptr<Runtime> {
+    auto runtime = std::make_unique<ExploringRuntime>();
+    rt = runtime.get();
+    return runtime;
+  };
+  MVC_ASSIGN_OR_RETURN(std::unique_ptr<WarehouseSystem> system,
+                       WarehouseSystem::Build(std::move(config)));
+
+  ReplayResult result;
+  rt->SetTraceSink(
+      [&](const std::string& line) { result.trace.push_back(line); });
+  size_t next = 0;
+  Status match_error = Status::OK();
+  rt->SetScheduler([&](const std::vector<ChoicePoint>& enabled) -> int64_t {
+    if (next >= schedule.size()) return ExploringRuntime::kStopRun;
+    const ScheduleStep& step = schedule[next];
+    for (size_t i = 0; i < enabled.size(); ++i) {
+      const ChoicePoint& c = enabled[i];
+      if (rt->process(c.to)->name() != step.to) continue;
+      if (c.from < 0 || rt->process(c.from)->name() != step.from) continue;
+      if (MessageKindToString(c.kind) != step.kind) continue;
+      ++next;
+      return static_cast<int64_t>(i);
+    }
+    match_error = Status::InvalidArgument(
+        StrCat("replay step ", next + 1, " (", step.from, " -> ", step.to,
+               " ", step.kind,
+               ") matches no enabled delivery; wrong scenario or"
+               " non-deterministic config"));
+    return ExploringRuntime::kStopRun;
+  });
+  system->Run();
+  if (!match_error.ok()) return match_error;
+  if (next < schedule.size()) {
+    return Status::InvalidArgument(
+        StrCat("system quiesced after ", next, " of ", schedule.size(),
+               " replay steps"));
+  }
+  result.verdict = RunPrefixOracle(*system, check);
+  return result;
+}
+
+Status WriteCounterexampleFile(const std::string& path,
+                               const std::string& scenario_label,
+                               CheckLevel check,
+                               const ExploreViolation& violation) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument(StrCat("cannot write ", path));
+  }
+  out << "# mvc_explore counterexample\n";
+  out << "# scenario: " << scenario_label << "\n";
+  out << "# check: " << CheckLevelToString(check) << "\n";
+  // Multi-line oracle diagnostics become individual comment lines.
+  std::istringstream msg(violation.message);
+  std::string line;
+  bool first = true;
+  while (std::getline(msg, line)) {
+    out << (first ? "# violation: " : "#   ") << line << "\n";
+    first = false;
+  }
+  for (const ScheduleStep& step : violation.schedule) {
+    out << "deliver " << step.from << " -> " << step.to << " " << step.kind
+        << "\n";
+  }
+  out.flush();
+  if (!out) return Status::Internal(StrCat("short write to ", path));
+  return Status::OK();
+}
+
+Result<std::vector<ScheduleStep>> ReadCounterexampleFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound(StrCat("cannot read ", path));
+  std::vector<ScheduleStep> schedule;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string keyword, from, arrow, to, kind;
+    fields >> keyword >> from >> arrow >> to >> kind;
+    if (keyword != "deliver" || arrow != "->" || kind.empty()) {
+      return Status::InvalidArgument(
+          StrCat(path, ":", lineno, ": expected 'deliver <from> -> <to>",
+                 " <kind>', got '", line, "'"));
+    }
+    schedule.push_back(ScheduleStep{from, to, kind});
+  }
+  return schedule;
+}
+
+}  // namespace mvc

@@ -15,7 +15,7 @@
 #pragma once
 
 #include <map>
-#include <mutex>
+#include <mutex>  // mvc-lint: allow-sync -- durable state shared with ThreadRuntime workers
 #include <optional>
 #include <string>
 #include <vector>

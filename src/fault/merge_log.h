@@ -16,7 +16,7 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
+#include <mutex>  // mvc-lint: allow-sync -- durable state shared with ThreadRuntime workers
 #include <string>
 #include <vector>
 

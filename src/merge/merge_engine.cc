@@ -19,6 +19,32 @@ const char* MergeAlgorithmToString(MergeAlgorithm algorithm) {
   return "?";
 }
 
+const char* PaintMutationToString(PaintMutation mutation) {
+  switch (mutation) {
+    case PaintMutation::kNone:
+      return "none";
+    case PaintMutation::kSpaSkipWhiteGate:
+      return "spa-skip-white-gate";
+    case PaintMutation::kSpaSkipOrderGate:
+      return "spa-skip-order-gate";
+    case PaintMutation::kPaSkipWhiteGate:
+      return "pa-skip-white-gate";
+  }
+  return "?";
+}
+
+bool ParsePaintMutation(const std::string& text, PaintMutation* out) {
+  for (PaintMutation m :
+       {PaintMutation::kNone, PaintMutation::kSpaSkipWhiteGate,
+        PaintMutation::kSpaSkipOrderGate, PaintMutation::kPaSkipWhiteGate}) {
+    if (text == PaintMutationToString(m)) {
+      *out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
 MergeAlgorithm AlgorithmForLevels(const std::vector<uint8_t>& levels) {
   // Weakest manager decides (Section 6.3).
   uint8_t weakest = static_cast<uint8_t>(ConsistencyLevel::kComplete);
@@ -36,12 +62,13 @@ MergeAlgorithm AlgorithmForLevels(const std::vector<uint8_t>& levels) {
 
 std::unique_ptr<MergeEngine> MergeEngine::Create(MergeAlgorithm algorithm,
                                                  std::vector<ViewId> views,
-                                                 const IdRegistry* names) {
+                                                 const IdRegistry* names,
+                                                 PaintMutation mutation) {
   switch (algorithm) {
     case MergeAlgorithm::kSPA:
-      return std::make_unique<SpaEngine>(std::move(views), names);
+      return std::make_unique<SpaEngine>(std::move(views), names, mutation);
     case MergeAlgorithm::kPA:
-      return std::make_unique<PaEngine>(std::move(views), names);
+      return std::make_unique<PaEngine>(std::move(views), names, mutation);
     case MergeAlgorithm::kPassThrough:
       return std::make_unique<PassThroughEngine>(std::move(views), names);
   }
@@ -118,7 +145,7 @@ void PaintingEngineBase::DrainEarly(std::vector<WarehouseTransaction>* out) {
   bool progress = true;
   while (progress) {
     progress = false;
-    for (auto it = early_.begin(); it != early_.end() && !progress; ++it) {
+    for (auto it = early_.begin(); it != early_.end() && !progress;) {
       const UpdateId label = it->first;
       std::vector<ActionList>& list = it->second;
       for (size_t k = 0; k < list.size(); ++k) {
@@ -126,11 +153,12 @@ void PaintingEngineBase::DrainEarly(std::vector<WarehouseTransaction>* out) {
         if (HasEarlierBufferedAl(list[k].view, label)) continue;
         ActionList al = std::move(list[k]);
         list.erase(list.begin() + static_cast<ptrdiff_t>(k));
-        if (list.empty()) early_.erase(it);
+        if (list.empty()) early_.erase(it);  // `it` must not be touched after
         ProcessOne(std::move(al), out);
         progress = true;  // containers mutated; restart the scan
         break;
       }
+      if (!progress) ++it;
     }
   }
 }
@@ -167,12 +195,16 @@ void SpaEngine::DoProcessAction(ViewId view, UpdateId update,
 void SpaEngine::ProcessRow(UpdateId i,
                            std::vector<WarehouseTransaction>* out) {
   // Line 1: some action list for this row has not arrived yet.
-  if (vut_.RowHasWhite(i)) return;
+  if (mutation_ != PaintMutation::kSpaSkipWhiteGate && vut_.RowHasWhite(i)) {
+    return;
+  }
   // Line 2: a previous list from the same view manager is still pending;
   // lists from one manager must be applied in the order generated.
-  for (size_t x = 0; x < vut_.views().size(); ++x) {
-    if (vut_.color(i, x) == CellColor::kRed && vut_.HasEarlierRed(i, x)) {
-      return;
+  if (mutation_ != PaintMutation::kSpaSkipOrderGate) {
+    for (size_t x = 0; x < vut_.views().size(); ++x) {
+      if (vut_.color(i, x) == CellColor::kRed && vut_.HasEarlierRed(i, x)) {
+        return;
+      }
     }
   }
   // Line 3: paint the row gray.
@@ -243,7 +275,9 @@ bool PaEngine::ProcessRow(UpdateId i,
     return true;
   }
   // Line 2: waiting for some action list.
-  if (vut_.RowHasWhite(i)) return false;
+  if (mutation_ != PaintMutation::kPaSkipWhiteGate && vut_.RowHasWhite(i)) {
+    return false;
+  }
   // Line 3.
   apply_rows_.insert(i);
   // Line 4: previous red rows in this row's red columns must be applied

@@ -23,6 +23,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "merge/vut.h"
@@ -35,6 +36,31 @@ enum class MergeAlgorithm : uint8_t { kSPA = 0, kPA = 1, kPassThrough = 2 };
 
 const char* MergeAlgorithmToString(MergeAlgorithm algorithm);
 
+/// Deliberate bugs for the schedule explorer's self-test
+/// (tools/mvc_explore --self-test): each disables one gate the painting
+/// algorithms depend on, so a systematic search over delivery orders must
+/// find a schedule exposing the resulting MVC violation. Never set
+/// outside tests.
+enum class PaintMutation : uint8_t {
+  kNone = 0,
+  /// SPA ProcessRow line 1: apply a row without waiting for all its
+  /// action lists (violates on any schedule once one AL arrives).
+  kSpaSkipWhiteGate = 1,
+  /// SPA ProcessRow line 2: ignore earlier red rows in the row's
+  /// columns. Violates only under schedules where a later update's AL
+  /// completes a row while an earlier dependent row is still red —
+  /// i.e. the explorer has to *find* the bad interleaving.
+  kSpaSkipOrderGate = 2,
+  /// PA ProcessRow line 2: treat rows still waiting for action lists as
+  /// ready, committing partial waves.
+  kPaSkipWhiteGate = 3,
+};
+
+const char* PaintMutationToString(PaintMutation mutation);
+
+/// Accepts the ToString spellings ("none", "spa-skip-white-gate", ...).
+bool ParsePaintMutation(const std::string& text, PaintMutation* out);
+
 /// Picks the weakest-sufficient merge algorithm for a set of view-manager
 /// consistency levels (Section 6.3: use the algorithm matching the
 /// weakest manager).
@@ -44,9 +70,10 @@ class MergeEngine {
  public:
   virtual ~MergeEngine() = default;
 
-  static std::unique_ptr<MergeEngine> Create(MergeAlgorithm algorithm,
-                                             std::vector<ViewId> views,
-                                             const IdRegistry* names);
+  static std::unique_ptr<MergeEngine> Create(
+      MergeAlgorithm algorithm, std::vector<ViewId> views,
+      const IdRegistry* names,
+      PaintMutation mutation = PaintMutation::kNone);
 
   virtual MergeAlgorithm algorithm() const = 0;
 
@@ -77,8 +104,9 @@ class MergeEngine {
 /// Shared implementation for the two painting algorithms.
 class PaintingEngineBase : public MergeEngine {
  public:
-  PaintingEngineBase(std::vector<ViewId> views, const IdRegistry* names)
-      : vut_(std::move(views), names) {}
+  PaintingEngineBase(std::vector<ViewId> views, const IdRegistry* names,
+                     PaintMutation mutation = PaintMutation::kNone)
+      : vut_(std::move(views), names), mutation_(mutation) {}
 
   const ViewUpdateTable& vut() const override { return vut_; }
   size_t held_action_lists() const override { return held_; }
@@ -94,6 +122,7 @@ class PaintingEngineBase : public MergeEngine {
   /// arrive out of update order). Keyed by AL label.
   std::map<UpdateId, std::vector<ActionList>> early_;
   ViewUpdateTable vut_;
+  PaintMutation mutation_ = PaintMutation::kNone;
   size_t held_ = 0;
   /// Label of the last AL processed per column; guards the
   /// per-view-manager FIFO invariant the algorithms rely on. Indexed by
@@ -133,8 +162,9 @@ class PaintingEngineBase : public MergeEngine {
 
 class SpaEngine : public PaintingEngineBase {
  public:
-  SpaEngine(std::vector<ViewId> views, const IdRegistry* names)
-      : PaintingEngineBase(std::move(views), names) {}
+  SpaEngine(std::vector<ViewId> views, const IdRegistry* names,
+            PaintMutation mutation = PaintMutation::kNone)
+      : PaintingEngineBase(std::move(views), names, mutation) {}
 
   MergeAlgorithm algorithm() const override { return MergeAlgorithm::kSPA; }
 
@@ -153,8 +183,9 @@ class SpaEngine : public PaintingEngineBase {
 
 class PaEngine : public PaintingEngineBase {
  public:
-  PaEngine(std::vector<ViewId> views, const IdRegistry* names)
-      : PaintingEngineBase(std::move(views), names) {}
+  PaEngine(std::vector<ViewId> views, const IdRegistry* names,
+           PaintMutation mutation = PaintMutation::kNone)
+      : PaintingEngineBase(std::move(views), names, mutation) {}
 
   MergeAlgorithm algorithm() const override { return MergeAlgorithm::kPA; }
 

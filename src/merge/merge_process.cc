@@ -43,7 +43,8 @@ MergeProcess::MergeProcess(std::string name, std::vector<ViewId> views,
       options_(options),
       views_(std::move(views)),
       registry_(registry),
-      engine_(MergeEngine::Create(options.algorithm, views_, registry_)) {
+      engine_(MergeEngine::Create(options.algorithm, views_, registry_,
+                                  options.mutation)) {
   MVC_CHECK(registry_ != nullptr);
 }
 
@@ -168,7 +169,8 @@ void MergeProcess::OnCrashed() {
   awaiting_al_sync_.clear();
   replaying_ = false;
   resync_retries_done_ = 0;
-  engine_ = MergeEngine::Create(options_.algorithm, views_, registry_);
+  engine_ = MergeEngine::Create(options_.algorithm, views_, registry_,
+                                options_.mutation);
 }
 
 void MergeProcess::OnRecovered() {

@@ -57,6 +57,9 @@ struct MergeOptions {
   /// values serialize merge work and expose the bottleneck the paper
   /// proposes to study.
   TimeMicros process_delay = 0;
+  /// Deliberately broken paint rule for the explorer self-test; kNone in
+  /// every real configuration.
+  PaintMutation mutation = PaintMutation::kNone;
 };
 
 /// Statistics exposed for the benchmark harness.

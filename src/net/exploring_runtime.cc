@@ -1,0 +1,83 @@
+#include "net/exploring_runtime.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace mvc {
+
+ExploringRuntime::~ExploringRuntime() {
+  for (auto& [key, queue] : channels_) {
+    for (Queued& q : queue) delete q.msg;
+  }
+}
+
+void ExploringRuntime::Send(ProcessId from, ProcessId to, MessagePtr msg,
+                            TimeMicros send_delay) {
+  MVC_CHECK(to >= 0 && static_cast<size_t>(to) < processes_.size());
+  CountMessage(*msg);
+  std::deque<Queued>& queue = channels_[ChannelKey(from, to)];
+  Queued item{next_seq_++, 0, msg.release()};
+  if (from != to) {
+    // Network channel: FIFO in send order; the delay collapses to a
+    // scheduling choice, so it contributes nothing here.
+    queue.push_back(item);
+    return;
+  }
+  // Self channel: timers fire in deadline order (a short timer armed
+  // after a long one still fires first), deadlines measured on the
+  // logical step clock. Ties break by send order.
+  item.deadline = steps_ + send_delay;
+  auto pos = std::upper_bound(
+      queue.begin(), queue.end(), item, [](const Queued& a, const Queued& b) {
+        return a.deadline != b.deadline ? a.deadline < b.deadline
+                                        : a.seq < b.seq;
+      });
+  queue.insert(pos, item);
+}
+
+void ExploringRuntime::Run() {
+  if (!started_) {
+    started_ = true;
+    for (Process* p : processes_) p->OnStart();
+  }
+  std::vector<ChoicePoint> enabled;
+  std::vector<uint64_t> keys;
+  for (;;) {
+    enabled.clear();
+    keys.clear();
+    for (const auto& [key, queue] : channels_) {
+      if (queue.empty()) continue;
+      const Queued& head = queue.front();
+      enabled.push_back(ChoicePoint{static_cast<ProcessId>(key >> 32),
+                                    static_cast<ProcessId>(key & 0xffffffffu),
+                                    head.seq, head.msg->kind});
+      keys.push_back(key);
+    }
+    if (enabled.empty()) return;  // quiescent
+    int64_t index = 0;
+    if (scheduler_) {
+      index = scheduler_(enabled);
+      if (index < 0 || static_cast<size_t>(index) >= enabled.size()) return;
+    }
+    const ChoicePoint choice = enabled[static_cast<size_t>(index)];
+    std::deque<Queued>& queue = channels_[keys[static_cast<size_t>(index)]];
+    MessagePtr msg(queue.front().msg);
+    queue.pop_front();
+    ++steps_;
+    if (trace_) {
+      trace_(StrCat("step=", steps_, " ", RenderChoice(choice), " ",
+                    msg->Summary()));
+    }
+    processes_[choice.to]->Deliver(choice.from, std::move(msg));
+    if (observer_ && !observer_(choice, steps_)) return;
+  }
+}
+
+std::string ExploringRuntime::RenderChoice(const ChoicePoint& choice) const {
+  return StrCat(choice.from >= 0 ? processes_[choice.from]->name() : "?",
+                " -> ", processes_[choice.to]->name(), " ",
+                MessageKindToString(choice.kind));
+}
+
+}  // namespace mvc

@@ -1,0 +1,114 @@
+// Exploration runtime: scheduling decisions as explicit choice points.
+//
+// Where SimRuntime resolves delivery order with seeded latencies, the
+// ExploringRuntime abstracts time away entirely and exposes the real
+// nondeterminism of the asynchronous model: at every step, any non-empty
+// channel may deliver its head message next. A pluggable scheduler picks
+// the choice, which is what lets tools/mvc_explore enumerate delivery
+// interleavings systematically (DFS with a delay bound plus sleep-set
+// pruning) instead of sampling whatever schedules a latency seed happens
+// to produce.
+//
+// Semantics preserved from the other runtimes:
+//   * per-(sender, receiver) channels are FIFO — delivery order equals
+//     send order on every channel (the paper's ordered-channel model);
+//   * self messages are timers, ordered on the self channel by requested
+//     deadline (logical clock: one tick per delivery), not send order;
+//   * Run() ends at quiescence: every channel empty.
+// Send delays and latencies otherwise collapse to zero: any cross-channel
+// interleaving the scheduler picks corresponds to SOME assignment of
+// finite latencies, so every explored schedule is a feasible execution of
+// the asynchronous system.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/runtime.h"
+
+namespace mvc {
+
+/// One enabled scheduling choice: deliver the head message of the
+/// (from, to) channel. `msg_seq` is the message's global send sequence
+/// number — stable across re-executions of the same choice prefix, which
+/// is what the explorer's sleep sets key on.
+struct ChoicePoint {
+  ProcessId from = kInvalidProcess;
+  ProcessId to = kInvalidProcess;
+  uint64_t msg_seq = 0;
+  Message::Kind kind = Message::Kind::kTick;
+};
+
+class ExploringRuntime : public Runtime {
+ public:
+  /// Returned by a scheduler to end the run before quiescence.
+  static constexpr int64_t kStopRun = -1;
+
+  /// Given the enabled choices (sorted by (from, to); never empty),
+  /// returns the index of the choice to deliver next, or kStopRun.
+  using SchedulerFn = std::function<int64_t(const std::vector<ChoicePoint>&)>;
+
+  /// Called after every delivery with the delivered choice and the step
+  /// number (1-based). Return false to end the run.
+  using StepObserverFn = std::function<bool(const ChoicePoint&, int64_t)>;
+
+  ExploringRuntime() = default;
+  ~ExploringRuntime() override;
+
+  /// Defaults to always choosing index 0 (the lowest (from, to) channel).
+  void SetScheduler(SchedulerFn scheduler) {
+    scheduler_ = std::move(scheduler);
+  }
+  void SetStepObserver(StepObserverFn observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Delivery trace: one line per delivered message, same shape as
+  /// SimRuntime's ("step=3 vm-V1 -> merge-0 ActionList ...").
+  void SetTraceSink(std::function<void(const std::string&)> sink) {
+    trace_ = std::move(sink);
+  }
+
+  void Send(ProcessId from, ProcessId to, MessagePtr msg,
+            TimeMicros send_delay) override;
+
+  /// Logical clock: number of deliveries so far. Processes that stamp
+  /// times (the recorder, freshness stats) get step counts.
+  TimeMicros Now() const override { return steps_; }
+
+  void Run() override;
+
+  int64_t steps() const { return steps_; }
+
+  /// "vm-V1 -> merge-0 ActionList" — names resolved via the registry of
+  /// processes; used for counterexample files and traces.
+  std::string RenderChoice(const ChoicePoint& choice) const;
+
+ private:
+  struct Queued {
+    uint64_t seq;          // global send order
+    TimeMicros deadline;   // self channel only: send step + delay
+    Message* msg;          // owned; released on delivery
+  };
+
+  static uint64_t ChannelKey(ProcessId from, ProcessId to) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+           static_cast<uint32_t>(to);
+  }
+
+  /// Channels in key order so the enabled list is deterministic.
+  std::map<uint64_t, std::deque<Queued>> channels_;
+  SchedulerFn scheduler_;
+  StepObserverFn observer_;
+  std::function<void(const std::string&)> trace_;
+  uint64_t next_seq_ = 0;
+  int64_t steps_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace mvc

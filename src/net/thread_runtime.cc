@@ -128,7 +128,14 @@ void ThreadRuntime::Run() {
     stopping_ = true;
   }
   dispatch_cv_.notify_all();
-  for (auto& box : mailboxes_) box->cv.notify_all();
+  for (auto& box : mailboxes_) {
+    // Notify under the mailbox lock: a worker that evaluated its wait
+    // predicate before stopping_ was set but has not blocked yet still
+    // holds box.mu, so an unlocked notify here could land in that window
+    // and be lost, leaving the worker asleep forever.
+    std::lock_guard<std::mutex> box_lock(box->mu);
+    box->cv.notify_all();
+  }
   dispatcher_.join();
   for (std::thread& t : workers_) t.join();
   workers_.clear();

@@ -3,7 +3,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -101,6 +103,12 @@ struct SystemConfig {
   bool record_snapshots = true;
   /// Run on real threads instead of the deterministic simulator.
   bool use_threads = false;
+  /// Test/explorer hook: when set, Wire() takes the runtime from this
+  /// factory instead of constructing a SimRuntime/ThreadRuntime (the
+  /// schedule explorer installs an ExploringRuntime per re-execution).
+  /// Called once, before any process registers.
+  std::function<std::unique_ptr<Runtime>(const SystemConfig&)>
+      runtime_factory;
 
   // --- Workload ---
   std::vector<Injection> workload;

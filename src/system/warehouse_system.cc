@@ -159,7 +159,10 @@ Status WarehouseSystem::Wire(SystemConfig config) {
                                        config_.fault.enabled();
 
   // --- Runtime ---
-  if (config_.use_threads) {
+  if (config_.runtime_factory) {
+    runtime_ = config_.runtime_factory(config_);
+    MVC_CHECK(runtime_ != nullptr);
+  } else if (config_.use_threads) {
     runtime_ = std::make_unique<ThreadRuntime>(config_.seed, config_.latency);
   } else {
     runtime_ = std::make_unique<SimRuntime>(config_.seed, config_.latency);

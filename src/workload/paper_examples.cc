@@ -70,6 +70,19 @@ SystemConfig Table1Scenario() {
   return config;
 }
 
+SystemConfig Table1RaceScenario() {
+  SystemConfig config = Table1Scenario();
+  // U2 touches only V2, U1 (the Table 1 update) touches V1 and V2: a
+  // schedule that completes U2's row while U1's row still waits on
+  // vm-V1's action list probes the SPA ordering gate.
+  Injection u2;
+  u2.at = 2000;
+  u2.source = "src1";
+  u2.updates = {Update::Insert("src1", "T", Tuple{3, 9})};
+  config.workload.push_back(u2);
+  return config;
+}
+
 SystemConfig Example3Scenario() {
   SystemConfig config = PaperBaseConfig();
   config.initial_data["R"] = {Tuple{1, 2}};

@@ -30,6 +30,12 @@ ViewDefinition PaperV3();       // Q
 /// single update inserts [2,3] into S. Views V1 and V2.
 SystemConfig Table1Scenario();
 
+/// Table 1's update plus a second insert into T from src1 — the smallest
+/// scenario where dependent updates originate at different sources, so
+/// the two action-list streams into the merge process can race. The
+/// schedule explorer's tests and mvc_explore --self-test build on it.
+SystemConfig Table1RaceScenario();
+
 /// Example 3's update stream (U1 on S, U2 on Q, U3 on T) over views
 /// V1, V2, V3, with initial data making every delta non-empty.
 SystemConfig Example3Scenario();

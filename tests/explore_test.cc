@@ -1,0 +1,346 @@
+// Tests for the schedule-exploration layer: the ExploringRuntime's
+// choice-point semantics, the DFS explorer's coverage of the paper
+// examples, mutation detection with replayable counterexamples, and the
+// effectiveness of sleep-set pruning.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consistency/checker.h"
+#include "explore/schedule_explorer.h"
+#include "net/exploring_runtime.h"
+#include "net/protocol.h"
+#include "system/warehouse_system.h"
+#include "workload/paper_examples.h"
+
+namespace mvc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ExploringRuntime unit tests.
+
+/// Records (from, tag) for every delivered tick.
+class TagRecorder : public Process {
+ public:
+  explicit TagRecorder(std::string name) : Process(std::move(name)) {}
+
+  void OnMessage(ProcessId from, MessagePtr msg) override {
+    ASSERT_EQ(msg->kind, Message::Kind::kTick);
+    log.emplace_back(from, static_cast<TickMsg*>(msg.get())->tag);
+  }
+
+  std::vector<std::pair<ProcessId, int64_t>> log;
+};
+
+/// Sends `count` tagged ticks to `target` at start.
+class TagSender : public Process {
+ public:
+  TagSender(std::string name, ProcessId target, int64_t base, int count)
+      : Process(std::move(name)), target_(target), base_(base), count_(count) {}
+
+  void OnStart() override {
+    for (int i = 0; i < count_; ++i) {
+      auto tick = std::make_unique<TickMsg>();
+      tick->tag = base_ + i;
+      Send(target_, std::move(tick));
+    }
+  }
+  void OnMessage(ProcessId, MessagePtr) override {}
+
+ private:
+  ProcessId target_;
+  int64_t base_;
+  int count_;
+};
+
+TEST(ExploringRuntimeTest, DefaultSchedulerDrainsToQuiescence) {
+  ExploringRuntime rt;
+  TagRecorder recorder("recorder");
+  ProcessId rid = rt.Register(&recorder);
+  TagSender sender("sender", rid, 0, 4);
+  rt.Register(&sender);
+  rt.Run();
+  ASSERT_EQ(recorder.log.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(recorder.log[size_t(i)].second, i);
+  EXPECT_EQ(rt.steps(), 4);
+}
+
+TEST(ExploringRuntimeTest, ChannelsStayFifoUnderAdversarialScheduler) {
+  ExploringRuntime rt;
+  TagRecorder recorder("recorder");
+  ProcessId rid = rt.Register(&recorder);
+  TagSender a("a", rid, 0, 3);
+  TagSender b("b", rid, 100, 3);
+  ProcessId aid = rt.Register(&a);
+  ProcessId bid = rt.Register(&b);
+  // Always pick the LAST enabled choice: reverses inter-channel order but
+  // must not reorder within a channel.
+  rt.SetScheduler([](const std::vector<ChoicePoint>& enabled) {
+    return static_cast<int64_t>(enabled.size()) - 1;
+  });
+  rt.Run();
+  ASSERT_EQ(recorder.log.size(), 6u);
+  std::vector<int64_t> from_a, from_b;
+  for (const auto& [from, tag] : recorder.log) {
+    if (from == aid) from_a.push_back(tag);
+    if (from == bid) from_b.push_back(tag);
+  }
+  EXPECT_EQ(from_a, (std::vector<int64_t>{0, 1, 2}));
+  EXPECT_EQ(from_b, (std::vector<int64_t>{100, 101, 102}));
+}
+
+/// Schedules two self timers with inverted delays at start.
+class TimerProcess : public Process {
+ public:
+  explicit TimerProcess(std::string name) : Process(std::move(name)) {}
+
+  void OnStart() override {
+    auto late = std::make_unique<TickMsg>();
+    late->tag = 2;
+    ScheduleSelf(std::move(late), 50);
+    auto soon = std::make_unique<TickMsg>();
+    soon->tag = 1;
+    ScheduleSelf(std::move(soon), 10);
+  }
+  void OnMessage(ProcessId, MessagePtr msg) override {
+    order.push_back(static_cast<TickMsg*>(msg.get())->tag);
+  }
+
+  std::vector<int64_t> order;
+};
+
+TEST(ExploringRuntimeTest, SelfTimersDeliverByDeadlineNotSendOrder) {
+  ExploringRuntime rt;
+  TimerProcess timer("timer");
+  rt.Register(&timer);
+  rt.Run();
+  EXPECT_EQ(timer.order, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(ExploringRuntimeTest, SchedulerCanStopRunEarly) {
+  ExploringRuntime rt;
+  TagRecorder recorder("recorder");
+  ProcessId rid = rt.Register(&recorder);
+  TagSender sender("sender", rid, 0, 5);
+  rt.Register(&sender);
+  int64_t seen = 0;
+  rt.SetScheduler([&](const std::vector<ChoicePoint>&) {
+    return ++seen > 2 ? ExploringRuntime::kStopRun : 0;
+  });
+  rt.Run();
+  EXPECT_EQ(recorder.log.size(), 2u);
+}
+
+TEST(ExploringRuntimeTest, TraceSinkSeesEveryDelivery) {
+  ExploringRuntime rt;
+  TagRecorder recorder("recorder");
+  ProcessId rid = rt.Register(&recorder);
+  TagSender sender("sender", rid, 0, 3);
+  rt.Register(&sender);
+  std::vector<std::string> lines;
+  rt.SetTraceSink([&](const std::string& line) { lines.push_back(line); });
+  rt.Run();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("sender -> recorder"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Explorer coverage of the paper examples: the MVC guarantees must hold
+// under EVERY delivery interleaving within the bound, not just the
+// latency-sampled ones the simulator happens to produce.
+
+ExploreReport MustExplore(SystemConfig config, ExploreOptions options) {
+  ScheduleExplorer explorer(std::move(config), options);
+  auto report = explorer.Explore();
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return *report;
+}
+
+TEST(ScheduleExplorerTest, Table1HoldsUnderAllSchedulesWithinBound) {
+  ExploreOptions opt;
+  opt.delay_bound = 2;
+  opt.check = CheckLevel::kComplete;
+  ExploreReport report = MustExplore(Table1Scenario(), opt);
+  EXPECT_FALSE(report.violation.has_value())
+      << report.violation->message;
+  EXPECT_TRUE(report.exhausted);
+  EXPECT_GT(report.executions, 1);
+}
+
+TEST(ScheduleExplorerTest, Table1RaceHoldsUnmutated) {
+  ExploreOptions opt;
+  opt.delay_bound = 3;
+  opt.check = CheckLevel::kComplete;
+  ExploreReport report = MustExplore(Table1RaceScenario(), opt);
+  EXPECT_FALSE(report.violation.has_value())
+      << report.violation->message;
+  EXPECT_GT(report.executions, 10);
+}
+
+TEST(ScheduleExplorerTest, Example3HoldsUnderAllSchedulesWithinBound) {
+  ExploreOptions opt;
+  opt.delay_bound = 2;
+  opt.check = CheckLevel::kComplete;
+  ExploreReport report = MustExplore(Example3Scenario(), opt);
+  EXPECT_FALSE(report.violation.has_value())
+      << report.violation->message;
+  EXPECT_TRUE(report.exhausted);
+}
+
+TEST(ScheduleExplorerTest, Example5HoldsUnderAllSchedulesWithinBound) {
+  SystemConfig config = Example5Scenario();
+  for (const auto& def : config.views) {
+    config.manager_kinds[def.name] = ManagerKind::kStrong;
+  }
+  ExploreOptions opt;
+  opt.delay_bound = 1;
+  opt.check = CheckLevel::kStrong;
+  ExploreReport report = MustExplore(std::move(config), opt);
+  EXPECT_FALSE(report.violation.has_value())
+      << report.violation->message;
+}
+
+TEST(ScheduleExplorerTest, DeriveCheckLevelMatchesScenario) {
+  EXPECT_EQ(DeriveCheckLevel(Table1Scenario()), CheckLevel::kComplete);
+  SystemConfig strong = Example5Scenario();
+  for (const auto& def : strong.views) {
+    strong.manager_kinds[def.name] = ManagerKind::kStrong;
+  }
+  EXPECT_EQ(DeriveCheckLevel(strong), CheckLevel::kStrong);
+}
+
+// ---------------------------------------------------------------------------
+// Mutation detection: deliberately broken paint rules must be caught,
+// with a small, replayable counterexample.
+
+TEST(ScheduleExplorerTest, DetectsSpaOrderGateMutation) {
+  SystemConfig config = Table1RaceScenario();
+  config.merge.mutation = PaintMutation::kSpaSkipOrderGate;
+  ExploreOptions opt;
+  opt.delay_bound = 6;
+  opt.iterative_deepening = true;
+  opt.max_steps = 500;
+  opt.check = CheckLevel::kComplete;
+  ExploreReport report = MustExplore(config, opt);
+  ASSERT_TRUE(report.violation.has_value())
+      << "mutated SPA survived " << report.executions << " executions";
+  EXPECT_LE(report.violation->schedule.size(), 20u);
+
+  // The recorded schedule must reproduce the violation on a fresh system.
+  auto replay = ScheduleExplorer::Replay(config, report.violation->schedule,
+                                         CheckLevel::kComplete);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_FALSE(replay->verdict.ok());
+  EXPECT_EQ(replay->trace.size(), report.violation->schedule.size());
+
+  // And the unmutated system must pass the very same schedule.
+  SystemConfig clean = Table1RaceScenario();
+  auto clean_replay = ScheduleExplorer::Replay(
+      clean, report.violation->schedule, CheckLevel::kComplete);
+  if (clean_replay.ok()) {
+    EXPECT_TRUE(clean_replay->verdict.ok())
+        << clean_replay->verdict.ToString();
+  }
+}
+
+TEST(ScheduleExplorerTest, DetectsPaWhiteGateMutation) {
+  SystemConfig config = Table1RaceScenario();
+  for (const auto& def : config.views) {
+    config.manager_kinds[def.name] = ManagerKind::kStrong;
+  }
+  config.merge.mutation = PaintMutation::kPaSkipWhiteGate;
+  ExploreOptions opt;
+  opt.delay_bound = 2;
+  opt.max_steps = 500;
+  opt.check = CheckLevel::kStrong;
+  ExploreReport report = MustExplore(config, opt);
+  ASSERT_TRUE(report.violation.has_value());
+  EXPECT_LE(report.violation->schedule.size(), 20u);
+}
+
+TEST(ScheduleExplorerTest, CounterexampleFileRoundTrips) {
+  SystemConfig config = Table1RaceScenario();
+  config.merge.mutation = PaintMutation::kSpaSkipOrderGate;
+  ExploreOptions opt;
+  opt.delay_bound = 6;
+  opt.max_steps = 500;
+  opt.check = CheckLevel::kComplete;
+  ExploreReport report = MustExplore(config, opt);
+  ASSERT_TRUE(report.violation.has_value());
+
+  std::string path = ::testing::TempDir() + "/explore_test_cx.sched";
+  ASSERT_TRUE(WriteCounterexampleFile(path, "table1-race",
+                                      CheckLevel::kComplete,
+                                      *report.violation)
+                  .ok());
+  auto loaded = ReadCounterexampleFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), report.violation->schedule.size());
+  for (size_t i = 0; i < loaded->size(); ++i) {
+    EXPECT_EQ((*loaded)[i].from, report.violation->schedule[i].from);
+    EXPECT_EQ((*loaded)[i].to, report.violation->schedule[i].to);
+    EXPECT_EQ((*loaded)[i].kind, report.violation->schedule[i].kind);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ScheduleExplorerTest, ReplayIsDeterministic) {
+  SystemConfig config = Table1RaceScenario();
+  config.merge.mutation = PaintMutation::kSpaSkipOrderGate;
+  ExploreOptions opt;
+  opt.delay_bound = 6;
+  opt.max_steps = 500;
+  opt.check = CheckLevel::kComplete;
+  ExploreReport report = MustExplore(config, opt);
+  ASSERT_TRUE(report.violation.has_value());
+
+  auto first = ScheduleExplorer::Replay(config, report.violation->schedule,
+                                        CheckLevel::kComplete);
+  auto second = ScheduleExplorer::Replay(config, report.violation->schedule,
+                                         CheckLevel::kComplete);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(first->verdict.ToString(), second->verdict.ToString());
+  EXPECT_EQ(first->trace, second->trace);
+}
+
+// Sleep sets must prune commuting interleavings without changing the
+// verdict: fewer executions, same (clean) outcome, still exhaustive.
+TEST(ScheduleExplorerTest, SleepSetsPruneWithoutChangingVerdict) {
+  ExploreOptions with;
+  with.delay_bound = 2;
+  with.iterative_deepening = false;
+  with.check = CheckLevel::kComplete;
+  ExploreOptions without = with;
+  without.sleep_sets = false;
+
+  ExploreReport pruned = MustExplore(Table1Scenario(), with);
+  ExploreReport full = MustExplore(Table1Scenario(), without);
+  EXPECT_FALSE(pruned.violation.has_value());
+  EXPECT_FALSE(full.violation.has_value());
+  EXPECT_TRUE(pruned.exhausted);
+  EXPECT_TRUE(full.exhausted);
+  EXPECT_LT(pruned.executions, full.executions);
+  EXPECT_GT(pruned.sleep_skips, 0);
+}
+
+// ---------------------------------------------------------------------------
+// CheckPrefix: the prefix oracle drops only the final-coverage clause.
+
+TEST(ScheduleExplorerTest, CheckPrefixAcceptsCompleteRun) {
+  SystemConfig config = Table1Scenario();
+  auto system = WarehouseSystem::Build(std::move(config));
+  ASSERT_TRUE(system.ok());
+  (*system)->Run();
+  ConsistencyChecker checker = (*system)->MakeChecker();
+  EXPECT_TRUE(checker.CheckComplete((*system)->recorder()).ok());
+  EXPECT_TRUE(
+      checker.CheckPrefix((*system)->recorder(), /*require_single_steps=*/true)
+          .ok());
+}
+
+}  // namespace
+}  // namespace mvc

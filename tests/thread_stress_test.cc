@@ -1,0 +1,149 @@
+// ThreadRuntime stress tests aimed at the thread sanitizer.
+//
+// These run hot loops over the real-thread runtime — many short Run()
+// cycles (each one exercises startup, quiescence detection, and the
+// teardown wakeup path) plus full warehouse scenarios with contended
+// channels — so TSan gets a wide set of interleavings to inspect.
+// They are only registered when the tree is built with
+// MVC_SANITIZE=thread (the `tsan` preset); see tests/CMakeLists.txt.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "consistency/checker.h"
+#include "net/protocol.h"
+#include "net/thread_runtime.h"
+#include "system/warehouse_system.h"
+#include "workload/generator.h"
+#include "workload/paper_examples.h"
+
+namespace mvc {
+namespace {
+
+/// Forwards each tick along a ring of processes until its tag hits zero,
+/// so every delivery re-arms another contended channel.
+class RingHop : public Process {
+ public:
+  RingHop(std::string name, int ring_size, std::atomic<int64_t>* hops)
+      : Process(std::move(name)), ring_size_(ring_size), hops_(hops) {}
+
+  void OnMessage(ProcessId, MessagePtr msg) override {
+    auto* tick = static_cast<TickMsg*>(msg.get());
+    hops_->fetch_add(1, std::memory_order_relaxed);
+    if (tick->tag <= 0) return;
+    auto next = std::make_unique<TickMsg>();
+    next->tag = tick->tag - 1;
+    Send((id() + 1) % ring_size_, std::move(next));
+  }
+
+ private:
+  int ring_size_;
+  std::atomic<int64_t>* hops_;
+};
+
+/// Seeds the ring with several concurrent tokens at start.
+class RingSeeder : public RingHop {
+ public:
+  RingSeeder(std::string name, int ring_size, int tokens, int64_t hops_each,
+             std::atomic<int64_t>* hops)
+      : RingHop(std::move(name), ring_size, hops),
+        tokens_(tokens),
+        hops_each_(hops_each) {}
+
+  void OnStart() override {
+    for (int t = 0; t < tokens_; ++t) {
+      auto tick = std::make_unique<TickMsg>();
+      tick->tag = hops_each_;
+      Send(id(), std::move(tick));
+    }
+  }
+
+ private:
+  int tokens_;
+  int64_t hops_each_;
+};
+
+// Many tokens circulating a ring: every process is simultaneously a
+// sender and a receiver, so mailbox locks, the dispatcher heap, and the
+// in-flight counter all stay contended until quiescence.
+TEST(ThreadStressTest, TokenRingUnderContention) {
+  constexpr int kRing = 8;
+  constexpr int kTokens = 6;
+  constexpr int64_t kHops = 200;
+  std::atomic<int64_t> hops{0};
+
+  ThreadRuntime runtime(7, LatencyModel::Uniform(0, 50));
+  std::vector<std::unique_ptr<Process>> procs;
+  for (int i = 0; i < kRing; ++i) {
+    if (i == 0) {
+      procs.push_back(std::make_unique<RingSeeder>("seed", kRing, kTokens,
+                                                   kHops, &hops));
+    } else {
+      procs.push_back(
+          std::make_unique<RingHop>("hop" + std::to_string(i), kRing, &hops));
+    }
+    runtime.Register(procs.back().get());
+  }
+  runtime.Run();
+  EXPECT_EQ(hops.load(), kTokens * (kHops + 1));
+}
+
+// Repeated short Run() cycles: each one walks the full start / quiesce /
+// teardown sequence, which is where the stopping_ handshake with the
+// worker condition variables lives.
+TEST(ThreadStressTest, RepeatedRunCyclesExerciseTeardown) {
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> hops{0};
+    ThreadRuntime runtime(static_cast<uint64_t>(round + 1));
+    RingSeeder seeder("seed", 3, 2, 5, &hops);
+    RingHop h1("hop1", 3, &hops);
+    RingHop h2("hop2", 3, &hops);
+    runtime.Register(&seeder);
+    runtime.Register(&h1);
+    runtime.Register(&h2);
+    runtime.Run();
+    EXPECT_EQ(hops.load(), 2 * 6);
+  }
+}
+
+// Full warehouse pipeline on real threads: sources, integrator, view
+// managers, and the merge process all run concurrently, and the MVC
+// checker must still pass at the end.
+TEST(ThreadStressTest, GeneratedWorkloadOnThreadsIsConsistent) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    WorkloadSpec spec;
+    spec.seed = seed;
+    spec.num_transactions = 25;
+    spec.num_views = 3;
+    spec.mean_interarrival = 300;
+    auto config = GenerateScenario(spec);
+    ASSERT_TRUE(config.ok());
+    config->use_threads = true;
+    config->latency = LatencyModel::Uniform(0, 200);
+    auto system = WarehouseSystem::Build(std::move(*config));
+    ASSERT_TRUE(system.ok());
+    (*system)->Run();
+    ConsistencyChecker checker = (*system)->MakeChecker();
+    EXPECT_TRUE(checker.CheckComplete((*system)->recorder()).ok())
+        << checker.CheckComplete((*system)->recorder());
+  }
+}
+
+// Paper scenario end-to-end on threads with jittered latencies.
+TEST(ThreadStressTest, Table1RaceScenarioOnThreads) {
+  SystemConfig config = Table1RaceScenario();
+  config.use_threads = true;
+  config.latency = LatencyModel::Uniform(0, 500);
+  auto system = WarehouseSystem::Build(std::move(config));
+  ASSERT_TRUE(system.ok());
+  (*system)->Run();
+  ConsistencyChecker checker = (*system)->MakeChecker();
+  EXPECT_TRUE(checker.CheckComplete((*system)->recorder()).ok())
+      << checker.CheckComplete((*system)->recorder());
+}
+
+}  // namespace
+}  // namespace mvc

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Project lint pass. Two layers:
+#
+#  1. clang-tidy (when installed) over src/ and tools/ with the checks
+#     configured in .clang-tidy; any finding fails the script.
+#  2. Actor discipline, always on: processes communicate only by message
+#     passing, so no file under src/ outside src/net/ — and no CLI under
+#     tools/ — may include a synchronization header (<thread>, <mutex>,
+#     <atomic>, <condition_variable>, ...). Deliberate exceptions carry
+#     an `mvc-lint: allow-sync` comment on the include line, with the
+#     reason. Tests and benches are harness code and are exempt.
+#
+# Usage: tools/lint.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- Layer 1: clang-tidy -------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ ! -f build/compile_commands.json ]; then
+    cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+  mapfile -t sources < <(find src tools -name '*.cc' -o -name '*.cpp' | sort)
+  if ! clang-tidy -p build --quiet "${sources[@]}"; then
+    echo "lint: clang-tidy reported findings" >&2
+    fail=1
+  fi
+else
+  echo "lint: clang-tidy not installed; skipping static checks"
+fi
+
+# --- Layer 2: actor discipline -------------------------------------------
+pattern='^[[:space:]]*#[[:space:]]*include[[:space:]]*<(thread|mutex|shared_mutex|atomic|condition_variable|future|semaphore|barrier|latch|stop_token)>'
+violations=$(grep -RInE "$pattern" src tools \
+  --include='*.h' --include='*.cc' --include='*.cpp' 2>/dev/null \
+  | grep -v '^src/net/' \
+  | grep -v 'mvc-lint: allow-sync' || true)
+if [ -n "$violations" ]; then
+  {
+    echo "lint: synchronization header outside src/net/. Actor code must"
+    echo "      use message passing; annotate a deliberate exception with"
+    echo "      'mvc-lint: allow-sync -- <reason>' on the include line:"
+    echo "$violations"
+  } >&2
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "lint: OK"

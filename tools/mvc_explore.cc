@@ -1,0 +1,462 @@
+// mvc_explore — systematic schedule exploration for the warehouse
+// system (see docs/ANALYSIS.md).
+//
+// Enumerates message-delivery interleavings of a scenario up to a delay
+// bound, running the consistency oracle after every delivery, and emits
+// a replayable counterexample schedule when a violation is found.
+//
+//   mvc_explore --example table1-race --delay-bound 3
+//   mvc_explore --scenario examples/dashboard.mvc --delay-bound 1 --json
+//   mvc_explore --self-test          # explorer finds injected paint bugs
+//   mvc_explore --example table1-race --mutation spa-skip-order-gate
+//       --cx-out /tmp/bug.sched --trace
+//   mvc_explore ... --replay /tmp/bug.sched
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+#include "explore/schedule_explorer.h"
+#include "merge/merge_engine.h"
+#include "parser/scenario_parser.h"
+#include "workload/paper_examples.h"
+
+namespace mvc {
+namespace {
+
+struct Flags {
+  std::string scenario_file;
+  std::string example;
+  std::string managers;  // optional override, mvc_sim spelling
+  int delay_bound = 2;
+  int64_t max_executions = 200000;
+  int64_t max_steps = 10000;
+  bool no_sleep_sets = false;
+  bool no_deepening = false;
+  std::string check = "auto";
+  std::string mutation = "none";
+  std::string cx_out;
+  std::string replay_file;
+  bool json = false;
+  bool trace = false;
+  bool self_test = false;
+};
+
+void Usage() {
+  std::cout <<
+      "mvc_explore: enumerate delivery schedules, check MVC on each\n\n"
+      "Scenario (pick one):\n"
+      "  --scenario FILE         a .mvc scenario file (see examples/)\n"
+      "  --example NAME          table1|table1-race|example3|example5\n"
+      "  --self-test             verify the explorer catches deliberately\n"
+      "                          broken SPA/PA paint rules (ignores the\n"
+      "                          scenario flags)\n\n"
+      "Search bounds:\n"
+      "  --delay-bound N         max scheduling deviations per execution\n"
+      "                          (default 2)\n"
+      "  --max-executions N      stop after N executions (default 200000)\n"
+      "  --max-steps N           per-execution delivery cap (default\n"
+      "                          10000)\n"
+      "  --no-sleep-sets         disable partial-order pruning\n"
+      "  --no-deepening          single search at --delay-bound instead\n"
+      "                          of iterative deepening 0..bound\n\n"
+      "Oracle / output:\n"
+      "  --check LEVEL           auto|complete|strong|convergent|none\n"
+      "  --managers KIND         override every view's manager kind\n"
+      "                          (complete|strong|periodic|convergent)\n"
+      "  --mutation M            inject a paint-rule bug: none|\n"
+      "                          spa-skip-white-gate|spa-skip-order-gate|\n"
+      "                          pa-skip-white-gate\n"
+      "  --cx-out FILE           write the counterexample schedule here\n"
+      "  --replay FILE           replay a counterexample file instead of\n"
+      "                          exploring; prints its trace and verdict\n"
+      "  --trace                 print the counterexample's paper-style\n"
+      "                          trace on violation\n"
+      "  --json                  machine-readable summary on stdout\n\n"
+      "Exit status: 0 no violation, 1 violation found, 2 usage/build\n"
+      "error. (--replay exits 0 when the replayed schedule violates as\n"
+      "recorded.)\n";
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      Usage();
+      std::exit(0);
+    } else if (arg == "--scenario") {
+      flags->scenario_file = next();
+    } else if (arg == "--example") {
+      flags->example = next();
+    } else if (arg == "--managers") {
+      flags->managers = next();
+    } else if (arg == "--delay-bound") {
+      flags->delay_bound = std::atoi(next());
+    } else if (arg == "--max-executions") {
+      flags->max_executions = std::atoll(next());
+    } else if (arg == "--max-steps") {
+      flags->max_steps = std::atoll(next());
+    } else if (arg == "--no-sleep-sets") {
+      flags->no_sleep_sets = true;
+    } else if (arg == "--no-deepening") {
+      flags->no_deepening = true;
+    } else if (arg == "--check") {
+      flags->check = next();
+    } else if (arg == "--mutation") {
+      flags->mutation = next();
+    } else if (arg == "--cx-out") {
+      flags->cx_out = next();
+    } else if (arg == "--replay") {
+      flags->replay_file = next();
+    } else if (arg == "--json") {
+      flags->json = true;
+    } else if (arg == "--trace") {
+      flags->trace = true;
+    } else if (arg == "--self-test") {
+      flags->self_test = true;
+    } else {
+      std::cerr << "unknown flag " << arg << " (see --help)\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<SystemConfig> BuildConfig(const Flags& flags) {
+  SystemConfig config;
+  if (!flags.scenario_file.empty()) {
+    MVC_ASSIGN_OR_RETURN(config, ParseScenarioFile(flags.scenario_file));
+  } else if (flags.example == "table1") {
+    config = Table1Scenario();
+  } else if (flags.example == "table1-race") {
+    config = Table1RaceScenario();
+  } else if (flags.example == "example3") {
+    config = Example3Scenario();
+  } else if (flags.example == "example5") {
+    config = Example5Scenario();
+  } else if (flags.example.empty()) {
+    return Status::InvalidArgument(
+        "pick a scenario: --scenario FILE, --example NAME, or --self-test");
+  } else {
+    return Status::InvalidArgument("bad --example " + flags.example);
+  }
+  if (!flags.managers.empty()) {
+    ManagerKind kind;
+    if (flags.managers == "complete") {
+      kind = ManagerKind::kComplete;
+    } else if (flags.managers == "strong") {
+      kind = ManagerKind::kStrong;
+    } else if (flags.managers == "periodic") {
+      kind = ManagerKind::kPeriodic;
+    } else if (flags.managers == "convergent") {
+      kind = ManagerKind::kConvergent;
+    } else {
+      return Status::InvalidArgument("bad --managers " + flags.managers);
+    }
+    for (const ViewDefinition& def : config.views) {
+      config.manager_kinds[def.name] = kind;
+    }
+  }
+  PaintMutation mutation;
+  if (!ParsePaintMutation(flags.mutation, &mutation)) {
+    return Status::InvalidArgument("bad --mutation " + flags.mutation);
+  }
+  config.merge.mutation = mutation;
+  return config;
+}
+
+Result<CheckLevel> ResolveCheck(const Flags& flags,
+                                const SystemConfig& config) {
+  if (flags.check == "auto") return DeriveCheckLevel(config);
+  CheckLevel level;
+  if (!ParseCheckLevel(flags.check, &level)) {
+    return Status::InvalidArgument("bad --check " + flags.check);
+  }
+  return level;
+}
+
+ExploreOptions MakeOptions(const Flags& flags, CheckLevel check) {
+  ExploreOptions options;
+  options.delay_bound = flags.delay_bound;
+  options.iterative_deepening = !flags.no_deepening;
+  options.max_executions = flags.max_executions;
+  options.max_steps = flags.max_steps;
+  options.sleep_sets = !flags.no_sleep_sets;
+  options.check = check;
+  return options;
+}
+
+std::string ScenarioLabel(const Flags& flags) {
+  if (!flags.scenario_file.empty()) return flags.scenario_file;
+  return StrCat("example:", flags.example);
+}
+
+void PrintViolation(const ExploreViolation& violation) {
+  std::cout << "VIOLATION after " << violation.schedule.size()
+            << " deliveries (execution #" << violation.execution
+            << ", delay bound " << violation.delay_bound << "):\n  "
+            << violation.message << "\nSchedule:\n";
+  for (const ScheduleStep& step : violation.schedule) {
+    std::cout << "  deliver " << step.from << " -> " << step.to << " "
+              << step.kind << "\n";
+  }
+}
+
+int RunReplay(const Flags& flags) {
+  auto config = BuildConfig(flags);
+  if (!config.ok()) {
+    std::cerr << config.status() << "\n";
+    return 2;
+  }
+  auto check = ResolveCheck(flags, *config);
+  if (!check.ok()) {
+    std::cerr << check.status() << "\n";
+    return 2;
+  }
+  auto schedule = ReadCounterexampleFile(flags.replay_file);
+  if (!schedule.ok()) {
+    std::cerr << schedule.status() << "\n";
+    return 2;
+  }
+  auto replay = ScheduleExplorer::Replay(*config, *schedule, *check);
+  if (!replay.ok()) {
+    std::cerr << "replay failed: " << replay.status() << "\n";
+    return 2;
+  }
+  for (const std::string& line : replay->trace) {
+    std::cout << line << "\n";
+  }
+  std::cout << "\nReplay verdict (" << CheckLevelToString(*check)
+            << "): " << replay->verdict << "\n";
+  // A replayed counterexample is expected to violate; succeed when it
+  // reproduces.
+  return replay->verdict.ok() ? 1 : 0;
+}
+
+int RunExplore(const Flags& flags) {
+  auto config = BuildConfig(flags);
+  if (!config.ok()) {
+    std::cerr << config.status() << "\n";
+    return 2;
+  }
+  auto check = ResolveCheck(flags, *config);
+  if (!check.ok()) {
+    std::cerr << check.status() << "\n";
+    return 2;
+  }
+  ExploreOptions options = MakeOptions(flags, *check);
+  ScheduleExplorer explorer(*config, options);
+  auto report = explorer.Explore();
+  if (!report.ok()) {
+    std::cerr << "explore failed: " << report.status() << "\n";
+    return 2;
+  }
+
+  if (flags.json) {
+    std::cout << "{\"scenario\":\"" << ScenarioLabel(flags)
+              << "\",\"check\":\"" << CheckLevelToString(*check)
+              << "\",\"report\":" << report->ToJson() << "}\n";
+  } else {
+    std::cout << "Scenario: " << ScenarioLabel(flags)
+              << " (check " << CheckLevelToString(*check) << ", mutation "
+              << flags.mutation << ")\n"
+              << "Explored " << report->executions << " executions, "
+              << report->deliveries << " deliveries (max depth "
+              << report->max_depth << ", " << report->truncated
+              << " truncated, " << report->sleep_skips << " sleep skips, "
+              << report->bound_prunes << " bound prunes"
+              << (report->exhausted ? ", exhausted" : "") << ")\n";
+  }
+  if (!report->violation.has_value()) {
+    if (!flags.json) std::cout << "No violation found within the bound.\n";
+    return 0;
+  }
+
+  const ExploreViolation& violation = *report->violation;
+  if (!flags.json) PrintViolation(violation);
+  if (!flags.cx_out.empty()) {
+    Status written = WriteCounterexampleFile(flags.cx_out,
+                                             ScenarioLabel(flags), *check,
+                                             violation);
+    if (!written.ok()) {
+      std::cerr << written << "\n";
+      return 2;
+    }
+    if (!flags.json) {
+      std::cout << "Counterexample written to " << flags.cx_out << "\n";
+    }
+  }
+  if (flags.trace && !flags.json) {
+    auto replay =
+        ScheduleExplorer::Replay(*config, violation.schedule, *check);
+    if (replay.ok()) {
+      std::cout << "Trace:\n";
+      for (const std::string& line : replay->trace) {
+        std::cout << "  " << line << "\n";
+      }
+    } else {
+      std::cerr << "trace replay failed: " << replay.status() << "\n";
+    }
+  }
+  return 1;
+}
+
+// --- Self-test: inject paint-rule bugs, demand the explorer finds them.
+
+struct SelfTestCase {
+  const char* name;
+  PaintMutation mutation;
+  /// Manager kind for every view ("" = scenario default, complete).
+  const char* managers;
+  CheckLevel check;
+};
+
+int RunSelfTest(const Flags& flags) {
+  // Both cases run the Table 1 race scenario: two dependent updates from
+  // different sources, racing AL streams into one merge process.
+  const SelfTestCase kCases[] = {
+      // SPA ordering gate: correct on the canonical schedule, violating
+      // only under an adversarial interleaving — the explorer must find
+      // it.
+      {"spa-skip-order-gate", PaintMutation::kSpaSkipOrderGate, "",
+       CheckLevel::kComplete},
+      // PA "all colorable" (white) gate with strongly consistent
+      // managers.
+      {"pa-skip-white-gate", PaintMutation::kPaSkipWhiteGate, "strong",
+       CheckLevel::kStrong},
+  };
+  constexpr size_t kMaxCounterexample = 20;
+
+  bool all_ok = true;
+  for (const SelfTestCase& test : kCases) {
+    SystemConfig config = Table1RaceScenario();
+    if (std::string(test.managers) == "strong") {
+      for (const ViewDefinition& def : config.views) {
+        config.manager_kinds[def.name] = ManagerKind::kStrong;
+      }
+    }
+
+    ExploreOptions options;
+    options.delay_bound = flags.delay_bound > 2 ? flags.delay_bound : 6;
+    options.max_steps = 500;
+    options.check = test.check;
+
+    // 1. Unmutated control: every schedule within the bound must pass.
+    {
+      ScheduleExplorer control(config, options);
+      auto report = control.Explore();
+      if (!report.ok()) {
+        std::cerr << "[" << test.name << "] control explore failed: "
+                  << report.status() << "\n";
+        all_ok = false;
+        continue;
+      }
+      if (report->violation.has_value()) {
+        std::cerr << "[" << test.name << "] FAIL: unmutated engine"
+                  << " reported a violation:\n  "
+                  << report->violation->message << "\n";
+        all_ok = false;
+        continue;
+      }
+      std::cout << "[" << test.name << "] control: "
+                << report->executions << " executions clean"
+                << (report->exhausted ? " (exhausted)" : "") << "\n";
+    }
+
+    // 2. Mutated engine: the explorer must find a short counterexample.
+    config.merge.mutation = test.mutation;
+    ScheduleExplorer explorer(config, options);
+    auto report = explorer.Explore();
+    if (!report.ok()) {
+      std::cerr << "[" << test.name << "] explore failed: "
+                << report.status() << "\n";
+      all_ok = false;
+      continue;
+    }
+    if (!report->violation.has_value()) {
+      std::cerr << "[" << test.name << "] FAIL: injected mutation not"
+                << " detected in " << report->executions << " executions\n";
+      all_ok = false;
+      continue;
+    }
+    const ExploreViolation& violation = *report->violation;
+    if (violation.schedule.size() > kMaxCounterexample) {
+      std::cerr << "[" << test.name << "] FAIL: counterexample has "
+                << violation.schedule.size() << " deliveries (want <= "
+                << kMaxCounterexample << ")\n";
+      all_ok = false;
+      continue;
+    }
+
+    // 3. The counterexample must survive a file round-trip and replay to
+    // the same verdict.
+    const std::string cx_path =
+        flags.cx_out.empty() ? StrCat("mvc_explore_", test.name, ".sched")
+                             : StrCat(flags.cx_out, ".", test.name);
+    Status written = WriteCounterexampleFile(cx_path, "self-test",
+                                             test.check, violation);
+    if (!written.ok()) {
+      std::cerr << "[" << test.name << "] FAIL: " << written << "\n";
+      all_ok = false;
+      continue;
+    }
+    auto schedule = ReadCounterexampleFile(cx_path);
+    if (!schedule.ok()) {
+      std::cerr << "[" << test.name << "] FAIL: " << schedule.status()
+                << "\n";
+      all_ok = false;
+      continue;
+    }
+    auto replay = ScheduleExplorer::Replay(config, *schedule, test.check);
+    if (!replay.ok()) {
+      std::cerr << "[" << test.name << "] FAIL: replay error: "
+                << replay.status() << "\n";
+      all_ok = false;
+      continue;
+    }
+    if (replay->verdict.ok()) {
+      std::cerr << "[" << test.name << "] FAIL: replayed counterexample"
+                << " did not reproduce the violation\n";
+      all_ok = false;
+      continue;
+    }
+
+    std::cout << "[" << test.name << "] detected after "
+              << violation.execution + 1 << " executions at delay bound "
+              << violation.delay_bound << "; counterexample "
+              << violation.schedule.size() << " deliveries"
+              << (flags.cx_out.empty() ? "" : StrCat(" -> ", cx_path))
+              << " (replay reproduces)\n";
+    if (flags.trace) {
+      for (const std::string& line : replay->trace) {
+        std::cout << "    " << line << "\n";
+      }
+    }
+    // The round-trip file is scratch unless the caller asked to keep it.
+    if (flags.cx_out.empty()) std::remove(cx_path.c_str());
+  }
+  std::cout << (all_ok ? "self-test PASS\n" : "self-test FAIL\n");
+  return all_ok ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 2;
+  if (flags.self_test) return RunSelfTest(flags);
+  if (!flags.replay_file.empty()) return RunReplay(flags);
+  return RunExplore(flags);
+}
+
+}  // namespace
+}  // namespace mvc
+
+int main(int argc, char** argv) { return mvc::Main(argc, argv); }

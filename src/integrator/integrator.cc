@@ -4,6 +4,8 @@
 #include <set>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/relevance.h"
 
 namespace mvc {
@@ -19,6 +21,14 @@ Status IntegratorProcess::RegisterView(const BoundView* view, ViewId id,
   }
   views_[id] = ViewRoute{view, view_manager, merge};
   return Status::OK();
+}
+
+void IntegratorProcess::EnableObservability(obs::MetricsRegistry* metrics,
+                                            obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (metrics == nullptr) return;
+  m_sequenced_ = metrics->RegisterCounter("integrator.updates_sequenced");
+  m_rel_size_ = metrics->RegisterHistogram("integrator.rel_size", "views");
 }
 
 void IntegratorProcess::OnMessage(ProcessId from, MessagePtr msg) {
@@ -81,6 +91,17 @@ void IntegratorProcess::ProcessTransaction(const SourceTransaction& txn) {
 
   if (options_.retain_for_replay) {
     retained_.push_back(RetainedUpdate{update_id, txn, rel});
+  }
+
+  if (m_sequenced_ != nullptr) {
+    m_sequenced_->Add();
+    m_rel_size_->Record(static_cast<int64_t>(rel.size()));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Record(obs::Span{obs::SpanKind::kSequenced, update_id,
+                              kInvalidView, -1,
+                              static_cast<int64_t>(rel.size()), Now(),
+                              name()});
   }
 
   // Deliver REL_i to each merge process owning at least one affected

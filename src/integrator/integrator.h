@@ -25,6 +25,13 @@
 
 namespace mvc {
 
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+class Counter;
+class Histogram;
+}  // namespace obs
+
 struct IntegratorOptions {
   /// Prune views from REL_i whose selection conditions reject the
   /// updated tuple (Section 3.2 step 2 optimization). When false, REL_i
@@ -66,6 +73,13 @@ class IntegratorProcess : public Process {
     observer_ = std::move(observer);
   }
 
+  /// Wires the observability hub (before the runtime starts): the
+  /// sequencing of every update emits a kSequenced span carrying |REL_i|
+  /// plus the integrator.updates_sequenced / integrator.rel_size
+  /// instruments. Either pointer may be null.
+  void EnableObservability(obs::MetricsRegistry* metrics,
+                           obs::Tracer* tracer);
+
   /// Number of transactions numbered so far.
   int64_t num_updates() const { return next_update_; }
 
@@ -100,6 +114,10 @@ class IntegratorProcess : public Process {
   std::function<void(UpdateId, const SourceTransaction&)> observer_;
   /// Append-only when retain_for_replay; ids are 1..next_update_.
   std::vector<RetainedUpdate> retained_;
+  // --- Observability (all null when disabled) ---
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* m_sequenced_ = nullptr;
+  obs::Histogram* m_rel_size_ = nullptr;
 };
 
 }  // namespace mvc

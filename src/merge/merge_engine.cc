@@ -60,6 +60,24 @@ MergeAlgorithm AlgorithmForLevels(const std::vector<uint8_t>& levels) {
   return MergeAlgorithm::kPA;
 }
 
+size_t CountSpaApplicableRows(const ViewUpdateTable& vut) {
+  size_t ready = 0;
+  for (UpdateId i : vut.RowIds()) {
+    if (vut.RowHasWhite(i)) continue;  // still waiting for an AL
+    const std::vector<ViewId> reds = vut.RowViewsWithColor(i, CellColor::kRed);
+    if (reds.empty()) continue;  // nothing held (all gray/black)
+    bool blocked = false;
+    for (ViewId view : reds) {
+      if (vut.HasEarlierRed(i, vut.ViewIndex(view))) {
+        blocked = true;  // an earlier update in this column goes first
+        break;
+      }
+    }
+    if (!blocked) ++ready;
+  }
+  return ready;
+}
+
 std::unique_ptr<MergeEngine> MergeEngine::Create(MergeAlgorithm algorithm,
                                                  std::vector<ViewId> views,
                                                  const IdRegistry* names,

@@ -66,6 +66,14 @@ bool ParsePaintMutation(const std::string& text, PaintMutation* out);
 /// weakest manager).
 MergeAlgorithm AlgorithmForLevels(const std::vector<uint8_t>& levels);
 
+/// Number of rows SPA could apply right now: fully painted (no white
+/// cell), at least one red cell, and no red cell preceded by an earlier
+/// red in its column. SPA applies such rows before returning from any
+/// event handler, so between handlers this must be zero — a non-zero
+/// count is a violation of the paper's promptness theorem, surfaced as
+/// the merge.prompt_violations metric.
+size_t CountSpaApplicableRows(const ViewUpdateTable& vut);
+
 class MergeEngine {
  public:
   virtual ~MergeEngine() = default;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mvc {
 
@@ -50,6 +52,48 @@ MergeProcess::MergeProcess(std::string name, std::vector<ViewId> views,
 
 bool MergeProcess::OwnsView(ViewId view) const {
   return engine_->vut().FindViewIndex(view).has_value();
+}
+
+void MergeProcess::EnableObservability(obs::MetricsRegistry* metrics,
+                                       obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (metrics == nullptr) return;
+  const std::string l = StrCat("{process=\"", name(), "\"}");
+  m_rels_ = metrics->RegisterCounter(StrCat("merge.rels_received", l));
+  m_als_ = metrics->RegisterCounter(StrCat("merge.action_lists_received", l));
+  m_misrouted_ = metrics->RegisterCounter(StrCat("merge.misrouted_als", l));
+  m_als_held_ = metrics->RegisterCounter(StrCat("merge.als_held", l));
+  m_als_prompt_ =
+      metrics->RegisterCounter(StrCat("merge.als_prompt_applied", l));
+  m_prompt_violations_ =
+      metrics->RegisterCounter(StrCat("merge.prompt_violations", l));
+  m_submitted_ =
+      metrics->RegisterCounter(StrCat("merge.txns_submitted", l));
+  m_committed_ = metrics->RegisterCounter(StrCat("merge.txns_committed", l));
+  m_open_rows_ =
+      metrics->RegisterHistogram(StrCat("merge.vut_open_rows", l), "rows");
+  m_held_now_ =
+      metrics->RegisterHistogram(StrCat("merge.held_action_lists", l), "als");
+  m_wave_rows_ =
+      metrics->RegisterHistogram(StrCat("merge.paint_wave_rows", l), "rows");
+  m_txn_actions_ =
+      metrics->RegisterHistogram(StrCat("merge.txn_actions", l), "als");
+}
+
+void MergeProcess::RecordEngineObs() {
+  if (m_open_rows_ == nullptr) return;
+  m_open_rows_->Record(static_cast<int64_t>(engine_->open_rows()));
+  m_held_now_->Record(static_cast<int64_t>(engine_->held_action_lists()));
+  // SPA promptness theorem (Section 4.2): between event handlers no row
+  // may sit fully painted yet unapplied. The PA engine's applicability
+  // depends on its wave/state computation, so only SPA is scanned; both
+  // are covered by the end-of-run held-AL gauges. Mutated engines
+  // (explorer self-test) break the rule on purpose.
+  if (engine_->algorithm() == MergeAlgorithm::kSPA &&
+      options_.mutation == PaintMutation::kNone) {
+    const size_t ready = CountSpaApplicableRows(engine_->vut());
+    if (ready > 0) m_prompt_violations_->Add(static_cast<int64_t>(ready));
+  }
 }
 
 void MergeProcess::EnableFaultTolerance(
@@ -125,6 +169,7 @@ void MergeProcess::OnMessage(ProcessId from, MessagePtr msg) {
         ConsumeRel(entry.update_id, entry.views, &emitted);
         HandleEmitted(std::move(emitted));
       }
+      RecordEngineObs();
       return;
     }
     case Message::Kind::kAlResyncResponse: {
@@ -136,6 +181,7 @@ void MergeProcess::OnMessage(ProcessId from, MessagePtr msg) {
         ConsumeAl(std::move(al), &emitted);
         HandleEmitted(std::move(emitted));
       }
+      RecordEngineObs();
       return;
     }
     case Message::Kind::kCommitResyncResponse: {
@@ -283,6 +329,7 @@ void MergeProcess::HandleNow(Message* msg) {
   stats_.peak_open_rows =
       std::max(stats_.peak_open_rows, engine_->open_rows());
   HandleEmitted(std::move(emitted));
+  RecordEngineObs();
 }
 
 void MergeProcess::ConsumeRel(UpdateId update_id,
@@ -301,7 +348,16 @@ void MergeProcess::ConsumeRel(UpdateId update_id,
       log_->Append(std::move(e));
     }
   }
-  if (!replaying_) ++stats_.rels_received;
+  if (!replaying_) {
+    ++stats_.rels_received;
+    if (m_rels_ != nullptr) m_rels_->Add();
+    if (tracer_ != nullptr) {
+      tracer_->Record(obs::Span{obs::SpanKind::kRelReceived, update_id,
+                                kInvalidView, -1,
+                                static_cast<int64_t>(views.size()), Now(),
+                                name()});
+    }
+  }
   engine_->ReceiveRelSet(update_id, views, emitted);
 }
 
@@ -313,6 +369,7 @@ void MergeProcess::ConsumeAl(ActionList al,
     // VUT column. Applies on every intake path — direct, piggybacked,
     // resync, and WAL replay.
     ++stats_.misrouted_als;
+    if (m_misrouted_ != nullptr) m_misrouted_->Add();
     const bool known_id =
         al.view >= 0 && static_cast<size_t>(al.view) < registry_->num_views();
     MVC_LOG_ERROR() << "merge " << name() << ": dropping mis-routed "
@@ -337,8 +394,26 @@ void MergeProcess::ConsumeAl(ActionList al,
       log_->Append(std::move(e));
     }
   }
-  if (!replaying_) ++stats_.action_lists_received;
+  if (!replaying_) {
+    ++stats_.action_lists_received;
+    if (m_als_ != nullptr) m_als_->Add();
+    if (tracer_ != nullptr) {
+      tracer_->Record(obs::Span{obs::SpanKind::kAlReceived, al.update,
+                                al.view, -1, al.update, Now(), name()});
+    }
+  }
+  const size_t held_before = engine_->held_action_lists();
   engine_->ReceiveActionList(std::move(al), emitted);
+  // Held vs. prompt-applied: the engine bumps its held count on intake
+  // and drops it as rows apply, so a net increase across the call means
+  // this AL (or one it depended on) is now waiting in the VUT.
+  if (!replaying_ && m_als_held_ != nullptr) {
+    if (engine_->held_action_lists() > held_before) {
+      m_als_held_->Add();
+    } else {
+      m_als_prompt_->Add();
+    }
+  }
 }
 
 void MergeProcess::HandleEmitted(std::vector<WarehouseTransaction> emitted) {
@@ -428,6 +503,17 @@ void MergeProcess::Submit(WarehouseTransaction txn) {
   }
   ++stats_.transactions_submitted;
   stats_.actions_submitted += static_cast<int64_t>(txn.actions.size());
+  if (m_submitted_ != nullptr) {
+    m_submitted_->Add();
+    m_wave_rows_->Record(static_cast<int64_t>(txn.rows.size()));
+    m_txn_actions_->Record(static_cast<int64_t>(txn.actions.size()));
+  }
+  if (tracer_ != nullptr) {
+    for (UpdateId row : txn.rows) {
+      tracer_->Record(obs::Span{obs::SpanKind::kSubmitted, row, kInvalidView,
+                                txn.txn_id, 0, Now(), name()});
+    }
+  }
   if (log_ != nullptr) {
     MergeLogEntry e;
     e.kind = MergeLogEntry::Kind::kSubmit;
@@ -460,7 +546,10 @@ void MergeProcess::OnCommitted(int64_t txn_id) {
     ++stats_.stale_acks;
     return;
   }
-  if (!replaying_) ++stats_.transactions_committed;
+  if (!replaying_) {
+    ++stats_.transactions_committed;
+    if (m_committed_ != nullptr) m_committed_->Add();
+  }
   switch (options_.policy) {
     case SubmissionPolicy::kSequential:
       if (!wait_queue_.empty()) {

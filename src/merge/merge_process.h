@@ -36,6 +36,13 @@
 
 namespace mvc {
 
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+class Counter;
+class Histogram;
+}  // namespace obs
+
 enum class SubmissionPolicy : uint8_t {
   kSequential = 0,
   kHoldDependents = 1,
@@ -112,6 +119,13 @@ class MergeProcess : public Process {
                             std::map<ViewId, ProcessId> vm_of_view,
                             const FaultOptions& opts);
 
+  /// Wires the observability hub (before the runtime starts): this
+  /// process's instruments register under its name, and REL/AL intake,
+  /// submissions, and the SPA promptness scan emit metrics and trace
+  /// spans. Either pointer may be null to disable that half.
+  void EnableObservability(obs::MetricsRegistry* metrics,
+                           obs::Tracer* tracer);
+
   const MergeEngine& engine() const { return *engine_; }
   const MergeStats& stats() const { return stats_; }
   const MergeOptions& options() const { return options_; }
@@ -144,6 +158,9 @@ class MergeProcess : public Process {
   void AckAndLog(int64_t txn_id);
   void SendAlResyncRequest(ViewId view);
   void ArmResyncRetry();
+  /// Records post-event engine metrics (VUT occupancy, held ALs) and
+  /// runs the SPA promptness scan; no-op when metrics are disabled.
+  void RecordEngineObs();
 
   MergeOptions options_;
   /// This process's VUT columns, sorted by id; kept (not just moved into
@@ -153,6 +170,21 @@ class MergeProcess : public Process {
   std::unique_ptr<MergeEngine> engine_;
   ProcessId warehouse_ = kInvalidProcess;
   MergeStats stats_;
+
+  // --- Observability (all null when disabled) ---
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* m_rels_ = nullptr;
+  obs::Counter* m_als_ = nullptr;
+  obs::Counter* m_misrouted_ = nullptr;
+  obs::Counter* m_als_held_ = nullptr;
+  obs::Counter* m_als_prompt_ = nullptr;
+  obs::Counter* m_prompt_violations_ = nullptr;
+  obs::Counter* m_submitted_ = nullptr;
+  obs::Counter* m_committed_ = nullptr;
+  obs::Histogram* m_open_rows_ = nullptr;
+  obs::Histogram* m_held_now_ = nullptr;
+  obs::Histogram* m_wave_rows_ = nullptr;
+  obs::Histogram* m_txn_actions_ = nullptr;
 
   // --- Fault tolerance (log_ == nullptr when disabled) ---
   MergeLog* log_ = nullptr;

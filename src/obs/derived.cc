@@ -1,0 +1,149 @@
+#include "obs/derived.h"
+
+#include <map>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace mvc {
+namespace obs {
+
+namespace {
+
+std::string ViewLabel(ViewId view, const IdRegistry* names) {
+  const bool known = names != nullptr && view >= 0 &&
+                     static_cast<size_t>(view) < names->num_views();
+  return known ? names->ViewName(view) : StrCat("V#", view);
+}
+
+}  // namespace
+
+void ComputeDerivedMetrics(const std::vector<Span>& spans,
+                           const IdRegistry* names,
+                           MetricsRegistry* metrics) {
+  std::map<UpdateId, int64_t> sequenced_at;
+  std::map<UpdateId, int64_t> rel_size;
+  std::map<UpdateId, int64_t> first_commit;
+  std::map<std::pair<ViewId, UpdateId>, int64_t> first_reflect;
+  /// (merge process, row id) -> submission time.
+  std::map<std::pair<std::string, UpdateId>, int64_t> submit_at;
+  struct ReceivedAl {
+    std::string process;
+    UpdateId label;
+    int64_t at;
+  };
+  std::vector<ReceivedAl> received_als;
+  std::map<std::pair<ViewId, UpdateId>, bool> produced;
+
+  for (const Span& s : spans) {
+    switch (s.kind) {
+      case SpanKind::kSequenced:
+        sequenced_at.emplace(s.update, s.at);
+        rel_size.emplace(s.update, s.aux);
+        break;
+      case SpanKind::kCommitted:
+        first_commit.emplace(s.update, s.at);
+        break;
+      case SpanKind::kViewReflected:
+        first_reflect.emplace(std::make_pair(s.view, s.update), s.at);
+        break;
+      case SpanKind::kSubmitted:
+        submit_at.emplace(std::make_pair(s.process, s.update), s.at);
+        break;
+      case SpanKind::kAlReceived:
+        received_als.push_back(ReceivedAl{s.process, s.update, s.at});
+        break;
+      case SpanKind::kAlProduced:
+        produced[std::make_pair(s.view, s.update)] = true;
+        break;
+      case SpanKind::kSourcePost:
+      case SpanKind::kRelReceived:
+        break;
+    }
+  }
+
+  Histogram* latency =
+      metrics->RegisterHistogram("update.commit_latency_us", "us");
+  Gauge* uncommitted = metrics->RegisterGauge("update.uncommitted");
+  int64_t uncommitted_count = 0;
+  for (const auto& [update, at] : sequenced_at) {
+    auto commit = first_commit.find(update);
+    if (commit != first_commit.end()) {
+      latency->Record(commit->second - at);
+    } else if (rel_size[update] > 0) {
+      ++uncommitted_count;
+    }
+  }
+  uncommitted->Set(uncommitted_count);
+
+  Histogram* staleness_all =
+      metrics->RegisterHistogram("view.staleness_us", "us");
+  Gauge* unreflected = metrics->RegisterGauge("view.unreflected_updates");
+  int64_t unreflected_count = 0;
+  for (const auto& [key, at] : first_reflect) {
+    auto seq = sequenced_at.find(key.second);
+    if (seq == sequenced_at.end()) continue;
+    const int64_t lag = at - seq->second;
+    staleness_all->Record(lag);
+    metrics
+        ->RegisterHistogram(StrCat("view.staleness_us{view=\"",
+                                   ViewLabel(key.first, names), "\"}"),
+                            "us")
+        ->Record(lag);
+  }
+  for (const auto& [key, was_produced] : produced) {
+    (void)was_produced;
+    if (first_reflect.count(key) == 0) ++unreflected_count;
+  }
+  unreflected->Set(unreflected_count);
+
+  Histogram* hold = metrics->RegisterHistogram("merge.al_hold_time_us", "us");
+  Gauge* unsubmitted = metrics->RegisterGauge("merge.unsubmitted_als");
+  int64_t unsubmitted_count = 0;
+  for (const ReceivedAl& al : received_als) {
+    auto submit = submit_at.find(std::make_pair(al.process, al.label));
+    if (submit == submit_at.end()) {
+      ++unsubmitted_count;
+    } else {
+      hold->Record(submit->second - al.at);
+    }
+  }
+  unsubmitted->Set(unsubmitted_count);
+}
+
+Status CheckTraceComplete(const std::vector<Span>& spans) {
+  std::map<UpdateId, int64_t> commits;
+  std::map<UpdateId, int64_t> rel_size;
+  std::vector<UpdateId> sequenced;
+  for (const Span& s : spans) {
+    if (s.kind == SpanKind::kSequenced) {
+      sequenced.push_back(s.update);
+      rel_size[s.update] = s.aux;
+    } else if (s.kind == SpanKind::kCommitted) {
+      ++commits[s.update];
+    }
+  }
+  for (const auto& [update, n] : commits) {
+    if (rel_size.count(update) == 0) {
+      return Status::Internal(
+          StrCat("U_", update, " committed but never sequenced"));
+    }
+  }
+  for (UpdateId update : sequenced) {
+    const int64_t n = commits.count(update) > 0 ? commits[update] : 0;
+    if (rel_size[update] > 0 && n != 1) {
+      return Status::Internal(StrCat("U_", update, " (|REL|=",
+                                     rel_size[update], ") has ", n,
+                                     " warehouse commits, want 1"));
+    }
+    if (rel_size[update] == 0 && n != 0) {
+      return Status::Internal(StrCat("U_", update,
+                                     " has an empty REL but ", n,
+                                     " warehouse commits"));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace mvc

@@ -1,0 +1,40 @@
+// Headline metrics derived from the span log after (or during) a run:
+//
+//   update.commit_latency_us   kSequenced -> first kCommitted, per update
+//   view.staleness_us          kSequenced -> first kViewReflected, per
+//                              (view, update); one labelled histogram
+//                              per view plus the aggregate
+//   merge.al_hold_time_us      kAlReceived -> kSubmitted of the AL's
+//                              labelled row at the same merge process
+//
+// plus gauges counting what is still in flight at derivation time
+// (update.uncommitted, view.unreflected_updates, merge.unsubmitted_als)
+// so mid-run or faulty snapshots expose their backlog instead of hiding
+// it.
+
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/id_registry.h"
+
+namespace mvc {
+namespace obs {
+
+/// Registers (idempotently) and fills the derived instruments in
+/// `metrics` from `spans`. `names` labels the per-view histograms; pass
+/// nullptr to label with raw ids.
+void ComputeDerivedMetrics(const std::vector<Span>& spans,
+                           const IdRegistry* names, MetricsRegistry* metrics);
+
+/// Trace-completeness property (the obs_test oracle): every kSequenced
+/// update with a non-empty REL (aux > 0) has exactly one kCommitted
+/// span, and every empty-REL update has none. Returns the first
+/// violation found.
+Status CheckTraceComplete(const std::vector<Span>& spans);
+
+}  // namespace obs
+}  // namespace mvc

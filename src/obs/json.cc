@@ -1,0 +1,238 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace mvc {
+namespace obs {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    MVC_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument(
+          StrCat("trailing characters at offset ", pos_));
+    }
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  Status Expect(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Status::InvalidArgument(
+          StrCat("expected '", std::string(1, c), "' at offset ", pos_));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject() {
+    MVC_RETURN_IF_ERROR(Expect('{'));
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (Peek('}')) {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      MVC_ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      MVC_RETURN_IF_ERROR(Expect(':'));
+      MVC_ASSIGN_OR_RETURN(JsonValue member, ParseValue());
+      v.object.emplace_back(std::move(key.str), std::move(member));
+      if (Peek(',')) {
+        ++pos_;
+        continue;
+      }
+      MVC_RETURN_IF_ERROR(Expect('}'));
+      return v;
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    MVC_RETURN_IF_ERROR(Expect('['));
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (Peek(']')) {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      MVC_ASSIGN_OR_RETURN(JsonValue element, ParseValue());
+      v.array.push_back(std::move(element));
+      if (Peek(',')) {
+        ++pos_;
+        continue;
+      }
+      MVC_RETURN_IF_ERROR(Expect(']'));
+      return v;
+    }
+  }
+
+  Result<JsonValue> ParseString() {
+    MVC_RETURN_IF_ERROR(Expect('"'));
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          return Status::InvalidArgument("unterminated escape");
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            v.str += '"';
+            break;
+          case '\\':
+            v.str += '\\';
+            break;
+          case '/':
+            v.str += '/';
+            break;
+          case 'n':
+            v.str += '\n';
+            break;
+          case 't':
+            v.str += '\t';
+            break;
+          case 'r':
+            v.str += '\r';
+            break;
+          case 'b':
+            v.str += '\b';
+            break;
+          case 'f':
+            v.str += '\f';
+            break;
+          case 'u': {
+            // Decoded as a raw code unit; enough for the validator,
+            // which never needs non-ASCII round trips.
+            if (pos_ + 4 > text_.size()) {
+              return Status::InvalidArgument("bad \\u escape");
+            }
+            const std::string hex = text_.substr(pos_, 4);
+            pos_ += 4;
+            const long code = std::strtol(hex.c_str(), nullptr, 16);
+            if (code < 0x80) {
+              v.str += static_cast<char>(code);
+            } else {
+              v.str += '?';
+            }
+            break;
+          }
+          default:
+            return Status::InvalidArgument(
+                StrCat("bad escape '\\", std::string(1, esc), "'"));
+        }
+      } else {
+        v.str += c;
+      }
+    }
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unterminated string");
+    }
+    ++pos_;  // closing quote
+    return v;
+  }
+
+  Result<JsonValue> ParseBool() {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+      return v;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+      return v;
+    }
+    return Status::InvalidArgument(StrCat("bad literal at offset ", pos_));
+  }
+
+  Result<JsonValue> ParseNull() {
+    if (text_.compare(pos_, 4, "null") != 0) {
+      return Status::InvalidArgument(StrCat("bad literal at offset ", pos_));
+    }
+    pos_ += 4;
+    JsonValue v;
+    v.type = JsonValue::Type::kNull;
+    return v;
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument(StrCat("bad number at offset ", pos_));
+    }
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace obs
+}  // namespace mvc

@@ -1,0 +1,44 @@
+// A minimal JSON reader for the observability tooling (tools/mvc_stats
+// validates mvc-metrics-v1 files without external dependencies). Parses
+// the full JSON grammar into a tree of JsonValue nodes; numbers are kept
+// as doubles (the metrics exporter never emits values that lose
+// precision below 2^53, and the validator only compares counts).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mvc {
+namespace obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  static Result<JsonValue> Parse(const std::string& text);
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  /// Insertion order preserved.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  int64_t AsInt() const { return static_cast<int64_t>(number); }
+};
+
+}  // namespace obs
+}  // namespace mvc

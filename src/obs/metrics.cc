@@ -1,0 +1,301 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mvc {
+namespace obs {
+
+namespace {
+
+void UpdateAtomicMin(std::atomic<int64_t>* slot, int64_t v) {
+  int64_t cur = slot->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void UpdateAtomicMax(std::atomic<int64_t>* slot, int64_t v) {
+  int64_t cur = slot->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// "merge.rels{process=\"merge-0\"}" -> base "merge.rels".
+std::string BaseName(const std::string& name) {
+  size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+/// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string PrometheusName(const std::string& base) {
+  std::string out = "mvc_";
+  for (char c : base) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Label block including braces ("{process=\"merge-0\"}"), or "".
+std::string LabelPart(const std::string& name) {
+  size_t brace = name.find('{');
+  return brace == std::string::npos ? "" : name.substr(brace);
+}
+
+/// Label block with one extra label appended (for histogram buckets).
+std::string LabelPartWith(const std::string& name, const std::string& extra) {
+  std::string labels = LabelPart(name);
+  if (labels.empty()) return StrCat("{", extra, "}");
+  labels.pop_back();  // drop '}'
+  return StrCat(labels, ",", extra, "}");
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Histogram::Record(int64_t v) {
+  if (v < 0) v = 0;
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  UpdateAtomicMin(&min_, v);
+  UpdateAtomicMax(&max_, v);
+}
+
+int64_t Histogram::min() const {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+int64_t Histogram::max() const {
+  return count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
+}
+
+int64_t Histogram::BucketUpperBound(size_t b) {
+  if (b == 0) return 0;
+  if (b >= kBuckets - 1) return INT64_MAX;
+  return (int64_t{1} << b) - 1;
+}
+
+size_t Histogram::BucketIndex(int64_t v) {
+  if (v <= 0) return 0;
+  size_t b = 1;
+  while (b < kBuckets - 1 && v > BucketUpperBound(b)) ++b;
+  return b;
+}
+
+double HistogramSnapshot::Mean() const {
+  return count == 0 ? 0.0
+                    : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+int64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the sample we want, 1-based.
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(q * static_cast<double>(count) + 0.5));
+  int64_t seen = 0;
+  for (const Bucket& b : buckets) {
+    seen += b.count;
+    if (seen >= rank) return std::min(b.le, max);
+  }
+  return max;
+}
+
+Counter* MetricsRegistry::RegisterCounter(const std::string& name) {
+  for (auto& [n, c] : counters_) {
+    if (n == name) return &c;
+  }
+  // Atomics are neither copyable nor movable; construct in place.
+  counters_.emplace_back(std::piecewise_construct,
+                         std::forward_as_tuple(name),
+                         std::forward_as_tuple());
+  return &counters_.back().second;
+}
+
+Gauge* MetricsRegistry::RegisterGauge(const std::string& name) {
+  for (auto& [n, g] : gauges_) {
+    if (n == name) return &g;
+  }
+  gauges_.emplace_back(std::piecewise_construct,
+                       std::forward_as_tuple(name),
+                       std::forward_as_tuple());
+  return &gauges_.back().second;
+}
+
+Histogram* MetricsRegistry::RegisterHistogram(const std::string& name,
+                                              const std::string& unit) {
+  for (auto& h : histograms_) {
+    if (h.name == name) return &h.histogram;
+  }
+  histograms_.emplace_back();
+  histograms_.back().name = name;
+  histograms_.back().unit = unit;
+  return &histograms_.back().histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) {
+    s.counters.push_back(CounterSnapshot{name, c.value()});
+  }
+  for (const auto& [name, g] : gauges_) {
+    s.gauges.push_back(CounterSnapshot{name, g.value()});
+  }
+  for (const auto& h : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = h.name;
+    hs.unit = h.unit;
+    hs.count = h.histogram.count();
+    hs.sum = h.histogram.sum();
+    hs.min = h.histogram.min();
+    hs.max = h.histogram.max();
+    for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+      int64_t n = h.histogram.bucket(b);
+      if (n > 0) {
+        hs.buckets.push_back(
+            HistogramSnapshot::Bucket{Histogram::BucketUpperBound(b), n});
+      }
+    }
+    s.histograms.push_back(std::move(hs));
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(s.counters.begin(), s.counters.end(), by_name);
+  std::sort(s.gauges.begin(), s.gauges.end(), by_name);
+  std::sort(s.histograms.begin(), s.histograms.end(), by_name);
+  return s;
+}
+
+const CounterSnapshot* FindCounter(const MetricsSnapshot& s,
+                                   const std::string& name) {
+  for (const CounterSnapshot& c : s.counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const CounterSnapshot* FindGauge(const MetricsSnapshot& s,
+                                 const std::string& name) {
+  for (const CounterSnapshot& g : s.gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* FindHistogram(const MetricsSnapshot& s,
+                                       const std::string& name) {
+  for (const HistogramSnapshot& h : s.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+int64_t SumCounters(const MetricsSnapshot& s, const std::string& base) {
+  int64_t total = 0;
+  for (const CounterSnapshot& c : s.counters) {
+    if (BaseName(c.name) == base) total += c.value;
+  }
+  return total;
+}
+
+int64_t SumHistogramCounts(const MetricsSnapshot& s, const std::string& base) {
+  int64_t total = 0;
+  for (const HistogramSnapshot& h : s.histograms) {
+    if (BaseName(h.name) == base) total += h.count;
+  }
+  return total;
+}
+
+std::string MetricsToJson(const MetricsSnapshot& s) {
+  std::string out = "{\n  \"schema\": \"mvc-metrics-v1\",\n";
+  out += "  \"counters\": [";
+  for (size_t i = 0; i < s.counters.size(); ++i) {
+    out += StrCat(i == 0 ? "\n" : ",\n", "    {\"name\": \"",
+                  JsonEscape(s.counters[i].name),
+                  "\", \"value\": ", s.counters[i].value, "}");
+  }
+  out += s.counters.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"gauges\": [";
+  for (size_t i = 0; i < s.gauges.size(); ++i) {
+    out += StrCat(i == 0 ? "\n" : ",\n", "    {\"name\": \"",
+                  JsonEscape(s.gauges[i].name),
+                  "\", \"value\": ", s.gauges[i].value, "}");
+  }
+  out += s.gauges.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"histograms\": [";
+  for (size_t i = 0; i < s.histograms.size(); ++i) {
+    const HistogramSnapshot& h = s.histograms[i];
+    out += StrCat(i == 0 ? "\n" : ",\n", "    {\"name\": \"",
+                  JsonEscape(h.name), "\", \"unit\": \"",
+                  JsonEscape(h.unit), "\", \"count\": ", h.count,
+                  ", \"sum\": ", h.sum, ", \"min\": ", h.min,
+                  ", \"max\": ", h.max, ", \"buckets\": [");
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      out += StrCat(b == 0 ? "" : ", ", "{\"le\": ", h.buckets[b].le,
+                    ", \"count\": ", h.buckets[b].count, "}");
+    }
+    out += "]}";
+  }
+  out += s.histograms.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsToPrometheus(const MetricsSnapshot& s) {
+  std::string out;
+  for (const CounterSnapshot& c : s.counters) {
+    out += StrCat("# TYPE ", PrometheusName(BaseName(c.name)), " counter\n",
+                  PrometheusName(BaseName(c.name)), LabelPart(c.name), " ",
+                  c.value, "\n");
+  }
+  for (const CounterSnapshot& g : s.gauges) {
+    out += StrCat("# TYPE ", PrometheusName(BaseName(g.name)), " gauge\n",
+                  PrometheusName(BaseName(g.name)), LabelPart(g.name), " ",
+                  g.value, "\n");
+  }
+  for (const HistogramSnapshot& h : s.histograms) {
+    const std::string pname = PrometheusName(BaseName(h.name));
+    out += StrCat("# TYPE ", pname, " histogram\n");
+    int64_t cumulative = 0;
+    for (const HistogramSnapshot::Bucket& b : h.buckets) {
+      cumulative += b.count;
+      out += StrCat(pname, "_bucket",
+                    LabelPartWith(h.name, StrCat("le=\"", b.le, "\"")), " ",
+                    cumulative, "\n");
+    }
+    out += StrCat(pname, "_bucket", LabelPartWith(h.name, "le=\"+Inf\""),
+                  " ", h.count, "\n");
+    out += StrCat(pname, "_sum", LabelPart(h.name), " ", h.sum, "\n");
+    out += StrCat(pname, "_count", LabelPart(h.name), " ", h.count, "\n");
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace mvc

@@ -1,0 +1,159 @@
+// Lock-light metrics for a live warehouse system: monotonic counters,
+// gauges, and log-bucketed histograms.
+//
+// Instruments are registered by name at wiring time (before the runtime
+// starts) and hold stable addresses for the life of the registry, so
+// processes keep raw pointers and the hot path touches exactly one
+// relaxed atomic cell per event. Snapshots read the same cells without
+// stopping the writers: under SimRuntime/ExploringRuntime everything is
+// one thread anyway, under ThreadRuntime a snapshot is a momentary view
+// of monotone counters.
+//
+// Names follow the Prometheus convention loosely: a dotted base name
+// plus an optional {key="value"} label suffix identifying the process or
+// view, e.g. merge.rels_received{process="merge-0"}.
+
+#pragma once
+
+#include <array>
+#include <atomic>  // mvc-lint: allow-sync -- instruments are shared with ThreadRuntime worker threads; one relaxed atomic op per event
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace mvc {
+namespace obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time level; last write wins.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-bucketed histogram of non-negative int64 samples (negative
+/// samples clamp to 0). Bucket 0 holds the value 0; bucket b >= 1 holds
+/// [2^(b-1), 2^b - 1], so upper bounds run 0, 1, 3, 7, 15, ... and 63
+/// buckets cover the full range.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Record(int64_t v);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// 0 when empty.
+  int64_t min() const;
+  int64_t max() const;
+  int64_t bucket(size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper bound of bucket b (0, 1, 3, 7, ...).
+  static int64_t BucketUpperBound(size_t b);
+  static size_t BucketIndex(int64_t v);
+
+ private:
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{INT64_MAX};
+  std::atomic<int64_t> max_{INT64_MIN};
+};
+
+/// --- Snapshots (plain data, safe to copy around and serialize) ---
+
+struct CounterSnapshot {
+  std::string name;
+  int64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  struct Bucket {
+    int64_t le = 0;  // inclusive upper bound
+    int64_t count = 0;
+  };
+  std::string name;
+  std::string unit;  // "us", "rows", "als", ... (informational)
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  /// Non-empty buckets only, ascending by `le`.
+  std::vector<Bucket> buckets;
+
+  double Mean() const;
+  /// Estimated q-quantile (q in [0,1]) from the bucket upper bounds.
+  int64_t Quantile(double q) const;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;  // sorted by name
+  std::vector<CounterSnapshot> gauges;    // sorted by name
+  std::vector<HistogramSnapshot> histograms;  // sorted by name
+};
+
+/// Exact-name lookups; nullptr when absent.
+const CounterSnapshot* FindCounter(const MetricsSnapshot& s,
+                                   const std::string& name);
+const CounterSnapshot* FindGauge(const MetricsSnapshot& s,
+                                 const std::string& name);
+const HistogramSnapshot* FindHistogram(const MetricsSnapshot& s,
+                                       const std::string& name);
+/// Sum of every counter whose base name (the part before '{') matches.
+int64_t SumCounters(const MetricsSnapshot& s, const std::string& base);
+/// Sum of `count` over every histogram whose base name matches.
+int64_t SumHistogramCounts(const MetricsSnapshot& s, const std::string& base);
+
+/// Owns every instrument; hands out stable pointers. Registration is
+/// idempotent by name (the existing instrument is returned) and must
+/// happen at wiring time — before the runtime starts delivering
+/// messages — so no lock guards the containers.
+class MetricsRegistry {
+ public:
+  Counter* RegisterCounter(const std::string& name);
+  Gauge* RegisterGauge(const std::string& name);
+  Histogram* RegisterHistogram(const std::string& name,
+                               const std::string& unit = "");
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  // Deques: stable addresses across registration.
+  std::deque<std::pair<std::string, Counter>> counters_;
+  std::deque<std::pair<std::string, Gauge>> gauges_;
+  struct NamedHistogram {
+    std::string name;
+    std::string unit;
+    Histogram histogram;
+  };
+  std::deque<NamedHistogram> histograms_;
+};
+
+/// JSON export, machine-diffable (schema "mvc-metrics-v1"); same 2-space
+/// indent style as the BENCH_*.json files. tools/mvc_stats parses and
+/// validates this format.
+std::string MetricsToJson(const MetricsSnapshot& s);
+
+/// Prometheus text exposition format. Dots in names become underscores,
+/// histograms expand to cumulative _bucket/_sum/_count series.
+std::string MetricsToPrometheus(const MetricsSnapshot& s);
+
+}  // namespace obs
+}  // namespace mvc

@@ -1,0 +1,70 @@
+#include "obs/trace.h"
+
+#include "common/string_util.h"
+
+namespace mvc {
+namespace obs {
+
+const char* SpanKindToString(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kSourcePost:
+      return "source-post";
+    case SpanKind::kSequenced:
+      return "sequenced";
+    case SpanKind::kAlProduced:
+      return "al-produced";
+    case SpanKind::kRelReceived:
+      return "rel-received";
+    case SpanKind::kAlReceived:
+      return "al-received";
+    case SpanKind::kSubmitted:
+      return "submitted";
+    case SpanKind::kCommitted:
+      return "committed";
+    case SpanKind::kViewReflected:
+      return "view-reflected";
+  }
+  return "?";
+}
+
+void Tracer::Record(Span span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<Span> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::string TraceToJson(const std::vector<Span>& spans,
+                        const IdRegistry* names) {
+  std::string out = "{\n  \"schema\": \"mvc-trace-v1\",\n  \"spans\": [";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    out += StrCat(i == 0 ? "\n" : ",\n", "    {\"kind\": \"",
+                  SpanKindToString(s.kind), "\", \"update\": ", s.update);
+    if (s.view != kInvalidView) {
+      const bool known =
+          names != nullptr && s.view >= 0 &&
+          static_cast<size_t>(s.view) < names->num_views();
+      out += StrCat(", \"view\": \"",
+                    known ? names->ViewName(s.view) : StrCat("V#", s.view),
+                    "\"");
+    }
+    if (s.txn_id >= 0) out += StrCat(", \"txn\": ", s.txn_id);
+    out += StrCat(", \"aux\": ", s.aux, ", \"at\": ", s.at,
+                  ", \"process\": \"", s.process, "\"}");
+  }
+  out += spans.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace mvc

@@ -1,0 +1,83 @@
+// Causal tracing of update lifecycles. Every instrumented process emits
+// spans keyed by the integrator's UpdateId, so a single update can be
+// followed from its source post through sequencing, AL production, the
+// merge paint steps, and the final warehouse commit.
+//
+// Timestamps are whatever the owning runtime's Now() returns: virtual
+// microseconds under SimRuntime, the logical clock under
+// ExploringRuntime, and steady-clock microseconds under ThreadRuntime
+// (see docs/OBSERVABILITY.md for the exact semantics). Span order in the
+// log is append order, which under the simulator is delivery order.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>  // mvc-lint: allow-sync -- the span log is appended by every process; ThreadRuntime runs them on distinct threads
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "storage/id_registry.h"
+
+namespace mvc {
+namespace obs {
+
+enum class SpanKind : uint8_t {
+  /// Source committed a local transaction and reported it (no global
+  /// number yet; update == kInvalidUpdate, aux == local sequence).
+  kSourcePost = 0,
+  /// Integrator assigned the global UpdateId; aux == |REL_i|.
+  kSequenced = 1,
+  /// View manager emitted an action list covering this update
+  /// (view set, aux == the AL's label j).
+  kAlProduced = 2,
+  /// Merge process consumed REL_i from the integrator.
+  kRelReceived = 3,
+  /// Merge process consumed AL^x_j (view set, aux == label j).
+  kAlReceived = 4,
+  /// Merge process folded this VUT row into a submitted warehouse
+  /// transaction (txn_id set).
+  kSubmitted = 5,
+  /// Warehouse committed the transaction containing this row (txn_id
+  /// set, aux == submitting merge's ProcessId).
+  kCommitted = 6,
+  /// The committed transaction reflected this update in this view
+  /// (one span per covered (view, update) pair).
+  kViewReflected = 7,
+};
+
+const char* SpanKindToString(SpanKind kind);
+
+struct Span {
+  SpanKind kind = SpanKind::kSourcePost;
+  UpdateId update = kInvalidUpdate;
+  ViewId view = kInvalidView;
+  int64_t txn_id = -1;
+  /// Kind-specific extra (REL size, AL label, local seq, ...).
+  int64_t aux = 0;
+  /// Runtime Now() at emission (logical or steady micros; see header).
+  int64_t at = 0;
+  /// Emitting process name ("integrator", "merge-0", "vm-V1", ...).
+  std::string process;
+};
+
+/// Append-only span log shared by every instrumented process.
+class Tracer {
+ public:
+  void Record(Span span);
+  size_t size() const;
+  /// Copy of the log; safe at any time (the log only grows).
+  std::vector<Span> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+};
+
+/// JSON export (schema "mvc-trace-v1"); `names` resolves view ids to
+/// names, pass nullptr to render raw ids.
+std::string TraceToJson(const std::vector<Span>& spans,
+                        const IdRegistry* names);
+
+}  // namespace obs
+}  // namespace mvc

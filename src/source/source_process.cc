@@ -1,8 +1,18 @@
 #include "source/source_process.h"
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mvc {
+
+void SourceProcess::EnableObservability(obs::MetricsRegistry* metrics,
+                                        obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (metrics == nullptr) return;
+  m_posted_ = metrics->RegisterCounter(
+      StrCat("source.txns_posted{process=\"", name(), "\"}"));
+}
 
 Status SourceProcess::LoadInitial(const std::string& relation,
                                   const Tuple& t) {
@@ -69,6 +79,15 @@ Status SourceProcess::ExecuteTransaction(const std::vector<Update>& updates,
   txn.global_txn_id = global_txn_id;
   txn.global_participants = global_participants;
   log_.push_back(txn);
+
+  if (m_posted_ != nullptr) m_posted_->Add();
+  if (tracer_ != nullptr) {
+    // Updates are numbered only at the integrator; a source post is
+    // identified by its source-local sequence number in aux.
+    tracer_->Record(obs::Span{obs::SpanKind::kSourcePost, kInvalidUpdate,
+                              kInvalidView, -1, txn.local_seq, Now(),
+                              name()});
+  }
 
   if (integrator_ != kInvalidProcess) {
     auto msg = std::make_unique<SourceTxnMsg>();

@@ -28,6 +28,12 @@
 
 namespace mvc {
 
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+class Counter;
+}  // namespace obs
+
 /// Tunables for one source.
 struct SourceOptions {
   /// Simulated processing time before a query answer is sent.
@@ -56,6 +62,13 @@ class SourceProcess : public Process {
   /// Resolves RelationIds in query requests back to catalog names; must
   /// be set before the runtime starts and outlive the process.
   void SetRegistry(const IdRegistry* registry) { registry_ = registry; }
+
+  /// Wires the observability hub (before the runtime starts): every
+  /// committed transaction records a kSourcePost span (aux = local
+  /// sequence number) and bumps source.txns_posted. Either pointer may
+  /// be null.
+  void EnableObservability(obs::MetricsRegistry* metrics,
+                           obs::Tracer* tracer);
 
   /// --- Direct API (used by drivers co-located with the runtime) ---
 
@@ -92,6 +105,9 @@ class SourceProcess : public Process {
   Catalog catalog_;
   std::vector<SourceTransaction> log_;
   ProcessId integrator_ = kInvalidProcess;
+  // --- Observability (null when disabled) ---
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* m_posted_ = nullptr;
 };
 
 }  // namespace mvc

@@ -95,6 +95,16 @@ struct SystemConfig {
   /// process, and registers the fault injector.
   FaultOptions fault;
 
+  // --- Observability (src/obs/) ---
+  /// Register metric instruments (counters, gauges, histograms) in every
+  /// process; snapshot them after Run via WarehouseSystem::metrics().
+  bool collect_metrics = false;
+  /// Record per-update trace spans (source post -> sequencing -> AL
+  /// production -> merge -> commit); required for the derived latency /
+  /// staleness histograms, which are computed from the trace at the end
+  /// of Run.
+  bool collect_trace = false;
+
   // --- Runtime ---
   uint64_t seed = 1;
   LatencyModel latency = LatencyModel::Zero();

@@ -70,6 +70,22 @@ std::string RunReportString(WarehouseSystem& system) {
   } else {
     out += "fault injection: disabled\n";
   }
+
+  if (system.metrics() != nullptr) {
+    // Counters and gauges only: both are pure functions of the delivery
+    // schedule, so the report stays byte-identical across deterministic
+    // replays (histograms carry timestamps-derived shapes and stay in
+    // the JSON export).
+    system.FinalizeObservability();
+    const obs::MetricsSnapshot snap = system.MetricsSnapshot();
+    out += "metrics:\n";
+    for (const obs::CounterSnapshot& c : snap.counters) {
+      out += StrCat("  ", c.name, "=", c.value, "\n");
+    }
+    for (const obs::CounterSnapshot& g : snap.gauges) {
+      out += StrCat("  ", g.name, "=", g.value, " (gauge)\n");
+    }
+  }
   return out;
 }
 

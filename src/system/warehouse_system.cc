@@ -6,6 +6,7 @@
 #include "common/string_util.h"
 #include "merge/merge_engine.h"
 #include "net/thread_runtime.h"
+#include "obs/derived.h"
 #include "query/evaluator.h"
 #include "viewmgr/complete_vm.h"
 
@@ -73,6 +74,15 @@ Result<std::unique_ptr<WarehouseSystem>> WarehouseSystem::Build(
 Status WarehouseSystem::Wire(SystemConfig config) {
   config_ = std::move(config);
   recorder_ = ConsistencyRecorder(config_.record_snapshots);
+
+  // Observability hubs. Both exist when either flag is set: the derived
+  // latency/staleness histograms live in the registry but are computed
+  // from the trace, so metrics without a trace would silently miss the
+  // headline numbers.
+  if (config_.collect_metrics || config_.collect_trace) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    tracer_ = std::make_unique<obs::Tracer>();
+  }
 
   if (config_.fault.enabled()) {
     if (config_.fault.checkpoint_every <= 0) {
@@ -188,6 +198,7 @@ Status WarehouseSystem::Wire(SystemConfig config) {
       }
     }
     source->SetRegistry(&registry_);
+    source->EnableObservability(metrics_.get(), tracer_.get());
     source_pids[name] = runtime_->Register(source.get());
     sources_.push_back(std::move(source));
   }
@@ -217,10 +228,45 @@ Status WarehouseSystem::Wire(SystemConfig config) {
   }
   warehouse_->SetRegistry(&registry_);
   const ProcessId warehouse_pid = runtime_->Register(warehouse_.get());
+  obs::Counter* wh_commits = nullptr;
+  obs::Histogram* wh_txn_rows = nullptr;
+  if (metrics_ != nullptr) {
+    wh_commits = metrics_->RegisterCounter("warehouse.commits");
+    wh_txn_rows = metrics_->RegisterHistogram("warehouse.txn_rows", "rows");
+  }
   warehouse_->SetCommitObserver(
-      [this](ProcessId submitter, const WarehouseTransaction& txn,
-             const Catalog& views, TimeMicros now) {
+      [this, wh_commits, wh_txn_rows](ProcessId submitter,
+                                      const WarehouseTransaction& txn,
+                                      const Catalog& views, TimeMicros now) {
         recorder_.OnCommit(submitter, txn, views, now);
+        if (wh_commits != nullptr) {
+          wh_commits->Add();
+          wh_txn_rows->Record(static_cast<int64_t>(txn.rows.size()));
+        }
+        if (tracer_ != nullptr) {
+          for (UpdateId row : txn.rows) {
+            tracer_->Record(obs::Span{obs::SpanKind::kCommitted, row,
+                                      kInvalidView, txn.txn_id, submitter,
+                                      now, "warehouse"});
+          }
+          // One reflection span per (view, covered update): the commit
+          // makes each action list's updates visible in its view.
+          for (const ActionList& al : txn.actions) {
+            if (al.covered.empty()) {
+              for (UpdateId u = al.first_update; u <= al.update; ++u) {
+                tracer_->Record(obs::Span{obs::SpanKind::kViewReflected, u,
+                                          al.view, txn.txn_id, 0, now,
+                                          "warehouse"});
+              }
+            } else {
+              for (UpdateId u : al.covered) {
+                tracer_->Record(obs::Span{obs::SpanKind::kViewReflected, u,
+                                          al.view, txn.txn_id, 0, now,
+                                          "warehouse"});
+              }
+            }
+          }
+        }
       });
 
   if (config_.sequential_baseline) {
@@ -274,6 +320,7 @@ Status WarehouseSystem::Wire(SystemConfig config) {
           &registry_, options);
       ProcessId merge_pid = runtime_->Register(merge.get());
       merge->SetWarehouse(warehouse_pid);
+      merge->EnableObservability(metrics_.get(), tracer_.get());
       for (const std::string& view : groups_[g].views) {
         merge_of_view[view] = merge_pid;
       }
@@ -342,6 +389,7 @@ Status WarehouseSystem::Wire(SystemConfig config) {
       }
       vm_of_view[view.name()] = runtime_->Register(vm.get());
       vm->SetMerge(merge_of_view.at(view.name()));
+      vm->EnableObservability(metrics_.get(), tracer_.get());
       view_managers_.push_back(std::move(vm));
     }
 
@@ -393,6 +441,7 @@ Status WarehouseSystem::Wire(SystemConfig config) {
         [this](UpdateId id, const SourceTransaction& txn) {
           recorder_.OnUpdateNumbered(id, txn, runtime_->Now());
         });
+    integrator_->EnableObservability(metrics_.get(), tracer_.get());
     for (auto& source : sources_) source->SetIntegrator(integrator_pid);
 
     // Fault tolerance: durable stores, recovery wiring, and the injector.
@@ -447,7 +496,37 @@ Status WarehouseSystem::Wire(SystemConfig config) {
   return Status::OK();
 }
 
-void WarehouseSystem::Run() { runtime_->Run(); }
+void WarehouseSystem::Run() {
+  runtime_->Run();
+  FinalizeObservability();
+}
+
+void WarehouseSystem::FinalizeObservability() {
+  if (obs_finalized_ || metrics_ == nullptr) return;
+  obs_finalized_ = true;
+  // End-of-run engine levels. The PA engine is excluded from the live
+  // promptness scan, so a non-zero end gauge here is the coarse-grained
+  // check that every merge drained its holds.
+  for (const auto& merge : merges_) {
+    const std::string l = StrCat("{process=\"", merge->name(), "\"}");
+    metrics_->RegisterGauge(StrCat("merge.end_held_action_lists", l))
+        ->Set(static_cast<int64_t>(merge->engine().held_action_lists()));
+    metrics_->RegisterGauge(StrCat("merge.end_open_rows", l))
+        ->Set(static_cast<int64_t>(merge->engine().open_rows()));
+  }
+  obs::ComputeDerivedMetrics(tracer_->Snapshot(), &registry_,
+                             metrics_.get());
+}
+
+obs::MetricsSnapshot WarehouseSystem::MetricsSnapshot() const {
+  if (metrics_ == nullptr) return {};
+  return metrics_->Snapshot();
+}
+
+std::vector<obs::Span> WarehouseSystem::TraceSnapshot() const {
+  if (tracer_ == nullptr) return {};
+  return tracer_->Snapshot();
+}
 
 WarehouseReader* WarehouseSystem::AttachReader(
     std::vector<std::string> views, std::vector<TimeMicros> read_at) {

@@ -16,6 +16,8 @@
 #include "fault/fault_injector.h"
 #include "fault/merge_log.h"
 #include "merge/partition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/id_registry.h"
 #include "system/config.h"
 #include "viewmgr/view_manager.h"
@@ -86,6 +88,21 @@ class WarehouseSystem {
   const std::vector<ViewGroup>& view_groups() const { return groups_; }
   const std::vector<BoundView>& bound_views() const { return bound_views_; }
 
+  /// --- Observability (wired iff config.collect_metrics/collect_trace;
+  /// both hubs exist when either flag is set so the derived metrics can
+  /// always be computed) ---
+  const obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+  const obs::Tracer* tracer() const { return tracer_.get(); }
+  /// Records the end-of-run merge gauges (held ALs, open rows) and
+  /// derives the headline histograms (update.commit_latency_us,
+  /// view.staleness_us, merge.al_hold_time_us) from the trace.
+  /// Idempotent; Run() calls it, tests snapshotting mid-run may too.
+  void FinalizeObservability();
+  /// Snapshot after FinalizeObservability; empty when disabled.
+  obs::MetricsSnapshot MetricsSnapshot() const;
+  /// Copy of the span log; empty when disabled.
+  std::vector<obs::Span> TraceSnapshot() const;
+
   /// --- Fault tolerance (wired iff config.fault has a plan) ---
   bool faults_enabled() const { return config_.fault.enabled(); }
   const CheckpointStore* checkpoint_store() const {
@@ -123,6 +140,9 @@ class WarehouseSystem {
   std::unique_ptr<CheckpointStore> checkpoint_store_;
   std::vector<std::unique_ptr<MergeLog>> merge_logs_;
   std::unique_ptr<FaultInjectorProcess> fault_injector_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  bool obs_finalized_ = false;
 };
 
 }  // namespace mvc

@@ -1,6 +1,8 @@
 #include "viewmgr/view_manager.h"
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/evaluator.h"
 #include "query/relevance.h"
 
@@ -116,6 +118,17 @@ void ViewManagerBase::EnableFaultTolerance(CheckpointStore* store,
   checkpoints_->Save(view_->name(), replica_, kInvalidUpdate);
 }
 
+void ViewManagerBase::EnableObservability(obs::MetricsRegistry* metrics,
+                                          obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (metrics == nullptr) return;
+  const std::string l = StrCat("{process=\"", name(), "\"}");
+  m_updates_ = metrics->RegisterCounter(StrCat("vm.updates_received", l));
+  m_als_sent_ = metrics->RegisterCounter(StrCat("vm.action_lists_sent", l));
+  m_batch_updates_ =
+      metrics->RegisterHistogram(StrCat("vm.al_batch_updates", l), "updates");
+}
+
 void ViewManagerBase::EmitRaw(ActionList al, TimeMicros delay) {
   MVC_CHECK(al.view == view_id_ && view_id_ != kInvalidView)
       << "view manager " << name() << " emitting AL without a wired ViewId";
@@ -131,6 +144,29 @@ void ViewManagerBase::EmitRaw(ActionList al, TimeMicros delay) {
       checkpoints_->Save(view_->name(), replica_, covered_through_);
       als_since_checkpoint_ = 0;
       ++checkpoints_written_;
+    }
+  }
+  if (m_als_sent_ != nullptr) {
+    m_als_sent_->Add();
+    const int64_t covered_count =
+        al.covered.empty() ? al.update - al.first_update + 1
+                           : static_cast<int64_t>(al.covered.size());
+    m_batch_updates_->Record(covered_count);
+  }
+  if (tracer_ != nullptr) {
+    // One kAlProduced span per update the AL reflects; the span's aux is
+    // the AL's label so the staleness derivation can pair each update
+    // with the transaction that later applies this label.
+    if (al.covered.empty()) {
+      for (UpdateId u = al.first_update; u <= al.update; ++u) {
+        tracer_->Record(obs::Span{obs::SpanKind::kAlProduced, u, al.view, -1,
+                                  al.update, Now(), name()});
+      }
+    } else {
+      for (UpdateId u : al.covered) {
+        tracer_->Record(obs::Span{obs::SpanKind::kAlProduced, u, al.view, -1,
+                                  al.update, Now(), name()});
+      }
     }
   }
   auto msg = std::make_unique<ActionListMsg>();
@@ -226,6 +262,7 @@ void ViewManagerBase::OnMessage(ProcessId from, MessagePtr msg) {
       }
       auto* update = static_cast<UpdateMsg*>(msg.get());
       ++updates_received_;
+      if (m_updates_ != nullptr) m_updates_->Add();
       if (update->carries_rel) {
         RelSetMsg rel;
         rel.update_id = update->update_id;

@@ -45,6 +45,13 @@
 
 namespace mvc {
 
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+class Counter;
+class Histogram;
+}  // namespace obs
+
 /// Single-view consistency level a manager guarantees (Section 2.2).
 enum class ConsistencyLevel : uint8_t {
   kConvergent = 0,
@@ -119,6 +126,13 @@ class ViewManagerBase : public Process {
   /// of its update stream.
   void EnableFaultTolerance(CheckpointStore* store, int32_t checkpoint_every,
                             ProcessId integrator);
+
+  /// Wires the observability hub (before the runtime starts): AL
+  /// emission records a kAlProduced span per covered update plus the
+  /// vm.* instruments, all labelled with this process's name. Either
+  /// pointer may be null.
+  void EnableObservability(obs::MetricsRegistry* metrics,
+                           obs::Tracer* tracer);
 
   /// --- Introspection ---
 
@@ -225,6 +239,11 @@ class ViewManagerBase : public Process {
   bool busy_ = false;
   int64_t action_lists_sent_ = 0;
   int64_t updates_received_ = 0;
+  // --- Observability (all null when disabled) ---
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* m_updates_ = nullptr;
+  obs::Counter* m_als_sent_ = nullptr;
+  obs::Histogram* m_batch_updates_ = nullptr;
   // Query round state.
   int64_t next_request_ = 0;
   int64_t outstanding_answers_ = 0;

@@ -5,6 +5,8 @@
 
 #include "merge/merge_process.h"
 #include "net/sim_runtime.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/id_registry.h"
 #include "warehouse/warehouse.h"
 
@@ -73,6 +75,7 @@ struct Rig {
     ProcessId wpid = runtime.Register(&warehouse);
     ProcessId mpid = runtime.Register(&merge);
     merge.SetWarehouse(wpid);
+    merge.EnableObservability(&metrics, &tracer);
     feeder = std::make_unique<Feeder>("feeder", mpid);
     runtime.Register(feeder.get());
     warehouse.SetCommitObserver([this](ProcessId,
@@ -83,7 +86,15 @@ struct Rig {
     });
   }
 
+  /// The metrics registry's value for a merge counter, by base name.
+  int64_t Metric(const std::string& base) const {
+    const obs::MetricsSnapshot s = metrics.Snapshot();
+    return obs::SumCounters(s, base);
+  }
+
   SimRuntime runtime;
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer;
   WarehouseProcess warehouse;
   MergeProcess merge;
   std::unique_ptr<Feeder> feeder;
@@ -289,9 +300,13 @@ TEST(MergeProcessTest, MisroutedActionListIsDroppedWithError) {
   rig.feeder->Al(kV1, 1, Tuple{1}, 1);
   rig.runtime.Run();
   EXPECT_EQ(rig.merge.stats().misrouted_als, 1);
+  // The rejection is also visible to monitoring, not just the in-process
+  // stats struct.
+  EXPECT_EQ(rig.Metric("merge.misrouted_als"), 1);
   // The legitimate traffic still commits; only the accepted AL counts.
   EXPECT_EQ(rig.commit_order.size(), 1u);
   EXPECT_EQ(rig.merge.stats().action_lists_received, 1);
+  EXPECT_EQ(rig.Metric("merge.action_lists_received"), 1);
 }
 
 TEST(MergeProcessTest, UnknownViewIdActionListIsDropped) {
@@ -318,6 +333,7 @@ TEST(MergeProcessTest, UnknownViewIdActionListIsDropped) {
   rig.runtime.Register(&shot);
   rig.runtime.Run();
   EXPECT_EQ(rig.merge.stats().misrouted_als, 1);
+  EXPECT_EQ(rig.Metric("merge.misrouted_als"), 1);
   EXPECT_TRUE(rig.commit_order.empty());
 }
 

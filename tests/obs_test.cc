@@ -1,0 +1,377 @@
+// Observability tests: instrument primitives, exporters, the
+// trace-completeness oracle, and the end-to-end property that every
+// sequenced update's span chain terminates in exactly one warehouse
+// commit on randomized workloads, plus the promptness regression
+// (merge.prompt_violations == 0) on the paper's scenarios.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "merge/merge_engine.h"
+#include "merge/vut.h"
+#include "obs/derived.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/id_registry.h"
+#include "system/warehouse_system.h"
+#include "workload/generator.h"
+#include "workload/paper_examples.h"
+
+namespace mvc {
+namespace {
+
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::Span;
+using obs::SpanKind;
+
+// --- Instrument primitives ---
+
+TEST(HistogramTest, BucketIndexMatchesLogBounds) {
+  // Bucket 0 holds 0; bucket b >= 1 holds [2^(b-1), 2^b - 1].
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  // Negative samples clamp to bucket 0.
+  EXPECT_EQ(Histogram::BucketIndex(-5), 0u);
+
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7);
+  EXPECT_EQ(Histogram::BucketUpperBound(4), 15);
+
+  // Every representable value lands in the bucket whose bounds admit it.
+  for (int64_t v : {0LL, 1LL, 5LL, 100LL, 65535LL, 1LL << 40}) {
+    const size_t b = Histogram::BucketIndex(v);
+    EXPECT_LE(v, Histogram::BucketUpperBound(b)) << v;
+    if (b > 0) {
+      EXPECT_GT(v, Histogram::BucketUpperBound(b - 1)) << v;
+    }
+  }
+}
+
+TEST(HistogramTest, RecordTracksCountSumMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  for (int64_t v : {5, 100, 2, 2, 40}) h.Record(v);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.sum(), 149);
+  EXPECT_EQ(h.min(), 2);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_EQ(h.bucket(Histogram::BucketIndex(2)), 2);
+}
+
+TEST(HistogramTest, SnapshotQuantilesWalkBuckets) {
+  MetricsRegistry registry;
+  Histogram* h = registry.RegisterHistogram("t.lat", "us");
+  for (int i = 0; i < 90; ++i) h->Record(10);   // bucket [8,15]
+  for (int i = 0; i < 10; ++i) h->Record(500);  // bucket [256,511]
+  const MetricsSnapshot s = registry.Snapshot();
+  const obs::HistogramSnapshot* snap = obs::FindHistogram(s, "t.lat");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->count, 100);
+  EXPECT_EQ(snap->unit, "us");
+  // p50 falls in the low bucket, p99 in the high one.
+  EXPECT_LE(snap->Quantile(0.5), 15);
+  EXPECT_GE(snap->Quantile(0.99), 256);
+  EXPECT_NEAR(snap->Mean(), (90 * 10 + 10 * 500) / 100.0, 0.01);
+  // Non-empty buckets only, ascending by upper bound.
+  ASSERT_EQ(snap->buckets.size(), 2u);
+  EXPECT_LT(snap->buckets[0].le, snap->buckets[1].le);
+  EXPECT_EQ(snap->buckets[0].count + snap->buckets[1].count, 100);
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotentByName) {
+  MetricsRegistry registry;
+  obs::Counter* a = registry.RegisterCounter("x.events");
+  obs::Counter* b = registry.RegisterCounter("x.events");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  b->Add(2);
+  EXPECT_EQ(a->value(), 5);
+
+  obs::Gauge* g1 = registry.RegisterGauge("x.level");
+  obs::Gauge* g2 = registry.RegisterGauge("x.level");
+  EXPECT_EQ(g1, g2);
+  Histogram* h1 = registry.RegisterHistogram("x.h", "rows");
+  Histogram* h2 = registry.RegisterHistogram("x.h");
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(MetricsRegistryTest, SumAggregatesAcrossLabels) {
+  MetricsRegistry registry;
+  registry.RegisterCounter("merge.als{process=\"merge-0\"}")->Add(4);
+  registry.RegisterCounter("merge.als{process=\"merge-1\"}")->Add(6);
+  registry.RegisterCounter("merge.other")->Add(100);
+  const MetricsSnapshot s = registry.Snapshot();
+  EXPECT_EQ(obs::SumCounters(s, "merge.als"), 10);
+  EXPECT_EQ(obs::SumCounters(s, "merge.missing"), 0);
+  EXPECT_EQ(obs::FindCounter(s, "merge.als{process=\"merge-0\"}")->value, 4);
+  EXPECT_EQ(obs::FindCounter(s, "merge.als"), nullptr);
+}
+
+// --- Exporters ---
+
+TEST(MetricsExportTest, JsonRoundTripsThroughParser) {
+  MetricsRegistry registry;
+  registry.RegisterCounter("a.count")->Add(7);
+  registry.RegisterGauge("a.level")->Set(-2);
+  Histogram* h = registry.RegisterHistogram("a.lat", "us");
+  h->Record(3);
+  h->Record(9);
+
+  const std::string json = obs::MetricsToJson(registry.Snapshot());
+  auto parsed = obs::JsonValue::Parse(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue& root = *parsed;
+  ASSERT_TRUE(root.is_object());
+  ASSERT_NE(root.Find("schema"), nullptr);
+  EXPECT_EQ(root.Find("schema")->str, "mvc-metrics-v1");
+
+  const obs::JsonValue* counters = root.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_EQ(counters->array.size(), 1u);
+  EXPECT_EQ(counters->array[0].Find("name")->str, "a.count");
+  EXPECT_EQ(counters->array[0].Find("value")->AsInt(), 7);
+
+  const obs::JsonValue* gauges = root.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_EQ(gauges->array.size(), 1u);
+  EXPECT_EQ(gauges->array[0].Find("value")->AsInt(), -2);
+
+  const obs::JsonValue* hists = root.Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  ASSERT_EQ(hists->array.size(), 1u);
+  const obs::JsonValue& hist = hists->array[0];
+  EXPECT_EQ(hist.Find("name")->str, "a.lat");
+  EXPECT_EQ(hist.Find("unit")->str, "us");
+  EXPECT_EQ(hist.Find("count")->AsInt(), 2);
+  EXPECT_EQ(hist.Find("sum")->AsInt(), 12);
+  int64_t bucket_total = 0;
+  for (const obs::JsonValue& b : hist.Find("buckets")->array) {
+    EXPECT_GT(b.Find("count")->AsInt(), 0);  // no empty buckets emitted
+    bucket_total += b.Find("count")->AsInt();
+  }
+  EXPECT_EQ(bucket_total, 2);
+}
+
+TEST(MetricsExportTest, PrometheusTextUsesUnderscoresAndCumulativeBuckets) {
+  MetricsRegistry registry;
+  registry.RegisterCounter("merge.als{process=\"merge-0\"}")->Add(4);
+  Histogram* h = registry.RegisterHistogram("update.lat", "us");
+  h->Record(1);
+  h->Record(100);
+  const std::string text = obs::MetricsToPrometheus(registry.Snapshot());
+  EXPECT_NE(text.find("merge_als{process=\"merge-0\"} 4"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("update_lat_count 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("update_lat_sum 101"), std::string::npos) << text;
+  // Cumulative buckets always end with +Inf carrying the full count.
+  EXPECT_NE(text.find("update_lat_bucket{le=\"+Inf\"} 2"), std::string::npos)
+      << text;
+}
+
+// --- Promptness scan on a hand-built VUT ---
+
+TEST(PromptScanTest, CountsRowsTheSpaWouldApply) {
+  IdRegistry names;
+  const ViewId v0 = names.InternView("V0");
+  const ViewId v1 = names.InternView("V1");
+  ViewUpdateTable vut({v0, v1}, &names);
+
+  // Row 1 waits on one AL: white blocks application.
+  vut.AllocateRow(1, {v0, v1});
+  EXPECT_EQ(CountSpaApplicableRows(vut), 0u);
+
+  // Both ALs arrive: the row is applicable.
+  vut.SetColor(1, 0, CellColor::kRed);
+  vut.SetColor(1, 1, CellColor::kRed);
+  EXPECT_EQ(CountSpaApplicableRows(vut), 1u);
+
+  // Row 2 is complete too, but its red column 0 has an earlier red in
+  // row 1, so SPA order blocks it; only row 1 counts.
+  vut.AllocateRow(2, {v0});
+  vut.SetColor(2, 0, CellColor::kRed);
+  EXPECT_EQ(CountSpaApplicableRows(vut), 1u);
+
+  // Applying row 1 (gray) unblocks row 2.
+  vut.SetColor(1, 0, CellColor::kGray);
+  vut.SetColor(1, 1, CellColor::kGray);
+  EXPECT_EQ(CountSpaApplicableRows(vut), 1u);
+  vut.SetColor(2, 0, CellColor::kGray);
+  EXPECT_EQ(CountSpaApplicableRows(vut), 0u);
+}
+
+// --- Trace-completeness oracle ---
+
+Span Sequenced(UpdateId u, int64_t rel_size) {
+  return Span{SpanKind::kSequenced, u, kInvalidView, -1, rel_size, 10,
+              "integrator"};
+}
+
+Span Committed(UpdateId u, int64_t txn) {
+  return Span{SpanKind::kCommitted, u, kInvalidView, txn, 0, 20, "warehouse"};
+}
+
+TEST(TraceCompleteTest, AcceptsExactlyOneCommitPerNonEmptyUpdate) {
+  std::vector<Span> spans = {Sequenced(1, 2), Sequenced(2, 0), Committed(1, 0)};
+  EXPECT_TRUE(obs::CheckTraceComplete(spans).ok());
+}
+
+TEST(TraceCompleteTest, RejectsMissingAndDuplicateCommits) {
+  // Missing commit for a non-empty REL.
+  EXPECT_FALSE(obs::CheckTraceComplete({Sequenced(1, 1)}).ok());
+  // Duplicate commit.
+  EXPECT_FALSE(obs::CheckTraceComplete(
+                   {Sequenced(1, 1), Committed(1, 0), Committed(1, 1)})
+                   .ok());
+  // Commit for an empty-REL update that should never reach the merge.
+  EXPECT_FALSE(
+      obs::CheckTraceComplete({Sequenced(1, 0), Committed(1, 0)}).ok());
+}
+
+// --- End-to-end properties on randomized workloads ---
+
+struct ObsCase {
+  std::string name;
+  uint64_t seed;
+  ManagerKind manager;
+  size_t merge_processes;
+};
+
+std::string ObsCaseName(const ::testing::TestParamInfo<ObsCase>& info) {
+  return info.param.name;
+}
+
+class ObsPropertyTest : public ::testing::TestWithParam<ObsCase> {};
+
+TEST_P(ObsPropertyTest, SpanChainsEndInExactlyOneCommit) {
+  const ObsCase& c = GetParam();
+  WorkloadSpec spec;
+  spec.seed = c.seed;
+  spec.num_views = 4;
+  spec.num_transactions = 30;
+  spec.mean_interarrival = 800;
+  auto config = GenerateScenario(spec);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  for (const ViewDefinition& def : config->views) {
+    config->manager_kinds[def.name] = c.manager;
+  }
+  config->num_merge_processes = c.merge_processes;
+  config->latency = LatencyModel::Uniform(200, 3000);
+  config->collect_metrics = true;
+  config->collect_trace = true;
+
+  auto system = WarehouseSystem::Build(std::move(*config));
+  ASSERT_TRUE(system.ok()) << system.status().ToString();
+  (*system)->Run();
+
+  // Property 1: every sequenced update with a non-empty REL has exactly
+  // one warehouse commit span; empty-REL updates have none.
+  const std::vector<Span> spans = (*system)->TraceSnapshot();
+  ASSERT_FALSE(spans.empty());
+  EXPECT_TRUE(obs::CheckTraceComplete(spans).ok())
+      << obs::CheckTraceComplete(spans).ToString();
+
+  // Property 2: the metrics reconcile exactly with the consistency
+  // oracle — the commit counter equals the recorder's commit count, and
+  // the latency histogram holds one sample per committed update.
+  const MetricsSnapshot s = (*system)->MetricsSnapshot();
+  const obs::CounterSnapshot* commits = obs::FindCounter(s, "warehouse.commits");
+  ASSERT_NE(commits, nullptr);
+  EXPECT_EQ(commits->value,
+            static_cast<int64_t>((*system)->recorder().commits().size()));
+  EXPECT_EQ(obs::SumCounters(s, "merge.txns_committed"), commits->value);
+
+  std::set<UpdateId> committed_updates;
+  for (const Span& span : spans) {
+    if (span.kind == SpanKind::kCommitted) committed_updates.insert(span.update);
+  }
+  const obs::HistogramSnapshot* latency =
+      obs::FindHistogram(s, "update.commit_latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, static_cast<int64_t>(committed_updates.size()));
+  EXPECT_GT(latency->count, 0);
+
+  // The derived staleness and hold-time histograms saw traffic too.
+  EXPECT_GT(obs::SumHistogramCounts(s, "view.staleness_us"), 0);
+  EXPECT_GT(obs::SumHistogramCounts(s, "merge.al_hold_time_us"), 0);
+
+  // Quiescent run: no backlog left anywhere.
+  EXPECT_EQ(obs::FindGauge(s, "update.uncommitted")->value, 0);
+  EXPECT_EQ(obs::FindGauge(s, "view.unreflected_updates")->value, 0);
+  EXPECT_EQ(obs::FindGauge(s, "merge.unsubmitted_als")->value, 0);
+
+  // The run still satisfies its consistency level.
+  ConsistencyChecker checker = (*system)->MakeChecker();
+  EXPECT_TRUE(checker.CheckStrong((*system)->recorder()).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ObsPropertyTest,
+    ::testing::Values(
+        ObsCase{"complete_seed1", 1, ManagerKind::kComplete, 1},
+        ObsCase{"complete_seed2", 2, ManagerKind::kComplete, 1},
+        ObsCase{"complete_merge3", 3, ManagerKind::kComplete, 3},
+        ObsCase{"strong_seed4", 4, ManagerKind::kStrong, 1},
+        ObsCase{"strong_merge2", 5, ManagerKind::kStrong, 2}),
+    ObsCaseName);
+
+// --- Promptness regression on the paper's scenarios ---
+
+class PromptnessTest : public ::testing::TestWithParam<int> {};
+
+SystemConfig PromptScenario(int which) {
+  switch (which) {
+    case 0:
+      return Table1Scenario();
+    case 1:
+      return Table1RaceScenario();
+    case 2:
+      return Example3Scenario();
+    default:
+      return Example5Scenario();
+  }
+}
+
+std::string PromptName(const ::testing::TestParamInfo<int>& info) {
+  static const char* kNames[] = {"Table1", "Table1Race", "Example3",
+                                 "Example5"};
+  return kNames[info.param];
+}
+
+TEST_P(PromptnessTest, SpaNeverHoldsAnApplicableRow) {
+  // Theorem (promptness): the SPA applies every applicable row before
+  // yielding, so the idle-scan counter must stay zero even under
+  // adversarial message jitter.
+  SystemConfig config = PromptScenario(GetParam());
+  config.latency = LatencyModel::Uniform(200, 4000);
+  config.collect_metrics = true;
+  config.collect_trace = true;
+  auto system = WarehouseSystem::Build(std::move(config));
+  ASSERT_TRUE(system.ok()) << system.status().ToString();
+  (*system)->Run();
+
+  const MetricsSnapshot s = (*system)->MetricsSnapshot();
+  EXPECT_EQ(obs::SumCounters(s, "merge.prompt_violations"), 0);
+  EXPECT_GT(obs::FindCounter(s, "warehouse.commits")->value, 0);
+  EXPECT_TRUE(obs::CheckTraceComplete((*system)->TraceSnapshot()).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperScenarios, PromptnessTest,
+                         ::testing::Range(0, 4), PromptName);
+
+}  // namespace
+}  // namespace mvc

@@ -105,5 +105,53 @@ TEST(PartitionTest, SingleViewSingleton) {
   EXPECT_EQ(groups[0].views, (std::vector<std::string>{"V1"}));
 }
 
+TEST(PartitionTest, EmptyViewSetYieldsNoGroups) {
+  // A warehouse with no views is degenerate but must not crash the
+  // wiring; both entry points return an empty partition.
+  EXPECT_TRUE(PartitionViews({}).empty());
+  EXPECT_TRUE(PartitionViewsInto({}, 1).empty());
+  EXPECT_TRUE(PartitionViewsInto({}, 8).empty());
+}
+
+TEST(PartitionTest, SingletonGroupsSurviveBalancing) {
+  // Every view on its own relation: the exact partition is all
+  // singletons, and a budget of exactly that size must keep each
+  // singleton intact rather than merging any pair.
+  ViewDefinition a;
+  a.name = "A";
+  a.relations = {"R"};
+  ViewDefinition b;
+  b.name = "B";
+  b.relations = {"T"};
+  ViewDefinition c;
+  c.name = "C";
+  c.relations = {"Q"};
+  BoundView va = BindDef(a);
+  BoundView vb = BindDef(b);
+  BoundView vc = BindDef(c);
+  auto groups = PartitionViewsInto({&va, &vb, &vc}, 3);
+  ASSERT_EQ(groups.size(), 3u);
+  for (const auto& g : groups) {
+    EXPECT_EQ(g.views.size(), 1u);
+    EXPECT_EQ(g.relations.size(), 1u);
+  }
+  EXPECT_EQ(groups[0].views, (std::vector<std::string>{"A"}));
+  EXPECT_EQ(groups[1].views, (std::vector<std::string>{"B"}));
+  EXPECT_EQ(groups[2].views, (std::vector<std::string>{"C"}));
+}
+
+TEST(PartitionTest, SingletonViewGroupAmongLargerGroups) {
+  // Mixed shapes: {V1, V2} share S while the singleton {V3} rides along;
+  // squeezing into two groups must keep the shared pair together and
+  // leave the singleton group as-is (it is the smallest).
+  BoundView v1 = BindDef(PaperV1());
+  BoundView v2 = BindDef(PaperV2());
+  BoundView v3 = BindDef(PaperV3());
+  auto groups = PartitionViewsInto({&v1, &v2, &v3}, 2);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].views, (std::vector<std::string>{"V1", "V2"}));
+  EXPECT_EQ(groups[1].views, (std::vector<std::string>{"V3"}));
+}
+
 }  // namespace
 }  // namespace mvc

@@ -9,12 +9,15 @@
 //   mvc_sim --algorithm passthrough --check strong   # watch MVC break
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "common/string_util.h"
 #include "fault/fault_plan.h"
 #include "merge/merge_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parser/scenario_parser.h"
 #include "system/run_report.h"
 #include "system/warehouse_system.h"
@@ -53,6 +56,9 @@ struct Flags {
   bool show_views = false;
   std::string faults;
   int checkpoint_every = 4;
+  std::string metrics_out;
+  std::string trace_out;
+  std::string prom_out;
 };
 
 void Usage() {
@@ -95,6 +101,16 @@ void Usage() {
       "  --threads               real threads instead of the simulator\n"
       "  --check LEVEL           auto|complete|strong|convergent|none\n"
       "  --show-views            print final view contents\n\n"
+      "Observability:\n"
+      "  --metrics-out FILE      write the metrics snapshot as JSON\n"
+      "                          (schema mvc-metrics-v1; validate with\n"
+      "                          tools/mvc_stats --check)\n"
+      "  --trace-out FILE        write the span log as JSON\n"
+      "                          (schema mvc-trace-v1)\n"
+      "  --prom-out FILE         write the metrics snapshot in Prometheus\n"
+      "                          text exposition format\n"
+      "                          Any of these turns instrumentation on;\n"
+      "                          see docs/OBSERVABILITY.md\n\n"
       "Scenario files:\n"
       "  --scenario FILE         run a .mvc scenario file instead of a\n"
       "                          generated workload (see examples/*.mvc;\n"
@@ -168,6 +184,12 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->faults = next();
     } else if (arg == "--checkpoint-every") {
       flags->checkpoint_every = std::atoi(next());
+    } else if (arg == "--metrics-out") {
+      flags->metrics_out = next();
+    } else if (arg == "--trace-out") {
+      flags->trace_out = next();
+    } else if (arg == "--prom-out") {
+      flags->prom_out = next();
     } else if (arg == "--check") {
       flags->check = next();
     } else if (arg == "--show-views") {
@@ -307,6 +329,12 @@ int Run(const Flags& flags) {
                                      plan->events.end());
   }
   config->fault.checkpoint_every = flags.checkpoint_every;
+  const bool want_obs = !flags.metrics_out.empty() ||
+                        !flags.trace_out.empty() || !flags.prom_out.empty();
+  if (want_obs) {
+    config->collect_metrics = true;
+    config->collect_trace = true;
+  }
   auto system = WarehouseSystem::Build(std::move(*config));
   if (!system.ok()) {
     std::cerr << "build failed: " << system.status() << "\n";
@@ -362,6 +390,57 @@ int Run(const Flags& flags) {
   }
   if ((*system)->faults_enabled()) {
     std::cout << "\n" << RunReportString(**system);
+  }
+
+  if (want_obs) {
+    const obs::MetricsSnapshot snap = (*system)->MetricsSnapshot();
+    if (!flags.metrics_out.empty()) {
+      std::ofstream out(flags.metrics_out);
+      if (!out) {
+        std::cerr << "cannot write " << flags.metrics_out << "\n";
+        return 2;
+      }
+      out << obs::MetricsToJson(snap);
+    }
+    if (!flags.prom_out.empty()) {
+      std::ofstream out(flags.prom_out);
+      if (!out) {
+        std::cerr << "cannot write " << flags.prom_out << "\n";
+        return 2;
+      }
+      out << obs::MetricsToPrometheus(snap);
+    }
+    if (!flags.trace_out.empty()) {
+      std::ofstream out(flags.trace_out);
+      if (!out) {
+        std::cerr << "cannot write " << flags.trace_out << "\n";
+        return 2;
+      }
+      out << obs::TraceToJson((*system)->TraceSnapshot(),
+                              &(*system)->registry());
+    }
+    std::cout << "\nObservability\n";
+    if (const auto* lat =
+            obs::FindHistogram(snap, "update.commit_latency_us")) {
+      std::cout << "  update->commit latency: n=" << lat->count
+                << " p50=" << lat->Quantile(0.5) << "us"
+                << " p95=" << lat->Quantile(0.95) << "us"
+                << " max=" << lat->max << "us\n";
+    }
+    if (const auto* stale = obs::FindHistogram(snap, "view.staleness_us")) {
+      std::cout << "  per-view staleness:     n=" << stale->count
+                << " p50=" << stale->Quantile(0.5) << "us"
+                << " p95=" << stale->Quantile(0.95) << "us"
+                << " max=" << stale->max << "us\n";
+    }
+    std::cout << "  prompt violations:      "
+              << obs::SumCounters(snap, "merge.prompt_violations") << "\n";
+    if (!flags.metrics_out.empty()) {
+      std::cout << "  metrics written to " << flags.metrics_out << "\n";
+    }
+    if (!flags.trace_out.empty()) {
+      std::cout << "  trace written to " << flags.trace_out << "\n";
+    }
   }
 
   if (flags.show_views) {

@@ -1,0 +1,288 @@
+// mvc_stats — pretty-printer and validator for mvc-metrics-v1 files
+// (the JSON written by `mvc_sim --metrics-out`).
+//
+//   mvc_stats METRICS.json            # human-readable summary
+//   mvc_stats --check METRICS.json    # validate; exit 1 on any problem
+//   mvc_stats --counters METRICS.json # counters/gauges only (grep-able)
+//
+// --check verifies the schema tag, the structural shape of every
+// instrument, each histogram's internal consistency (bucket counts sum
+// to `count`, bounds ascend, min <= max), and that the headline derived
+// histograms (update.commit_latency_us, view.staleness_us,
+// merge.al_hold_time_us) are present — a metrics file without them came
+// from a run that never finalized its observability.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace mvc {
+namespace {
+
+int g_errors = 0;
+
+void Fail(const std::string& message) {
+  std::cerr << "mvc_stats: " << message << "\n";
+  ++g_errors;
+}
+
+const obs::JsonValue* RequireArray(const obs::JsonValue& root,
+                                   const std::string& key) {
+  const obs::JsonValue* v = root.Find(key);
+  if (v == nullptr || !v->is_array()) {
+    Fail("missing or non-array \"" + key + "\"");
+    return nullptr;
+  }
+  return v;
+}
+
+/// Validates one {"name": ..., "value": ...} entry.
+void CheckCounterEntry(const obs::JsonValue& entry, const std::string& what) {
+  if (!entry.is_object()) {
+    Fail(what + " entry is not an object");
+    return;
+  }
+  const obs::JsonValue* name = entry.Find("name");
+  const obs::JsonValue* value = entry.Find("value");
+  if (name == nullptr || !name->is_string() || name->str.empty()) {
+    Fail(what + " entry without a name");
+    return;
+  }
+  if (value == nullptr || !value->is_number()) {
+    Fail(what + " '" + name->str + "' without a numeric value");
+  }
+}
+
+void CheckHistogramEntry(const obs::JsonValue& entry) {
+  if (!entry.is_object()) {
+    Fail("histogram entry is not an object");
+    return;
+  }
+  const obs::JsonValue* name = entry.Find("name");
+  if (name == nullptr || !name->is_string() || name->str.empty()) {
+    Fail("histogram entry without a name");
+    return;
+  }
+  const obs::JsonValue* count = entry.Find("count");
+  const obs::JsonValue* buckets = entry.Find("buckets");
+  if (count == nullptr || !count->is_number() || count->AsInt() < 0) {
+    Fail("histogram '" + name->str + "' without a non-negative count");
+    return;
+  }
+  if (buckets == nullptr || !buckets->is_array()) {
+    Fail("histogram '" + name->str + "' without a buckets array");
+    return;
+  }
+  int64_t bucket_total = 0;
+  int64_t last_le = INT64_MIN;
+  for (const obs::JsonValue& b : buckets->array) {
+    const obs::JsonValue* le = b.Find("le");
+    const obs::JsonValue* c = b.Find("count");
+    if (le == nullptr || c == nullptr || !le->is_number() ||
+        !c->is_number()) {
+      Fail("histogram '" + name->str + "' has a malformed bucket");
+      return;
+    }
+    if (le->AsInt() <= last_le) {
+      Fail("histogram '" + name->str + "' buckets not ascending by le");
+    }
+    if (c->AsInt() <= 0) {
+      Fail("histogram '" + name->str +
+           "' contains an empty bucket (exporter emits non-empty only)");
+    }
+    last_le = le->AsInt();
+    bucket_total += c->AsInt();
+  }
+  if (bucket_total != count->AsInt()) {
+    Fail("histogram '" + name->str + "' bucket counts sum to " +
+         std::to_string(bucket_total) + ", expected count=" +
+         std::to_string(count->AsInt()));
+  }
+  const obs::JsonValue* min = entry.Find("min");
+  const obs::JsonValue* max = entry.Find("max");
+  if (count->AsInt() > 0 &&
+      (min == nullptr || max == nullptr || min->AsInt() > max->AsInt())) {
+    Fail("histogram '" + name->str + "' has min > max");
+  }
+}
+
+bool HasHistogram(const obs::JsonValue& histograms, const std::string& name) {
+  for (const obs::JsonValue& h : histograms.array) {
+    const obs::JsonValue* n = h.Find("name");
+    if (n != nullptr && n->is_string() && n->str == name) return true;
+  }
+  return false;
+}
+
+void Check(const obs::JsonValue& root) {
+  const obs::JsonValue* schema = root.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->str != "mvc-metrics-v1") {
+    Fail("schema tag is not \"mvc-metrics-v1\"");
+    return;
+  }
+  const obs::JsonValue* counters = RequireArray(root, "counters");
+  const obs::JsonValue* gauges = RequireArray(root, "gauges");
+  const obs::JsonValue* histograms = RequireArray(root, "histograms");
+  if (counters != nullptr) {
+    for (const obs::JsonValue& c : counters->array) {
+      CheckCounterEntry(c, "counter");
+    }
+  }
+  if (gauges != nullptr) {
+    for (const obs::JsonValue& g : gauges->array) {
+      CheckCounterEntry(g, "gauge");
+    }
+  }
+  if (histograms != nullptr) {
+    for (const obs::JsonValue& h : histograms->array) {
+      CheckHistogramEntry(h);
+    }
+    for (const char* headline :
+         {"update.commit_latency_us", "view.staleness_us",
+          "merge.al_hold_time_us"}) {
+      if (!HasHistogram(*histograms, headline)) {
+        Fail(std::string("headline histogram '") + headline +
+             "' is missing (run not finalized?)");
+      }
+    }
+  }
+}
+
+/// Estimated q-quantile from non-cumulative {le, count} buckets.
+int64_t BucketQuantile(const obs::JsonValue& entry, double q) {
+  const obs::JsonValue* count = entry.Find("count");
+  const obs::JsonValue* buckets = entry.Find("buckets");
+  const obs::JsonValue* max = entry.Find("max");
+  if (count == nullptr || buckets == nullptr || count->AsInt() == 0) {
+    return 0;
+  }
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(q * static_cast<double>(count->AsInt()) + 0.5));
+  int64_t seen = 0;
+  for (const obs::JsonValue& b : buckets->array) {
+    seen += b.Find("count")->AsInt();
+    if (seen >= rank) {
+      const int64_t le = b.Find("le")->AsInt();
+      return max != nullptr ? std::min(le, max->AsInt()) : le;
+    }
+  }
+  return max != nullptr ? max->AsInt() : 0;
+}
+
+void PrintCounters(const obs::JsonValue& root) {
+  const obs::JsonValue* counters = root.Find("counters");
+  const obs::JsonValue* gauges = root.Find("gauges");
+  if (counters != nullptr) {
+    for (const obs::JsonValue& c : counters->array) {
+      std::cout << c.Find("name")->str << "=" << c.Find("value")->AsInt()
+                << "\n";
+    }
+  }
+  if (gauges != nullptr) {
+    for (const obs::JsonValue& g : gauges->array) {
+      std::cout << g.Find("name")->str << "=" << g.Find("value")->AsInt()
+                << " (gauge)\n";
+    }
+  }
+}
+
+void PrintSummary(const obs::JsonValue& root) {
+  std::cout << "== counters ==\n";
+  PrintCounters(root);
+  const obs::JsonValue* histograms = root.Find("histograms");
+  if (histograms == nullptr) return;
+  std::cout << "== histograms ==\n";
+  for (const obs::JsonValue& h : histograms->array) {
+    const obs::JsonValue* unit = h.Find("unit");
+    const obs::JsonValue* count = h.Find("count");
+    const obs::JsonValue* sum = h.Find("sum");
+    const obs::JsonValue* max = h.Find("max");
+    const int64_t n = count != nullptr ? count->AsInt() : 0;
+    const std::string u =
+        unit != nullptr && unit->is_string() ? unit->str : "";
+    std::cout << h.Find("name")->str << ": n=" << n;
+    if (n > 0) {
+      const double mean =
+          static_cast<double>(sum->AsInt()) / static_cast<double>(n);
+      char mean_buf[32];
+      std::snprintf(mean_buf, sizeof(mean_buf), "%.1f", mean);
+      std::cout << " mean=" << mean_buf << u
+                << " p50=" << BucketQuantile(h, 0.5) << u
+                << " p95=" << BucketQuantile(h, 0.95) << u
+                << " max=" << max->AsInt() << u;
+    }
+    std::cout << "\n";
+  }
+}
+
+int Main(int argc, char** argv) {
+  bool check = false;
+  bool counters_only = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check = true;
+    } else if (arg == "--counters") {
+      counters_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: mvc_stats [--check|--counters] METRICS.json\n"
+                   "Pretty-print or validate an mvc-metrics-v1 file\n"
+                   "(written by mvc_sim --metrics-out).\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag " << arg << " (see --help)\n";
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::cerr << "more than one input file (see --help)\n";
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "no input file (see --help)\n";
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot read " << path << "\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto root = obs::JsonValue::Parse(buffer.str());
+  if (!root.ok()) {
+    std::cerr << "mvc_stats: " << path << ": " << root.status() << "\n";
+    return 1;
+  }
+  if (check) {
+    Check(*root);
+    if (g_errors > 0) {
+      std::cerr << "mvc_stats: " << path << ": " << g_errors
+                << " problem(s)\n";
+      return 1;
+    }
+    std::cout << path << ": OK (mvc-metrics-v1)\n";
+    return 0;
+  }
+  if (counters_only) {
+    PrintCounters(*root);
+  } else {
+    PrintSummary(*root);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mvc
+
+int main(int argc, char** argv) { return mvc::Main(argc, argv); }

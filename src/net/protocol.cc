@@ -131,9 +131,23 @@ std::string ReadViewsMsg::Summary() const {
   return StrCat("read views [", JoinToString(views, ","), "]");
 }
 
+std::vector<Table> ViewsSnapshotMsg::TakeTables() {
+  if (!handle.valid()) return std::move(snapshots);
+  std::vector<Table> tables;
+  tables.reserve(view_names.size());
+  for (const std::string& name : view_names) {
+    Result<Table> table = handle.MaterializeTable(name);
+    MVC_CHECK(table.ok()) << table.status().ToString();
+    tables.push_back(*std::move(table));
+  }
+  return tables;
+}
+
 std::string ViewsSnapshotMsg::Summary() const {
-  return StrCat("snapshot of ", snapshots.size(), " views @commit ",
-                as_of_commit);
+  if (!ok()) return StrCat("snapshot error: ", error);
+  return StrCat("snapshot of ",
+                handle.valid() ? view_names.size() : snapshots.size(),
+                " views @commit ", as_of_commit);
 }
 
 std::string InjectTxnMsg::Summary() const {

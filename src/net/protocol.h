@@ -18,6 +18,7 @@
 #include "storage/id_registry.h"
 #include "storage/table.h"
 #include "storage/update.h"
+#include "storage/versioned_store.h"
 
 namespace mvc {
 
@@ -180,20 +181,42 @@ struct ReadViewsMsg : Message {
   std::vector<ViewId> views;
   /// Time-travel read: serve the snapshot as of this commit count
   /// instead of the current state (-1 = current). Requires the
-  /// warehouse to keep history (WarehouseOptions::history_depth) and the
-  /// requested state to still be within the retained window.
+  /// warehouse to retain versions (WarehouseOptions::max_retained_versions
+  /// or the deprecated history_depth); a read outside the retained
+  /// window gets a clean error response (or, on the legacy clone path,
+  /// crashes as the pre-MVCC implementation did).
   int64_t as_of_commit = -1;
   std::string Summary() const override;
 };
 
 /// Warehouse -> reader: a mutually consistent snapshot of the requested
 /// views (all taken at one warehouse state).
+///
+/// In-process the snapshot travels as an O(1) SnapshotHandle into the
+/// warehouse's MVCC store plus the resolved names of the requested views;
+/// flat Tables are produced only at the reader/serialization boundary
+/// (TakeTables). The legacy clone read path — and any serializer that
+/// already flattened — fills `snapshots` directly instead.
 struct ViewsSnapshotMsg : Message {
   ViewsSnapshotMsg() : Message(Kind::kViewsSnapshot) {}
   int64_t request_id = 0;
   /// Number of warehouse transactions committed before this snapshot.
   int64_t as_of_commit = 0;
+  /// Shared reference to the immutable store version (MVCC path); holding
+  /// this message pins the version against garbage collection.
+  SnapshotHandle handle;
+  /// Resolved names of the requested views, in request order (MVCC path).
+  std::vector<std::string> view_names;
+  /// Pre-materialized tables (legacy clone path only).
   std::vector<Table> snapshots;
+  /// Non-empty when the read failed cleanly — e.g. a time-travel read of
+  /// a garbage-collected version. No snapshot fields are populated then.
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+  /// Materializes the requested views as flat Tables, consuming the
+  /// message's payload: the reader/serialization boundary.
+  std::vector<Table> TakeTables();
   std::string Summary() const override;
 };
 

@@ -1,0 +1,121 @@
+#include "storage/versioned_store.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace mvc {
+
+const TableVersion* StoreVersion::Find(const std::string& name) const {
+  auto it = std::lower_bound(
+      tables.begin(), tables.end(), name,
+      [](const TableVersion& t, const std::string& n) { return t.name < n; });
+  if (it == tables.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+Result<Table> SnapshotHandle::MaterializeTable(const std::string& name) const {
+  MVC_CHECK(valid()) << "materialize through an empty snapshot handle";
+  const TableVersion* table = version_->Find(name);
+  if (table == nullptr) {
+    return Status::NotFound(
+        StrCat("snapshot @commit ", version_->commit_id, " has no table '",
+               name, "'"));
+  }
+  return table->Materialize();
+}
+
+Status VersionedStore::CreateTable(const std::string& name,
+                                   const Schema& schema) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists(StrCat("table '", name, "' already exists"));
+  }
+  tables_.emplace(name, std::make_unique<VersionedTable>(name, schema));
+  return Status::OK();
+}
+
+Result<VersionedTable*> VersionedStore::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("no table '", name, "'"));
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> VersionedStore::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+void VersionedStore::Commit(int64_t commit_id) {
+  MVC_CHECK(commit_id == latest_commit() + 1)
+      << "store commit ids must be dense: got " << commit_id << " after "
+      << latest_commit();
+  auto version = std::make_shared<StoreVersion>();
+  version->commit_id = commit_id;
+  version->tables.reserve(tables_.size());
+  for (auto& [name, table] : tables_) {
+    version->tables.push_back(table->Seal());
+    version->approx_bytes += version->tables.back().approx_bytes;
+  }
+  retained_.push_back(std::move(version));
+  while (retained_.size() > max_retained_ + 1) {
+    evicted_.emplace_back(retained_.front()->commit_id,
+                          std::weak_ptr<const StoreVersion>(retained_.front()));
+    retained_.pop_front();
+  }
+  CollectGarbage();
+}
+
+SnapshotHandle VersionedStore::AcquireSnapshot() const {
+  MVC_CHECK(!retained_.empty())
+      << "snapshot acquired before the initial version was published";
+  return SnapshotHandle(retained_.back());
+}
+
+Result<SnapshotHandle> VersionedStore::AcquireSnapshotAt(
+    int64_t commit_id) const {
+  if (retained_.empty() || commit_id > latest_commit() || commit_id < 0) {
+    return Status::NotFound(
+        StrCat("commit ", commit_id, " has not been published (latest is ",
+               latest_commit(), ")"));
+  }
+  const int64_t front = retained_.front()->commit_id;
+  if (commit_id < front) {
+    return Status::NotFound(
+        StrCat("commit ", commit_id,
+               " is outside the retained window [", front, ", ",
+               latest_commit(), "]; the version was garbage-collected"));
+  }
+  // Commit ids are dense, so the window is directly indexable.
+  return SnapshotHandle(retained_[static_cast<size_t>(commit_id - front)]);
+}
+
+void VersionedStore::CollectGarbage() {
+  // Expired entries can sit between live ones (handles released out of
+  // order), so compact the whole deque, not just the front.
+  std::deque<std::pair<int64_t, std::weak_ptr<const StoreVersion>>> live;
+  for (auto& entry : evicted_) {
+    if (!entry.second.expired()) live.push_back(std::move(entry));
+  }
+  evicted_ = std::move(live);
+}
+
+size_t VersionedStore::versions_live() const {
+  size_t pinned = 0;
+  for (const auto& [commit, weak] : evicted_) {
+    if (!weak.expired()) ++pinned;
+  }
+  return retained_.size() + pinned;
+}
+
+int64_t VersionedStore::watermark() const {
+  for (const auto& [commit, weak] : evicted_) {
+    if (!weak.expired()) return commit;
+  }
+  return retained_.empty() ? -1 : retained_.front()->commit_id;
+}
+
+}  // namespace mvc

@@ -1,0 +1,146 @@
+// VersionedStore: the MVCC catalog behind the warehouse read path.
+//
+// The store owns one VersionedTable per view and publishes an immutable
+// StoreVersion per warehouse commit (dense commit ids 0, 1, 2, ...).
+// Readers acquire SnapshotHandles — O(1) shared references to a
+// StoreVersion — instead of deep catalog clones, so snapshot acquisition
+// cost is independent of table size and concurrent commits never tear a
+// multi-view read.
+//
+// Garbage collection is refcount-based: the store retains the last
+// `max_retained_versions` past versions for time-travel reads; anything
+// older survives exactly as long as some live SnapshotHandle pins it
+// (plain shared_ptr ownership). Evicted-but-pinned versions are tracked
+// through weak references so the watermark — the oldest commit still
+// reachable anywhere — advances as handles are released.
+//
+// Thread model: all store mutation happens in the owning actor (the
+// warehouse). Handles may be released on other threads (ThreadRuntime
+// readers); that only touches the shared_ptr control block, which is
+// safe without further synchronization.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/versioned_table.h"
+
+namespace mvc {
+
+/// One immutable multi-table version: every view's sealed state after
+/// the same commit, plus cached aggregates. Never mutated once built.
+struct StoreVersion {
+  int64_t commit_id = 0;
+  /// Sorted by table name (the store's map order).
+  std::vector<TableVersion> tables;
+  /// Sum of the member tables' chunk footprints — the bytes a clone-based
+  /// snapshot would have copied and this version merely shares.
+  size_t approx_bytes = 0;
+
+  /// Binary search by name; nullptr when absent.
+  const TableVersion* Find(const std::string& name) const;
+};
+
+using StoreVersionPtr = std::shared_ptr<const StoreVersion>;
+
+/// An O(1) reference to one StoreVersion. Holding a handle pins the
+/// version (and every chunk it shares) against garbage collection;
+/// destroying or Release()-ing it is the reader-side GC trigger.
+class SnapshotHandle {
+ public:
+  SnapshotHandle() = default;
+  explicit SnapshotHandle(StoreVersionPtr version)
+      : version_(std::move(version)) {}
+
+  bool valid() const { return version_ != nullptr; }
+  int64_t commit_id() const { return valid() ? version_->commit_id : -1; }
+  size_t approx_bytes() const { return valid() ? version_->approx_bytes : 0; }
+
+  const StoreVersion& version() const {
+    MVC_CHECK(valid()) << "access through an empty snapshot handle";
+    return *version_;
+  }
+
+  /// Flattens one member table — the reader/serialization boundary.
+  /// NotFound if the version has no table of that name.
+  Result<Table> MaterializeTable(const std::string& name) const;
+
+  /// Drops the reference (same effect as destruction).
+  void Release() { version_.reset(); }
+
+ private:
+  StoreVersionPtr version_;
+};
+
+class VersionedStore {
+ public:
+  /// `max_retained_versions` = number of PAST versions kept reachable
+  /// for time-travel reads; the current version is always retained on
+  /// top of this bound.
+  explicit VersionedStore(size_t max_retained_versions = 0)
+      : max_retained_(max_retained_versions) {}
+
+  size_t max_retained_versions() const { return max_retained_; }
+
+  /// --- Schema / working state ---
+
+  Status CreateTable(const std::string& name, const Schema& schema);
+  Result<VersionedTable*> GetTable(const std::string& name);
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+  std::vector<std::string> TableNames() const;
+  size_t NumTables() const { return tables_.size(); }
+
+  /// --- Versioning ---
+
+  /// Seals every table's working state as version `commit_id`. Ids must
+  /// be dense and ascending starting at 0 (the initial, pre-commit
+  /// state). Evicts versions beyond the retention bound and prunes
+  /// expired weak references (the GC step).
+  void Commit(int64_t commit_id);
+
+  /// Latest published commit id; -1 before the first Commit.
+  int64_t latest_commit() const {
+    return retained_.empty() ? -1 : retained_.back()->commit_id;
+  }
+
+  /// O(1) handle to the latest version. Commit(0) must have happened.
+  SnapshotHandle AcquireSnapshot() const;
+
+  /// Handle to the version at `commit_id`. NotFound with a clean message
+  /// when that version was garbage-collected (or never published).
+  Result<SnapshotHandle> AcquireSnapshotAt(int64_t commit_id) const;
+
+  /// --- GC introspection ---
+
+  /// Drops expired weak references to evicted versions. Commit() calls
+  /// this; exposed for tests and idle housekeeping.
+  void CollectGarbage();
+
+  /// Versions currently reachable: the retained window plus evicted
+  /// versions still pinned by live handles.
+  size_t versions_live() const;
+
+  /// Oldest commit id still reachable (retained or pinned); -1 when
+  /// nothing is published yet.
+  int64_t watermark() const;
+
+ private:
+  size_t max_retained_;
+  std::map<std::string, std::unique_ptr<VersionedTable>> tables_;
+  /// Oldest..newest; back() is the current version.
+  std::deque<StoreVersionPtr> retained_;
+  /// Versions evicted from the window but possibly still pinned by
+  /// handles, oldest first.
+  std::deque<std::pair<int64_t, std::weak_ptr<const StoreVersion>>> evicted_;
+};
+
+}  // namespace mvc

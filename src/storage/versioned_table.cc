@@ -1,0 +1,192 @@
+#include "storage/versioned_table.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace mvc {
+
+size_t ApproxTupleBytes(const Tuple& t) {
+  // Hash-node overhead plus the inline Value footprint; string payloads
+  // add their character count. An estimate, not an allocator audit.
+  size_t bytes = 48 + 8;  // node + count
+  for (const Value& v : t) {
+    bytes += sizeof(Value);
+    if (v.type() == ValueType::kString) bytes += v.AsString().size();
+  }
+  return bytes;
+}
+
+int64_t TableVersion::CountOf(const Tuple& t) const {
+  if (chunks == nullptr || chunks->empty()) return 0;
+  const Chunk& chunk = *(*chunks)[TupleHash{}(t) & (chunks->size() - 1)];
+  auto it = chunk.rows.find(t);
+  return it == chunk.rows.end() ? 0 : it->second;
+}
+
+Table TableVersion::Materialize() const {
+  Table table(name, schema);
+  if (chunks != nullptr) {
+    for (const ChunkPtr& chunk : *chunks) {
+      for (const auto& [tuple, count] : chunk->rows) {
+        Status st = table.Insert(tuple, count);
+        MVC_CHECK(st.ok()) << "materialize of sealed version failed: "
+                           << st.ToString();
+      }
+    }
+  }
+  return table;
+}
+
+VersionedTable::VersionedTable(std::string name, Schema schema,
+                               size_t target_chunk_rows)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      target_chunk_rows_(std::max<size_t>(1, target_chunk_rows)) {
+  chunks_.resize(kMinChunks);
+  for (ChunkPtr& chunk : chunks_) chunk = std::make_shared<Chunk>();
+  owned_.assign(chunks_.size(), true);
+}
+
+Chunk* VersionedTable::MutableChunk(size_t idx) {
+  if (!owned_[idx]) {
+    chunks_[idx] = std::make_shared<Chunk>(*chunks_[idx]);
+    owned_[idx] = true;
+    ++chunks_copied_;
+  }
+  // The only non-const alias: this table created the chunk above (or at
+  // growth/clear time) and has not sealed it yet.
+  return const_cast<Chunk*>(chunks_[idx].get());
+}
+
+void VersionedTable::MaybeGrow() {
+  if (distinct_ <= chunks_.size() * target_chunk_rows_) return;
+  ChunkVec grown(chunks_.size() * 2);
+  for (ChunkPtr& chunk : grown) chunk = std::make_shared<Chunk>();
+  for (const ChunkPtr& old : chunks_) {
+    for (const auto& [tuple, count] : old->rows) {
+      Chunk* dst =
+          const_cast<Chunk*>(grown[TupleHash{}(tuple) & (grown.size() - 1)]
+                                 .get());
+      dst->rows.emplace(tuple, count);
+      dst->total_count += count;
+      dst->approx_bytes += ApproxTupleBytes(tuple);
+    }
+  }
+  chunks_ = std::move(grown);
+  owned_.assign(chunks_.size(), true);
+}
+
+Status VersionedTable::Insert(const Tuple& t, int64_t count) {
+  if (count <= 0) {
+    return Status::InvalidArgument(
+        StrCat("Insert count must be positive, got ", count));
+  }
+  MVC_RETURN_IF_ERROR(schema_.ValidateTuple(t));
+  Chunk* chunk = MutableChunk(ChunkIndex(t));
+  auto [it, inserted] = chunk->rows.try_emplace(t, 0);
+  if (inserted) {
+    ++distinct_;
+    const size_t bytes = ApproxTupleBytes(t);
+    chunk->approx_bytes += bytes;
+    approx_bytes_ += bytes;
+  }
+  it->second += count;
+  chunk->total_count += count;
+  total_count_ += count;
+  MaybeGrow();
+  return Status::OK();
+}
+
+Status VersionedTable::Delete(const Tuple& t, int64_t count) {
+  if (count <= 0) {
+    return Status::InvalidArgument(
+        StrCat("Delete count must be positive, got ", count));
+  }
+  const size_t idx = ChunkIndex(t);
+  const Chunk& current = *chunks_[idx];
+  auto present = current.rows.find(t);
+  const int64_t have = present == current.rows.end() ? 0 : present->second;
+  if (have < count) {
+    return Status::FailedPrecondition(
+        StrCat("table '", name_, "': cannot delete ", count, " copies of ",
+               TupleToString(t), ", only ", have, " present"));
+  }
+  Chunk* chunk = MutableChunk(idx);
+  auto it = chunk->rows.find(t);
+  it->second -= count;
+  chunk->total_count -= count;
+  total_count_ -= count;
+  if (it->second == 0) {
+    const size_t bytes = ApproxTupleBytes(t);
+    chunk->approx_bytes -= bytes;
+    approx_bytes_ -= bytes;
+    chunk->rows.erase(it);
+    --distinct_;
+  }
+  return Status::OK();
+}
+
+Status VersionedTable::ApplyDelta(const TableDelta& delta) {
+  // Net out duplicate tuples, then validate every deletion before any
+  // mutation — identical semantics to TableDelta::ApplyTo on a Table.
+  std::unordered_map<Tuple, int64_t, TupleHash> net;
+  for (const DeltaRow& row : delta.rows) net[row.tuple] += row.count;
+  for (const auto& [tuple, count] : net) {
+    if (count < 0 && CountOf(tuple) < -count) {
+      return Status::FailedPrecondition(
+          StrCat("delta on '", name_, "' deletes ", -count, " copies of ",
+                 TupleToString(tuple), " but only ", CountOf(tuple),
+                 " present"));
+    }
+  }
+  for (const auto& [tuple, count] : net) {
+    if (count > 0) {
+      MVC_RETURN_IF_ERROR(Insert(tuple, count));
+    } else if (count < 0) {
+      MVC_RETURN_IF_ERROR(Delete(tuple, -count));
+    }
+  }
+  return Status::OK();
+}
+
+void VersionedTable::Clear() {
+  for (ChunkPtr& chunk : chunks_) chunk = std::make_shared<Chunk>();
+  owned_.assign(chunks_.size(), true);
+  distinct_ = 0;
+  total_count_ = 0;
+  approx_bytes_ = 0;
+}
+
+int64_t VersionedTable::CountOf(const Tuple& t) const {
+  const Chunk& chunk = *chunks_[ChunkIndex(t)];
+  auto it = chunk.rows.find(t);
+  return it == chunk.rows.end() ? 0 : it->second;
+}
+
+Table VersionedTable::Materialize() const {
+  Table table(name_, schema_);
+  for (const ChunkPtr& chunk : chunks_) {
+    for (const auto& [tuple, count] : chunk->rows) {
+      Status st = table.Insert(tuple, count);
+      MVC_CHECK(st.ok()) << "materialize failed: " << st.ToString();
+    }
+  }
+  return table;
+}
+
+TableVersion VersionedTable::Seal() {
+  TableVersion version;
+  version.name = name_;
+  version.schema = schema_;
+  version.chunks = std::make_shared<const ChunkVec>(chunks_);
+  version.distinct = distinct_;
+  version.total_count = total_count_;
+  version.approx_bytes = approx_bytes_;
+  // Everything published is frozen: the next write to any chunk clones.
+  owned_.assign(chunks_.size(), false);
+  return version;
+}
+
+}  // namespace mvc

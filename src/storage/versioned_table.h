@@ -1,0 +1,154 @@
+// Versioned bag-semantics relation storage (MVCC).
+//
+// A VersionedTable stores the same (tuple -> multiplicity) bag as Table,
+// but hash-partitioned into immutable, refcounted Chunks. Mutations are
+// copy-on-write against the last *sealed* version: the first write to a
+// chunk since the last Seal() clones that chunk, every other chunk stays
+// shared. Sealing publishes the working state as an immutable
+// TableVersion in O(chunk count) pointer copies, so a commit costs
+// O(delta * chunk_rows), not O(table), and every published version
+// remains readable for free while someone holds it.
+//
+// This is the storage substrate for the warehouse's snapshot-isolated
+// read path (warehouse.h): readers receive shared references to sealed
+// versions instead of deep clones, and garbage collection is the plain
+// shared_ptr refcount — a version's chunks die when the last snapshot
+// referencing them is released.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "storage/delta.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/tuple.h"
+
+namespace mvc {
+
+/// One immutable hash partition of a versioned table. Published chunks
+/// are never mutated; the working table clones a chunk before its first
+/// write after a Seal().
+struct Chunk {
+  std::unordered_map<Tuple, int64_t, TupleHash> rows;
+  /// Total multiplicity over `rows`.
+  int64_t total_count = 0;
+  /// Rough heap footprint, maintained incrementally; feeds the
+  /// warehouse.snapshot_bytes_shared metric.
+  size_t approx_bytes = 0;
+};
+
+using ChunkPtr = std::shared_ptr<const Chunk>;
+using ChunkVec = std::vector<ChunkPtr>;
+
+/// An immutable published version of one table: shared chunk vector plus
+/// cached aggregates. Copying a TableVersion is O(1) in table size.
+struct TableVersion {
+  std::string name;
+  Schema schema;
+  std::shared_ptr<const ChunkVec> chunks;
+  size_t distinct = 0;
+  int64_t total_count = 0;
+  size_t approx_bytes = 0;
+
+  /// Multiplicity of `t` in this version (0 if absent). O(1).
+  int64_t CountOf(const Tuple& t) const;
+
+  /// Flattens this version into a plain Table — the only O(table)
+  /// operation; callers do this at the reader/serialization boundary.
+  Table Materialize() const;
+};
+
+/// Copy-on-write chunked bag. Mutators mirror Table's semantics exactly
+/// (same validation, same error classes) so the two implementations can
+/// be cross-checked row for row.
+class VersionedTable {
+ public:
+  /// Initial number of hash partitions; kept small so even tiny tables
+  /// share most chunks across versions.
+  static constexpr size_t kMinChunks = 8;
+
+  /// `target_chunk_rows` bounds the average distinct tuples per chunk;
+  /// the partition count doubles (rehashing once) when it is exceeded,
+  /// keeping per-write copy cost O(target_chunk_rows).
+  VersionedTable(std::string name, Schema schema,
+                 size_t target_chunk_rows = 64);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// --- Mutators (working state; copy-on-write vs the last seal) ---
+
+  /// Adds `count` copies of `t` (count > 0). Validates against the schema.
+  Status Insert(const Tuple& t, int64_t count = 1);
+
+  /// Removes `count` copies of `t` (count > 0); FailedPrecondition if
+  /// fewer copies exist.
+  Status Delete(const Tuple& t, int64_t count = 1);
+
+  /// Applies `delta` atomically-in-effect: deletions are validated
+  /// before any mutation, exactly like TableDelta::ApplyTo.
+  Status ApplyDelta(const TableDelta& delta);
+
+  /// Drops all rows (replace_all action lists). Every chunk is replaced.
+  void Clear();
+
+  /// --- Working-state reads ---
+
+  int64_t CountOf(const Tuple& t) const;
+  size_t NumDistinct() const { return distinct_; }
+  int64_t NumRows() const { return total_count_; }
+  bool empty() const { return distinct_ == 0; }
+  size_t num_chunks() const { return chunks_.size(); }
+  size_t approx_bytes() const { return approx_bytes_; }
+
+  /// Chunks cloned by copy-on-write since construction (monotonic;
+  /// structural-sharing tests and metrics read this).
+  int64_t chunks_copied() const { return chunks_copied_; }
+
+  /// Flat copy of the working state.
+  Table Materialize() const;
+
+  /// --- Versioning ---
+
+  /// Publishes the working state as an immutable version. Untouched
+  /// chunks are shared with the previous seal; subsequent mutations
+  /// copy-on-write again. O(chunk count).
+  TableVersion Seal();
+
+ private:
+  size_t ChunkIndex(const Tuple& t) const {
+    return TupleHash{}(t) & (chunks_.size() - 1);
+  }
+
+  /// Clones chunk `idx` if it is still shared with a sealed version.
+  Chunk* MutableChunk(size_t idx);
+
+  /// Doubles the partition count once the average chunk exceeds the
+  /// target; all chunks become owned (a subsequent Seal shares nothing
+  /// with its predecessor — growth is rare and amortized).
+  void MaybeGrow();
+
+  std::string name_;
+  Schema schema_;
+  size_t target_chunk_rows_;
+  ChunkVec chunks_;
+  /// owned_[i]: chunks_[i] was (re)created since the last Seal and may
+  /// be mutated in place.
+  std::vector<bool> owned_;
+  size_t distinct_ = 0;
+  int64_t total_count_ = 0;
+  size_t approx_bytes_ = 0;
+  int64_t chunks_copied_ = 0;
+};
+
+/// Rough per-tuple heap cost used for the shared-bytes accounting.
+size_t ApproxTupleBytes(const Tuple& t);
+
+}  // namespace mvc

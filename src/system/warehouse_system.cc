@@ -227,6 +227,9 @@ Status WarehouseSystem::Wire(SystemConfig config) {
     MVC_RETURN_IF_ERROR(warehouse_->InitializeView(view.name(), initial));
   }
   warehouse_->SetRegistry(&registry_);
+  if (metrics_ != nullptr) {
+    warehouse_->EnableObservability(metrics_.get());
+  }
   const ProcessId warehouse_pid = runtime_->Register(warehouse_.get());
   obs::Counter* wh_commits = nullptr;
   obs::Histogram* wh_txn_rows = nullptr;
@@ -543,8 +546,24 @@ WarehouseReader* WarehouseSystem::AttachReader(
       std::move(read_at));
   runtime_->Register(reader.get());
   reader->SetWarehouse(warehouse_->id());
+  reader->EnableObservability(metrics_.get());
   readers_.push_back(std::move(reader));
   return readers_.back().get();
+}
+
+std::vector<WarehouseReader*> WarehouseSystem::AttachReaderPool(
+    const ReaderPoolOptions& options) {
+  std::vector<WarehouseReader*> pool;
+  pool.reserve(options.num_readers);
+  Rng root(options.seed);
+  for (size_t r = 0; r < options.num_readers; ++r) {
+    Rng stream = root.Fork();
+    pool.push_back(AttachReader(
+        options.views,
+        PoissonReadSchedule(stream.engine()(), options.reads_per_reader,
+                            options.mean_interval_us, options.start)));
+  }
+  return pool;
 }
 
 ConsistencyChecker WarehouseSystem::MakeChecker() const {

@@ -58,6 +58,13 @@ class WarehouseSystem {
   WarehouseReader* AttachReader(std::vector<std::string> views,
                                 std::vector<TimeMicros> read_at);
 
+  /// Attaches `options.num_readers` independent readers, each with its
+  /// own Poisson read schedule (seed forked per reader) and its own
+  /// read.latency_us histogram when metrics are enabled. Must be called
+  /// before Run; the pointers stay owned by the system.
+  std::vector<WarehouseReader*> AttachReaderPool(
+      const ReaderPoolOptions& options);
+
   /// --- Oracle access ---
   const ConsistencyRecorder& recorder() const { return recorder_; }
   /// The interned identities every process speaks; ids are dense and

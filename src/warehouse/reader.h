@@ -5,17 +5,61 @@
 // can verify *reader-visible* mutual consistency — not only the
 // oracle's post-hoc view of commit states, but what an application
 // concurrently querying the warehouse would actually have seen.
+//
+// The warehouse answers with an O(1) MVCC SnapshotHandle; the reader
+// materializes it into flat Tables here, at the consumption boundary,
+// so the flattening cost lands on the reader, never on the warehouse
+// actor. Readers are pool-friendly: WarehouseSystem::AttachReaderPool
+// spawns N of them with independent Poisson schedules, and each records
+// its request round-trips into read.latency_us when observability is on.
 
 #pragma once
 
+#include <map>
 #include <vector>
 
+#include "common/rng.h"
 #include "net/protocol.h"
 #include "net/runtime.h"
+#include "obs/metrics.h"
 #include "storage/catalog.h"
 #include "storage/id_registry.h"
 
 namespace mvc {
+
+/// A Poisson-process read schedule: `count` arrival times after `start`
+/// with exponential inter-arrival gaps of the given mean (microseconds).
+/// Deterministic in the seed, like every draw in the library.
+inline std::vector<TimeMicros> PoissonReadSchedule(uint64_t seed,
+                                                   size_t count,
+                                                   double mean_interval_us,
+                                                   TimeMicros start = 0) {
+  Rng rng(seed);
+  std::vector<TimeMicros> at;
+  at.reserve(count);
+  double t = static_cast<double>(start);
+  for (size_t i = 0; i < count; ++i) {
+    t += rng.Exponential(mean_interval_us);
+    at.push_back(static_cast<TimeMicros>(t));
+  }
+  return at;
+}
+
+/// Configuration for WarehouseSystem::AttachReaderPool.
+struct ReaderPoolOptions {
+  /// Number of independent reader processes.
+  size_t num_readers = 1;
+  /// Reads each reader issues over the run.
+  size_t reads_per_reader = 8;
+  /// Mean of the exponential inter-read gap (Poisson arrivals).
+  double mean_interval_us = 1000.0;
+  /// First read happens at or after this time.
+  TimeMicros start = 0;
+  /// Root seed; each reader gets a forked stream.
+  uint64_t seed = 17;
+  /// View names to read atomically (empty = every view).
+  std::vector<std::string> views;
+};
 
 class WarehouseReader : public Process {
  public:
@@ -29,10 +73,27 @@ class WarehouseReader : public Process {
 
   void SetWarehouse(ProcessId warehouse) { warehouse_ = warehouse; }
 
+  /// Makes every read a time-travel read of the given commit instead of
+  /// a read of the current state. A commit that has been garbage-
+  /// collected produces an Observation with a non-empty error.
+  void SetAsOfCommit(int64_t commit) { as_of_commit_ = commit; }
+
+  /// Registers this reader's read.latency_us histogram. Must happen at
+  /// wiring time, before the runtime starts.
+  void EnableObservability(obs::MetricsRegistry* metrics) {
+    if (metrics == nullptr) return;
+    latency_us_ = metrics->RegisterHistogram(
+        std::string("read.latency_us{process=\"") + name() + "\"}", "us");
+  }
+
   struct Observation {
     TimeMicros at = 0;
     int64_t as_of_commit = 0;
     std::vector<Table> snapshots;
+    /// Non-empty when the warehouse refused the read (e.g. the requested
+    /// version fell out of the retained window).
+    std::string error;
+    bool ok() const { return error.empty(); }
   };
   const std::vector<Observation>& observations() const {
     return observations_;
@@ -52,15 +113,27 @@ class WarehouseReader : public Process {
         auto read = std::make_unique<ReadViewsMsg>();
         read->request_id = ++next_request_;
         read->views = views_;
+        read->as_of_commit = as_of_commit_;
+        in_flight_[read->request_id] = Now();
         Send(warehouse_, std::move(read));
         return;
       }
       case Message::Kind::kViewsSnapshot: {
         auto* snap = static_cast<ViewsSnapshotMsg*>(msg.get());
+        auto sent = in_flight_.find(snap->request_id);
+        if (latency_us_ != nullptr && sent != in_flight_.end()) {
+          latency_us_->Record(Now() - sent->second);
+        }
+        if (sent != in_flight_.end()) in_flight_.erase(sent);
         Observation obs;
         obs.at = Now();
         obs.as_of_commit = snap->as_of_commit;
-        obs.snapshots = std::move(snap->snapshots);
+        obs.error = snap->error;
+        // Materialize the MVCC handle (or take the legacy clones) here,
+        // on the reader — the consumption boundary — and release the
+        // handle so the version can be collected.
+        if (snap->ok()) obs.snapshots = snap->TakeTables();
+        snap->handle.Release();
         observations_.push_back(std::move(obs));
         return;
       }
@@ -73,7 +146,11 @@ class WarehouseReader : public Process {
   std::vector<ViewId> views_;
   std::vector<TimeMicros> read_at_;
   ProcessId warehouse_ = kInvalidProcess;
+  int64_t as_of_commit_ = -1;
   int64_t next_request_ = 0;
+  /// request_id -> send time, for the latency histogram.
+  std::map<int64_t, TimeMicros> in_flight_;
+  obs::Histogram* latency_us_ = nullptr;
   std::vector<Observation> observations_;
 };
 

@@ -7,12 +7,36 @@ namespace mvc {
 Status WarehouseProcess::InitializeView(const std::string& view,
                                         const Table& contents) {
   MVC_ASSIGN_OR_RETURN(Table * table, views_.GetTable(view));
+  MVC_ASSIGN_OR_RETURN(VersionedTable * versioned, store_.GetTable(view));
   MVC_CHECK(table->empty());
+  MVC_CHECK(versioned->empty());
   Status st;
   contents.Scan([&](const Tuple& t, int64_t c) {
     if (st.ok()) st = table->Insert(t, c);
+    if (st.ok()) st = versioned->Insert(t, c);
   });
   return st;
+}
+
+void WarehouseProcess::EnableObservability(obs::MetricsRegistry* metrics) {
+  snapshot_bytes_shared_ =
+      metrics->RegisterCounter("warehouse.snapshot_bytes_shared");
+  versions_live_ = metrics->RegisterGauge("warehouse.versions_live");
+}
+
+void WarehouseProcess::EnsureInitialVersion() {
+  if (store_.latest_commit() < 0) {
+    // Publish the initialized, pre-commit state as commit 0 so a
+    // time-travel read of commit 0 works before any transaction lands.
+    store_.Commit(0);
+    if (versions_live_ != nullptr) {
+      versions_live_->Set(static_cast<int64_t>(store_.versions_live()));
+    }
+  }
+  if (LegacyRingActive() && history_.empty()) {
+    history_.push_back(views_.Clone());
+    first_history_commit_ = 0;
+  }
 }
 
 bool WarehouseProcess::DependenciesMet(
@@ -26,21 +50,20 @@ bool WarehouseProcess::DependenciesMet(
 
 Status WarehouseProcess::ApplyActionList(const ActionList& al) {
   MVC_CHECK(registry_ != nullptr) << "warehouse registry not wired";
-  MVC_ASSIGN_OR_RETURN(Table * table,
-                       views_.GetTable(registry_->ViewName(al.view)));
+  const std::string& name = registry_->ViewName(al.view);
+  MVC_ASSIGN_OR_RETURN(Table * table, views_.GetTable(name));
+  MVC_ASSIGN_OR_RETURN(VersionedTable * versioned, store_.GetTable(name));
   if (al.replace_all) {
     table->Clear();
+    versioned->Clear();
   }
   ++actions_applied_;
-  return al.delta.ApplyTo(table);
+  MVC_RETURN_IF_ERROR(al.delta.ApplyTo(table));
+  return versioned->ApplyDelta(al.delta);
 }
 
 void WarehouseProcess::Commit(InFlight in_flight) {
-  if (options_.history_depth > 0 && history_.empty()) {
-    // Retain the pre-first-commit state as commit count 0.
-    history_.push_back(views_.Clone());
-    first_history_commit_ = 0;
-  }
+  EnsureInitialVersion();
   for (const ActionList& al : in_flight.txn.actions) {
     Status st = ApplyActionList(al);
     MVC_CHECK(st.ok()) << "warehouse transaction "
@@ -49,7 +72,11 @@ void WarehouseProcess::Commit(InFlight in_flight) {
   }
   committed_[in_flight.submitter].insert(in_flight.txn.txn_id);
   ++committed_count_;
-  if (options_.history_depth > 0) {
+  store_.Commit(committed_count_);
+  if (versions_live_ != nullptr) {
+    versions_live_->Set(static_cast<int64_t>(store_.versions_live()));
+  }
+  if (LegacyRingActive()) {
     history_.push_back(views_.Clone());
     while (history_.size() > options_.history_depth + 1) {
       history_.pop_front();
@@ -78,6 +105,84 @@ void WarehouseProcess::RetryHeld() {
       }
     }
   }
+}
+
+void WarehouseProcess::ServeRead(ProcessId from, const ReadViewsMsg& read) {
+  EnsureInitialVersion();
+  auto resp = std::make_unique<ViewsSnapshotMsg>();
+  resp->request_id = read.request_id;
+  if (options_.legacy_clone_history) {
+    // Pre-MVCC behaviour, bit for bit: deep-clone the flat catalog (or
+    // the history ring entry), crash on an out-of-window time travel.
+    const Catalog* state = &views_;
+    resp->as_of_commit = committed_count_;
+    if (read.as_of_commit >= 0) {
+      const int64_t idx = read.as_of_commit - first_history_commit_;
+      MVC_CHECK(options_.history_depth > 0)
+          << "time-travel read but history_depth == 0";
+      MVC_CHECK(idx >= 0 && idx < static_cast<int64_t>(history_.size()))
+          << "commit " << read.as_of_commit
+          << " outside the retained window [" << first_history_commit_
+          << ", "
+          << first_history_commit_ + static_cast<int64_t>(history_.size()) -
+                 1
+          << "]";
+      state = &history_[static_cast<size_t>(idx)];
+      resp->as_of_commit = read.as_of_commit;
+    }
+    std::vector<std::string> names;
+    if (read.views.empty()) {
+      names = state->TableNames();
+    } else {
+      MVC_CHECK(registry_ != nullptr) << "warehouse registry not wired";
+      for (ViewId id : read.views) {
+        names.push_back(registry_->ViewName(id));
+      }
+    }
+    for (const std::string& name : names) {
+      auto table = state->GetTable(name);
+      MVC_CHECK(table.ok()) << "read of unknown view " << name;
+      resp->snapshots.push_back((*table)->Clone());
+    }
+    Send(from, std::move(resp));
+    return;
+  }
+  // MVCC path: hand out an O(1) reference to a sealed version. The
+  // tables flatten only at the reader/serialization boundary
+  // (ViewsSnapshotMsg::TakeTables), never here on the warehouse actor.
+  SnapshotHandle handle;
+  if (read.as_of_commit >= 0) {
+    Result<SnapshotHandle> at = store_.AcquireSnapshotAt(read.as_of_commit);
+    if (!at.ok()) {
+      // Clean failure: the version fell out of the retained window.
+      resp->as_of_commit = read.as_of_commit;
+      resp->error = at.status().message();
+      Send(from, std::move(resp));
+      return;
+    }
+    handle = *std::move(at);
+  } else {
+    handle = store_.AcquireSnapshot();
+  }
+  resp->as_of_commit = handle.commit_id();
+  if (read.views.empty()) {
+    for (const TableVersion& tv : handle.version().tables) {
+      resp->view_names.push_back(tv.name);
+    }
+  } else {
+    MVC_CHECK(registry_ != nullptr) << "warehouse registry not wired";
+    for (ViewId id : read.views) {
+      const std::string& name = registry_->ViewName(id);
+      MVC_CHECK(handle.version().Find(name) != nullptr)
+          << "read of unknown view " << name;
+      resp->view_names.push_back(name);
+    }
+  }
+  if (snapshot_bytes_shared_ != nullptr) {
+    snapshot_bytes_shared_->Add(static_cast<int64_t>(handle.approx_bytes()));
+  }
+  resp->handle = std::move(handle);
+  Send(from, std::move(resp));
 }
 
 void WarehouseProcess::OnMessage(ProcessId from, MessagePtr msg) {
@@ -125,42 +230,7 @@ void WarehouseProcess::OnMessage(ProcessId from, MessagePtr msg) {
     case Message::Kind::kReadViews: {
       // Served inline by the single warehouse actor, so the snapshot is
       // atomic with respect to view-maintenance transactions.
-      auto* read = static_cast<ReadViewsMsg*>(msg.get());
-      auto resp = std::make_unique<ViewsSnapshotMsg>();
-      resp->request_id = read->request_id;
-      const Catalog* state = &views_;
-      resp->as_of_commit = committed_count_;
-      if (read->as_of_commit >= 0) {
-        // Time-travel read from the retained history window.
-        const int64_t idx = read->as_of_commit - first_history_commit_;
-        MVC_CHECK(options_.history_depth > 0)
-            << "time-travel read but history_depth == 0";
-        MVC_CHECK(idx >= 0 &&
-                  idx < static_cast<int64_t>(history_.size()))
-            << "commit " << read->as_of_commit
-            << " outside the retained window ["
-            << first_history_commit_ << ", "
-            << first_history_commit_ +
-                   static_cast<int64_t>(history_.size()) - 1
-            << "]";
-        state = &history_[static_cast<size_t>(idx)];
-        resp->as_of_commit = read->as_of_commit;
-      }
-      std::vector<std::string> names;
-      if (read->views.empty()) {
-        names = state->TableNames();
-      } else {
-        MVC_CHECK(registry_ != nullptr) << "warehouse registry not wired";
-        for (ViewId id : read->views) {
-          names.push_back(registry_->ViewName(id));
-        }
-      }
-      for (const std::string& name : names) {
-        auto table = state->GetTable(name);
-        MVC_CHECK(table.ok()) << "read of unknown view " << name;
-        resp->snapshots.push_back((*table)->Clone());
-      }
-      Send(from, std::move(resp));
+      ServeRead(from, *static_cast<ReadViewsMsg*>(msg.get()));
       return;
     }
     case Message::Kind::kCommitResyncRequest: {

@@ -12,6 +12,16 @@
 // transaction waits for its predecessors); switching it off while
 // keeping reordering on reproduces the WT3-before-WT1 anomaly the paper
 // warns about — the MVC tests use exactly this ablation.
+//
+// Read path (MVCC): alongside the flat view catalog (the maintenance
+// working copy the oracle observes), every commit publishes an immutable
+// version into a VersionedStore with structural sharing — a commit copies
+// only the chunks its action lists touch. Reads are answered with O(1)
+// SnapshotHandles instead of catalog clones; time-travel reads
+// (ReadViewsMsg::as_of_commit) index the store's retained window and a
+// read of a garbage-collected version gets a clean error response. The
+// pre-MVCC clone-based history survives behind
+// WarehouseOptions::legacy_clone_history for golden comparisons.
 
 #pragma once
 
@@ -26,8 +36,10 @@
 #include "common/rng.h"
 #include "net/protocol.h"
 #include "net/runtime.h"
+#include "obs/metrics.h"
 #include "storage/catalog.h"
 #include "storage/id_registry.h"
+#include "storage/versioned_store.h"
 
 namespace mvc {
 
@@ -43,17 +55,41 @@ struct WarehouseOptions {
   bool honor_dependencies = true;
   /// Seed for the jitter draws.
   uint64_t seed = 11;
-  /// Number of past warehouse states retained for time-travel reads
-  /// (ReadViewsMsg::as_of_commit). 0 disables history. Each retained
-  /// state is a full clone of the view catalog, so size this for tests
-  /// and demos, not production workloads.
+  /// DEPRECATED — use max_retained_versions. Number of past warehouse
+  /// states retained for time-travel reads (ReadViewsMsg::as_of_commit).
+  /// Kept as a retention hint: the MVCC store retains
+  /// max(history_depth, max_retained_versions) past versions, so configs
+  /// written against the clone era keep their time-travel window. The
+  /// clone ring itself is only maintained (and only serves reads) when
+  /// legacy_clone_history is also set.
   size_t history_depth = 0;
+  /// Number of past versions the MVCC store keeps reachable for
+  /// time-travel reads, on top of the always-readable current version.
+  /// Versions older than the window survive only while a live snapshot
+  /// handle pins them; reading them returns a clean error. O(delta)
+  /// per-commit cost regardless of value — safe for production sizing.
+  size_t max_retained_versions = 0;
+  /// Serve reads from full catalog clones (the pre-MVCC implementation),
+  /// including its crash-on-out-of-window time-travel semantics.
+  /// Requires history_depth for time travel. Exists for the golden
+  /// byte-identical comparison and the read-scaling baseline; do not use
+  /// in new configurations.
+  bool legacy_clone_history = false;
+
+  /// Past versions the MVCC store retains (see above).
+  size_t EffectiveRetention() const {
+    return history_depth > max_retained_versions ? history_depth
+                                                 : max_retained_versions;
+  }
 };
 
 class WarehouseProcess : public Process {
  public:
   explicit WarehouseProcess(std::string name, WarehouseOptions options = {})
-      : Process(std::move(name)), options_(options), rng_(options.seed) {}
+      : Process(std::move(name)),
+        options_(options),
+        rng_(options.seed),
+        store_(options.EffectiveRetention()) {}
 
   /// --- Setup ---
 
@@ -62,8 +98,14 @@ class WarehouseProcess : public Process {
   /// process.
   void SetRegistry(const IdRegistry* registry) { registry_ = registry; }
 
+  /// Registers the warehouse's snapshot metrics
+  /// (warehouse.snapshot_bytes_shared, warehouse.versions_live). Must be
+  /// called at wiring time, like every registry registration.
+  void EnableObservability(obs::MetricsRegistry* metrics);
+
   Status CreateView(const std::string& view, const Schema& schema) {
-    return views_.CreateTable(view, schema);
+    MVC_RETURN_IF_ERROR(views_.CreateTable(view, schema));
+    return store_.CreateTable(view, schema);
   }
 
   /// Installs the initial materialization of a view.
@@ -83,7 +125,10 @@ class WarehouseProcess : public Process {
   const Catalog& views() const { return views_; }
   int64_t transactions_committed() const { return committed_count_; }
   int64_t actions_applied() const { return actions_applied_; }
+  /// The MVCC store behind the read path (GC state, live versions).
+  const VersionedStore& store() const { return store_; }
 
+  void OnStart() override { EnsureInitialVersion(); }
   void OnMessage(ProcessId from, MessagePtr msg) override;
 
  private:
@@ -101,10 +146,26 @@ class WarehouseProcess : public Process {
 
   Status ApplyActionList(const ActionList& al);
 
+  /// Publishes commit 0 (the initialized, pre-commit state) into the
+  /// versioned store — and seeds the legacy clone ring — exactly once.
+  void EnsureInitialVersion();
+
+  /// The clone ring is maintained only on the explicit legacy path.
+  bool LegacyRingActive() const {
+    return options_.legacy_clone_history && options_.history_depth > 0;
+  }
+
+  void ServeRead(ProcessId from, const ReadViewsMsg& read);
+
   WarehouseOptions options_;
   Rng rng_;
   const IdRegistry* registry_ = nullptr;
+  /// Flat maintenance working copy: the state the commit observer (and
+  /// the consistency oracle) sees, and the source of legacy clones.
   Catalog views_;
+  /// MVCC store: one immutable version per commit, structural sharing
+  /// across versions. Serves every read on the default path.
+  VersionedStore store_;
   /// Transactions whose processing delay elapsed but whose dependencies
   /// have not committed yet, in arrival order.
   std::vector<InFlight> held_;
@@ -121,6 +182,11 @@ class WarehouseProcess : public Process {
   int64_t first_history_commit_ = 0;
   int64_t committed_count_ = 0;
   int64_t actions_applied_ = 0;
+  /// Bytes of chunk storage shared with an outgoing snapshot (cumulative
+  /// over all handles handed out); nullptr when observability is off.
+  obs::Counter* snapshot_bytes_shared_ = nullptr;
+  /// Store versions currently reachable (retained window + pinned).
+  obs::Gauge* versions_live_ = nullptr;
   std::function<void(ProcessId, const WarehouseTransaction&, const Catalog&,
                      TimeMicros)>
       observer_;

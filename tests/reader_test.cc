@@ -218,11 +218,10 @@ TEST(TimeTravelTest, HistoricalReadServesPastState) {
   ASSERT_GE(commits.size(), 2u);
   const Catalog& expected = commits[0].view_snapshot;
   std::vector<std::string> names = expected.TableNames();
-  ASSERT_EQ(reader.answer->snapshots.size(), names.size());
+  std::vector<Table> tables = reader.answer->TakeTables();
+  ASSERT_EQ(tables.size(), names.size());
   for (size_t i = 0; i < names.size(); ++i) {
-    EXPECT_TRUE(
-        reader.answer->snapshots[i].ContentsEqual(**expected.GetTable(
-            names[i])))
+    EXPECT_TRUE(tables[i].ContentsEqual(**expected.GetTable(names[i])))
         << names[i];
   }
 }
@@ -238,20 +237,116 @@ TEST(TimeTravelTest, CommitZeroIsTheInitialState) {
   (*system)->Run();
   ASSERT_NE(reader.answer, nullptr);
   // Initially both views are empty.
-  for (const Table& t : reader.answer->snapshots) {
+  std::vector<Table> tables = reader.answer->TakeTables();
+  EXPECT_FALSE(tables.empty());
+  for (const Table& t : tables) {
     EXPECT_TRUE(t.empty());
   }
 }
 
-TEST(TimeTravelTest, OutOfWindowReadDies) {
+TEST(TimeTravelTest, GcdVersionReadReturnsCleanError) {
+  // Example 3 commits three times; with only the last version retained,
+  // a late read as-of commit 0 finds its version garbage-collected. The
+  // MVCC read path answers with a clean error message — not a crash,
+  // and not a stale or empty snapshot.
+  SystemConfig config = Example3Scenario();
+  config.warehouse.max_retained_versions = 1;
+  auto system = WarehouseSystem::Build(std::move(config));
+  ASSERT_TRUE(system.ok());
+  TimeTravelReader reader("tt-reader", (*system)->warehouse().id(),
+                          /*at=*/200000, /*as_of=*/0);
+  (*system)->runtime().Register(&reader);
+  (*system)->Run();
+  ASSERT_NE(reader.answer, nullptr);
+  EXPECT_FALSE(reader.answer->ok());
+  EXPECT_NE(reader.answer->error.find("garbage-collected"),
+            std::string::npos)
+      << reader.answer->error;
+  EXPECT_EQ(reader.answer->as_of_commit, 0);
+  // No snapshot payload of any kind rides along with the error.
+  EXPECT_FALSE(reader.answer->handle.valid());
+  EXPECT_TRUE(reader.answer->snapshots.empty());
+  EXPECT_TRUE(reader.answer->TakeTables().empty());
+}
+
+TEST(TimeTravelTest, LegacyOutOfWindowReadDies) {
+  // The deprecated clone-based history keeps the pre-MVCC contract: an
+  // out-of-window time travel is a programming error and crashes.
   SystemConfig config = Example3Scenario();
   config.warehouse.history_depth = 1;  // retain only the last state
+  config.warehouse.legacy_clone_history = true;
   auto system = WarehouseSystem::Build(std::move(config));
   ASSERT_TRUE(system.ok());
   TimeTravelReader reader("tt-reader", (*system)->warehouse().id(),
                           /*at=*/200000, /*as_of=*/0);
   (*system)->runtime().Register(&reader);
   EXPECT_DEATH((*system)->Run(), "outside the retained window");
+}
+
+TEST(TimeTravelTest, LiveHandlePinsAnEvictedVersion) {
+  // A reader that acquired a snapshot before its version fell out of
+  // the retained window can still materialize it: the handle, not the
+  // window, owns the chunks. versions_live/watermark track the pin.
+  SystemConfig config = Example3Scenario();
+  config.warehouse.max_retained_versions = 1;
+  auto system = WarehouseSystem::Build(std::move(config));
+  ASSERT_TRUE(system.ok());
+  // Read commit 0 *early*, before later commits evict it.
+  TimeTravelReader reader("tt-reader", (*system)->warehouse().id(),
+                          /*at=*/1, /*as_of=*/0);
+  (*system)->runtime().Register(&reader);
+  (*system)->Run();
+  ASSERT_NE(reader.answer, nullptr);
+  ASSERT_TRUE(reader.answer->ok());
+  ASSERT_TRUE(reader.answer->handle.valid());
+
+  const VersionedStore& store = (*system)->warehouse().store();
+  ASSERT_GE(store.latest_commit(), 2);
+  // The handle pins commit 0 past its eviction from the window: the
+  // version still materializes in full (V1, V2, V3), no stale reads.
+  EXPECT_EQ(store.watermark(), 0);
+  std::vector<Table> tables = reader.answer->TakeTables();
+  EXPECT_EQ(tables.size(), 3u);
+
+  // Releasing the last reference lets the watermark advance.
+  reader.answer->handle.Release();
+  EXPECT_GT(store.watermark(), 0);
+}
+
+TEST(GoldenTest, MvccObservationsMatchCloneHistoryOnExample3) {
+  // The deprecation contract for the clone path: on the same scenario,
+  // same seed, and same dense read schedule, the MVCC read path serves
+  // byte-identical observations (canonical ToString rendering) to the
+  // pre-MVCC clone implementation.
+  auto run = [](bool legacy) {
+    SystemConfig config = Example3Scenario();
+    config.warehouse.history_depth = 8;
+    config.warehouse.legacy_clone_history = legacy;
+    auto system = WarehouseSystem::Build(std::move(config));
+    MVC_CHECK(system.ok());
+    WarehouseReader* reader =
+        (*system)->AttachReader({"V1", "V2", "V3"}, DenseReadSchedule());
+    (*system)->Run();
+    std::vector<std::pair<int64_t, std::vector<std::string>>> rendered;
+    for (const auto& obs : reader->observations()) {
+      std::vector<std::string> tables;
+      for (const Table& t : obs.snapshots) tables.push_back(t.ToString());
+      rendered.emplace_back(obs.as_of_commit, std::move(tables));
+    }
+    return rendered;
+  };
+  auto legacy = run(true);
+  auto mvcc = run(false);
+  ASSERT_FALSE(legacy.empty());
+  ASSERT_EQ(legacy.size(), mvcc.size());
+  for (size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(legacy[i].first, mvcc[i].first) << "observation " << i;
+    ASSERT_EQ(legacy[i].second.size(), mvcc[i].second.size());
+    for (size_t v = 0; v < legacy[i].second.size(); ++v) {
+      EXPECT_EQ(legacy[i].second[v], mvcc[i].second[v])
+          << "observation " << i << ", view " << v;
+    }
+  }
 }
 
 }  // namespace

@@ -132,6 +132,43 @@ TEST(ThreadStressTest, GeneratedWorkloadOnThreadsIsConsistent) {
   }
 }
 
+// MVCC read path under real-thread contention: a pool of Poisson
+// readers hammers the warehouse while maintenance commits run, so TSan
+// watches chunk shared_ptr refcounts cross threads (handles released on
+// reader threads while the warehouse seals new versions).
+TEST(ThreadStressTest, ReaderPoolSnapshotsAreNeverTornOnThreads) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    WorkloadSpec spec;
+    spec.seed = seed;
+    spec.num_transactions = 20;
+    spec.num_views = 3;
+    spec.mean_interarrival = 300;
+    auto config = GenerateScenario(spec);
+    ASSERT_TRUE(config.ok());
+    config->use_threads = true;
+    config->latency = LatencyModel::Uniform(0, 200);
+    config->warehouse.max_retained_versions = 4;
+    auto system = WarehouseSystem::Build(std::move(*config));
+    ASSERT_TRUE(system.ok());
+    ReaderPoolOptions pool;
+    pool.num_readers = 4;
+    pool.reads_per_reader = 12;
+    pool.mean_interval_us = 500.0;
+    pool.seed = seed;
+    std::vector<WarehouseReader*> readers =
+        (*system)->AttachReaderPool(pool);
+    (*system)->Run();
+    const size_t views = (*system)->bound_views().size();
+    for (const WarehouseReader* reader : readers) {
+      ASSERT_EQ(reader->observations().size(), pool.reads_per_reader);
+      for (const auto& obs : reader->observations()) {
+        ASSERT_TRUE(obs.ok()) << obs.error;
+        EXPECT_EQ(obs.snapshots.size(), views);
+      }
+    }
+  }
+}
+
 // Paper scenario end-to-end on threads with jittered latencies.
 TEST(ThreadStressTest, Table1RaceScenarioOnThreads) {
   SystemConfig config = Table1RaceScenario();

@@ -1,0 +1,250 @@
+// Unit tests for the MVCC storage substrate: VersionedTable chunk
+// sharing / copy-on-write, VersionedStore retention and refcount GC,
+// and the materialize-equals-flat-Table equivalence oracle that
+// cross-checks the versioned implementation against Table row for row.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/delta.h"
+#include "storage/table.h"
+#include "storage/versioned_store.h"
+#include "storage/versioned_table.h"
+
+namespace mvc {
+namespace {
+
+Schema OneCol() { return Schema::AllInt64({"A"}); }
+
+TEST(VersionedTableTest, MirrorsTableSemantics) {
+  VersionedTable vt("V", OneCol());
+  ASSERT_TRUE(vt.Insert(Tuple{1}, 2).ok());
+  ASSERT_TRUE(vt.Insert(Tuple{2}).ok());
+  EXPECT_EQ(vt.CountOf(Tuple{1}), 2);
+  EXPECT_EQ(vt.CountOf(Tuple{2}), 1);
+  EXPECT_EQ(vt.NumDistinct(), 2u);
+  EXPECT_EQ(vt.NumRows(), 3);
+  ASSERT_TRUE(vt.Delete(Tuple{1}).ok());
+  EXPECT_EQ(vt.CountOf(Tuple{1}), 1);
+  // Over-deletion fails with the same error class as Table.
+  EXPECT_TRUE(vt.Delete(Tuple{1}, 5).IsFailedPrecondition());
+  EXPECT_EQ(vt.CountOf(Tuple{1}), 1) << "failed delete must not mutate";
+  vt.Clear();
+  EXPECT_TRUE(vt.empty());
+}
+
+TEST(VersionedTableTest, ApplyDeltaValidatesBeforeMutating) {
+  VersionedTable vt("V", OneCol());
+  ASSERT_TRUE(vt.Insert(Tuple{1}, 1).ok());
+  TableDelta bad;
+  bad.target = "V";
+  bad.Add(Tuple{7}, 3);    // would succeed
+  bad.Add(Tuple{1}, -2);   // over-deletes
+  EXPECT_TRUE(vt.ApplyDelta(bad).IsFailedPrecondition());
+  // Atomically-in-effect: nothing from the failed delta landed.
+  EXPECT_EQ(vt.CountOf(Tuple{7}), 0);
+  EXPECT_EQ(vt.CountOf(Tuple{1}), 1);
+}
+
+TEST(VersionedTableTest, SingleTupleCommitSharesAllUntouchedChunks) {
+  // Seed enough rows that every chunk is populated, seal, touch one
+  // tuple, seal again: the two versions must share every chunk pointer
+  // except the one the write landed in.
+  VersionedTable vt("V", OneCol());
+  for (int64_t i = 0; i < 256; ++i) {
+    ASSERT_TRUE(vt.Insert(Tuple{i}).ok());
+  }
+  TableVersion v1 = vt.Seal();
+  ASSERT_TRUE(vt.Insert(Tuple{999}).ok());
+  TableVersion v2 = vt.Seal();
+
+  ASSERT_EQ(v1.chunks->size(), v2.chunks->size());
+  size_t shared = 0, copied = 0;
+  for (size_t i = 0; i < v1.chunks->size(); ++i) {
+    if ((*v1.chunks)[i] == (*v2.chunks)[i]) {
+      ++shared;
+    } else {
+      ++copied;
+    }
+  }
+  EXPECT_EQ(copied, 1u) << "a single-tuple commit must copy exactly the "
+                           "one chunk it touches";
+  EXPECT_EQ(shared, v1.chunks->size() - 1);
+  // Both versions stay independently readable.
+  EXPECT_EQ(v1.CountOf(Tuple{999}), 0);
+  EXPECT_EQ(v2.CountOf(Tuple{999}), 1);
+  EXPECT_EQ(v1.total_count, 256);
+  EXPECT_EQ(v2.total_count, 257);
+}
+
+TEST(VersionedTableTest, SealedVersionIsImmuneToLaterWrites) {
+  VersionedTable vt("V", OneCol());
+  ASSERT_TRUE(vt.Insert(Tuple{1}, 4).ok());
+  TableVersion v1 = vt.Seal();
+  ASSERT_TRUE(vt.Delete(Tuple{1}, 4).ok());
+  ASSERT_TRUE(vt.Insert(Tuple{2}, 9).ok());
+  EXPECT_EQ(v1.CountOf(Tuple{1}), 4);
+  EXPECT_EQ(v1.CountOf(Tuple{2}), 0);
+  Table flat = v1.Materialize();
+  EXPECT_EQ(flat.CountOf(Tuple{1}), 4);
+  EXPECT_EQ(flat.NumRows(), 4);
+}
+
+TEST(VersionedTableTest, MaterializeEqualsFlatTableUnderRandomDeltas) {
+  // Equivalence oracle: drive a plain Table and a VersionedTable with
+  // the same random delta stream (sealing at random points) and demand
+  // identical contents — including the canonical ToString rendering —
+  // after every step.
+  Rng rng(42);
+  Table flat("V", OneCol());
+  VersionedTable vt("V", OneCol());
+  for (int step = 0; step < 300; ++step) {
+    TableDelta delta;
+    delta.target = "V";
+    const int rows = static_cast<int>(rng.UniformInt(1, 4));
+    for (int r = 0; r < rows; ++r) {
+      Tuple t{rng.UniformInt(0, 40)};
+      int64_t count = rng.UniformInt(1, 3);
+      if (rng.Bernoulli(0.4)) {
+        // Delete up to the current multiplicity so the delta is valid.
+        int64_t present = flat.CountOf(t);
+        if (present == 0) continue;
+        count = -rng.UniformInt(1, present);
+      }
+      delta.Add(std::move(t), count);
+    }
+    delta.Normalize();
+    if (delta.empty()) continue;
+    Status flat_st = delta.ApplyTo(&flat);
+    Status vt_st = vt.ApplyDelta(delta);
+    ASSERT_EQ(flat_st.ok(), vt_st.ok()) << "step " << step;
+    if (rng.Bernoulli(0.3)) {
+      TableVersion version = vt.Seal();
+      ASSERT_EQ(version.Materialize().ToString(), flat.ToString())
+          << "sealed version diverged at step " << step;
+    }
+    ASSERT_EQ(vt.NumRows(), flat.NumRows()) << "step " << step;
+    ASSERT_EQ(vt.Materialize().ToString(), flat.ToString())
+        << "working state diverged at step " << step;
+  }
+  EXPECT_GT(vt.chunks_copied(), 0) << "the oracle should exercise COW";
+}
+
+TEST(VersionedTableTest, GrowthKeepsContentsAndBoundsChunkSize) {
+  VersionedTable vt("V", OneCol(), /*target_chunk_rows=*/8);
+  const size_t initial_chunks = vt.num_chunks();
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(vt.Insert(Tuple{i}).ok());
+  }
+  EXPECT_GT(vt.num_chunks(), initial_chunks);
+  // Power-of-two partition count is a structural invariant (masked hash).
+  EXPECT_EQ(vt.num_chunks() & (vt.num_chunks() - 1), 0u);
+  EXPECT_EQ(vt.NumRows(), 1000);
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(vt.CountOf(Tuple{i}), 1) << i;
+  }
+}
+
+/// Store helper: one table "V", `commits` sequential commits each
+/// inserting one fresh tuple.
+VersionedStore MakeStore(size_t max_retained, int64_t commits) {
+  VersionedStore store(max_retained);
+  MVC_CHECK(store.CreateTable("V", OneCol()).ok());
+  store.Commit(0);
+  for (int64_t c = 1; c <= commits; ++c) {
+    MVC_CHECK((*store.GetTable("V"))->Insert(Tuple{c}).ok());
+    store.Commit(c);
+  }
+  return store;
+}
+
+TEST(VersionedStoreTest, RetentionBoundsTheWindow) {
+  VersionedStore store = MakeStore(/*max_retained=*/2, /*commits=*/5);
+  EXPECT_EQ(store.latest_commit(), 5);
+  // Window = current + 2 past versions; older versions are unreachable.
+  EXPECT_EQ(store.versions_live(), 3u);
+  EXPECT_EQ(store.watermark(), 3);
+  EXPECT_TRUE(store.AcquireSnapshotAt(3).ok());
+  EXPECT_TRUE(store.AcquireSnapshotAt(5).ok());
+  Result<SnapshotHandle> gone = store.AcquireSnapshotAt(2);
+  ASSERT_FALSE(gone.ok());
+  EXPECT_TRUE(gone.status().IsNotFound());
+  EXPECT_NE(gone.status().message().find("garbage-collected"),
+            std::string::npos);
+  // Never-published commits report that, not a GC message.
+  EXPECT_TRUE(store.AcquireSnapshotAt(99).status().IsNotFound());
+}
+
+TEST(VersionedStoreTest, HandlePinsEvictedVersionAndWatermarkTracksIt) {
+  VersionedStore store(0);  // keep only the current version
+  ASSERT_TRUE(store.CreateTable("V", OneCol()).ok());
+  store.Commit(0);
+  SnapshotHandle pin = store.AcquireSnapshot();
+  ASSERT_EQ(pin.commit_id(), 0);
+
+  ASSERT_TRUE((*store.GetTable("V"))->Insert(Tuple{1}).ok());
+  store.Commit(1);
+  ASSERT_TRUE((*store.GetTable("V"))->Insert(Tuple{2}).ok());
+  store.Commit(2);
+
+  // Version 0 left the window but the handle keeps it alive.
+  EXPECT_EQ(store.versions_live(), 2u);
+  EXPECT_EQ(store.watermark(), 0);
+  EXPECT_EQ(pin.version().Find("V")->total_count, 0);
+
+  // Releasing the handle is the GC trigger: the watermark advances and
+  // the version count drops without any explicit free.
+  pin.Release();
+  store.CollectGarbage();
+  EXPECT_EQ(store.versions_live(), 1u);
+  EXPECT_EQ(store.watermark(), 2);
+}
+
+TEST(VersionedStoreTest, SnapshotIsOhOneAndConsistentAcrossTables) {
+  VersionedStore store(4);
+  ASSERT_TRUE(store.CreateTable("V1", OneCol()).ok());
+  ASSERT_TRUE(store.CreateTable("V2", OneCol()).ok());
+  store.Commit(0);
+  ASSERT_TRUE((*store.GetTable("V1"))->Insert(Tuple{1}).ok());
+  ASSERT_TRUE((*store.GetTable("V2"))->Insert(Tuple{10}).ok());
+  store.Commit(1);
+  SnapshotHandle at1 = store.AcquireSnapshot();
+
+  ASSERT_TRUE((*store.GetTable("V1"))->Insert(Tuple{2}).ok());
+  store.Commit(2);
+
+  // The handle still shows both tables exactly as of commit 1.
+  Result<Table> v1 = at1.MaterializeTable("V1");
+  Result<Table> v2 = at1.MaterializeTable("V2");
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  EXPECT_EQ(v1->NumRows(), 1);
+  EXPECT_EQ(v1->CountOf(Tuple{2}), 0);
+  EXPECT_EQ(v2->CountOf(Tuple{10}), 1);
+  EXPECT_TRUE(at1.MaterializeTable("nope").status().IsNotFound());
+}
+
+TEST(VersionedStoreTest, CommitCopiesOnlyTouchedChunks) {
+  // The structural-sharing claim at store level: across many commits
+  // each touching one tuple, the cumulative chunks copied stays linear
+  // in the number of commits, not commits x chunks.
+  VersionedStore store(64);
+  ASSERT_TRUE(store.CreateTable("V", OneCol()).ok());
+  VersionedTable* table = *store.GetTable("V");
+  for (int64_t i = 0; i < 512; ++i) {
+    ASSERT_TRUE(table->Insert(Tuple{i}).ok());
+  }
+  store.Commit(0);
+  const int64_t baseline = table->chunks_copied();
+  const size_t chunks = table->num_chunks();
+  ASSERT_GT(chunks, 4u);
+  for (int64_t c = 1; c <= 32; ++c) {
+    ASSERT_TRUE(table->Insert(Tuple{10000 + c}).ok());
+    store.Commit(c);
+  }
+  // One touched chunk per commit (growth is impossible here: 32 inserts
+  // over 512 rows never exceeds the per-chunk target).
+  EXPECT_EQ(table->chunks_copied() - baseline, 32);
+}
+
+}  // namespace
+}  // namespace mvc

@@ -244,6 +244,18 @@ TEST(WarehouseSetupTest, InitializeUnknownViewFails) {
   EXPECT_TRUE(warehouse.InitializeView("nope", t).IsNotFound());
 }
 
+TEST(WarehouseSetupTest, EffectiveRetentionTakesTheLargerKnob) {
+  WarehouseOptions options;
+  EXPECT_EQ(options.EffectiveRetention(), 0u);
+  options.history_depth = 8;
+  EXPECT_EQ(options.EffectiveRetention(), 8u);
+  options.max_retained_versions = 3;
+  EXPECT_EQ(options.EffectiveRetention(), 8u)
+      << "clone-era configs keep their time-travel window";
+  options.max_retained_versions = 12;
+  EXPECT_EQ(options.EffectiveRetention(), 12u);
+}
+
 TEST(WarehouseSetupTest, HistoryDisabledByDefault) {
   // With history_depth = 0 nothing is retained; a normal current-state
   // read still works.
@@ -271,6 +283,123 @@ TEST(WarehouseSetupTest, HistoryDisabledByDefault) {
   runtime.Register(&probe);
   runtime.Run();
   EXPECT_TRUE(probe.got);
+}
+
+}  // namespace
+}  // namespace mvc
+
+// --- Snapshot isolation under concurrent commits and pooled readers ---
+//
+// Randomized interleavings of jittered commits with a pool of Poisson
+// readers, on both runtimes. The invariant is exact snapshot isolation:
+// every observation must equal the catalog state at precisely its
+// as_of_commit for *all* views at once — a torn multi-view read (one
+// view from commit k, another from k+1) fails the comparison.
+
+#include "net/thread_runtime.h"
+#include "warehouse/reader.h"
+
+namespace mvc {
+namespace {
+
+void RunSnapshotIsolationRound(Runtime* runtime, uint64_t seed) {
+  Rng rng(seed * 977 + 1);
+  WarehouseOptions options;
+  options.apply_delay = 10;
+  options.apply_jitter = 3000;  // commits finish out of submission order
+  options.honor_dependencies = true;
+  options.seed = seed;
+  options.max_retained_versions = 64;
+  WarehouseProcess warehouse("warehouse", options);
+  warehouse.SetRegistry(TestRegistry());
+  const Schema schema = Schema::AllInt64({"A"});
+  ASSERT_TRUE(warehouse.CreateView("V1", schema).ok());
+  ASSERT_TRUE(warehouse.CreateView("V2", schema).ok());
+
+  // Ground truth per commit count, recorded on the warehouse actor by
+  // the commit observer. Commit 0 is the initial (empty) state.
+  std::map<int64_t, std::pair<std::string, std::string>> expected;
+  expected[0] = {Table("V1", schema).ToString(),
+                 Table("V2", schema).ToString()};
+  warehouse.SetCommitObserver([&](ProcessId, const WarehouseTransaction&,
+                                  const Catalog& views, TimeMicros) {
+    expected[warehouse.transactions_committed()] = {
+        (*views.GetTable("V1"))->ToString(),
+        (*views.GetTable("V2"))->ToString()};
+  });
+
+  ProcessId wpid = runtime->Register(&warehouse);
+  Submitter submitter("merge", wpid);
+  runtime->Register(&submitter);
+
+  // Random multi-view transactions: txn i inserts into both views in
+  // one atomic unit; some also delete one copy a predecessor inserted
+  // (dependency-ordered so the delete is always valid).
+  constexpr int64_t kTxns = 24;
+  std::set<int64_t> deleted;
+  for (int64_t i = 1; i <= kTxns; ++i) {
+    WarehouseTransaction txn;
+    txn.txn_id = i;
+    txn.views = {kV1, kV2};
+    txn.actions = {Al(kV1, Tuple{i}, 2), Al(kV2, Tuple{100 + i}, 1)};
+    if (i > 2 && rng.Bernoulli(0.4)) {
+      const int64_t victim = rng.UniformInt(1, i - 1);
+      // Each txn inserts 2 copies; one delete per victim stays valid.
+      if (deleted.insert(victim).second) {
+        txn.actions.push_back(Al(kV1, Tuple{victim}, -1));
+        txn.depends_on = {victim};
+      }
+    }
+    submitter.to_send.push_back(std::move(txn));
+  }
+
+  // Reader pool: independent Poisson schedules overlapping the commits.
+  std::vector<std::unique_ptr<WarehouseReader>> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.push_back(std::make_unique<WarehouseReader>(
+        "reader-" + std::to_string(r), std::vector<ViewId>{kV1, kV2},
+        PoissonReadSchedule(rng.engine()(), 16, 60.0)));
+    runtime->Register(readers.back().get());
+    readers.back()->SetWarehouse(wpid);
+  }
+
+  runtime->Run();
+
+  ASSERT_EQ(warehouse.transactions_committed(), kTxns);
+  size_t checked = 0;
+  for (const auto& reader : readers) {
+    for (const auto& obs : reader->observations()) {
+      ASSERT_TRUE(obs.ok()) << obs.error;
+      ASSERT_EQ(obs.snapshots.size(), 2u);
+      auto truth = expected.find(obs.as_of_commit);
+      ASSERT_NE(truth, expected.end())
+          << "observation cites unknown commit " << obs.as_of_commit;
+      EXPECT_EQ(obs.snapshots[0].ToString(), truth->second.first)
+          << "seed " << seed << ": V1 torn at commit " << obs.as_of_commit;
+      EXPECT_EQ(obs.snapshots[1].ToString(), truth->second.second)
+          << "seed " << seed << ": V2 torn at commit " << obs.as_of_commit;
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, 3u * 16u);
+  // A delete landing in a view while another reader holds an older
+  // version means several versions were genuinely live at some point;
+  // at quiescence only the retained window remains.
+  EXPECT_GE(warehouse.store().versions_live(), 1u);
+}
+
+TEST(SnapshotIsolationTest, PooledReadsNeverTearOnSimRuntime) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SimRuntime runtime(seed);
+    RunSnapshotIsolationRound(&runtime, seed);
+  }
+}
+
+TEST(SnapshotIsolationTest, PooledReadsNeverTearOnThreadRuntime) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    ThreadRuntime runtime(seed, LatencyModel::Uniform(0, 200));
+    RunSnapshotIsolationRound(&runtime, seed);
+  }
 }
 
 }  // namespace

@@ -1,9 +1,10 @@
 // mvc_stats — pretty-printer and validator for mvc-metrics-v1 files
 // (the JSON written by `mvc_sim --metrics-out`).
 //
-//   mvc_stats METRICS.json            # human-readable summary
-//   mvc_stats --check METRICS.json    # validate; exit 1 on any problem
-//   mvc_stats --counters METRICS.json # counters/gauges only (grep-able)
+//   mvc_stats METRICS.json              # human-readable summary
+//   mvc_stats --check METRICS.json      # validate; exit 1 on any problem
+//   mvc_stats --counters METRICS.json   # counters/gauges only (grep-able)
+//   mvc_stats --check-bench BENCH.json  # validate a bench-result file
 //
 // --check verifies the schema tag, the structural shape of every
 // instrument, each histogram's internal consistency (bucket counts sum
@@ -11,6 +12,12 @@
 // histograms (update.commit_latency_us, view.staleness_us,
 // merge.al_hold_time_us) are present — a metrics file without them came
 // from a run that never finalized its observability.
+//
+// --check-bench validates the BENCH_*.json shape the bench_* binaries
+// emit with --json: a non-empty array of records, each with a unique
+// non-empty "name", a positive "iterations", a non-negative "ns_per_op",
+// and (optionally) a non-negative "allocations". CI smoke jobs run this
+// against freshly produced bench artifacts before uploading them.
 
 #include <algorithm>
 #include <cstdint>
@@ -156,6 +163,50 @@ void Check(const obs::JsonValue& root) {
   }
 }
 
+void CheckBench(const obs::JsonValue& root) {
+  if (!root.is_array()) {
+    Fail("bench file is not a JSON array");
+    return;
+  }
+  if (root.array.empty()) {
+    Fail("bench file contains no records");
+    return;
+  }
+  std::vector<std::string> seen;
+  for (const obs::JsonValue& record : root.array) {
+    if (!record.is_object()) {
+      Fail("bench record is not an object");
+      continue;
+    }
+    const obs::JsonValue* name = record.Find("name");
+    if (name == nullptr || !name->is_string() || name->str.empty()) {
+      Fail("bench record without a name");
+      continue;
+    }
+    if (std::find(seen.begin(), seen.end(), name->str) != seen.end()) {
+      Fail("duplicate bench record '" + name->str + "'");
+    }
+    seen.push_back(name->str);
+    const obs::JsonValue* iterations = record.Find("iterations");
+    if (iterations == nullptr || !iterations->is_number() ||
+        iterations->AsInt() <= 0) {
+      Fail("bench record '" + name->str +
+           "' without a positive iteration count");
+    }
+    const obs::JsonValue* ns = record.Find("ns_per_op");
+    if (ns == nullptr || !ns->is_number() || ns->number < 0) {
+      Fail("bench record '" + name->str +
+           "' without a non-negative ns_per_op");
+    }
+    const obs::JsonValue* allocations = record.Find("allocations");
+    if (allocations != nullptr &&
+        (!allocations->is_number() || allocations->AsInt() < 0)) {
+      Fail("bench record '" + name->str +
+           "' has a negative or non-numeric allocations field");
+    }
+  }
+}
+
 /// Estimated q-quantile from non-cumulative {le, count} buckets.
 int64_t BucketQuantile(const obs::JsonValue& entry, double q) {
   const obs::JsonValue* count = entry.Find("count");
@@ -225,18 +276,23 @@ void PrintSummary(const obs::JsonValue& root) {
 
 int Main(int argc, char** argv) {
   bool check = false;
+  bool check_bench = false;
   bool counters_only = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--check") {
       check = true;
+    } else if (arg == "--check-bench") {
+      check_bench = true;
     } else if (arg == "--counters") {
       counters_only = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: mvc_stats [--check|--counters] METRICS.json\n"
+                   "       mvc_stats --check-bench BENCH.json\n"
                    "Pretty-print or validate an mvc-metrics-v1 file\n"
-                   "(written by mvc_sim --metrics-out).\n";
+                   "(written by mvc_sim --metrics-out), or validate a\n"
+                   "BENCH_*.json bench-result file.\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown flag " << arg << " (see --help)\n";
@@ -263,6 +319,17 @@ int Main(int argc, char** argv) {
   if (!root.ok()) {
     std::cerr << "mvc_stats: " << path << ": " << root.status() << "\n";
     return 1;
+  }
+  if (check_bench) {
+    CheckBench(*root);
+    if (g_errors > 0) {
+      std::cerr << "mvc_stats: " << path << ": " << g_errors
+                << " problem(s)\n";
+      return 1;
+    }
+    std::cout << path << ": OK (" << root->array.size()
+              << " bench records)\n";
+    return 0;
   }
   if (check) {
     Check(*root);

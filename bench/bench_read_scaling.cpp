@@ -281,7 +281,7 @@ int Main(int argc, char** argv) {
             << (clone.ns_per_read / mvcc.ns_per_read) << "x\n";
 
   if (!json_path.empty()) {
-    bench::WriteBenchJson(json_path, records);
+    bench::WriteBenchJson(json_path, "mvc-bench-read-v1", records);
     std::cout << "wrote " << json_path << "\n";
   }
   return 0;

@@ -38,22 +38,42 @@ inline std::string JsonOutputPath(int argc, char** argv,
   return "";
 }
 
-/// Writes records as a JSON array of objects. Names are produced by the
-/// benchmarks themselves and contain no characters needing escapes.
-inline void WriteBenchJson(const std::string& path,
-                           const std::vector<BenchRecord>& records) {
-  std::ofstream out(path);
-  MVC_CHECK(out.good()) << "cannot open " << path;
+inline void WriteBenchRecordsArray(std::ostream& out,
+                                   const std::vector<BenchRecord>& records,
+                                   const std::string& row_indent,
+                                   const std::string& close_indent) {
   out << "[\n";
   for (size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
-    out << "  {\"name\": \"" << r.name << "\", \"iterations\": "
+    out << row_indent << "{\"name\": \"" << r.name << "\", \"iterations\": "
         << r.iterations << ", \"ns_per_op\": " << std::fixed
         << std::setprecision(2) << r.ns_per_op;
     if (r.allocations >= 0) out << ", \"allocations\": " << r.allocations;
     out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
   }
-  out << "]\n";
+  out << close_indent << "]\n";
+}
+
+/// Writes records as a JSON array of objects (the legacy artifact form;
+/// new benchmarks should pass a schema name). Names are produced by the
+/// benchmarks themselves and contain no characters needing escapes.
+inline void WriteBenchJson(const std::string& path,
+                           const std::vector<BenchRecord>& records) {
+  std::ofstream out(path);
+  MVC_CHECK(out.good()) << "cannot open " << path;
+  WriteBenchRecordsArray(out, records, "  ", "");
+}
+
+/// Schema-tagged artifact form: {"schema": "<name>", "records": [...]}.
+/// `mvc_stats --check-bench` validates the name against its allowlist,
+/// so CI can tell a read-scaling artifact from a compaction one.
+inline void WriteBenchJson(const std::string& path, const std::string& schema,
+                           const std::vector<BenchRecord>& records) {
+  std::ofstream out(path);
+  MVC_CHECK(out.good()) << "cannot open " << path;
+  out << "{\n  \"schema\": \"" << schema << "\",\n  \"records\": ";
+  WriteBenchRecordsArray(out, records, "    ", "  ");
+  out << "}\n";
 }
 
 /// Everything an experiment row reports about one run.

@@ -1,0 +1,57 @@
+#include "compact/chunk_squash.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mvc {
+
+size_t IdealChunkCount(size_t distinct, size_t rows_per_chunk) {
+  MVC_CHECK(rows_per_chunk >= 1);
+  const size_t needed = (distinct + rows_per_chunk - 1) / rows_per_chunk;
+  size_t count = VersionedTable::kMinChunks;
+  while (count < needed) count *= 2;
+  return count;
+}
+
+TableVersion BuildSquashedTableVersion(const TableVersion& source,
+                                       size_t rows_per_chunk) {
+  const size_t num_chunks = IdealChunkCount(source.distinct, rows_per_chunk);
+  std::vector<Chunk> scratch(num_chunks);
+  const size_t per_chunk = source.distinct / num_chunks + 1;
+  for (Chunk& chunk : scratch) chunk.rows.reserve(per_chunk);
+  if (source.chunks != nullptr) {
+    for (const ChunkPtr& chunk : *source.chunks) {
+      if (chunk == nullptr) continue;
+      for (const auto& [tuple, count] : chunk->rows) {
+        // Tuples are unique across a version's partitions, so this is a
+        // plain insert, never a merge.
+        Chunk& dst = scratch[TupleHash{}(tuple) & (num_chunks - 1)];
+        dst.rows.emplace(tuple, count);
+        dst.total_count += count;
+        dst.approx_bytes += ApproxTupleBytes(tuple);
+      }
+    }
+  }
+  TableVersion squashed;
+  squashed.name = source.name;
+  squashed.schema = source.schema;
+  auto chunks = std::make_shared<ChunkVec>();
+  chunks->reserve(num_chunks);
+  for (Chunk& chunk : scratch) {
+    squashed.distinct += chunk.rows.size();
+    squashed.total_count += chunk.total_count;
+    squashed.approx_bytes += chunk.approx_bytes;
+    chunks->push_back(std::make_shared<const Chunk>(std::move(chunk)));
+  }
+  squashed.chunks = std::move(chunks);
+  MVC_CHECK(squashed.distinct == source.distinct &&
+            squashed.total_count == source.total_count)
+      << "squash of '" << source.name << "' changed contents: distinct "
+      << squashed.distinct << " vs " << source.distinct << ", total "
+      << squashed.total_count << " vs " << source.total_count;
+  return squashed;
+}
+
+}  // namespace mvc

@@ -1,0 +1,32 @@
+// Chunk squash: rebuild a sealed TableVersion at its ideal chunk count.
+//
+// Sustained copy-on-write commits against a table that has shrunk (or
+// grown and then churned) leave versions whose chunk chains are far
+// longer than their row counts warrant — every chunk carries hash-map
+// slack and per-chunk overhead. The squash rebuilds the version's rows
+// into a right-sized power-of-two partition vector.
+//
+// The rebuild reads only immutable sealed chunks, so the CompactorProcess
+// may run it outside the warehouse actor (ThreadRuntime background
+// thread); the swap-in itself always happens on the warehouse actor via
+// VersionedStore::SwapCompactedTable.
+
+#pragma once
+
+#include <cstddef>
+
+#include "storage/versioned_table.h"
+
+namespace mvc {
+
+/// The target partition count for `distinct` rows: the smallest power of
+/// two >= distinct / rows_per_chunk, floored at VersionedTable::kMinChunks.
+size_t IdealChunkCount(size_t distinct, size_t rows_per_chunk);
+
+/// Rebuilds `source` at IdealChunkCount partitions. Pure: the result
+/// shares no chunks with the source and carries identical logical
+/// contents (same distinct/total counts, same multiplicities).
+TableVersion BuildSquashedTableVersion(const TableVersion& source,
+                                       size_t rows_per_chunk);
+
+}  // namespace mvc

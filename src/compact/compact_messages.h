@@ -1,0 +1,88 @@
+// Messages of the compaction protocol (warehouse <-> compactor).
+//
+// They live here rather than in net/protocol.h because they carry
+// compaction/storage payloads (StoreStats, CompactionSpec,
+// SnapshotHandle, TableVersion) and only the two endpoints ever touch
+// them. Like ViewsSnapshotMsg, they are in-process messages: the
+// SnapshotHandle / TableVersion payloads are shared-memory references,
+// which is exactly the point — the squash rebuild reads sealed chunks
+// without copying them.
+//
+// Protocol:
+//   warehouse --CompactionStatsMsg--> compactor     (every N commits)
+//   compactor --CompactionRequestMsg--> warehouse   (one spec;
+//       a squash first asks for a pinned handle: has_replacement=false)
+//   warehouse --CompactionResponseMsg--> compactor
+//       kApplied    collapse/swap done, result attached
+//       kFetched    squash phase 1: pinned handle attached; the
+//                   compactor rebuilds off-actor and sends a second
+//                   request with has_replacement=true
+//       kDiscarded  the spec raced GC or a pin; dropped, note attached
+
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "common/string_util.h"
+#include "compact/compaction_policy.h"
+#include "net/message.h"
+#include "storage/versioned_store.h"
+#include "storage/versioned_table.h"
+
+namespace mvc {
+
+struct CompactionStatsMsg : Message {
+  CompactionStatsMsg() : Message(Kind::kCompactionStats) {}
+
+  StoreStats stats;
+
+  std::string Summary() const override {
+    return StrCat("CompactionStats{latest=", stats.latest_commit,
+                  " retained=", stats.retained_versions, "}");
+  }
+};
+
+struct CompactionRequestMsg : Message {
+  CompactionRequestMsg() : Message(Kind::kCompactionRequest) {}
+
+  int64_t request_id = 0;
+  CompactionSpec spec;
+  /// Squash phase 2: swap this rebuild in. Phase 1 (false) asks the
+  /// warehouse for a pinned handle instead.
+  bool has_replacement = false;
+  TableVersion replacement;
+
+  std::string Summary() const override {
+    return StrCat("CompactionRequest{#", request_id, " ", spec.ToString(),
+                  has_replacement ? " swap}" : "}");
+  }
+};
+
+struct CompactionResponseMsg : Message {
+  CompactionResponseMsg() : Message(Kind::kCompactionResponse) {}
+
+  enum class Phase : uint8_t { kApplied = 0, kFetched = 1, kDiscarded = 2 };
+
+  int64_t request_id = 0;
+  Phase phase = Phase::kApplied;
+  /// The spec this responds to, echoed back for the scheduler's books.
+  CompactionSpec spec;
+  /// kFetched: pins the version until the compactor releases it, so a
+  /// concurrent collapse can never drop the version under the rebuild.
+  SnapshotHandle handle;
+  /// kApplied only.
+  CompactionApplyResult result;
+  /// kDiscarded: why (for logs and tests).
+  std::string note;
+
+  std::string Summary() const override {
+    const char* p = phase == Phase::kApplied
+                        ? "applied"
+                        : (phase == Phase::kFetched ? "fetched" : "discarded");
+    return StrCat("CompactionResponse{#", request_id, " ", spec.ToString(),
+                  " ", p, "}");
+  }
+};
+
+}  // namespace mvc

@@ -1,0 +1,150 @@
+#include "compact/compaction_policy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "compact/chunk_squash.h"
+
+namespace mvc {
+
+const char* CompactionKindToString(CompactionKind kind) {
+  switch (kind) {
+    case CompactionKind::kCollapseVersions:
+      return "collapse";
+    case CompactionKind::kSquashChunks:
+      return "squash";
+  }
+  return "?";
+}
+
+std::string CompactionSpec::ToString() const {
+  if (kind == CompactionKind::kCollapseVersions) {
+    std::string ids;
+    for (size_t i = 0; i < victims.size(); ++i) {
+      if (i > 0) ids += ",";
+      ids += StrCat(victims[i]);
+    }
+    return StrCat("collapse{", ids, "}");
+  }
+  return StrCat("squash{@", commit_id, " ", table, "}");
+}
+
+std::string CompactionSpec::Key() const {
+  if (kind == CompactionKind::kCollapseVersions) {
+    // The first victim identifies the batch: batches are planned over
+    // disjoint ascending ranges.
+    return StrCat("c/", victims.empty() ? -1 : victims.front());
+  }
+  return StrCat("s/", commit_id, "/", table);
+}
+
+TieredCompactionPolicy::TieredCompactionPolicy(TieredCompactionOptions options)
+    : options_(options) {
+  MVC_CHECK(options_.hot_window >= 1) << "hot_window must be >= 1";
+  MVC_CHECK(options_.tier_base >= 2) << "tier_base must be >= 2";
+  MVC_CHECK(options_.rows_per_chunk >= 1) << "rows_per_chunk must be >= 1";
+}
+
+bool TieredCompactionPolicy::IsKeeper(int64_t commit, int64_t latest) const {
+  const int64_t age = latest - commit;
+  if (age < options_.hot_window) return true;
+  // Find the tier: tier t covers ages [hot*base^t, hot*base^{t+1}) and
+  // keeps commits divisible by base^{t+1}. Deeper tiers demand
+  // divisibility by a multiple of shallower tiers' spacing, so a
+  // version's keeper status can only decay as it ages — never flip back.
+  int64_t spacing = options_.tier_base;
+  int64_t tier_floor = options_.hot_window;
+  while (age >= tier_floor * options_.tier_base &&
+         spacing <= (int64_t{1} << 61) / options_.tier_base) {
+    tier_floor *= options_.tier_base;
+    spacing *= options_.tier_base;
+  }
+  return commit % spacing == 0;
+}
+
+std::vector<CompactionSpec> TieredCompactionPolicy::Plan(
+    const StoreStats& stats) {
+  std::vector<CompactionSpec> specs;
+  if (stats.latest_commit < 0) return specs;
+
+  // Tiered retention: batch the non-keepers (oldest first) into bounded
+  // collapse specs. Pinned versions are skipped here AND re-checked at
+  // apply time — a pin can appear between planning and applying.
+  CompactionSpec collapse;
+  collapse.kind = CompactionKind::kCollapseVersions;
+  auto flush_batch = [&] {
+    if (!collapse.victims.empty() && specs.size() < options_.max_specs) {
+      specs.push_back(collapse);
+    }
+    collapse.victims.clear();
+  };
+  for (const VersionStats& vs : stats.versions) {
+    if (vs.commit_id == stats.latest_commit || vs.pinned) continue;
+    if (IsKeeper(vs.commit_id, stats.latest_commit)) continue;
+    collapse.victims.push_back(vs.commit_id);
+    if (collapse.victims.size() >= options_.max_victims_per_spec) {
+      flush_batch();
+    }
+  }
+  flush_batch();
+
+  // Chunk squash: only cold keepers — hot versions still share most
+  // chunks with their neighbours, and the working table would fragment
+  // them again at the next seal.
+  for (const VersionStats& vs : stats.versions) {
+    if (specs.size() >= options_.max_specs) break;
+    if (stats.latest_commit - vs.commit_id < options_.hot_window) continue;
+    if (!IsKeeper(vs.commit_id, stats.latest_commit)) continue;
+    for (const TableVersionStats& ts : vs.tables) {
+      if (specs.size() >= options_.max_specs) break;
+      const size_t ideal = IdealChunkCount(ts.distinct, options_.rows_per_chunk);
+      if (static_cast<double>(ts.num_chunks) >=
+          options_.squash_waste_factor * static_cast<double>(ideal)) {
+        CompactionSpec squash;
+        squash.kind = CompactionKind::kSquashChunks;
+        squash.commit_id = vs.commit_id;
+        squash.table = ts.table;
+        specs.push_back(std::move(squash));
+      }
+    }
+  }
+  return specs;
+}
+
+const char* CompactionPolicyKindToString(CompactionPolicyKind kind) {
+  switch (kind) {
+    case CompactionPolicyKind::kTiered:
+      return "tiered";
+    case CompactionPolicyKind::kNoop:
+      return "noop";
+  }
+  return "?";
+}
+
+bool ParseCompactionPolicyKind(const std::string& text,
+                               CompactionPolicyKind* out) {
+  if (text == "tiered") {
+    *out = CompactionPolicyKind::kTiered;
+    return true;
+  }
+  if (text == "noop") {
+    *out = CompactionPolicyKind::kNoop;
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<CompactionPolicy> MakeCompactionPolicy(
+    CompactionPolicyKind kind, const TieredCompactionOptions& options) {
+  switch (kind) {
+    case CompactionPolicyKind::kTiered:
+      return std::make_unique<TieredCompactionPolicy>(options);
+    case CompactionPolicyKind::kNoop:
+      return std::make_unique<NoopCompactionPolicy>();
+  }
+  MVC_CHECK(false) << "unknown compaction policy kind";
+  return nullptr;
+}
+
+}  // namespace mvc

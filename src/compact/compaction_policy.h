@@ -1,0 +1,127 @@
+// Compaction policies: decide WHAT to merge; the CompactorProcess
+// decides WHEN and the VersionedStore primitives do the apply.
+//
+// A policy is a pure function from StoreStats (the store's shape:
+// retained versions, per-version chunk counts, pin bits) to a bounded
+// list of CompactionSpecs. It never touches the store itself — the
+// split mirrors Lucene's MergePolicy / MergeScheduler separation
+// (SNIPPETS.md) and keeps policies unit-testable without a runtime.
+//
+// Two specs exist:
+//   * kCollapseVersions — tiered retention. Old versions are thinned to
+//     exponentially-spaced keepers: everything inside the hot window
+//     stays, tier t (ages in [hot*base^t, hot*base^{t+1})) keeps only
+//     commits divisible by base^{t+1}. Divisibility — not rank — makes
+//     the keeper set of any commit shrink monotonically as the latest
+//     commit advances, so a version discarded now would never have been
+//     needed later.
+//   * kSquashChunks — chunk-chain squash. A cold keeper whose table
+//     carries far more chunks than its row count warrants is rebuilt at
+//     the ideal chunk count (chunk_squash.h) and swapped in atomically.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/versioned_store.h"
+
+namespace mvc {
+
+enum class CompactionKind : uint8_t {
+  kCollapseVersions = 0,
+  kSquashChunks = 1,
+};
+
+const char* CompactionKindToString(CompactionKind kind);
+
+/// One unit of compaction work, emitted by a policy and executed through
+/// the warehouse actor (so every store mutation stays single-threaded).
+struct CompactionSpec {
+  CompactionKind kind = CompactionKind::kCollapseVersions;
+  /// kCollapseVersions: retained commit ids to drop, ascending.
+  std::vector<int64_t> victims;
+  /// kSquashChunks: the version and table to rebuild.
+  int64_t commit_id = -1;
+  std::string table;
+
+  std::string ToString() const;
+  /// Stable identity for inflight dedup (the scheduler never runs two
+  /// copies of the same work concurrently).
+  std::string Key() const;
+};
+
+class CompactionPolicy {
+ public:
+  virtual ~CompactionPolicy() = default;
+  virtual const char* name() const = 0;
+  /// Plans against a stats snapshot. Must be deterministic in `stats`
+  /// (the schedule explorer re-executes configurations).
+  virtual std::vector<CompactionSpec> Plan(const StoreStats& stats) = 0;
+};
+
+/// Plans nothing. The experimental control for benchmarks and the
+/// do-no-harm baseline for tests.
+class NoopCompactionPolicy : public CompactionPolicy {
+ public:
+  const char* name() const override { return "noop"; }
+  std::vector<CompactionSpec> Plan(const StoreStats& stats) override {
+    (void)stats;
+    return {};
+  }
+};
+
+struct TieredCompactionOptions {
+  /// Versions younger than this many commits are always kept.
+  int64_t hot_window = 16;
+  /// Tier fan-out (>= 2); see the keeper rule above.
+  int64_t tier_base = 2;
+  /// Squash a table once it holds >= this factor times its ideal chunk
+  /// count.
+  double squash_waste_factor = 2.0;
+  /// Rows-per-chunk target for the ideal-count estimate; mirror the
+  /// VersionedTable target_chunk_rows.
+  size_t rows_per_chunk = 64;
+  /// Bound on specs per Plan call — the scheduler's work queue stays
+  /// short and a single stats message never fans out unboundedly.
+  size_t max_specs = 8;
+  /// Bound on victims per collapse spec (bounds per-message apply cost
+  /// on the warehouse actor).
+  size_t max_victims_per_spec = 64;
+};
+
+/// The default production policy: tiered retention plus chunk squash.
+class TieredCompactionPolicy : public CompactionPolicy {
+ public:
+  explicit TieredCompactionPolicy(TieredCompactionOptions options = {});
+
+  const char* name() const override { return "tiered"; }
+  std::vector<CompactionSpec> Plan(const StoreStats& stats) override;
+
+  /// The keeper predicate, exposed for the policy tests: must commit
+  /// `commit` be retained when the latest commit is `latest`?
+  bool IsKeeper(int64_t commit, int64_t latest) const;
+
+  const TieredCompactionOptions& options() const { return options_; }
+
+ private:
+  TieredCompactionOptions options_;
+};
+
+/// Factory used by the system wiring (config.h names a kind, wiring
+/// instantiates it here so SystemConfig stays copyable).
+enum class CompactionPolicyKind : uint8_t {
+  kTiered = 0,
+  kNoop = 1,
+};
+
+const char* CompactionPolicyKindToString(CompactionPolicyKind kind);
+bool ParseCompactionPolicyKind(const std::string& text,
+                               CompactionPolicyKind* out);
+
+std::unique_ptr<CompactionPolicy> MakeCompactionPolicy(
+    CompactionPolicyKind kind, const TieredCompactionOptions& options);
+
+}  // namespace mvc

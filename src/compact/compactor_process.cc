@@ -1,0 +1,133 @@
+#include "compact/compactor_process.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "compact/chunk_squash.h"
+
+namespace mvc {
+
+CompactorProcess::CompactorProcess(std::string name,
+                                   const CompactionConfig& config)
+    : Process(std::move(name)),
+      config_(config),
+      policy_(MakeCompactionPolicy(config.policy, config.tiered)) {
+  MVC_CHECK(config_.max_inflight >= 1) << "max_inflight must be >= 1";
+}
+
+void CompactorProcess::EnableObservability(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  merges_total_ = metrics->RegisterCounter("compact.merges_total");
+  merges_discarded_ = metrics->RegisterCounter("compact.merges_discarded");
+  versions_collapsed_ = metrics->RegisterCounter("compact.versions_collapsed");
+  bytes_reclaimed_ = metrics->RegisterCounter("compact.bytes_reclaimed");
+  inflight_gauge_ = metrics->RegisterGauge("compact.inflight");
+}
+
+void CompactorProcess::OnMessage(ProcessId from, MessagePtr msg) {
+  (void)from;
+  switch (msg->kind) {
+    case Message::Kind::kCompactionStats:
+      HandleStats(static_cast<CompactionStatsMsg*>(msg.get())->stats);
+      return;
+    case Message::Kind::kCompactionResponse:
+      HandleResponse(static_cast<CompactionResponseMsg*>(msg.get()));
+      return;
+    default:
+      MVC_LOG_ERROR() << "compactor: unexpected message " << msg->Summary();
+  }
+}
+
+void CompactorProcess::HandleStats(const StoreStats& stats) {
+  ++stats_.plans;
+  for (CompactionSpec& spec : policy_->Plan(stats)) {
+    if (!active_keys_.insert(spec.Key()).second) {
+      // Already queued or racing the warehouse; the next stats snapshot
+      // re-plans it if it is still worth doing.
+      ++stats_.specs_deduped;
+      continue;
+    }
+    ++stats_.specs_planned;
+    pending_.push_back(std::move(spec));
+  }
+  Pump();
+}
+
+void CompactorProcess::HandleResponse(CompactionResponseMsg* resp) {
+  auto it = inflight_.find(resp->request_id);
+  MVC_CHECK(it != inflight_.end())
+      << "compactor: response for unknown request #" << resp->request_id;
+  inflight_.erase(it);
+  switch (resp->phase) {
+    case CompactionResponseMsg::Phase::kApplied: {
+      ++stats_.merges_applied;
+      stats_.versions_collapsed +=
+          static_cast<int64_t>(resp->result.versions_collapsed);
+      stats_.bytes_reclaimed +=
+          static_cast<int64_t>(resp->result.bytes_reclaimed);
+      if (merges_total_ != nullptr) merges_total_->Add(1);
+      if (versions_collapsed_ != nullptr) {
+        versions_collapsed_->Add(
+            static_cast<int64_t>(resp->result.versions_collapsed));
+      }
+      if (bytes_reclaimed_ != nullptr) {
+        bytes_reclaimed_->Add(
+            static_cast<int64_t>(resp->result.bytes_reclaimed));
+      }
+      active_keys_.erase(resp->spec.Key());
+      break;
+    }
+    case CompactionResponseMsg::Phase::kFetched: {
+      // Squash phase 2: the O(table) rebuild runs here, on the
+      // compactor — under ThreadRuntime that is a real background
+      // thread reading immutable sealed chunks, so the warehouse actor
+      // keeps committing meanwhile.
+      const TableVersion* source =
+          resp->handle.version().Find(resp->spec.table);
+      MVC_CHECK(source != nullptr)
+          << "fetched version lost table " << resp->spec.table;
+      auto swap = std::make_unique<CompactionRequestMsg>();
+      swap->request_id = ++next_request_;
+      swap->spec = resp->spec;
+      swap->has_replacement = true;
+      swap->replacement =
+          BuildSquashedTableVersion(*source, config_.tiered.rows_per_chunk);
+      resp->handle.Release();
+      // The key stays active until the swap resolves.
+      inflight_.emplace(swap->request_id, swap->spec);
+      Send(warehouse_, std::move(swap));
+      break;
+    }
+    case CompactionResponseMsg::Phase::kDiscarded: {
+      ++stats_.merges_discarded;
+      if (merges_discarded_ != nullptr) merges_discarded_->Add(1);
+      active_keys_.erase(resp->spec.Key());
+      break;
+    }
+  }
+  Pump();
+}
+
+void CompactorProcess::Pump() {
+  while (inflight_.size() < config_.max_inflight && !pending_.empty()) {
+    CompactionSpec spec = std::move(pending_.front());
+    pending_.pop_front();
+    auto req = std::make_unique<CompactionRequestMsg>();
+    req->request_id = ++next_request_;
+    req->spec = spec;
+    inflight_.emplace(req->request_id, std::move(spec));
+    Send(warehouse_, std::move(req));
+  }
+  if (inflight_.size() > stats_.peak_inflight) {
+    stats_.peak_inflight = inflight_.size();
+  }
+  SetInflightGauge();
+}
+
+void CompactorProcess::SetInflightGauge() {
+  if (inflight_gauge_ != nullptr) {
+    inflight_gauge_->Set(static_cast<int64_t>(inflight_.size()));
+  }
+}
+
+}  // namespace mvc

@@ -1,0 +1,113 @@
+// CompactorProcess: the background merge scheduler.
+//
+// An actor (driven through Process::Deliver like everything else, so it
+// runs on SimRuntime, ThreadRuntime and the ExploringRuntime alike)
+// that turns the warehouse's periodic CompactionStatsMsg into bounded
+// background work:
+//
+//   stats -> policy.Plan() -> pending queue -> at most `max_inflight`
+//   CompactionRequestMsgs racing the commit stream.
+//
+// The warehouse actor applies each request in O(spec) between commits —
+// compaction never blocks WarehouseProcess::Commit, it just interleaves
+// with it. Chunk squashes split into fetch/rebuild/swap so the O(table)
+// rebuild runs HERE (a separate thread under ThreadRuntime), not on the
+// warehouse actor; the fetched SnapshotHandle pins the version against
+// concurrent collapse for the duration.
+//
+// The ConcurrentMergeScheduler analogy (SNIPPETS.md) maps threads to
+// messages: "maxMergeCount" is max_inflight, backpressure is the
+// pending queue, and determinism comes for free from the runtime.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "compact/compact_messages.h"
+#include "compact/compaction_policy.h"
+#include "net/runtime.h"
+#include "obs/metrics.h"
+
+namespace mvc {
+
+/// The `compaction` block of SystemConfig (copyable: the policy is
+/// named by kind and instantiated at wiring time).
+struct CompactionConfig {
+  /// Master switch; everything below is inert when false.
+  bool enabled = false;
+  CompactionPolicyKind policy = CompactionPolicyKind::kTiered;
+  TieredCompactionOptions tiered;
+  /// Bound on concurrently outstanding compaction requests.
+  size_t max_inflight = 2;
+  /// The warehouse sends a stats snapshot every this many commits.
+  int64_t stats_every_commits = 8;
+  /// Per-version detail cap in those snapshots (bounds message size
+  /// when the retained window is huge).
+  size_t max_version_detail = 256;
+};
+
+class CompactorProcess : public Process {
+ public:
+  CompactorProcess(std::string name, const CompactionConfig& config);
+
+  /// Must be set before the runtime starts.
+  void SetWarehouse(ProcessId warehouse) { warehouse_ = warehouse; }
+
+  /// Registers compact.* instruments. Wiring time only, like every
+  /// registry registration.
+  void EnableObservability(obs::MetricsRegistry* metrics);
+
+  const CompactionPolicy& policy() const { return *policy_; }
+
+  /// Scheduler book-keeping, for tests and benches.
+  struct Stats {
+    int64_t plans = 0;
+    int64_t specs_planned = 0;
+    int64_t specs_deduped = 0;
+    int64_t merges_applied = 0;
+    int64_t merges_discarded = 0;
+    int64_t versions_collapsed = 0;
+    int64_t bytes_reclaimed = 0;
+    /// High-water mark of outstanding requests; tests assert it never
+    /// exceeds max_inflight.
+    size_t peak_inflight = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  size_t inflight() const { return inflight_.size(); }
+  size_t pending() const { return pending_.size(); }
+
+  void OnMessage(ProcessId from, MessagePtr msg) override;
+
+ private:
+  void HandleStats(const StoreStats& stats);
+  void HandleResponse(CompactionResponseMsg* resp);
+  /// Moves pending specs into flight up to the inflight bound.
+  void Pump();
+  void SetInflightGauge();
+
+  CompactionConfig config_;
+  std::unique_ptr<CompactionPolicy> policy_;
+  ProcessId warehouse_ = kInvalidProcess;
+
+  std::deque<CompactionSpec> pending_;
+  /// request_id -> spec awaiting its response.
+  std::map<int64_t, CompactionSpec> inflight_;
+  /// Keys of every pending or inflight spec: the same logical work is
+  /// never queued twice (stats arrive faster than merges finish).
+  std::set<std::string> active_keys_;
+  int64_t next_request_ = 0;
+
+  Stats stats_;
+  obs::Counter* merges_total_ = nullptr;
+  obs::Counter* merges_discarded_ = nullptr;
+  obs::Counter* versions_collapsed_ = nullptr;
+  obs::Counter* bytes_reclaimed_ = nullptr;
+  obs::Gauge* inflight_gauge_ = nullptr;
+};
+
+}  // namespace mvc

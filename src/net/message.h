@@ -34,7 +34,11 @@ struct Message {
     kAlResyncRequest = 18,     // recovering merge -> view manager
     kAlResyncResponse = 19,    // view manager -> merge
     kCommitResyncRequest = 20, // recovering merge -> warehouse
-    kCommitResyncResponse = 21 // warehouse -> merge
+    kCommitResyncResponse = 21, // warehouse -> merge
+    // --- Background compaction (src/compact/) ---
+    kCompactionStats = 22,    // warehouse -> compactor
+    kCompactionRequest = 23,  // compactor -> warehouse
+    kCompactionResponse = 24  // warehouse -> compactor
   };
 
   explicit Message(Kind k) : kind(k) {}

@@ -53,6 +53,12 @@ const char* MessageKindToString(Message::Kind kind) {
       return "CommitResyncRequest";
     case Message::Kind::kCommitResyncResponse:
       return "CommitResyncResponse";
+    case Message::Kind::kCompactionStats:
+      return "CompactionStats";
+    case Message::Kind::kCompactionRequest:
+      return "CompactionRequest";
+    case Message::Kind::kCompactionResponse:
+      return "CompactionResponse";
   }
   return "?";
 }

@@ -1,6 +1,7 @@
 #include "storage/versioned_store.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/string_util.h"
 
@@ -89,8 +90,26 @@ Result<SnapshotHandle> VersionedStore::AcquireSnapshotAt(
                " is outside the retained window [", front, ", ",
                latest_commit(), "]; the version was garbage-collected"));
   }
-  // Commit ids are dense, so the window is directly indexable.
-  return SnapshotHandle(retained_[static_cast<size_t>(commit_id - front)]);
+  // Compaction may have thinned the window, so ids are no longer dense:
+  // binary search instead of direct indexing.
+  const size_t idx = RetainedIndexOf(commit_id);
+  if (idx == retained_.size()) {
+    return Status::NotFound(
+        StrCat("commit ", commit_id, " was garbage-collected (collapsed by ",
+               "compaction inside the retained window [", front, ", ",
+               latest_commit(), "])"));
+  }
+  return SnapshotHandle(retained_[idx]);
+}
+
+size_t VersionedStore::RetainedIndexOf(int64_t commit_id) const {
+  auto it = std::lower_bound(
+      retained_.begin(), retained_.end(), commit_id,
+      [](const StoreVersionPtr& v, int64_t id) { return v->commit_id < id; });
+  if (it == retained_.end() || (*it)->commit_id != commit_id) {
+    return retained_.size();
+  }
+  return static_cast<size_t>(it - retained_.begin());
 }
 
 void VersionedStore::CollectGarbage() {
@@ -112,10 +131,135 @@ size_t VersionedStore::versions_live() const {
 }
 
 int64_t VersionedStore::watermark() const {
+  // Min over everything reachable: evicted entries are usually older
+  // than the window front, but take the minimum rather than trusting
+  // ordering so the invariant survives future eviction paths.
+  int64_t mark = retained_.empty() ? -1 : retained_.front()->commit_id;
   for (const auto& [commit, weak] : evicted_) {
-    if (!weak.expired()) return commit;
+    if (!weak.expired() && (mark < 0 || commit < mark)) mark = commit;
   }
-  return retained_.empty() ? -1 : retained_.front()->commit_id;
+  return mark;
+}
+
+StoreStats VersionedStore::ComputeStats(size_t max_version_detail) const {
+  StoreStats stats;
+  stats.latest_commit = latest_commit();
+  stats.watermark = watermark();
+  stats.retained_versions = retained_.size();
+  stats.max_retained_versions = max_retained_;
+  for (const auto& [commit, weak] : evicted_) {
+    if (!weak.expired()) ++stats.pinned_evicted;
+  }
+  const size_t detail = std::min(max_version_detail, retained_.size());
+  stats.detail_truncated = detail < retained_.size();
+  stats.versions.reserve(detail);
+  for (size_t i = 0; i < detail; ++i) {
+    const StoreVersionPtr& version = retained_[i];
+    VersionStats vs;
+    vs.commit_id = version->commit_id;
+    vs.approx_bytes = version->approx_bytes;
+    // The deque holds the only long-lived strong reference; anything
+    // beyond it is an outstanding handle (or an in-flight message).
+    vs.pinned = version.use_count() > 1;
+    vs.tables.reserve(version->tables.size());
+    for (const TableVersion& tv : version->tables) {
+      vs.tables.push_back(TableVersionStats{
+          tv.name, tv.chunks == nullptr ? 0 : tv.chunks->size(), tv.distinct,
+          tv.approx_bytes});
+    }
+    stats.versions.push_back(std::move(vs));
+  }
+  return stats;
+}
+
+size_t VersionedStore::ResidentChunkBytes() const {
+  std::unordered_set<const Chunk*> seen;
+  size_t bytes = 0;
+  auto add_version = [&](const StoreVersion& version) {
+    for (const TableVersion& tv : version.tables) {
+      if (tv.chunks == nullptr) continue;
+      for (const ChunkPtr& chunk : *tv.chunks) {
+        if (chunk != nullptr && seen.insert(chunk.get()).second) {
+          bytes += chunk->approx_bytes;
+        }
+      }
+    }
+  };
+  for (const StoreVersionPtr& version : retained_) add_version(*version);
+  for (const auto& [commit, weak] : evicted_) {
+    if (StoreVersionPtr version = weak.lock()) add_version(*version);
+  }
+  // Working state: since the last seal, only copied-on-write chunks are
+  // distinct from the newest version's — the dedup handles the overlap.
+  for (const auto& [name, table] : tables_) {
+    bytes += table->ResidentChunkBytes(&seen);
+  }
+  return bytes;
+}
+
+CompactionApplyResult VersionedStore::CollapseVersions(
+    const std::vector<int64_t>& victims) {
+  CompactionApplyResult result;
+  if (victims.empty()) return result;
+  const size_t before = ResidentChunkBytes();
+  for (int64_t victim : victims) {
+    const size_t idx = RetainedIndexOf(victim);
+    if (idx == retained_.size() ||                // already gone
+        retained_[idx] == retained_.back() ||     // never drop the latest
+        retained_[idx].use_count() > 1) {         // pinned by a handle
+      ++result.versions_skipped;
+      continue;
+    }
+    // Dropping the deque slot releases the last strong reference; the
+    // version's unshared chunks die here, shared ones live on in the
+    // neighbouring versions that reference them.
+    retained_.erase(retained_.begin() + static_cast<ptrdiff_t>(idx));
+    ++result.versions_collapsed;
+  }
+  const size_t after = ResidentChunkBytes();
+  result.bytes_reclaimed = before > after ? before - after : 0;
+  return result;
+}
+
+Result<CompactionApplyResult> VersionedStore::SwapCompactedTable(
+    int64_t commit_id, TableVersion replacement) {
+  const size_t idx = RetainedIndexOf(commit_id);
+  if (idx == retained_.size()) {
+    return Status::NotFound(
+        StrCat("commit ", commit_id,
+               " is not retained (garbage-collected before the swap)"));
+  }
+  const StoreVersion& old = *retained_[idx];
+  const TableVersion* old_table = old.Find(replacement.name);
+  if (old_table == nullptr) {
+    return Status::NotFound(StrCat("version @", commit_id, " has no table '",
+                                   replacement.name, "'"));
+  }
+  if (old_table->distinct != replacement.distinct ||
+      old_table->total_count != replacement.total_count) {
+    return Status::InvalidArgument(
+        StrCat("squashed rebuild of '", replacement.name, "' @", commit_id,
+               " does not match the original: distinct ", replacement.distinct,
+               " vs ", old_table->distinct, ", total ",
+               replacement.total_count, " vs ", old_table->total_count));
+  }
+  const size_t before = ResidentChunkBytes();
+  // Rebuild the version object rather than mutating it: any handle
+  // pinned to the old version keeps its shared_ptr and keeps observing
+  // the old chunks byte for byte.
+  auto rebuilt = std::make_shared<StoreVersion>();
+  rebuilt->commit_id = old.commit_id;
+  rebuilt->tables.reserve(old.tables.size());
+  for (const TableVersion& tv : old.tables) {
+    rebuilt->tables.push_back(tv.name == replacement.name ? replacement : tv);
+    rebuilt->approx_bytes += rebuilt->tables.back().approx_bytes;
+  }
+  retained_[idx] = std::move(rebuilt);
+  const size_t after = ResidentChunkBytes();
+  CompactionApplyResult result;
+  result.swapped = true;
+  result.bytes_reclaimed = before > after ? before - after : 0;
+  return result;
 }
 
 }  // namespace mvc

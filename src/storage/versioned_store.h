@@ -50,6 +50,55 @@ struct StoreVersion {
 
 using StoreVersionPtr = std::shared_ptr<const StoreVersion>;
 
+/// --- Compaction-facing introspection (src/compact/ plans against these;
+/// the structs live here so the storage layer stays dependency-free) ---
+
+/// Shape of one table inside one published version.
+struct TableVersionStats {
+  std::string table;
+  size_t num_chunks = 0;
+  size_t distinct = 0;
+  size_t approx_bytes = 0;
+};
+
+/// Shape of one published version.
+struct VersionStats {
+  int64_t commit_id = 0;
+  size_t approx_bytes = 0;
+  /// An external SnapshotHandle (reader, in-flight message) pins this
+  /// version right now. Compaction policies must not collapse it.
+  bool pinned = false;
+  std::vector<TableVersionStats> tables;
+};
+
+/// Store-wide snapshot a CompactionPolicy plans against. Cheap to build:
+/// O(retained versions * tables), no chunk traversal.
+struct StoreStats {
+  int64_t latest_commit = -1;
+  int64_t watermark = -1;
+  size_t retained_versions = 0;
+  /// Evicted-but-pinned versions (outside the window, kept by handles).
+  size_t pinned_evicted = 0;
+  size_t max_retained_versions = 0;
+  /// Oldest-first detail for retained versions, capped by the caller —
+  /// the oldest versions are exactly the compaction candidates.
+  std::vector<VersionStats> versions;
+  /// True when the cap cut the detail short of the full window.
+  bool detail_truncated = false;
+};
+
+/// Outcome of one applied compaction primitive (collapse or swap).
+struct CompactionApplyResult {
+  size_t versions_collapsed = 0;
+  /// Victims skipped because they were pinned, the latest version, or
+  /// already gone — never an error, compaction is best-effort.
+  size_t versions_skipped = 0;
+  /// Drop in ResidentChunkBytes() across the operation, clamped at 0
+  /// (a swap can transiently add bytes while pins keep old chunks live).
+  size_t bytes_reclaimed = 0;
+  bool swapped = false;
+};
+
 /// An O(1) reference to one StoreVersion. Holding a handle pins the
 /// version (and every chunk it shares) against garbage collection;
 /// destroying or Release()-ing it is the reader-side GC trigger.
@@ -133,7 +182,39 @@ class VersionedStore {
   /// nothing is published yet.
   int64_t watermark() const;
 
+  /// --- Compaction primitives (the apply side of src/compact/) ---
+
+  /// Snapshot of the store's shape for compaction planning, with
+  /// per-version detail for at most `max_version_detail` of the oldest
+  /// retained versions.
+  StoreStats ComputeStats(size_t max_version_detail) const;
+
+  /// Bytes of chunk storage currently reachable, deduplicated by chunk
+  /// identity across the working tables, the retained window, and
+  /// pinned evicted versions. O(versions * chunks) — call at compaction
+  /// boundaries and sampling points, not per commit.
+  size_t ResidentChunkBytes() const;
+
+  /// Removes the listed retained versions from the window (tiered
+  /// retention thinning). Best-effort: victims that are the latest
+  /// version, currently pinned by a handle, or not retained are skipped
+  /// and counted, never an error. A collapsed commit id is afterwards
+  /// reported as garbage-collected by AcquireSnapshotAt.
+  CompactionApplyResult CollapseVersions(const std::vector<int64_t>& victims);
+
+  /// Atomically replaces one table of the retained version `commit_id`
+  /// with `replacement` (a squashed rebuild of the same logical
+  /// contents; name, distinct count and total count must match). The
+  /// version object is rebuilt and swapped in; handles pinned to the old
+  /// version keep observing the old chunks byte for byte — refcount
+  /// safety, never in-place mutation.
+  Result<CompactionApplyResult> SwapCompactedTable(int64_t commit_id,
+                                                   TableVersion replacement);
+
  private:
+  /// Index into retained_ of `commit_id`, or npos. Binary search —
+  /// collapse leaves gaps, so the window is not directly indexable.
+  size_t RetainedIndexOf(int64_t commit_id) const;
   size_t max_retained_;
   std::map<std::string, std::unique_ptr<VersionedTable>> tables_;
   /// Oldest..newest; back() is the current version.

@@ -176,6 +176,17 @@ Table VersionedTable::Materialize() const {
   return table;
 }
 
+size_t VersionedTable::ResidentChunkBytes(
+    std::unordered_set<const Chunk*>* seen) const {
+  size_t bytes = 0;
+  for (const ChunkPtr& chunk : chunks_) {
+    if (chunk != nullptr && seen->insert(chunk.get()).second) {
+      bytes += chunk->approx_bytes;
+    }
+  }
+  return bytes;
+}
+
 TableVersion VersionedTable::Seal() {
   TableVersion version;
   version.name = name_;

@@ -21,6 +21,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/logging.h"
@@ -114,6 +115,10 @@ class VersionedTable {
 
   /// Flat copy of the working state.
   Table Materialize() const;
+
+  /// Adds the working chunks to a store-level dedup set and returns the
+  /// bytes of chunks not seen before (VersionedStore::ResidentChunkBytes).
+  size_t ResidentChunkBytes(std::unordered_set<const Chunk*>* seen) const;
 
   /// --- Versioning ---
 

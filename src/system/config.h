@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "compact/compactor_process.h"
 #include "fault/fault_plan.h"
 #include "integrator/integrator.h"
 #include "integrator/sequential_integrator.h"
@@ -22,6 +23,7 @@
 #include "viewmgr/convergent_vm.h"
 #include "viewmgr/periodic_vm.h"
 #include "viewmgr/strong_vm.h"
+#include "warehouse/reader.h"
 #include "warehouse/warehouse.h"
 
 namespace mvc {
@@ -84,6 +86,20 @@ struct SystemConfig {
   size_t num_merge_processes = 1;
   WarehouseOptions warehouse;
   SourceOptions source_options;
+
+  /// Background compaction of the warehouse's versioned store
+  /// (src/compact/): when enabled, Wire() registers a CompactorProcess
+  /// and points the warehouse at it. Pair with a non-zero
+  /// warehouse.max_retained_versions — with no retained history there
+  /// is nothing to compact.
+  CompactionConfig compaction;
+
+  /// Attach a reader pool from the config (Wire() calls
+  /// AttachReaderPool). Exists so pure-config consumers — the schedule
+  /// explorer rebuilds the system from SystemConfig alone — can put
+  /// concurrent reads into the explored schedule.
+  bool attach_readers = false;
+  ReaderPoolOptions readers;
 
   /// Replace the concurrent architecture by the Section 1.1 sequential
   /// strawman (one process does everything).

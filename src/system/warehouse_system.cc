@@ -231,6 +231,21 @@ Status WarehouseSystem::Wire(SystemConfig config) {
     warehouse_->EnableObservability(metrics_.get());
   }
   const ProcessId warehouse_pid = runtime_->Register(warehouse_.get());
+
+  // --- Background compactor (src/compact/) ---
+  if (config_.compaction.enabled) {
+    compactor_ =
+        std::make_unique<CompactorProcess>("compactor", config_.compaction);
+    if (metrics_ != nullptr) {
+      compactor_->EnableObservability(metrics_.get());
+    }
+    const ProcessId compactor_pid = runtime_->Register(compactor_.get());
+    compactor_->SetWarehouse(warehouse_pid);
+    warehouse_->SetCompactor(compactor_pid,
+                             config_.compaction.stats_every_commits,
+                             config_.compaction.max_version_detail);
+  }
+
   obs::Counter* wh_commits = nullptr;
   obs::Histogram* wh_txn_rows = nullptr;
   if (metrics_ != nullptr) {
@@ -496,6 +511,12 @@ Status WarehouseSystem::Wire(SystemConfig config) {
   driver_ = std::make_unique<WorkloadDriver>("driver", std::move(workload),
                                              source_pids);
   runtime_->Register(driver_.get());
+
+  // --- Config-driven readers (the explorer's only way to get reads
+  // into the schedule: it rebuilds the system from the config alone) ---
+  if (config_.attach_readers) {
+    AttachReaderPool(config_.readers);
+  }
   return Status::OK();
 }
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "compact/compactor_process.h"
 #include "consistency/checker.h"
 #include "consistency/recorder.h"
 #include "fault/checkpoint_store.h"
@@ -89,6 +90,8 @@ class WarehouseSystem {
     return sources_;
   }
   const IntegratorProcess* integrator() const { return integrator_.get(); }
+  /// Background compactor; nullptr unless config.compaction.enabled.
+  const CompactorProcess* compactor() const { return compactor_.get(); }
   const SequentialIntegrator* sequential_integrator() const {
     return sequential_.get();
   }
@@ -142,6 +145,7 @@ class WarehouseSystem {
   std::vector<std::unique_ptr<ViewManagerBase>> view_managers_;
   std::vector<std::unique_ptr<MergeProcess>> merges_;
   std::unique_ptr<WarehouseProcess> warehouse_;
+  std::unique_ptr<CompactorProcess> compactor_;
   std::unique_ptr<WorkloadDriver> driver_;
   std::vector<std::unique_ptr<WarehouseReader>> readers_;
   std::unique_ptr<CheckpointStore> checkpoint_store_;

@@ -24,6 +24,15 @@ void WarehouseProcess::EnableObservability(obs::MetricsRegistry* metrics) {
   versions_live_ = metrics->RegisterGauge("warehouse.versions_live");
 }
 
+void WarehouseProcess::SetCompactor(ProcessId compactor,
+                                    int64_t stats_every_commits,
+                                    size_t max_version_detail) {
+  MVC_CHECK(stats_every_commits >= 1) << "stats_every_commits must be >= 1";
+  compactor_ = compactor;
+  compaction_stats_every_ = stats_every_commits;
+  compaction_detail_ = max_version_detail;
+}
+
 void WarehouseProcess::EnsureInitialVersion() {
   if (store_.latest_commit() < 0) {
     // Publish the initialized, pre-commit state as commit 0 so a
@@ -86,9 +95,67 @@ void WarehouseProcess::Commit(InFlight in_flight) {
   if (observer_) {
     observer_(in_flight.submitter, in_flight.txn, views_, Now());
   }
+  if (compactor_ != kInvalidProcess &&
+      committed_count_ % compaction_stats_every_ == 0) {
+    SendCompactionStats();
+  }
   auto ack = std::make_unique<TxnCommittedMsg>();
   ack->txn_id = in_flight.txn.txn_id;
   Send(in_flight.submitter, std::move(ack));
+}
+
+void WarehouseProcess::SendCompactionStats() {
+  auto stats = std::make_unique<CompactionStatsMsg>();
+  stats->stats = store_.ComputeStats(compaction_detail_);
+  Send(compactor_, std::move(stats));
+}
+
+void WarehouseProcess::ServeCompaction(ProcessId from,
+                                       CompactionRequestMsg* req) {
+  auto resp = std::make_unique<CompactionResponseMsg>();
+  resp->request_id = req->request_id;
+  resp->spec = req->spec;
+  switch (req->spec.kind) {
+    case CompactionKind::kCollapseVersions: {
+      resp->phase = CompactionResponseMsg::Phase::kApplied;
+      resp->result = store_.CollapseVersions(req->spec.victims);
+      break;
+    }
+    case CompactionKind::kSquashChunks: {
+      if (!req->has_replacement) {
+        // Phase 1: pin the version and hand the compactor a handle to
+        // rebuild from. The pin also shields the version from any
+        // concurrent collapse until the compactor releases it.
+        Result<SnapshotHandle> at =
+            store_.AcquireSnapshotAt(req->spec.commit_id);
+        if (!at.ok()) {
+          resp->phase = CompactionResponseMsg::Phase::kDiscarded;
+          resp->note = at.status().message();
+        } else {
+          resp->phase = CompactionResponseMsg::Phase::kFetched;
+          resp->handle = *std::move(at);
+        }
+        break;
+      }
+      // Phase 2: atomic swap-in of the rebuilt table. Validation and
+      // refcount safety live in the store; a stale request (version
+      // collapsed or contents drifted) is discarded, never fatal.
+      Result<CompactionApplyResult> swapped = store_.SwapCompactedTable(
+          req->spec.commit_id, std::move(req->replacement));
+      if (!swapped.ok()) {
+        resp->phase = CompactionResponseMsg::Phase::kDiscarded;
+        resp->note = swapped.status().message();
+      } else {
+        resp->phase = CompactionResponseMsg::Phase::kApplied;
+        resp->result = *swapped;
+      }
+      break;
+    }
+  }
+  if (versions_live_ != nullptr) {
+    versions_live_->Set(static_cast<int64_t>(store_.versions_live()));
+  }
+  Send(from, std::move(resp));
 }
 
 void WarehouseProcess::RetryHeld() {
@@ -231,6 +298,12 @@ void WarehouseProcess::OnMessage(ProcessId from, MessagePtr msg) {
       // Served inline by the single warehouse actor, so the snapshot is
       // atomic with respect to view-maintenance transactions.
       ServeRead(from, *static_cast<ReadViewsMsg*>(msg.get()));
+      return;
+    }
+    case Message::Kind::kCompactionRequest: {
+      // Served inline by the single warehouse actor, like reads: each
+      // apply is atomic with respect to commits by construction.
+      ServeCompaction(from, static_cast<CompactionRequestMsg*>(msg.get()));
       return;
     }
     case Message::Kind::kCommitResyncRequest: {

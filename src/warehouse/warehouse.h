@@ -34,6 +34,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "compact/compact_messages.h"
 #include "net/protocol.h"
 #include "net/runtime.h"
 #include "obs/metrics.h"
@@ -111,6 +112,14 @@ class WarehouseProcess : public Process {
   /// Installs the initial materialization of a view.
   Status InitializeView(const std::string& view, const Table& contents);
 
+  /// Points the warehouse at a CompactorProcess: every
+  /// `stats_every_commits` commits it sends a CompactionStatsMsg with
+  /// per-version detail capped at `max_version_detail`, and it answers
+  /// the compactor's CompactionRequestMsgs between commits. Must be set
+  /// before the runtime starts.
+  void SetCompactor(ProcessId compactor, int64_t stats_every_commits,
+                    size_t max_version_detail);
+
   /// Invoked after every commit with the transaction, the new view
   /// catalog, and the commit time. The consistency oracle hooks this.
   void SetCommitObserver(
@@ -157,9 +166,22 @@ class WarehouseProcess : public Process {
 
   void ServeRead(ProcessId from, const ReadViewsMsg& read);
 
+  /// Sends a stats snapshot to the compactor (post-commit trigger).
+  void SendCompactionStats();
+
+  /// Applies/serves one compactor request: collapse (apply inline),
+  /// squash fetch (pin + hand out a handle), squash swap (atomic
+  /// version rebuild). Each is O(spec), never O(store) — compaction
+  /// work interleaves with commits without blocking them.
+  void ServeCompaction(ProcessId from, CompactionRequestMsg* req);
+
   WarehouseOptions options_;
   Rng rng_;
   const IdRegistry* registry_ = nullptr;
+  /// Background compaction (kInvalidProcess = disabled).
+  ProcessId compactor_ = kInvalidProcess;
+  int64_t compaction_stats_every_ = 0;
+  size_t compaction_detail_ = 0;
   /// Flat maintenance working copy: the state the commit observer (and
   /// the consistency oracle) sees, and the source of legacy clones.
   Catalog views_;

@@ -213,6 +213,48 @@ TEST(ScheduleExplorerTest, DeriveCheckLevelMatchesScenario) {
   EXPECT_EQ(DeriveCheckLevel(strong), CheckLevel::kStrong);
 }
 
+// Background compaction interleaved with commits and snapshot reads:
+// the MVC chain conditions must hold on every schedule of the
+// compaction protocol (stats / request / response racing transactions
+// and ReadViews), and compaction must actually run inside the explored
+// executions — the explorer rebuilds the system from the config alone,
+// so both the compactor and the reader pool ride SystemConfig.
+TEST(ScheduleExplorerTest, CompactionInterleavingsPreserveMvc) {
+  SystemConfig config = Table1RaceScenario();
+  config.compaction.enabled = true;
+  config.compaction.tiered.hot_window = 1;
+  config.compaction.stats_every_commits = 1;
+  config.compaction.max_inflight = 1;
+  config.warehouse.max_retained_versions = 8;
+  config.attach_readers = true;
+  config.readers.num_readers = 1;
+  config.readers.reads_per_reader = 2;
+  config.readers.mean_interval_us = 2000.0;
+
+  ExploreOptions opt;
+  opt.delay_bound = 1;
+  opt.max_executions = 400;
+  opt.max_steps = 5000;
+  opt.check = CheckLevel::kComplete;
+
+  ScheduleExplorer explorer(std::move(config), opt);
+  int64_t executions_with_compaction = 0;
+  explorer.SetExecutionObserver([&](const WarehouseSystem& system) {
+    ASSERT_NE(system.compactor(), nullptr);
+    if (system.compactor()->stats().merges_applied > 0) {
+      ++executions_with_compaction;
+    }
+    // The scheduler bound holds on every explored interleaving.
+    EXPECT_LE(system.compactor()->stats().peak_inflight, 1u);
+  });
+  auto report = explorer.Explore();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->violation.has_value()) << report->violation->message;
+  EXPECT_GT(report->executions, 1);
+  EXPECT_GT(executions_with_compaction, 0)
+      << "no explored schedule ever compacted";
+}
+
 // ---------------------------------------------------------------------------
 // Mutation detection: deliberately broken paint rules must be caught,
 // with a small, replayable counterexample.

@@ -169,6 +169,51 @@ TEST(ThreadStressTest, ReaderPoolSnapshotsAreNeverTornOnThreads) {
   }
 }
 
+// Background compaction racing the read path on real threads: the
+// compactor collapses and squash-rebuilds versions (rebuilds run on its
+// own thread against sealed chunks) while a reader pool acquires and
+// releases snapshot handles and commits keep sealing new versions. TSan
+// watches the chunk refcounts cross all three thread groups; the
+// observation checks prove no reader ever saw a torn or reclaimed
+// snapshot.
+TEST(ThreadStressTest, CompactorRacingReadersNeverTearsSnapshots) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    WorkloadSpec spec;
+    spec.seed = seed;
+    spec.num_transactions = 25;
+    spec.num_views = 3;
+    spec.mean_interarrival = 300;
+    auto config = GenerateScenario(spec);
+    ASSERT_TRUE(config.ok());
+    config->use_threads = true;
+    config->latency = LatencyModel::Uniform(0, 200);
+    config->warehouse.max_retained_versions = 64;
+    config->compaction.enabled = true;
+    config->compaction.tiered.hot_window = 2;
+    config->compaction.stats_every_commits = 1;
+    auto system = WarehouseSystem::Build(std::move(*config));
+    ASSERT_TRUE(system.ok());
+    ReaderPoolOptions pool;
+    pool.num_readers = 4;
+    pool.reads_per_reader = 12;
+    pool.mean_interval_us = 500.0;
+    pool.seed = seed;
+    std::vector<WarehouseReader*> readers =
+        (*system)->AttachReaderPool(pool);
+    (*system)->Run();
+    const size_t views = (*system)->bound_views().size();
+    for (const WarehouseReader* reader : readers) {
+      ASSERT_EQ(reader->observations().size(), pool.reads_per_reader);
+      for (const auto& obs : reader->observations()) {
+        ASSERT_TRUE(obs.ok()) << obs.error;
+        EXPECT_EQ(obs.snapshots.size(), views);
+      }
+    }
+    ASSERT_NE((*system)->compactor(), nullptr);
+    EXPECT_GT((*system)->compactor()->stats().plans, 0);
+  }
+}
+
 // Paper scenario end-to-end on threads with jittered latencies.
 TEST(ThreadStressTest, Table1RaceScenarioOnThreads) {
   SystemConfig config = Table1RaceScenario();

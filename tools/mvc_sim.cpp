@@ -53,6 +53,7 @@ struct Flags {
   bool piggyback = false;
   bool threads = false;
   std::string check = "auto";
+  bool compaction = false;
   bool show_views = false;
   std::string faults;
   int checkpoint_every = 4;
@@ -100,6 +101,9 @@ void Usage() {
       "Execution:\n"
       "  --threads               real threads instead of the simulator\n"
       "  --check LEVEL           auto|complete|strong|convergent|none\n"
+      "  --compaction            run the background compactor (tiered\n"
+      "                          policy defaults; retains >= 64 versions\n"
+      "                          so it has history to manage)\n"
       "  --show-views            print final view contents\n\n"
       "Observability:\n"
       "  --metrics-out FILE      write the metrics snapshot as JSON\n"
@@ -192,6 +196,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->prom_out = next();
     } else if (arg == "--check") {
       flags->check = next();
+    } else if (arg == "--compaction") {
+      flags->compaction = true;
     } else if (arg == "--show-views") {
       flags->show_views = true;
     } else {
@@ -329,6 +335,13 @@ int Run(const Flags& flags) {
                                      plan->events.end());
   }
   config->fault.checkpoint_every = flags.checkpoint_every;
+  if (flags.compaction) {
+    config->compaction.enabled = true;
+    // The compactor is pointless without retained history to trim.
+    if (config->warehouse.max_retained_versions < 64) {
+      config->warehouse.max_retained_versions = 64;
+    }
+  }
   const bool want_obs = !flags.metrics_out.empty() ||
                         !flags.trace_out.empty() || !flags.prom_out.empty();
   if (want_obs) {
@@ -387,6 +400,15 @@ int Run(const Flags& flags) {
               << " peak_held_ALs=" << merge->stats().peak_held_action_lists
               << " peak_rows=" << merge->stats().peak_open_rows
               << " peak_backlog=" << merge->stats().peak_backlog << "\n";
+  }
+  if ((*system)->compactor() != nullptr) {
+    const auto& cs = (*system)->compactor()->stats();
+    std::cout << "  compactor: plans=" << cs.plans
+              << " merges=" << cs.merges_applied
+              << " discarded=" << cs.merges_discarded
+              << " versions_collapsed=" << cs.versions_collapsed
+              << " bytes_reclaimed=" << cs.bytes_reclaimed
+              << " peak_inflight=" << cs.peak_inflight << "\n";
   }
   if ((*system)->faults_enabled()) {
     std::cout << "\n" << RunReportString(**system);

@@ -14,10 +14,13 @@
 // from a run that never finalized its observability.
 //
 // --check-bench validates the BENCH_*.json shape the bench_* binaries
-// emit with --json: a non-empty array of records, each with a unique
-// non-empty "name", a positive "iterations", a non-negative "ns_per_op",
-// and (optionally) a non-negative "allocations". CI smoke jobs run this
-// against freshly produced bench artifacts before uploading them.
+// emit with --json: either the legacy bare array of records, or the
+// schema-tagged object form {"schema": "<known name>", "records": [...]}
+// (known: mvc-bench-read-v1, mvc-bench-compact-v1). Every record needs a
+// unique non-empty "name", a positive "iterations", a non-negative
+// "ns_per_op", and (optionally) a non-negative "allocations". CI smoke
+// jobs run this against freshly produced bench artifacts before
+// uploading them.
 
 #include <algorithm>
 #include <cstdint>
@@ -163,17 +166,48 @@ void Check(const obs::JsonValue& root) {
   }
 }
 
-void CheckBench(const obs::JsonValue& root) {
-  if (!root.is_array()) {
-    Fail("bench file is not a JSON array");
-    return;
+/// Bench artifact schemas --check-bench accepts in the tagged form.
+const char* const kKnownBenchSchemas[] = {"mvc-bench-read-v1",
+                                          "mvc-bench-compact-v1"};
+
+/// Resolves the records array of a bench artifact: the legacy form is a
+/// bare array; the tagged form wraps it as {"schema", "records"} and the
+/// schema name must be known. Returns nullptr (and Fails) when neither.
+const obs::JsonValue* BenchRecords(const obs::JsonValue& root,
+                                   std::string* schema_out) {
+  if (root.is_array()) return &root;
+  if (!root.is_object()) {
+    Fail("bench file is neither a JSON array nor a schema-tagged object");
+    return nullptr;
   }
-  if (root.array.empty()) {
+  const obs::JsonValue* schema = root.Find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    Fail("bench object without a string \"schema\" tag");
+    return nullptr;
+  }
+  bool known = false;
+  for (const char* name : kKnownBenchSchemas) {
+    if (schema->str == name) known = true;
+  }
+  if (!known) {
+    Fail("unknown bench schema \"" + schema->str + "\"");
+    return nullptr;
+  }
+  *schema_out = schema->str;
+  return RequireArray(root, "records");
+}
+
+void CheckBench(const obs::JsonValue& root, std::string* schema_out,
+                size_t* record_count) {
+  const obs::JsonValue* records = BenchRecords(root, schema_out);
+  if (records == nullptr) return;
+  if (records->array.empty()) {
     Fail("bench file contains no records");
     return;
   }
+  *record_count = records->array.size();
   std::vector<std::string> seen;
-  for (const obs::JsonValue& record : root.array) {
+  for (const obs::JsonValue& record : records->array) {
     if (!record.is_object()) {
       Fail("bench record is not an object");
       continue;
@@ -245,9 +279,53 @@ void PrintCounters(const obs::JsonValue& root) {
   }
 }
 
+/// Looks up an instrument by name in a counters/gauges array; returns
+/// true and sets *value when present.
+bool FindInstrument(const obs::JsonValue* entries, const std::string& name,
+                    int64_t* value) {
+  if (entries == nullptr || !entries->is_array()) return false;
+  for (const obs::JsonValue& e : entries->array) {
+    const obs::JsonValue* n = e.Find("name");
+    const obs::JsonValue* v = e.Find("value");
+    if (n != nullptr && n->is_string() && n->str == name && v != nullptr &&
+        v->is_number()) {
+      *value = v->AsInt();
+      return true;
+    }
+  }
+  return false;
+}
+
+/// One-line digest of the background compactor, printed only when the
+/// run had compaction wired up (compact.* counters present).
+void PrintCompactionSummary(const obs::JsonValue& root) {
+  const obs::JsonValue* counters = root.Find("counters");
+  const obs::JsonValue* gauges = root.Find("gauges");
+  int64_t merges = 0;
+  if (!FindInstrument(counters, "compact.merges_total", &merges)) return;
+  int64_t discarded = 0, collapsed = 0, reclaimed = 0;
+  FindInstrument(counters, "compact.merges_discarded", &discarded);
+  FindInstrument(counters, "compact.versions_collapsed", &collapsed);
+  FindInstrument(counters, "compact.bytes_reclaimed", &reclaimed);
+  std::cout << "== compaction ==\n";
+  std::cout << "merges=" << merges << " discarded=" << discarded
+            << " versions_collapsed=" << collapsed
+            << " bytes_reclaimed=" << reclaimed;
+  int64_t inflight = 0;
+  if (FindInstrument(gauges, "compact.inflight", &inflight)) {
+    std::cout << " inflight=" << inflight;
+  }
+  int64_t live = 0;
+  if (FindInstrument(gauges, "warehouse.versions_live", &live)) {
+    std::cout << " versions_live=" << live;
+  }
+  std::cout << "\n";
+}
+
 void PrintSummary(const obs::JsonValue& root) {
   std::cout << "== counters ==\n";
   PrintCounters(root);
+  PrintCompactionSummary(root);
   const obs::JsonValue* histograms = root.Find("histograms");
   if (histograms == nullptr) return;
   std::cout << "== histograms ==\n";
@@ -321,14 +399,16 @@ int Main(int argc, char** argv) {
     return 1;
   }
   if (check_bench) {
-    CheckBench(*root);
+    std::string schema = "legacy array";
+    size_t record_count = 0;
+    CheckBench(*root, &schema, &record_count);
     if (g_errors > 0) {
       std::cerr << "mvc_stats: " << path << ": " << g_errors
                 << " problem(s)\n";
       return 1;
     }
-    std::cout << path << ": OK (" << root->array.size()
-              << " bench records)\n";
+    std::cout << path << ": OK (" << record_count << " bench records, "
+              << schema << ")\n";
     return 0;
   }
   if (check) {

@@ -1,0 +1,464 @@
+// Production read tier: query-in-place vs flatten-then-scan.
+//
+// The read path before this tier shipped whole snapshots: a reader
+// asking "which rows of V1 fall in [lo, hi]?" received an O(1)
+// SnapshotHandle, flattened the entire view into a Table at its
+// boundary, and scanned the copy. The serve tier instead evaluates the
+// ScanQuery on the warehouse, in place over the pinned version's
+// columnar chunks, and returns only the matching rows.
+//
+// Two claims are measured. First, under a 10x-scaled pool of range-
+// query readers, per-query p99 latency on the in-place path must beat
+// flatten-then-scan by a wide margin (>=5x at the largest table; the
+// flatten path pays an O(table) materialization per query, the
+// columnar scan only a vectorized pass). Second, under deliberate
+// saturation the warehouse sheds with explicit responses: every issued
+// query is answered (result or shed notice) and nothing times out.
+//
+//   bench_serve [--tiny] [--json[=PATH]]
+//
+// --tiny shrinks every dimension for CI smoke runs; --json writes
+// BENCH_serve.json (schema mvc-bench-serve-v1, validated by
+// `mvc_stats --check-bench`, including the summary invariants).
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/sim_runtime.h"
+#include "query/scan.h"
+#include "storage/id_registry.h"
+#include "warehouse/reader.h"
+#include "warehouse/warehouse.h"
+
+namespace mvc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Schema ViewSchema() { return Schema::AllInt64({"A", "B"}); }
+
+double NsBetween(Clock::time_point start, Clock::time_point end) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count());
+}
+
+/// q-quantile of a latency sample (nearest-rank).
+double Quantile(std::vector<double> ns, double q) {
+  MVC_CHECK(!ns.empty());
+  std::sort(ns.begin(), ns.end());
+  const size_t rank = std::min(
+      ns.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(ns.size())));
+  return ns[rank];
+}
+
+double Mean(const std::vector<double>& ns) {
+  double sum = 0;
+  for (double v : ns) sum += v;
+  return sum / static_cast<double>(ns.size());
+}
+
+/// The same deterministic range-query stream both paths replay: query k
+/// of reader r covers the identical [lo, lo+width] window, so the two
+/// runs do the same logical work and their matched counts must agree.
+ScanQuery RangeQueryAt(Rng* rng, int64_t key_space, int64_t width) {
+  const int64_t lo = rng->UniformInt(0, std::max<int64_t>(0, key_space - width));
+  return ScanQuery::Range("A", Value(lo), Value(lo + width));
+}
+
+/// In-place path: ships each ScanQuery to the warehouse (QueryViewMsg)
+/// and host-times send -> result. The warehouse scans the columnar
+/// chunks of its pinned version; only matching rows travel back.
+class InPlaceReader : public Process {
+ public:
+  InPlaceReader(std::string name, ProcessId warehouse,
+                std::vector<TimeMicros> read_at, uint64_t seed,
+                int64_t key_space, int64_t width)
+      : Process(std::move(name)),
+        warehouse_(warehouse),
+        read_at_(std::move(read_at)),
+        rng_(seed),
+        key_space_(key_space),
+        width_(width) {}
+
+  void OnStart() override {
+    for (TimeMicros at : read_at_) {
+      ScheduleSelf(std::make_unique<TickMsg>(), at);
+    }
+  }
+
+  void OnMessage(ProcessId, MessagePtr msg) override {
+    if (msg->kind == Message::Kind::kTick) {
+      auto query = std::make_unique<QueryViewMsg>();
+      query->request_id = ++next_request_;
+      query->view = 0;
+      query->query = RangeQueryAt(&rng_, key_space_, width_);
+      sent_at_[query->request_id] = Clock::now();
+      Send(warehouse_, std::move(query));
+      return;
+    }
+    MVC_CHECK(msg->kind == Message::Kind::kQueryResult);
+    auto* result = static_cast<QueryResultMsg*>(msg.get());
+    MVC_CHECK(result->ok()) << result->error;
+    latencies_ns.push_back(
+        NsBetween(sent_at_.at(result->request_id), Clock::now()));
+    sent_at_.erase(result->request_id);
+    matched += result->matched_count;
+  }
+
+  std::vector<double> latencies_ns;
+  int64_t matched = 0;
+
+ private:
+  ProcessId warehouse_;
+  std::vector<TimeMicros> read_at_;
+  Rng rng_;
+  int64_t key_space_;
+  int64_t width_;
+  int64_t next_request_ = 0;
+  std::map<int64_t, Clock::time_point> sent_at_;
+};
+
+/// Flatten path: the pre-serve-tier idiom. Each query fetches the whole
+/// view (ReadViewsMsg), flattens the snapshot handle into a Table at the
+/// reader boundary, and runs the identical ScanQuery on the copy. The
+/// timed interval is send -> scan-of-the-flattened-copy done, since the
+/// materialization is part of answering the query.
+class FlattenScanReader : public Process {
+ public:
+  FlattenScanReader(std::string name, ProcessId warehouse,
+                    std::vector<TimeMicros> read_at, uint64_t seed,
+                    int64_t key_space, int64_t width)
+      : Process(std::move(name)),
+        warehouse_(warehouse),
+        read_at_(std::move(read_at)),
+        rng_(seed),
+        key_space_(key_space),
+        width_(width) {}
+
+  void OnStart() override {
+    for (TimeMicros at : read_at_) {
+      ScheduleSelf(std::make_unique<TickMsg>(), at);
+    }
+  }
+
+  void OnMessage(ProcessId, MessagePtr msg) override {
+    if (msg->kind == Message::Kind::kTick) {
+      auto read = std::make_unique<ReadViewsMsg>();
+      read->request_id = ++next_request_;
+      read->views = {0};
+      InFlight sent;
+      sent.at = Clock::now();
+      sent.query = RangeQueryAt(&rng_, key_space_, width_);
+      in_flight_[read->request_id] = std::move(sent);
+      Send(warehouse_, std::move(read));
+      return;
+    }
+    MVC_CHECK(msg->kind == Message::Kind::kViewsSnapshot);
+    auto* snap = static_cast<ViewsSnapshotMsg*>(msg.get());
+    MVC_CHECK(snap->ok()) << snap->error;
+    InFlight& sent = in_flight_.at(snap->request_id);
+    std::vector<Table> tables = snap->TakeTables();
+    MVC_CHECK(tables.size() == 1);
+    auto result = ExecuteScanOnTable(tables[0], sent.query);
+    MVC_CHECK(result.ok()) << result.status().ToString();
+    matched += result->matched_count;
+    latencies_ns.push_back(NsBetween(sent.at, Clock::now()));
+    in_flight_.erase(snap->request_id);
+  }
+
+  std::vector<double> latencies_ns;
+  int64_t matched = 0;
+
+ private:
+  struct InFlight {
+    Clock::time_point at;
+    ScanQuery query;
+  };
+  ProcessId warehouse_;
+  std::vector<TimeMicros> read_at_;
+  Rng rng_;
+  int64_t key_space_;
+  int64_t width_;
+  int64_t next_request_ = 0;
+  std::map<int64_t, InFlight> in_flight_;
+};
+
+/// Single-row maintenance commits spread over the read window so the
+/// store churns versions while queries land (same as bench_read_scaling).
+class CommitDriver : public Process {
+ public:
+  CommitDriver(std::string name, ProcessId warehouse, int64_t commits,
+               int64_t key_space)
+      : Process(std::move(name)),
+        warehouse_(warehouse),
+        commits_(commits),
+        key_space_(key_space) {}
+
+  void OnStart() override {
+    for (int64_t i = 1; i <= commits_; ++i) {
+      auto msg = std::make_unique<WarehouseTxnMsg>();
+      msg->txn.txn_id = i;
+      msg->txn.views = {0};
+      ActionList al;
+      al.view = 0;
+      al.delta.target = "V1";
+      al.delta.Add(Tuple{key_space_ + i, (key_space_ + i) * 7}, 1);
+      msg->txn.actions = {al};
+      SendAfter(warehouse_, std::move(msg), i * 20);
+    }
+  }
+
+  void OnMessage(ProcessId, MessagePtr msg) override {
+    MVC_CHECK(msg->kind == Message::Kind::kTxnCommitted);
+  }
+
+  ProcessId warehouse_;
+  int64_t commits_;
+  int64_t key_space_;
+};
+
+const IdRegistry* SharedRegistry() {
+  static const IdRegistry* registry = [] {
+    auto* r = new IdRegistry();
+    r->InternViews({"V1"});
+    return r;
+  }();
+  return registry;
+}
+
+struct ServeResult {
+  std::vector<double> latencies_ns;
+  int64_t queries = 0;
+  int64_t matched = 0;
+};
+
+/// One latency run: `readers` pooled readers each issuing
+/// `queries_each` range queries over an N-row view while `commits`
+/// maintenance transactions land. Both paths replay the same seeds, so
+/// the per-query work is identical in everything but mechanism.
+ServeResult RunServe(bool in_place, int64_t rows, int64_t readers,
+                     int64_t queries_each, int64_t commits, int64_t width) {
+  SimRuntime runtime(11);
+  WarehouseOptions options;
+  WarehouseProcess warehouse("warehouse", options);
+  warehouse.SetRegistry(SharedRegistry());
+  MVC_CHECK(warehouse.CreateView("V1", ViewSchema()).ok());
+  Table initial("V1", ViewSchema());
+  for (int64_t i = 0; i < rows; ++i) {
+    MVC_CHECK(initial.Insert(Tuple{i, i * 7}).ok());
+  }
+  MVC_CHECK(warehouse.InitializeView("V1", initial).ok());
+  ProcessId wpid = runtime.Register(&warehouse);
+
+  CommitDriver driver("driver", wpid, commits, rows);
+  runtime.Register(&driver);
+
+  std::vector<std::unique_ptr<InPlaceReader>> in_place_pool;
+  std::vector<std::unique_ptr<FlattenScanReader>> flatten_pool;
+  Rng rng(7);
+  for (int64_t r = 0; r < readers; ++r) {
+    // Same schedule seed and query seed per reader index on both paths.
+    const uint64_t schedule_seed = rng.engine()();
+    const uint64_t query_seed = rng.engine()();
+    auto read_at =
+        PoissonReadSchedule(schedule_seed, static_cast<size_t>(queries_each),
+                            /*mean_interval_us=*/25.0);
+    if (in_place) {
+      in_place_pool.push_back(std::make_unique<InPlaceReader>(
+          "reader-" + std::to_string(r), wpid, std::move(read_at), query_seed,
+          rows, width));
+      runtime.Register(in_place_pool.back().get());
+    } else {
+      flatten_pool.push_back(std::make_unique<FlattenScanReader>(
+          "reader-" + std::to_string(r), wpid, std::move(read_at), query_seed,
+          rows, width));
+      runtime.Register(flatten_pool.back().get());
+    }
+  }
+
+  runtime.Run();
+  ServeResult result;
+  for (const auto& reader : in_place_pool) {
+    MVC_CHECK(static_cast<int64_t>(reader->latencies_ns.size()) ==
+              queries_each);
+    result.queries += queries_each;
+    result.matched += reader->matched;
+    result.latencies_ns.insert(result.latencies_ns.end(),
+                               reader->latencies_ns.begin(),
+                               reader->latencies_ns.end());
+  }
+  for (const auto& reader : flatten_pool) {
+    MVC_CHECK(static_cast<int64_t>(reader->latencies_ns.size()) ==
+              queries_each);
+    result.queries += queries_each;
+    result.matched += reader->matched;
+    result.latencies_ns.insert(result.latencies_ns.end(),
+                               reader->latencies_ns.begin(),
+                               reader->latencies_ns.end());
+  }
+  return result;
+}
+
+struct SaturationResult {
+  int64_t issued = 0;
+  int64_t answered = 0;
+  int64_t shed = 0;
+  int64_t timeouts = 0;  // queries never answered at quiescence
+};
+
+/// Saturation run: a tiny in-flight budget plus per-query service time,
+/// hammered by bursty readers. Admission control must shed with
+/// explicit responses — every issued query is answered, none dangle.
+SaturationResult RunSaturation(int64_t rows, int64_t readers,
+                               int64_t arrivals, int64_t burst) {
+  SimRuntime runtime(13);
+  WarehouseOptions options;
+  options.max_inflight_queries = 2;
+  options.query_service_us = 200;
+  options.query_cost_per_krow = 50;
+  WarehouseProcess warehouse("warehouse", options);
+  warehouse.SetRegistry(SharedRegistry());
+  MVC_CHECK(warehouse.CreateView("V1", ViewSchema()).ok());
+  Table initial("V1", ViewSchema());
+  for (int64_t i = 0; i < rows; ++i) {
+    MVC_CHECK(initial.Insert(Tuple{i, i * 7}).ok());
+  }
+  MVC_CHECK(warehouse.InitializeView("V1", initial).ok());
+  ProcessId wpid = runtime.Register(&warehouse);
+
+  ReaderQueryOptions query;
+  query.enabled = true;
+  query.zipf_theta = 0.99;
+  query.burst = static_cast<size_t>(burst);
+  query.column = "A";
+  query.key_min = 0;
+  query.key_max = rows - 1;
+  query.range_width = 64;
+
+  std::vector<std::unique_ptr<WarehouseReader>> pool;
+  Rng rng(23);
+  for (int64_t r = 0; r < readers; ++r) {
+    pool.push_back(std::make_unique<WarehouseReader>(
+        "qreader-" + std::to_string(r), std::vector<ViewId>{0},
+        PoissonReadSchedule(rng.engine()(), static_cast<size_t>(arrivals),
+                            /*mean_interval_us=*/100.0)));
+    pool.back()->SetQueryOptions(query, rng.engine()());
+    runtime.Register(pool.back().get());
+    pool.back()->SetWarehouse(wpid);
+  }
+
+  runtime.Run();
+  SaturationResult result;
+  result.issued = readers * arrivals * burst;
+  for (const auto& reader : pool) {
+    result.answered +=
+        static_cast<int64_t>(reader->query_observations().size());
+    result.shed += reader->queries_shed();
+    result.timeouts += static_cast<int64_t>(reader->in_flight_size());
+  }
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) tiny = true;
+  }
+  const std::string json_path =
+      bench::JsonOutputPath(argc, argv, "BENCH_serve.json");
+
+  const int64_t base_rows = tiny ? 500 : 2000;
+  const int64_t readers = tiny ? 10 : 40;  // 10x the classic pool of 4
+  const int64_t queries_each = tiny ? 10 : 50;
+  const int64_t commits = tiny ? 10 : 50;
+  const int64_t width = 64;
+
+  std::vector<bench::BenchRecord> records;
+  bench::TablePrinter table({"benchmark", "queries", "ns/op"});
+  auto record = [&](const std::string& name, int64_t queries, double ns) {
+    records.push_back(bench::BenchRecord{name, queries, ns, -1});
+    table.AddRow(name, queries, ns);
+  };
+
+  double in_place_p99 = 0;
+  double flatten_p99 = 0;
+  for (const int64_t rows : {base_rows, base_rows * 10}) {
+    ServeResult in_place = RunServe(/*in_place=*/true, rows, readers,
+                                    queries_each, commits, width);
+    ServeResult flatten = RunServe(/*in_place=*/false, rows, readers,
+                                   queries_each, commits, width);
+    // Same seeds, same queries: the two mechanisms must agree on what
+    // the queries matched.
+    MVC_CHECK(in_place.matched == flatten.matched)
+        << in_place.matched << " vs " << flatten.matched;
+    const std::string sz = "/rows=" + std::to_string(rows);
+    record("serve/in_place" + sz + "/mean", in_place.queries,
+           Mean(in_place.latencies_ns));
+    record("serve/in_place" + sz + "/p99", in_place.queries,
+           Quantile(in_place.latencies_ns, 0.99));
+    record("serve/flatten" + sz + "/mean", flatten.queries,
+           Mean(flatten.latencies_ns));
+    record("serve/flatten" + sz + "/p99", flatten.queries,
+           Quantile(flatten.latencies_ns, 0.99));
+    if (rows == base_rows * 10) {
+      in_place_p99 = Quantile(in_place.latencies_ns, 0.99);
+      flatten_p99 = Quantile(flatten.latencies_ns, 0.99);
+    }
+  }
+
+  SaturationResult sat =
+      RunSaturation(base_rows, /*readers=*/tiny ? 4 : 8,
+                    /*arrivals=*/tiny ? 5 : 20, /*burst=*/4);
+
+  table.Print();
+  const double speedup = flatten_p99 / in_place_p99;
+  std::cout << "\nserve p99 at rows=" << base_rows * 10 << ": in-place "
+            << in_place_p99 << " ns, flatten-then-scan " << flatten_p99
+            << " ns (speedup " << std::fixed << std::setprecision(1)
+            << speedup << "x)\n";
+  std::cout << "saturation: issued=" << sat.issued
+            << " answered=" << sat.answered << " shed=" << sat.shed
+            << " timeouts=" << sat.timeouts << "\n";
+
+  // The acceptance bar: in place must beat flatten-then-scan by 5x at
+  // the largest table (2x under --tiny, where the table is small enough
+  // that constant factors blur the gap on loaded CI machines).
+  MVC_CHECK(speedup >= (tiny ? 2.0 : 5.0))
+      << "in-place p99 speedup only " << speedup << "x";
+  // Saturation sheds with explicit responses; nothing times out.
+  MVC_CHECK(sat.shed > 0);
+  MVC_CHECK(sat.answered == sat.issued)
+      << sat.answered << " answered of " << sat.issued;
+  MVC_CHECK(sat.timeouts == 0);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    MVC_CHECK(out.good()) << "cannot open " << json_path;
+    out << "{\n  \"schema\": \"mvc-bench-serve-v1\",\n  \"records\": ";
+    bench::WriteBenchRecordsArray(out, records, "    ", "  ");
+    out << "  ,\n  \"summary\": {\"in_place_p99_ns\": " << std::fixed
+        << std::setprecision(2) << in_place_p99
+        << ", \"flatten_p99_ns\": " << flatten_p99
+        << ", \"p99_speedup\": " << speedup << ", \"issued\": " << sat.issued
+        << ", \"answered\": " << sat.answered << ", \"shed\": " << sat.shed
+        << ", \"timeouts\": " << sat.timeouts << "}\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mvc
+
+int main(int argc, char** argv) { return mvc::Main(argc, argv); }

@@ -4,9 +4,10 @@
 //   Example 5: the full PA trace with (color,state) cells (t0..t7).
 //
 // Also times the VUT paint/scan hot path and the raw engine event loop.
-// With --json (or --json=<path>) the timings are written as a JSON
-// array (default BENCH_vut.json); heap allocations inside the timed
-// regions are counted via the instrumented operator new below.
+// With --json (or --json=<path>) the timings are written as an
+// mvc-bench-vut-v1 artifact (default BENCH_vut.json); heap allocations
+// inside the timed regions are counted via the instrumented operator
+// new below, and the schema requires the count on every record.
 
 #include <chrono>
 #include <cstdlib>
@@ -273,7 +274,7 @@ void RunTimings(const std::string& json_path) {
   table.Print();
 
   if (!json_path.empty()) {
-    bench::WriteBenchJson(json_path, records);
+    bench::WriteBenchJson(json_path, "mvc-bench-vut-v1", records);
     std::cout << "\n  wrote " << json_path << "\n";
   }
 }

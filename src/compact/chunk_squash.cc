@@ -43,6 +43,10 @@ TableVersion BuildSquashedTableVersion(const TableVersion& source,
     squashed.distinct += chunk.rows.size();
     squashed.total_count += chunk.total_count;
     squashed.approx_bytes += chunk.approx_bytes;
+    // Squashed chunks are published immediately, so they need the same
+    // columnar projection Seal() gives commit-path chunks — the scan
+    // executor must keep working after a compaction swap.
+    chunk.columnar = BuildColumnBlock(chunk, source.schema.num_columns());
     chunks->push_back(std::make_shared<const Chunk>(std::move(chunk)));
   }
   squashed.chunks = std::move(chunks);

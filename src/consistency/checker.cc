@@ -19,7 +19,7 @@ namespace {
 class SignedBag {
  public:
   explicit SignedBag(const Table& initial) : schema_(initial.schema()) {
-    initial.Scan([&](const Tuple& t, int64_t c) { counts_[t] += c; });
+    initial.ForEachRow([&](const Tuple& t, int64_t c) { counts_[t] += c; });
   }
 
   void Apply(const TableDelta& delta) {
@@ -63,7 +63,7 @@ class SignedBase {
       Table t = bag.Materialize(name);
       MVC_CHECK(out.CreateTable(name, t.schema()).ok());
       Table* dest = *out.GetTable(name);
-      t.Scan([&](const Tuple& tuple, int64_t c) {
+      t.ForEachRow([&](const Tuple& tuple, int64_t c) {
         MVC_CHECK(dest->Insert(tuple, c).ok());
       });
     }

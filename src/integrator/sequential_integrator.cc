@@ -23,7 +23,7 @@ Status SequentialIntegrator::RegisterBaseRelation(const std::string& relation,
   if (initial != nullptr) {
     MVC_ASSIGN_OR_RETURN(Table * replica, replicas_.GetTable(relation));
     Status st;
-    initial->Scan([&](const Tuple& t, int64_t c) {
+    initial->ForEachRow([&](const Tuple& t, int64_t c) {
       if (st.ok()) st = replica->Insert(t, c);
     });
     MVC_RETURN_IF_ERROR(st);

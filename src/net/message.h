@@ -38,7 +38,10 @@ struct Message {
     // --- Background compaction (src/compact/) ---
     kCompactionStats = 22,    // warehouse -> compactor
     kCompactionRequest = 23,  // compactor -> warehouse
-    kCompactionResponse = 24  // warehouse -> compactor
+    kCompactionResponse = 24, // warehouse -> compactor
+    // --- Snapshot-serving read tier (src/query/scan.h) ---
+    kQueryView = 25,          // reader -> warehouse
+    kQueryResult = 26         // warehouse -> reader
   };
 
   explicit Message(Kind k) : kind(k) {}

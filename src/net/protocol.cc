@@ -59,6 +59,10 @@ const char* MessageKindToString(Message::Kind kind) {
       return "CompactionRequest";
     case Message::Kind::kCompactionResponse:
       return "CompactionResponse";
+    case Message::Kind::kQueryView:
+      return "QueryView";
+    case Message::Kind::kQueryResult:
+      return "QueryResult";
   }
   return "?";
 }
@@ -154,6 +158,18 @@ std::string ViewsSnapshotMsg::Summary() const {
   return StrCat("snapshot of ",
                 handle.valid() ? view_names.size() : snapshots.size(),
                 " views @commit ", as_of_commit);
+}
+
+std::string QueryViewMsg::Summary() const {
+  return StrCat("query V#", view, ": ", query.Summary(),
+                as_of_commit >= 0 ? StrCat(" @commit ", as_of_commit) : "");
+}
+
+std::string QueryResultMsg::Summary() const {
+  if (shed) return StrCat("query shed (req ", request_id, ")");
+  if (!error.empty()) return StrCat("query error: ", error);
+  return StrCat("query result: ", rows.size(), " rows (matched ",
+                matched_count, ") @commit ", as_of_commit);
 }
 
 std::string InjectTxnMsg::Summary() const {

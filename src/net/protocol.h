@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/message.h"
+#include "query/scan.h"
 #include "storage/delta.h"
 #include "storage/id_registry.h"
 #include "storage/table.h"
@@ -217,6 +218,47 @@ struct ViewsSnapshotMsg : Message {
   /// Materializes the requested views as flat Tables, consuming the
   /// message's payload: the reader/serialization boundary.
   std::vector<Table> TakeTables();
+  std::string Summary() const override;
+};
+
+/// Reader -> warehouse: execute one ScanQuery against a single view, in
+/// place on the pinned snapshot — the production read tier. Unlike
+/// ReadViewsMsg (which ships a whole-snapshot handle for boundary
+/// flattening), the warehouse evaluates the query against the columnar
+/// chunks and returns only the matching rows.
+struct QueryViewMsg : Message {
+  QueryViewMsg() : Message(Kind::kQueryView) {}
+  int64_t request_id = 0;
+  ViewId view = kInvalidView;
+  /// Time-travel query: evaluate at this commit (-1 = current). Same
+  /// retention rules as ReadViewsMsg.
+  int64_t as_of_commit = -1;
+  ScanQuery query;
+  std::string Summary() const override;
+};
+
+/// Warehouse -> reader: the rows matching one QueryViewMsg, or a clean
+/// error, or an explicit shed notice when admission control rejected the
+/// query at the door (the reader should back off and retry; nothing was
+/// executed).
+struct QueryResultMsg : Message {
+  QueryResultMsg() : Message(Kind::kQueryResult) {}
+  int64_t request_id = 0;
+  /// Commit the query actually executed at (-1 on error/shed).
+  int64_t as_of_commit = -1;
+  /// Matching rows in the executor's deterministic order.
+  std::vector<Row> rows;
+  /// Total multiplicity of matches before any limit.
+  int64_t matched_count = 0;
+  /// Distinct rows the executor examined.
+  int64_t rows_scanned = 0;
+  /// True when the warehouse was over its in-flight query budget and
+  /// rejected the query without executing it.
+  bool shed = false;
+  /// Non-empty on clean failure (unknown view, GC'd commit, bad query).
+  std::string error;
+
+  bool ok() const { return error.empty() && !shed; }
   std::string Summary() const override;
 };
 

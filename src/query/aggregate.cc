@@ -80,7 +80,7 @@ Result<AggregateState> AggregateState::Build(const BoundView& view,
 
   MVC_ASSIGN_OR_RETURN(Table core, ViewEvaluator::Evaluate(view, provider));
   Status st;
-  core.Scan([&](const Tuple& row, int64_t count) {
+  core.ForEachRow([&](const Tuple& row, int64_t count) {
     if (!st.ok()) return;
     Group& group = state.groups_[state.GroupKey(row)];
     st = state.Accumulate(row, count, &group);

@@ -28,7 +28,7 @@ struct RelationRows {
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     if (table != nullptr) {
-      table->Scan([&](const Tuple& t, int64_t c) { fn(t, c); });
+      table->ForEachRow([&](const Tuple& t, int64_t c) { fn(t, c); });
     } else {
       for (const DeltaRow& row : delta->rows) fn(row.tuple, row.count);
     }

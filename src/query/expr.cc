@@ -189,26 +189,9 @@ Result<BoundPredicate> BoundPredicate::Bind(
 }
 
 bool BoundPredicate::Evaluate(const Tuple& row) const {
-  switch (kind_) {
-    case Predicate::Kind::kTrue:
-      return true;
-    case Predicate::Kind::kComparison:
-      return CompareValues(op_, OperandValue(lhs_, row),
-                           OperandValue(rhs_, row));
-    case Predicate::Kind::kAnd:
-      for (const BoundPredicate& c : children_) {
-        if (!c.Evaluate(row)) return false;
-      }
-      return true;
-    case Predicate::Kind::kOr:
-      for (const BoundPredicate& c : children_) {
-        if (c.Evaluate(row)) return true;
-      }
-      return false;
-    case Predicate::Kind::kNot:
-      return !children_[0].Evaluate(row);
-  }
-  return false;
+  return EvaluateAt([&row](size_t offset) -> const Value& {
+    return row[offset];
+  });
 }
 
 bool BoundPredicate::AsEquiJoin(size_t* lo, size_t* hi) const {

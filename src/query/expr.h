@@ -126,6 +126,35 @@ class BoundPredicate {
   /// Evaluates against a tuple wide enough to cover every bound offset.
   bool Evaluate(const Tuple& row) const;
 
+  /// Evaluates against any row representation through an accessor
+  /// `const Value&(size_t offset)`. This is how the columnar scan
+  /// executor evaluates residual predicates without reassembling tuples:
+  /// the accessor indexes straight into per-column value vectors.
+  template <typename RowAccessor>
+  bool EvaluateAt(const RowAccessor& at) const {
+    switch (kind_) {
+      case Predicate::Kind::kTrue:
+        return true;
+      case Predicate::Kind::kComparison:
+        return CompareValues(op_, lhs_.is_column ? at(lhs_.offset)
+                                                 : lhs_.constant,
+                             rhs_.is_column ? at(rhs_.offset) : rhs_.constant);
+      case Predicate::Kind::kAnd:
+        for (const BoundPredicate& child : children_) {
+          if (!child.EvaluateAt(at)) return false;
+        }
+        return true;
+      case Predicate::Kind::kOr:
+        for (const BoundPredicate& child : children_) {
+          if (child.EvaluateAt(at)) return true;
+        }
+        return false;
+      case Predicate::Kind::kNot:
+        return !children_.front().EvaluateAt(at);
+    }
+    return false;
+  }
+
   /// Largest column offset referenced (0 if none).
   size_t MaxOffset() const { return max_offset_; }
 
@@ -149,10 +178,6 @@ class BoundPredicate {
   std::vector<BoundPredicate> children_;
   size_t max_offset_ = 0;
   size_t offsets_used_ = 0;
-
-  const Value& OperandValue(const BoundOperand& o, const Tuple& row) const {
-    return o.is_column ? row[o.offset] : o.constant;
-  }
 };
 
 }  // namespace mvc

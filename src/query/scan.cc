@@ -1,0 +1,359 @@
+#include "query/scan.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "storage/tuple.h"
+
+namespace mvc {
+
+namespace {
+
+/// One pushed-down `column op constant` conjunct, evaluated column-wise
+/// against the chunk's value vectors before any row-wise work.
+struct ColumnFilter {
+  size_t offset = 0;
+  CompareOp op = CompareOp::kEq;
+  Value constant;
+};
+
+/// `const op col` reads as `col mirror(op) const`.
+CompareOp MirrorOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    case CompareOp::kEq:
+    case CompareOp::kNe:
+      return op;
+  }
+  return op;
+}
+
+/// A matching row during execution; tuples are copied out only when a
+/// row actually matches.
+struct Candidate {
+  Tuple tuple;
+  int64_t count = 0;
+};
+
+/// Query plan bound against one schema: range bounds and simple
+/// conjuncts become column filters, everything else the bound residual.
+struct PreparedScan {
+  std::vector<ColumnFilter> filters;
+  BoundPredicate residual;
+  bool residual_trivial = true;
+  /// kRange/kTopK order column.
+  size_t order_offset = 0;
+};
+
+Result<PreparedScan> Prepare(const Schema& schema, const ScanQuery& query) {
+  PreparedScan plan;
+  if (query.kind == ScanKind::kPoint) {
+    MVC_RETURN_IF_ERROR(schema.ValidateTuple(query.point));
+    return plan;
+  }
+  // Unknown columns are a malformed query, not a missing entity, so the
+  // NotFound coming out of Schema::ColumnIndex is remapped here.
+  const auto resolve = [&schema](const std::string& name) -> Result<size_t> {
+    Result<size_t> offset = schema.ColumnIndex(name);
+    if (!offset.ok()) {
+      return Status::InvalidArgument(
+          StrCat("scan references unknown column \"", name, "\""));
+    }
+    return offset;
+  };
+  if (query.kind == ScanKind::kRange || query.kind == ScanKind::kTopK) {
+    MVC_ASSIGN_OR_RETURN(plan.order_offset, resolve(query.column));
+  }
+  if (query.kind == ScanKind::kTopK && query.limit == 0) {
+    return Status::InvalidArgument("top-k scan requires limit > 0");
+  }
+  if (query.kind == ScanKind::kRange) {
+    if (query.lo.has_value()) {
+      plan.filters.push_back(
+          ColumnFilter{plan.order_offset, CompareOp::kGe, *query.lo});
+    }
+    if (query.hi.has_value()) {
+      plan.filters.push_back(
+          ColumnFilter{plan.order_offset, CompareOp::kLe, *query.hi});
+    }
+  }
+  // Split the predicate: col-vs-const comparisons run column-wise, the
+  // rest re-joins into the residual tree.
+  const auto resolve_ref = [&resolve](const ColumnRef& ref) -> Result<size_t> {
+    return resolve(ref.column);
+  };
+  std::vector<Predicate> residual_conjuncts;
+  for (const Predicate* conjunct : query.predicate.Conjuncts()) {
+    if (conjunct->kind() == Predicate::Kind::kComparison) {
+      const Predicate::Operand& lhs = conjunct->lhs();
+      const Predicate::Operand& rhs = conjunct->rhs();
+      if (lhs.is_column != rhs.is_column) {
+        const Predicate::Operand& col = lhs.is_column ? lhs : rhs;
+        const Predicate::Operand& cst = lhs.is_column ? rhs : lhs;
+        MVC_ASSIGN_OR_RETURN(size_t offset, resolve_ref(col.column));
+        const CompareOp op =
+            lhs.is_column ? conjunct->op() : MirrorOp(conjunct->op());
+        plan.filters.push_back(ColumnFilter{offset, op, cst.constant});
+        continue;
+      }
+    }
+    residual_conjuncts.push_back(*conjunct);
+  }
+  if (!residual_conjuncts.empty()) {
+    const Predicate residual =
+        residual_conjuncts.size() == 1
+            ? residual_conjuncts.front()
+            : Predicate::And(std::move(residual_conjuncts));
+    MVC_ASSIGN_OR_RETURN(plan.residual, BoundPredicate::Bind(residual,
+                                                             resolve_ref));
+    plan.residual_trivial = false;
+  }
+  return plan;
+}
+
+/// Orders, truncates, and totals the matching rows — shared verbatim by
+/// the columnar executor and the Table oracle so they cannot diverge.
+ScanResult Finalize(const ScanQuery& query, const PreparedScan& plan,
+                    std::vector<Candidate> matches, int64_t rows_scanned) {
+  ScanResult result;
+  result.rows_scanned = rows_scanned;
+  for (const Candidate& c : matches) result.matched_count += c.count;
+  if (query.kind == ScanKind::kCount) return result;
+
+  const size_t order = plan.order_offset;
+  if (query.kind == ScanKind::kPredicate) {
+    std::sort(matches.begin(), matches.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.tuple < b.tuple;
+              });
+  } else if (query.kind == ScanKind::kRange) {
+    std::sort(matches.begin(), matches.end(),
+              [order](const Candidate& a, const Candidate& b) {
+                if (a.tuple[order] < b.tuple[order]) return true;
+                if (b.tuple[order] < a.tuple[order]) return false;
+                return a.tuple < b.tuple;
+              });
+  } else if (query.kind == ScanKind::kTopK) {
+    const bool desc = query.descending;
+    const auto better = [order, desc](const Candidate& a, const Candidate& b) {
+      if (a.tuple[order] < b.tuple[order]) return !desc;
+      if (b.tuple[order] < a.tuple[order]) return desc;
+      return a.tuple < b.tuple;
+    };
+    if (query.limit < matches.size()) {
+      std::partial_sort(matches.begin(), matches.begin() + query.limit,
+                        matches.end(), better);
+      matches.resize(query.limit);
+    } else {
+      std::sort(matches.begin(), matches.end(), better);
+    }
+  }
+  if (query.limit > 0 && matches.size() > query.limit) {
+    matches.resize(query.limit);
+  }
+  result.rows.reserve(matches.size());
+  for (Candidate& c : matches) {
+    result.rows.push_back(Row{std::move(c.tuple), c.count});
+  }
+  return result;
+}
+
+}  // namespace
+
+const char* ScanKindToString(ScanKind kind) {
+  switch (kind) {
+    case ScanKind::kPoint:
+      return "point";
+    case ScanKind::kRange:
+      return "range";
+    case ScanKind::kPredicate:
+      return "predicate";
+    case ScanKind::kCount:
+      return "count";
+    case ScanKind::kTopK:
+      return "topk";
+  }
+  return "?";
+}
+
+ScanQuery ScanQuery::Point(Tuple t) {
+  ScanQuery q;
+  q.kind = ScanKind::kPoint;
+  q.point = std::move(t);
+  return q;
+}
+
+ScanQuery ScanQuery::Range(std::string column, std::optional<Value> lo,
+                           std::optional<Value> hi, size_t limit) {
+  ScanQuery q;
+  q.kind = ScanKind::kRange;
+  q.column = std::move(column);
+  q.lo = std::move(lo);
+  q.hi = std::move(hi);
+  q.limit = limit;
+  return q;
+}
+
+ScanQuery ScanQuery::Filter(Predicate pred, size_t limit) {
+  ScanQuery q;
+  q.kind = ScanKind::kPredicate;
+  q.predicate = std::move(pred);
+  q.limit = limit;
+  return q;
+}
+
+ScanQuery ScanQuery::CountRows(Predicate pred) {
+  ScanQuery q;
+  q.kind = ScanKind::kCount;
+  q.predicate = std::move(pred);
+  return q;
+}
+
+ScanQuery ScanQuery::TopK(std::string column, size_t k, bool descending) {
+  ScanQuery q;
+  q.kind = ScanKind::kTopK;
+  q.column = std::move(column);
+  q.limit = k;
+  q.descending = descending;
+  return q;
+}
+
+std::string ScanQuery::Summary() const {
+  switch (kind) {
+    case ScanKind::kPoint:
+      return StrCat("point ", TupleToString(point));
+    case ScanKind::kRange:
+      return StrCat("range ", column, " [",
+                    lo.has_value() ? lo->ToString() : "-inf", ", ",
+                    hi.has_value() ? hi->ToString() : "+inf", "]");
+    case ScanKind::kPredicate:
+      return StrCat("filter ", predicate.ToString());
+    case ScanKind::kCount:
+      return StrCat("count ", predicate.ToString());
+    case ScanKind::kTopK:
+      return StrCat("top", limit, " by ", column,
+                    descending ? " desc" : " asc");
+  }
+  return "?";
+}
+
+Result<ScanResult> ExecuteScan(const TableVersion& version,
+                               const ScanQuery& query) {
+  MVC_ASSIGN_OR_RETURN(PreparedScan plan, Prepare(version.schema, query));
+  if (query.kind == ScanKind::kPoint) {
+    ScanResult result;
+    result.rows_scanned = 1;
+    result.matched_count = version.CountOf(query.point);
+    if (result.matched_count > 0) {
+      result.rows.push_back(Row{query.point, result.matched_count});
+    }
+    return result;
+  }
+
+  std::vector<Candidate> matches;
+  std::vector<uint32_t> selection;
+  int64_t rows_scanned = 0;
+  if (version.chunks != nullptr) {
+    for (const ChunkPtr& chunk : *version.chunks) {
+      if (chunk == nullptr || chunk->rows.empty()) continue;
+      MVC_CHECK(chunk->columnar != nullptr)
+          << "sealed chunk of '" << version.name
+          << "' is missing its columnar block";
+      const ColumnBlock& block = *chunk->columnar;
+      const size_t n = block.rows();
+      rows_scanned += static_cast<int64_t>(n);
+
+      // Column-wise phase: each pushed-down filter narrows the selection
+      // vector by streaming one value vector.
+      selection.clear();
+      if (plan.filters.empty()) {
+        selection.resize(n);
+        for (size_t r = 0; r < n; ++r) selection[r] = static_cast<uint32_t>(r);
+      } else {
+        const ColumnFilter& first = plan.filters.front();
+        const std::vector<Value>& col = block.columns[first.offset];
+        for (size_t r = 0; r < n; ++r) {
+          if (CompareValues(first.op, col[r], first.constant)) {
+            selection.push_back(static_cast<uint32_t>(r));
+          }
+        }
+        for (size_t f = 1; f < plan.filters.size(); ++f) {
+          const ColumnFilter& filter = plan.filters[f];
+          const std::vector<Value>& fcol = block.columns[filter.offset];
+          size_t kept = 0;
+          for (uint32_t r : selection) {
+            if (CompareValues(filter.op, fcol[r], filter.constant)) {
+              selection[kept++] = r;
+            }
+          }
+          selection.resize(kept);
+        }
+      }
+
+      // Row-wise phase: residual predicate through the column accessor,
+      // then copy out the surviving rows.
+      for (uint32_t r : selection) {
+        if (!plan.residual_trivial) {
+          const auto at = [&block, r](size_t offset) -> const Value& {
+            return block.columns[offset][r];
+          };
+          if (!plan.residual.EvaluateAt(at)) continue;
+        }
+        matches.push_back(Candidate{block.RowTuple(r), block.counts[r]});
+      }
+    }
+  }
+  return Finalize(query, plan, std::move(matches), rows_scanned);
+}
+
+Result<ScanResult> ExecuteScan(const SnapshotHandle& snapshot,
+                               const std::string& view,
+                               const ScanQuery& query) {
+  if (!snapshot.valid()) {
+    return Status::FailedPrecondition("scan through an empty snapshot handle");
+  }
+  const TableVersion* version = snapshot.version().Find(view);
+  if (version == nullptr) {
+    return Status::NotFound(
+        StrCat("view '", view, "' not present in snapshot at commit ",
+               snapshot.commit_id()));
+  }
+  return ExecuteScan(*version, query);
+}
+
+Result<ScanResult> ExecuteScanOnTable(const Table& table,
+                                      const ScanQuery& query) {
+  MVC_ASSIGN_OR_RETURN(PreparedScan plan, Prepare(table.schema(), query));
+  if (query.kind == ScanKind::kPoint) {
+    ScanResult result;
+    result.rows_scanned = 1;
+    result.matched_count = table.CountOf(query.point);
+    if (result.matched_count > 0) {
+      result.rows.push_back(Row{query.point, result.matched_count});
+    }
+    return result;
+  }
+  std::vector<Candidate> matches;
+  table.ForEachRow([&](const Tuple& tuple, int64_t count) {
+    for (const ColumnFilter& filter : plan.filters) {
+      if (!CompareValues(filter.op, tuple[filter.offset], filter.constant)) {
+        return;
+      }
+    }
+    if (!plan.residual_trivial && !plan.residual.Evaluate(tuple)) return;
+    matches.push_back(Candidate{tuple, count});
+  });
+  return Finalize(query, plan, std::move(matches),
+                  static_cast<int64_t>(table.NumDistinct()));
+}
+
+}  // namespace mvc

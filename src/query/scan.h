@@ -1,0 +1,111 @@
+// Snapshot scan executor: point/range/predicate/count/top-k queries
+// evaluated directly against the columnar chunks of a pinned
+// TableVersion, without ever materializing a Table.
+//
+// This is the production read tier. ReadViewsMsg readers flatten whole
+// views at the boundary (SnapshotHandle::MaterializeTable); QueryViewMsg
+// readers instead ship a ScanQuery to the warehouse, which executes it
+// in place on the pinned version — O(matching rows) transferred instead
+// of O(table). Execution is vectorized over ColumnBlocks: pushed-down
+// column-vs-constant conjuncts filter whole column vectors into a
+// selection vector before the residual predicate tree runs row-wise via
+// BoundPredicate::EvaluateAt.
+//
+// Every query shape also has a Table-based oracle (ExecuteScanOnTable)
+// with identical semantics, so randomized property tests can cross-check
+// the columnar path row for row.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/expr.h"
+#include "storage/table.h"
+#include "storage/versioned_store.h"
+#include "storage/versioned_table.h"
+
+namespace mvc {
+
+enum class ScanKind : uint8_t {
+  /// Multiplicity lookup of one exact tuple. O(1) hash probe.
+  kPoint,
+  /// Rows with lo <= row[column] <= hi (either bound optional), plus an
+  /// optional residual predicate. Sorted by (column value, tuple).
+  kRange,
+  /// Rows satisfying `predicate`, sorted lexicographically by tuple.
+  kPredicate,
+  /// Total multiplicity of rows satisfying `predicate`; returns no rows.
+  kCount,
+  /// The `limit` rows with the largest (descending=true) or smallest
+  /// column values among rows satisfying `predicate`.
+  kTopK,
+};
+
+const char* ScanKindToString(ScanKind kind);
+
+/// One read-tier query against a single view. Carried inside
+/// QueryViewMsg; executed by the warehouse against a pinned snapshot.
+struct ScanQuery {
+  ScanKind kind = ScanKind::kCount;
+  /// kPoint: the tuple to look up (must match the view schema).
+  Tuple point;
+  /// kRange/kTopK: name of the order/bound column in the view schema.
+  std::string column;
+  /// kRange: inclusive bounds; an unset bound is open on that side.
+  std::optional<Value> lo;
+  std::optional<Value> hi;
+  /// Filter for kRange/kPredicate/kCount/kTopK (default: match all).
+  Predicate predicate = Predicate::True();
+  /// kTopK: k (required > 0). kRange/kPredicate: result-row cap after
+  /// ordering, 0 = unlimited. matched_count is always pre-limit.
+  size_t limit = 0;
+  /// kTopK: largest values first when true.
+  bool descending = true;
+
+  /// Builders for the common shapes.
+  static ScanQuery Point(Tuple t);
+  static ScanQuery Range(std::string column, std::optional<Value> lo,
+                         std::optional<Value> hi, size_t limit = 0);
+  static ScanQuery Filter(Predicate pred, size_t limit = 0);
+  static ScanQuery CountRows(Predicate pred = Predicate::True());
+  static ScanQuery TopK(std::string column, size_t k, bool descending = true);
+
+  /// Short human-readable form for message summaries.
+  std::string Summary() const;
+};
+
+/// Outcome of one executed ScanQuery. Row order is deterministic (see
+/// ScanKind) so results compare byte-for-byte across runtimes.
+struct ScanResult {
+  /// Matching rows after ordering and `limit` (empty for kCount).
+  std::vector<Row> rows;
+  /// Total multiplicity of every matching row, before `limit`.
+  int64_t matched_count = 0;
+  /// Distinct rows the executor examined (1 for point probes, the
+  /// version's distinct count for full scans); feeds read.rows_scanned.
+  int64_t rows_scanned = 0;
+};
+
+/// Executes `query` against one sealed table version, in place on its
+/// columnar chunks. InvalidArgument on malformed queries (unknown
+/// column, bad arity, k = 0).
+Result<ScanResult> ExecuteScan(const TableVersion& version,
+                               const ScanQuery& query);
+
+/// Executes against the named view inside a pinned snapshot. NotFound
+/// when the snapshot has no such view.
+Result<ScanResult> ExecuteScan(const SnapshotHandle& snapshot,
+                               const std::string& view,
+                               const ScanQuery& query);
+
+/// Reference implementation over a flat Table — identical semantics to
+/// the columnar path, used as the property-test oracle and by legacy
+/// callers that already hold a materialized table.
+Result<ScanResult> ExecuteScanOnTable(const Table& table,
+                                      const ScanQuery& query);
+
+}  // namespace mvc

@@ -61,7 +61,7 @@ void Table::Clear() {
 }
 
 void Table::Scan(const std::function<void(const Tuple&, int64_t)>& fn) const {
-  for (const auto& [tuple, count] : rows_) fn(tuple, count);
+  ForEachRow(fn);
 }
 
 std::vector<Row> Table::SortedRows() const {

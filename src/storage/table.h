@@ -31,6 +31,15 @@ struct Row {
   }
 };
 
+/// A batch of rows handed to Table::ForEachBlock. Tuples are borrowed
+/// from the table and stay valid only for the duration of the callback.
+struct RowBlock {
+  static constexpr size_t kCapacity = 256;
+  const Tuple* tuples[kCapacity];
+  int64_t counts[kCapacity];
+  size_t size = 0;
+};
+
 /// In-memory bag-semantics relation.
 ///
 /// Not thread safe; each owning process serializes access (sources and the
@@ -74,8 +83,35 @@ class Table {
   /// Removes all rows.
   void Clear();
 
+  /// Calls `fn(const Tuple&, int64_t)` for each distinct tuple with its
+  /// multiplicity, statically dispatched — no std::function allocation or
+  /// indirect call per row. Iteration order is unspecified; use
+  /// SortedRows() when order matters. Preferred over Scan() on hot paths.
+  template <typename Fn>
+  void ForEachRow(Fn&& fn) const {
+    for (const auto& [tuple, count] : rows_) fn(tuple, count);
+  }
+
+  /// Calls `fn(const RowBlock&)` over batches of up to RowBlock::kCapacity
+  /// rows — the vectorized cousin of ForEachRow for callers that amortize
+  /// per-row work across a block.
+  template <typename Fn>
+  void ForEachBlock(Fn&& fn) const {
+    RowBlock block;
+    for (const auto& [tuple, count] : rows_) {
+      block.tuples[block.size] = &tuple;
+      block.counts[block.size] = count;
+      if (++block.size == RowBlock::kCapacity) {
+        fn(static_cast<const RowBlock&>(block));
+        block.size = 0;
+      }
+    }
+    if (block.size > 0) fn(static_cast<const RowBlock&>(block));
+  }
+
   /// Calls `fn` for each distinct tuple with its multiplicity.
   /// Iteration order is unspecified; use SortedRows() when order matters.
+  /// Legacy type-erased form; new callers should use ForEachRow.
   void Scan(const std::function<void(const Tuple&, int64_t)>& fn) const;
 
   /// All rows sorted lexicographically by tuple — deterministic view of

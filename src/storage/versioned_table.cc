@@ -18,6 +18,33 @@ size_t ApproxTupleBytes(const Tuple& t) {
   return bytes;
 }
 
+Tuple ColumnBlock::RowTuple(size_t r) const {
+  Tuple t;
+  t.reserve(columns.size());
+  for (const std::vector<Value>& col : columns) t.push_back(col[r]);
+  return t;
+}
+
+std::shared_ptr<const ColumnBlock> BuildColumnBlock(const Chunk& chunk,
+                                                    size_t num_columns) {
+  auto block = std::make_shared<ColumnBlock>();
+  block->columns.resize(num_columns);
+  for (std::vector<Value>& col : block->columns) {
+    col.reserve(chunk.rows.size());
+  }
+  block->counts.reserve(chunk.rows.size());
+  for (const auto& [tuple, count] : chunk.rows) {
+    MVC_CHECK(tuple.size() == num_columns)
+        << "chunk row arity " << tuple.size() << " != schema width "
+        << num_columns;
+    for (size_t c = 0; c < num_columns; ++c) {
+      block->columns[c].push_back(tuple[c]);
+    }
+    block->counts.push_back(count);
+  }
+  return block;
+}
+
 int64_t TableVersion::CountOf(const Tuple& t) const {
   if (chunks == nullptr || chunks->empty()) return 0;
   const Chunk& chunk = *(*chunks)[TupleHash{}(t) & (chunks->size() - 1)];
@@ -51,7 +78,12 @@ VersionedTable::VersionedTable(std::string name, Schema schema,
 
 Chunk* VersionedTable::MutableChunk(size_t idx) {
   if (!owned_[idx]) {
-    chunks_[idx] = std::make_shared<Chunk>(*chunks_[idx]);
+    auto clone = std::make_shared<Chunk>(*chunks_[idx]);
+    // The clone is about to diverge from the sealed original; drop the
+    // shared columnar projection so it cannot go stale. Seal() rebuilds
+    // it when this chunk is next published.
+    clone->columnar.reset();
+    chunks_[idx] = std::move(clone);
     owned_[idx] = true;
     ++chunks_copied_;
   }
@@ -188,6 +220,15 @@ size_t VersionedTable::ResidentChunkBytes(
 }
 
 TableVersion VersionedTable::Seal() {
+  // Freeze the columnar projection of every chunk touched since the last
+  // seal. Untouched chunks already carry the block built when they were
+  // first published, so a commit still costs O(delta), not O(table).
+  for (size_t i = 0; i < chunks_.size(); ++i) {
+    if (owned_[i]) {
+      const_cast<Chunk*>(chunks_[i].get())->columnar =
+          BuildColumnBlock(*chunks_[i], schema_.num_columns());
+    }
+  }
   TableVersion version;
   version.name = name_;
   version.schema = schema_;

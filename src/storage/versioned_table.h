@@ -33,6 +33,24 @@
 
 namespace mvc {
 
+/// Columnar projection of a frozen chunk: one value vector per schema
+/// column plus a parallel multiplicity vector. Built exactly once when a
+/// chunk is published (Seal or compaction squash) and shared by pointer
+/// across chunk clones; the mutable build side keeps only the hash map.
+/// Scans iterate these vectors column-wise instead of walking hash nodes.
+struct ColumnBlock {
+  /// columns[c][r] is column c of logical row r.
+  std::vector<std::vector<Value>> columns;
+  /// counts[r] is the bag multiplicity of row r (always > 0).
+  std::vector<int64_t> counts;
+
+  size_t rows() const { return counts.size(); }
+
+  /// Reassembles row `r` as a Tuple (boundary/oracle paths only; the
+  /// scan executor reads columns in place).
+  Tuple RowTuple(size_t r) const;
+};
+
 /// One immutable hash partition of a versioned table. Published chunks
 /// are never mutated; the working table clones a chunk before its first
 /// write after a Seal().
@@ -43,7 +61,16 @@ struct Chunk {
   /// Rough heap footprint, maintained incrementally; feeds the
   /// warehouse.snapshot_bytes_shared metric.
   size_t approx_bytes = 0;
+  /// Columnar layout, present on every chunk reachable from a sealed
+  /// TableVersion (null while the chunk is the mutable working copy).
+  /// Shared by pointer on copy-on-write clones and reset before the
+  /// first mutation, so it can never go stale.
+  std::shared_ptr<const ColumnBlock> columnar;
 };
+
+/// Builds the columnar projection for a chunk about to be published.
+std::shared_ptr<const ColumnBlock> BuildColumnBlock(const Chunk& chunk,
+                                                    size_t num_columns);
 
 using ChunkPtr = std::shared_ptr<const Chunk>;
 using ChunkVec = std::vector<ChunkPtr>;

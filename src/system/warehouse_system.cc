@@ -553,10 +553,19 @@ std::vector<obs::Span> WarehouseSystem::TraceSnapshot() const {
 }
 
 WarehouseReader* WarehouseSystem::AttachReader(
-    std::vector<std::string> views, std::vector<TimeMicros> read_at) {
+    std::vector<std::string> views, std::vector<TimeMicros> read_at,
+    const ReaderQueryOptions* query, uint64_t query_seed) {
+  const bool query_mode = query != nullptr && query->enabled;
   // Names resolve to ids here, at the ingest boundary; the reader's
-  // messages carry ids only.
+  // messages carry ids only. The query workload needs an explicit view
+  // alphabet for its popularity distribution, so "all views" resolves
+  // eagerly there.
   std::vector<ViewId> ids;
+  if (views.empty() && query_mode) {
+    for (size_t v = 0; v < registry_.num_views(); ++v) {
+      ids.push_back(static_cast<ViewId>(v));
+    }
+  }
   for (const std::string& view : views) {
     std::optional<ViewId> id = registry_.FindView(view);
     MVC_CHECK(id.has_value()) << "reader references unknown view " << view;
@@ -567,6 +576,7 @@ WarehouseReader* WarehouseSystem::AttachReader(
       std::move(read_at));
   runtime_->Register(reader.get());
   reader->SetWarehouse(warehouse_->id());
+  if (query_mode) reader->SetQueryOptions(*query, query_seed);
   reader->EnableObservability(metrics_.get());
   readers_.push_back(std::move(reader));
   return readers_.back().get();
@@ -582,7 +592,8 @@ std::vector<WarehouseReader*> WarehouseSystem::AttachReaderPool(
     pool.push_back(AttachReader(
         options.views,
         PoissonReadSchedule(stream.engine()(), options.reads_per_reader,
-                            options.mean_interval_us, options.start)));
+                            options.mean_interval_us, options.start),
+        &options.query, stream.engine()()));
   }
   return pool;
 }

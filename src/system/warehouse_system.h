@@ -56,13 +56,20 @@ class WarehouseSystem {
   /// Attaches a reader that performs atomic multi-view reads at the
   /// given simulated times (Section 1.1's inquiry application). Must be
   /// called before Run. The returned pointer stays owned by the system.
+  /// When `query` is non-null and enabled, the reader runs the
+  /// scan-query workload instead (QueryViewMsg; `query_seed` drives its
+  /// view/range draws), and an empty view list resolves to every view.
   WarehouseReader* AttachReader(std::vector<std::string> views,
-                                std::vector<TimeMicros> read_at);
+                                std::vector<TimeMicros> read_at,
+                                const ReaderQueryOptions* query = nullptr,
+                                uint64_t query_seed = 0);
 
   /// Attaches `options.num_readers` independent readers, each with its
   /// own Poisson read schedule (seed forked per reader) and its own
   /// read.latency_us histogram when metrics are enabled. Must be called
-  /// before Run; the pointers stay owned by the system.
+  /// before Run; the pointers stay owned by the system. With
+  /// options.query.enabled the pool simulates the production read tier:
+  /// Zipf-skewed view popularity, bursts of scan queries per arrival.
   std::vector<WarehouseReader*> AttachReaderPool(
       const ReaderPoolOptions& options);
 

@@ -57,7 +57,7 @@ void PeriodicViewManager::Refresh() {
   }
   al.replace_all = true;
   al.delta.target = view_->name();
-  full->Scan([&](const Tuple& t, int64_t c) { al.delta.Add(t, c); });
+  full->ForEachRow([&](const Tuple& t, int64_t c) { al.delta.Add(t, c); });
   al.delta.Normalize();
   ++refreshes_;
 

@@ -38,7 +38,7 @@ Status ViewManagerBase::RegisterBaseRelation(const std::string& relation,
   if (initial != nullptr) {
     MVC_ASSIGN_OR_RETURN(Table * replica, replica_.GetTable(relation));
     Status st;
-    initial->Scan([&](const Tuple& t, int64_t c) {
+    initial->ForEachRow([&](const Tuple& t, int64_t c) {
       if (!st.ok()) return;
       // Filtered replica: only tuples that can affect the view.
       if (TupleMayAffectView(*view_, relation, t)) st = replica->Insert(t, c);

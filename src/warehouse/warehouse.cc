@@ -1,6 +1,7 @@
 #include "warehouse/warehouse.h"
 
 #include "common/string_util.h"
+#include "query/scan.h"
 
 namespace mvc {
 
@@ -11,7 +12,7 @@ Status WarehouseProcess::InitializeView(const std::string& view,
   MVC_CHECK(table->empty());
   MVC_CHECK(versioned->empty());
   Status st;
-  contents.Scan([&](const Tuple& t, int64_t c) {
+  contents.ForEachRow([&](const Tuple& t, int64_t c) {
     if (st.ok()) st = table->Insert(t, c);
     if (st.ok()) st = versioned->Insert(t, c);
   });
@@ -22,6 +23,8 @@ void WarehouseProcess::EnableObservability(obs::MetricsRegistry* metrics) {
   snapshot_bytes_shared_ =
       metrics->RegisterCounter("warehouse.snapshot_bytes_shared");
   versions_live_ = metrics->RegisterGauge("warehouse.versions_live");
+  queries_shed_ = metrics->RegisterCounter("read.shed_total");
+  rows_scanned_ = metrics->RegisterHistogram("read.rows_scanned", "rows");
 }
 
 void WarehouseProcess::SetCompactor(ProcessId compactor,
@@ -252,6 +255,62 @@ void WarehouseProcess::ServeRead(ProcessId from, const ReadViewsMsg& read) {
   Send(from, std::move(resp));
 }
 
+void WarehouseProcess::ServeQuery(ProcessId from, const QueryViewMsg& query) {
+  EnsureInitialVersion();
+  auto resp = std::make_unique<QueryResultMsg>();
+  resp->request_id = query.request_id;
+  // Admission control: past the in-flight budget the query is rejected
+  // at the door with an explicit shed notice — bounded occupancy, never
+  // an unbounded queue, never a silent timeout.
+  if (options_.max_inflight_queries > 0 &&
+      inflight_queries_ >= options_.max_inflight_queries) {
+    resp->shed = true;
+    if (queries_shed_ != nullptr) queries_shed_->Add(1);
+    Send(from, std::move(resp));
+    return;
+  }
+  SnapshotHandle handle;
+  if (query.as_of_commit >= 0) {
+    Result<SnapshotHandle> at = store_.AcquireSnapshotAt(query.as_of_commit);
+    if (!at.ok()) {
+      resp->error = at.status().message();
+      Send(from, std::move(resp));
+      return;
+    }
+    handle = *std::move(at);
+  } else {
+    handle = store_.AcquireSnapshot();
+  }
+  MVC_CHECK(registry_ != nullptr) << "warehouse registry not wired";
+  const std::string& name = registry_->ViewName(query.view);
+  Result<ScanResult> scanned = ExecuteScan(handle, name, query.query);
+  if (!scanned.ok()) {
+    resp->error = scanned.status().message();
+    Send(from, std::move(resp));
+    return;
+  }
+  resp->as_of_commit = handle.commit_id();
+  resp->rows = std::move(scanned->rows);
+  resp->matched_count = scanned->matched_count;
+  resp->rows_scanned = scanned->rows_scanned;
+  if (rows_scanned_ != nullptr) rows_scanned_->Record(resp->rows_scanned);
+  const TimeMicros cost =
+      options_.query_service_us +
+      options_.query_cost_per_krow * (resp->rows_scanned / 1000);
+  if (cost <= 0) {
+    Send(from, std::move(resp));
+    return;
+  }
+  // Modeled service time: the result is already computed against the
+  // admission-time snapshot; only its delivery occupies an executor slot.
+  ++inflight_queries_;
+  const int64_t ticket = -(++next_query_ticket_);
+  pending_queries_.emplace(ticket, PendingQuery{from, std::move(resp)});
+  auto tick = std::make_unique<TickMsg>();
+  tick->tag = ticket;
+  ScheduleSelf(std::move(tick), cost);
+}
+
 void WarehouseProcess::OnMessage(ProcessId from, MessagePtr msg) {
   switch (msg->kind) {
     case Message::Kind::kWarehouseTxn: {
@@ -281,6 +340,18 @@ void WarehouseProcess::OnMessage(ProcessId from, MessagePtr msg) {
     }
     case Message::Kind::kTick: {
       auto* tick = static_cast<TickMsg*>(msg.get());
+      if (tick->tag < 0) {
+        // Query service delay elapsed: release the executor slot and
+        // deliver the precomputed result.
+        auto pending = pending_queries_.find(tick->tag);
+        MVC_CHECK(pending != pending_queries_.end());
+        PendingQuery done = std::move(pending->second);
+        pending_queries_.erase(pending);
+        MVC_CHECK(inflight_queries_ > 0);
+        --inflight_queries_;
+        Send(done.requester, std::move(done.response));
+        return;
+      }
       auto it = processing_.find(tick->tag);
       MVC_CHECK(it != processing_.end());
       InFlight in_flight = std::move(it->second);
@@ -298,6 +369,12 @@ void WarehouseProcess::OnMessage(ProcessId from, MessagePtr msg) {
       // Served inline by the single warehouse actor, so the snapshot is
       // atomic with respect to view-maintenance transactions.
       ServeRead(from, *static_cast<ReadViewsMsg*>(msg.get()));
+      return;
+    }
+    case Message::Kind::kQueryView: {
+      // Admission + execution are inline (atomic vs commits); only the
+      // modeled service delay is asynchronous.
+      ServeQuery(from, *static_cast<QueryViewMsg*>(msg.get()));
       return;
     }
     case Message::Kind::kCompactionRequest: {

@@ -77,6 +77,22 @@ struct WarehouseOptions {
   /// in new configurations.
   bool legacy_clone_history = false;
 
+  /// --- Snapshot-serving query tier (QueryViewMsg admission control) ---
+
+  /// Queries admitted but not yet answered before new arrivals are shed
+  /// with an explicit QueryResultMsg{shed=true} instead of queueing
+  /// unboundedly. 0 = unbounded admission (never sheds). Only meaningful
+  /// with a non-zero service time — with instant service nothing stays
+  /// in flight.
+  size_t max_inflight_queries = 0;
+  /// Simulated per-query service time: the query executes at admission
+  /// (against the snapshot pinned then) and the response is delivered
+  /// after this delay, modeling executor occupancy. 0 = answer inline.
+  TimeMicros query_service_us = 0;
+  /// Additional service time per 1000 distinct rows scanned, so big
+  /// scans occupy the executor longer than point probes.
+  TimeMicros query_cost_per_krow = 0;
+
   /// Past versions the MVCC store retains (see above).
   size_t EffectiveRetention() const {
     return history_depth > max_retained_versions ? history_depth
@@ -166,6 +182,14 @@ class WarehouseProcess : public Process {
 
   void ServeRead(ProcessId from, const ReadViewsMsg& read);
 
+  /// Executes one ScanQuery in place on a pinned snapshot and answers
+  /// with the matching rows — or an explicit shed response when the
+  /// in-flight budget is exhausted. With a non-zero service cost the
+  /// query still executes at admission time (snapshot semantics) but
+  /// the response is delivered after the modeled delay via a
+  /// negative-tagged self tick.
+  void ServeQuery(ProcessId from, const QueryViewMsg& query);
+
   /// Sends a stats snapshot to the compactor (post-commit trigger).
   void SendCompactionStats();
 
@@ -194,6 +218,16 @@ class WarehouseProcess : public Process {
   /// Processing transactions keyed by an internal ticket (tick tag).
   std::map<int64_t, InFlight> processing_;
   int64_t next_ticket_ = 0;
+  /// Admitted queries awaiting their modeled service delay, keyed by a
+  /// NEGATIVE tick tag — disjoint from the positive transaction ticket
+  /// space so the two self-timer streams cannot collide.
+  struct PendingQuery {
+    ProcessId requester = kInvalidProcess;
+    std::unique_ptr<QueryResultMsg> response;
+  };
+  std::map<int64_t, PendingQuery> pending_queries_;
+  size_t inflight_queries_ = 0;
+  int64_t next_query_ticket_ = 0;
   /// Committed txn ids per submitting merge process.
   std::map<ProcessId, std::set<int64_t>> committed_;
   /// Ring of past states for time-travel reads: history_[k] is the view
@@ -209,6 +243,10 @@ class WarehouseProcess : public Process {
   obs::Counter* snapshot_bytes_shared_ = nullptr;
   /// Store versions currently reachable (retained window + pinned).
   obs::Gauge* versions_live_ = nullptr;
+  /// Queries rejected by admission control (read.shed_total).
+  obs::Counter* queries_shed_ = nullptr;
+  /// Distinct rows examined per executed query (read.rows_scanned).
+  obs::Histogram* rows_scanned_ = nullptr;
   std::function<void(ProcessId, const WarehouseTransaction&, const Catalog&,
                      TimeMicros)>
       observer_;

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "net/sim_runtime.h"
 #include "query/evaluator.h"
 #include "query/relevance.h"
 #include "system/warehouse_system.h"
@@ -311,6 +312,68 @@ TEST(TimeTravelTest, LiveHandlePinsAnEvictedVersion) {
   // Releasing the last reference lets the watermark advance.
   reader.answer->handle.Release();
   EXPECT_GT(store.watermark(), 0);
+}
+
+/// Swallows every message: a crashed warehouse as seen by its readers.
+class BlackHoleProcess : public Process {
+ public:
+  using Process::Process;
+  void OnMessage(ProcessId, MessagePtr) override {}
+};
+
+TEST(ReaderInFlightTest, TtlAgesOutRequestsWhoseResponsesWereLost) {
+  // 20 reads against a warehouse that never answers. With a 3ms TTL and
+  // 1ms arrivals, each arrival first evicts everything older than the
+  // TTL, so the map stays bounded at the TTL window instead of growing
+  // one entry per lost request forever.
+  SimRuntime runtime(1);
+  BlackHoleProcess hole("dead-warehouse");
+  ProcessId hid = runtime.Register(&hole);
+  std::vector<TimeMicros> read_at;
+  for (TimeMicros t = 1000; t <= 20000; t += 1000) read_at.push_back(t);
+  WarehouseReader reader("reader", {}, read_at);
+  runtime.Register(&reader);
+  reader.SetWarehouse(hid);
+  reader.SetInFlightLimits(/*ttl_us=*/3000, /*max_size=*/1024);
+  runtime.Run();
+  // At the last arrival (t=20000) only the sends from t in (17000,
+  // 20000] survive the TTL sweep: three old entries plus the new one.
+  EXPECT_EQ(reader.in_flight_size(), 4u);
+  EXPECT_EQ(reader.in_flight_expired(), 16);
+}
+
+TEST(ReaderInFlightTest, HardCapBoundsTheMapWhenTtlIsOff) {
+  SimRuntime runtime(1);
+  BlackHoleProcess hole("dead-warehouse");
+  ProcessId hid = runtime.Register(&hole);
+  std::vector<TimeMicros> read_at;
+  for (TimeMicros t = 1000; t <= 20000; t += 1000) read_at.push_back(t);
+  WarehouseReader reader("reader", {}, read_at);
+  runtime.Register(&reader);
+  reader.SetWarehouse(hid);
+  reader.SetInFlightLimits(/*ttl_us=*/0, /*max_size=*/5);
+  runtime.Run();
+  // Oldest-first eviction keeps the newest five; the other fifteen
+  // count as expired.
+  EXPECT_EQ(reader.in_flight_size(), 5u);
+  EXPECT_EQ(reader.in_flight_expired(), 15);
+}
+
+TEST(ReaderInFlightTest, AnsweredRequestsRetireAndRecordLatency) {
+  // Against a live warehouse nothing leaks and nothing is aged out: the
+  // single-lookup response path retires each entry as it is answered.
+  SystemConfig config = Table1Scenario();
+  config.collect_metrics = true;
+  auto system = WarehouseSystem::Build(std::move(config));
+  ASSERT_TRUE(system.ok());
+  WarehouseReader* reader =
+      (*system)->AttachReader({"V1"}, {100, 200, 50000});
+  (*system)->Run();
+  EXPECT_EQ(reader->observations().size(), 3u);
+  EXPECT_EQ(reader->in_flight_size(), 0u);
+  EXPECT_EQ(reader->in_flight_expired(), 0);
+  obs::MetricsSnapshot metrics = (*system)->MetricsSnapshot();
+  EXPECT_EQ(obs::SumHistogramCounts(metrics, "read.latency_us"), 3);
 }
 
 TEST(GoldenTest, MvccObservationsMatchCloneHistoryOnExample3) {

@@ -1,0 +1,415 @@
+// The production read tier end to end: the columnar scan executor
+// against its flat-Table oracle (randomized property sweep over every
+// query shape), pinned-snapshot stability, the QueryViewMsg serve path
+// with admission control, and the Zipf draw that skews the simulated
+// reader pool.
+//
+// The load-bearing property: ExecuteScan over a sealed version's
+// columnar chunks and ExecuteScanOnTable over the same version
+// materialized flat must agree row for row — same rows in the same
+// deterministic order, same matched_count, same rows_scanned — for any
+// query, on any retained version, on both runtimes.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "compact/chunk_squash.h"
+#include "query/scan.h"
+#include "storage/versioned_store.h"
+#include "system/warehouse_system.h"
+#include "workload/generator.h"
+
+namespace mvc {
+namespace {
+
+Schema TwoCol() { return Schema::AllInt64({"A", "B"}); }
+
+/// Random predicate over columns A/B: comparison leaves (sometimes with
+/// the constant on the left, exercising the executor's operand mirror)
+/// combined with AND/OR/NOT up to the given depth.
+Predicate RandomPredicate(Rng* rng, int depth) {
+  if (depth <= 0 || rng->Bernoulli(0.4)) {
+    const CompareOp op = static_cast<CompareOp>(rng->UniformInt(0, 5));
+    const ColumnRef col{"", rng->Bernoulli(0.5) ? "A" : "B"};
+    const Value constant{rng->UniformInt(0, 60)};
+    if (rng->Bernoulli(0.25)) {
+      return Predicate::Compare(op, Predicate::Operand::Const(constant),
+                                Predicate::Operand::Col(col));
+    }
+    return Predicate::ColCmpConst(op, col, constant);
+  }
+  switch (rng->UniformInt(0, 2)) {
+    case 0:
+      return Predicate::And(
+          {RandomPredicate(rng, depth - 1), RandomPredicate(rng, depth - 1)});
+    case 1:
+      return Predicate::Or(
+          {RandomPredicate(rng, depth - 1), RandomPredicate(rng, depth - 1)});
+    default:
+      return Predicate::Not(RandomPredicate(rng, depth - 1));
+  }
+}
+
+/// A random query of any kind, valid against TwoCol().
+ScanQuery RandomQuery(Rng* rng, const std::vector<Row>& sample) {
+  switch (rng->UniformInt(0, 4)) {
+    case 0: {  // point: half existing tuples, half arbitrary
+      if (!sample.empty() && rng->Bernoulli(0.5)) {
+        const size_t i = static_cast<size_t>(rng->UniformInt(
+            0, static_cast<int64_t>(sample.size()) - 1));
+        return ScanQuery::Point(sample[i].tuple);
+      }
+      return ScanQuery::Point(
+          Tuple{rng->UniformInt(0, 60), rng->UniformInt(0, 120)});
+    }
+    case 1: {  // range, optionally half-open, optionally with residual
+      std::optional<Value> lo;
+      std::optional<Value> hi;
+      if (rng->Bernoulli(0.8)) lo = Value(rng->UniformInt(0, 50));
+      if (rng->Bernoulli(0.8)) hi = Value(rng->UniformInt(0, 50));
+      ScanQuery query =
+          ScanQuery::Range(rng->Bernoulli(0.5) ? "A" : "B", lo, hi,
+                           static_cast<size_t>(rng->UniformInt(0, 8)));
+      if (rng->Bernoulli(0.3)) query.predicate = RandomPredicate(rng, 1);
+      return query;
+    }
+    case 2:
+      return ScanQuery::Filter(RandomPredicate(rng, 2),
+                               static_cast<size_t>(rng->UniformInt(0, 8)));
+    case 3:
+      return ScanQuery::CountRows(RandomPredicate(rng, 2));
+    default: {
+      ScanQuery query =
+          ScanQuery::TopK(rng->Bernoulli(0.5) ? "A" : "B",
+                          static_cast<size_t>(rng->UniformInt(1, 10)),
+                          /*descending=*/rng->Bernoulli(0.5));
+      if (rng->Bernoulli(0.3)) query.predicate = RandomPredicate(rng, 1);
+      return query;
+    }
+  }
+}
+
+void ExpectSameResult(const ScanResult& columnar, const ScanResult& oracle,
+                      const ScanQuery& query) {
+  ASSERT_EQ(columnar.rows.size(), oracle.rows.size()) << query.Summary();
+  for (size_t i = 0; i < columnar.rows.size(); ++i) {
+    EXPECT_EQ(columnar.rows[i].tuple, oracle.rows[i].tuple)
+        << query.Summary() << " row " << i;
+    EXPECT_EQ(columnar.rows[i].count, oracle.rows[i].count)
+        << query.Summary() << " row " << i;
+  }
+  EXPECT_EQ(columnar.matched_count, oracle.matched_count) << query.Summary();
+  EXPECT_EQ(columnar.rows_scanned, oracle.rows_scanned) << query.Summary();
+}
+
+TEST(ScanPropertyTest, ExecutorMatchesOracleOnRandomQueries) {
+  // Random store history; on every retained version, every random query
+  // agrees between the columnar executor and the flat-Table oracle.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    VersionedStore store(8);
+    ASSERT_TRUE(store.CreateTable("V", TwoCol()).ok());
+    VersionedTable* table = *store.GetTable("V");
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(table
+                      ->Insert(Tuple{rng.UniformInt(0, 50),
+                                     rng.UniformInt(0, 100)},
+                               rng.UniformInt(1, 3))
+                      .ok());
+    }
+    store.Commit(0);
+    for (int64_t commit = 1; commit <= 4; ++commit) {
+      for (int m = 0; m < 30; ++m) {
+        const Tuple t{rng.UniformInt(0, 50), rng.UniformInt(0, 100)};
+        if (rng.Bernoulli(0.3) && table->CountOf(t) > 0) {
+          ASSERT_TRUE(table->Delete(t).ok());
+        } else {
+          ASSERT_TRUE(table->Insert(t).ok());
+        }
+      }
+      store.Commit(commit);
+    }
+
+    for (int64_t commit = 0; commit <= 4; ++commit) {
+      auto snapshot = store.AcquireSnapshotAt(commit);
+      ASSERT_TRUE(snapshot.ok());
+      const TableVersion* version = snapshot->version().Find("V");
+      ASSERT_NE(version, nullptr);
+      const Table flat = version->Materialize();
+      const std::vector<Row> sample = flat.SortedRows();
+      for (int q = 0; q < 40; ++q) {
+        const ScanQuery query = RandomQuery(&rng, sample);
+        auto columnar = ExecuteScan(*version, query);
+        auto oracle = ExecuteScanOnTable(flat, query);
+        ASSERT_TRUE(columnar.ok()) << columnar.status().ToString();
+        ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+        ExpectSameResult(*columnar, *oracle, query);
+      }
+    }
+  }
+}
+
+TEST(ScanTest, MalformedQueriesFailCleanly) {
+  VersionedStore store(2);
+  ASSERT_TRUE(store.CreateTable("V", TwoCol()).ok());
+  ASSERT_TRUE((*store.GetTable("V"))->Insert(Tuple{1, 2}).ok());
+  store.Commit(0);
+  SnapshotHandle snapshot = store.AcquireSnapshot();
+  const TableVersion* version = snapshot.version().Find("V");
+  ASSERT_NE(version, nullptr);
+
+  // Unknown bound column.
+  EXPECT_TRUE(ExecuteScan(*version, ScanQuery::Range("Z", Value(0), Value(9)))
+                  .status()
+                  .IsInvalidArgument());
+  // Top-k with k = 0.
+  EXPECT_TRUE(ExecuteScan(*version, ScanQuery::TopK("A", 0))
+                  .status()
+                  .IsInvalidArgument());
+  // Point probe with the wrong arity.
+  EXPECT_FALSE(ExecuteScan(*version, ScanQuery::Point(Tuple{1})).ok());
+  // Unknown view through the snapshot overload.
+  EXPECT_TRUE(ExecuteScan(snapshot, "nope", ScanQuery::CountRows())
+                  .status()
+                  .IsNotFound());
+  // The oracle rejects the same shapes.
+  const Table flat = version->Materialize();
+  EXPECT_TRUE(ExecuteScanOnTable(flat, ScanQuery::TopK("A", 0))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ScanTest, SquashedVersionsStayScannable) {
+  // Compaction publishes versions through its own path
+  // (BuildSquashedTableVersion, not Seal); those chunks must carry the
+  // columnar layout too, or a post-swap query would die.
+  VersionedTable table("V", TwoCol());
+  for (int64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(table.Insert(Tuple{i % 40, i}, 1 + i % 2).ok());
+  }
+  const TableVersion sealed = table.Seal();
+  const TableVersion squashed = BuildSquashedTableVersion(sealed, 16);
+  for (const ChunkPtr& chunk : *squashed.chunks) {
+    EXPECT_NE(chunk->columnar, nullptr);
+  }
+  const ScanQuery query = ScanQuery::Range("A", Value(5), Value(15));
+  auto before = ExecuteScan(sealed, query);
+  auto after = ExecuteScan(squashed, query);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  ExpectSameResult(*after, *before, query);
+}
+
+TEST(ScanTest, PinnedSnapshotIsByteIdenticalAcrossLaterCommits) {
+  // A pinned handle must serve the same bytes forever, no matter how
+  // many commits land after it or how far the retained window moves on.
+  VersionedStore store(1);
+  ASSERT_TRUE(store.CreateTable("V", TwoCol()).ok());
+  VersionedTable* table = *store.GetTable("V");
+  for (int64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(table->Insert(Tuple{i, i * 3}).ok());
+  }
+  store.Commit(0);
+  SnapshotHandle pinned = store.AcquireSnapshot();
+  const std::string before =
+      pinned.version().Find("V")->Materialize().ToString();
+  const ScanQuery query = ScanQuery::Range("A", Value(10), Value(30));
+  auto scan_before = ExecuteScan(pinned, "V", query);
+  ASSERT_TRUE(scan_before.ok());
+
+  for (int64_t commit = 1; commit <= 8; ++commit) {
+    ASSERT_TRUE(table->Insert(Tuple{1000 + commit, 0}).ok());
+    ASSERT_TRUE(table->Delete(Tuple{commit - 1, (commit - 1) * 3}).ok());
+    store.Commit(commit);
+  }
+
+  EXPECT_EQ(pinned.version().Find("V")->Materialize().ToString(), before);
+  auto scan_after = ExecuteScan(pinned, "V", query);
+  ASSERT_TRUE(scan_after.ok());
+  ExpectSameResult(*scan_after, *scan_before, query);
+  // The current version has genuinely moved on.
+  EXPECT_NE(store.AcquireSnapshot().version().Find("V")->Materialize()
+                .ToString(),
+            before);
+}
+
+/// Runs a generated scenario with a query-workload reader pool and
+/// replays every answered query against the oracle: the same query on
+/// the same retained commit, executed both through the snapshot overload
+/// and on the materialized flat table, must reproduce the response.
+void RunQueryPoolScenario(bool use_threads, uint64_t seed) {
+  WorkloadSpec spec;
+  spec.seed = seed;
+  spec.num_transactions = 20;
+  spec.num_views = 3;
+  spec.mean_interarrival = 300;
+  auto config = GenerateScenario(spec);
+  ASSERT_TRUE(config.ok());
+  config->use_threads = use_threads;
+  config->warehouse.max_retained_versions = 64;  // keep replays alive
+  auto system = WarehouseSystem::Build(std::move(*config));
+  ASSERT_TRUE(system.ok());
+
+  ReaderPoolOptions pool;
+  pool.num_readers = 3;
+  pool.reads_per_reader = 8;
+  pool.mean_interval_us = 400.0;
+  pool.seed = seed;
+  pool.query.enabled = true;
+  pool.query.zipf_theta = 0.99;
+  pool.query.burst = 2;
+  pool.query.column = "j";  // first join column of every generated view
+  pool.query.key_min = 0;
+  pool.query.key_max = 9;  // WorkloadSpec join_domain default
+  pool.query.range_width = 3;
+  std::vector<WarehouseReader*> readers = (*system)->AttachReaderPool(pool);
+  (*system)->Run();
+
+  const VersionedStore& store = (*system)->warehouse().store();
+  size_t replayed = 0;
+  for (const WarehouseReader* reader : readers) {
+    ASSERT_EQ(reader->query_observations().size(),
+              pool.reads_per_reader * pool.query.burst);
+    EXPECT_EQ(reader->queries_shed(), 0);
+    EXPECT_EQ(reader->in_flight_size(), 0u);
+    for (const auto& obs : reader->query_observations()) {
+      ASSERT_TRUE(obs.ok()) << obs.error;
+      auto snapshot = store.AcquireSnapshotAt(obs.as_of_commit);
+      ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+      const std::string& view = (*system)->registry().ViewName(obs.view);
+      auto in_place = ExecuteScan(*snapshot, view, obs.query);
+      ASSERT_TRUE(in_place.ok()) << in_place.status().ToString();
+      auto flat = snapshot->MaterializeTable(view);
+      ASSERT_TRUE(flat.ok());
+      auto oracle = ExecuteScanOnTable(*flat, obs.query);
+      ASSERT_TRUE(oracle.ok());
+      // The recorded response == oracle == a fresh in-place execution.
+      ASSERT_EQ(obs.rows.size(), oracle->rows.size());
+      for (size_t i = 0; i < obs.rows.size(); ++i) {
+        EXPECT_EQ(obs.rows[i].tuple, oracle->rows[i].tuple);
+        EXPECT_EQ(obs.rows[i].count, oracle->rows[i].count);
+      }
+      EXPECT_EQ(obs.matched_count, oracle->matched_count);
+      EXPECT_EQ(obs.rows_scanned, oracle->rows_scanned);
+      ExpectSameResult(*in_place, *oracle, obs.query);
+      ++replayed;
+    }
+  }
+  EXPECT_EQ(replayed,
+            pool.num_readers * pool.reads_per_reader * pool.query.burst);
+}
+
+TEST(ScanSystemTest, QueryPoolMatchesOracleOnSimRuntime) {
+  RunQueryPoolScenario(/*use_threads=*/false, /*seed=*/3);
+}
+
+TEST(ScanSystemTest, QueryPoolMatchesOracleOnThreadRuntime) {
+  RunQueryPoolScenario(/*use_threads=*/true, /*seed=*/4);
+}
+
+TEST(ScanSystemTest, SaturatedWarehouseShedsInsteadOfTimingOut) {
+  // A one-query budget with a long service time, hammered by bursts:
+  // admission control must shed the overflow with explicit responses —
+  // every issued query is answered (result or shed), none dangle in
+  // flight, and the shed counter metric agrees with the readers' count.
+  WorkloadSpec spec;
+  spec.seed = 11;
+  spec.num_transactions = 10;
+  spec.num_views = 2;
+  auto config = GenerateScenario(spec);
+  ASSERT_TRUE(config.ok());
+  config->warehouse.max_retained_versions = 64;
+  config->warehouse.max_inflight_queries = 1;
+  config->warehouse.query_service_us = 5000;
+  config->collect_metrics = true;
+  auto system = WarehouseSystem::Build(std::move(*config));
+  ASSERT_TRUE(system.ok());
+
+  ReaderPoolOptions pool;
+  pool.num_readers = 3;
+  pool.reads_per_reader = 6;
+  pool.mean_interval_us = 200.0;
+  pool.seed = 11;
+  pool.query.enabled = true;
+  pool.query.burst = 4;
+  pool.query.column = "j";
+  pool.query.key_min = 0;
+  pool.query.key_max = 9;
+  pool.query.range_width = 3;
+  std::vector<WarehouseReader*> readers = (*system)->AttachReaderPool(pool);
+  (*system)->Run();
+
+  const int64_t issued = static_cast<int64_t>(
+      pool.num_readers * pool.reads_per_reader * pool.query.burst);
+  int64_t answered = 0;
+  int64_t shed = 0;
+  int64_t dangling = 0;
+  for (const WarehouseReader* reader : readers) {
+    answered += static_cast<int64_t>(reader->query_observations().size());
+    shed += reader->queries_shed();
+    dangling += static_cast<int64_t>(reader->in_flight_size());
+    for (const auto& obs : reader->query_observations()) {
+      EXPECT_TRUE(obs.error.empty()) << obs.error;
+      if (obs.shed) {
+        // Nothing executed: no payload, no commit stamp.
+        EXPECT_TRUE(obs.rows.empty());
+        EXPECT_EQ(obs.as_of_commit, -1);
+        EXPECT_EQ(obs.rows_scanned, 0);
+      }
+    }
+  }
+  EXPECT_EQ(answered, issued);
+  EXPECT_GT(shed, 0);
+  EXPECT_EQ(dangling, 0);
+
+  obs::MetricsSnapshot metrics = (*system)->MetricsSnapshot();
+  const obs::CounterSnapshot* shed_total =
+      obs::FindCounter(metrics, "read.shed_total");
+  ASSERT_NE(shed_total, nullptr);
+  EXPECT_EQ(shed_total->value, shed);
+  // Latency histograms exist per reader and saw every response.
+  EXPECT_EQ(obs::SumHistogramCounts(metrics, "read.query_latency_us"),
+            answered);
+  EXPECT_GT(obs::SumHistogramCounts(metrics, "read.rows_scanned"), 0);
+}
+
+TEST(ZipfTest, SingleElementAlphabetAlwaysDrawsZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Zipf(1, 0.99), 0);
+    EXPECT_EQ(rng.Zipf(1, 0.0), 0);
+  }
+}
+
+TEST(ZipfTest, ThetaZeroDegeneratesToUniform) {
+  Rng rng(7);
+  const int64_t n = 4;
+  std::vector<int> counts(static_cast<size_t>(n), 0);
+  const int draws = 4000;
+  for (int i = 0; i < draws; ++i) {
+    const int64_t v = rng.Zipf(n, 0.0);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, n);
+    ++counts[static_cast<size_t>(v)];
+  }
+  for (int count : counts) {
+    EXPECT_GT(count, draws / static_cast<int>(n) / 2);
+    EXPECT_LT(count, draws * 2 / static_cast<int>(n));
+  }
+}
+
+TEST(ZipfTest, HighThetaConcentratesOnTheHotIndex) {
+  Rng rng(7);
+  int hot = 0;
+  const int draws = 2000;
+  for (int i = 0; i < draws; ++i) {
+    if (rng.Zipf(8, 3.0) == 0) ++hot;
+  }
+  EXPECT_GT(hot, draws * 7 / 10);
+}
+
+}  // namespace
+}  // namespace mvc

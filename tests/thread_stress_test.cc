@@ -214,6 +214,61 @@ TEST(ThreadStressTest, CompactorRacingReadersNeverTearsSnapshots) {
   }
 }
 
+TEST(ThreadStressTest, QueryReadersRacingCompactorGetConsistentAnswers) {
+  // The serve tier under TSan: scan queries execute on pinned versions
+  // while the compactor swaps squashed versions in underneath. Every
+  // query must come back answered (no sheds without a budget, no
+  // errors), and the response payload must be internally consistent.
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    WorkloadSpec spec;
+    spec.seed = seed;
+    spec.num_transactions = 25;
+    spec.num_views = 3;
+    spec.mean_interarrival = 300;
+    auto config = GenerateScenario(spec);
+    ASSERT_TRUE(config.ok());
+    config->use_threads = true;
+    config->latency = LatencyModel::Uniform(0, 200);
+    config->warehouse.max_retained_versions = 64;
+    config->compaction.enabled = true;
+    config->compaction.tiered.hot_window = 2;
+    config->compaction.stats_every_commits = 1;
+    auto system = WarehouseSystem::Build(std::move(*config));
+    ASSERT_TRUE(system.ok());
+    ReaderPoolOptions pool;
+    pool.num_readers = 4;
+    pool.reads_per_reader = 12;
+    pool.mean_interval_us = 500.0;
+    pool.seed = seed;
+    pool.query.enabled = true;
+    pool.query.zipf_theta = 0.99;
+    pool.query.burst = 2;
+    pool.query.column = "j";
+    pool.query.key_min = 0;
+    pool.query.key_max = 9;
+    pool.query.range_width = 3;
+    std::vector<WarehouseReader*> readers =
+        (*system)->AttachReaderPool(pool);
+    (*system)->Run();
+    for (const WarehouseReader* reader : readers) {
+      ASSERT_EQ(reader->query_observations().size(),
+                pool.reads_per_reader * pool.query.burst);
+      EXPECT_EQ(reader->queries_shed(), 0);
+      EXPECT_EQ(reader->in_flight_size(), 0u);
+      for (const auto& obs : reader->query_observations()) {
+        ASSERT_TRUE(obs.ok()) << obs.error;
+        EXPECT_GE(obs.as_of_commit, 0);
+        int64_t total = 0;
+        for (const Row& row : obs.rows) total += row.count;
+        EXPECT_EQ(total, obs.matched_count);
+        EXPECT_GE(obs.rows_scanned, static_cast<int64_t>(obs.rows.size()));
+      }
+    }
+    ASSERT_NE((*system)->compactor(), nullptr);
+    EXPECT_GT((*system)->compactor()->stats().plans, 0);
+  }
+}
+
 // Paper scenario end-to-end on threads with jittered latencies.
 TEST(ThreadStressTest, Table1RaceScenarioOnThreads) {
   SystemConfig config = Table1RaceScenario();

@@ -246,5 +246,65 @@ TEST(VersionedStoreTest, CommitCopiesOnlyTouchedChunks) {
   EXPECT_EQ(table->chunks_copied() - baseline, 32);
 }
 
+TEST(VersionedTableTest, SealBuildsColumnarForEveryChunk) {
+  // The read-tier invariant: every chunk reachable from a sealed version
+  // carries its columnar projection, and the projection is a faithful
+  // transcription of the chunk's (tuple -> multiplicity) map.
+  VersionedTable table("V", Schema::AllInt64({"A", "B"}));
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(table.Insert(Tuple{i, i * 2}, 1 + i % 3).ok());
+  }
+  TableVersion version = table.Seal();
+  size_t distinct = 0;
+  int64_t total = 0;
+  for (const ChunkPtr& chunk : *version.chunks) {
+    ASSERT_NE(chunk->columnar, nullptr);
+    ASSERT_EQ(chunk->columnar->columns.size(), 2u);
+    ASSERT_EQ(chunk->columnar->rows(), chunk->rows.size());
+    for (size_t r = 0; r < chunk->columnar->rows(); ++r) {
+      const Tuple row = chunk->columnar->RowTuple(r);
+      EXPECT_EQ(chunk->rows.at(row), chunk->columnar->counts[r]);
+      ++distinct;
+      total += chunk->columnar->counts[r];
+    }
+  }
+  EXPECT_EQ(distinct, version.distinct);
+  EXPECT_EQ(total, version.total_count);
+}
+
+TEST(VersionedTableTest, UntouchedChunksShareColumnarAcrossSeals) {
+  // Copy-on-write must never serve a stale projection: the one chunk a
+  // write touches gets a freshly built ColumnBlock at the next seal,
+  // while every untouched chunk shares its block with the prior version
+  // by pointer (no rebuild, no copy).
+  VersionedTable table("V", Schema::AllInt64({"A", "B"}));
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(table.Insert(Tuple{i, i * 2}).ok());
+  }
+  TableVersion v1 = table.Seal();
+  ASSERT_TRUE(table.Insert(Tuple{999, 0}).ok());
+  TableVersion v2 = table.Seal();
+  ASSERT_EQ(v1.chunks->size(), v2.chunks->size());
+  size_t shared = 0;
+  size_t rebuilt = 0;
+  for (size_t i = 0; i < v1.chunks->size(); ++i) {
+    if ((*v1.chunks)[i]->columnar == (*v2.chunks)[i]->columnar) {
+      ++shared;
+    } else {
+      ++rebuilt;
+    }
+  }
+  EXPECT_EQ(rebuilt, 1u);
+  EXPECT_EQ(shared, v1.chunks->size() - 1);
+  // The prior version's projection still reflects the prior contents.
+  int64_t v1_total = 0;
+  for (const ChunkPtr& chunk : *v1.chunks) {
+    ASSERT_NE(chunk->columnar, nullptr);
+    for (int64_t count : chunk->columnar->counts) v1_total += count;
+  }
+  EXPECT_EQ(v1_total, v1.total_count);
+  EXPECT_EQ(v2.total_count, v1.total_count + 1);
+}
+
 }  // namespace
 }  // namespace mvc

@@ -16,11 +16,17 @@
 // --check-bench validates the BENCH_*.json shape the bench_* binaries
 // emit with --json: either the legacy bare array of records, or the
 // schema-tagged object form {"schema": "<known name>", "records": [...]}
-// (known: mvc-bench-read-v1, mvc-bench-compact-v1). Every record needs a
-// unique non-empty "name", a positive "iterations", a non-negative
-// "ns_per_op", and (optionally) a non-negative "allocations". CI smoke
-// jobs run this against freshly produced bench artifacts before
-// uploading them.
+// (known: mvc-bench-read-v1, mvc-bench-compact-v1, mvc-bench-vut-v1,
+// mvc-bench-serve-v1). Every record needs a unique non-empty "name", a
+// positive "iterations", a non-negative "ns_per_op", and (optionally) a
+// non-negative "allocations" — required, not optional, under
+// mvc-bench-vut-v1, whose whole point is the allocation counts. The
+// serve schema additionally carries a "summary" object whose invariants
+// encode the read-tier acceptance bar: positive p99s and speedup, and
+// under saturation answered == issued with shed > 0 and timeouts == 0
+// (admission control sheds with explicit responses; nothing dangles).
+// CI smoke jobs run this against freshly produced bench artifacts
+// before uploading them.
 
 #include <algorithm>
 #include <cstdint>
@@ -167,8 +173,9 @@ void Check(const obs::JsonValue& root) {
 }
 
 /// Bench artifact schemas --check-bench accepts in the tagged form.
-const char* const kKnownBenchSchemas[] = {"mvc-bench-read-v1",
-                                          "mvc-bench-compact-v1"};
+const char* const kKnownBenchSchemas[] = {
+    "mvc-bench-read-v1", "mvc-bench-compact-v1", "mvc-bench-vut-v1",
+    "mvc-bench-serve-v1"};
 
 /// Resolves the records array of a bench artifact: the legacy form is a
 /// bare array; the tagged form wraps it as {"schema", "records"} and the
@@ -195,6 +202,59 @@ const obs::JsonValue* BenchRecords(const obs::JsonValue& root,
   }
   *schema_out = schema->str;
   return RequireArray(root, "records");
+}
+
+/// mvc-bench-serve-v1 invariants: the "summary" object must show a
+/// positive p99 on both read paths with a positive speedup, and the
+/// saturation section must have shed at least one query, answered every
+/// one it was issued, and timed none out — a serve artifact where the
+/// warehouse dropped queries on the floor must not pass CI.
+void CheckServeSummary(const obs::JsonValue& root) {
+  const obs::JsonValue* summary = root.Find("summary");
+  if (summary == nullptr || !summary->is_object()) {
+    Fail("mvc-bench-serve-v1 file without a \"summary\" object");
+    return;
+  }
+  auto number = [&](const char* key) -> const obs::JsonValue* {
+    const obs::JsonValue* v = summary->Find(key);
+    if (v == nullptr || !v->is_number()) {
+      Fail(std::string("serve summary without a numeric \"") + key + "\"");
+      return nullptr;
+    }
+    return v;
+  };
+  const obs::JsonValue* in_place = number("in_place_p99_ns");
+  const obs::JsonValue* flatten = number("flatten_p99_ns");
+  const obs::JsonValue* speedup = number("p99_speedup");
+  const obs::JsonValue* issued = number("issued");
+  const obs::JsonValue* answered = number("answered");
+  const obs::JsonValue* shed = number("shed");
+  const obs::JsonValue* timeouts = number("timeouts");
+  if (in_place != nullptr && in_place->number <= 0) {
+    Fail("serve summary in_place_p99_ns is not positive");
+  }
+  if (flatten != nullptr && flatten->number <= 0) {
+    Fail("serve summary flatten_p99_ns is not positive");
+  }
+  if (speedup != nullptr && speedup->number <= 0) {
+    Fail("serve summary p99_speedup is not positive");
+  }
+  if (issued != nullptr && issued->AsInt() <= 0) {
+    Fail("serve summary issued no queries");
+  }
+  if (issued != nullptr && answered != nullptr &&
+      answered->AsInt() != issued->AsInt()) {
+    Fail("serve summary answered " + std::to_string(answered->AsInt()) +
+         " of " + std::to_string(issued->AsInt()) +
+         " queries (responses were lost)");
+  }
+  if (shed != nullptr && shed->AsInt() <= 0) {
+    Fail("serve summary saturation section shed no queries");
+  }
+  if (timeouts != nullptr && timeouts->AsInt() != 0) {
+    Fail("serve summary reports " + std::to_string(timeouts->AsInt()) +
+         " timed-out queries (shedding must answer, not drop)");
+  }
 }
 
 void CheckBench(const obs::JsonValue& root, std::string* schema_out,
@@ -238,7 +298,12 @@ void CheckBench(const obs::JsonValue& root, std::string* schema_out,
       Fail("bench record '" + name->str +
            "' has a negative or non-numeric allocations field");
     }
+    if (*schema_out == "mvc-bench-vut-v1" && allocations == nullptr) {
+      Fail("bench record '" + name->str +
+           "' lacks the allocations count mvc-bench-vut-v1 requires");
+    }
   }
+  if (*schema_out == "mvc-bench-serve-v1") CheckServeSummary(root);
 }
 
 /// Estimated q-quantile from non-cumulative {le, count} buckets.

@@ -1,0 +1,216 @@
+// Scale-out ingest: sharded integrator throughput and group-commit
+// latency (ROADMAP item 2, paper Section 6.2).
+//
+// The single global integrator is the serial bottleneck of Figure 1:
+// every source transaction passes through one sequencer before fan-out.
+// This bench models that sequencer as a serial server
+// (IntegratorOptions::sequencing_cost_us) and measures, in simulated
+// time, how ingest throughput scales when the source population is
+// split across 1, 2, and 4 integrator shards drawing global update
+// numbers from the shared cross-shard ticketer — with per-group merge
+// fan-out and group commit at the warehouse on throughout.
+//
+// Two claims are measured. First, 4 shards must deliver at least 3x the
+// committed-transaction throughput of the single-shard baseline (the
+// sequencer is the bottleneck; sharding divides its queue). Second,
+// group-commit latency must stay flat: the p99 of
+// ingest.commit_latency_us at 4 shards must be within 1.5x of the
+// single-shard baseline — batching absorbs the higher arrival rate
+// instead of queueing it.
+//
+//   bench_ingest_scaling [--tiny] [--json[=PATH]]
+//
+// --tiny shrinks every dimension for CI smoke runs; --json writes
+// BENCH_ingest.json (schema mvc-bench-ingest-v1, validated by
+// `mvc_stats --check-bench`, including the summary invariants:
+// committed == issued, per-shard sequenced counts sum to the total,
+// positive p99s).
+
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/metrics.h"
+#include "system/warehouse_system.h"
+
+namespace mvc {
+namespace {
+
+/// Independent single-relation clusters: source src<k> hosts relation
+/// r<k>, exposed through view v<k>. Every cluster is its own view
+/// group, so the shard planner can spread them over any shard budget
+/// and the exact partition gives each group its own merge process.
+SystemConfig MakeIngestConfig(size_t num_shards, int64_t sources,
+                              int64_t txns_per_source) {
+  SystemConfig config;
+  for (int64_t s = 0; s < sources; ++s) {
+    const std::string src = "src" + std::to_string(s);
+    const std::string rel = "r" + std::to_string(s);
+    config.sources[src] = {rel};
+    config.schemas[rel] = Schema::AllInt64({"A", "B"});
+    ViewDefinition def;
+    def.name = "v" + std::to_string(s);
+    def.relations = {rel};
+    config.views.push_back(def);
+  }
+  config.ingest.num_shards = num_shards;
+  config.ingest.fanout_merge = true;
+  config.ingest.group_commit.enabled = true;
+  config.ingest.group_commit.max_batch = 8;
+  config.ingest.group_commit.max_delay_us = 1000;
+  // The serial sequencer: 400us of modeled work per transaction. One
+  // shard drains the whole offered load at 2.5k txn/s; N shards drain
+  // N disjoint queues concurrently.
+  config.integrator.sequencing_cost_us = 400;
+  config.collect_metrics = true;
+  // Oracle snapshots are O(views) per commit and benchmark-irrelevant;
+  // the correctness battery covers sharded ingest separately.
+  config.record_snapshots = false;
+
+  // All sources inject in parallel, far faster than one sequencer can
+  // drain: the arrival span is txns_per_source * 200us, the single-
+  // shard service span sources * txns_per_source * 400us.
+  for (int64_t j = 0; j < txns_per_source; ++j) {
+    for (int64_t s = 0; s < sources; ++s) {
+      Injection inj;
+      inj.at = 1000 + j * 200;
+      inj.source = "src" + std::to_string(s);
+      inj.updates = {Update::Insert(inj.source, "r" + std::to_string(s),
+                                    Tuple{j, s})};
+      config.workload.push_back(std::move(inj));
+    }
+  }
+  return config;
+}
+
+struct IngestResult {
+  int64_t issued = 0;
+  int64_t committed = 0;
+  int64_t makespan_us = 0;
+  double throughput_tps = 0;
+  int64_t commit_p99_us = 0;
+  std::vector<int64_t> per_shard_sequenced;
+};
+
+IngestResult RunIngest(size_t num_shards, int64_t sources,
+                       int64_t txns_per_source) {
+  auto system = WarehouseSystem::Build(
+      MakeIngestConfig(num_shards, sources, txns_per_source));
+  MVC_CHECK(system.ok()) << system.status().ToString();
+  MVC_CHECK((*system)->integrator_shards().size() == num_shards)
+      << "wanted " << num_shards << " shards, wired "
+      << (*system)->integrator_shards().size();
+  (*system)->Run();
+
+  IngestResult r;
+  r.issued = static_cast<int64_t>((*system)->recorder().updates().size());
+  r.committed =
+      static_cast<int64_t>((*system)->recorder().commits().size());
+  MVC_CHECK(r.committed == sources * txns_per_source)
+      << r.committed << " committed of " << sources * txns_per_source;
+  MVC_CHECK(r.committed == r.issued);
+  if (num_shards > 1) {
+    MVC_CHECK((*system)->tickets_issued() == r.issued)
+        << (*system)->tickets_issued() << " tickets for " << r.issued
+        << " sequenced updates";
+  }
+  for (const auto& shard : (*system)->integrator_shards()) {
+    r.per_shard_sequenced.push_back(shard->num_updates());
+  }
+  r.makespan_us = (*system)->runtime().Now();
+  r.throughput_tps = static_cast<double>(r.committed) /
+                     (static_cast<double>(r.makespan_us) / 1e6);
+  const obs::MetricsSnapshot snapshot = (*system)->MetricsSnapshot();
+  const obs::HistogramSnapshot* latency =
+      obs::FindHistogram(snapshot, "ingest.commit_latency_us");
+  MVC_CHECK(latency != nullptr) << "ingest.commit_latency_us not recorded";
+  MVC_CHECK(latency->count == r.committed);
+  r.commit_p99_us = latency->Quantile(0.99);
+  return r;
+}
+
+int Main(int argc, char** argv) {
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) tiny = true;
+  }
+  const std::string json_path =
+      bench::JsonOutputPath(argc, argv, "BENCH_ingest.json");
+
+  const int64_t sources = tiny ? 4 : 8;
+  const int64_t txns_per_source = tiny ? 20 : 50;
+
+  std::vector<bench::BenchRecord> records;
+  bench::TablePrinter table(
+      {"shards", "committed", "makespan_ms", "txn/s", "commit_p99_us"});
+  std::vector<size_t> shard_counts = {1, 2, 4};
+  std::vector<IngestResult> results;
+  for (size_t n : shard_counts) {
+    IngestResult r = RunIngest(n, sources, txns_per_source);
+    table.AddRow(static_cast<int64_t>(n), r.committed,
+                 static_cast<double>(r.makespan_us) / 1000.0,
+                 r.throughput_tps, r.commit_p99_us);
+    const std::string prefix = "ingest/shards=" + std::to_string(n);
+    records.push_back(bench::BenchRecord{
+        prefix + "/sequenced", r.committed,
+        static_cast<double>(r.makespan_us) * 1000.0 /
+            static_cast<double>(r.committed),
+        -1});
+    records.push_back(bench::BenchRecord{
+        prefix + "/commit_p99", r.committed,
+        static_cast<double>(r.commit_p99_us) * 1000.0, -1});
+    results.push_back(std::move(r));
+  }
+  table.Print();
+
+  const IngestResult& baseline = results.front();
+  const IngestResult& scaled = results.back();
+  const double speedup = scaled.throughput_tps / baseline.throughput_tps;
+  const double p99_ratio = static_cast<double>(scaled.commit_p99_us) /
+                           static_cast<double>(baseline.commit_p99_us);
+  std::cout << "\ningest throughput: 1 shard " << std::fixed
+            << std::setprecision(0) << baseline.throughput_tps
+            << " txn/s, 4 shards " << scaled.throughput_tps
+            << " txn/s (speedup " << std::setprecision(2) << speedup
+            << "x); commit p99 " << baseline.commit_p99_us << "us -> "
+            << scaled.commit_p99_us << "us (ratio " << p99_ratio << "x)\n";
+
+  // The acceptance bar: sharding the sequencer must buy at least 3x
+  // committed throughput at 4 shards, and group commit must keep the
+  // p99 commit latency within 1.5x of the single-shard baseline.
+  MVC_CHECK(speedup >= 3.0) << "4-shard speedup only " << speedup << "x";
+  MVC_CHECK(p99_ratio <= 1.5) << "commit p99 regressed " << p99_ratio << "x";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    MVC_CHECK(out.good()) << "cannot open " << json_path;
+    out << "{\n  \"schema\": \"mvc-bench-ingest-v1\",\n  \"records\": ";
+    bench::WriteBenchRecordsArray(out, records, "    ", "  ");
+    out << "  ,\n  \"summary\": {\"num_shards\": "
+        << scaled.per_shard_sequenced.size()
+        << ", \"issued\": " << scaled.issued
+        << ", \"committed\": " << scaled.committed
+        << ", \"per_shard_sequenced\": [";
+    for (size_t i = 0; i < scaled.per_shard_sequenced.size(); ++i) {
+      out << (i > 0 ? ", " : "") << scaled.per_shard_sequenced[i];
+    }
+    out << "], \"baseline_tps\": " << std::fixed << std::setprecision(2)
+        << baseline.throughput_tps
+        << ", \"scaled_tps\": " << scaled.throughput_tps
+        << ", \"throughput_speedup\": " << speedup
+        << ", \"baseline_commit_p99_us\": " << baseline.commit_p99_us
+        << ", \"scaled_commit_p99_us\": " << scaled.commit_p99_us
+        << ", \"p99_ratio\": " << p99_ratio << "}\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mvc
+
+int main(int argc, char** argv) { return mvc::Main(argc, argv); }

@@ -174,10 +174,21 @@ Status ConsistencyChecker::CheckChain(const ConsistencyRecorder& recorder,
         "consistency check requires view snapshots");
   }
 
-  // Index the numbered source schedule.
+  // Index the numbered source schedule. A duplicate update number is a
+  // total-order violation on its own: under sharded ingest it means a
+  // shard stamped a shard-local epoch without drawing the cross-shard
+  // ticket, so two distinct transactions claim the same position in S.
   std::map<UpdateId, const RecordedUpdate*> by_id;
   for (const RecordedUpdate& u : recorder.updates()) {
-    by_id[u.id] = &u;
+    auto [it, inserted] = by_id.emplace(u.id, &u);
+    if (!inserted) {
+      return Status::ConsistencyViolation(StrCat(
+          "update number U", u.id, " was issued to two source "
+          "transactions (shard ", it->second->txn.shard, " epoch ",
+          it->second->txn.shard_epoch, " vs shard ", u.txn.shard,
+          " epoch ", u.txn.shard_epoch,
+          "): a cross-shard ticket was dropped"));
+    }
   }
 
   // Precompute REL sets for the legality check.

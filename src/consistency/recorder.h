@@ -14,6 +14,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>  // mvc-lint: allow-sync -- concurrent integrator shards on the ThreadRuntime feed one recorder
 #include <string>
 #include <vector>
 
@@ -56,9 +57,28 @@ class ConsistencyRecorder {
   explicit ConsistencyRecorder(bool snapshot_views = true)
       : snapshot_views_(snapshot_views) {}
 
+  /// Movable for wiring-time installation (WarehouseSystem::Wire runs
+  /// single-threaded, before any observer can fire); the mutex itself
+  /// is not moved.
+  ConsistencyRecorder(ConsistencyRecorder&& other) noexcept
+      : snapshot_views_(other.snapshot_views_),
+        updates_(std::move(other.updates_)),
+        commits_(std::move(other.commits_)) {}
+  ConsistencyRecorder& operator=(ConsistencyRecorder&& other) noexcept {
+    snapshot_views_ = other.snapshot_views_;
+    updates_ = std::move(other.updates_);
+    commits_ = std::move(other.commits_);
+    return *this;
+  }
+
   /// Integrator observer (see IntegratorProcess::SetUpdateObserver).
+  /// Under sharded ingest several integrator shards call this
+  /// concurrently on the ThreadRuntime — the lock makes the append
+  /// atomic; the checker reorders by update id anyway, so arrival order
+  /// across shards carries no meaning.
   void OnUpdateNumbered(UpdateId id, const SourceTransaction& txn,
                         TimeMicros now) {
+    std::lock_guard<std::mutex> lock(updates_mutex_);
     updates_.push_back(RecordedUpdate{id, txn, now});
   }
 
@@ -82,6 +102,9 @@ class ConsistencyRecorder {
 
  private:
   bool snapshot_views_;
+  /// Guards updates_ against concurrent shard observers. updates() is
+  /// only read after the runtime quiesces, so the accessor stays bare.
+  std::mutex updates_mutex_;
   std::vector<RecordedUpdate> updates_;
   std::vector<RecordedCommit> commits_;
 };

@@ -29,6 +29,8 @@ void IntegratorProcess::EnableObservability(obs::MetricsRegistry* metrics,
   if (metrics == nullptr) return;
   m_sequenced_ = metrics->RegisterCounter("integrator.updates_sequenced");
   m_rel_size_ = metrics->RegisterHistogram("integrator.rel_size", "views");
+  m_backlog_ = metrics->RegisterGauge(
+      StrCat("ingest.shard_backlog{process=\"", name(), "\"}"));
 }
 
 void IntegratorProcess::OnMessage(ProcessId from, MessagePtr msg) {
@@ -41,6 +43,17 @@ void IntegratorProcess::OnMessage(ProcessId from, MessagePtr msg) {
                            *static_cast<RelResyncRequestMsg*>(msg.get()));
     return;
   }
+  if (msg->kind == Message::Kind::kTick) {
+    // A modeled sequencing slot elapsed: number the queued transaction.
+    auto* tick = static_cast<TickMsg*>(msg.get());
+    auto it = sequencing_queue_.find(tick->tag);
+    MVC_CHECK(it != sequencing_queue_.end());
+    SourceTransaction queued = std::move(it->second);
+    sequencing_queue_.erase(it);
+    UpdateBacklogGauge();
+    ProcessTransaction(std::move(queued));
+    return;
+  }
   if (msg->kind != Message::Kind::kSourceTxn) {
     MVC_LOG_ERROR() << "integrator: unexpected message " << msg->Summary();
     return;
@@ -50,10 +63,13 @@ void IntegratorProcess::OnMessage(ProcessId from, MessagePtr msg) {
 
   if (txn.global_txn_id != 0) {
     // Section 6.2: collect all per-source parts, then treat the union as
-    // one atomic unit.
+    // one atomic unit. Under sharding every participant source routes to
+    // this shard (the shard plan co-locates them), so the parts all
+    // arrive here.
     auto& parts = pending_global_[txn.global_txn_id];
     parts.push_back(txn);
     if (static_cast<int32_t>(parts.size()) < txn.global_participants) {
+      UpdateBacklogGauge();
       return;  // wait for the remaining sources
     }
     SourceTransaction merged;
@@ -64,14 +80,52 @@ void IntegratorProcess::OnMessage(ProcessId from, MessagePtr msg) {
                             part.updates.end());
     }
     pending_global_.erase(txn.global_txn_id);
-    ProcessTransaction(merged);
+    UpdateBacklogGauge();
+    Admit(std::move(merged));
     return;
   }
-  ProcessTransaction(txn);
+  Admit(std::move(txn));
 }
 
-void IntegratorProcess::ProcessTransaction(const SourceTransaction& txn) {
-  const UpdateId update_id = ++next_update_;
+void IntegratorProcess::UpdateBacklogGauge() {
+  if (m_backlog_ != nullptr) {
+    m_backlog_->Set(static_cast<int64_t>(pending_global_.size() +
+                                         sequencing_queue_.size()));
+  }
+}
+
+void IntegratorProcess::Admit(SourceTransaction txn) {
+  if (options_.sequencing_cost_us <= 0) {
+    ProcessTransaction(std::move(txn));
+    return;
+  }
+  // Serial-server model: the sequencer works off its queue one
+  // transaction per sequencing_cost_us; the tick fires when this
+  // transaction's slot completes. Slot deadlines strictly ascend, so
+  // FIFO admission order is preserved.
+  const TimeMicros start = std::max(busy_until_, Now());
+  busy_until_ = start + options_.sequencing_cost_us;
+  const int64_t ticket = ++next_seq_ticket_;
+  sequencing_queue_.emplace(ticket, std::move(txn));
+  UpdateBacklogGauge();
+  auto tick = std::make_unique<TickMsg>();
+  tick->tag = ticket;
+  ScheduleSelf(std::move(tick), busy_until_ - Now());
+}
+
+void IntegratorProcess::ProcessTransaction(SourceTransaction txn) {
+  // The shard-local epoch always advances; the global update number
+  // comes from the shared ticketer when sharded. The mutation drops the
+  // cross-shard ticket and stamps the shard-local epoch as the global
+  // number — with several shards this collides update ids, which the
+  // checker must (and does) catch as a total-order violation.
+  const UpdateId epoch = ++next_update_;
+  UpdateId update_id = epoch;
+  if (ticketer_ != nullptr && !options_.mutation_drop_ticket) {
+    update_id = ticketer_->Take();
+  }
+  txn.shard = shard_;
+  txn.shard_epoch = epoch;
   if (observer_) observer_(update_id, txn);
 
   // REL_i: views affected by any update in the transaction.
@@ -116,17 +170,25 @@ void IntegratorProcess::ProcessTransaction(const SourceTransaction& txn) {
     if (rel_by_merge.empty() && options_.report_empty_rel) {
       // No view affected: report the empty row to every merge process so
       // each can advance its freshness accounting and purge immediately.
+      // A shard reports only to the merges it owns — every merge must
+      // hear from exactly one shard to keep its REL stream FIFO-ordered.
       std::set<ProcessId> merges;
-      for (const auto& [id, route] : views_) merges.insert(route.merge);
+      if (restrict_broadcast_) {
+        merges.insert(broadcast_merges_.begin(), broadcast_merges_.end());
+      } else {
+        for (const auto& [id, route] : views_) merges.insert(route.merge);
+      }
       for (ProcessId merge : merges) {
         auto rel_msg = std::make_unique<RelSetMsg>();
         rel_msg->update_id = update_id;
+        rel_msg->shard = shard_;
         SendAfter(merge, std::move(rel_msg), options_.process_delay);
       }
     } else {
       for (const auto& [merge, views] : rel_by_merge) {
         auto rel_msg = std::make_unique<RelSetMsg>();
         rel_msg->update_id = update_id;
+        rel_msg->shard = shard_;
         rel_msg->views = views;
         SendAfter(merge, std::move(rel_msg), options_.process_delay);
       }
@@ -139,6 +201,7 @@ void IntegratorProcess::ProcessTransaction(const SourceTransaction& txn) {
     const ViewRoute& route = views_[view];
     auto update_msg = std::make_unique<UpdateMsg>();
     update_msg->update_id = update_id;
+    update_msg->shard = shard_;
     update_msg->txn = txn;
     if (options_.piggyback_rel && carried.insert(route.merge).second) {
       // First view manager in this merge group forwards REL_i.

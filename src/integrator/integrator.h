@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "integrator/ticketer.h"
 #include "net/protocol.h"
 #include "net/runtime.h"
 #include "query/view_def.h"
@@ -29,6 +30,7 @@ namespace obs {
 class MetricsRegistry;
 class Tracer;
 class Counter;
+class Gauge;
 class Histogram;
 }  // namespace obs
 
@@ -43,6 +45,12 @@ struct IntegratorOptions {
   bool piggyback_rel = false;
   /// Simulated processing time per transaction before fan-out.
   TimeMicros process_delay = 0;
+  /// Models the sequencer as a serial server: each transaction occupies
+  /// it for this much simulated time before it is numbered, so a single
+  /// shard drains its stream at a bounded rate and ingest sharding
+  /// yields real simulated-time throughput (bench_ingest_scaling). 0
+  /// keeps the legacy instantaneous sequencing.
+  TimeMicros sequencing_cost_us = 0;
   /// When true, an empty REL_i is still reported to every merge process
   /// so that freshness accounting sees every update id. SPA/PA purge the
   /// empty row immediately.
@@ -52,6 +60,12 @@ struct IntegratorOptions {
   /// their streams. Enabled by the system wiring when a fault plan is
   /// present.
   bool retain_for_replay = false;
+  /// Test-only mutation: stamp updates with the shard-local epoch
+  /// instead of the cross-shard ticket. With two or more shards this
+  /// reuses global update numbers across shards — exactly the bug the
+  /// explorer's ticket-drop self-test must catch. Never set in
+  /// production wiring.
+  bool mutation_drop_ticket = false;
 };
 
 class IntegratorProcess : public Process {
@@ -64,6 +78,29 @@ class IntegratorProcess : public Process {
   /// its group. The BoundView must outlive the integrator.
   Status RegisterView(const BoundView* view, ViewId id,
                       ProcessId view_manager, ProcessId merge);
+
+  /// Makes this integrator one shard of a sharded ingest pipeline:
+  /// update numbers come from the shared ticketer instead of the local
+  /// counter, and outgoing updates are stamped with `shard` plus the
+  /// shard-local epoch. The ticketer must outlive the process. Without
+  /// this call the integrator is the single global sequencer, exactly
+  /// as before.
+  void SetShard(int32_t shard, CrossShardTicketer* ticketer) {
+    MVC_CHECK(ticketer != nullptr);
+    shard_ = shard;
+    ticketer_ = ticketer;
+  }
+
+  /// Restricts the empty-REL broadcast to the merge processes whose
+  /// groups this shard owns. Under sharding every merge must receive
+  /// its REL stream from exactly one shard — per-channel FIFO then
+  /// keeps the (gappy) ticket sequence monotone, which is what the
+  /// merge's VUT expects. Without this call the broadcast reaches every
+  /// registered merge (the unsharded behavior).
+  void SetBroadcastMerges(std::vector<ProcessId> merges) {
+    broadcast_merges_ = std::move(merges);
+    restrict_broadcast_ = true;
+  }
 
   /// Observer invoked with every globally numbered transaction; the
   /// consistency oracle uses it to reconstruct the source state
@@ -80,13 +117,21 @@ class IntegratorProcess : public Process {
   void EnableObservability(obs::MetricsRegistry* metrics,
                            obs::Tracer* tracer);
 
-  /// Number of transactions numbered so far.
+  /// Number of transactions numbered by this process. For a shard this
+  /// is the shard-local epoch, not the global ticket count.
   int64_t num_updates() const { return next_update_; }
+
+  /// Shard index (0 when unsharded).
+  int32_t shard() const { return shard_; }
 
   void OnMessage(ProcessId from, MessagePtr msg) override;
 
  private:
-  void ProcessTransaction(const SourceTransaction& txn);
+  /// Sequences the transaction now (sequencing_cost_us == 0) or queues
+  /// it behind the modeled serial sequencer.
+  void Admit(SourceTransaction txn);
+  void UpdateBacklogGauge();
+  void ProcessTransaction(SourceTransaction txn);
   void HandleReplayRequest(ProcessId from, const ReplayRequestMsg& req);
   void HandleRelResyncRequest(ProcessId from,
                               const RelResyncRequestMsg& req);
@@ -108,9 +153,23 @@ class IntegratorProcess : public Process {
   IntegratorOptions options_;
   /// Ordered by view id (= wiring order) for deterministic fan-out.
   std::map<ViewId, ViewRoute> views_;
+  /// Shard-local epoch: transactions this process has numbered. Doubles
+  /// as the global update number when unsharded.
   UpdateId next_update_ = 0;
+  int32_t shard_ = 0;
+  /// Shared global ticket counter; nullptr when unsharded.
+  CrossShardTicketer* ticketer_ = nullptr;
+  /// Empty-REL broadcast targets when restricted (sharded wiring).
+  std::vector<ProcessId> broadcast_merges_;
+  bool restrict_broadcast_ = false;
   /// Buffered parts of in-flight global transactions, keyed by id.
   std::map<int64_t, std::vector<SourceTransaction>> pending_global_;
+  /// Serial-sequencer model (sequencing_cost_us > 0): transactions
+  /// waiting for their modeled service slot, keyed by tick ticket.
+  std::map<int64_t, SourceTransaction> sequencing_queue_;
+  /// Simulated time the modeled sequencer frees up.
+  TimeMicros busy_until_ = 0;
+  int64_t next_seq_ticket_ = 0;
   std::function<void(UpdateId, const SourceTransaction&)> observer_;
   /// Append-only when retain_for_replay; ids are 1..next_update_.
   std::vector<RetainedUpdate> retained_;
@@ -118,6 +177,10 @@ class IntegratorProcess : public Process {
   obs::Tracer* tracer_ = nullptr;
   obs::Counter* m_sequenced_ = nullptr;
   obs::Histogram* m_rel_size_ = nullptr;
+  /// ingest.shard_backlog: global-transaction parts awaiting their
+  /// remaining sources plus transactions queued behind the modeled
+  /// serial sequencer.
+  obs::Gauge* m_backlog_ = nullptr;
 };
 
 }  // namespace mvc

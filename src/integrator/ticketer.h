@@ -1,0 +1,41 @@
+// Cross-shard ticketing for the sharded integrator (ROADMAP item 2,
+// extending Section 6.2): each integrator shard sequences the sources
+// assigned to it independently, but draws the global update number U_i
+// from one shared ticket counter. The union of all shards' update
+// streams therefore remains densely, totally ordered, which is exactly
+// what the consistency checker's legality rule needs to order commits
+// that touch intertwined views. Per-shard progress is tracked separately
+// as a shard-local epoch (IntegratorProcess::num_updates()), so a
+// shard's position in its own stream and its position in the global
+// order stay distinguishable.
+//
+// On the deterministic SimRuntime every handler runs on one thread and
+// the counter behaves like a plain integer; on the ThreadRuntime the
+// fetch-add is the single point of cross-shard synchronization on the
+// ingest path — everything else stays message passing.
+
+#pragma once
+
+#include <atomic>  // mvc-lint: allow-sync -- one fetch-add shared by integrator shards is the cross-shard ticket counter
+
+#include "net/protocol.h"
+
+namespace mvc {
+
+class CrossShardTicketer {
+ public:
+  /// Draws the next global update number (1-based, dense across shards).
+  UpdateId Take() {
+    return 1 + counter_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Tickets handed out so far.
+  int64_t issued() const {
+    return counter_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> counter_{0};
+};
+
+}  // namespace mvc

@@ -115,4 +115,105 @@ std::vector<ViewGroup> PartitionViewsInto(
   return out;
 }
 
+std::map<std::string, size_t> ViewRouting(
+    const std::vector<ViewGroup>& groups) {
+  std::map<std::string, size_t> routing;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (const std::string& view : groups[g].views) {
+      auto [it, inserted] = routing.emplace(view, g);
+      MVC_CHECK(inserted) << "view '" << view << "' appears in groups "
+                          << it->second << " and " << g
+                          << "; the partition must route every view to "
+                             "exactly one group";
+    }
+  }
+  return routing;
+}
+
+ShardPlan PlanIntegratorShards(
+    const std::map<std::string, std::vector<std::string>>& sources,
+    const std::vector<ViewGroup>& groups,
+    const std::vector<std::vector<std::string>>& co_located,
+    size_t max_shards) {
+  MVC_CHECK(max_shards > 0);
+  // Union-find over sources, indexed in name order (std::map iteration),
+  // so the plan is deterministic for a given config.
+  std::vector<std::string> names;
+  std::map<std::string, size_t> index;
+  for (const auto& [name, relations] : sources) {
+    index[name] = names.size();
+    names.push_back(name);
+  }
+  UnionFind uf(names.size());
+  // Sources hosting relations of the same merge group must co-locate:
+  // the group's merge process and view managers each listen on a single
+  // FIFO channel per sender, and only a single sending shard keeps that
+  // stream in cross-shard ticket order.
+  std::map<std::string, size_t> group_of_relation;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (const std::string& rel : groups[g].relations) {
+      group_of_relation[rel] = g;
+    }
+  }
+  std::map<size_t, size_t> first_host;  // group -> source index
+  for (const auto& [name, relations] : sources) {
+    for (const std::string& rel : relations) {
+      auto grp = group_of_relation.find(rel);
+      if (grp == group_of_relation.end()) continue;  // unused by any view
+      auto [it, inserted] = first_host.emplace(grp->second, index[name]);
+      if (!inserted) uf.Union(index[name], it->second);
+    }
+  }
+  // All participants of one global transaction must feed the same shard
+  // so the parts can assemble into one atomic unit there.
+  for (const std::vector<std::string>& set : co_located) {
+    for (size_t i = 1; i < set.size(); ++i) {
+      auto a = index.find(set[0]);
+      auto b = index.find(set[i]);
+      MVC_CHECK(a != index.end() && b != index.end())
+          << "co-location constraint references an unknown source";
+      uf.Union(a->second, b->second);
+    }
+  }
+  // Clusters in name order of their first member (deterministic), then
+  // greedy balance by hosted-relation count into at most max_shards.
+  std::map<size_t, std::vector<size_t>> clusters;
+  for (size_t i = 0; i < names.size(); ++i) {
+    clusters[uf.Find(i)].push_back(i);
+  }
+  struct Cluster {
+    std::vector<size_t> members;
+    size_t weight = 0;  // hosted relations
+  };
+  std::vector<Cluster> ordered;
+  for (auto& [root, members] : clusters) {
+    Cluster c;
+    std::sort(members.begin(), members.end());
+    for (size_t m : members) {
+      c.weight += sources.at(names[m]).size();
+    }
+    c.members = std::move(members);
+    ordered.push_back(std::move(c));
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Cluster& a, const Cluster& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.members.front() < b.members.front();
+            });
+  const size_t num_shards = std::min(max_shards, ordered.size());
+  ShardPlan plan;
+  plan.num_shards = names.empty() ? 0 : std::max<size_t>(num_shards, 1);
+  if (names.empty()) return plan;
+  std::vector<size_t> load(plan.num_shards, 0);
+  for (const Cluster& c : ordered) {
+    const size_t shard = static_cast<size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    load[shard] += c.weight;
+    for (size_t m : c.members) {
+      plan.shard_of_source[names[m]] = shard;
+    }
+  }
+  return plan;
+}
+
 }  // namespace mvc

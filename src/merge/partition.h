@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -35,5 +36,42 @@ std::vector<ViewGroup> PartitionViews(
 /// exact partition.
 std::vector<ViewGroup> PartitionViewsInto(
     const std::vector<const BoundView*>& views, size_t max_groups);
+
+/// The routing map behind the merge fan-out: every view name -> index of
+/// the (single) group that maintains it. Checks the partition invariant
+/// along the way — a view appearing in zero or two groups is a wiring
+/// bug, not a recoverable condition.
+std::map<std::string, size_t> ViewRouting(
+    const std::vector<ViewGroup>& groups);
+
+/// Assignment of sources to integrator shards (sharded ingest, ROADMAP
+/// item 2). Shards are numbered densely from 0.
+struct ShardPlan {
+  /// Source name -> shard index.
+  std::map<std::string, size_t> shard_of_source;
+  size_t num_shards = 0;
+
+  size_t ShardOf(const std::string& source) const {
+    auto it = shard_of_source.find(source);
+    return it == shard_of_source.end() ? 0 : it->second;
+  }
+};
+
+/// Plans integrator shards for `sources` (source name -> hosted
+/// relations) against the merge groups: every source hosting a relation
+/// of one group must land on the same shard, so each merge group's
+/// entire update stream flows through exactly one shard and per-channel
+/// FIFO preserves cross-shard ticket order at the group's view managers
+/// and merge process. `co_located` lists extra sets of sources that must
+/// share a shard (the sources of one global transaction, whose parts
+/// must assemble at a single shard). The resulting clusters are greedily
+/// balanced into at most `max_shards` shards (by hosted-relation count);
+/// sources that constrain each other never split, so the effective shard
+/// count can be lower than requested.
+ShardPlan PlanIntegratorShards(
+    const std::map<std::string, std::vector<std::string>>& sources,
+    const std::vector<ViewGroup>& groups,
+    const std::vector<std::vector<std::string>>& co_located,
+    size_t max_shards);
 
 }  // namespace mvc

@@ -110,10 +110,17 @@ std::string WarehouseTransaction::ToString(const IdRegistry* names) const {
 std::string SourceTxnMsg::Summary() const { return txn.ToString(); }
 
 std::string UpdateMsg::Summary() const {
+  if (shard != 0) {
+    return StrCat("U", update_id, "@s", shard, " ", txn.ToString());
+  }
   return StrCat("U", update_id, " ", txn.ToString());
 }
 
 std::string RelSetMsg::Summary() const {
+  if (shard != 0) {
+    return StrCat("REL", update_id, "@s", shard, "={",
+                  JoinToString(views, ","), "}");
+  }
   return StrCat("REL", update_id, "={", JoinToString(views, ","), "}");
 }
 

@@ -97,6 +97,8 @@ struct SourceTxnMsg : Message {
 struct UpdateMsg : Message {
   UpdateMsg() : Message(Kind::kUpdate) {}
   UpdateId update_id = kInvalidUpdate;
+  /// Integrator shard that numbered U_i (0 when unsharded).
+  int32_t shard = 0;
   SourceTransaction txn;
   /// Alternate REL delivery scheme (Section 3.2): when set, this view
   /// manager is responsible for forwarding REL_i to the merge process
@@ -111,6 +113,8 @@ struct UpdateMsg : Message {
 struct RelSetMsg : Message {
   RelSetMsg() : Message(Kind::kRelSet) {}
   UpdateId update_id = kInvalidUpdate;
+  /// Integrator shard that numbered U_i (0 when unsharded).
+  int32_t shard = 0;
   /// Views affected by U_i, sorted by id.
   std::vector<ViewId> views;
   std::string Summary() const override;

@@ -73,6 +73,13 @@ struct SourceTransaction {
   /// Number of sources participating in the global transaction (how many
   /// parts the integrator must collect). 0 when not global.
   int32_t global_participants = 0;
+  /// Sharded-ingest stamp (set by the integrator shard that numbered the
+  /// transaction): which shard sequenced it, and its position in that
+  /// shard's own stream. The global order lives in the cross-shard
+  /// ticket (the UpdateId); the epoch exists so per-shard streams stay
+  /// auditable after the fan-out. Both 0 when unsharded.
+  int32_t shard = 0;
+  int64_t shard_epoch = 0;
 
   std::string ToString() const;
 };

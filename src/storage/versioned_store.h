@@ -1,7 +1,8 @@
 // VersionedStore: the MVCC catalog behind the warehouse read path.
 //
 // The store owns one VersionedTable per view and publishes an immutable
-// StoreVersion per warehouse commit (dense commit ids 0, 1, 2, ...).
+// StoreVersion per warehouse commit (ascending commit ids from 0; group
+// commit publishes only batch boundaries, leaving gaps).
 // Readers acquire SnapshotHandles — O(1) shared references to a
 // StoreVersion — instead of deep catalog clones, so snapshot acquisition
 // cost is independent of table size and concurrent commits never tear a
@@ -151,9 +152,11 @@ class VersionedStore {
   /// --- Versioning ---
 
   /// Seals every table's working state as version `commit_id`. Ids must
-  /// be dense and ascending starting at 0 (the initial, pre-commit
-  /// state). Evicts versions beyond the retention bound and prunes
-  /// expired weak references (the GC step).
+  /// be strictly ascending starting at 0 (the initial, pre-commit
+  /// state); group commit skips the ids inside a batch, so the sequence
+  /// may have gaps — a time-travel read of a skipped id reports it as
+  /// never published. Evicts versions beyond the retention bound and
+  /// prunes expired weak references (the GC step).
   void Commit(int64_t commit_id);
 
   /// Latest published commit id; -1 before the first Commit.

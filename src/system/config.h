@@ -12,6 +12,7 @@
 #include "compact/compactor_process.h"
 #include "fault/fault_plan.h"
 #include "integrator/integrator.h"
+#include "integrator/ticketer.h"
 #include "integrator/sequential_integrator.h"
 #include "merge/merge_process.h"
 #include "query/aggregate.h"
@@ -38,6 +39,24 @@ enum class ManagerKind : uint8_t {
 };
 
 const char* ManagerKindToString(ManagerKind kind);
+
+/// Scale-out ingest (ROADMAP item 2): sharded integrator, exact merge
+/// fan-out, and group commit at the warehouse.
+struct IngestConfig {
+  /// Upper bound on integrator shards. Sources are clustered so that
+  /// every merge group's sources share a shard (see
+  /// PlanIntegratorShards); the effective shard count is therefore
+  /// min(num_shards, independent source clusters). 1 keeps the single
+  /// global sequencer, byte-for-byte the legacy behavior.
+  size_t num_shards = 1;
+  /// Use the exact relation-disjoint partition — one MergeProcess per
+  /// disjoint view group — instead of balancing into
+  /// SystemConfig::num_merge_processes groups.
+  bool fanout_merge = false;
+  /// Batch independent transactions into one versioned-store commit at
+  /// the warehouse (see GroupCommitOptions in warehouse.h).
+  GroupCommitOptions group_commit;
+};
 
 /// One transaction injected into a source at a simulated time.
 struct Injection {
@@ -82,8 +101,10 @@ struct SystemConfig {
   bool auto_algorithm = true;
   /// Number of merge processes (distributed merge, Section 6.1). Views
   /// are partitioned by shared base relations, then balanced into at
-  /// most this many groups.
+  /// most this many groups. Ignored when ingest.fanout_merge is set.
   size_t num_merge_processes = 1;
+  /// Scale-out ingest: integrator sharding, merge fan-out, group commit.
+  IngestConfig ingest;
   WarehouseOptions warehouse;
   SourceOptions source_options;
 

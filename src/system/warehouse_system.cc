@@ -75,6 +75,36 @@ Status WarehouseSystem::Wire(SystemConfig config) {
   config_ = std::move(config);
   recorder_ = ConsistencyRecorder(config_.record_snapshots);
 
+  // --- Scale-out ingest validation ---
+  if (config_.ingest.num_shards < 1) {
+    return Status::InvalidArgument("ingest.num_shards must be >= 1");
+  }
+  if (config_.ingest.num_shards > 1) {
+    if (config_.sequential_baseline) {
+      return Status::InvalidArgument(
+          "sharded ingest requires the Figure 1 architecture, not the "
+          "sequential baseline");
+    }
+    if (config_.fault.enabled()) {
+      return Status::InvalidArgument(
+          "sharded ingest is incompatible with fault injection: replay "
+          "and resync requests assume a single retained update stream");
+    }
+  }
+  if (config_.ingest.group_commit.enabled) {
+    if (config_.ingest.group_commit.max_batch < 1) {
+      return Status::InvalidArgument(
+          "ingest.group_commit.max_batch must be >= 1");
+    }
+    if (config_.warehouse.legacy_clone_history) {
+      return Status::InvalidArgument(
+          "group commit batches store versions; the legacy clone ring "
+          "serves unbatched per-transaction states — pick one");
+    }
+  }
+  // The warehouse reads the group-commit bounds from its own options.
+  config_.warehouse.group_commit = config_.ingest.group_commit;
+
   // Observability hubs. Both exist when either flag is set: the derived
   // latency/staleness histograms live in the registry but are computed
   // from the trace, so metrics without a trace would silently miss the
@@ -312,7 +342,13 @@ Status WarehouseSystem::Wire(SystemConfig config) {
     // --- Figure 1 wiring ---
     std::vector<const BoundView*> view_ptrs;
     for (const BoundView& view : bound_views_) view_ptrs.push_back(&view);
-    groups_ = PartitionViewsInto(view_ptrs, config_.num_merge_processes);
+    // ingest.fanout_merge: one merge process per relation-disjoint view
+    // group (the exact Section 6.1 partition), rather than balancing
+    // into a fixed process budget.
+    groups_ = config_.ingest.fanout_merge
+                  ? PartitionViews(view_ptrs)
+                  : PartitionViewsInto(view_ptrs,
+                                       config_.num_merge_processes);
 
     // Merge processes (one per group).
     std::map<std::string, ProcessId> merge_of_view;
@@ -446,21 +482,71 @@ Status WarehouseSystem::Wire(SystemConfig config) {
       }
     }
 
-    // Integrator.
-    integrator_ = std::make_unique<IntegratorProcess>("integrator",
-                                                      config_.integrator);
-    const ProcessId integrator_pid = runtime_->Register(integrator_.get());
-    for (const BoundView& view : bound_views_) {
-      MVC_RETURN_IF_ERROR(integrator_->RegisterView(
-          &view, *registry_.FindView(view.name()),
-          vm_of_view.at(view.name()), merge_of_view.at(view.name())));
+    // Integrator (possibly sharded). The shard plan co-locates every
+    // source hosting one merge group's relations — and all participants
+    // of each global transaction — on a single shard, so each view
+    // manager and merge process receives its whole stream over one FIFO
+    // channel, in cross-shard ticket order.
+    if (config_.ingest.num_shards > 1) {
+      std::vector<std::vector<std::string>> co_located;
+      std::map<int64_t, std::set<std::string>> global_sources;
+      for (const Injection& inj : config_.workload) {
+        if (inj.global_txn_id != 0) {
+          global_sources[inj.global_txn_id].insert(inj.source);
+        }
+      }
+      for (const auto& [id, srcs] : global_sources) {
+        co_located.emplace_back(srcs.begin(), srcs.end());
+      }
+      shard_plan_ = PlanIntegratorShards(config_.sources, groups_,
+                                         co_located,
+                                         config_.ingest.num_shards);
+      ticketer_ = std::make_unique<CrossShardTicketer>();
+    } else {
+      shard_plan_.num_shards = 1;
+      for (const auto& [name, relations] : config_.sources) {
+        shard_plan_.shard_of_source[name] = 0;
+      }
     }
-    integrator_->SetUpdateObserver(
-        [this](UpdateId id, const SourceTransaction& txn) {
-          recorder_.OnUpdateNumbered(id, txn, runtime_->Now());
-        });
-    integrator_->EnableObservability(metrics_.get(), tracer_.get());
-    for (auto& source : sources_) source->SetIntegrator(integrator_pid);
+    const size_t num_shards = std::max<size_t>(shard_plan_.num_shards, 1);
+    std::vector<ProcessId> shard_pids;
+    for (size_t s = 0; s < num_shards; ++s) {
+      // Shard 0 keeps the legacy process name so traces and tests that
+      // key on "integrator" read the same in both modes.
+      auto shard = std::make_unique<IntegratorProcess>(
+          s == 0 ? std::string("integrator") : StrCat("integrator-", s),
+          config_.integrator);
+      if (ticketer_ != nullptr) {
+        shard->SetShard(static_cast<int32_t>(s), ticketer_.get());
+        // The merges this shard owns: each group's relations are hosted
+        // entirely within one shard's sources by construction.
+        std::vector<ProcessId> owned;
+        for (const ViewGroup& group : groups_) {
+          const std::string& any_rel = group.relations.front();
+          if (shard_plan_.ShardOf(relation_source.at(any_rel)) == s) {
+            owned.push_back(merge_of_view.at(group.views.front()));
+          }
+        }
+        shard->SetBroadcastMerges(std::move(owned));
+      }
+      shard_pids.push_back(runtime_->Register(shard.get()));
+      for (const BoundView& view : bound_views_) {
+        MVC_RETURN_IF_ERROR(shard->RegisterView(
+            &view, *registry_.FindView(view.name()),
+            vm_of_view.at(view.name()), merge_of_view.at(view.name())));
+      }
+      shard->SetUpdateObserver(
+          [this](UpdateId id, const SourceTransaction& txn) {
+            recorder_.OnUpdateNumbered(id, txn, runtime_->Now());
+          });
+      shard->EnableObservability(metrics_.get(), tracer_.get());
+      integrator_shards_.push_back(std::move(shard));
+    }
+    for (auto& source : sources_) {
+      source->SetIntegrator(
+          shard_pids[shard_plan_.ShardOf(source->name())]);
+    }
+    const ProcessId integrator_pid = shard_pids.front();
 
     // Fault tolerance: durable stores, recovery wiring, and the injector.
     if (config_.fault.enabled()) {

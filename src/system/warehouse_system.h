@@ -96,7 +96,22 @@ class WarehouseSystem {
   const std::vector<std::unique_ptr<SourceProcess>>& source_processes() const {
     return sources_;
   }
-  const IntegratorProcess* integrator() const { return integrator_.get(); }
+  /// First integrator shard (the only one when ingest.num_shards == 1).
+  const IntegratorProcess* integrator() const {
+    return integrator_shards_.empty() ? nullptr
+                                      : integrator_shards_.front().get();
+  }
+  /// Every integrator shard, in shard-index order.
+  const std::vector<std::unique_ptr<IntegratorProcess>>& integrator_shards()
+      const {
+    return integrator_shards_;
+  }
+  /// Source -> shard assignment (empty when unsharded or sequential).
+  const ShardPlan& shard_plan() const { return shard_plan_; }
+  /// Global tickets issued across all shards (0 when unsharded).
+  int64_t tickets_issued() const {
+    return ticketer_ == nullptr ? 0 : ticketer_->issued();
+  }
   /// Background compactor; nullptr unless config.compaction.enabled.
   const CompactorProcess* compactor() const { return compactor_.get(); }
   const SequentialIntegrator* sequential_integrator() const {
@@ -147,7 +162,11 @@ class WarehouseSystem {
   ConsistencyRecorder recorder_{true};
 
   std::vector<std::unique_ptr<SourceProcess>> sources_;
-  std::unique_ptr<IntegratorProcess> integrator_;
+  /// Integrator shards in shard order; exactly one when unsharded.
+  std::vector<std::unique_ptr<IntegratorProcess>> integrator_shards_;
+  /// Shared cross-shard ticket counter; null when unsharded.
+  std::unique_ptr<CrossShardTicketer> ticketer_;
+  ShardPlan shard_plan_;
   std::unique_ptr<SequentialIntegrator> sequential_;
   std::vector<std::unique_ptr<ViewManagerBase>> view_managers_;
   std::vector<std::unique_ptr<MergeProcess>> merges_;

@@ -25,6 +25,11 @@ void WarehouseProcess::EnableObservability(obs::MetricsRegistry* metrics) {
   versions_live_ = metrics->RegisterGauge("warehouse.versions_live");
   queries_shed_ = metrics->RegisterCounter("read.shed_total");
   rows_scanned_ = metrics->RegisterHistogram("read.rows_scanned", "rows");
+  if (options_.group_commit.enabled) {
+    batch_size_ = metrics->RegisterHistogram("ingest.batch_size", "txns");
+    commit_latency_us_ =
+        metrics->RegisterHistogram("ingest.commit_latency_us", "us");
+  }
 }
 
 void WarehouseProcess::SetCompactor(ProcessId compactor,
@@ -74,7 +79,11 @@ Status WarehouseProcess::ApplyActionList(const ActionList& al) {
   return versioned->ApplyDelta(al.delta);
 }
 
-void WarehouseProcess::Commit(InFlight in_flight) {
+// Applies the transaction to the flat catalog, advances the commit
+// count, and fires the observer + ack. Publishing the store version is
+// the caller's business: Commit seals immediately, Enqueue defers to
+// the batch flush.
+void WarehouseProcess::Apply(const InFlight& in_flight) {
   EnsureInitialVersion();
   for (const ActionList& al : in_flight.txn.actions) {
     Status st = ApplyActionList(al);
@@ -84,10 +93,6 @@ void WarehouseProcess::Commit(InFlight in_flight) {
   }
   committed_[in_flight.submitter].insert(in_flight.txn.txn_id);
   ++committed_count_;
-  store_.Commit(committed_count_);
-  if (versions_live_ != nullptr) {
-    versions_live_->Set(static_cast<int64_t>(store_.versions_live()));
-  }
   if (LegacyRingActive()) {
     history_.push_back(views_.Clone());
     while (history_.size() > options_.history_depth + 1) {
@@ -98,13 +103,72 @@ void WarehouseProcess::Commit(InFlight in_flight) {
   if (observer_) {
     observer_(in_flight.submitter, in_flight.txn, views_, Now());
   }
-  if (compactor_ != kInvalidProcess &&
-      committed_count_ % compaction_stats_every_ == 0) {
-    SendCompactionStats();
-  }
   auto ack = std::make_unique<TxnCommittedMsg>();
   ack->txn_id = in_flight.txn.txn_id;
   Send(in_flight.submitter, std::move(ack));
+}
+
+void WarehouseProcess::Commit(InFlight in_flight) {
+  Apply(in_flight);
+  store_.Commit(committed_count_);
+  if (versions_live_ != nullptr) {
+    versions_live_->Set(static_cast<int64_t>(store_.versions_live()));
+  }
+  MaybeSendCompactionStats();
+}
+
+void WarehouseProcess::Enqueue(InFlight in_flight) {
+  Apply(in_flight);
+  batch_.push_back(Buffered{in_flight.txn.txn_id, in_flight.submitter,
+                            Now()});
+  if (batch_.size() >= options_.group_commit.max_batch) {
+    FlushBatch();
+    return;
+  }
+  if (!flush_scheduled_) {
+    // One deadline tick per open batch; a tick finding the batch already
+    // flushed (by size) flushes whatever accumulated since, which is the
+    // deadline semantics those later transactions want anyway.
+    flush_scheduled_ = true;
+    auto tick = std::make_unique<TickMsg>();
+    tick->tag = kFlushTag;
+    ScheduleSelf(std::move(tick), options_.group_commit.max_delay_us);
+  }
+}
+
+void WarehouseProcess::FlushBatch() {
+  if (batch_.empty()) return;
+  store_.Commit(committed_count_);
+  if (versions_live_ != nullptr) {
+    versions_live_->Set(static_cast<int64_t>(store_.versions_live()));
+  }
+  if (batch_size_ != nullptr) {
+    batch_size_->Record(static_cast<int64_t>(batch_.size()));
+  }
+  if (commit_latency_us_ != nullptr) {
+    for (const Buffered& b : batch_) {
+      commit_latency_us_->Record(Now() - b.admitted_at);
+    }
+  }
+  batch_.clear();
+  MaybeSendCompactionStats();
+}
+
+void WarehouseProcess::Admit(InFlight in_flight) {
+  if (options_.group_commit.enabled) {
+    Enqueue(std::move(in_flight));
+  } else {
+    Commit(std::move(in_flight));
+  }
+}
+
+void WarehouseProcess::MaybeSendCompactionStats() {
+  if (compactor_ == kInvalidProcess) return;
+  if (committed_count_ - compaction_stats_last_ < compaction_stats_every_) {
+    return;
+  }
+  compaction_stats_last_ = committed_count_;
+  SendCompactionStats();
 }
 
 void WarehouseProcess::SendCompactionStats() {
@@ -169,7 +233,7 @@ void WarehouseProcess::RetryHeld() {
       if (DependenciesMet(held_[i].submitter, held_[i].txn)) {
         InFlight txn = std::move(held_[i]);
         held_.erase(held_.begin() + static_cast<ptrdiff_t>(i));
-        Commit(std::move(txn));
+        Admit(std::move(txn));
         progressed = true;
         break;
       }
@@ -326,7 +390,7 @@ void WarehouseProcess::OnMessage(ProcessId from, MessagePtr msg) {
             !DependenciesMet(in_flight.submitter, in_flight.txn)) {
           held_.push_back(std::move(in_flight));
         } else {
-          Commit(std::move(in_flight));
+          Admit(std::move(in_flight));
           RetryHeld();
         }
         return;
@@ -340,6 +404,12 @@ void WarehouseProcess::OnMessage(ProcessId from, MessagePtr msg) {
     }
     case Message::Kind::kTick: {
       auto* tick = static_cast<TickMsg*>(msg.get());
+      if (tick->tag == kFlushTag) {
+        // Group-commit deadline: publish whatever is buffered.
+        flush_scheduled_ = false;
+        FlushBatch();
+        return;
+      }
       if (tick->tag < 0) {
         // Query service delay elapsed: release the executor slot and
         // deliver the precomputed result.
@@ -360,7 +430,7 @@ void WarehouseProcess::OnMessage(ProcessId from, MessagePtr msg) {
           !DependenciesMet(in_flight.submitter, in_flight.txn)) {
         held_.push_back(std::move(in_flight));
       } else {
-        Commit(std::move(in_flight));
+        Admit(std::move(in_flight));
         RetryHeld();
       }
       return;

@@ -44,6 +44,23 @@
 
 namespace mvc {
 
+/// Group commit (scale-out ingest): transactions from independent merge
+/// groups are buffered and folded into one versioned-store commit,
+/// bounding the number of store versions (and snapshot churn) under a
+/// sharded ingest fan-in. The flat catalog, the commit observer, and the
+/// per-transaction acks all still advance one transaction at a time, so
+/// the consistency oracle and the merge processes are oblivious; only
+/// the version the MVCC read path sees is batched. Configured through
+/// SystemConfig::ingest.
+struct GroupCommitOptions {
+  bool enabled = false;
+  /// Flush when this many transactions are buffered.
+  size_t max_batch = 8;
+  /// Flush deadline: a buffered transaction waits at most this long for
+  /// the batch to fill. 0 flushes on the next scheduler step.
+  TimeMicros max_delay_us = 0;
+};
+
 struct WarehouseOptions {
   /// Fixed part of the per-transaction processing time.
   TimeMicros apply_delay = 0;
@@ -92,6 +109,10 @@ struct WarehouseOptions {
   /// Additional service time per 1000 distinct rows scanned, so big
   /// scans occupy the executor longer than point probes.
   TimeMicros query_cost_per_krow = 0;
+
+  /// Group commit (see GroupCommitOptions; wired from
+  /// SystemConfig::ingest.group_commit).
+  GroupCommitOptions group_commit;
 
   /// Past versions the MVCC store retains (see above).
   size_t EffectiveRetention() const {
@@ -166,7 +187,18 @@ class WarehouseProcess : public Process {
   bool DependenciesMet(ProcessId submitter,
                        const WarehouseTransaction& txn) const;
 
+  /// Applies the transaction (flat catalog, commit count, observer,
+  /// ack); the caller decides when the store version is published.
+  void Apply(const InFlight& in_flight);
   void Commit(InFlight in_flight);
+  /// Group-commit entry: applies the transaction to the flat catalog
+  /// (observer + ack fire per transaction, in order) but defers the
+  /// versioned-store publish to the batch flush.
+  void Enqueue(InFlight in_flight);
+  /// Publishes one store version covering every buffered transaction.
+  void FlushBatch();
+  /// Group commit on: Enqueue; off: Commit. Both end dependency-ready.
+  void Admit(InFlight in_flight);
   void RetryHeld();
 
   Status ApplyActionList(const ActionList& al);
@@ -192,6 +224,10 @@ class WarehouseProcess : public Process {
 
   /// Sends a stats snapshot to the compactor (post-commit trigger).
   void SendCompactionStats();
+  /// Threshold-crossing trigger: fires whenever the commit count has
+  /// advanced by at least stats_every_commits since the last send (a
+  /// batched flush may jump the counter past several multiples).
+  void MaybeSendCompactionStats();
 
   /// Applies/serves one compactor request: collapse (apply inline),
   /// squash fetch (pin + hand out a handle), squash swap (atomic
@@ -205,6 +241,10 @@ class WarehouseProcess : public Process {
   /// Background compaction (kInvalidProcess = disabled).
   ProcessId compactor_ = kInvalidProcess;
   int64_t compaction_stats_every_ = 0;
+  /// Commit count at the last stats send; the trigger is a threshold
+  /// crossing, not a modulus, so batched commits that jump the counter
+  /// by several transactions still report.
+  int64_t compaction_stats_last_ = 0;
   size_t compaction_detail_ = 0;
   /// Flat maintenance working copy: the state the commit observer (and
   /// the consistency oracle) sees, and the source of legacy clones.
@@ -230,6 +270,21 @@ class WarehouseProcess : public Process {
   int64_t next_query_ticket_ = 0;
   /// Committed txn ids per submitting merge process.
   std::map<ProcessId, std::set<int64_t>> committed_;
+  /// Group commit: transactions applied to the flat catalog but not yet
+  /// published as a store version, with their admission times (for the
+  /// ingest.commit_latency_us histogram).
+  struct Buffered {
+    int64_t txn_id = 0;
+    ProcessId submitter = kInvalidProcess;
+    TimeMicros admitted_at = 0;
+  };
+  std::vector<Buffered> batch_;
+  /// A flush tick (tag kFlushTag) is already in flight.
+  bool flush_scheduled_ = false;
+  /// Reserved self-tick tag for the group-commit flush timer; positive
+  /// transaction tickets start at 1 and query tickets are negative, so
+  /// 0 is free.
+  static constexpr int64_t kFlushTag = 0;
   /// Ring of past states for time-travel reads: history_[k] is the view
   /// catalog after commit number first_history_commit_ + k.
   std::deque<Catalog> history_;
@@ -247,6 +302,13 @@ class WarehouseProcess : public Process {
   obs::Counter* queries_shed_ = nullptr;
   /// Distinct rows examined per executed query (read.rows_scanned).
   obs::Histogram* rows_scanned_ = nullptr;
+  /// Transactions folded into each published store version
+  /// (ingest.batch_size); nullptr when observability or group commit is
+  /// off.
+  obs::Histogram* batch_size_ = nullptr;
+  /// Admission-to-publish wait per transaction under group commit
+  /// (ingest.commit_latency_us).
+  obs::Histogram* commit_latency_us_ = nullptr;
   std::function<void(ProcessId, const WarehouseTransaction&, const Catalog&,
                      TimeMicros)>
       observer_;

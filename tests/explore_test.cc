@@ -256,6 +256,103 @@ TEST(ScheduleExplorerTest, CompactionInterleavingsPreserveMvc) {
 }
 
 // ---------------------------------------------------------------------------
+// Sharded ingest under exploration: two integrator shards feeding two
+// merge groups. The MVC chain conditions must hold across shard
+// boundaries on EVERY interleaving of the two shards' independent
+// streams, and a shard that stamps its shard-local epoch instead of
+// drawing the cross-shard ticket must be caught with a small,
+// replayable counterexample.
+
+/// Two sources hosting disjoint single-relation views: the shard plan
+/// splits them onto two integrator shards and the exact partition gives
+/// each its own merge process.
+SystemConfig TwoShardScenario() {
+  SystemConfig config;
+  config.sources["srcL"] = {"R"};
+  config.sources["srcR"] = {"T"};
+  config.schemas["R"] = Schema::AllInt64({"A", "B"});
+  config.schemas["T"] = Schema::AllInt64({"C", "D"});
+  config.initial_data["R"] = {Tuple{1, 2}};
+  config.initial_data["T"] = {Tuple{3, 4}};
+  ViewDefinition vl;
+  vl.name = "VL";
+  vl.relations = {"R"};
+  ViewDefinition vr;
+  vr.name = "VR";
+  vr.relations = {"T"};
+  config.views = {vl, vr};
+  config.ingest.num_shards = 2;
+  config.ingest.fanout_merge = true;
+
+  Injection u1;
+  u1.at = 1000;
+  u1.source = "srcL";
+  u1.updates = {Update::Insert("srcL", "R", Tuple{5, 6})};
+  Injection u2;
+  u2.at = 2000;
+  u2.source = "srcR";
+  u2.updates = {Update::Insert("srcR", "T", Tuple{7, 8})};
+  config.workload = {u1, u2};
+  return config;
+}
+
+TEST(ScheduleExplorerTest, CrossShardInterleavingsPreserveMvc) {
+  ExploreOptions opt;
+  opt.delay_bound = 2;
+  opt.check = CheckLevel::kComplete;
+  ScheduleExplorer explorer(TwoShardScenario(), opt);
+  int64_t executions = 0;
+  explorer.SetExecutionObserver([&](const WarehouseSystem& system) {
+    // The explorer rebuilds the system from SystemConfig alone, so the
+    // sharded topology must survive the round trip on every execution.
+    ASSERT_EQ(system.integrator_shards().size(), 2u);
+    ASSERT_EQ(system.merges().size(), 2u);
+    EXPECT_EQ(system.tickets_issued(), 2);
+    ++executions;
+  });
+  auto report = explorer.Explore();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->violation.has_value()) << report->violation->message;
+  EXPECT_TRUE(report->exhausted);
+  EXPECT_GT(report->executions, 1);
+  EXPECT_GT(executions, 1);
+}
+
+TEST(ScheduleExplorerTest, DetectsDroppedCrossShardTicket) {
+  SystemConfig config = TwoShardScenario();
+  config.integrator.mutation_drop_ticket = true;
+  ExploreOptions opt;
+  opt.delay_bound = 2;
+  opt.max_steps = 500;
+  opt.check = CheckLevel::kComplete;
+  ExploreReport report = MustExplore(config, opt);
+  ASSERT_TRUE(report.violation.has_value())
+      << "dropped cross-shard ticket survived " << report.executions
+      << " executions";
+  EXPECT_LE(report.violation->schedule.size(), 20u);
+  EXPECT_NE(report.violation->message.find("two source transactions"),
+            std::string::npos)
+      << report.violation->message;
+
+  // The recorded schedule must reproduce the violation on a fresh
+  // system...
+  auto replay = ScheduleExplorer::Replay(config, report.violation->schedule,
+                                         CheckLevel::kComplete);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_FALSE(replay->verdict.ok());
+
+  // ...and a correctly ticketed system must pass the very same schedule
+  // (the mutation changes only the stamped numbers, not the message
+  // flow, so the schedule stays valid).
+  auto clean_replay = ScheduleExplorer::Replay(
+      TwoShardScenario(), report.violation->schedule, CheckLevel::kComplete);
+  if (clean_replay.ok()) {
+    EXPECT_TRUE(clean_replay->verdict.ok())
+        << clean_replay->verdict.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Mutation detection: deliberately broken paint rules must be caught,
 // with a small, replayable counterexample.
 

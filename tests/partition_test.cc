@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "merge/partition.h"
 #include "workload/paper_examples.h"
 
@@ -138,6 +140,133 @@ TEST(PartitionTest, SingletonGroupsSurviveBalancing) {
   EXPECT_EQ(groups[0].views, (std::vector<std::string>{"A"}));
   EXPECT_EQ(groups[1].views, (std::vector<std::string>{"B"}));
   EXPECT_EQ(groups[2].views, (std::vector<std::string>{"C"}));
+}
+
+TEST(PartitionTest, ViewRoutingCoversEveryViewExactlyOnce) {
+  // The routing map behind the merge fan-out: at every budget, every
+  // view resolves to exactly one live group, and that group contains it.
+  BoundView v1 = BindDef(PaperV1());
+  BoundView v2 = BindDef(PaperV2());
+  BoundView v3 = BindDef(PaperV3());
+  ViewDefinition tq;
+  tq.name = "Vq";
+  tq.relations = {"T", "Q"};
+  BoundView vq = BindDef(tq);
+  const std::vector<const BoundView*> views{&v1, &v2, &v3, &vq};
+  for (size_t budget = 1; budget <= 5; ++budget) {
+    auto groups = PartitionViewsInto(views, budget);
+    auto routing = ViewRouting(groups);
+    ASSERT_EQ(routing.size(), views.size()) << "budget " << budget;
+    for (const BoundView* view : views) {
+      auto it = routing.find(view->name());
+      ASSERT_NE(it, routing.end()) << view->name();
+      ASSERT_LT(it->second, groups.size());
+      const auto& members = groups[it->second].views;
+      EXPECT_NE(std::find(members.begin(), members.end(), view->name()),
+                members.end())
+          << "routing sent " << view->name() << " to a group without it";
+    }
+  }
+}
+
+TEST(PartitionTest, ViewRoutingStableUnderGroupMerges) {
+  // Remap stability: shrinking the budget merges groups but never
+  // splits one — views co-routed at budget k stay co-routed at every
+  // smaller budget.
+  BoundView v1 = BindDef(PaperV1());
+  BoundView v2 = BindDef(PaperV2());
+  BoundView v3 = BindDef(PaperV3());
+  ViewDefinition tq;
+  tq.name = "Vq";
+  tq.relations = {"T", "Q"};
+  BoundView vq = BindDef(tq);
+  const std::vector<const BoundView*> views{&v1, &v2, &v3, &vq};
+  std::vector<std::map<std::string, size_t>> routings;
+  for (size_t budget = 1; budget <= 4; ++budget) {
+    routings.push_back(ViewRouting(PartitionViewsInto(views, budget)));
+  }
+  for (size_t wide = 1; wide < routings.size(); ++wide) {
+    for (size_t narrow = 0; narrow < wide; ++narrow) {
+      for (const BoundView* a : views) {
+        for (const BoundView* b : views) {
+          if (routings[wide].at(a->name()) != routings[wide].at(b->name())) {
+            continue;
+          }
+          EXPECT_EQ(routings[narrow].at(a->name()),
+                    routings[narrow].at(b->name()))
+              << a->name() << " and " << b->name() << " split when the "
+              << "budget shrank from " << wide + 1 << " to " << narrow + 1;
+        }
+      }
+    }
+  }
+}
+
+TEST(PartitionTest, ShardPlanCoLocatesEachGroupsSources) {
+  // src0 hosts R,S; src1 hosts T; src2 hosts Q. Groups: {V1,V2} over
+  // R,S,T and {V3} over Q. src0 and src1 both host group-0 relations so
+  // they must share a shard; src2 is free to take its own.
+  BoundView v1 = BindDef(PaperV1());
+  BoundView v2 = BindDef(PaperV2());
+  BoundView v3 = BindDef(PaperV3());
+  auto groups = PartitionViews({&v1, &v2, &v3});
+  const std::map<std::string, std::vector<std::string>> sources{
+      {"src0", {"R", "S"}}, {"src1", {"T"}}, {"src2", {"Q"}}};
+  ShardPlan plan = PlanIntegratorShards(sources, groups, {}, 4);
+  EXPECT_EQ(plan.num_shards, 2u);
+  EXPECT_EQ(plan.ShardOf("src0"), plan.ShardOf("src1"));
+  EXPECT_NE(plan.ShardOf("src0"), plan.ShardOf("src2"));
+}
+
+TEST(PartitionTest, ShardPlanHonorsGlobalTxnCoLocation) {
+  // Disjoint groups would allow src0 and src2 to split, but a global
+  // transaction spanning them forces one shard.
+  BoundView v1 = BindDef(PaperV1());
+  BoundView v3 = BindDef(PaperV3());
+  auto groups = PartitionViews({&v1, &v3});
+  const std::map<std::string, std::vector<std::string>> sources{
+      {"src0", {"R", "S"}}, {"src2", {"Q"}}};
+  ShardPlan split = PlanIntegratorShards(sources, groups, {}, 2);
+  EXPECT_EQ(split.num_shards, 2u);
+  ShardPlan fused = PlanIntegratorShards(sources, groups,
+                                         {{"src0", "src2"}}, 2);
+  EXPECT_EQ(fused.num_shards, 1u);
+  EXPECT_EQ(fused.ShardOf("src0"), fused.ShardOf("src2"));
+}
+
+TEST(PartitionTest, ShardPlanBoundedByRequestAndBalanced) {
+  // Four independent single-source groups, budget two: every source is
+  // assigned, shard indexes stay dense, and the balance puts two
+  // clusters on each shard.
+  ViewDefinition r;
+  r.name = "VR";
+  r.relations = {"R"};
+  ViewDefinition s;
+  s.name = "VS";
+  s.relations = {"S"};
+  ViewDefinition t;
+  t.name = "VT";
+  t.relations = {"T"};
+  ViewDefinition q;
+  q.name = "VQ";
+  q.relations = {"Q"};
+  BoundView vr = BindDef(r);
+  BoundView vs = BindDef(s);
+  BoundView vt = BindDef(t);
+  BoundView vq = BindDef(q);
+  auto groups = PartitionViews({&vr, &vs, &vt, &vq});
+  const std::map<std::string, std::vector<std::string>> sources{
+      {"a", {"R"}}, {"b", {"S"}}, {"c", {"T"}}, {"d", {"Q"}}};
+  ShardPlan plan = PlanIntegratorShards(sources, groups, {}, 2);
+  EXPECT_EQ(plan.num_shards, 2u);
+  std::map<size_t, size_t> population;
+  for (const auto& [source, shard] : plan.shard_of_source) {
+    ASSERT_LT(shard, plan.num_shards);
+    ++population[shard];
+  }
+  ASSERT_EQ(plan.shard_of_source.size(), sources.size());
+  EXPECT_EQ(population[0], 2u);
+  EXPECT_EQ(population[1], 2u);
 }
 
 TEST(PartitionTest, SingletonViewGroupAmongLargerGroups) {

@@ -4,6 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "query/evaluator.h"
 #include "system/warehouse_system.h"
 #include "workload/generator.h"
 
@@ -227,6 +232,230 @@ std::vector<SweepCase> BuildSweep() {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, MvcPropertyTest,
                          ::testing::ValuesIn(BuildSweep()), CaseName);
+
+// ---------------------------------------------------------------------------
+// Cross-shard ingest sweep.
+//
+// Two independent source clusters; inside each cluster the views join
+// relations hosted by BOTH of its sources (intertwined view groups), so
+// the shard planner must co-locate each cluster onto one integrator
+// shard and the exact partition yields one merge process per cluster.
+// Randomized single-source and cluster-local global transactions flow
+// through both shards concurrently while a reader pool observes the
+// warehouse. Every reader observation must equal the oracle catalog at
+// exactly its as_of_commit — on the simulator and on real threads, with
+// group commit on and off.
+
+struct CrossShardCase {
+  std::string name;
+  uint64_t seed;
+  bool use_threads;
+  bool group_commit;
+};
+
+std::string CrossShardCaseName(
+    const ::testing::TestParamInfo<CrossShardCase>& info) {
+  return info.param.name;
+}
+
+/// Two-relation join view with an explicit two-column projection.
+ViewDefinition JoinView(const char* name, const char* lr, const char* lc,
+                        const char* rr, const char* rc) {
+  ViewDefinition def;
+  def.name = name;
+  def.relations = {lr, rr};
+  def.predicate = Predicate::ColEqCol(ColumnRef{lr, lc}, ColumnRef{rr, rc});
+  def.projection = {ColumnRef{lr, lc}, ColumnRef{rr, rc}};
+  return def;
+}
+
+/// Builds the two-cluster scenario; `*numbered_units` receives the
+/// number of units the integrators will sequence (global transactions
+/// merge into one unit each).
+SystemConfig MakeCrossShardConfig(const CrossShardCase& c,
+                                  size_t* numbered_units) {
+  SystemConfig config;
+  config.sources["srcA0"] = {"R", "S"};
+  config.sources["srcA1"] = {"T"};
+  config.sources["srcB0"] = {"U", "W"};
+  config.sources["srcB1"] = {"X"};
+  config.schemas["R"] = Schema::AllInt64({"A", "B"});
+  config.schemas["S"] = Schema::AllInt64({"B", "C"});
+  config.schemas["T"] = Schema::AllInt64({"C", "D"});
+  config.schemas["U"] = Schema::AllInt64({"E", "F"});
+  config.schemas["W"] = Schema::AllInt64({"F", "G"});
+  config.schemas["X"] = Schema::AllInt64({"G", "H"});
+  config.initial_data["R"] = {Tuple{1, 2}};
+  config.initial_data["T"] = {Tuple{3, 4}};
+  config.initial_data["U"] = {Tuple{1, 2}};
+  config.initial_data["X"] = {Tuple{3, 4}};
+  // Cluster A: VA1 spans srcA0's relations, VA2 spans srcA0 and srcA1
+  // (S is shared, so both views land in one merge group). Cluster B is
+  // the mirror image over U/W/X.
+  config.views = {JoinView("VA1", "R", "B", "S", "B"),
+                  JoinView("VA2", "S", "C", "T", "C"),
+                  JoinView("VB1", "U", "F", "W", "F"),
+                  JoinView("VB2", "W", "G", "X", "G")};
+
+  config.ingest.num_shards = 2;
+  config.ingest.fanout_merge = true;
+  config.ingest.group_commit.enabled = c.group_commit;
+  config.ingest.group_commit.max_batch = 4;
+  config.ingest.group_commit.max_delay_us = 3000;
+  config.merge.policy = SubmissionPolicy::kHoldDependents;
+  config.latency = LatencyModel::Uniform(200, 3000);
+  config.warehouse.apply_delay = 50;
+  config.warehouse.apply_jitter = 2000;
+  config.warehouse.seed = c.seed * 13 + 1;
+  config.seed = c.seed * 7 + 3;
+  config.use_threads = c.use_threads;
+
+  // Randomized workload: mostly single-source transactions on a random
+  // relation; a fraction are global transactions joining both sources
+  // of one cluster (the shard plan keeps the participants co-located).
+  const std::map<std::string, std::vector<std::string>> hosted = {
+      {"srcA0", {"R", "S"}},
+      {"srcA1", {"T"}},
+      {"srcB0", {"U", "W"}},
+      {"srcB1", {"X"}}};
+  const std::vector<std::string> source_names = {"srcA0", "srcA1", "srcB0",
+                                                 "srcB1"};
+  Rng rng(c.seed * 31 + 7);
+  TimeMicros at = 0;
+  int64_t next_global = 0;
+  *numbered_units = 0;
+  auto random_insert = [&](const std::string& source) {
+    const std::vector<std::string>& relations = hosted.at(source);
+    const std::string& relation = relations[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(relations.size()) - 1))];
+    return Update::Insert(source, relation,
+                          Tuple{rng.UniformInt(0, 4), rng.UniformInt(0, 4)});
+  };
+  for (int t = 0; t < 32; ++t) {
+    at += static_cast<TimeMicros>(rng.Exponential(800.0));
+    ++*numbered_units;
+    if (rng.Bernoulli(0.25)) {
+      // Cluster-local global transaction: one part per source.
+      const bool cluster_a = rng.Bernoulli(0.5);
+      ++next_global;
+      for (const char* source :
+           {cluster_a ? "srcA0" : "srcB0", cluster_a ? "srcA1" : "srcB1"}) {
+        Injection part;
+        part.at = at;
+        part.source = source;
+        part.updates = {random_insert(source)};
+        part.global_txn_id = next_global;
+        part.global_participants = 2;
+        config.workload.push_back(std::move(part));
+      }
+      continue;
+    }
+    Injection inj;
+    inj.at = at;
+    inj.source = source_names[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(source_names.size()) - 1))];
+    inj.updates = {random_insert(inj.source)};
+    config.workload.push_back(std::move(inj));
+  }
+  return config;
+}
+
+class CrossShardPropertyTest
+    : public ::testing::TestWithParam<CrossShardCase> {};
+
+TEST_P(CrossShardPropertyTest, ReadersObserveOracleStatesAcrossShards) {
+  const CrossShardCase& c = GetParam();
+  size_t numbered_units = 0;
+  auto system =
+      WarehouseSystem::Build(MakeCrossShardConfig(c, &numbered_units));
+  ASSERT_TRUE(system.ok()) << system.status().ToString();
+  ASSERT_EQ((*system)->integrator_shards().size(), 2u);
+  ASSERT_EQ((*system)->merges().size(), 2u);
+
+  ReaderPoolOptions pool;
+  pool.num_readers = 3;
+  pool.reads_per_reader = 10;
+  pool.mean_interval_us = 2500.0;
+  pool.seed = c.seed;
+  std::vector<WarehouseReader*> readers = (*system)->AttachReaderPool(pool);
+  (*system)->Run();
+
+  const ConsistencyRecorder& recorder = (*system)->recorder();
+  ConsistencyChecker checker = (*system)->MakeChecker();
+  EXPECT_TRUE(checker.CheckComplete(recorder).ok())
+      << checker.CheckComplete(recorder);
+  EXPECT_EQ(recorder.updates().size(), numbered_units);
+  EXPECT_EQ((*system)->tickets_issued(),
+            static_cast<int64_t>(numbered_units));
+
+  // Oracle catalog at commit 0: every view evaluated over the initial
+  // base state. Commits >= 1 come from the recorder's snapshots.
+  std::map<std::string, Table> initial;
+  TableProviderFn provider = CatalogProvider(&(*system)->initial_base());
+  for (const BoundView& view : (*system)->bound_views()) {
+    auto table = ViewEvaluator::Evaluate(view, provider);
+    ASSERT_TRUE(table.ok()) << table.status().ToString();
+    initial.emplace(view.name(), *std::move(table));
+  }
+
+  size_t checked = 0;
+  for (const WarehouseReader* reader : readers) {
+    ASSERT_EQ(reader->observations().size(), pool.reads_per_reader);
+    for (const auto& obs : reader->observations()) {
+      ASSERT_TRUE(obs.ok()) << obs.error;
+      ASSERT_EQ(obs.snapshots.size(), 4u);
+      ASSERT_GE(obs.as_of_commit, 0);
+      ASSERT_LE(obs.as_of_commit,
+                static_cast<int64_t>(recorder.commits().size()));
+      for (const Table& got : obs.snapshots) {
+        if (obs.as_of_commit == 0) {
+          auto it = initial.find(got.name());
+          ASSERT_NE(it, initial.end()) << "unknown view " << got.name();
+          EXPECT_TRUE(got.ContentsEqual(it->second))
+              << c.name << ": view " << got.name()
+              << " torn at commit 0.\nExpected:\n"
+              << it->second.ToString() << "Actual:\n"
+              << got.ToString();
+        } else {
+          const Catalog& oracle =
+              recorder.commits()[static_cast<size_t>(obs.as_of_commit) - 1]
+                  .view_snapshot;
+          auto want = oracle.GetTable(got.name());
+          ASSERT_TRUE(want.ok()) << "unknown view " << got.name();
+          EXPECT_TRUE(got.ContentsEqual(**want))
+              << c.name << ": view " << got.name() << " torn at commit "
+              << obs.as_of_commit << ".\nExpected:\n"
+              << (*want)->ToString() << "Actual:\n"
+              << got.ToString();
+        }
+        ++checked;
+      }
+    }
+  }
+  EXPECT_EQ(checked, pool.num_readers * pool.reads_per_reader * 4u);
+}
+
+std::vector<CrossShardCase> BuildCrossShardSweep() {
+  std::vector<CrossShardCase> cases;
+  for (uint64_t seed : {1, 2, 3}) {
+    for (bool threads : {false, true}) {
+      for (bool group_commit : {false, true}) {
+        CrossShardCase c;
+        c.name = StrCat("s", seed, threads ? "_thread" : "_sim",
+                        group_commit ? "_gc" : "_solo");
+        c.seed = seed;
+        c.use_threads = threads;
+        c.group_commit = group_commit;
+        cases.push_back(std::move(c));
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(CrossShard, CrossShardPropertyTest,
+                         ::testing::ValuesIn(BuildCrossShardSweep()),
+                         CrossShardCaseName);
 
 }  // namespace
 }  // namespace mvc

@@ -17,16 +17,19 @@
 // emit with --json: either the legacy bare array of records, or the
 // schema-tagged object form {"schema": "<known name>", "records": [...]}
 // (known: mvc-bench-read-v1, mvc-bench-compact-v1, mvc-bench-vut-v1,
-// mvc-bench-serve-v1). Every record needs a unique non-empty "name", a
-// positive "iterations", a non-negative "ns_per_op", and (optionally) a
-// non-negative "allocations" — required, not optional, under
-// mvc-bench-vut-v1, whose whole point is the allocation counts. The
-// serve schema additionally carries a "summary" object whose invariants
-// encode the read-tier acceptance bar: positive p99s and speedup, and
-// under saturation answered == issued with shed > 0 and timeouts == 0
-// (admission control sheds with explicit responses; nothing dangles).
-// CI smoke jobs run this against freshly produced bench artifacts
-// before uploading them.
+// mvc-bench-serve-v1, mvc-bench-ingest-v1). Every record needs a unique
+// non-empty "name", a positive "iterations", a non-negative "ns_per_op",
+// and (optionally) a non-negative "allocations" — required, not
+// optional, under mvc-bench-vut-v1, whose whole point is the allocation
+// counts. The serve schema additionally carries a "summary" object
+// whose invariants encode the read-tier acceptance bar: positive p99s
+// and speedup, and under saturation answered == issued with shed > 0
+// and timeouts == 0 (admission control sheds with explicit responses;
+// nothing dangles). The ingest schema's summary encodes the scale-out
+// bar: committed == issued > 0 (no transaction lost crossing shard
+// boundaries), the per-shard sequenced counts sum to the total, and
+// both commit-latency p99s are positive. CI smoke jobs run this against
+// freshly produced bench artifacts before uploading them.
 
 #include <algorithm>
 #include <cstdint>
@@ -175,7 +178,7 @@ void Check(const obs::JsonValue& root) {
 /// Bench artifact schemas --check-bench accepts in the tagged form.
 const char* const kKnownBenchSchemas[] = {
     "mvc-bench-read-v1", "mvc-bench-compact-v1", "mvc-bench-vut-v1",
-    "mvc-bench-serve-v1"};
+    "mvc-bench-serve-v1", "mvc-bench-ingest-v1"};
 
 /// Resolves the records array of a bench artifact: the legacy form is a
 /// bare array; the tagged form wraps it as {"schema", "records"} and the
@@ -257,6 +260,77 @@ void CheckServeSummary(const obs::JsonValue& root) {
   }
 }
 
+/// mvc-bench-ingest-v1 invariants: every issued transaction must have
+/// committed (nothing lost crossing shard boundaries or inside a group
+/// commit batch), the per-shard sequenced counts must account for the
+/// whole stream, and both commit-latency p99s must be positive — an
+/// ingest artifact where shards dropped or double-counted transactions
+/// must not pass CI.
+void CheckIngestSummary(const obs::JsonValue& root) {
+  const obs::JsonValue* summary = root.Find("summary");
+  if (summary == nullptr || !summary->is_object()) {
+    Fail("mvc-bench-ingest-v1 file without a \"summary\" object");
+    return;
+  }
+  auto number = [&](const char* key) -> const obs::JsonValue* {
+    const obs::JsonValue* v = summary->Find(key);
+    if (v == nullptr || !v->is_number()) {
+      Fail(std::string("ingest summary without a numeric \"") + key + "\"");
+      return nullptr;
+    }
+    return v;
+  };
+  const obs::JsonValue* issued = number("issued");
+  const obs::JsonValue* committed = number("committed");
+  const obs::JsonValue* num_shards = number("num_shards");
+  const obs::JsonValue* speedup = number("throughput_speedup");
+  const obs::JsonValue* baseline_p99 = number("baseline_commit_p99_us");
+  const obs::JsonValue* scaled_p99 = number("scaled_commit_p99_us");
+  if (issued != nullptr && issued->AsInt() <= 0) {
+    Fail("ingest summary issued no transactions");
+  }
+  if (issued != nullptr && committed != nullptr &&
+      committed->AsInt() != issued->AsInt()) {
+    Fail("ingest summary committed " + std::to_string(committed->AsInt()) +
+         " of " + std::to_string(issued->AsInt()) +
+         " issued transactions (updates were lost)");
+  }
+  if (speedup != nullptr && speedup->number <= 0) {
+    Fail("ingest summary throughput_speedup is not positive");
+  }
+  if (baseline_p99 != nullptr && baseline_p99->AsInt() <= 0) {
+    Fail("ingest summary baseline_commit_p99_us is not positive");
+  }
+  if (scaled_p99 != nullptr && scaled_p99->AsInt() <= 0) {
+    Fail("ingest summary scaled_commit_p99_us is not positive");
+  }
+  const obs::JsonValue* per_shard = summary->Find("per_shard_sequenced");
+  if (per_shard == nullptr || !per_shard->is_array()) {
+    Fail("ingest summary without a \"per_shard_sequenced\" array");
+    return;
+  }
+  if (num_shards != nullptr && per_shard->array.size() !=
+                                   static_cast<size_t>(num_shards->AsInt())) {
+    Fail("ingest summary per_shard_sequenced has " +
+         std::to_string(per_shard->array.size()) + " entries for " +
+         std::to_string(num_shards->AsInt()) + " shards");
+  }
+  int64_t sequenced = 0;
+  for (const obs::JsonValue& entry : per_shard->array) {
+    if (!entry.is_number() || entry.AsInt() < 0) {
+      Fail("ingest summary per_shard_sequenced entry is not a count");
+      return;
+    }
+    sequenced += entry.AsInt();
+  }
+  if (issued != nullptr && sequenced != issued->AsInt()) {
+    Fail("ingest summary per-shard counts sum to " +
+         std::to_string(sequenced) + " but " +
+         std::to_string(issued->AsInt()) +
+         " transactions were issued (shards dropped or double-counted)");
+  }
+}
+
 void CheckBench(const obs::JsonValue& root, std::string* schema_out,
                 size_t* record_count) {
   const obs::JsonValue* records = BenchRecords(root, schema_out);
@@ -304,6 +378,7 @@ void CheckBench(const obs::JsonValue& root, std::string* schema_out,
     }
   }
   if (*schema_out == "mvc-bench-serve-v1") CheckServeSummary(root);
+  if (*schema_out == "mvc-bench-ingest-v1") CheckIngestSummary(root);
 }
 
 /// Estimated q-quantile from non-cumulative {le, count} buckets.

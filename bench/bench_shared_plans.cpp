@@ -1,0 +1,287 @@
+// Self-maintenance with shared delta plans (ROADMAP item 3, src/maint/).
+//
+// The dashboard scenario the plan exists for: 24 views over four base
+// relations, built as 6 join/selection shapes x 4 projection variants.
+// Views that differ only in projection share their *entire* delta
+// chains; shapes sharing join prefixes share the prefix nodes. The
+// per-view architecture re-evaluates every chain step once per view per
+// relevant update — and, with Strobe-style query rounds enabled, also
+// round-trips to the sources for every update. The shared-plan
+// SelfMaintainingVm evaluates each distinct node once per update and
+// answers everything from its auxiliary store.
+//
+// Two claims are measured, in the same unit (delta chain steps):
+//
+//   1. sharing: the shared plan must run at most 0.5x the chain-step
+//      evaluations of the per-view path at 24 views;
+//   2. self-maintenance: the per-view path issues a query round per
+//      relevant update, the shared path issues none and reports every
+//      AL as a round avoided.
+//
+//   bench_shared_plans [--tiny] [--json[=PATH]]
+//
+// --tiny shrinks the update stream for CI smoke runs; --json writes
+// BENCH_maint.json (schema mvc-bench-maint-v1, validated by
+// `mvc_stats --check-bench`: shared_evals < per_view_evals, zero query
+// rounds on the shared path, positive p99s).
+
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "system/warehouse_system.h"
+
+namespace mvc {
+namespace {
+
+/// One source hosting four relations chained on shared attributes:
+/// r0(A,J0,P0), r1(J0,J1,P1), r2(J1,J2,P2), r3(J2,J3,P3).
+SystemConfig DashboardConfig(int64_t num_updates, uint64_t seed) {
+  SystemConfig config;
+  const std::vector<std::vector<std::string>> cols = {
+      {"A", "J0", "P0"}, {"J0", "J1", "P1"}, {"J1", "J2", "P2"},
+      {"J2", "J3", "P3"}};
+  config.sources["src0"] = {"r0", "r1", "r2", "r3"};
+  for (size_t r = 0; r < cols.size(); ++r) {
+    config.schemas["r" + std::to_string(r)] = Schema::AllInt64(cols[r]);
+  }
+
+  // Initial rows: join attributes from a small domain so chains connect.
+  Rng rng(seed);
+  for (size_t r = 0; r < cols.size(); ++r) {
+    std::vector<Tuple> rows;
+    for (int i = 0; i < 12; ++i) {
+      rows.push_back(Tuple{rng.UniformInt(0, 7), rng.UniformInt(0, 7),
+                           rng.UniformInt(0, 49)});
+    }
+    config.initial_data["r" + std::to_string(r)] = rows;
+  }
+
+  // 6 shapes x 4 projection variants = 24 views. Shapes: chains
+  // [r0,r1], [r0,r1,r2], [r1,r2], [r1,r2,r3], [r2,r3] and a selective
+  // variant of the first; projections: all columns, first, last,
+  // first+last of the shape's full output.
+  struct Shape {
+    std::vector<std::string> rels;
+    int64_t p1_less_than;  // 0 = no extra selection
+  };
+  const std::vector<Shape> shapes = {
+      {{"r0", "r1"}, 0},       {{"r0", "r1", "r2"}, 0},
+      {{"r1", "r2"}, 0},       {{"r1", "r2", "r3"}, 0},
+      {{"r2", "r3"}, 0},       {{"r0", "r1"}, 25}};
+  int v = 0;
+  for (const Shape& shape : shapes) {
+    std::vector<Predicate> preds;
+    for (size_t i = 0; i + 1 < shape.rels.size(); ++i) {
+      // Join column: r_k and r_{k+1} share attribute J_k.
+      const std::string join_col =
+          "J" + std::to_string(shape.rels[i][1] - '0');
+      preds.push_back(Predicate::ColEqCol(
+          ColumnRef{shape.rels[i], join_col},
+          ColumnRef{shape.rels[i + 1], join_col}));
+    }
+    if (shape.p1_less_than != 0) {
+      preds.push_back(Predicate::ColCmpConst(
+          CompareOp::kLt, ColumnRef{"r1", "P1"}, shape.p1_less_than));
+    }
+    // Full output columns of the shape, for projection variants.
+    std::vector<ColumnRef> all;
+    for (const std::string& rel : shape.rels) {
+      for (const std::string& col : cols[rel[1] - '0']) {
+        all.push_back(ColumnRef{rel, col});
+      }
+    }
+    for (int variant = 0; variant < 4; ++variant) {
+      ViewDefinition def;
+      def.name = "dash" + std::to_string(v++);
+      def.relations = shape.rels;
+      def.predicate = Predicate::And(preds);
+      switch (variant) {
+        case 0:
+          break;  // all columns
+        case 1:
+          def.projection = {all.front()};
+          break;
+        case 2:
+          def.projection = {all.back()};
+          break;
+        case 3:
+          def.projection = {all.front(), all.back()};
+          break;
+      }
+      config.views.push_back(std::move(def));
+    }
+  }
+
+  // Update stream: single-update transactions round-robining over the
+  // relations, values drawn from the same domains.
+  TimeMicros at = 1000;
+  for (int64_t i = 0; i < num_updates; ++i) {
+    const std::string rel = "r" + std::to_string(i % 4);
+    Injection inj;
+    inj.at = at;
+    inj.source = "src0";
+    inj.updates = {Update::Insert(
+        "src0", rel,
+        Tuple{rng.UniformInt(0, 7), rng.UniformInt(0, 7),
+              rng.UniformInt(0, 49)})};
+    config.workload.push_back(std::move(inj));
+    at += 500;
+  }
+
+  config.collect_metrics = true;
+  config.collect_trace = true;
+  config.latency = LatencyModel::Uniform(100, 400);
+  config.seed = seed;
+  // Oracle snapshots are O(views) per commit; the maintenance-
+  // equivalence battery covers correctness separately.
+  config.record_snapshots = false;
+  return config;
+}
+
+struct MaintResult {
+  int64_t updates = 0;
+  int64_t commits = 0;
+  int64_t chain_step_evals = 0;
+  int64_t query_rounds = 0;
+  int64_t query_rounds_avoided = 0;
+  int64_t aux_bytes = 0;
+  int64_t makespan_us = 0;
+  int64_t commit_p99_us = 0;
+};
+
+MaintResult Run(SystemConfig config, bool self_maintain) {
+  config.maint.self_maintain = self_maintain;
+  if (!self_maintain) {
+    // Strobe-style: every relevant update answered by a source round.
+    config.vm_options.issue_query_round = true;
+  }
+  auto system = WarehouseSystem::Build(std::move(config));
+  MVC_CHECK(system.ok()) << system.status().ToString();
+  (*system)->Run();
+
+  MaintResult r;
+  r.updates = static_cast<int64_t>((*system)->recorder().updates().size());
+  r.commits = static_cast<int64_t>((*system)->recorder().commits().size());
+  r.makespan_us = (*system)->runtime().Now();
+  if (self_maintain) {
+    MVC_CHECK(!(*system)->maint_vms().empty());
+    MVC_CHECK((*system)->view_managers().empty());
+    for (const auto& vm : (*system)->maint_vms()) {
+      r.chain_step_evals += vm->shared_node_evals();
+      r.query_rounds_avoided += vm->query_rounds_avoided();
+      r.aux_bytes += vm->aux_bytes();
+    }
+  } else {
+    for (const auto& vm : (*system)->view_managers()) {
+      // The per-view path walks the full delta chain of the view for
+      // every relevant update: width chain steps each (single-update
+      // transactions), the same unit the shared plan counts.
+      r.chain_step_evals +=
+          vm->updates_received() *
+          static_cast<int64_t>(vm->view().num_relations());
+      r.query_rounds += vm->query_rounds_issued();
+    }
+  }
+  const obs::MetricsSnapshot snapshot = (*system)->MetricsSnapshot();
+  const obs::HistogramSnapshot* latency =
+      obs::FindHistogram(snapshot, "update.commit_latency_us");
+  MVC_CHECK(latency != nullptr) << "update.commit_latency_us not recorded";
+  MVC_CHECK(latency->count > 0);
+  r.commit_p99_us = latency->Quantile(0.99);
+  return r;
+}
+
+int Main(int argc, char** argv) {
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) tiny = true;
+  }
+  const std::string json_path =
+      bench::JsonOutputPath(argc, argv, "BENCH_maint.json");
+
+  const int64_t num_updates = tiny ? 40 : 200;
+  const uint64_t seed = 17;
+
+  MaintResult per_view = Run(DashboardConfig(num_updates, seed), false);
+  MaintResult shared = Run(DashboardConfig(num_updates, seed), true);
+  MVC_CHECK(per_view.commits == shared.commits)
+      << per_view.commits << " vs " << shared.commits;
+
+  bench::TablePrinter table({"path", "updates", "chain_step_evals",
+                             "query_rounds", "rounds_avoided",
+                             "commit_p99_us"});
+  table.AddRow("per-view", per_view.updates, per_view.chain_step_evals,
+               per_view.query_rounds, int64_t{0}, per_view.commit_p99_us);
+  table.AddRow("shared", shared.updates, shared.chain_step_evals,
+               int64_t{0}, shared.query_rounds_avoided,
+               shared.commit_p99_us);
+  table.Print();
+
+  const double eval_ratio =
+      static_cast<double>(shared.chain_step_evals) /
+      static_cast<double>(per_view.chain_step_evals);
+  std::cout << "\n24-view dashboard, " << num_updates
+            << " updates: shared plan ran " << shared.chain_step_evals
+            << " chain-step evals vs " << per_view.chain_step_evals
+            << " per-view (" << std::fixed << std::setprecision(3)
+            << eval_ratio << "x); " << shared.query_rounds_avoided
+            << " source query rounds avoided (per-view path issued "
+            << per_view.query_rounds << "); auxiliary store ~"
+            << shared.aux_bytes << " bytes\n";
+
+  // The acceptance bars (ROADMAP item 3): sharing must at least halve
+  // the evaluation work at 24 views, and the shared path must answer
+  // every update without a single source round trip.
+  MVC_CHECK(eval_ratio <= 0.5)
+      << "shared plan only reached " << eval_ratio << "x of per-view";
+  MVC_CHECK(per_view.query_rounds > 0)
+      << "per-view baseline never issued a query round";
+  MVC_CHECK(shared.query_rounds == 0);
+  MVC_CHECK(shared.query_rounds_avoided > 0);
+  MVC_CHECK(shared.aux_bytes > 0);
+
+  if (!json_path.empty()) {
+    std::vector<bench::BenchRecord> records;
+    records.push_back(bench::BenchRecord{
+        "maint/per_view/chain_steps", per_view.chain_step_evals,
+        static_cast<double>(per_view.makespan_us) * 1000.0 /
+            static_cast<double>(per_view.chain_step_evals),
+        -1});
+    records.push_back(bench::BenchRecord{
+        "maint/shared/chain_steps", shared.chain_step_evals,
+        static_cast<double>(shared.makespan_us) * 1000.0 /
+            static_cast<double>(shared.chain_step_evals),
+        -1});
+    std::ofstream out(json_path);
+    MVC_CHECK(out.good()) << "cannot open " << json_path;
+    out << "{\n  \"schema\": \"mvc-bench-maint-v1\",\n  \"records\": ";
+    bench::WriteBenchRecordsArray(out, records, "    ", "  ");
+    out << "  ,\n  \"summary\": {\"views\": 24"
+        << ", \"updates\": " << shared.updates
+        << ", \"per_view_evals\": " << per_view.chain_step_evals
+        << ", \"shared_evals\": " << shared.chain_step_evals
+        << ", \"eval_ratio\": " << std::fixed << std::setprecision(4)
+        << eval_ratio
+        << ", \"per_view_query_rounds\": " << per_view.query_rounds
+        << ", \"shared_query_rounds\": " << shared.query_rounds
+        << ", \"query_rounds_avoided\": " << shared.query_rounds_avoided
+        << ", \"aux_bytes\": " << shared.aux_bytes
+        << ", \"per_view_commit_p99_us\": " << per_view.commit_p99_us
+        << ", \"shared_commit_p99_us\": " << shared.commit_p99_us
+        << "}\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mvc
+
+int main(int argc, char** argv) { return mvc::Main(argc, argv); }

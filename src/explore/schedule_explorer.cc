@@ -151,14 +151,18 @@ bool ParseCheckLevel(const std::string& text, CheckLevel* out) {
 CheckLevel DeriveCheckLevel(const SystemConfig& config) {
   bool any_convergent = false;
   bool all_complete = true;
-  for (const ViewDefinition& view : config.views) {
-    ManagerKind kind = ManagerKind::kComplete;
-    auto it = config.manager_kinds.find(view.name);
-    if (it != config.manager_kinds.end()) kind = it->second;
-    // Aggregate views always get an AggregateViewManager (batching).
-    if (config.aggregates.count(view.name) > 0) kind = ManagerKind::kStrong;
-    if (kind == ManagerKind::kConvergent) any_convergent = true;
-    if (kind != ManagerKind::kComplete) all_complete = false;
+  // Self-maintaining group managers emit complete-level action lists for
+  // every view (Build rejects any other manager_kinds with them).
+  if (!config.maint.self_maintain) {
+    for (const ViewDefinition& view : config.views) {
+      ManagerKind kind = ManagerKind::kComplete;
+      auto it = config.manager_kinds.find(view.name);
+      if (it != config.manager_kinds.end()) kind = it->second;
+      // Aggregate views always get an AggregateViewManager (batching).
+      if (config.aggregates.count(view.name) > 0) kind = ManagerKind::kStrong;
+      if (kind == ManagerKind::kConvergent) any_convergent = true;
+      if (kind != ManagerKind::kComplete) all_complete = false;
+    }
   }
   if (any_convergent) return CheckLevel::kConvergent;
   if (!config.auto_algorithm &&

@@ -195,10 +195,14 @@ void IntegratorProcess::ProcessTransaction(SourceTransaction txn) {
     }
   }
 
-  // Copy of U_i to each relevant view manager.
+  // Copy of U_i to each relevant view manager. Several views may share
+  // one manager process (self-maintaining group managers); each process
+  // gets exactly one copy.
   std::set<ProcessId> carried;  // merge groups whose REL was assigned
+  std::set<ProcessId> sent;
   for (ViewId view : rel) {
     const ViewRoute& route = views_[view];
+    if (!sent.insert(route.view_manager).second) continue;
     auto update_msg = std::make_unique<UpdateMsg>();
     update_msg->update_id = update_id;
     update_msg->shard = shard_;

@@ -1,0 +1,78 @@
+#include "maint/aux_planner.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace mvc {
+
+const AuxiliaryView& AuxPlan::AuxFor(const std::string& view,
+                                     size_t rel_idx) const {
+  auto it = view_aux.find(view);
+  MVC_CHECK(it != view_aux.end()) << "view '" << view
+                                  << "' has no auxiliary plan";
+  MVC_CHECK(rel_idx < it->second.size());
+  return auxiliaries[it->second[rel_idx]];
+}
+
+std::string AuxFilterSignature(const BoundView& view, size_t rel) {
+  const std::string& relation = view.relation(rel);
+  std::vector<std::string> parts;
+  for (const BoundView::Conjunct& conj : view.conjuncts()) {
+    const bool single_relation =
+        conj.relations.size() == 1 && conj.relations[0] == rel;
+    const bool constant = conj.relations.empty();
+    if (!single_relation && !constant) continue;
+    // Qualify every reference so textually different but equivalent
+    // spellings ("price" vs "R.price") collapse to one signature.
+    Predicate qualified =
+        conj.unbound.RewriteColumns([&](const ColumnRef& ref) {
+          return ColumnRef{constant ? ref.relation : relation, ref.column};
+        });
+    parts.push_back(qualified.ToString());
+  }
+  std::sort(parts.begin(), parts.end());
+  return StrCat("sigma[", JoinToString(parts, " AND "), "](", relation, ")");
+}
+
+Result<AuxPlan> PlanAuxiliaries(const std::vector<const BoundView*>& views,
+                                size_t name_offset) {
+  AuxPlan plan;
+  std::map<std::string, size_t> by_signature;
+  for (const BoundView* view : views) {
+    MVC_CHECK(view != nullptr);
+    std::vector<size_t>& slots = plan.view_aux[view->name()];
+    if (!slots.empty()) {
+      return Status::InvalidArgument(
+          StrCat("view '", view->name(), "' planned twice"));
+    }
+    for (size_t r = 0; r < view->num_relations(); ++r) {
+      const std::string signature = AuxFilterSignature(*view, r);
+      auto [it, inserted] =
+          by_signature.emplace(signature, plan.auxiliaries.size());
+      if (inserted) {
+        AuxiliaryView aux;
+        aux.name = StrCat("aux:", view->relation(r), "#",
+                          name_offset + plan.auxiliaries.size());
+        aux.relation = view->relation(r);
+        aux.signature = signature;
+        aux.filter_view = view;
+        const Schema& base = view->relation_schema(r);
+        std::vector<Column> cols;
+        cols.reserve(base.num_columns());
+        for (size_t c = 0; c < base.num_columns(); ++c) {
+          Column col = base.column(c);
+          col.name = StrCat(aux.relation, ".", col.name);
+          cols.push_back(std::move(col));
+        }
+        aux.schema = Schema(std::move(cols));
+        plan.auxiliaries.push_back(std::move(aux));
+      }
+      plan.auxiliaries[it->second].dependent_views.push_back(view->name());
+      slots.push_back(it->second);
+    }
+  }
+  return plan;
+}
+
+}  // namespace mvc

@@ -1,0 +1,81 @@
+// Auxiliary-view planning for self-maintainable join views
+// (Ross/Srivastava/Sudarshan; seeded by examples/auxiliary_views.cpp).
+//
+// An SPJ view R1 ⋈ ... ⋈ Rn is self-maintainable once the warehouse
+// keeps, for every base relation Ri, the auxiliary view
+//
+//   Ai = sigma_{ci}(Ri)
+//
+// where ci is the conjunction of the view's selection conjuncts that
+// mention only Ri (plus any constant conjuncts): the delta of the view
+// under any base update is then computable from the auxiliaries alone,
+// with no source round trip. The planner derives that auxiliary set for
+// a whole view group and dedups it — two views applying the same
+// single-relation filter to the same relation share one auxiliary,
+// which is the first common-subexpression win the SharedDeltaPlan
+// builds on.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/view_def.h"
+#include "storage/id_registry.h"
+#include "storage/schema.h"
+
+namespace mvc {
+
+/// One auxiliary view: a filtered copy of a single base relation, kept
+/// by the self-maintaining manager and shared by every dependent view
+/// whose single-relation selection over that relation is identical.
+struct AuxiliaryView {
+  /// Globally unique auxiliary name ("aux:<relation>#<k>"); interned
+  /// into the IdRegistry's relation space at wiring time.
+  std::string name;
+  /// The base relation this auxiliary filters.
+  std::string relation;
+  /// Canonical filter signature (relation + sorted qualified conjunct
+  /// strings); the dedup key.
+  std::string signature;
+  /// The base relation's schema with columns renamed "<relation>.<col>"
+  /// so plan-node join schemas stay unambiguous.
+  Schema schema;
+  /// Representative dependent view: its single-relation conjuncts over
+  /// `relation` define the filter (TupleMayAffectView reuses the exact
+  /// relevance-pruning semantics, keeping the auxiliary byte-identical
+  /// to that view's filtered replica). Points into the caller's bound
+  /// views and must outlive the plan.
+  const BoundView* filter_view = nullptr;
+  /// Names of the views maintained from this auxiliary.
+  std::vector<std::string> dependent_views;
+  /// Interned relation id, set by the system wiring.
+  RelationId id = kInvalidRelation;
+};
+
+/// The auxiliary set for one view group plus the per-view lookup table.
+struct AuxPlan {
+  std::vector<AuxiliaryView> auxiliaries;
+  /// View name -> auxiliary index per view relation position.
+  std::map<std::string, std::vector<size_t>> view_aux;
+
+  /// The auxiliary backing `view`'s relation position `rel_idx`.
+  const AuxiliaryView& AuxFor(const std::string& view, size_t rel_idx) const;
+};
+
+/// Canonical signature of the single-relation selection `view` applies
+/// to relation position `rel`: every conjunct mentioning only that
+/// relation (plus constant conjuncts), rendered with fully qualified
+/// column references and sorted. Views with equal signatures can share
+/// one auxiliary.
+std::string AuxFilterSignature(const BoundView& view, size_t rel);
+
+/// Derives the deduplicated auxiliary set making every view in `views`
+/// self-maintainable. `name_offset` seeds the "#<k>" suffix so several
+/// groups' auxiliaries stay globally unique.
+Result<AuxPlan> PlanAuxiliaries(const std::vector<const BoundView*>& views,
+                                size_t name_offset = 0);
+
+}  // namespace mvc

@@ -1,0 +1,252 @@
+#include "maint/self_maintaining_vm.h"
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "query/evaluator.h"
+#include "query/relevance.h"
+
+namespace mvc {
+
+SelfMaintainingVm::SelfMaintainingVm(std::string name,
+                                     SelfMaintainingVmOptions options)
+    : Process(std::move(name)), options_(options) {}
+
+void SelfMaintainingVm::AddView(const BoundView* view, ViewId id) {
+  MVC_CHECK(view != nullptr);
+  MVC_CHECK(id != kInvalidView);
+  views_.push_back(view);
+  view_ids_.push_back(id);
+}
+
+Status SelfMaintainingVm::Initialize(const Catalog& initial_base,
+                                     size_t aux_name_offset,
+                                     IdRegistry* registry) {
+  MVC_CHECK(!views_.empty()) << "self-maintaining manager with no views";
+  MVC_ASSIGN_OR_RETURN(aux_plan_, PlanAuxiliaries(views_, aux_name_offset));
+  if (registry != nullptr) {
+    for (AuxiliaryView& aux : aux_plan_.auxiliaries) {
+      aux.id = registry->InternRelation(aux.name);
+    }
+  }
+  MVC_ASSIGN_OR_RETURN(plan_, SharedDeltaPlan::Build(views_, &aux_plan_));
+  // Materialize each auxiliary: the base relation filtered through its
+  // representative view's single-relation conjuncts — byte-identical to
+  // that view's filtered replica on the per-view path.
+  for (const AuxiliaryView& aux : aux_plan_.auxiliaries) {
+    MVC_RETURN_IF_ERROR(aux_.CreateTable(aux.name, aux.schema));
+    MVC_ASSIGN_OR_RETURN(const Table* initial,
+                         initial_base.GetTable(aux.relation));
+    MVC_ASSIGN_OR_RETURN(Table * table, aux_.GetTable(aux.name));
+    Status st;
+    initial->ForEachRow([&](const Tuple& t, int64_t c) {
+      if (!st.ok()) return;
+      if (TupleMayAffectView(*aux.filter_view, aux.relation, t)) {
+        st = table->Insert(t, c);
+      }
+    });
+    MVC_RETURN_IF_ERROR(st);
+  }
+  return Status::OK();
+}
+
+void SelfMaintainingVm::EnableObservability(obs::MetricsRegistry* metrics,
+                                            obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (metrics == nullptr) return;
+  const std::string l = StrCat("{process=\"", name(), "\"}");
+  m_updates_ = metrics->RegisterCounter(StrCat("vm.updates_received", l));
+  m_als_sent_ = metrics->RegisterCounter(StrCat("vm.action_lists_sent", l));
+  m_batch_updates_ =
+      metrics->RegisterHistogram(StrCat("vm.al_batch_updates", l), "updates");
+  m_shared_evals_ =
+      metrics->RegisterCounter(StrCat("maint.shared_node_evals", l));
+  m_rounds_avoided_ =
+      metrics->RegisterCounter(StrCat("maint.query_rounds_avoided", l));
+  m_aux_bytes_ = metrics->RegisterGauge(StrCat("maint.aux_bytes", l));
+  UpdateAuxBytesGauge();
+}
+
+int64_t SelfMaintainingVm::aux_bytes() const {
+  // The Table stores (tuple -> count) pairs; estimate one machine word
+  // per value plus map/count overhead per distinct row.
+  int64_t bytes = 0;
+  for (const AuxiliaryView& aux : aux_plan_.auxiliaries) {
+    auto table = aux_.GetTable(aux.name);
+    if (!table.ok()) continue;
+    const int64_t row_bytes =
+        8 * static_cast<int64_t>(aux.schema.num_columns()) + 16;
+    bytes += row_bytes * static_cast<int64_t>(table.value()->NumDistinct());
+  }
+  return bytes;
+}
+
+void SelfMaintainingVm::UpdateAuxBytesGauge() {
+  if (m_aux_bytes_ != nullptr) m_aux_bytes_->Set(aux_bytes());
+}
+
+bool SelfMaintainingVm::ViewIsRelevant(const BoundView& view,
+                                       const SourceTransaction& txn) const {
+  // Exactly the integrator's REL_i membership test: the integrator
+  // sends this manager one update copy per affected *group*, so the
+  // per-view fan-out is recomputed here.
+  for (const Update& u : txn.updates) {
+    const bool relevant =
+        options_.relevance_pruning
+            ? UpdateIsRelevant(view, u)
+            : view.RelationIndex(u.relation).has_value();
+    if (relevant) return true;
+  }
+  return false;
+}
+
+Status SelfMaintainingVm::ApplyToAuxiliaries(const Update& u) {
+  for (const AuxiliaryView& aux : aux_plan_.auxiliaries) {
+    if (aux.relation != u.relation) continue;
+    const BoundView& filter = *aux.filter_view;
+    const bool old_in = u.op != UpdateOp::kInsert &&
+                        TupleMayAffectView(filter, u.relation, u.tuple);
+    const bool new_in =
+        (u.op == UpdateOp::kInsert &&
+         TupleMayAffectView(filter, u.relation, u.tuple)) ||
+        (u.op == UpdateOp::kModify &&
+         TupleMayAffectView(filter, u.relation, u.new_tuple));
+    if (!old_in && !new_in) continue;
+    if (++effective_aux_applies_ == options_.mutation_skip_aux_apply) {
+      // Injected staleness: this auxiliary misses one base change, so
+      // every later delta computed over it is wrong. The consistency
+      // checker downstream must catch the divergence.
+      continue;
+    }
+    MVC_ASSIGN_OR_RETURN(Table * table, aux_.GetTable(aux.name));
+    // Once a skip has been injected the auxiliary is stale, so a later
+    // delete may target a row the skip never inserted; that miss is part
+    // of the injected corruption, not a reason to abort the run.
+    const bool mutated = options_.mutation_skip_aux_apply != 0;
+    switch (u.op) {
+      case UpdateOp::kInsert:
+        MVC_RETURN_IF_ERROR(table->Insert(u.tuple));
+        break;
+      case UpdateOp::kDelete: {
+        Status st = table->Delete(u.tuple);
+        if (!st.ok() && !mutated) return st;
+        break;
+      }
+      case UpdateOp::kModify:
+        if (old_in) {
+          Status st = table->Delete(u.tuple);
+          if (!st.ok() && !mutated) return st;
+        }
+        if (new_in) MVC_RETURN_IF_ERROR(table->Insert(u.new_tuple));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+void SelfMaintainingVm::EmitActionList(size_t view_idx, UpdateId id,
+                                       TableDelta delta, TimeMicros delay) {
+  ActionList al;
+  al.view = view_ids_[view_idx];
+  al.first_update = id;
+  al.update = id;
+  if (options_.collect_covered) al.covered.push_back(id);
+  al.delta = std::move(delta);
+  if (m_als_sent_ != nullptr) {
+    m_als_sent_->Add();
+    m_batch_updates_->Record(1);
+  }
+  ++query_rounds_avoided_;
+  if (m_rounds_avoided_ != nullptr) m_rounds_avoided_->Add();
+  if (tracer_ != nullptr) {
+    tracer_->Record(obs::Span{obs::SpanKind::kAlProduced, id, al.view, -1,
+                              al.update, Now(), name()});
+  }
+  auto msg = std::make_unique<ActionListMsg>();
+  msg->al = std::move(al);
+  ++action_lists_sent_;
+  SendAfter(merge_, std::move(msg), delay);
+}
+
+void SelfMaintainingVm::ProcessUpdate(const PendingUpdate& pu) {
+  // Which of the group's views this update is relevant to — the set the
+  // integrator put in REL_i for this group.
+  std::vector<char> relevant(views_.size(), 0);
+  for (size_t vi = 0; vi < views_.size(); ++vi) {
+    relevant[vi] = ViewIsRelevant(*views_[vi], pu.txn) ? 1 : 0;
+  }
+
+  // Telescoping evaluation, exactly the per-view managers' order: for
+  // each update of the transaction, push its base delta through the
+  // shared plan against the *current* auxiliary state, then advance the
+  // auxiliaries past it.
+  std::vector<TableDelta> acc(views_.size());
+  for (size_t vi = 0; vi < views_.size(); ++vi) {
+    acc[vi].target = views_[vi]->name();
+  }
+  TableProviderFn provider = CatalogProvider(&aux_);
+  const int64_t evals_before = shared_node_evals_;
+  for (const Update& u : pu.txn.updates) {
+    TableDelta base = ViewEvaluator::UpdateToBaseDelta(u);
+    Status st = plan_.EvaluateUpdate(u.relation, base, provider, &acc,
+                                     &shared_node_evals_);
+    MVC_CHECK(st.ok()) << st.ToString();
+    st = ApplyToAuxiliaries(u);
+    MVC_CHECK(st.ok()) << st.ToString();
+  }
+  if (m_shared_evals_ != nullptr) {
+    m_shared_evals_->Add(shared_node_evals_ - evals_before);
+  }
+  UpdateAuxBytesGauge();
+
+  // One complete-level action list per relevant view (empty deltas
+  // included), labelled with this update — byte-identical to what the
+  // per-view complete managers would have emitted.
+  TimeMicros cost = options_.delta_cost;
+  for (size_t vi = 0; vi < views_.size(); ++vi) {
+    if (!relevant[vi]) continue;
+    cost += options_.per_al_cost;
+  }
+  for (size_t vi = 0; vi < views_.size(); ++vi) {
+    if (!relevant[vi]) continue;
+    acc[vi].Normalize();
+    EmitActionList(vi, pu.id, std::move(acc[vi]), cost);
+  }
+  BusyFor(cost);
+}
+
+void SelfMaintainingVm::BusyFor(TimeMicros delay) {
+  busy_ = true;
+  ScheduleSelf(std::make_unique<TickMsg>(), delay);
+}
+
+void SelfMaintainingVm::MaybeStartWork() {
+  if (busy_ || pending_.empty()) return;
+  PendingUpdate pu = std::move(pending_.front());
+  pending_.pop_front();
+  ProcessUpdate(pu);
+}
+
+void SelfMaintainingVm::OnMessage(ProcessId /*from*/, MessagePtr msg) {
+  switch (msg->kind) {
+    case Message::Kind::kUpdate: {
+      auto* update = static_cast<UpdateMsg*>(msg.get());
+      ++updates_received_;
+      if (m_updates_ != nullptr) m_updates_->Add();
+      pending_.push_back(
+          PendingUpdate{update->update_id, std::move(update->txn)});
+      MaybeStartWork();
+      return;
+    }
+    case Message::Kind::kTick: {
+      busy_ = false;
+      MaybeStartWork();
+      return;
+    }
+    default:
+      MVC_LOG_ERROR() << "self-maintaining manager " << name()
+                      << ": unexpected message " << msg->Summary();
+  }
+}
+
+}  // namespace mvc

@@ -1,0 +1,149 @@
+// Self-maintaining view manager: one actor maintaining a whole merge
+// group's views from auxiliary views, with a shared delta plan.
+//
+// Unlike the per-view managers in src/viewmgr (one process per view,
+// one filtered replica each, optional Strobe-style source query
+// rounds), this manager owns every view of one merge group and answers
+// maintenance entirely from its auxiliary store: no source round trips
+// ever happen on this path, and each update's base delta is pushed
+// through the SharedDeltaPlan once per *shared* node rather than once
+// per view. It still speaks the stock protocol — one complete-level
+// action list per relevant update per view, byte-identical to what a
+// CompleteViewManager would emit — so the merge/VUT/warehouse/checker
+// pipeline downstream is untouched.
+
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "maint/aux_planner.h"
+#include "maint/shared_plan.h"
+#include "net/protocol.h"
+#include "net/runtime.h"
+#include "query/view_def.h"
+#include "storage/catalog.h"
+#include "storage/id_registry.h"
+
+namespace mvc {
+
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace obs
+
+struct SelfMaintainingVmOptions {
+  /// Simulated cost of one shared-plan delta pass per update.
+  TimeMicros delta_cost = 0;
+  /// Simulated cost per emitted action list.
+  TimeMicros per_al_cost = 0;
+  /// Build ActionList::covered (must match the system-wide setting so
+  /// ALs stay byte-identical to the per-view managers').
+  bool collect_covered = true;
+  /// Mirror of IntegratorOptions::relevance_pruning: the manager
+  /// recomputes each view's relevance locally (it receives one update
+  /// copy per group, not per view) and must use the integrator's exact
+  /// test so it emits action lists for exactly the views in REL_i.
+  bool relevance_pruning = true;
+  /// Test-only mutation: silently skip the Nth effective auxiliary
+  /// apply (1-based). The auxiliary store goes stale, later deltas are
+  /// computed from wrong base state, and the consistency checker must
+  /// flag the divergence — the explorer's self-test proves it does.
+  int64_t mutation_skip_aux_apply = 0;
+};
+
+class SelfMaintainingVm : public Process {
+ public:
+  SelfMaintainingVm(std::string name, SelfMaintainingVmOptions options);
+
+  /// --- Wiring (before the runtime starts) ---
+
+  /// Adds one view of this manager's group with its interned id. Views
+  /// must be added in group order; pointers must outlive the process.
+  void AddView(const BoundView* view, ViewId id);
+
+  /// Plans auxiliaries and the shared delta plan for the added views,
+  /// creates the auxiliary tables, and seeds them (filtered) from the
+  /// initial base state. `aux_name_offset` keeps auxiliary names unique
+  /// across groups; when `registry` is non-null every auxiliary is
+  /// interned into its relation id space (wiring-time registration, so
+  /// tools can name auxiliaries like any other relation). Must run
+  /// after every AddView.
+  Status Initialize(const Catalog& initial_base, size_t aux_name_offset,
+                    IdRegistry* registry = nullptr);
+
+  void SetMerge(ProcessId merge) { merge_ = merge; }
+
+  /// Wires the observability hub: mirrors the per-view managers' vm.*
+  /// instruments and kAlProduced spans, plus the maint.* instruments
+  /// (shared_node_evals, query_rounds_avoided, aux_bytes).
+  void EnableObservability(obs::MetricsRegistry* metrics,
+                           obs::Tracer* tracer);
+
+  /// --- Introspection ---
+
+  const AuxPlan& aux_plan() const { return aux_plan_; }
+  const SharedDeltaPlan& plan() const { return plan_; }
+  const Catalog& aux_store() const { return aux_; }
+  size_t num_views() const { return views_.size(); }
+  int64_t updates_received() const { return updates_received_; }
+  int64_t action_lists_sent() const { return action_lists_sent_; }
+  /// Shared-plan node evaluations actually run (the bench's headline
+  /// number; compare against per-view vm.updates_received sums).
+  int64_t shared_node_evals() const { return shared_node_evals_; }
+  /// One per emitted action list: maintenance answered from the
+  /// auxiliary store where the Strobe-style path could have gone to the
+  /// sources.
+  int64_t query_rounds_avoided() const { return query_rounds_avoided_; }
+  /// Estimated resident bytes of the auxiliary store.
+  int64_t aux_bytes() const;
+
+  void OnMessage(ProcessId from, MessagePtr msg) override;
+
+ private:
+  struct PendingUpdate {
+    UpdateId id;
+    SourceTransaction txn;
+  };
+
+  void MaybeStartWork();
+  void BusyFor(TimeMicros delay);
+  void ProcessUpdate(const PendingUpdate& pu);
+  Status ApplyToAuxiliaries(const Update& u);
+  bool ViewIsRelevant(const BoundView& view,
+                      const SourceTransaction& txn) const;
+  void EmitActionList(size_t view_idx, UpdateId id, TableDelta delta,
+                      TimeMicros delay);
+  void UpdateAuxBytesGauge();
+
+  SelfMaintainingVmOptions options_;
+  std::vector<const BoundView*> views_;
+  std::vector<ViewId> view_ids_;
+  AuxPlan aux_plan_;
+  SharedDeltaPlan plan_;
+  Catalog aux_;
+  ProcessId merge_ = kInvalidProcess;
+  std::deque<PendingUpdate> pending_;
+  bool busy_ = false;
+  int64_t updates_received_ = 0;
+  int64_t action_lists_sent_ = 0;
+  int64_t shared_node_evals_ = 0;
+  int64_t query_rounds_avoided_ = 0;
+  int64_t effective_aux_applies_ = 0;
+  // --- Observability (all null when disabled) ---
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* m_updates_ = nullptr;
+  obs::Counter* m_als_sent_ = nullptr;
+  obs::Histogram* m_batch_updates_ = nullptr;
+  obs::Counter* m_shared_evals_ = nullptr;
+  obs::Counter* m_rounds_avoided_ = nullptr;
+  obs::Gauge* m_aux_bytes_ = nullptr;
+};
+
+}  // namespace mvc

@@ -1,0 +1,297 @@
+#include "maint/shared_plan.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace mvc {
+
+namespace {
+
+/// Resolves a conjunct column reference to the view-relation index it
+/// touches (unqualified references must be unambiguous, exactly as in
+/// BoundView::Bind).
+Result<size_t> RelationOfRef(const BoundView& view, const ColumnRef& ref) {
+  if (!ref.relation.empty()) {
+    auto idx = view.RelationIndex(ref.relation);
+    if (!idx.has_value()) {
+      return Status::NotFound(StrCat("view '", view.name(), "': relation '",
+                                     ref.relation, "' not part of the view"));
+    }
+    return *idx;
+  }
+  std::optional<size_t> found;
+  for (size_t i = 0; i < view.num_relations(); ++i) {
+    if (view.relation_schema(i).FindColumn(ref.column).has_value()) {
+      if (found.has_value()) {
+        return Status::InvalidArgument(StrCat(
+            "view '", view.name(), "': column '", ref.column,
+            "' is ambiguous"));
+      }
+      found = i;
+    }
+  }
+  if (!found.has_value()) {
+    return Status::NotFound(StrCat("view '", view.name(), "': column '",
+                                   ref.column, "' not found"));
+  }
+  return *found;
+}
+
+/// Rewrites one conjunct's column references through `map_ref`, which
+/// receives the resolved view-relation index. Errors surface through
+/// `status` (the rewrite callback cannot fail directly).
+Result<Predicate> RewriteConjunct(
+    const BoundView& view, const Predicate& conj,
+    const std::function<ColumnRef(size_t rel, const ColumnRef&)>& map_ref) {
+  Status status;
+  Predicate rewritten = conj.RewriteColumns([&](const ColumnRef& ref) {
+    auto rel = RelationOfRef(view, ref);
+    if (!rel.ok()) {
+      if (status.ok()) status = rel.status();
+      return ref;
+    }
+    return map_ref(rel.value(), ref);
+  });
+  MVC_RETURN_IF_ERROR(status);
+  return rewritten;
+}
+
+}  // namespace
+
+Result<SharedDeltaPlan> SharedDeltaPlan::Build(
+    const std::vector<const BoundView*>& views, const AuxPlan* aux) {
+  MVC_CHECK(aux != nullptr);
+  SharedDeltaPlan plan;
+  std::map<std::string, int> node_of;  // signature -> node index
+
+  for (const BoundView* vp : views) {
+    MVC_CHECK(vp != nullptr);
+    const BoundView& view = *vp;
+    const size_t vi = plan.view_names_.size();
+    plan.view_names_.push_back(view.name());
+    plan.routes_.emplace_back();
+    auto slots_it = aux->view_aux.find(view.name());
+    if (slots_it == aux->view_aux.end()) {
+      return Status::InvalidArgument(
+          StrCat("view '", view.name(), "' missing from the auxiliary plan"));
+    }
+    const std::vector<size_t>& aux_slots = slots_it->second;
+
+    const size_t n = view.num_relations();
+    for (size_t r = 0; r < n; ++r) {
+      plan.unshared_steps_ += n;
+      // Chain order: the delta relation first, the rest in view order
+      // (a pure join reorder, legal under bag semantics because every
+      // conjunct is applied exactly at the step its relations complete).
+      std::vector<size_t> order;
+      order.push_back(r);
+      for (size_t k = 0; k < n; ++k) {
+        if (k != r) order.push_back(k);
+      }
+      std::vector<size_t> chain_pos(n);
+      std::vector<size_t> chain_base(n);
+      size_t width = 0;
+      for (size_t p = 0; p < n; ++p) {
+        chain_pos[order[p]] = p;
+        chain_base[p] = width;
+        width += view.relation_schema(order[p]).num_columns();
+      }
+      // Each conjunct fires at the first chain step covering all its
+      // relations; constant conjuncts fire at the root.
+      std::vector<std::vector<const BoundView::Conjunct*>> at_step(n);
+      for (const BoundView::Conjunct& conj : view.conjuncts()) {
+        size_t step = 0;
+        for (size_t rel : conj.relations) {
+          step = std::max(step, chain_pos[rel]);
+        }
+        at_step[step].push_back(&conj);
+      }
+
+      int parent = -1;
+      for (size_t p = 0; p < n; ++p) {
+        const size_t rel = order[p];
+        const AuxiliaryView& aux_view = aux->auxiliaries[aux_slots[rel]];
+
+        // Sharing key: canonical (base-relation-qualified, sorted)
+        // conjunct strings. Two views reaching the same key have built
+        // the same chain prefix over the same auxiliaries.
+        std::vector<std::string> canon;
+        for (const BoundView::Conjunct* conj : at_step[p]) {
+          MVC_ASSIGN_OR_RETURN(
+              Predicate q,
+              RewriteConjunct(view, conj->unbound,
+                              [&](size_t cr, const ColumnRef& ref) {
+                                return ColumnRef{view.relation(cr),
+                                                 ref.column};
+                              }));
+          canon.push_back(q.ToString());
+        }
+        std::sort(canon.begin(), canon.end());
+        const std::string step_sig =
+            StrCat(aux_view.name, "{", JoinToString(canon, " AND "), "}");
+        const std::string signature =
+            parent < 0 ? StrCat("delta ", step_sig)
+                       : StrCat(plan.nodes_[parent].signature, " join ",
+                                step_sig);
+
+        auto [it, inserted] = node_of.emplace(
+            signature, static_cast<int>(plan.nodes_.size()));
+        if (inserted) {
+          Node node;
+          node.parent = parent;
+          node.signature = signature;
+          node.table_name = StrCat("plan:", plan.nodes_.size());
+          node.aux_index = aux_slots[rel];
+          ViewDefinition def;
+          def.name = node.table_name;
+          std::map<std::string, Schema> schemas;
+          if (parent < 0) {
+            node.delta_input = aux_view.name;
+            def.relations = {aux_view.name};
+            schemas[aux_view.name] = aux_view.schema;
+          } else {
+            const Node& up = plan.nodes_[parent];
+            node.delta_input = up.table_name;
+            def.relations = {up.table_name, aux_view.name};
+            schemas[up.table_name] = up.bound.output_schema();
+            schemas[aux_view.name] = aux_view.schema;
+          }
+          // Rebind this step's conjuncts against the synthetic schemas:
+          // references into the joined relation hit the auxiliary, all
+          // earlier relations live in the parent's (prefixed) output.
+          std::vector<Predicate> preds;
+          for (const BoundView::Conjunct* conj : at_step[p]) {
+            MVC_ASSIGN_OR_RETURN(
+                Predicate rewritten,
+                RewriteConjunct(
+                    view, conj->unbound,
+                    [&](size_t cr, const ColumnRef& ref) {
+                      const std::string col =
+                          StrCat(view.relation(cr), ".", ref.column);
+                      if (cr == rel) return ColumnRef{aux_view.name, col};
+                      MVC_CHECK(parent >= 0)
+                          << "root conjunct referencing a later relation";
+                      return ColumnRef{node.delta_input, col};
+                    }));
+            preds.push_back(std::move(rewritten));
+          }
+          def.predicate = Predicate::And(std::move(preds));
+          MVC_ASSIGN_OR_RETURN(node.bound, BoundView::Bind(def, schemas));
+          if (parent >= 0) {
+            plan.nodes_[parent].children.push_back(
+                static_cast<int>(plan.nodes_.size()));
+          }
+          plan.nodes_.push_back(std::move(node));
+        }
+        const int idx = it->second;
+        Node& node = plan.nodes_[idx];
+        if (node.dependent_views.empty() ||
+            node.dependent_views.back() != view.name()) {
+          node.dependent_views.push_back(view.name());
+        }
+        if (p == 0) {
+          std::vector<int>& roots = plan.roots_[view.relation(r)];
+          if (std::find(roots.begin(), roots.end(), idx) == roots.end()) {
+            roots.push_back(idx);
+          }
+        }
+        parent = idx;
+      }
+
+      // Route: leaf plus the remap from view-projection offsets (over
+      // the view's own concatenation order) to leaf-tuple offsets (over
+      // the chain's concatenation order).
+      Route route;
+      route.leaf = parent;
+      for (size_t off : view.projection_offsets()) {
+        size_t rel = 0;
+        for (size_t k = 0; k < n; ++k) {
+          if (off >= view.relation_offset(k)) rel = k;
+        }
+        route.projection.push_back(chain_base[chain_pos[rel]] +
+                                   (off - view.relation_offset(rel)));
+      }
+      plan.routes_[vi][view.relation(r)] = std::move(route);
+    }
+  }
+  return plan;
+}
+
+Status SharedDeltaPlan::EvalNode(int idx, const TableDelta& base_delta,
+                                 const TableProviderFn& provider,
+                                 std::vector<TableDelta>* memo,
+                                 std::vector<char>* done,
+                                 int64_t* node_evals) const {
+  if ((*done)[idx]) return Status::OK();
+  (*done)[idx] = 1;
+  const Node& node = nodes_[idx];
+  const TableDelta* input = &base_delta;
+  if (node.parent >= 0) {
+    MVC_RETURN_IF_ERROR(EvalNode(node.parent, base_delta, provider, memo,
+                                 done, node_evals));
+    input = &(*memo)[node.parent];
+  }
+  // An empty input joins to nothing: short-circuit the whole subtree
+  // without charging an evaluation.
+  if (input->empty()) return Status::OK();
+  MVC_ASSIGN_OR_RETURN(
+      (*memo)[idx],
+      ViewEvaluator::EvaluateDelta(node.bound, node.delta_input, *input,
+                                   provider));
+  if (node_evals != nullptr) ++*node_evals;
+  return Status::OK();
+}
+
+Status SharedDeltaPlan::EvaluateUpdate(const std::string& relation,
+                                       const TableDelta& base_delta,
+                                       const TableProviderFn& provider,
+                                       std::vector<TableDelta>* per_view_acc,
+                                       int64_t* node_evals) const {
+  MVC_CHECK(per_view_acc != nullptr &&
+            per_view_acc->size() == view_names_.size());
+  if (roots_.find(relation) == roots_.end()) return Status::OK();
+  std::vector<TableDelta> memo(nodes_.size());
+  std::vector<char> done(nodes_.size(), 0);
+  for (size_t vi = 0; vi < routes_.size(); ++vi) {
+    auto rit = routes_[vi].find(relation);
+    if (rit == routes_[vi].end()) continue;
+    const Route& route = rit->second;
+    MVC_RETURN_IF_ERROR(EvalNode(route.leaf, base_delta, provider, &memo,
+                                 &done, node_evals));
+    TableDelta& acc = (*per_view_acc)[vi];
+    for (const DeltaRow& row : memo[route.leaf].rows) {
+      Tuple out;
+      out.reserve(route.projection.size());
+      for (size_t off : route.projection) out.push_back(row.tuple[off]);
+      acc.Add(std::move(out), row.count);
+    }
+  }
+  return Status::OK();
+}
+
+size_t SharedDeltaPlan::num_shared_nodes() const {
+  size_t shared = 0;
+  for (const Node& node : nodes_) {
+    if (node.dependent_views.size() > 1) ++shared;
+  }
+  return shared;
+}
+
+std::string SharedDeltaPlan::ToString() const {
+  std::ostringstream os;
+  os << "SharedDeltaPlan: " << nodes_.size() << " nodes ("
+     << num_shared_nodes() << " shared) for " << unshared_steps_
+     << " per-view chain steps\n";
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    os << "  [" << i << "] " << node.signature << " -> " << node.table_name;
+    if (node.parent >= 0) os << " (parent " << node.parent << ")";
+    os << " views=[" << JoinToString(node.dependent_views, ",") << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace mvc

@@ -1,0 +1,124 @@
+// Shared delta-propagation plans across overlapping SPJ views
+// (multi-query optimization: Mistry/Roy/Ramamritham/Sudarshan).
+//
+// For every (view, base relation) pair the counting algorithm needs the
+// delta join ΔR ⋈ A1 ⋈ ... ⋈ Ak over the view's auxiliaries. Many
+// dashboard views share both the filtered ΔR root (same single-relation
+// selection) and join prefixes (same join conditions over the same
+// auxiliaries), so the per-view evaluation repeats identical work once
+// per view. This plan factors those common subexpressions into a DAG:
+//
+//   root node   Δσ_c(R)            — the base delta pushed through one
+//                                    auxiliary's filter;
+//   inner node  parent ⋈ σ(S)      — one hash-join step against an
+//                                    auxiliary, with exactly the view
+//                                    conjuncts that become applicable
+//                                    at that step;
+//   route       (view, relation) -> leaf node + projection map.
+//
+// Nodes are deduplicated by a structural signature, so each ΔR batch is
+// evaluated once per *distinct* node and fanned out to every dependent
+// view. Each node is a synthetic BoundView evaluated by the stock
+// ViewEvaluator::EvaluateDelta, which keeps the bag semantics (and thus
+// the emitted action lists) byte-identical to the per-view path: every
+// view conjunct is applied at the first step where its relations are
+// joined, multiplicities multiply through the chain, and the final
+// projection remaps leaf columns into the view's output order.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "maint/aux_planner.h"
+#include "query/evaluator.h"
+#include "query/view_def.h"
+#include "storage/delta.h"
+
+namespace mvc {
+
+class SharedDeltaPlan {
+ public:
+  /// One DAG node: a synthetic single-join (or root filter) view over
+  /// auxiliary schemas, deduplicated across the view set.
+  struct Node {
+    /// Feeding node, -1 for a delta root.
+    int parent = -1;
+    /// Structural sharing key (embeds the parent's key).
+    std::string signature;
+    /// Synthetic output relation name ("plan:<k>"); children bind
+    /// against it.
+    std::string table_name;
+    /// Name of the relation whose delta feeds this node: the base
+    /// relation for roots, the parent's table_name otherwise.
+    std::string delta_input;
+    /// Index into the AuxPlan of the auxiliary this node filters (root)
+    /// or joins (inner node).
+    size_t aux_index = 0;
+    /// The synthetic view the evaluator runs at this node.
+    BoundView bound;
+    std::vector<int> children;
+    /// Views whose delta chain passes through this node.
+    std::vector<std::string> dependent_views;
+  };
+
+  /// Per (view, relation) route: the chain's leaf plus the leaf-tuple
+  /// offsets producing the view's projected output columns.
+  struct Route {
+    int leaf = -1;
+    std::vector<size_t> projection;
+  };
+
+  /// Builds the DAG for `views` over the auxiliaries in `aux` (which
+  /// must have been planned for exactly this view set). Pointers must
+  /// outlive the plan.
+  static Result<SharedDeltaPlan> Build(
+      const std::vector<const BoundView*>& views, const AuxPlan* aux);
+
+  /// Propagates one base-relation delta through every dependent chain,
+  /// evaluating each shared node at most once, and appends each view's
+  /// projected delta rows into `(*per_view_acc)[i]` (indexed like the
+  /// `views` vector given to Build; rows are appended un-normalized so
+  /// the caller can accumulate a whole transaction before normalizing).
+  /// `provider` must serve the auxiliary tables by name. `node_evals`
+  /// (optional) is incremented once per node evaluation actually run —
+  /// empty inputs short-circuit without counting.
+  Status EvaluateUpdate(const std::string& relation,
+                        const TableDelta& base_delta,
+                        const TableProviderFn& provider,
+                        std::vector<TableDelta>* per_view_acc,
+                        int64_t* node_evals = nullptr) const;
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  size_t num_views() const { return view_names_.size(); }
+  const std::string& view_name(size_t i) const { return view_names_[i]; }
+
+  /// Nodes serving more than one dependent view — the sharing the plan
+  /// exists for.
+  size_t num_shared_nodes() const;
+
+  /// Total (view, relation) chain steps a per-view planner would have
+  /// built; `nodes().size()` is what sharing left of them.
+  size_t num_unshared_steps() const { return unshared_steps_; }
+
+  /// Human-readable DAG dump (tests and debugging).
+  std::string ToString() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::string> view_names_;
+  /// Per view (Build order): relation name -> route.
+  std::vector<std::map<std::string, Route>> routes_;
+  /// Base relation -> root node indexes.
+  std::map<std::string, std::vector<int>> roots_;
+  size_t unshared_steps_ = 0;
+
+  Status EvalNode(int idx, const TableDelta& base_delta,
+                  const TableProviderFn& provider,
+                  std::vector<TableDelta>* memo, std::vector<char>* done,
+                  int64_t* node_evals) const;
+};
+
+}  // namespace mvc

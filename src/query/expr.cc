@@ -129,6 +129,39 @@ void Predicate::CollectColumns(std::vector<ColumnRef>* out) const {
   }
 }
 
+Predicate Predicate::RewriteColumns(
+    const std::function<ColumnRef(const ColumnRef&)>& fn) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return True();
+    case Kind::kComparison: {
+      auto rewrite_operand = [&](const Operand& o) {
+        return o.is_column ? Operand::Col(fn(o.column))
+                           : Operand::Const(o.constant);
+      };
+      return Compare(op_, rewrite_operand(lhs_), rewrite_operand(rhs_));
+    }
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<Predicate> rewritten;
+      rewritten.reserve(children_.size());
+      for (const Predicate& child : children_) {
+        rewritten.push_back(child.RewriteColumns(fn));
+      }
+      // Rebuild through the raw node rather than the And()/Or()
+      // builders: the builders collapse singleton lists, which would
+      // change the tree shape the caller is mirroring.
+      Predicate p;
+      p.kind_ = kind_;
+      p.children_ = std::move(rewritten);
+      return p;
+    }
+    case Kind::kNot:
+      return Not(children_.front().RewriteColumns(fn));
+  }
+  return True();
+}
+
 std::string Predicate::ToString() const {
   switch (kind_) {
     case Kind::kTrue:

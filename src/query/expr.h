@@ -105,6 +105,13 @@ class Predicate {
 
   std::string ToString() const;
 
+  /// Rebuilds the tree with every ColumnRef replaced by `fn(ref)`.
+  /// Structure, operators, and constants are preserved. The shared
+  /// delta planner uses this to rebind view conjuncts against synthetic
+  /// plan-node schemas.
+  Predicate RewriteColumns(
+      const std::function<ColumnRef(const ColumnRef&)>& fn) const;
+
  private:
   Kind kind_ = Kind::kTrue;
   CompareOp op_ = CompareOp::kEq;

@@ -58,6 +58,24 @@ struct IngestConfig {
   GroupCommitOptions group_commit;
 };
 
+/// Self-maintenance with shared delta plans (ROADMAP item 3, src/maint/):
+/// replace the per-view managers with one SelfMaintainingVm per merge
+/// group that maintains every view of the group from auxiliary views,
+/// factoring common delta subexpressions across the view set.
+struct MaintConfig {
+  /// Maintain all views through self-maintaining group managers. The
+  /// emitted action lists are byte-identical to the per-view complete
+  /// managers' (one AL per relevant update per view), so everything
+  /// downstream of the view managers is unchanged. Incompatible with
+  /// per-view manager_kinds, aggregates, fault injection, piggybacked
+  /// REL delivery, and the sequential baseline.
+  bool self_maintain = false;
+  /// Test-only mutation: skip the Nth effective auxiliary apply
+  /// (1-based), leaving the auxiliary store stale — the consistency
+  /// checker must catch the resulting divergence (explorer self-test).
+  int64_t mutation_skip_aux_apply = 0;
+};
+
 /// One transaction injected into a source at a simulated time.
 struct Injection {
   TimeMicros at = 0;
@@ -105,6 +123,8 @@ struct SystemConfig {
   size_t num_merge_processes = 1;
   /// Scale-out ingest: integrator sharding, merge fan-out, group commit.
   IngestConfig ingest;
+  /// Self-maintenance + shared delta plans (src/maint/).
+  MaintConfig maint;
   WarehouseOptions warehouse;
   SourceOptions source_options;
 

@@ -105,6 +105,37 @@ Status WarehouseSystem::Wire(SystemConfig config) {
   // The warehouse reads the group-commit bounds from its own options.
   config_.warehouse.group_commit = config_.ingest.group_commit;
 
+  // --- Self-maintenance validation ---
+  if (config_.maint.self_maintain) {
+    if (config_.sequential_baseline) {
+      return Status::InvalidArgument(
+          "self-maintenance requires the Figure 1 architecture, not the "
+          "sequential baseline");
+    }
+    if (config_.fault.enabled()) {
+      return Status::InvalidArgument(
+          "self-maintenance is incompatible with fault injection: replay "
+          "and checkpointing assume one manager per view");
+    }
+    if (config_.integrator.piggyback_rel) {
+      return Status::InvalidArgument(
+          "self-maintenance requires direct REL delivery; disable "
+          "integrator.piggyback_rel");
+    }
+    if (!config_.aggregates.empty()) {
+      return Status::InvalidArgument(
+          "self-maintenance does not cover aggregate views yet; drop "
+          "maint.self_maintain or the aggregates");
+    }
+    for (const auto& [view, kind] : config_.manager_kinds) {
+      if (kind != ManagerKind::kComplete) {
+        return Status::InvalidArgument(StrCat(
+            "self-maintaining managers emit complete-level action lists; "
+            "view '", view, "' asks for ", ManagerKindToString(kind)));
+      }
+    }
+  }
+
   // Observability hubs. Both exist when either flag is set: the derived
   // latency/staleness histograms live in the registry but are computed
   // from the trace, so metrics without a trace would silently miss the
@@ -381,8 +412,44 @@ Status WarehouseSystem::Wire(SystemConfig config) {
       merges_.push_back(std::move(merge));
     }
 
-    // View managers (one per view).
+    // View managers: either one self-maintaining manager per merge
+    // group (maint.self_maintain), or one per-view manager.
     std::map<std::string, ProcessId> vm_of_view;
+    if (config_.maint.self_maintain) {
+      std::map<std::string, const BoundView*> view_by_name;
+      for (const BoundView& view : bound_views_) {
+        view_by_name[view.name()] = &view;
+      }
+      // Auxiliary relation ids are minted here, per group, still before
+      // the runtime starts — after this loop the registry is read-only
+      // again.
+      size_t aux_name_offset = 0;
+      for (size_t g = 0; g < groups_.size(); ++g) {
+        SelfMaintainingVmOptions options;
+        options.delta_cost = config_.vm_options.delta_cost;
+        options.per_al_cost = config_.vm_options.per_al_cost;
+        options.collect_covered = config_.vm_options.collect_covered;
+        options.relevance_pruning = config_.integrator.relevance_pruning;
+        options.mutation_skip_aux_apply =
+            config_.maint.mutation_skip_aux_apply;
+        auto vm = std::make_unique<SelfMaintainingVm>(StrCat("maint-", g),
+                                                      options);
+        for (const std::string& view_name : groups_[g].views) {
+          vm->AddView(view_by_name.at(view_name),
+                      *registry_.FindView(view_name));
+        }
+        MVC_RETURN_IF_ERROR(
+            vm->Initialize(initial_base_, aux_name_offset, &registry_));
+        aux_name_offset += vm->aux_plan().auxiliaries.size();
+        const ProcessId pid = runtime_->Register(vm.get());
+        for (const std::string& view_name : groups_[g].views) {
+          vm_of_view[view_name] = pid;
+        }
+        vm->SetMerge(merge_of_view.at(groups_[g].views.front()));
+        vm->EnableObservability(metrics_.get(), tracer_.get());
+        maint_vms_.push_back(std::move(vm));
+      }
+    } else {
     for (const BoundView& view : bound_views_) {
       ManagerKind kind = ManagerKind::kComplete;
       auto kind_it = config_.manager_kinds.find(view.name());
@@ -445,6 +512,7 @@ Status WarehouseSystem::Wire(SystemConfig config) {
       vm->SetMerge(merge_of_view.at(view.name()));
       vm->EnableObservability(metrics_.get(), tracer_.get());
       view_managers_.push_back(std::move(vm));
+    }
     }
 
     // Section 6.1 x 6.2 interaction: a transaction whose updates span

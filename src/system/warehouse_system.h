@@ -16,6 +16,7 @@
 #include "fault/checkpoint_store.h"
 #include "fault/fault_injector.h"
 #include "fault/merge_log.h"
+#include "maint/self_maintaining_vm.h"
 #include "merge/partition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -93,6 +94,11 @@ class WarehouseSystem {
   const std::vector<std::unique_ptr<ViewManagerBase>>& view_managers() const {
     return view_managers_;
   }
+  /// Self-maintaining group managers (one per merge group), populated
+  /// instead of view_managers() when config.maint.self_maintain is set.
+  const std::vector<std::unique_ptr<SelfMaintainingVm>>& maint_vms() const {
+    return maint_vms_;
+  }
   const std::vector<std::unique_ptr<SourceProcess>>& source_processes() const {
     return sources_;
   }
@@ -169,6 +175,7 @@ class WarehouseSystem {
   ShardPlan shard_plan_;
   std::unique_ptr<SequentialIntegrator> sequential_;
   std::vector<std::unique_ptr<ViewManagerBase>> view_managers_;
+  std::vector<std::unique_ptr<SelfMaintainingVm>> maint_vms_;
   std::vector<std::unique_ptr<MergeProcess>> merges_;
   std::unique_ptr<WarehouseProcess> warehouse_;
   std::unique_ptr<CompactorProcess> compactor_;

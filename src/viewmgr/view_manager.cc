@@ -184,6 +184,7 @@ void ViewManagerBase::StartQueryRound(std::function<void()> done) {
   }
   MVC_CHECK(round_done_ == nullptr);
   round_done_ = std::move(done);
+  ++query_rounds_issued_;
   outstanding_answers_ = 0;
   for (const auto& [relation, route] : sources_) {
     auto req = std::make_unique<QueryRequestMsg>();

@@ -138,6 +138,10 @@ class ViewManagerBase : public Process {
 
   int64_t action_lists_sent() const { return action_lists_sent_; }
   int64_t updates_received() const { return updates_received_; }
+  /// Strobe-style source query rounds actually issued (0 unless
+  /// options.issue_query_round; the self-maintaining path never issues
+  /// any — bench_shared_plans asserts it through this counter).
+  int64_t query_rounds_issued() const { return query_rounds_issued_; }
   bool recovering() const { return recovering_; }
   int64_t checkpoints_written() const { return checkpoints_written_; }
   int64_t updates_replayed() const { return updates_replayed_; }
@@ -239,6 +243,7 @@ class ViewManagerBase : public Process {
   bool busy_ = false;
   int64_t action_lists_sent_ = 0;
   int64_t updates_received_ = 0;
+  int64_t query_rounds_issued_ = 0;
   // --- Observability (all null when disabled) ---
   obs::Tracer* tracer_ = nullptr;
   obs::Counter* m_updates_ = nullptr;

@@ -481,5 +481,60 @@ TEST(ScheduleExplorerTest, CheckPrefixAcceptsCompleteRun) {
           .ok());
 }
 
+// ---------------------------------------------------------------------------
+// Self-maintenance (src/maint/): MVC must survive every bounded
+// delivery schedule when one manager serves a whole group from
+// auxiliaries, and a silently stale auxiliary must be caught with a
+// small, replayable counterexample.
+
+TEST(ScheduleExplorerTest, SelfMaintenanceHoldsUnderAllSchedulesWithinBound) {
+  SystemConfig config = Table1RaceScenario();
+  config.maint.self_maintain = true;
+  EXPECT_EQ(DeriveCheckLevel(config), CheckLevel::kComplete);
+  ExploreOptions opt;
+  opt.delay_bound = 3;
+  opt.max_steps = 500;
+  opt.check = CheckLevel::kComplete;
+  ExploreReport report = MustExplore(std::move(config), opt);
+  EXPECT_FALSE(report.violation.has_value()) << report.violation->message;
+  EXPECT_GT(report.executions, 1);
+}
+
+TEST(ScheduleExplorerTest, DetectsStaleAuxiliaryMutation) {
+  // Skip the first effective auxiliary apply (U1's insert into the
+  // shared S auxiliary): U2's DeltaT join then reads stale S state and
+  // V2's action list misses a row the oracle expects.
+  SystemConfig config = Table1RaceScenario();
+  config.maint.self_maintain = true;
+  config.maint.mutation_skip_aux_apply = 1;
+  ExploreOptions opt;
+  opt.delay_bound = 2;
+  opt.max_steps = 500;
+  opt.check = CheckLevel::kComplete;
+  ExploreReport report = MustExplore(config, opt);
+  ASSERT_TRUE(report.violation.has_value())
+      << "stale auxiliary survived " << report.executions << " executions";
+  EXPECT_LE(report.violation->schedule.size(), 20u);
+
+  // The recorded schedule must reproduce the violation on a fresh
+  // system...
+  auto replay = ScheduleExplorer::Replay(config, report.violation->schedule,
+                                         CheckLevel::kComplete);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_FALSE(replay->verdict.ok());
+
+  // ...and the unmutated self-maintaining system must pass the very
+  // same schedule (the mutation changes table contents, not message
+  // flow, so the schedule stays valid).
+  SystemConfig clean = Table1RaceScenario();
+  clean.maint.self_maintain = true;
+  auto clean_replay = ScheduleExplorer::Replay(
+      clean, report.violation->schedule, CheckLevel::kComplete);
+  if (clean_replay.ok()) {
+    EXPECT_TRUE(clean_replay->verdict.ok())
+        << clean_replay->verdict.ToString();
+  }
+}
+
 }  // namespace
 }  // namespace mvc

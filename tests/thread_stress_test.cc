@@ -367,5 +367,53 @@ TEST(ThreadStressTest, Table1RaceScenarioOnThreads) {
       << checker.CheckComplete((*system)->recorder());
 }
 
+// Self-maintaining group managers under TSan (src/maint/): one actor
+// maintains a whole merge group from its auxiliary store while a
+// reader pool acquires snapshots and the compactor squashes versions
+// underneath. The manager's auxiliary tables are actor-private, so the
+// only sharing is through the stock message channels — any data race
+// here is a protocol bug, exactly what the instrumented build exists
+// to catch. The oracle still requires full MVC at the end.
+TEST(ThreadStressTest, SelfMaintainingManagersRacingReadersAndCompactor) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    WorkloadSpec spec;
+    spec.seed = seed;
+    spec.num_transactions = 25;
+    spec.num_views = 4;
+    spec.max_view_width = 3;
+    spec.mean_interarrival = 300;
+    auto config = GenerateScenario(spec);
+    ASSERT_TRUE(config.ok());
+    config->use_threads = true;
+    config->maint.self_maintain = true;
+    config->latency = LatencyModel::Uniform(0, 200);
+    config->warehouse.max_retained_versions = 64;
+    config->compaction.enabled = true;
+    config->compaction.tiered.hot_window = 2;
+    config->compaction.stats_every_commits = 1;
+    auto system = WarehouseSystem::Build(std::move(*config));
+    ASSERT_TRUE(system.ok()) << system.status().ToString();
+    ReaderPoolOptions pool;
+    pool.num_readers = 4;
+    pool.reads_per_reader = 12;
+    pool.mean_interval_us = 500.0;
+    pool.seed = seed;
+    std::vector<WarehouseReader*> readers =
+        (*system)->AttachReaderPool(pool);
+    (*system)->Run();
+    for (const WarehouseReader* reader : readers) {
+      EXPECT_EQ(reader->observations().size(),
+                static_cast<size_t>(pool.reads_per_reader));
+    }
+    ASSERT_FALSE((*system)->maint_vms().empty());
+    for (const auto& vm : (*system)->maint_vms()) {
+      EXPECT_GT(vm->query_rounds_avoided(), 0);
+    }
+    ConsistencyChecker checker = (*system)->MakeChecker();
+    EXPECT_TRUE(checker.CheckComplete((*system)->recorder()).ok())
+        << checker.CheckComplete((*system)->recorder());
+  }
+}
+
 }  // namespace
 }  // namespace mvc

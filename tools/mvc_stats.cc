@@ -178,7 +178,7 @@ void Check(const obs::JsonValue& root) {
 /// Bench artifact schemas --check-bench accepts in the tagged form.
 const char* const kKnownBenchSchemas[] = {
     "mvc-bench-read-v1", "mvc-bench-compact-v1", "mvc-bench-vut-v1",
-    "mvc-bench-serve-v1", "mvc-bench-ingest-v1"};
+    "mvc-bench-serve-v1", "mvc-bench-ingest-v1", "mvc-bench-maint-v1"};
 
 /// Resolves the records array of a bench artifact: the legacy form is a
 /// bare array; the tagged form wraps it as {"schema", "records"} and the
@@ -331,6 +331,61 @@ void CheckIngestSummary(const obs::JsonValue& root) {
   }
 }
 
+/// mvc-bench-maint-v1 invariants: the shared delta plan must actually
+/// share (fewer chain-step evaluations than the per-view path), the
+/// self-maintaining path must never have gone to the sources (zero
+/// query rounds, every action list a round avoided), and both commit
+/// p99s must be positive — a maint artifact where sharing regressed or
+/// a source round slipped through must not pass CI.
+void CheckMaintSummary(const obs::JsonValue& root) {
+  const obs::JsonValue* summary = root.Find("summary");
+  if (summary == nullptr || !summary->is_object()) {
+    Fail("mvc-bench-maint-v1 file without a \"summary\" object");
+    return;
+  }
+  auto number = [&](const char* key) -> const obs::JsonValue* {
+    const obs::JsonValue* v = summary->Find(key);
+    if (v == nullptr || !v->is_number()) {
+      Fail(std::string("maint summary without a numeric \"") + key + "\"");
+      return nullptr;
+    }
+    return v;
+  };
+  const obs::JsonValue* updates = number("updates");
+  const obs::JsonValue* per_view = number("per_view_evals");
+  const obs::JsonValue* shared = number("shared_evals");
+  const obs::JsonValue* shared_rounds = number("shared_query_rounds");
+  const obs::JsonValue* avoided = number("query_rounds_avoided");
+  const obs::JsonValue* aux_bytes = number("aux_bytes");
+  const obs::JsonValue* per_view_p99 = number("per_view_commit_p99_us");
+  const obs::JsonValue* shared_p99 = number("shared_commit_p99_us");
+  if (updates != nullptr && updates->AsInt() <= 0) {
+    Fail("maint summary processed no updates");
+  }
+  if (per_view != nullptr && shared != nullptr &&
+      shared->AsInt() >= per_view->AsInt()) {
+    Fail("maint summary shared_evals " + std::to_string(shared->AsInt()) +
+         " did not undercut per_view_evals " +
+         std::to_string(per_view->AsInt()) + " (the plan is not sharing)");
+  }
+  if (shared_rounds != nullptr && shared_rounds->AsInt() != 0) {
+    Fail("maint summary shows " + std::to_string(shared_rounds->AsInt()) +
+         " source query rounds on the self-maintaining path");
+  }
+  if (avoided != nullptr && avoided->AsInt() <= 0) {
+    Fail("maint summary query_rounds_avoided is not positive");
+  }
+  if (aux_bytes != nullptr && aux_bytes->AsInt() <= 0) {
+    Fail("maint summary aux_bytes is not positive");
+  }
+  if (per_view_p99 != nullptr && per_view_p99->AsInt() <= 0) {
+    Fail("maint summary per_view_commit_p99_us is not positive");
+  }
+  if (shared_p99 != nullptr && shared_p99->AsInt() <= 0) {
+    Fail("maint summary shared_commit_p99_us is not positive");
+  }
+}
+
 void CheckBench(const obs::JsonValue& root, std::string* schema_out,
                 size_t* record_count) {
   const obs::JsonValue* records = BenchRecords(root, schema_out);
@@ -379,6 +434,7 @@ void CheckBench(const obs::JsonValue& root, std::string* schema_out,
   }
   if (*schema_out == "mvc-bench-serve-v1") CheckServeSummary(root);
   if (*schema_out == "mvc-bench-ingest-v1") CheckIngestSummary(root);
+  if (*schema_out == "mvc-bench-maint-v1") CheckMaintSummary(root);
 }
 
 /// Estimated q-quantile from non-cumulative {le, count} buckets.
